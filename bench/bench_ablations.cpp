@@ -1,0 +1,110 @@
+// E18 — ablations of the design choices DESIGN.md calls out:
+//   (a) tie-break policy (Algorithm 1's "choice has no impact"),
+//   (b) extraction basis (post-transmit vs the paper's literal snapshot),
+//   (c) link-conflict policy (drop-lower vs full-duplex),
+//   (d) information staleness (LGG with k-step-old neighbour queues).
+#include "support/bench_common.hpp"
+
+#include "analysis/timeseries.hpp"
+#include "baselines/stale_lgg.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace lgg;
+
+core::StabilityReport run_case(const core::SdNetwork& net,
+                               core::SimulatorOptions options,
+                               std::unique_ptr<core::RoutingProtocol> proto,
+                               core::MetricsRecorder* out_recorder = nullptr) {
+  options.seed = 91;
+  core::Simulator sim(net, options, std::move(proto));
+  core::MetricsRecorder recorder;
+  sim.run(3000, &recorder);
+  if (out_recorder != nullptr) *out_recorder = recorder;
+  return core::assess_stability(recorder.network_state());
+}
+
+void print_report() {
+  bench::banner(
+      "E18: design-choice ablations",
+      "Each ablated knob on the same unsaturated instance "
+      "(fat_path(4,x3), in = 1) and the saturated K_{3,3}; stability must "
+      "be insensitive to every knob (the paper's claims), staleness "
+      "inflates the plateau but keeps boundedness.");
+  analysis::Table table({"knob", "setting", "instance", "verdict",
+                         "tail P_t", "sup P_t"});
+  const core::SdNetwork unsat = core::scenarios::fat_path(4, 3, 1, 3);
+  const core::SdNetwork sat = core::scenarios::saturated_at_dstar(3);
+
+  // (a) tie-break
+  for (const auto tb : {core::TieBreak::kById,
+                        core::TieBreak::kRandomShuffle}) {
+    for (const auto* label : {"unsat", "sat"}) {
+      const core::SdNetwork& net =
+          std::string(label) == "unsat" ? unsat : sat;
+      const auto report = run_case(net, {},
+                                   std::make_unique<core::LggProtocol>(tb));
+      table.add("tie_break",
+                tb == core::TieBreak::kById ? "by_id" : "random", label,
+                bench::verdict_cell(report), report.tail_mean,
+                report.max_state);
+    }
+  }
+  // (b) extraction basis
+  for (const auto basis : {core::ExtractionBasis::kPostTransmit,
+                           core::ExtractionBasis::kSnapshot}) {
+    core::SimulatorOptions options;
+    options.extraction_basis = basis;
+    const auto report =
+        run_case(sat, options, std::make_unique<core::LggProtocol>());
+    table.add("extraction_basis",
+              basis == core::ExtractionBasis::kPostTransmit
+                  ? "post_transmit"
+                  : "snapshot",
+              "sat", bench::verdict_cell(report), report.tail_mean,
+              report.max_state);
+  }
+  // (c) link conflict (visible only with lying declarations)
+  for (const auto conflict : {core::LinkConflictPolicy::kDropLower,
+                              core::LinkConflictPolicy::kAllowBoth}) {
+    core::SimulatorOptions options;
+    options.link_conflict = conflict;
+    options.declaration_policy = core::DeclarationPolicy::kDeclareZero;
+    const core::SdNetwork gen = core::scenarios::generalize(sat, 4);
+    const auto report =
+        run_case(gen, options, std::make_unique<core::LggProtocol>());
+    table.add("link_conflict",
+              conflict == core::LinkConflictPolicy::kDropLower
+                  ? "drop_lower"
+                  : "allow_both",
+              "sat R=4", bench::verdict_cell(report), report.tail_mean,
+              report.max_state);
+  }
+  // (d) staleness
+  for (const int delay : {0, 1, 2, 4, 8, 16}) {
+    const auto report = run_case(
+        unsat, {}, std::make_unique<baselines::StaleLggProtocol>(delay));
+    table.add("staleness", std::to_string(delay) + " steps", "unsat",
+              bench::verdict_cell(report), report.tail_mean,
+              report.max_state);
+  }
+  table.print(std::cout);
+}
+
+void BM_StaleLggStep(benchmark::State& state) {
+  core::SimulatorOptions options;
+  core::Simulator sim(
+      core::scenarios::fat_path(4, 3, 1, 3), options,
+      std::make_unique<baselines::StaleLggProtocol>(
+          static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StaleLggStep)->Arg(0)->Arg(8);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

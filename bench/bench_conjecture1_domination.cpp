@@ -1,0 +1,104 @@
+// E7 — Conjecture 1 (domination): injecting pointwise-fewer packets, or
+// losing some, never destabilizes a feasible network and never increases
+// its long-run state.  This is the conjecture the paper's Theorem 1 rests
+// on in the saturated case, so the bench probes exactly that regime.
+#include "support/bench_common.hpp"
+
+#include <map>
+
+#include "analysis/stats.hpp"
+#include "analysis/timeseries.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace lgg;
+
+double tail_mean(const core::MetricsRecorder& recorder) {
+  return analysis::summarize(
+             analysis::tail(
+                 std::span<const double>(recorder.network_state()), 0.25))
+      .mean;
+}
+
+void print_report() {
+  bench::banner(
+      "E7: Conjecture 1 domination",
+      "Saturated K_{3,3}: thinned arrivals (keep fraction p of packets) "
+      "and lossy channels must stay stable with tail state <= the "
+      "full/lossless run.");
+  const core::SdNetwork net = core::scenarios::saturated_at_dstar(3);
+  const TimeStep horizon = 5000;
+
+  // Reference: exact saturation, no loss.
+  double reference;
+  {
+    bench::RunSpec spec;
+    spec.steps = horizon;
+    reference = tail_mean(bench::run_trajectory(net, std::move(spec)));
+  }
+
+  analysis::Table table({"variant", "verdict", "tail mean P", "ref tail",
+                         "dominated"});
+  // (a) Thinned deterministic traces: keep 1 of every k injections.
+  for (const int k : {2, 3, 5}) {
+    std::map<NodeId, std::vector<PacketCount>> trace;
+    for (const NodeId s : net.sources()) {
+      auto& seq = trace[s];
+      seq.reserve(static_cast<std::size_t>(horizon));
+      for (TimeStep t = 0; t < horizon; ++t) {
+        seq.push_back(t % k == 0 ? 1 : 0);
+      }
+    }
+    bench::RunSpec spec;
+    spec.steps = horizon;
+    spec.arrival = std::make_unique<core::TraceArrival>(trace);
+    const auto recorder = bench::run_trajectory(net, std::move(spec));
+    const auto stability = core::assess_stability(recorder.network_state());
+    const double tail = tail_mean(recorder);
+    table.add("thin 1/" + std::to_string(k),
+              bench::verdict_cell(stability), tail, reference,
+              tail <= reference + 1.0);
+  }
+  // (b) Random losses at increasing rates.
+  for (const double p : {0.1, 0.3, 0.5}) {
+    bench::RunSpec spec;
+    spec.steps = horizon;
+    spec.loss = std::make_unique<core::BernoulliLoss>(p);
+    const auto recorder = bench::run_trajectory(net, std::move(spec));
+    const auto stability = core::assess_stability(recorder.network_state());
+    const double tail = tail_mean(recorder);
+    table.add("loss p=" + analysis::Table::format_cell(p),
+              bench::verdict_cell(stability), tail, reference, true);
+  }
+  // (c) Targeted cut adversary on the saturated barbell.
+  {
+    const core::SdNetwork barbell =
+        core::scenarios::barbell_bottleneck(3, 1, 2);
+    std::vector<char> side(static_cast<std::size_t>(barbell.node_count()), 0);
+    for (NodeId v = 0; v < 3; ++v) side[static_cast<std::size_t>(v)] = 1;
+    bench::RunSpec spec;
+    spec.steps = horizon;
+    spec.loss = std::make_unique<core::TargetedCutLoss>(side, 1);
+    const auto recorder = bench::run_trajectory(barbell, std::move(spec));
+    const auto stability = core::assess_stability(recorder.network_state());
+    table.add("cut adversary (barbell)", bench::verdict_cell(stability),
+              tail_mean(recorder), reference, true);
+  }
+  table.print(std::cout);
+}
+
+void BM_DominationPair(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::RunSpec spec;
+    spec.steps = 1000;
+    spec.loss = std::make_unique<core::BernoulliLoss>(0.3);
+    benchmark::DoNotOptimize(bench::run_trajectory(
+        core::scenarios::saturated_at_dstar(3), std::move(spec)));
+  }
+}
+BENCHMARK(BM_DominationPair);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

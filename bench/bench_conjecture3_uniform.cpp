@@ -1,0 +1,108 @@
+// E9 — Conjecture 3: uniform random arrivals with mean strictly below the
+// minimum S-D-cut keep LGG stable w.h.p.; above the cut it diverges.
+// Replicated over seeds (in parallel) to estimate the stability
+// probability as the mean sweeps across the cut.
+#include "support/bench_common.hpp"
+
+#include <functional>
+
+#include "analysis/experiment.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace lgg;
+
+void print_report() {
+  bench::banner(
+      "E9: Conjecture 3 uniform arrivals",
+      "fat_path(4,x4), in = 2, f* = 4: uniform arrivals on [0, 2*m*2]; "
+      "mean/f* < 1 => stable w.h.p. (8 seeded replicates per point).");
+  analysis::Table table({"mean factor", "mean/f*", "stable", "diverging",
+                         "inconclusive", "matches conjecture"});
+  analysis::ThreadPool pool;
+  const core::SdNetwork net = core::scenarios::fat_path(4, 4, 2, 4);
+  const Cap fstar = core::analyze(net).fstar;
+  for (const double factor : {0.4, 0.8, 1.2, 1.6, 2.0, 2.4, 3.0}) {
+    const double mean_rate = factor * 2.0;  // in = 2
+    const auto verdicts = analysis::replicate<core::Verdict>(
+        pool, 8, 0xC0FFEE + static_cast<std::uint64_t>(factor * 100),
+        [&net, factor](std::uint64_t seed, std::size_t) {
+          bench::RunSpec spec;
+          spec.steps = 5000;
+          spec.seed = seed;
+          spec.arrival = std::make_unique<core::UniformArrival>(factor);
+          const auto recorder =
+              bench::run_trajectory(net, std::move(spec));
+          return core::assess_stability(recorder.network_state()).verdict;
+        });
+    int stable = 0, diverging = 0, inconclusive = 0;
+    for (const auto v : verdicts) {
+      if (v == core::Verdict::kStable) ++stable;
+      if (v == core::Verdict::kDiverging) ++diverging;
+      if (v == core::Verdict::kInconclusive) ++inconclusive;
+    }
+    const double load = mean_rate / static_cast<double>(fstar);
+    const bool matches = load < 0.95 ? diverging == 0
+                         : load > 1.05 ? stable == 0
+                                       : true;  // boundary: anything goes
+    table.add(factor, load, stable, diverging, inconclusive, matches);
+  }
+  table.print(std::cout);
+
+  // Distribution-robustness: the same threshold holds for Poisson and the
+  // heavier-tailed geometric arrivals — the conjecture's content is the
+  // mean-vs-cut comparison, not uniformity.
+  analysis::Table dist({"distribution", "mean/f*", "stable", "diverging",
+                        "inconclusive"});
+  const auto sweep_distribution =
+      [&](const char* label,
+          const std::function<std::unique_ptr<core::ArrivalProcess>(double)>&
+              make) {
+        for (const double factor : {0.8, 1.6, 2.4}) {
+          const auto verdicts = analysis::replicate<core::Verdict>(
+              pool, 6, 0xD15C + static_cast<std::uint64_t>(factor * 100),
+              [&net, &make, factor](std::uint64_t seed, std::size_t) {
+                bench::RunSpec spec;
+                spec.steps = 5000;
+                spec.seed = seed;
+                spec.arrival = make(factor);
+                const auto recorder =
+                    bench::run_trajectory(net, std::move(spec));
+                return core::assess_stability(recorder.network_state())
+                    .verdict;
+              });
+          int stable = 0, diverging = 0, inconclusive = 0;
+          for (const auto v : verdicts) {
+            if (v == core::Verdict::kStable) ++stable;
+            if (v == core::Verdict::kDiverging) ++diverging;
+            if (v == core::Verdict::kInconclusive) ++inconclusive;
+          }
+          dist.add(label, factor * 2.0 / static_cast<double>(fstar), stable,
+                   diverging, inconclusive);
+        }
+      };
+  sweep_distribution("poisson", [](double f) {
+    return std::make_unique<core::PoissonArrival>(f);
+  });
+  sweep_distribution("geometric", [](double f) {
+    return std::make_unique<core::GeometricArrival>(f);
+  });
+  std::printf("\n");
+  dist.print(std::cout);
+}
+
+void BM_UniformArrivalRun(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::RunSpec spec;
+    spec.steps = 1000;
+    spec.arrival = std::make_unique<core::UniformArrival>(0.8);
+    benchmark::DoNotOptimize(bench::run_trajectory(
+        core::scenarios::fat_path(4, 4, 2, 4), std::move(spec)));
+  }
+}
+BENCHMARK(BM_UniformArrivalRun);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

@@ -1,0 +1,72 @@
+// E10 — Conjecture 4: on a dynamic topology that keeps a feasible flow
+// alive at every instant (protected lanes), LGG remains stable; churn that
+// can sever feasibility degrades to divergence as outages dominate.
+#include "support/bench_common.hpp"
+
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace lgg;
+
+void print_report() {
+  bench::banner(
+      "E10: Conjecture 4 dynamic topology",
+      "fat_path(4,x3), in = 1: lane 0 of each hop protected (feasibility "
+      "preserved) under churn p; unprotected churn with p_on = 0 kills the "
+      "network.");
+  analysis::Table table({"dynamics", "p_off", "p_on", "verdict", "sup P_t",
+                         "delivered/injected"});
+  const core::SdNetwork net = core::scenarios::fat_path(4, 3, 1, 3);
+  std::vector<EdgeId> lane0;
+  for (EdgeId e = 0; e < net.topology().edge_count(); e += 3) {
+    lane0.push_back(e);
+  }
+  struct Case {
+    const char* label;
+    double p_off, p_on;
+    bool protect;
+  };
+  for (const Case c : {Case{"protected", 0.2, 0.2, true},
+                       Case{"protected", 0.5, 0.5, true},
+                       Case{"protected", 0.8, 0.2, true},
+                       Case{"unprotected", 0.2, 0.2, false},
+                       Case{"unprotected", 0.5, 0.05, false},
+                       Case{"outage", 1.0, 0.0, false}}) {
+    core::SimulatorOptions options;
+    options.seed = 77;
+    core::Simulator sim(net, options);
+    if (c.protect) {
+      sim.set_dynamics(
+          std::make_unique<core::ProtectedChurn>(lane0, c.p_off, c.p_on));
+    } else {
+      sim.set_dynamics(std::make_unique<core::RandomChurn>(c.p_off, c.p_on));
+    }
+    core::MetricsRecorder recorder;
+    sim.run(5000, &recorder);
+    const auto stability = core::assess_stability(recorder.network_state());
+    const double goodput =
+        sim.cumulative().injected > 0
+            ? static_cast<double>(sim.cumulative().extracted) /
+                  static_cast<double>(sim.cumulative().injected)
+            : 0.0;
+    table.add(c.label, c.p_off, c.p_on, bench::verdict_cell(stability),
+              stability.max_state, goodput);
+  }
+  table.print(std::cout);
+}
+
+void BM_ChurnStep(benchmark::State& state) {
+  core::SimulatorOptions options;
+  core::Simulator sim(core::scenarios::fat_path(4, 3, 1, 3), options);
+  sim.set_dynamics(std::make_unique<core::RandomChurn>(0.3, 0.3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChurnStep);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

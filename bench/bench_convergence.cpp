@@ -1,0 +1,57 @@
+// E21 — convergence time vs the feasibility margin.  Lemma 1's worst-case
+// constant Y ∝ 1/ε would allow transients and plateaus exploding as the
+// margin shrinks; the measurement shows the opposite transient trend
+// (arrival-limited: sparser injections build the staircase more slowly)
+// and only a mild plateau rise — the paper's constants are far from
+// tight, which is itself a reproducible finding.
+#include "support/bench_common.hpp"
+
+#include "core/convergence.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace lgg;
+
+void print_report() {
+  bench::banner(
+      "E21: transient length vs feasibility margin (Y ~ 1/eps probe)",
+      "fat_path(6,x4) at load = rate/f*: settle time of P_t and plateau "
+      "height as the margin shrinks.  Expected finding: transients are "
+      "arrival-limited (no 1/eps blow-up) and the plateau rises mildly — "
+      "Lemma 1's constants are loose.");
+  analysis::Table table({"load", "margin", "settle time", "plateau P",
+                         "verdict"});
+  const core::SdNetwork net = core::scenarios::fat_path(6, 4, 4, 4);
+  for (const double load : {0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    core::SimulatorOptions options;
+    options.seed = 12;
+    core::Simulator sim(net, options);
+    sim.set_arrival(std::make_unique<core::ScaledArrival>(load));
+    core::MetricsRecorder recorder;
+    sim.run(8000, &recorder);
+    const auto stability = core::assess_stability(recorder.network_state());
+    const auto settle = core::settle_time(recorder.network_state());
+    table.add(load, 1.0 - load,
+              settle.has_value() ? std::to_string(*settle) : "never",
+              core::plateau_level(recorder.network_state()),
+              bench::verdict_cell(stability));
+  }
+  table.print(std::cout);
+}
+
+void BM_SettleTimeScan(benchmark::State& state) {
+  core::SimulatorOptions options;
+  core::Simulator sim(core::scenarios::fat_path(6, 4, 4, 4), options);
+  sim.set_arrival(std::make_unique<core::ScaledArrival>(0.9));
+  core::MetricsRecorder recorder;
+  sim.run(2000, &recorder);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::settle_time(recorder.network_state()));
+  }
+}
+BENCHMARK(BM_SettleTimeScan);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

@@ -1,0 +1,130 @@
+// E13 — Fig. 3 and the Section V case split: where minimum cuts of G* sit
+// (only at s*, also at d*, or strictly inside G) over random instance
+// families — the trichotomy the induction of Theorem 2 branches on.
+#include "support/bench_common.hpp"
+
+#include "core/scenarios.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace lgg;
+
+struct Tally {
+  int feasible = 0;
+  int unsaturated = 0;
+  int at_source = 0;
+  int unique_at_source = 0;
+  int at_sink = 0;
+  int internal = 0;
+  int total = 0;
+};
+
+void tally_instance(const core::SdNetwork& net, Tally& tally) {
+  const auto report = core::analyze(net);
+  ++tally.total;
+  if (!report.feasible) return;
+  ++tally.feasible;
+  if (report.unsaturated) ++tally.unsaturated;
+  if (report.location.at_source) ++tally.at_source;
+  if (report.location.unique_at_source) ++tally.unique_at_source;
+  if (report.location.at_sink) ++tally.at_sink;
+  if (report.location.internal) ++tally.internal;
+}
+
+void print_report() {
+  bench::banner(
+      "E13: min-cut placement census (Fig. 3, Section V cases)",
+      "For each family, how often the min cut of G* sits at s* only "
+      "(case 1), also at d* (case 2), or strictly inside G (case 3); 24 "
+      "seeds per family.");
+  analysis::Table table({"family", "instances", "feasible", "unsaturated",
+                         "cut@s*", "unique@s*", "cut@d*", "internal"});
+
+  {  // Random multigraphs, light load.
+    Tally t;
+    for (std::uint64_t seed = 0; seed < 24; ++seed) {
+      graph::Multigraph g = graph::make_random_multigraph(12, 36, seed);
+      if (!graph::is_connected(g)) continue;
+      core::SdNetwork net(std::move(g));
+      net.set_source(0, 1);
+      net.set_sink(11, 2);
+      tally_instance(net, t);
+    }
+    table.add("random m=3n, in=1", t.total, t.feasible, t.unsaturated,
+              t.at_source, t.unique_at_source, t.at_sink, t.internal);
+  }
+  {  // Random multigraphs pushed to their max: rate = f*.
+    Tally t;
+    for (std::uint64_t seed = 0; seed < 24; ++seed) {
+      graph::Multigraph g = graph::make_random_multigraph(12, 36, seed);
+      if (!graph::is_connected(g)) continue;
+      core::SdNetwork probe(g);
+      probe.set_source(0, 1);
+      probe.set_sink(11, 2);
+      const Cap fstar = core::analyze(probe).fstar;
+      core::SdNetwork net(std::move(g));
+      net.set_source(0, fstar);
+      net.set_sink(11, fstar);
+      tally_instance(net, t);
+    }
+    table.add("random, in=f* (saturated)", t.total, t.feasible,
+              t.unsaturated, t.at_source, t.unique_at_source, t.at_sink,
+              t.internal);
+  }
+  {  // Barbells: guaranteed internal bottleneck.
+    Tally t;
+    for (NodeId k = 3; k < 27; ++k) {
+      tally_instance(core::scenarios::barbell_bottleneck(3 + (k % 4), 1, 2),
+                     t);
+    }
+    table.add("barbell, in=1", t.total, t.feasible, t.unsaturated,
+              t.at_source, t.unique_at_source, t.at_sink, t.internal);
+  }
+  {  // K_{a,a} with matched rates: saturated at both terminals.
+    Tally t;
+    for (NodeId a = 1; a <= 24; ++a) {
+      tally_instance(core::scenarios::saturated_at_dstar(1 + (a % 5)), t);
+    }
+    table.add("K_{a,a} matched rates", t.total, t.feasible, t.unsaturated,
+              t.at_source, t.unique_at_source, t.at_sink, t.internal);
+  }
+  {  // Hypercubes driven at their vertex connectivity (= d).
+    Tally t;
+    for (int d = 2; d <= 4; ++d) {
+      core::SdNetwork net(graph::make_hypercube(d));
+      net.set_source(0, d);
+      net.set_sink(static_cast<NodeId>((1 << d) - 1), d);
+      tally_instance(net, t);
+    }
+    table.add("hypercube, in=d", t.total, t.feasible, t.unsaturated,
+              t.at_source, t.unique_at_source, t.at_sink, t.internal);
+  }
+  {  // Circulant rings C_n(1,2) at half their cut.
+    Tally t;
+    for (NodeId n = 8; n <= 20; n += 4) {
+      core::SdNetwork net(graph::make_circulant(n, {1, 2}));
+      net.set_source(0, 2);
+      net.set_sink(n / 2, 4);
+      tally_instance(net, t);
+    }
+    table.add("circulant C_n(1,2), in=2", t.total, t.feasible,
+              t.unsaturated, t.at_source, t.unique_at_source, t.at_sink,
+              t.internal);
+  }
+  table.print(std::cout);
+}
+
+void BM_CutClassification(benchmark::State& state) {
+  const core::SdNetwork net = core::scenarios::random_unsaturated(
+      static_cast<NodeId>(state.range(0)),
+      static_cast<EdgeId>(3 * state.range(0)), 2, 2, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze(net));
+  }
+}
+BENCHMARK(BM_CutClassification)->Arg(12)->Arg(24)->Arg(48);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

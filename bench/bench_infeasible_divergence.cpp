@@ -1,0 +1,53 @@
+// E5 — Theorem 1, divergence direction: when Σ in(s) > f*, the number of
+// stored packets diverges for LGG and for every other protocol (the cut
+// argument is algorithm-independent), at a rate matching the cut excess.
+#include "support/bench_common.hpp"
+
+#include "baselines/protocol_registry.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace lgg;
+
+void print_report() {
+  bench::banner("E5: infeasible => divergence, any protocol",
+                "barbell(4) bottleneck (f* = 1) with overload factors; "
+                "growth rate of stored packets ~ (rate - f*) per step.");
+  analysis::Table table({"protocol", "rate", "f*", "verdict",
+                         "stored/step", "expected ~(rate-f*)"});
+  for (const Cap rate : {2, 3, 5}) {
+    const core::SdNetwork net =
+        core::scenarios::barbell_bottleneck(4, rate, rate);
+    const auto report = core::analyze(net);
+    for (const auto name : baselines::protocol_names()) {
+      bench::RunSpec spec;
+      spec.steps = 2500;
+      spec.protocol = baselines::make_protocol(name);
+      const auto recorder = bench::run_trajectory(net, std::move(spec));
+      const auto stability =
+          core::assess_stability(recorder.network_state());
+      const double per_step =
+          recorder.total_packets().back() / 2500.0;
+      table.add(std::string(name), rate, report.fstar,
+                bench::verdict_cell(stability), per_step,
+                static_cast<double>(rate - report.fstar));
+    }
+  }
+  table.print(std::cout);
+}
+
+void BM_DivergentRun(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SimulatorOptions options;
+    core::Simulator sim(core::scenarios::barbell_bottleneck(4, 3, 3),
+                        options);
+    sim.run(1000);
+    benchmark::DoNotOptimize(sim.total_packets());
+  }
+}
+BENCHMARK(BM_DivergentRun);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

@@ -1,0 +1,66 @@
+// E4 — Lemma 1 / Theorem 1 (unsaturated case): sup_t P_t is bounded, and
+// bounded by n Y² + 5 n Δ².  Sweep of the arrival-rate scaling factor
+// (load = rate / f*): everything strictly below 1 is stable, and the
+// steady state grows as the margin ε shrinks.
+#include "support/bench_common.hpp"
+
+#include "analysis/stats.hpp"
+#include "analysis/timeseries.hpp"
+#include "core/bounds.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace lgg;
+
+void print_report() {
+  bench::banner("E4: Lemma 1 stability region sweep",
+                "LGG on fat_path(4,x4) with arrival scaling in (0,1]: "
+                "stable whenever load < 1, sup P_t far below the n Y^2 "
+                "worst case; the crossover sits exactly at load = 1.");
+  analysis::Table table({"load (rate/f*)", "verdict", "sup P_t", "tail mean",
+                         "lemma1 bound", "within"});
+  // fat_path(4, x4) with in = 4: rate = f* = 4; ScaledArrival(f) gives
+  // effective load f.
+  const core::SdNetwork net = core::scenarios::fat_path(4, 4, 4, 4);
+  for (const double load :
+       {0.25, 0.5, 0.75, 0.9, 0.95, 1.0, 1.1, 1.25}) {
+    bench::RunSpec spec;
+    spec.steps = 6000;
+    spec.arrival = std::make_unique<core::ScaledArrival>(load);
+    const auto recorder = bench::run_trajectory(net, std::move(spec));
+    const auto stability = core::assess_stability(recorder.network_state());
+    // The Lemma-1 bound needs the *effective* unsaturated instance: scale
+    // the declared rate down to the load actually injected.
+    std::string bound_cell = "-";
+    std::string within_cell = "-";
+    if (load < 1.0) {
+      core::SdNetwork effective = core::scenarios::fat_path(
+          4, 4, std::max<Cap>(1, static_cast<Cap>(load * 4)), 4);
+      const auto report = core::analyze(effective);
+      if (report.unsaturated) {
+        const auto bounds = core::unsaturated_bounds(effective, report);
+        bound_cell = analysis::Table::format_cell(bounds.state);
+        within_cell =
+            stability.max_state <= bounds.state ? "yes" : "NO";
+      }
+    }
+    table.add(load, bench::verdict_cell(stability), stability.max_state,
+              stability.tail_mean, bound_cell, within_cell);
+  }
+  table.print(std::cout);
+}
+
+void BM_LongRunUnsaturated(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SimulatorOptions options;
+    core::Simulator sim(core::scenarios::fat_path(4, 4, 2, 4), options);
+    sim.run(2000);
+    benchmark::DoNotOptimize(sim.network_state());
+  }
+}
+BENCHMARK(BM_LongRunUnsaturated);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

@@ -1,0 +1,86 @@
+// E15 — engineering throughput: simulator steps/second vs network size and
+// degree, flow-solver speed on G*, and thread-pool replication scaling.
+#include "support/bench_common.hpp"
+
+#include "analysis/experiment.hpp"
+#include "flow/max_flow.hpp"
+#include "core/scenarios.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace lgg;
+
+void print_report() {
+  bench::banner("E15: core throughput",
+                "Engineering numbers only — see the google-benchmark "
+                "section below for steps/sec, solver times, and parallel "
+                "replication scaling.");
+}
+
+void BM_SimStepBySize(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  core::SimulatorOptions options;
+  core::Simulator sim(
+      core::scenarios::random_unsaturated(n, static_cast<EdgeId>(4 * n), 2,
+                                          2, 5),
+      options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimStepBySize)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SimStepByDegree(benchmark::State& state) {
+  const auto mult = static_cast<int>(state.range(0));
+  core::SimulatorOptions options;
+  core::Simulator sim(
+      core::scenarios::fat_path(16, mult, mult / 2 + 1,
+                                static_cast<Cap>(mult)),
+      options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimStepByDegree)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MaxFlowSolvers(benchmark::State& state) {
+  const auto algo = static_cast<flow::FlowAlgorithm>(state.range(0));
+  const core::SdNetwork net = core::scenarios::random_unsaturated(
+      64, 256, 3, 3, 7);
+  const auto sources = net.source_rates();
+  const auto sinks = net.sink_rates();
+  for (auto _ : state) {
+    flow::ExtendedGraph ext =
+        flow::build_extended_graph(net.topology(), sources, sinks);
+    benchmark::DoNotOptimize(
+        flow::solve_max_flow(ext.net, ext.s_star, ext.d_star, algo));
+  }
+  state.SetLabel(std::string(flow::algorithm_name(algo)));
+}
+BENCHMARK(BM_MaxFlowSolvers)->DenseRange(0, 3);
+
+void BM_ParallelReplication(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  analysis::ThreadPool pool(threads);
+  const core::SdNetwork net = core::scenarios::fat_path(4, 3, 1, 3);
+  for (auto _ : state) {
+    const auto results = analysis::replicate<double>(
+        pool, 16, 99, [&net](std::uint64_t seed, std::size_t) {
+          core::SimulatorOptions options;
+          options.seed = seed;
+          core::Simulator sim(net, options);
+          sim.run(500);
+          return sim.network_state();
+        });
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ParallelReplication)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

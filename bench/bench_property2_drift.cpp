@@ -1,0 +1,72 @@
+// E3 — Property 2: once the network state is large, it strictly decreases.
+// From hugely inflated initial queues the measured per-step drift is
+// negative and far below −5nΔ² (the paper's drift constant).
+#include "support/bench_common.hpp"
+
+#include "analysis/stats.hpp"
+#include "core/bounds.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace lgg;
+
+void print_report() {
+  bench::banner("E3: Property 2 negative drift",
+                "From inflated queues (q0 = Q), the drift of P_t while the "
+                "state is large must be < -5 n Delta^2.");
+  analysis::Table table({"instance", "Q", "5nD^2", "steps observed",
+                         "worst (least-neg) drift", "mean drift", "holds"});
+  struct Case {
+    const char* label;
+    core::SdNetwork net;
+    PacketCount inflated;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fat_path(3,x3)", core::scenarios::fat_path(3, 3, 1, 3),
+                   200000});
+  cases.push_back({"fat_path(5,x4)", core::scenarios::fat_path(5, 4, 2, 4),
+                   200000});
+  cases.push_back({"grid_single(3,4)", core::scenarios::grid_single(3, 4),
+                   100000});
+  for (auto& c : cases) {
+    const auto bounds = core::unsaturated_bounds(c.net, core::analyze(c.net));
+    core::SimulatorOptions options;
+    options.seed = 9;
+    core::Simulator sim(c.net, options);
+    sim.set_initial_queue(0, c.inflated);
+    core::MetricsRecorder recorder;
+    sim.run(300, &recorder);
+    // Only steps where the state is still enormous count for Property 2.
+    const auto& state = recorder.network_state();
+    double worst = -1e300;
+    double sum = 0;
+    int counted = 0;
+    for (std::size_t t = 21; t < state.size(); ++t) {
+      if (state[t - 1] < 1e8) break;
+      const double drift = state[t] - state[t - 1];
+      worst = std::max(worst, drift);
+      sum += drift;
+      ++counted;
+    }
+    table.add(c.label, c.inflated, bounds.growth, counted, worst,
+              counted ? sum / counted : 0.0,
+              counted > 0 && worst < -bounds.growth);
+  }
+  table.print(std::cout);
+}
+
+void BM_DrainInflatedQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SimulatorOptions options;
+    core::Simulator sim(core::scenarios::fat_path(3, 3, 1, 3), options);
+    sim.set_initial_queue(0, 10000);
+    sim.run(200);
+    benchmark::DoNotOptimize(sim.total_packets());
+  }
+}
+BENCHMARK(BM_DrainInflatedQueue);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

@@ -1,0 +1,73 @@
+// E14 — the comparator implicit in the proofs: LGG vs the max-flow path
+// router ("the optimal method" of Eq. 4), backpressure, hot potato, and
+// random walk, on unsaturated and saturated workloads.  Expected shape:
+// flow routing and LGG both stable with LGG carrying a moderate gradient
+// plateau; hot potato piles onto bottlenecks; random walk delivers least.
+#include "support/bench_common.hpp"
+
+#include "analysis/stats.hpp"
+#include "analysis/timeseries.hpp"
+#include "baselines/protocol_registry.hpp"
+#include "core/latency.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace lgg;
+
+void compare_on(const char* workload, const core::SdNetwork& net,
+                TimeStep steps, analysis::Table& table) {
+  for (const auto name : baselines::protocol_names()) {
+    core::SimulatorOptions options;
+    options.seed = 33;
+    core::Simulator sim(net, options, baselines::make_protocol(name));
+    core::LatencyTracker latency_tracker;
+    sim.set_observer(&latency_tracker);
+    core::MetricsRecorder recorder;
+    sim.run(steps, &recorder);
+    const auto stability = core::assess_stability(recorder.network_state());
+    const auto& totals = sim.cumulative();
+    const double goodput =
+        totals.injected > 0 ? static_cast<double>(totals.extracted) /
+                                  static_cast<double>(totals.injected)
+                            : 0.0;
+    const core::LatencyStats latency = latency_tracker.stats();
+    table.add(workload, std::string(name), bench::verdict_cell(stability),
+              stability.tail_mean, goodput, latency.mean, latency.p95);
+  }
+}
+
+void print_report() {
+  bench::banner(
+      "E14: LGG vs baselines",
+      "Verdict, tail P_t, goodput (extracted/injected) and measured FIFO "
+      "packet latency per protocol.  flow_routing is the paper's optimal "
+      "comparator.");
+  analysis::Table table({"workload", "protocol", "verdict", "tail P_t",
+                         "goodput", "mean latency", "p95 latency"});
+  compare_on("unsaturated fat_path(5,x3) in=2",
+             core::scenarios::fat_path(5, 3, 2, 3), 4000, table);
+  compare_on("saturated K_{3,3}", core::scenarios::saturated_at_dstar(3),
+             4000, table);
+  compare_on("saturated barbell(3)",
+             core::scenarios::barbell_bottleneck(3, 1, 2), 4000, table);
+  table.print(std::cout);
+}
+
+void BM_ProtocolStep(benchmark::State& state) {
+  const auto names = baselines::protocol_names();
+  const auto name = names[static_cast<std::size_t>(state.range(0))];
+  core::SimulatorOptions options;
+  core::Simulator sim(core::scenarios::fat_path(5, 3, 2, 3), options,
+                      baselines::make_protocol(name));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetLabel(std::string(name));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProtocolStep)->DenseRange(0, 5);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

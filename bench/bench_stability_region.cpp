@@ -1,0 +1,83 @@
+// E19 — the stability region measured directly: bisect the critical load
+// λ* (largest arrival scaling with bounded state) per protocol and per
+// interference model.  Theorem 1 predicts λ* = 1 (load is normalized to
+// f*) for LGG on any feasible instance; interference shrinks it; inferior
+// protocols may shrink it too — that ordering is the "who wins" shape.
+#include "support/bench_common.hpp"
+
+#include "baselines/protocol_registry.hpp"
+#include "core/region.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace lgg;
+
+core::LoadProbe make_probe(const core::SdNetwork& net,
+                           std::string protocol, bool matching,
+                           TimeStep steps) {
+  return [&net, protocol = std::move(protocol), matching,
+          steps](double load, std::uint64_t seed) {
+    core::SimulatorOptions options;
+    options.seed = seed;
+    core::Simulator sim(net, options, baselines::make_protocol(protocol));
+    sim.set_arrival(std::make_unique<core::ScaledArrival>(load));
+    if (matching) {
+      sim.set_scheduler(std::make_unique<core::GreedyMatchingScheduler>());
+    }
+    core::MetricsRecorder recorder;
+    sim.run(steps, &recorder);
+    return core::assess_stability(recorder.network_state()).verdict;
+  };
+}
+
+void print_report() {
+  bench::banner(
+      "E19: measured stability regions (critical load)",
+      "Bisected lambda* per protocol; arrival rates are scaled so load = 1 "
+      "means rate = f*.  Theorem 1: LGG reaches 1.0; node-exclusive "
+      "matching halves the chain; hot potato collapses on K_{3,3}.");
+  analysis::Table table(
+      {"instance", "protocol", "interference", "critical load"});
+  core::RegionOptions options;
+  options.tolerance = 1.0 / 32.0;
+  options.replicates = 1;
+
+  const core::SdNetwork fat = core::scenarios::fat_path(4, 3, 3, 3);
+  for (const auto* name : {"lgg", "flow_routing", "backpressure",
+                           "hot_potato", "random_walk"}) {
+    table.add("fat_path(4,x3) in=f*", name, "none",
+              core::critical_load(make_probe(fat, name, false, 2500),
+                                  options));
+  }
+  const core::SdNetwork kaa = core::scenarios::saturated_at_dstar(3);
+  for (const auto* name : {"lgg", "hot_potato"}) {
+    table.add("K_{3,3} in=f*", name, "none",
+              core::critical_load(make_probe(kaa, name, false, 2500),
+                                  options));
+  }
+  const core::SdNetwork chain = core::scenarios::single_path(4, 1, 1);
+  table.add("chain(4)", "lgg", "none",
+            core::critical_load(make_probe(chain, "lgg", false, 2500),
+                                options));
+  table.add("chain(4)", "lgg", "matching",
+            core::critical_load(make_probe(chain, "lgg", true, 2500),
+                                options));
+  table.print(std::cout);
+}
+
+void BM_CriticalLoadBisection(benchmark::State& state) {
+  const core::SdNetwork net = core::scenarios::fat_path(3, 2, 2, 2);
+  core::RegionOptions options;
+  options.tolerance = 1.0 / 8.0;
+  options.replicates = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::critical_load(make_probe(net, "lgg", false, 600), options));
+  }
+}
+BENCHMARK(BM_CriticalLoadBisection);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

@@ -1,0 +1,58 @@
+// Adversarial traffic scenario (Conjectures 1 and 2): a bursty source that
+// momentarily exceeds the network's maximum flow plus an adversary that
+// kills the most useful transmissions — LGG absorbs both as long as the
+// long-run arrival rate stays feasible.
+//
+//   $ ./adversarial_burst
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "core/scenarios.hpp"
+#include "core/simulator.hpp"
+#include "core/stability.hpp"
+
+int main() {
+  using namespace lgg;
+  // f* = 3 lanes; base rate in = 3.
+  const core::SdNetwork net = core::scenarios::fat_path(5, 3, 3, 3);
+  std::printf("network: %s\n\n",
+              core::describe(net, core::analyze(net)).c_str());
+
+  analysis::Table table({"burst high", "burst len/period", "adversary",
+                         "avg load", "verdict", "sup P_t"});
+  struct Case {
+    double high;
+    TimeStep len;
+    TimeStep period;
+    int adversary_budget;
+  };
+  for (const Case c : {Case{2.0, 1, 4, 0}, Case{2.0, 2, 4, 0},
+                       Case{2.0, 2, 4, 1}, Case{3.0, 1, 4, 1},
+                       Case{2.0, 3, 4, 0}, Case{2.0, 4, 4, 0}}) {
+    core::SimulatorOptions options;
+    options.seed = 1789;
+    core::Simulator sim(net, options);
+    core::BurstArrival probe(c.high, 0.0, c.len, c.period);
+    sim.set_arrival(
+        std::make_unique<core::BurstArrival>(c.high, 0.0, c.len, c.period));
+    if (c.adversary_budget > 0) {
+      sim.set_loss(
+          std::make_unique<core::MaxGradientLoss>(c.adversary_budget));
+    }
+    core::MetricsRecorder recorder;
+    sim.run(5000, &recorder);
+    const auto stability = core::assess_stability(recorder.network_state());
+    table.add(c.high,
+              std::to_string(c.len) + "/" + std::to_string(c.period),
+              c.adversary_budget, probe.average_factor(),
+              std::string(core::to_string(stability.verdict)),
+              stability.max_state);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: bursts above f* are fine while the average load stays "
+      "<= 1 (Conjecture 2);\nthe gradient adversary only removes packets, "
+      "which never destabilizes a feasible network (Conjecture 1).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Sensor-field scenario: a grid of sensor nodes streams measurements to
+// gateway nodes on one edge of the field — the "autonomic networking"
+// motivation of the paper's introduction.  Compares LGG with the
+// max-flow comparator and shortest-path forwarding, with random packet
+// losses, and prints a per-protocol summary table.
+//
+//   $ ./sensor_grid [rows cols]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/histogram.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "analysis/timeseries.hpp"
+#include "baselines/protocol_registry.hpp"
+#include "core/scenarios.hpp"
+#include "core/simulator.hpp"
+#include "core/stability.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lgg;
+  const NodeId rows = argc > 1 ? std::atoi(argv[1]) : 4;
+  const NodeId cols = argc > 2 ? std::atoi(argv[2]) : 6;
+  const TimeStep horizon = 4000;
+
+  // One aggregation point mid-field feeding gateways on the right edge.
+  const core::SdNetwork net = core::scenarios::grid_single(rows, cols,
+                                                           /*in=*/1,
+                                                           /*out=*/2);
+  const auto report = core::analyze(net);
+  std::printf("sensor field %dx%d: %s\n\n", rows, cols,
+              core::describe(net, report).c_str());
+
+  analysis::Table table({"protocol", "verdict", "tail P_t", "max queue",
+                         "goodput", "lost"});
+  for (const auto name :
+       {"lgg", "flow_routing", "hot_potato", "random_walk"}) {
+    core::SimulatorOptions options;
+    options.seed = 404;
+    core::Simulator sim(net, options, baselines::make_protocol(name));
+    sim.set_loss(std::make_unique<core::BernoulliLoss>(0.05));  // radio loss
+    core::MetricsRecorder recorder;
+    sim.run(horizon, &recorder);
+    const auto stability = core::assess_stability(recorder.network_state());
+    table.add(std::string(name),
+              std::string(core::to_string(stability.verdict)),
+              stability.tail_mean,
+              analysis::tail_max(recorder.max_queue(), 0.25),
+              static_cast<double>(sim.cumulative().extracted) /
+                  static_cast<double>(sim.cumulative().injected),
+              static_cast<std::int64_t>(sim.cumulative().lost));
+  }
+  table.print(std::cout);
+
+  // Queue-length distribution under LGG: the gradient spreads packets
+  // thinly over the whole field instead of piling them anywhere.
+  {
+    core::SimulatorOptions options;
+    options.seed = 404;
+    core::Simulator sim(net, options);
+    sim.set_loss(std::make_unique<core::BernoulliLoss>(0.05));
+    sim.run(horizon);
+    analysis::Histogram hist(0.0, 8.0, 8);
+    for (const PacketCount q : sim.queues()) {
+      hist.add(static_cast<double>(q));
+    }
+    std::printf("\nLGG steady-state queue-length distribution:\n%s",
+                hist.to_string(30).c_str());
+  }
+  std::printf(
+      "\nReading: LGG spreads load across the grid (bounded tail P_t even "
+      "with losses);\nhot potato funnels everything onto the shortest rows; "
+      "random walk wastes capacity.\n");
+  return 0;
+}

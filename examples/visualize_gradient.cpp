@@ -1,0 +1,53 @@
+// Renders the LGG gradient field as Graphviz DOT files: snapshots of the
+// queue landscape on a grid at several times.  Feed the output to
+// `dot -Tpng` to watch the gradient establish itself.
+//
+//   $ ./visualize_gradient out_dir
+//   $ dot -Tpng out_dir/step_0200.dot -o step_0200.png
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/scenarios.hpp"
+#include "core/simulator.hpp"
+#include "graph/dot_export.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lgg;
+  const std::string out_dir = argc > 1 ? argv[1] : "gradient_frames";
+  std::filesystem::create_directories(out_dir);
+
+  const core::SdNetwork net = core::scenarios::grid_single(4, 7, 1, 2);
+  core::SimulatorOptions options;
+  options.seed = 7;
+  core::Simulator sim(net, options);
+
+  const std::vector<NodeId> sources = net.sources();
+  const std::vector<NodeId> sinks = net.sinks();
+  int frames = 0;
+  for (const TimeStep checkpoint : {0, 5, 20, 80, 200, 1000}) {
+    while (sim.now() < checkpoint) sim.step();
+    const std::vector<std::int64_t> queues(sim.queues().begin(),
+                                           sim.queues().end());
+    graph::DotOptions dot;
+    dot.intensity = queues;
+    dot.emphasized = sources;
+    dot.boxed = sinks;
+    dot.graph_name = "lgg_t" + std::to_string(checkpoint);
+    char name[64];
+    std::snprintf(name, sizeof name, "/step_%04lld.dot",
+                  static_cast<long long>(checkpoint));
+    std::ofstream file(out_dir + name);
+    graph::write_dot(file, net.topology(), dot);
+    ++frames;
+  }
+  std::printf("wrote %d DOT frames to %s/ (render with `dot -Tpng`)\n",
+              frames, out_dir.c_str());
+  std::printf("final state: P_t = %.1f, max queue = %lld — the darkest "
+              "cells sit by the source,\nshading down toward the boxed "
+              "sinks: the greedy gradient in picture form.\n",
+              sim.network_state(),
+              static_cast<long long>(sim.max_queue()));
+  return 0;
+}

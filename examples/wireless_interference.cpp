@@ -1,0 +1,54 @@
+// Wireless scenario (Conjecture 5): node-exclusive interference — a node
+// can take part in at most one transmission per step, so each step's fired
+// set must be a matching.  Sweeps the injected load under the exact
+// (oracle) and greedy matching schedulers and prints where the stability
+// frontier sits for each.
+//
+//   $ ./wireless_interference
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "core/scenarios.hpp"
+#include "core/simulator.hpp"
+#include "core/stability.hpp"
+
+int main() {
+  using namespace lgg;
+  // A relay chain: the canonical interference-limited topology.  Without
+  // interference a unit chain sustains load 1; under matching constraints
+  // the middle link fires only every other step, halving the region.
+  const core::SdNetwork net = core::scenarios::single_path(5, 1, 1);
+  std::printf("relay chain: %s\n\n",
+              core::describe(net, core::analyze(net)).c_str());
+
+  analysis::Table table(
+      {"scheduler", "load", "verdict", "tail P_t", "suppressed/step"});
+  for (const bool oracle : {true, false}) {
+    for (const double load : {0.2, 0.3, 0.4, 0.45, 0.6, 0.8, 1.0}) {
+      core::SimulatorOptions options;
+      options.seed = 808;
+      core::Simulator sim(net, options);
+      sim.set_arrival(std::make_unique<core::ScaledArrival>(load));
+      if (oracle) {
+        sim.set_scheduler(std::make_unique<core::ExactMatchingScheduler>());
+      } else {
+        sim.set_scheduler(std::make_unique<core::GreedyMatchingScheduler>());
+      }
+      core::MetricsRecorder recorder;
+      sim.run(5000, &recorder);
+      const auto stability =
+          core::assess_stability(recorder.network_state());
+      table.add(oracle ? "oracle (exact matching)" : "greedy matching",
+                load, std::string(core::to_string(stability.verdict)),
+                stability.tail_mean,
+                static_cast<double>(sim.cumulative().suppressed) / 5000.0);
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: the matching constraint shrinks the stable region to "
+      "roughly load < 1/2 on a chain;\nthe oracle and the greedy scheduler "
+      "agree here because chain matchings are easy (Conjecture 5).\n");
+  return 0;
+}

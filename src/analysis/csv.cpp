@@ -1,0 +1,48 @@
+#include "analysis/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace lgg::analysis {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) *os_ << ',';
+    *os_ << csv_escape(f);
+    first = false;
+  }
+  *os_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+  std::vector<std::string> copy;
+  copy.reserve(fields.size());
+  for (const auto f : fields) copy.emplace_back(f);
+  write_row(copy);
+}
+
+std::string CsvWriter::format_value(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace lgg::analysis

@@ -1,0 +1,50 @@
+// Minimal RFC-4180-style CSV writer for experiment outputs.
+#pragma once
+
+#include <iosfwd>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lgg::analysis {
+
+/// Quotes a field if it contains a comma, quote, or newline.
+std::string csv_escape(std::string_view field);
+
+class CsvWriter {
+ public:
+  /// Does not own the stream; it must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string_view> fields);
+
+  /// Convenience: formats arithmetic values with max round-trip precision.
+  template <typename... Ts>
+  void write_values(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(format_value(values)), ...);
+    write_row(fields);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string format_value(const std::string& v) { return v; }
+  static std::string format_value(const char* v) { return v; }
+  static std::string format_value(std::string_view v) {
+    return std::string(v);
+  }
+  static std::string format_value(double v);
+  template <typename T>
+  static std::string format_value(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::ostream* os_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace lgg::analysis

@@ -1,0 +1,46 @@
+// Replicated-experiment runner: N independent seeded replicates fanned out
+// over a thread pool, results collected in replicate order regardless of
+// scheduling.  The per-replicate seed is derived from the master seed, so a
+// sweep is reproducible from a single integer and independent of the thread
+// count.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/thread_pool.hpp"
+#include "common/rng.hpp"
+
+namespace lgg::analysis {
+
+/// Runs `run(seed_k, k)` for k in [0, replicates); seed_k is derived from
+/// `master_seed`.  Results are returned indexed by k.
+template <typename Result>
+std::vector<Result> replicate(ThreadPool& pool, std::size_t replicates,
+                              std::uint64_t master_seed,
+                              const std::function<Result(std::uint64_t,
+                                                         std::size_t)>& run) {
+  std::vector<Result> results(replicates);
+  parallel_for(pool, replicates, [&](std::size_t k) {
+    results[k] = run(derive_seed(master_seed, k), k);
+  });
+  return results;
+}
+
+/// Wall-clock stopwatch for bench reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lgg::analysis

@@ -1,0 +1,63 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace lgg::analysis {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  LGG_REQUIRE(lo < hi, "Histogram: lo < hi");
+  LGG_REQUIRE(bins >= 1, "Histogram: bins >= 1");
+}
+
+void Histogram::add(double value) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (const double v : values) add(v);
+}
+
+std::int64_t Histogram::count(std::size_t bin) const {
+  LGG_REQUIRE(bin < counts_.size(), "Histogram: bad bin");
+  return counts_[bin];
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  LGG_REQUIRE(bin < counts_.size(), "Histogram: bad bin");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + width * static_cast<double>(bin),
+          lo_ + width * static_cast<double>(bin + 1)};
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string(int max_width) const {
+  LGG_REQUIRE(max_width >= 1, "Histogram: max_width >= 1");
+  std::int64_t peak = 1;
+  for (const std::int64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto [lo, hi] = bin_range(b);
+    const auto bar = static_cast<int>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        max_width);
+    os << '[' << lo << ", " << hi << "): " << std::string(bar, '#') << ' '
+       << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lgg::analysis

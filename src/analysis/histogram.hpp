@@ -1,0 +1,37 @@
+// Fixed-bin histogram for queue-length and latency distributions.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lgg::analysis {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi); values outside are clamped to
+  /// the first/last bin.  Requires lo < hi, bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::int64_t count(std::size_t bin) const;
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  /// [lower, upper) bounds of a bin.
+  [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const;
+  /// Fraction of mass in the bin (0 when empty).
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Compact ASCII rendering ("[0, 2): ###### 42"), for bench output.
+  [[nodiscard]] std::string to_string(int max_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace lgg::analysis

@@ -1,0 +1,83 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace lgg::analysis {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs.front();
+  s.max = xs.front();
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (const double x : xs) {
+    const double d = x - s.mean;
+    ss += d * d;
+  }
+  s.variance = ss / static_cast<double>(xs.size());
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  LGG_REQUIRE(!xs.empty(), "quantile: empty sample");
+  LGG_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  LGG_REQUIRE(xs.size() == ys.size(), "fit_line: size mismatch");
+  LGG_REQUIRE(xs.size() >= 2, "fit_line: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit fit_line_indexed(std::span<const double> ys) {
+  std::vector<double> xs(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  return fit_line(xs, ys);
+}
+
+}  // namespace lgg::analysis

@@ -1,0 +1,52 @@
+// Descriptive statistics and least-squares helpers used by the stability
+// detector and the experiment harness.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lgg::analysis {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // population variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summary of a sample; all-zero summary for an empty span.
+Summary summarize(std::span<const double> xs);
+
+/// q-quantile (0 <= q <= 1) by linear interpolation on the sorted sample.
+/// Requires a non-empty sample.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination; 1 for a perfect fit, 0 when the fit
+  /// explains nothing (or the sample is degenerate).
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares of y against x.  Requires xs.size() == ys.size()
+/// and at least two points.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Least squares of ys against their indices 0, 1, 2, ...
+LinearFit fit_line_indexed(std::span<const double> ys);
+
+/// Converts any arithmetic sequence to double for the routines above.
+template <typename T>
+std::vector<double> to_doubles(std::span<const T> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const T& x : xs) out.push_back(static_cast<double>(x));
+  return out;
+}
+
+}  // namespace lgg::analysis

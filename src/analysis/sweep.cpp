@@ -1,0 +1,61 @@
+#include "analysis/sweep.hpp"
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace lgg::analysis {
+
+Sweep& Sweep::add_range(double lo, double hi, int count) {
+  LGG_REQUIRE(count >= 1, "add_range: count >= 1");
+  LGG_REQUIRE(lo <= hi, "add_range: lo <= hi");
+  for (int i = 0; i < count; ++i) {
+    const double p =
+        count == 1 ? lo
+                   : lo + (hi - lo) * static_cast<double>(i) /
+                         static_cast<double>(count - 1);
+    add_point(Table::format_cell(p), p);
+  }
+  return *this;
+}
+
+std::vector<SweepRow> Sweep::run(ThreadPool& pool, int replicates,
+                                 std::uint64_t master_seed,
+                                 const Measure& measure) const {
+  LGG_REQUIRE(replicates >= 1, "Sweep::run: replicates >= 1");
+  LGG_REQUIRE(static_cast<bool>(measure), "Sweep::run: empty measure");
+  std::vector<SweepRow> rows(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    rows[i].point = points_[i];
+    rows[i].samples.resize(static_cast<std::size_t>(replicates));
+  }
+  // Flatten (point, replicate) into one parallel index space so small
+  // sweeps still use every worker.
+  const std::size_t total =
+      points_.size() * static_cast<std::size_t>(replicates);
+  parallel_for(pool, total, [&](std::size_t flat) {
+    const std::size_t p = flat / static_cast<std::size_t>(replicates);
+    const std::size_t k = flat % static_cast<std::size_t>(replicates);
+    const std::uint64_t seed =
+        derive_seed(master_seed, static_cast<std::uint64_t>(flat));
+    rows[p].samples[k] = measure(points_[p].parameter, seed);
+  });
+  for (auto& row : rows) {
+    row.summary = summarize(row.samples);
+  }
+  return rows;
+}
+
+Table rows_to_table(const std::vector<SweepRow>& rows,
+                    const std::string& parameter_header,
+                    const std::string& value_header) {
+  Table table({parameter_header, value_header + " mean",
+               value_header + " stddev", "min", "max", "replicates"});
+  for (const SweepRow& row : rows) {
+    table.add(row.point.label, row.summary.mean, row.summary.stddev,
+              row.summary.min, row.summary.max,
+              static_cast<std::int64_t>(row.summary.count));
+  }
+  return table;
+}
+
+}  // namespace lgg::analysis

@@ -1,0 +1,69 @@
+// Declarative parameter sweeps with parallel seeded replication.
+//
+// A Sweep maps a list of points (label + double parameter) through a
+// replicated measurement and aggregates each point's samples into summary
+// statistics, fanning replicates out over a thread pool with the
+// derive_seed discipline — the pattern every experiment in bench/ follows,
+// packaged for downstream users:
+//
+//   analysis::Sweep sweep;
+//   sweep.add_point("load 0.5", 0.5).add_point("load 0.9", 0.9);
+//   const auto rows = sweep.run(pool, 8, master_seed,
+//       [&](double load, std::uint64_t seed) { return measure(load, seed); });
+//   analysis::Table table = rows_to_table(rows, "load", "P_t");
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+
+namespace lgg::analysis {
+
+struct SweepPoint {
+  std::string label;
+  double parameter = 0.0;
+};
+
+struct SweepRow {
+  SweepPoint point;
+  Summary summary;                 ///< across replicates
+  std::vector<double> samples;     ///< raw replicate measurements
+};
+
+class Sweep {
+ public:
+  Sweep& add_point(std::string label, double parameter) {
+    points_.push_back({std::move(label), parameter});
+    return *this;
+  }
+
+  /// Adds `count` evenly spaced points over [lo, hi] labelled by value.
+  Sweep& add_range(double lo, double hi, int count);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// One measurement of the system at `parameter` with `seed`.
+  using Measure = std::function<double(double parameter, std::uint64_t seed)>;
+
+  /// Runs `replicates` seeded measurements per point, parallel across the
+  /// pool.  Rows are returned in point order; replication is reproducible
+  /// from `master_seed` and independent of the pool width.
+  std::vector<SweepRow> run(ThreadPool& pool, int replicates,
+                            std::uint64_t master_seed,
+                            const Measure& measure) const;
+
+ private:
+  std::vector<SweepPoint> points_;
+};
+
+/// Renders sweep rows as a console table (label, mean, stddev, min, max).
+Table rows_to_table(const std::vector<SweepRow>& rows,
+                    const std::string& parameter_header,
+                    const std::string& value_header);
+
+}  // namespace lgg::analysis

@@ -1,0 +1,73 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace lgg::analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  LGG_REQUIRE(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LGG_REQUIRE(cells.size() == headers_.size(),
+              "Table: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(double v) {
+  std::ostringstream os;
+  if (v == 0.0 || (std::abs(v) >= 1e-3 && std::abs(v) < 1e7)) {
+    os << std::fixed << std::setprecision(4) << v;
+    std::string s = os.str();
+    // Trim trailing zeros but keep at least one decimal digit.
+    while (s.size() > 1 && s.back() == '0' &&
+           s[s.size() - 2] != '.') {
+      s.pop_back();
+    }
+    return s;
+  }
+  os << std::scientific << std::setprecision(3) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace lgg::analysis

@@ -1,0 +1,42 @@
+// Fixed-width console table printer: the bench binaries use it to emit the
+// scientific series ("the table the paper would have shown") next to the
+// google-benchmark timing output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lgg::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: mixed-type row, numbers formatted compactly.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  static std::string format_cell(const std::string& v) { return v; }
+  static std::string format_cell(const char* v) { return v; }
+  static std::string format_cell(bool v) { return v ? "yes" : "no"; }
+  static std::string format_cell(double v);
+  template <typename T>
+  static std::string format_cell(const T& v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lgg::analysis

@@ -1,0 +1,79 @@
+#include "analysis/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace lgg::analysis {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  LGG_REQUIRE(static_cast<bool>(task), "submit: empty task");
+  {
+    std::lock_guard lock(mutex_);
+    LGG_REQUIRE(!stopping_, "submit: pool is shutting down");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t shards = std::min(count, pool.thread_count());
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    pool.submit([next, count, &body] {
+      for (std::size_t i = next->fetch_add(1); i < count;
+           i = next->fetch_add(1)) {
+        body(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace lgg::analysis

@@ -1,0 +1,61 @@
+#include "analysis/timeseries.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace lgg::analysis {
+
+double tail_slope(std::span<const double> xs, double fraction) {
+  const auto t = tail(xs, fraction);
+  if (t.size() < 2) return 0.0;
+  return fit_line_indexed(t).slope;
+}
+
+double tail_max(std::span<const double> xs, double fraction) {
+  const auto t = tail(xs, fraction);
+  if (t.empty()) return 0.0;
+  return *std::max_element(t.begin(), t.end());
+}
+
+double max_increment(std::span<const double> xs) {
+  double best = 0.0;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    best = std::max(best, xs[i + 1] - xs[i]);
+  }
+  return best;
+}
+
+double min_increment(std::span<const double> xs) {
+  double best = 0.0;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    best = std::min(best, xs[i + 1] - xs[i]);
+  }
+  return best;
+}
+
+std::vector<double> window_means(std::span<const double> xs,
+                                 std::size_t windows) {
+  LGG_REQUIRE(windows >= 1, "window_means: windows >= 1");
+  std::vector<double> out;
+  if (xs.empty()) return out;
+  windows = std::min(windows, xs.size());
+  const std::size_t base = xs.size() / windows;
+  std::size_t start = 0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::size_t end = (w + 1 == windows) ? xs.size() : start + base;
+    double sum = 0.0;
+    for (std::size_t i = start; i < end; ++i) sum += xs[i];
+    out.push_back(sum / static_cast<double>(end - start));
+    start = end;
+  }
+  return out;
+}
+
+std::size_t count_below(std::span<const double> xs, double bound) {
+  return static_cast<std::size_t>(
+      std::count_if(xs.begin(), xs.end(),
+                    [bound](double x) { return x <= bound; }));
+}
+
+}  // namespace lgg::analysis

@@ -1,0 +1,45 @@
+// Time-series helpers for trajectory analysis (P_t traces).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/stats.hpp"
+
+namespace lgg::analysis {
+
+/// The trailing `fraction` of a series (at least one element of a non-empty
+/// series).  fraction in (0, 1].
+template <typename T>
+std::span<const T> tail(std::span<const T> xs, double fraction) {
+  if (xs.empty()) return xs;
+  auto keep = static_cast<std::size_t>(
+      static_cast<double>(xs.size()) * fraction);
+  keep = std::max<std::size_t>(1, std::min(keep, xs.size()));
+  return xs.subspan(xs.size() - keep);
+}
+
+/// Least-squares slope of the trailing fraction of the series.
+double tail_slope(std::span<const double> xs, double fraction);
+
+/// Max over a trailing window.
+double tail_max(std::span<const double> xs, double fraction);
+
+/// Largest single-step increment max_t (x[t+1] - x[t]); 0 for series
+/// shorter than 2.
+double max_increment(std::span<const double> xs);
+
+/// Smallest single-step increment min_t (x[t+1] - x[t]); 0 for series
+/// shorter than 2.
+double min_increment(std::span<const double> xs);
+
+/// Per-window means: splits the series into `windows` equal chunks
+/// (last chunk absorbs the remainder) and returns each chunk's mean.
+std::vector<double> window_means(std::span<const double> xs,
+                                 std::size_t windows);
+
+/// Number of indices where the series is <= bound (used by the
+/// "infinitely bounded" detector of Definition 9).
+std::size_t count_below(std::span<const double> xs, double bound);
+
+}  // namespace lgg::analysis

@@ -1,0 +1,50 @@
+#include "baselines/backpressure.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace lgg::baselines {
+
+BackpressureProtocol::BackpressureProtocol(PacketCount threshold)
+    : threshold_(threshold) {
+  LGG_REQUIRE(threshold >= 0, "BackpressureProtocol: threshold >= 0");
+}
+
+void BackpressureProtocol::select_transmissions(
+    const core::StepView& view, Rng&, std::vector<core::Transmission>& out) {
+  const NodeId n = view.net->node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    PacketCount budget = view.queue[static_cast<std::size_t>(u)];
+    if (budget <= 0) continue;
+    const PacketCount qu = view.queue[static_cast<std::size_t>(u)];
+
+    scratch_.clear();
+    for (const graph::IncidentLink& link : view.incidence->incident(u)) {
+      if (view.active != nullptr && !view.active->active(link.edge)) continue;
+      if (qu - view.declared[static_cast<std::size_t>(link.neighbor)] >
+          threshold_) {
+        scratch_.push_back(link);
+      }
+    }
+    // Largest differential first (smallest declared queue == largest drop;
+    // ties by ids for determinism).
+    std::sort(scratch_.begin(), scratch_.end(),
+              [&](const graph::IncidentLink& a, const graph::IncidentLink& b) {
+                const auto qa =
+                    view.declared[static_cast<std::size_t>(a.neighbor)];
+                const auto qb =
+                    view.declared[static_cast<std::size_t>(b.neighbor)];
+                if (qa != qb) return qa < qb;
+                if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
+                return a.edge < b.edge;
+              });
+    for (const graph::IncidentLink& link : scratch_) {
+      if (budget <= 0) break;
+      out.push_back(core::Transmission{link.edge, u, link.neighbor});
+      --budget;
+    }
+  }
+}
+
+}  // namespace lgg::baselines

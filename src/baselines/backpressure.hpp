@@ -1,0 +1,30 @@
+// Single-commodity backpressure (Tassiulas–Ephremides [3] style): like LGG
+// it only fires positive-gradient links, but it allocates each node's
+// budget to the links with the *largest differential* first (LGG serves the
+// lowest-queue neighbours first), and it supports a minimum-differential
+// threshold.
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace lgg::baselines {
+
+class BackpressureProtocol final : public core::RoutingProtocol {
+ public:
+  /// Only links with q(u) − q'(v) > threshold fire (threshold 0 recovers
+  /// the classic rule).
+  explicit BackpressureProtocol(PacketCount threshold = 0);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "backpressure";
+  }
+
+  void select_transmissions(const core::StepView& view, Rng& rng,
+                            std::vector<core::Transmission>& out) override;
+
+ private:
+  PacketCount threshold_;
+  std::vector<graph::IncidentLink> scratch_;
+};
+
+}  // namespace lgg::baselines

@@ -1,0 +1,27 @@
+#include "baselines/flow_routing.hpp"
+
+#include "core/flow_plan.hpp"
+
+namespace lgg::baselines {
+
+void FlowRoutingProtocol::rebuild_plan(const core::StepView& view) {
+  plan_ = core::build_flow_plan(*view.net, view.active).paths;
+  cached_version_ = view.topology_version;
+}
+
+void FlowRoutingProtocol::select_transmissions(
+    const core::StepView& view, Rng&, std::vector<core::Transmission>& out) {
+  if (cached_version_ != view.topology_version) rebuild_plan(view);
+  budget_.assign(view.queue.begin(), view.queue.end());
+  for (const auto& path : plan_) {
+    for (const core::Transmission& hop : path) {
+      auto& b = budget_[static_cast<std::size_t>(hop.from)];
+      if (b > 0) {
+        out.push_back(hop);
+        --b;
+      }
+    }
+  }
+}
+
+}  // namespace lgg::baselines

@@ -1,0 +1,39 @@
+// The "optimal method" the paper compares LGG against: route packets along
+// a path decomposition of a maximum flow of G* (the E_t^Φ of Equation 4).
+//
+// At construction (and after every topology change) the protocol solves a
+// max flow on the active subgraph, decomposes it into unit s*-d* paths, and
+// strips the virtual endpoints, leaving paths source → … → sink inside G.
+// Each step, every hop (u, v) of every path forwards one packet if u still
+// has one available (per-node budgets shared across paths).
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace lgg::baselines {
+
+class FlowRoutingProtocol final : public core::RoutingProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "flow_routing"; }
+
+  void select_transmissions(const core::StepView& view, Rng& rng,
+                            std::vector<core::Transmission>& out) override;
+
+  void reset() override { cached_version_ = kNoVersion; }
+
+  /// Number of unit paths in the current plan (0 before the first step).
+  [[nodiscard]] std::size_t path_count() const { return plan_.size(); }
+
+ private:
+  static constexpr std::uint64_t kNoVersion = ~std::uint64_t{0};
+
+  void rebuild_plan(const core::StepView& view);
+
+  std::vector<std::vector<core::Transmission>> plan_;  // hops per path
+  std::uint64_t cached_version_ = kNoVersion;
+  std::vector<PacketCount> budget_;  // scratch
+};
+
+}  // namespace lgg::baselines

@@ -1,0 +1,46 @@
+#include "baselines/hot_potato.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace lgg::baselines {
+
+void HotPotatoProtocol::select_transmissions(
+    const core::StepView& view, Rng&, std::vector<core::Transmission>& out) {
+  if (cached_version_ != view.topology_version) {
+    dist_to_sink_ = graph::bfs_distances_multi(
+        view.net->topology(), view.net->sinks(), view.active);
+    cached_version_ = view.topology_version;
+  }
+  const NodeId n = view.net->node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    PacketCount budget = view.queue[static_cast<std::size_t>(u)];
+    if (budget <= 0) continue;
+    const int du = dist_to_sink_[static_cast<std::size_t>(u)];
+    if (du == 0 || du == graph::kUnreachable) continue;  // at a sink/cut off
+
+    scratch_.clear();
+    for (const graph::IncidentLink& link : view.incidence->incident(u)) {
+      if (view.active != nullptr && !view.active->active(link.edge)) continue;
+      if (dist_to_sink_[static_cast<std::size_t>(link.neighbor)] < du) {
+        scratch_.push_back(link);
+      }
+    }
+    std::sort(scratch_.begin(), scratch_.end(),
+              [&](const graph::IncidentLink& a, const graph::IncidentLink& b) {
+                const int da = dist_to_sink_[static_cast<std::size_t>(a.neighbor)];
+                const int db = dist_to_sink_[static_cast<std::size_t>(b.neighbor)];
+                if (da != db) return da < db;
+                if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
+                return a.edge < b.edge;
+              });
+    for (const graph::IncidentLink& link : scratch_) {
+      if (budget <= 0) break;
+      out.push_back(core::Transmission{link.edge, u, link.neighbor});
+      --budget;
+    }
+  }
+}
+
+}  // namespace lgg::baselines

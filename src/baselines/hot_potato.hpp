@@ -1,0 +1,30 @@
+// Shortest-path "hot potato" forwarding: every node pushes its packets
+// toward the nearest sink regardless of downstream congestion.  A classic
+// queue-oblivious contrast to LGG — throughput-optimal on a clear network,
+// but it piles packets onto bottleneck nodes instead of spreading them.
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace lgg::baselines {
+
+class HotPotatoProtocol final : public core::RoutingProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "hot_potato"; }
+
+  void select_transmissions(const core::StepView& view, Rng& rng,
+                            std::vector<core::Transmission>& out) override;
+
+  void reset() override { cached_version_ = kNoVersion; }
+
+ private:
+  static constexpr std::uint64_t kNoVersion = ~std::uint64_t{0};
+
+  std::vector<int> dist_to_sink_;
+  std::uint64_t cached_version_ = kNoVersion;
+  std::vector<graph::IncidentLink> scratch_;
+};
+
+}  // namespace lgg::baselines

@@ -1,0 +1,42 @@
+#include "baselines/protocol_registry.hpp"
+
+#include "baselines/backpressure.hpp"
+#include "baselines/flow_routing.hpp"
+#include "baselines/hot_potato.hpp"
+#include "baselines/random_walk.hpp"
+#include "common/require.hpp"
+#include "core/lgg_protocol.hpp"
+
+namespace lgg::baselines {
+
+std::vector<std::string_view> protocol_names() {
+  return {"lgg",        "lgg_random_tiebreak", "flow_routing",
+          "backpressure", "hot_potato",        "random_walk"};
+}
+
+std::unique_ptr<core::RoutingProtocol> make_protocol(std::string_view name) {
+  if (name == "lgg") {
+    return std::make_unique<core::LggProtocol>();
+  }
+  if (name == "lgg_random_tiebreak") {
+    return std::make_unique<core::LggProtocol>(
+        core::TieBreak::kRandomShuffle);
+  }
+  if (name == "flow_routing") {
+    return std::make_unique<FlowRoutingProtocol>();
+  }
+  if (name == "backpressure") {
+    return std::make_unique<BackpressureProtocol>();
+  }
+  if (name == "hot_potato") {
+    return std::make_unique<HotPotatoProtocol>();
+  }
+  if (name == "random_walk") {
+    return std::make_unique<RandomWalkProtocol>();
+  }
+  LGG_REQUIRE(false, "make_protocol: unknown protocol '" +
+                         std::string(name) + "'");
+  return nullptr;
+}
+
+}  // namespace lgg::baselines

@@ -1,0 +1,20 @@
+// Factory for every routing protocol in the library, keyed by name — used
+// by the comparison benches and examples to sweep protocols uniformly.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace lgg::baselines {
+
+/// Names: "lgg", "lgg_random_tiebreak", "flow_routing", "backpressure",
+/// "hot_potato", "random_walk".
+std::vector<std::string_view> protocol_names();
+
+/// Throws ContractViolation for an unknown name.
+std::unique_ptr<core::RoutingProtocol> make_protocol(std::string_view name);
+
+}  // namespace lgg::baselines

@@ -1,0 +1,28 @@
+#include "baselines/random_walk.hpp"
+
+#include <algorithm>
+
+namespace lgg::baselines {
+
+void RandomWalkProtocol::select_transmissions(
+    const core::StepView& view, Rng& rng,
+    std::vector<core::Transmission>& out) {
+  const NodeId n = view.net->node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    PacketCount budget = view.queue[static_cast<std::size_t>(u)];
+    if (budget <= 0) continue;
+    scratch_.clear();
+    for (const graph::IncidentLink& link : view.incidence->incident(u)) {
+      if (view.active != nullptr && !view.active->active(link.edge)) continue;
+      scratch_.push_back(link);
+    }
+    std::shuffle(scratch_.begin(), scratch_.end(), rng.engine());
+    for (const graph::IncidentLink& link : scratch_) {
+      if (budget <= 0) break;
+      out.push_back(core::Transmission{link.edge, u, link.neighbor});
+      --budget;
+    }
+  }
+}
+
+}  // namespace lgg::baselines

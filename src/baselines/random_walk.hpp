@@ -1,0 +1,22 @@
+// Random-walk forwarding: each node scatters its packets over a random
+// subset of incident links, one per link.  The weakest sensible baseline —
+// packets do eventually reach sinks on a connected network, but with no
+// gradient or direction information at all.
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace lgg::baselines {
+
+class RandomWalkProtocol final : public core::RoutingProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "random_walk"; }
+
+  void select_transmissions(const core::StepView& view, Rng& rng,
+                            std::vector<core::Transmission>& out) override;
+
+ private:
+  std::vector<graph::IncidentLink> scratch_;
+};
+
+}  // namespace lgg::baselines

@@ -1,0 +1,34 @@
+// LGG with stale neighbourhood information — an ablation of the paper's
+// "localized" assumption.  Real distributed deployments learn neighbour
+// queue lengths through periodic beacons, so node u compares against the
+// declared queues from `delay` steps ago instead of the current ones.
+// delay = 0 recovers Algorithm 1 exactly.
+#pragma once
+
+#include <deque>
+
+#include "core/lgg_protocol.hpp"
+
+namespace lgg::baselines {
+
+class StaleLggProtocol final : public core::RoutingProtocol {
+ public:
+  explicit StaleLggProtocol(int delay,
+                            core::TieBreak tie_break = core::TieBreak::kById);
+
+  [[nodiscard]] std::string_view name() const override { return "stale_lgg"; }
+  [[nodiscard]] int delay() const { return delay_; }
+
+  void select_transmissions(const core::StepView& view, Rng& rng,
+                            std::vector<core::Transmission>& out) override;
+
+  void reset() override { history_.clear(); }
+
+ private:
+  int delay_;
+  core::TieBreak tie_break_;
+  std::deque<std::vector<PacketCount>> history_;  // declared snapshots
+  std::vector<graph::IncidentLink> scratch_;
+};
+
+}  // namespace lgg::baselines

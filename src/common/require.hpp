@@ -1,0 +1,45 @@
+// Contract-checking support for liblgg.
+//
+// LGG_REQUIRE is used for precondition validation at API boundaries: it
+// throws lgg::ContractViolation so callers (and tests) can observe misuse
+// deterministically in every build type.  LGG_ASSERT is an internal
+// invariant check compiled out in release builds (plain assert semantics).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lgg {
+
+/// Thrown when a documented precondition of a public API is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace lgg
+
+#define LGG_REQUIRE(expr, msg)                                       \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::lgg::detail::contract_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (false)
+
+#ifdef NDEBUG
+#define LGG_ASSERT(expr) ((void)0)
+#else
+#define LGG_ASSERT(expr) LGG_REQUIRE(expr, "internal invariant")
+#endif

@@ -1,0 +1,28 @@
+// Fundamental integer vocabulary types shared by every liblgg module.
+#pragma once
+
+#include <cstdint>
+
+namespace lgg {
+
+/// Node index inside a multigraph.  Dense, 0-based.
+using NodeId = std::int32_t;
+
+/// Edge index inside a multigraph.  Dense, 0-based; parallel edges get
+/// distinct ids.
+using EdgeId = std::int32_t;
+
+/// Packet counts and queue lengths.  64-bit: divergent executions are part
+/// of the experiment plan and must not overflow.
+using PacketCount = std::int64_t;
+
+/// Flow values and capacities.
+using Cap = std::int64_t;
+
+/// Simulation time step.
+using TimeStep = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+}  // namespace lgg

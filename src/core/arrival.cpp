@@ -1,0 +1,139 @@
+#include "core/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace lgg::core {
+
+ScaledArrival::ScaledArrival(double factor) : factor_(factor) {
+  LGG_REQUIRE(factor >= 0.0, "ScaledArrival: factor >= 0");
+}
+
+PacketCount ScaledArrival::packets(NodeId, Cap in_rate, TimeStep t, Rng&) {
+  const double rate = factor_ * static_cast<double>(in_rate);
+  const auto before = static_cast<PacketCount>(
+      std::floor(static_cast<double>(t) * rate + 1e-9));
+  const auto after = static_cast<PacketCount>(
+      std::floor(static_cast<double>(t + 1) * rate + 1e-9));
+  return after - before;
+}
+
+BernoulliArrival::BernoulliArrival(double p) : p_(p) {
+  LGG_REQUIRE(p >= 0.0 && p <= 1.0, "BernoulliArrival: p in [0,1]");
+}
+
+PacketCount BernoulliArrival::packets(NodeId, Cap in_rate, TimeStep,
+                                      Rng& rng) {
+  PacketCount count = 0;
+  for (Cap i = 0; i < in_rate; ++i) {
+    if (rng.bernoulli(p_)) ++count;
+  }
+  return count;
+}
+
+UniformArrival::UniformArrival(double mean_factor)
+    : mean_factor_(mean_factor) {
+  LGG_REQUIRE(mean_factor >= 0.0, "UniformArrival: mean_factor >= 0");
+}
+
+PacketCount UniformArrival::packets(NodeId, Cap in_rate, TimeStep,
+                                    Rng& rng) {
+  // Uniform integer on [0, hi] has mean hi/2; pick hi = 2·mean.
+  const double mean = mean_factor_ * static_cast<double>(in_rate);
+  const auto hi = static_cast<PacketCount>(std::llround(2.0 * mean));
+  if (hi <= 0) return 0;
+  return rng.uniform_int(0, hi);
+}
+
+PoissonArrival::PoissonArrival(double mean_factor)
+    : mean_factor_(mean_factor) {
+  LGG_REQUIRE(mean_factor >= 0.0, "PoissonArrival: mean_factor >= 0");
+}
+
+PacketCount PoissonArrival::packets(NodeId, Cap in_rate, TimeStep,
+                                    Rng& rng) {
+  const double mean = mean_factor_ * static_cast<double>(in_rate);
+  if (mean <= 0.0) return 0;
+  return std::poisson_distribution<PacketCount>(mean)(rng.engine());
+}
+
+GeometricArrival::GeometricArrival(double mean_factor)
+    : mean_factor_(mean_factor) {
+  LGG_REQUIRE(mean_factor >= 0.0, "GeometricArrival: mean_factor >= 0");
+}
+
+PacketCount GeometricArrival::packets(NodeId, Cap in_rate, TimeStep,
+                                      Rng& rng) {
+  // Geometric with mean m has success probability 1/(1+m).
+  const double mean = mean_factor_ * static_cast<double>(in_rate);
+  if (mean <= 0.0) return 0;
+  return std::geometric_distribution<PacketCount>(1.0 / (1.0 + mean))(
+      rng.engine());
+}
+
+BurstArrival::BurstArrival(double high_factor, double low_factor,
+                           TimeStep burst_len, TimeStep period)
+    : high_(high_factor),
+      low_(low_factor),
+      burst_len_(burst_len),
+      period_(period) {
+  LGG_REQUIRE(period >= 1, "BurstArrival: period >= 1");
+  LGG_REQUIRE(burst_len >= 0 && burst_len <= period,
+              "BurstArrival: 0 <= burst_len <= period");
+  LGG_REQUIRE(high_factor >= 0.0 && low_factor >= 0.0,
+              "BurstArrival: factors >= 0");
+}
+
+PacketCount BurstArrival::packets(NodeId, Cap in_rate, TimeStep t, Rng&) {
+  const TimeStep phase = t % period_;
+  const double factor = phase < burst_len_ ? high_ : low_;
+  return static_cast<PacketCount>(
+      std::llround(factor * static_cast<double>(in_rate)));
+}
+
+double BurstArrival::average_factor() const {
+  return (high_ * static_cast<double>(burst_len_) +
+          low_ * static_cast<double>(period_ - burst_len_)) /
+         static_cast<double>(period_);
+}
+
+TokenBucketArrival::TokenBucketArrival(double r, double burst_cap,
+                                       TimeStep hoard_period)
+    : r_(r), burst_cap_(burst_cap), hoard_period_(hoard_period) {
+  LGG_REQUIRE(r >= 0.0, "TokenBucketArrival: r >= 0");
+  LGG_REQUIRE(burst_cap >= 0.0, "TokenBucketArrival: burst_cap >= 0");
+  LGG_REQUIRE(hoard_period >= 1, "TokenBucketArrival: hoard_period >= 1");
+}
+
+PacketCount TokenBucketArrival::packets(NodeId v, Cap in_rate, TimeStep t,
+                                        Rng&) {
+  double& tokens = tokens_[v];
+  tokens += r_ * static_cast<double>(in_rate);
+  tokens = std::min(tokens, burst_cap_ + r_ * static_cast<double>(in_rate));
+  if ((t + 1) % hoard_period_ != 0) return 0;  // hoard
+  const auto dump = static_cast<PacketCount>(tokens);
+  tokens -= static_cast<double>(dump);
+  return dump;
+}
+
+TraceArrival::TraceArrival(std::map<NodeId, std::vector<PacketCount>> trace)
+    : trace_(std::move(trace)) {
+  for (const auto& [node, seq] : trace_) {
+    (void)node;
+    for (const PacketCount p : seq) {
+      LGG_REQUIRE(p >= 0, "TraceArrival: negative injection in trace");
+    }
+  }
+}
+
+PacketCount TraceArrival::packets(NodeId v, Cap, TimeStep t, Rng&) {
+  const auto it = trace_.find(v);
+  if (it == trace_.end()) return 0;
+  const auto& seq = it->second;
+  if (t < 0 || static_cast<std::size_t>(t) >= seq.size()) return 0;
+  return seq[static_cast<std::size_t>(t)];
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,153 @@
+// Packet arrival processes.
+//
+// The paper's base model injects exactly in(s) packets per step at every
+// source; pseudo-sources (Def. 5) inject *at most* in(s); the conjectures
+// consider time-varying (Conj. 2) and uniformly random (Conj. 3) arrivals.
+// Each process maps (node, in-rate, step) to an injection count.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace lgg::core {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Packets injected at node v at step t.  `in_rate` is the node's in(v).
+  virtual PacketCount packets(NodeId v, Cap in_rate, TimeStep t,
+                              Rng& rng) = 0;
+};
+
+/// Exactly in(v) packets each step — the Section V-B premise.
+class ExactArrival final : public ArrivalProcess {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "exact"; }
+  PacketCount packets(NodeId, Cap in_rate, TimeStep, Rng&) override {
+    return in_rate;
+  }
+};
+
+/// Deterministic long-run rate factor·in(v) via an error-accumulating
+/// (Bresenham) counter: injections are ⌊(t+1)·f·in⌋ − ⌊t·f·in⌋.
+/// factor <= 1 models a compliant sub-maximal source; factor > 1 models the
+/// overload experiments (Theorem 1's divergence direction).
+class ScaledArrival final : public ArrivalProcess {
+ public:
+  explicit ScaledArrival(double factor);
+  [[nodiscard]] std::string_view name() const override { return "scaled"; }
+  PacketCount packets(NodeId v, Cap in_rate, TimeStep t, Rng&) override;
+
+ private:
+  double factor_;
+};
+
+/// Binomial(in(v), p): each of the in(v) potential packets arrives
+/// independently — a stochastic pseudo-source.
+class BernoulliArrival final : public ArrivalProcess {
+ public:
+  explicit BernoulliArrival(double p);
+  [[nodiscard]] std::string_view name() const override { return "bernoulli"; }
+  PacketCount packets(NodeId, Cap in_rate, TimeStep, Rng& rng) override;
+
+ private:
+  double p_;
+};
+
+/// Uniform integer in [0, 2·mean_factor·in(v)] — mean = mean_factor·in(v).
+/// Conjecture 3's uniform-distribution arrivals.
+class UniformArrival final : public ArrivalProcess {
+ public:
+  explicit UniformArrival(double mean_factor);
+  [[nodiscard]] std::string_view name() const override { return "uniform"; }
+  PacketCount packets(NodeId, Cap in_rate, TimeStep, Rng& rng) override;
+
+ private:
+  double mean_factor_;
+};
+
+/// Poisson(mean_factor·in(v)) arrivals — the classical queueing-theory
+/// stochastic source; used to probe whether Conjecture 3's threshold is
+/// distribution-specific (it is not, empirically).
+class PoissonArrival final : public ArrivalProcess {
+ public:
+  explicit PoissonArrival(double mean_factor);
+  [[nodiscard]] std::string_view name() const override { return "poisson"; }
+  PacketCount packets(NodeId, Cap in_rate, TimeStep, Rng& rng) override;
+
+ private:
+  double mean_factor_;
+};
+
+/// Geometric arrivals with mean mean_factor·in(v): P(k) = (1−p) p^k —
+/// heavier-tailed than uniform; same stability threshold, larger plateaus.
+class GeometricArrival final : public ArrivalProcess {
+ public:
+  explicit GeometricArrival(double mean_factor);
+  [[nodiscard]] std::string_view name() const override { return "geometric"; }
+  PacketCount packets(NodeId, Cap in_rate, TimeStep, Rng& rng) override;
+
+ private:
+  double mean_factor_;
+};
+
+/// Conjecture 2's burst pattern: `burst_len` steps at high·in(v) followed
+/// by (period − burst_len) steps at low·in(v), repeating.
+class BurstArrival final : public ArrivalProcess {
+ public:
+  BurstArrival(double high_factor, double low_factor, TimeStep burst_len,
+               TimeStep period);
+  [[nodiscard]] std::string_view name() const override { return "burst"; }
+  PacketCount packets(NodeId v, Cap in_rate, TimeStep t, Rng&) override;
+
+  [[nodiscard]] double average_factor() const;
+
+ private:
+  double high_;
+  double low_;
+  TimeStep burst_len_;
+  TimeStep period_;
+};
+
+/// Adversarial-queueing-style (r, b) token-bucket source (the setting of
+/// the paper's reference [4]): over any interval of length w the adversary
+/// may inject at most r·in(v)·w + b packets.  This implementation is the
+/// worst bursty pattern inside that envelope — it hoards tokens for
+/// `hoard_period` steps, then dumps the whole accumulated allowance at
+/// once.  r < 1 keeps the long-run rate strictly feasible regardless of b.
+class TokenBucketArrival final : public ArrivalProcess {
+ public:
+  /// r >= 0 (rate fraction of in(v)), burst cap b >= 0, hoard_period >= 1.
+  TokenBucketArrival(double r, double burst_cap, TimeStep hoard_period);
+  [[nodiscard]] std::string_view name() const override {
+    return "token_bucket";
+  }
+  PacketCount packets(NodeId v, Cap in_rate, TimeStep t, Rng&) override;
+
+ private:
+  double r_;
+  double burst_cap_;
+  TimeStep hoard_period_;
+  std::map<NodeId, double> tokens_;
+};
+
+/// Replays a fixed per-node schedule; steps beyond the trace inject 0.
+/// Used by the Conjecture-1 domination experiments, where one trajectory's
+/// arrivals must pointwise dominate another's.
+class TraceArrival final : public ArrivalProcess {
+ public:
+  explicit TraceArrival(std::map<NodeId, std::vector<PacketCount>> trace);
+  [[nodiscard]] std::string_view name() const override { return "trace"; }
+  PacketCount packets(NodeId v, Cap, TimeStep t, Rng&) override;
+
+ private:
+  std::map<NodeId, std::vector<PacketCount>> trace_;
+};
+
+}  // namespace lgg::core

@@ -1,0 +1,50 @@
+#include "core/bounds.hpp"
+
+namespace lgg::core {
+
+UnsaturatedBounds unsaturated_bounds(const SdNetwork& net,
+                                     const flow::FeasibilityReport& report) {
+  LGG_REQUIRE(report.unsaturated,
+              "unsaturated_bounds: network is not unsaturated");
+  UnsaturatedBounds b;
+  b.n = net.node_count();
+  b.delta = net.max_degree();
+  b.fstar = report.fstar;
+  b.epsilon = report.epsilon;
+  const auto n = static_cast<double>(b.n);
+  const auto d2 = static_cast<double>(b.delta) * static_cast<double>(b.delta);
+  b.growth = 5.0 * n * d2;
+  b.y = (5.0 * n * static_cast<double>(b.fstar) / b.epsilon + 3.0 * n) * d2;
+  b.state = n * b.y * b.y + b.growth;
+  return b;
+}
+
+double GeneralizedBounds::drift_threshold(double epsilon) const {
+  LGG_REQUIRE(epsilon > 0, "drift_threshold: epsilon > 0");
+  const auto nn = static_cast<double>(n);
+  const auto sd = static_cast<double>(special);
+  const auto d = static_cast<double>(delta);
+  const auto r = static_cast<double>(retention);
+  const auto omax = static_cast<double>(out_max);
+  return (d * d * (3.0 * nn - 2.0 * sd) + 7.0 * sd * r * d) / epsilon +
+         sd * (r + omax) * omax;
+}
+
+GeneralizedBounds generalized_bounds(const SdNetwork& net) {
+  GeneralizedBounds b;
+  b.n = net.node_count();
+  b.delta = net.max_degree();
+  b.special = static_cast<Cap>(net.special_nodes().size());
+  b.out_max = net.max_out();
+  b.retention = net.max_retention();
+  const auto n = static_cast<double>(b.n);
+  const auto sd = static_cast<double>(b.special);
+  const auto d = static_cast<double>(b.delta);
+  const auto r = static_cast<double>(b.retention);
+  const auto omax = static_cast<double>(b.out_max);
+  b.growth = 2.0 * sd * (r + omax) * omax + d * d * (3.0 * n - 2.0 * sd) +
+             4.0 * sd * d * r;
+  return b;
+}
+
+}  // namespace lgg::core

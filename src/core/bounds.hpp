@@ -1,0 +1,53 @@
+// The explicit constants of the paper's proofs.
+//
+// Unsaturated S-D-networks (Section III):
+//   Property 1:  P_{t+1} − P_t <= 5 n Δ²
+//   Property 2:  with Y = (5 n f* / ε + 3 n) Δ²,
+//                P_t > n Y²  ⇒  P_{t+1} − P_t < −5 n Δ²
+//   Lemma 1:     P_t <= n Y² + 5 n Δ² for all t
+//
+// Unsaturated R-generalized networks (Properties 3–6):
+//   growth bound A = 2|S∪D|(R + outmax)·outmax + Δ²(3n − 2|S∪D|)
+//                    + 4|S∪D|ΔR
+//   drift: for Y large enough, P_t > n Y² ⇒ P_{t+1} − P_t < −A
+//
+// The ε fed in comes from the parametric feasibility search and is a lower
+// bound on the true margin, which makes every bound here a valid (merely
+// looser) upper bound.
+#pragma once
+
+#include "core/sd_network.hpp"
+#include "flow/feasibility.hpp"
+
+namespace lgg::core {
+
+struct UnsaturatedBounds {
+  NodeId n = 0;
+  int delta = 0;      ///< Δ, max degree with multiplicity
+  Cap fstar = 0;      ///< f*
+  double epsilon = 0; ///< verified margin
+  double growth = 0;  ///< 5 n Δ² (Property 1)
+  double y = 0;       ///< Y of Property 2
+  double state = 0;   ///< n Y² + 5 n Δ² (Lemma 1)
+};
+
+/// Requires report.unsaturated (ε > 0).
+UnsaturatedBounds unsaturated_bounds(const SdNetwork& net,
+                                     const flow::FeasibilityReport& report);
+
+struct GeneralizedBounds {
+  NodeId n = 0;
+  int delta = 0;
+  Cap special = 0;   ///< |S ∪ D|
+  Cap out_max = 0;   ///< max out(v) over S ∪ D
+  Cap retention = 0; ///< R
+  double growth = 0; ///< Property 3's A
+
+  /// Property 6's first-case threshold: if some generalized node's queue
+  /// exceeds this, δ_t is already strictly negative.  Requires ε > 0.
+  [[nodiscard]] double drift_threshold(double epsilon) const;
+};
+
+GeneralizedBounds generalized_bounds(const SdNetwork& net);
+
+}  // namespace lgg::core

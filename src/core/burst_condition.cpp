@@ -1,0 +1,48 @@
+#include "core/burst_condition.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace lgg::core {
+
+std::vector<PacketCount> forced_backlog(std::span<const PacketCount> arrivals,
+                                        Cap fstar) {
+  LGG_REQUIRE(fstar >= 0, "forced_backlog: fstar >= 0");
+  std::vector<PacketCount> r;
+  r.reserve(arrivals.size() + 1);
+  r.push_back(0);
+  PacketCount current = 0;
+  for (const PacketCount a : arrivals) {
+    LGG_REQUIRE(a >= 0, "forced_backlog: negative arrival");
+    current = std::max<PacketCount>(0, current + a - fstar);
+    r.push_back(current);
+  }
+  return r;
+}
+
+PacketCount max_interval_excess(std::span<const PacketCount> arrivals,
+                                Cap fstar) {
+  const auto backlog = forced_backlog(arrivals, fstar);
+  return *std::max_element(backlog.begin(), backlog.end());
+}
+
+BurstVerdict analyze_periodic_trace(std::span<const PacketCount> one_period,
+                                    Cap fstar) {
+  LGG_REQUIRE(!one_period.empty(), "analyze_periodic_trace: empty period");
+  BurstVerdict verdict;
+  // Two periods expose every wrap-around interval of a periodic trace.
+  std::vector<PacketCount> doubled(one_period.begin(), one_period.end());
+  doubled.insert(doubled.end(), one_period.begin(), one_period.end());
+  verdict.max_excess = max_interval_excess(doubled, fstar);
+  const auto backlog = forced_backlog(one_period, fstar);
+  verdict.residual_backlog = backlog.back();
+  Cap total = 0;
+  for (const PacketCount a : one_period) total += a;
+  verdict.per_period_drift =
+      total - static_cast<Cap>(one_period.size()) * fstar;
+  verdict.compensated = verdict.per_period_drift <= 0;
+  return verdict;
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,46 @@
+// Conjecture 2's arrival-trace condition, made decidable.
+//
+// The conjecture says: arrivals exceeding the maximum flow over some
+// interval are harmless iff a later interval compensates.  The quantity
+// that captures this is the maximal interval excess
+//
+//   B(a) = max over intervals [s, e) of ( Σ_{t in [s,e)} a_t − (e−s)·f* )
+//
+// which is exactly the extra backlog any scheduler is forced to carry
+// (Lindley recursion / Kadane form).  The trace is "compensated" iff B is
+// bounded; for a periodic pattern this reduces to checking one period plus
+// the per-period drift.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lgg::core {
+
+/// Maximal interval excess of the per-step arrival totals against service
+/// rate `fstar` (0 when every window is within capacity).
+PacketCount max_interval_excess(std::span<const PacketCount> arrivals,
+                                Cap fstar);
+
+/// The running forced backlog: r_0 = 0, r_{t+1} = max(0, r_t + a_t − f*).
+/// Its maximum equals max_interval_excess; its final value is the backlog
+/// carried out of the trace.
+std::vector<PacketCount> forced_backlog(std::span<const PacketCount> arrivals,
+                                        Cap fstar);
+
+struct BurstVerdict {
+  PacketCount max_excess = 0;       ///< B over the inspected horizon
+  PacketCount residual_backlog = 0; ///< backlog left at the end
+  Cap per_period_drift = 0;         ///< Σ a − period·f* (periodic traces)
+  /// Conjecture 2's hypothesis holds: every overload is later compensated
+  /// (drift <= 0), so the forced backlog is bounded by max_excess.
+  bool compensated = false;
+};
+
+/// Analyzes one period of a periodic arrival pattern.
+BurstVerdict analyze_periodic_trace(std::span<const PacketCount> one_period,
+                                    Cap fstar);
+
+}  // namespace lgg::core

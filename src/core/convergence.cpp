@@ -1,0 +1,50 @@
+#include "core/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "analysis/timeseries.hpp"
+#include "common/require.hpp"
+
+namespace lgg::core {
+
+double plateau_level(std::span<const double> network_state,
+                     const SettleOptions& options) {
+  LGG_REQUIRE(options.plateau_fraction > 0 && options.plateau_fraction <= 1,
+              "plateau_level: fraction in (0, 1]");
+  if (network_state.empty()) return 0.0;
+  return analysis::summarize(
+             analysis::tail(network_state, options.plateau_fraction))
+      .mean;
+}
+
+std::optional<TimeStep> settle_time(std::span<const double> network_state,
+                                    const SettleOptions& options) {
+  LGG_REQUIRE(options.band >= 0, "settle_time: band >= 0");
+  if (network_state.empty()) return std::nullopt;
+  const double level = plateau_level(network_state, options);
+  const double slack =
+      std::max(options.absolute_slack, options.band * std::abs(level));
+  const double lo = level - slack;
+  const double hi = level + slack;
+  // Scan backwards for the last excursion outside the band.
+  std::ptrdiff_t last_outside = -1;
+  for (std::ptrdiff_t t = static_cast<std::ptrdiff_t>(network_state.size()) - 1;
+       t >= 0; --t) {
+    const double x = network_state[static_cast<std::size_t>(t)];
+    if (x < lo || x > hi) {
+      last_outside = t;
+      break;
+    }
+  }
+  const auto settle = static_cast<TimeStep>(last_outside + 1);
+  // "Never settles": the excursion reaches into the plateau window itself.
+  const auto plateau_start = static_cast<TimeStep>(
+      static_cast<double>(network_state.size()) *
+      (1.0 - options.plateau_fraction));
+  if (settle > plateau_start) return std::nullopt;
+  return settle;
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,35 @@
+// Convergence-time measurement.
+//
+// Lemma 1's constants suggest the transient scales with Y ∝ 1/ε: the
+// smaller the feasibility margin, the taller the gradient staircase LGG
+// must build before deliveries match arrivals.  settle_time() measures
+// when the P_t trajectory enters (and stays inside) a band around its own
+// steady plateau, making that scaling measurable (bench E21).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace lgg::core {
+
+struct SettleOptions {
+  /// Fraction of the trajectory treated as the steady plateau reference.
+  double plateau_fraction = 0.25;
+  /// Band half-width around the plateau mean, relative (e.g. 0.25 = ±25%)
+  /// plus a small absolute slack for near-zero plateaus.
+  double band = 0.25;
+  double absolute_slack = 4.0;
+};
+
+/// First step t such that the trajectory stays inside the plateau band for
+/// all t' >= t.  nullopt if it never settles (e.g. diverging runs).
+std::optional<TimeStep> settle_time(std::span<const double> network_state,
+                                    const SettleOptions& options = {});
+
+/// Plateau mean over the trailing plateau_fraction window.
+double plateau_level(std::span<const double> network_state,
+                     const SettleOptions& options = {});
+
+}  // namespace lgg::core

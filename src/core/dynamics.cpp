@@ -1,0 +1,99 @@
+#include "core/dynamics.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace lgg::core {
+
+RandomChurn::RandomChurn(double p_off, double p_on)
+    : p_off_(p_off), p_on_(p_on) {
+  LGG_REQUIRE(p_off >= 0.0 && p_off <= 1.0, "RandomChurn: p_off in [0,1]");
+  LGG_REQUIRE(p_on >= 0.0 && p_on <= 1.0, "RandomChurn: p_on in [0,1]");
+}
+
+bool RandomChurn::evolve(TimeStep, const SdNetwork&, graph::EdgeMask& mask,
+                         Rng& rng) {
+  bool changed = false;
+  for (EdgeId e = 0; e < mask.size(); ++e) {
+    if (mask.active(e)) {
+      if (rng.bernoulli(p_off_)) {
+        mask.set_active(e, false);
+        changed = true;
+      }
+    } else if (rng.bernoulli(p_on_)) {
+      mask.set_active(e, true);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+ProtectedChurn::ProtectedChurn(std::vector<EdgeId> protected_edges,
+                               double p_off, double p_on)
+    : p_off_(p_off), p_on_(p_on) {
+  LGG_REQUIRE(p_off >= 0.0 && p_off <= 1.0, "ProtectedChurn: p_off in [0,1]");
+  LGG_REQUIRE(p_on >= 0.0 && p_on <= 1.0, "ProtectedChurn: p_on in [0,1]");
+  EdgeId max_edge = -1;
+  for (const EdgeId e : protected_edges) {
+    LGG_REQUIRE(e >= 0, "ProtectedChurn: bad edge id");
+    max_edge = std::max(max_edge, e);
+  }
+  protected_.assign(static_cast<std::size_t>(max_edge + 1), 0);
+  for (const EdgeId e : protected_edges) {
+    protected_[static_cast<std::size_t>(e)] = 1;
+  }
+}
+
+bool ProtectedChurn::evolve(TimeStep, const SdNetwork&,
+                            graph::EdgeMask& mask, Rng& rng) {
+  bool changed = false;
+  for (EdgeId e = 0; e < mask.size(); ++e) {
+    const bool is_protected =
+        static_cast<std::size_t>(e) < protected_.size() &&
+        protected_[static_cast<std::size_t>(e)];
+    if (is_protected) {
+      if (!mask.active(e)) {
+        mask.set_active(e, true);
+        changed = true;
+      }
+      continue;
+    }
+    if (mask.active(e)) {
+      if (rng.bernoulli(p_off_)) {
+        mask.set_active(e, false);
+        changed = true;
+      }
+    } else if (rng.bernoulli(p_on_)) {
+      mask.set_active(e, true);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+PeriodicSwitch::PeriodicSwitch(graph::EdgeMask mask_a, graph::EdgeMask mask_b,
+                               TimeStep period)
+    : mask_a_(std::move(mask_a)), mask_b_(std::move(mask_b)),
+      period_(period) {
+  LGG_REQUIRE(period >= 1, "PeriodicSwitch: period >= 1");
+  LGG_REQUIRE(mask_a_.size() == mask_b_.size(),
+              "PeriodicSwitch: mask sizes differ");
+}
+
+bool PeriodicSwitch::evolve(TimeStep t, const SdNetwork&,
+                            graph::EdgeMask& mask, Rng&) {
+  LGG_REQUIRE(mask.size() == mask_a_.size(),
+              "PeriodicSwitch: mask size mismatch with network");
+  const graph::EdgeMask& want = ((t / period_) % 2 == 0) ? mask_a_ : mask_b_;
+  bool changed = false;
+  for (EdgeId e = 0; e < mask.size(); ++e) {
+    if (mask.active(e) != want.active(e)) {
+      mask.set_active(e, want.active(e));
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,82 @@
+// Dynamic topologies (Conjecture 4): the active edge set may change between
+// steps.  Dynamics mutate the simulator's EdgeMask at the start of a step.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/sd_network.hpp"
+
+namespace lgg::core {
+
+class TopologyDynamics {
+ public:
+  virtual ~TopologyDynamics() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Mutates `mask` for step t.  Returns true iff the mask changed.
+  virtual bool evolve(TimeStep t, const SdNetwork& net,
+                      graph::EdgeMask& mask, Rng& rng) = 0;
+};
+
+/// The static network of the base model.
+class StaticTopology final : public TopologyDynamics {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "static"; }
+  bool evolve(TimeStep, const SdNetwork&, graph::EdgeMask&, Rng&) override {
+    return false;
+  }
+};
+
+/// Memoryless churn: every active edge fails with probability p_off, every
+/// inactive edge recovers with probability p_on.
+class RandomChurn final : public TopologyDynamics {
+ public:
+  RandomChurn(double p_off, double p_on);
+  [[nodiscard]] std::string_view name() const override { return "churn"; }
+  bool evolve(TimeStep, const SdNetwork&, graph::EdgeMask& mask,
+              Rng& rng) override;
+
+ private:
+  double p_off_;
+  double p_on_;
+};
+
+/// Churn that never touches a protected edge set (e.g. the edges carrying a
+/// feasible flow), so feasibility is preserved at every instant — the
+/// precondition of Conjecture 4.
+class ProtectedChurn final : public TopologyDynamics {
+ public:
+  ProtectedChurn(std::vector<EdgeId> protected_edges, double p_off,
+                 double p_on);
+  [[nodiscard]] std::string_view name() const override {
+    return "protected_churn";
+  }
+  bool evolve(TimeStep, const SdNetwork&, graph::EdgeMask& mask,
+              Rng& rng) override;
+
+ private:
+  std::vector<char> protected_;
+  double p_off_;
+  double p_on_;
+  bool protected_sized_ = false;
+};
+
+/// Alternates between two fixed masks every `period` steps.
+class PeriodicSwitch final : public TopologyDynamics {
+ public:
+  PeriodicSwitch(graph::EdgeMask mask_a, graph::EdgeMask mask_b,
+                 TimeStep period);
+  [[nodiscard]] std::string_view name() const override {
+    return "periodic_switch";
+  }
+  bool evolve(TimeStep t, const SdNetwork&, graph::EdgeMask& mask,
+              Rng&) override;
+
+ private:
+  graph::EdgeMask mask_a_;
+  graph::EdgeMask mask_b_;
+  TimeStep period_;
+};
+
+}  // namespace lgg::core

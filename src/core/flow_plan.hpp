@@ -1,0 +1,29 @@
+// Maximum-flow route plan over an S-D-network: the E_t^Φ of Equation 4.
+//
+// Solves a max flow on the extended graph G* restricted to active edges,
+// cancels the opposite-direction artifacts of the undirected encoding, and
+// returns the unit s*→d* paths as hop sequences inside G.  Used by the
+// flow-routing baseline (the paper's "optimal method") and by the Lyapunov
+// auditor's Equation-4 telescope check.
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace lgg::core {
+
+struct FlowPlan {
+  /// One entry per unit flow path; each is the ordered hops through G
+  /// (paths s* -> v -> d* with no internal hop are omitted).
+  std::vector<std::vector<Transmission>> paths;
+  /// The flow value the plan realizes (== arrival rate iff feasible).
+  Cap value = 0;
+};
+
+/// Builds the plan for `net` using only edges active in `mask`
+/// (nullptr = all edges).
+FlowPlan build_flow_plan(const SdNetwork& net,
+                         const graph::EdgeMask* mask = nullptr);
+
+}  // namespace lgg::core

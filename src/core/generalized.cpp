@@ -1,0 +1,69 @@
+#include "core/generalized.hpp"
+
+#include <algorithm>
+
+namespace lgg::core {
+
+std::string_view to_string(DeclarationPolicy policy) {
+  switch (policy) {
+    case DeclarationPolicy::kTruthful: return "truthful";
+    case DeclarationPolicy::kDeclareR: return "declare_r";
+    case DeclarationPolicy::kDeclareZero: return "declare_zero";
+    case DeclarationPolicy::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+PacketCount declared_queue(const NodeSpec& spec, PacketCount q,
+                           DeclarationPolicy policy, Rng& rng) {
+  LGG_REQUIRE(q >= 0, "declared_queue: negative queue");
+  // Above the retention threshold the node must tell the truth; classical
+  // nodes (R = 0) therefore always do.
+  if (q > spec.retention) return q;
+  switch (policy) {
+    case DeclarationPolicy::kTruthful:
+      return q;
+    case DeclarationPolicy::kDeclareR:
+      return spec.retention;
+    case DeclarationPolicy::kDeclareZero:
+      return 0;
+    case DeclarationPolicy::kRandom:
+      return rng.uniform_int(0, spec.retention);
+  }
+  return q;
+}
+
+std::string_view to_string(ExtractionPolicy policy) {
+  switch (policy) {
+    case ExtractionPolicy::kEager: return "eager";
+    case ExtractionPolicy::kRetentive: return "retentive";
+    case ExtractionPolicy::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+ExtractionRange extraction_range(const NodeSpec& spec, PacketCount q) {
+  LGG_REQUIRE(q >= 0, "extraction_range: negative queue");
+  const PacketCount upper = std::min<PacketCount>(spec.out, q);
+  PacketCount lower = 0;
+  if (q > spec.retention) {
+    lower = std::min<PacketCount>(spec.out, q - spec.retention);
+  }
+  return {lower, upper};
+}
+
+PacketCount extraction_amount(const NodeSpec& spec, PacketCount q,
+                              ExtractionPolicy policy, Rng& rng) {
+  const ExtractionRange range = extraction_range(spec, q);
+  switch (policy) {
+    case ExtractionPolicy::kEager:
+      return range.upper;
+    case ExtractionPolicy::kRetentive:
+      return range.lower;
+    case ExtractionPolicy::kRandom:
+      return rng.uniform_int(range.lower, range.upper);
+  }
+  return range.upper;
+}
+
+}  // namespace lgg::core

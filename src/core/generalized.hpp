@@ -1,0 +1,57 @@
+// R-generalized node behaviour (Definitions 5–7):
+//
+//   (ii) declaration — a node v with retention R may lie to its neighbours
+//        about its queue: when q > R it must declare q, when q <= R it may
+//        declare any value <= R.
+//   (i)  extraction  — v extracts out_t(v) packets per step with
+//        0 <= out_t(v) <= min(out(v), q), and when q > R additionally
+//        out_t(v) >= min(out(v), q − R).
+//
+// Classical nodes are the retention-0 case: declaration is forced truthful
+// and extraction is forced to exactly min(out, q).
+#pragma once
+
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/sd_network.hpp"
+
+namespace lgg::core {
+
+/// How an R-generalized node reports its queue when q <= R.
+enum class DeclarationPolicy {
+  kTruthful,      ///< always declare the true queue (legal: q <= R)
+  kDeclareR,      ///< declare exactly R — the maximal legal lie
+  kDeclareZero,   ///< declare 0 — the minimal legal lie
+  kRandom,        ///< declare uniform in [0, R]
+};
+
+[[nodiscard]] std::string_view to_string(DeclarationPolicy policy);
+
+/// The declared queue length q'_t(v) for a node with the given spec.
+PacketCount declared_queue(const NodeSpec& spec, PacketCount q,
+                           DeclarationPolicy policy, Rng& rng);
+
+/// How much slack a generalized node exercises when extracting.
+enum class ExtractionPolicy {
+  kEager,      ///< extract min(out, q) — classical behaviour
+  kRetentive,  ///< extract min(out, max(q − R, 0)) — keep R packets back
+  kRandom,     ///< uniform between the legal lower and upper bound
+};
+
+[[nodiscard]] std::string_view to_string(ExtractionPolicy policy);
+
+/// Legal extraction interval for the node: [lower, upper].
+struct ExtractionRange {
+  PacketCount lower;
+  PacketCount upper;
+};
+
+ExtractionRange extraction_range(const NodeSpec& spec, PacketCount q);
+
+/// The number of packets extracted this step under the policy.
+PacketCount extraction_amount(const NodeSpec& spec, PacketCount q,
+                              ExtractionPolicy policy, Rng& rng);
+
+}  // namespace lgg::core

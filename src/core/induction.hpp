@@ -1,0 +1,89 @@
+// The Section V-C induction step, as executable code.
+//
+// Given a feasible R-generalized S-D-network G whose extended graph G* has
+// a minimum cut (A, B) with real nodes on both sides, the proof of
+// Theorem 2 decomposes G into
+//
+//   * B' — the B side viewed as an R-generalized S'-D'-network: every node
+//     x in B adjacent to A becomes (or absorbs into) a generalized source
+//     with in_{B'}(x) = in(x) + |Γ_A(x)| (its neighbours in A can push one
+//     packet per connecting link per step);
+//
+//   * A' — the A side viewed as an R_B-generalized S''-D''-network: every
+//     node y in A adjacent to B becomes (or absorbs into) a generalized
+//     destination with out_{A'}(y) = out(y) + |Γ_B(y)|, where the
+//     retention R_B is the (proved-bounded) packet mass of B.
+//
+// Both pieces are feasible (the original flow restricted to each side
+// witnesses it — each cut link carries exactly one flow unit), D'' is
+// non-empty (Remark 2), and both are strictly smaller than G, which is
+// what lets the induction recurse.  decompose_at_cut() builds the two
+// networks; find_internal_cut() locates a usable cut; verify_* helpers
+// check the paper's side conditions and are exercised by tests and the
+// induction bench.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/sd_network.hpp"
+
+namespace lgg::core {
+
+/// An internal minimum cut of G*, expressed over the real nodes of G.
+struct InternalCut {
+  /// side_a[v] != 0 iff v lies on the source side A.
+  std::vector<char> side_a;
+  /// Cut value (== Σ in(v), the arrival rate, for the cuts used in V-C).
+  Cap value = 0;
+  NodeId a_size = 0;  ///< real nodes in A
+  NodeId b_size = 0;  ///< real nodes in B
+};
+
+/// Finds a minimum cut of G* with at least one real node on each side, if
+/// one exists (Section V case 3).  Requires `net` to be feasible.
+std::optional<InternalCut> find_internal_cut(const SdNetwork& net);
+
+/// The two sub-networks of the induction step.
+struct CutDecomposition {
+  InternalCut cut;
+
+  /// B' : the B side with border nodes promoted to generalized sources.
+  SdNetwork b_side;
+  /// Maps B'-side node ids back to node ids of G.
+  std::vector<NodeId> b_to_original;
+
+  /// A' : the A side with border nodes promoted to generalized
+  /// destinations carrying retention `retention_b`.
+  SdNetwork a_side;
+  std::vector<NodeId> a_to_original;
+
+  /// The retention constant R_B used for A's border destinations.
+  Cap retention_b = 0;
+};
+
+/// Builds the Section V-C decomposition of `net` at `cut`.
+/// `retention_b` is the bound on B's packet mass (R_B); the caller obtains
+/// it from theory (generalized bounds of B') or empirically.
+CutDecomposition decompose_at_cut(const SdNetwork& net,
+                                  const InternalCut& cut, Cap retention_b);
+
+/// Remark 2: D'' (the destination set of the A side) must be non-empty.
+bool verify_remark2(const CutDecomposition& decomposition);
+
+/// Both pieces must be feasible (the restricted flow witnesses it).
+bool verify_pieces_feasible(const CutDecomposition& decomposition);
+
+/// Runs the full recursion: repeatedly find an internal cut and split,
+/// collecting the leaf networks (those with no internal cut — the
+/// Sections V-A / V-B base cases).  Returns the number of induction steps
+/// taken and the leaf count; every intermediate invariant is checked via
+/// LGG_REQUIRE.  `max_depth` guards against non-termination.
+struct InductionTrace {
+  int splits = 0;
+  int leaves = 0;
+  NodeId largest_leaf = 0;
+};
+InductionTrace run_induction(const SdNetwork& net, int max_depth = 64);
+
+}  // namespace lgg::core

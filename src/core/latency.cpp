@@ -1,0 +1,68 @@
+#include "core/latency.hpp"
+
+#include <algorithm>
+
+#include "analysis/stats.hpp"
+
+namespace lgg::core {
+
+void LatencyTracker::on_step(const StepRecord& record) {
+  const auto n = static_cast<std::size_t>(record.net->node_count());
+  if (!initialized_) {
+    birth_.assign(n, {});
+    // Pre-seeded initial queues are stamped with the first observed step.
+    for (std::size_t v = 0; v < n; ++v) {
+      for (PacketCount i = 0; i < record.before_injection[v]; ++i) {
+        birth_[v].push_back(record.t);
+      }
+    }
+    initialized_ = true;
+  }
+  // Injections.
+  for (std::size_t v = 0; v < n; ++v) {
+    const PacketCount injected =
+        record.at_selection[v] - record.before_injection[v];
+    for (PacketCount i = 0; i < injected; ++i) birth_[v].push_back(record.t);
+  }
+  // Transmissions move the oldest packet of the sender.
+  for (std::size_t i = 0; i < record.transmissions.size(); ++i) {
+    if (!record.kept[i]) continue;
+    const Transmission& tx = record.transmissions[i];
+    auto& from = birth_[static_cast<std::size_t>(tx.from)];
+    LGG_ASSERT(!from.empty());
+    const TimeStep stamp = from.front();
+    from.pop_front();
+    if (record.lost[i]) {
+      ++lost_;
+    } else {
+      birth_[static_cast<std::size_t>(tx.to)].push_back(stamp);
+    }
+  }
+  // Extraction retires the oldest packets; the amount is recovered from
+  // the queue balance.
+  for (std::size_t v = 0; v < n; ++v) {
+    const PacketCount extracted =
+        static_cast<PacketCount>(birth_[v].size()) - record.after_step[v];
+    LGG_ASSERT(extracted >= 0);
+    for (PacketCount i = 0; i < extracted; ++i) {
+      const TimeStep stamp = birth_[v].front();
+      birth_[v].pop_front();
+      samples_.push_back(static_cast<double>(record.t - stamp + 1));
+    }
+  }
+}
+
+LatencyStats LatencyTracker::stats() const {
+  LatencyStats stats;
+  stats.delivered = static_cast<std::int64_t>(samples_.size());
+  stats.lost = lost_;
+  if (samples_.empty()) return stats;
+  const analysis::Summary summary = analysis::summarize(samples_);
+  stats.mean = summary.mean;
+  stats.max = summary.max;
+  stats.p50 = analysis::quantile(samples_, 0.5);
+  stats.p95 = analysis::quantile(samples_, 0.95);
+  return stats;
+}
+
+}  // namespace lgg::core

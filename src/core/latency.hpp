@@ -1,0 +1,63 @@
+// Per-packet latency measurement.
+//
+// The paper's model tracks queue *lengths* only; for engineering
+// evaluation (E14) we additionally measure packet sojourn times by
+// replaying the step records under a FIFO service discipline: queues hold
+// birth timestamps, transmissions move the oldest packet of the sender,
+// extraction retires the oldest packets of the sink.  Implemented as a
+// StepObserver so the simulator core stays count-based.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace lgg::core {
+
+struct LatencyStats {
+  std::int64_t delivered = 0;  ///< packets extracted at sinks
+  std::int64_t lost = 0;       ///< packets destroyed in flight
+  double mean = 0.0;           ///< mean sojourn (steps, injection->extraction)
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+class LatencyTracker final : public StepObserver {
+ public:
+  LatencyTracker() = default;
+
+  void on_step(const StepRecord& record) override;
+
+  /// Sojourn statistics over all packets extracted so far.
+  [[nodiscard]] LatencyStats stats() const;
+
+  /// Raw sojourn samples (steps in network per extracted packet).
+  [[nodiscard]] const std::vector<double>& samples() const {
+    return samples_;
+  }
+
+ private:
+  bool initialized_ = false;
+  std::vector<std::deque<TimeStep>> birth_;  // FIFO of birth stamps per node
+  std::vector<double> samples_;
+  std::int64_t lost_ = 0;
+};
+
+/// Fans one simulator observer slot out to several observers.
+class CompositeObserver final : public StepObserver {
+ public:
+  void add(StepObserver* observer) {
+    LGG_REQUIRE(observer != nullptr, "CompositeObserver: null observer");
+    observers_.push_back(observer);
+  }
+  void on_step(const StepRecord& record) override {
+    for (StepObserver* o : observers_) o->on_step(record);
+  }
+
+ private:
+  std::vector<StepObserver*> observers_;
+};
+
+}  // namespace lgg::core

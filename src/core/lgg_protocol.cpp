@@ -1,0 +1,57 @@
+#include "core/lgg_protocol.hpp"
+
+#include <algorithm>
+
+namespace lgg::core {
+
+void LggProtocol::select_transmissions(const StepView& view, Rng& rng,
+                                       std::vector<Transmission>& out) {
+  const NodeId n = view.net->node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    PacketCount budget = view.queue[static_cast<std::size_t>(u)];
+    if (budget <= 0) continue;
+    const PacketCount qu = view.queue[static_cast<std::size_t>(u)];
+
+    // list(u): active incident links ordered by increasing declared queue.
+    scratch_.clear();
+    for (const graph::IncidentLink& link : view.incidence->incident(u)) {
+      if (view.active != nullptr && !view.active->active(link.edge)) continue;
+      scratch_.push_back(link);
+    }
+    if (scratch_.empty()) continue;
+    if (tie_break_ == TieBreak::kRandomShuffle) {
+      std::shuffle(scratch_.begin(), scratch_.end(), rng.engine());
+      std::stable_sort(scratch_.begin(), scratch_.end(),
+                       [&](const graph::IncidentLink& a,
+                           const graph::IncidentLink& b) {
+                         return view.declared[static_cast<std::size_t>(
+                                    a.neighbor)] <
+                                view.declared[static_cast<std::size_t>(
+                                    b.neighbor)];
+                       });
+    } else {
+      std::sort(scratch_.begin(), scratch_.end(),
+                [&](const graph::IncidentLink& a,
+                    const graph::IncidentLink& b) {
+                  const auto qa =
+                      view.declared[static_cast<std::size_t>(a.neighbor)];
+                  const auto qb =
+                      view.declared[static_cast<std::size_t>(b.neighbor)];
+                  if (qa != qb) return qa < qb;
+                  if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
+                  return a.edge < b.edge;
+                });
+    }
+
+    for (const graph::IncidentLink& link : scratch_) {
+      if (budget <= 0) break;
+      // u compares its own true queue against the neighbour's declaration.
+      if (qu > view.declared[static_cast<std::size_t>(link.neighbor)]) {
+        out.push_back(Transmission{link.edge, u, link.neighbor});
+        --budget;
+      }
+    }
+  }
+}
+
+}  // namespace lgg::core

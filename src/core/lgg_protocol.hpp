@@ -1,0 +1,37 @@
+// Algorithm 1 of the paper: the Local Greedy Gradient protocol.
+//
+// At each step, every node u orders its (active) incident links by
+// increasing declared queue length of the far endpoint, then sends one
+// packet over each link whose far endpoint is strictly lower than u's own
+// (true) queue, stopping once q_t(u) packets have been committed — i.e. u
+// serves its q_t(u) lowest neighbours first.  The paper notes the tie-break
+// among equal neighbours does not affect stability; both deterministic and
+// randomized tie-breaks are provided so experiments can confirm it.
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace lgg::core {
+
+enum class TieBreak {
+  kById,           ///< (declared queue, neighbour id, edge id) ascending
+  kRandomShuffle,  ///< random order, then stable sort by declared queue
+};
+
+class LggProtocol final : public RoutingProtocol {
+ public:
+  explicit LggProtocol(TieBreak tie_break = TieBreak::kById)
+      : tie_break_(tie_break) {}
+
+  [[nodiscard]] std::string_view name() const override { return "lgg"; }
+
+  void select_transmissions(const StepView& view, Rng& rng,
+                            std::vector<Transmission>& out) override;
+
+ private:
+  TieBreak tie_break_;
+  // Scratch reused across steps to avoid per-step allocation.
+  std::vector<graph::IncidentLink> scratch_;
+};
+
+}  // namespace lgg::core

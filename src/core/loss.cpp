@@ -1,0 +1,86 @@
+#include "core/loss.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace lgg::core {
+
+BernoulliLoss::BernoulliLoss(double p) : p_(p) {
+  LGG_REQUIRE(p >= 0.0 && p <= 1.0, "BernoulliLoss: p in [0,1]");
+}
+
+void BernoulliLoss::mark_losses(const StepView&,
+                                std::span<const Transmission> txs, Rng& rng,
+                                std::vector<char>& lost) {
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (rng.bernoulli(p_)) lost[i] = 1;
+  }
+}
+
+PeriodicLoss::PeriodicLoss(std::int64_t period, std::int64_t phase)
+    : period_(period), counter_(phase % std::max<std::int64_t>(period, 1)) {
+  LGG_REQUIRE(period >= 1, "PeriodicLoss: period >= 1");
+}
+
+void PeriodicLoss::mark_losses(const StepView&,
+                               std::span<const Transmission> txs, Rng&,
+                               std::vector<char>& lost) {
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (++counter_ >= period_) {
+      counter_ = 0;
+      lost[i] = 1;
+    }
+  }
+}
+
+TargetedCutLoss::TargetedCutLoss(std::vector<char> side_a,
+                                 int budget_per_step)
+    : side_a_(std::move(side_a)), budget_(budget_per_step) {
+  LGG_REQUIRE(budget_ >= 0, "TargetedCutLoss: budget >= 0");
+}
+
+void TargetedCutLoss::mark_losses(const StepView&,
+                                  std::span<const Transmission> txs, Rng&,
+                                  std::vector<char>& lost) {
+  int remaining = budget_;
+  for (std::size_t i = 0; i < txs.size() && remaining > 0; ++i) {
+    const Transmission& tx = txs[i];
+    const bool crossing =
+        static_cast<std::size_t>(tx.from) < side_a_.size() &&
+        static_cast<std::size_t>(tx.to) < side_a_.size() &&
+        side_a_[static_cast<std::size_t>(tx.from)] &&
+        !side_a_[static_cast<std::size_t>(tx.to)];
+    if (crossing) {
+      lost[i] = 1;
+      --remaining;
+    }
+  }
+}
+
+MaxGradientLoss::MaxGradientLoss(int budget_per_step)
+    : budget_(budget_per_step) {
+  LGG_REQUIRE(budget_ >= 0, "MaxGradientLoss: budget >= 0");
+}
+
+void MaxGradientLoss::mark_losses(const StepView& view,
+                                  std::span<const Transmission> txs, Rng&,
+                                  std::vector<char>& lost) {
+  if (budget_ <= 0 || txs.empty()) return;
+  std::vector<std::size_t> order(txs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    const auto drop = [&](std::size_t i) {
+      return view.queue[static_cast<std::size_t>(txs[i].from)] -
+             view.queue[static_cast<std::size_t>(txs[i].to)];
+    };
+    return drop(a) > drop(b);
+  });
+  const std::size_t kill =
+      std::min<std::size_t>(static_cast<std::size_t>(budget_), txs.size());
+  for (std::size_t i = 0; i < kill; ++i) lost[order[i]] = 1;
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,104 @@
+#include "core/lyapunov.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lgg::core {
+
+namespace {
+
+double potential(std::span<const PacketCount> q) {
+  double p = 0;
+  for (const PacketCount x : q) {
+    p += static_cast<double>(x) * static_cast<double>(x);
+  }
+  return p;
+}
+
+}  // namespace
+
+LyapunovAuditor::LyapunovAuditor(const SdNetwork& net)
+    : plan_(build_flow_plan(net)) {}
+
+void LyapunovAuditor::on_step(const StepRecord& record) {
+  const auto n = static_cast<std::size_t>(record.net->node_count());
+  LyapunovStepAudit audit;
+  audit.t = record.t;
+  audit.p_before = potential(record.before_injection);
+  audit.p_after = potential(record.after_step);
+
+  // Eq. 1: P_{t+1} − P_t = Σ (Δq)² + 2 Σ q_t Δq, exactly.
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto dq = static_cast<double>(record.after_step[v] -
+                                        record.before_injection[v]);
+    audit.sum_dq_squared += dq * dq;
+    audit.delta += static_cast<double>(record.before_injection[v]) * dq;
+  }
+  audit.identity_ok =
+      std::abs((audit.p_after - audit.p_before) -
+               (audit.sum_dq_squared + 2.0 * audit.delta)) < 0.5;
+
+  // Eq. 3 ledger: reconstruct per-node extraction from the step balance
+  // and check every term is legal.
+  std::vector<PacketCount> fired_out(n, 0);
+  std::vector<PacketCount> delivered_in(n, 0);
+  bool gradient_ok = true;
+  for (std::size_t i = 0; i < record.transmissions.size(); ++i) {
+    if (!record.kept[i]) continue;
+    const Transmission& tx = record.transmissions[i];
+    ++fired_out[static_cast<std::size_t>(tx.from)];
+    if (!record.lost[i]) ++delivered_in[static_cast<std::size_t>(tx.to)];
+    // LGG fires strictly downhill w.r.t. the declared queues.
+    if (record.at_selection[static_cast<std::size_t>(tx.from)] <=
+        record.declared[static_cast<std::size_t>(tx.to)]) {
+      gradient_ok = false;
+    }
+  }
+  audit.gradient_ok = gradient_ok;
+
+  bool ledger_ok = true;
+  PacketCount extracted_total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const PacketCount ext = record.at_selection[v] - fired_out[v] +
+                            delivered_in[v] - record.after_step[v];
+    const NodeSpec& spec = record.net->spec(static_cast<NodeId>(v));
+    if (ext < 0 || ext > spec.out) ledger_ok = false;
+    extracted_total += ext;
+  }
+  if (extracted_total != record.stats.extracted) ledger_ok = false;
+  audit.ledger_ok = ledger_ok;
+
+  // Eq. 4 telescope over the fixed comparator plan Φ.
+  for (const auto& path : plan_.paths) {
+    for (const Transmission& hop : path) {
+      audit.telescope_lhs += static_cast<double>(
+          record.at_selection[static_cast<std::size_t>(hop.to)] -
+          record.at_selection[static_cast<std::size_t>(hop.from)]);
+    }
+    if (!path.empty()) {
+      audit.telescope_rhs += static_cast<double>(
+          record.at_selection[static_cast<std::size_t>(path.back().to)] -
+          record.at_selection[static_cast<std::size_t>(path.front().from)]);
+    }
+  }
+  audit.telescope_ok =
+      std::abs(audit.telescope_lhs - audit.telescope_rhs) < 0.5;
+
+  audits_.push_back(audit);
+}
+
+bool LyapunovAuditor::all_ok() const {
+  return std::all_of(audits_.begin(), audits_.end(),
+                     [](const LyapunovStepAudit& a) {
+                       return a.identity_ok && a.ledger_ok &&
+                              a.gradient_ok && a.telescope_ok;
+                     });
+}
+
+double LyapunovAuditor::max_delta() const {
+  double best = 0.0;
+  for (const auto& a : audits_) best = std::max(best, a.delta);
+  return best;
+}
+
+}  // namespace lgg::core

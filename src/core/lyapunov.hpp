@@ -1,0 +1,61 @@
+// The Lyapunov ledger of Section III, executed per step.
+//
+// The paper's proof machinery rests on a handful of exact identities and
+// per-step inequalities around the potential P_t = Σ q²:
+//
+//   Eq. 1 (algebra):  P_{t+1} − P_t = Σ (Δq)² + 2 Σ q_t Δq
+//   Eq. 3 (ledger):   δ_t := Σ q_t Δq decomposes into the injection term,
+//                     the gradient sum over fired transmissions, the lost
+//                     packets' terms, and the extraction term
+//   LGG gradient:     every fired LGG transmission is strictly downhill
+//                     with respect to the declared queues
+//   Eq. 4 (telescope): summing q_t(v) − q_t(u) along the hops of a max-flow
+//                     path decomposition telescopes to
+//                     Σ_d q_t(d)·Φ(d,d*) − Σ_s q_t(s)·Φ(s*,s)
+//
+// LyapunovAuditor verifies all of them on the live simulation via the
+// StepObserver hook, to the exact integer.  The audits power the Lyapunov
+// bench and the proof-machinery tests.
+#pragma once
+
+#include <vector>
+
+#include "core/flow_plan.hpp"
+#include "core/simulator.hpp"
+
+namespace lgg::core {
+
+struct LyapunovStepAudit {
+  TimeStep t = 0;
+  double p_before = 0;      ///< P(x_t)
+  double p_after = 0;       ///< P(x_{t+1})
+  double delta = 0;         ///< δ_t = Σ x_t (x_{t+1} − x_t)
+  double sum_dq_squared = 0;
+  bool identity_ok = false;      ///< Eq. 1
+  bool ledger_ok = false;        ///< Eq. 3 with losses/injections explicit
+  bool gradient_ok = false;      ///< fired LGG txs strictly downhill
+  double telescope_lhs = 0;      ///< Σ_{EΦ} (q(v) − q(u))
+  double telescope_rhs = 0;      ///< Σ_d q(d)Φ(d,d*) − Σ_s q(s)Φ(s*,s)
+  bool telescope_ok = false;     ///< Eq. 4
+};
+
+class LyapunovAuditor final : public StepObserver {
+ public:
+  /// Builds the fixed max-flow comparator plan Φ for the Eq. 4 telescope.
+  explicit LyapunovAuditor(const SdNetwork& net);
+
+  void on_step(const StepRecord& record) override;
+
+  [[nodiscard]] const std::vector<LyapunovStepAudit>& audits() const {
+    return audits_;
+  }
+  [[nodiscard]] bool all_ok() const;
+  /// max_t δ_t — the quantity Properties 1/3 bound.
+  [[nodiscard]] double max_delta() const;
+
+ private:
+  FlowPlan plan_;
+  std::vector<LyapunovStepAudit> audits_;
+};
+
+}  // namespace lgg::core

@@ -1,0 +1,27 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace lgg::core {
+
+void MetricsRecorder::observe(TimeStep, std::span<const PacketCount> queues,
+                              const StepStats& stats) {
+  double state = 0.0;
+  double total = 0.0;
+  double max_q = 0.0;
+  for (const PacketCount q : queues) {
+    const auto qd = static_cast<double>(q);
+    state += qd * qd;
+    total += qd;
+    max_q = std::max(max_q, qd);
+  }
+  network_state_.push_back(state);
+  total_packets_.push_back(total);
+  max_queue_.push_back(max_q);
+  steps_.push_back(stats);
+  if (record_queues_) {
+    queue_traces_.emplace_back(queues.begin(), queues.end());
+  }
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,87 @@
+// Per-step accounting and trajectory recording.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lgg::core {
+
+/// What happened in one synchronous step.
+struct StepStats {
+  PacketCount injected = 0;    ///< packets added at sources
+  PacketCount proposed = 0;    ///< transmissions proposed by the protocol
+  PacketCount suppressed = 0;  ///< removed by the interference scheduler
+  PacketCount conflicted = 0;  ///< dropped by link-conflict resolution
+  PacketCount sent = 0;        ///< packets that left a queue
+  PacketCount lost = 0;        ///< sent but never arrived (loss model +
+                               ///< conflict drops)
+  PacketCount delivered = 0;   ///< sent and arrived at the far endpoint
+  PacketCount extracted = 0;   ///< removed by sinks
+  bool topology_changed = false;
+};
+
+/// Running totals over a simulation.
+struct CumulativeStats {
+  PacketCount injected = 0;
+  PacketCount proposed = 0;
+  PacketCount suppressed = 0;
+  PacketCount conflicted = 0;
+  PacketCount sent = 0;
+  PacketCount lost = 0;
+  PacketCount delivered = 0;
+  PacketCount extracted = 0;
+  TimeStep steps = 0;
+
+  void add(const StepStats& s) {
+    injected += s.injected;
+    proposed += s.proposed;
+    suppressed += s.suppressed;
+    conflicted += s.conflicted;
+    sent += s.sent;
+    lost += s.lost;
+    delivered += s.delivered;
+    extracted += s.extracted;
+    ++steps;
+  }
+};
+
+/// Records the trajectory a stability analysis needs: the network state
+/// P_t = Σ q², the total stored packets, and the max queue, per step.
+class MetricsRecorder {
+ public:
+  /// When record_queue_traces is true, full per-node queue vectors are kept
+  /// (memory ~ n per step).
+  explicit MetricsRecorder(bool record_queue_traces = false)
+      : record_queues_(record_queue_traces) {}
+
+  void observe(TimeStep t, std::span<const PacketCount> queues,
+               const StepStats& stats);
+
+  [[nodiscard]] const std::vector<double>& network_state() const {
+    return network_state_;
+  }
+  [[nodiscard]] const std::vector<double>& total_packets() const {
+    return total_packets_;
+  }
+  [[nodiscard]] const std::vector<double>& max_queue() const {
+    return max_queue_;
+  }
+  [[nodiscard]] const std::vector<StepStats>& steps() const { return steps_; }
+  [[nodiscard]] const std::vector<std::vector<PacketCount>>& queue_traces()
+      const {
+    return queue_traces_;
+  }
+  [[nodiscard]] std::size_t size() const { return network_state_.size(); }
+
+ private:
+  bool record_queues_;
+  std::vector<double> network_state_;
+  std::vector<double> total_packets_;
+  std::vector<double> max_queue_;
+  std::vector<StepStats> steps_;
+  std::vector<std::vector<PacketCount>> queue_traces_;
+};
+
+}  // namespace lgg::core

@@ -1,0 +1,49 @@
+#include "core/protocol.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace lgg::core {
+
+std::string check_transmission_contract(const StepView& view,
+                                        std::span<const Transmission> txs) {
+  const graph::Multigraph& g = view.net->topology();
+  std::map<std::pair<EdgeId, NodeId>, int> per_direction;
+  std::vector<PacketCount> sent(static_cast<std::size_t>(g.node_count()), 0);
+  for (const Transmission& tx : txs) {
+    std::ostringstream err;
+    if (!g.valid_edge(tx.edge)) {
+      err << "invalid edge id " << tx.edge;
+      return err.str();
+    }
+    const graph::Endpoints ep = g.endpoints(tx.edge);
+    const bool matches = (ep.u == tx.from && ep.v == tx.to) ||
+                         (ep.v == tx.from && ep.u == tx.to);
+    if (!matches) {
+      err << "transmission endpoints do not match edge " << tx.edge;
+      return err.str();
+    }
+    if (view.active != nullptr && !view.active->active(tx.edge)) {
+      err << "transmission on inactive edge " << tx.edge;
+      return err.str();
+    }
+    if (++per_direction[{tx.edge, tx.from}] > 1) {
+      err << "edge " << tx.edge << " used twice in the same direction";
+      return err.str();
+    }
+    ++sent[static_cast<std::size_t>(tx.from)];
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (sent[static_cast<std::size_t>(v)] >
+        view.queue[static_cast<std::size_t>(v)]) {
+      std::ostringstream err;
+      err << "node " << v << " sends " << sent[static_cast<std::size_t>(v)]
+          << " packets but holds only "
+          << view.queue[static_cast<std::size_t>(v)];
+      return err.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace lgg::core

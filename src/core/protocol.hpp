@@ -1,0 +1,66 @@
+// The routing-protocol interface shared by LGG and every baseline.
+//
+// A protocol sees the step-start snapshot (true queues for its own node,
+// *declared* queues for neighbours — R-generalized nodes may lie, Def. 7)
+// and proposes a set of single-packet transmissions.  The simulator then
+// applies interference scheduling, link-conflict resolution, losses, and
+// extraction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/sd_network.hpp"
+
+namespace lgg::core {
+
+/// One packet moved across one link in one step.
+struct Transmission {
+  EdgeId edge;
+  NodeId from;
+  NodeId to;
+
+  friend bool operator==(const Transmission&, const Transmission&) = default;
+};
+
+/// Read-only view of the network at the moment transmissions are chosen
+/// (after injection).
+struct StepView {
+  const SdNetwork* net = nullptr;
+  const graph::CsrIncidence* incidence = nullptr;
+  const graph::EdgeMask* active = nullptr;
+  std::span<const PacketCount> queue;     ///< true queue lengths q_t
+  std::span<const PacketCount> declared;  ///< declared queue lengths q'_t
+  TimeStep t = 0;
+  /// Incremented whenever the active edge set changes; protocols holding
+  /// topology-derived caches (distances, flow paths) rekey on it.
+  std::uint64_t topology_version = 0;
+};
+
+class RoutingProtocol {
+ public:
+  virtual ~RoutingProtocol() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Appends this step's proposed transmissions to `out` (left non-cleared
+  /// so callers can compose).  Contract: per link at most one transmission
+  /// per direction, only active links, and for every node u at most
+  /// queue[u] transmissions leaving u.
+  virtual void select_transmissions(const StepView& view, Rng& rng,
+                                    std::vector<Transmission>& out) = 0;
+
+  /// Drops protocol-internal caches (called when the simulator is reset).
+  virtual void reset() {}
+};
+
+/// Debug/test helper: verifies the protocol contract for a proposed set.
+/// Returns an empty string when valid, else a description of the violation.
+std::string check_transmission_contract(const StepView& view,
+                                        std::span<const Transmission> txs);
+
+}  // namespace lgg::core

@@ -1,0 +1,40 @@
+#include "core/region.hpp"
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace lgg::core {
+
+bool load_is_stable(const LoadProbe& probe, double load,
+                    const RegionOptions& options) {
+  LGG_REQUIRE(static_cast<bool>(probe), "load_is_stable: empty probe");
+  LGG_REQUIRE(options.replicates >= 1, "load_is_stable: replicates >= 1");
+  int not_diverging = 0;
+  for (int k = 0; k < options.replicates; ++k) {
+    const Verdict v =
+        probe(load, derive_seed(options.seed, static_cast<std::uint64_t>(k)));
+    if (v != Verdict::kDiverging) ++not_diverging;
+  }
+  return 2 * not_diverging > options.replicates;
+}
+
+double critical_load(const LoadProbe& probe, RegionOptions options) {
+  LGG_REQUIRE(options.lo > 0 && options.lo < options.hi,
+              "critical_load: need 0 < lo < hi");
+  LGG_REQUIRE(options.tolerance > 0, "critical_load: tolerance > 0");
+  double lo = options.lo;
+  double hi = options.hi;
+  if (!load_is_stable(probe, lo, options)) return 0.0;
+  if (load_is_stable(probe, hi, options)) return hi;
+  while (hi - lo > options.tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (load_is_stable(probe, mid, options)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace lgg::core

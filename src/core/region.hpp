@@ -1,0 +1,36 @@
+// Empirical stability-region estimation.
+//
+// The stability region of a protocol (Tassiulas–Ephremides sense, the
+// object Theorem 1 characterizes for LGG) is the set of arrival-rate
+// scalings under which the network state stays bounded.  For a
+// one-parameter family load ∈ (0, λ_max], the region is an interval
+// [0, λ*), and λ* is found by bisection over replicated seeded runs.
+#pragma once
+
+#include <functional>
+
+#include "core/stability.hpp"
+
+namespace lgg::core {
+
+struct RegionOptions {
+  double lo = 0.05;        ///< known-stable starting load
+  double hi = 2.0;         ///< known-unstable ceiling load
+  double tolerance = 1.0 / 64.0;
+  int replicates = 3;      ///< seeded runs per probe; majority decides
+  std::uint64_t seed = 0xbeef;
+};
+
+/// Verdict of one run of the system under `load` with `seed`.
+using LoadProbe = std::function<Verdict(double load, std::uint64_t seed)>;
+
+/// True iff the majority of replicated probes at `load` are not diverging.
+bool load_is_stable(const LoadProbe& probe, double load,
+                    const RegionOptions& options);
+
+/// Largest load (within tolerance) whose majority verdict is stable.
+/// Requires the probe to be monotone in load (stable below, diverging
+/// above), which holds for every system in this library.
+double critical_load(const LoadProbe& probe, RegionOptions options = {});
+
+}  // namespace lgg::core

@@ -1,0 +1,66 @@
+// Canonical instance constructors shared by tests, benches, and examples —
+// each realizes one regime of the paper's case analysis.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sd_network.hpp"
+
+namespace lgg::core::scenarios {
+
+/// Path of `len` nodes; node 0 is a source with rate `in`, the last node a
+/// sink with rate `out`.  Feasible iff in <= 1 (unit links); unsaturated
+/// never (single link saturates) unless multiplicity helps — see fat_path.
+SdNetwork single_path(NodeId len, Cap in = 1, Cap out = 1);
+
+/// Path whose consecutive nodes are joined by `multiplicity` parallel
+/// links; source rate `in` at node 0, sink rate `out` at the end.
+/// Unsaturated iff in < multiplicity.
+SdNetwork fat_path(NodeId len, int multiplicity, Cap in, Cap out);
+
+/// rows×cols grid; sources on the left column (rate in each), sinks on the
+/// right column (rate out each).  NOTE: with in = 1 on every row this is
+/// exactly *saturated* (each row has a single horizontal edge out of the
+/// left column); use grid_single for an unsaturated grid.
+SdNetwork grid_flow(NodeId rows, NodeId cols, Cap in = 1, Cap out = 2);
+
+/// rows×cols grid with a single source in the middle of the left column
+/// and sinks on the whole right column — unsaturated for in = 1 when
+/// rows >= 2 (the source fans out over >= 3 grid edges).
+SdNetwork grid_single(NodeId rows, NodeId cols, Cap in = 1, Cap out = 2);
+
+/// Complete bipartite K_{a,b}: all left nodes sources (rate in), all right
+/// nodes sinks (rate out).
+SdNetwork bipartite(NodeId a, NodeId b, Cap in = 1, Cap out = 1);
+
+/// Two k-cliques joined by one bridge; sources in the left clique, sinks in
+/// the right — every S-D path crosses the bridge, so f* = 1.
+/// total_in = 1 gives a saturated *internal* cut (Section V-C's regime);
+/// total_in > 1 is infeasible.
+SdNetwork barbell_bottleneck(NodeId k, Cap total_in = 1, Cap out = 2);
+
+/// Random connected multigraph with `nsrc` sources / `nsink` sinks (rate 1
+/// each, sinks rate `out`).  Retries seeds until the instance is feasible
+/// and unsaturated.  Throws after too many retries.
+SdNetwork random_unsaturated(NodeId n, EdgeId m, int nsrc, int nsink,
+                             std::uint64_t seed, Cap out = 2);
+
+/// K_{a,a} with unit source and sink rates: Σin = Σout = f*, so G* has min
+/// cuts at both s* and d* — the Section V-B regime.
+SdNetwork saturated_at_dstar(NodeId a);
+
+/// `count` cliques of size k chained by single bridges; source (rate 1) in
+/// the first clique, sink in the last.  Every bridge is a saturated
+/// internal min cut, so the Section V-C induction must recurse
+/// count − 1 times.  Requires k >= 2, count >= 2.
+SdNetwork clique_chain(NodeId k, int count, Cap out = 2);
+
+/// Scales every source rate by `factor` (rounding up), producing an
+/// overloaded (infeasible) variant when factor · rate exceeds f*.
+SdNetwork scale_arrivals(const SdNetwork& net, double factor);
+
+/// Converts every source/sink of `net` into an R-generalized node with the
+/// given retention (rates preserved) — the Definition 7/8 variant.
+SdNetwork generalize(const SdNetwork& net, Cap retention);
+
+}  // namespace lgg::core::scenarios

@@ -1,0 +1,100 @@
+// The S-D-network of Section II, generalized per Definitions 5–8.
+//
+// Every node carries a NodeSpec {in, out, retention}:
+//   * classical source       — in > 0, out = 0, retention = 0
+//   * classical destination  — in = 0, out > 0, retention = 0
+//   * R-generalized node     — any in/out >= 0 with retention R >= 0
+//     (a destination if in <= out, otherwise a source, per Definition 7)
+//   * plain relay            — in = out = retention = 0
+//
+// A classical S-D-network is exactly the retention-0 special case, which the
+// paper proves (and the test suite checks) behaves identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "flow/feasibility.hpp"
+#include "graph/multigraph.hpp"
+
+namespace lgg::core {
+
+struct NodeSpec {
+  Cap in = 0;         ///< max packets injected per step, in(v)
+  Cap out = 0;        ///< max packets extracted per step, out(v)
+  Cap retention = 0;  ///< R of Definition 7 (0 = classical behaviour)
+
+  friend bool operator==(const NodeSpec&, const NodeSpec&) = default;
+};
+
+class SdNetwork {
+ public:
+  /// Empty network; only useful as a placeholder to assign into.
+  SdNetwork() = default;
+
+  explicit SdNetwork(graph::Multigraph g)
+      : graph_(std::move(g)),
+        specs_(static_cast<std::size_t>(graph_.node_count())) {}
+
+  /// Declares a classical source injecting exactly/at most in(s) per step.
+  void set_source(NodeId v, Cap in_rate);
+  /// Declares a classical destination extracting min{out(d), q} per step.
+  void set_sink(NodeId v, Cap out_rate);
+  /// Declares an R-generalized node (Definition 7).
+  void set_generalized(NodeId v, Cap in_rate, Cap out_rate, Cap retention);
+  /// Clears a node back to a plain relay.
+  void clear_role(NodeId v);
+
+  [[nodiscard]] const graph::Multigraph& topology() const { return graph_; }
+  [[nodiscard]] NodeId node_count() const { return graph_.node_count(); }
+  [[nodiscard]] int max_degree() const { return graph_.max_degree(); }
+
+  [[nodiscard]] const NodeSpec& spec(NodeId v) const {
+    LGG_REQUIRE(graph_.valid_node(v), "spec: bad node");
+    return specs_[static_cast<std::size_t>(v)];
+  }
+
+  /// Nodes with in > 0 (injection side of S ∪ D).
+  [[nodiscard]] std::vector<NodeId> sources() const;
+  /// Nodes with out > 0 (extraction side of S ∪ D).
+  [[nodiscard]] std::vector<NodeId> sinks() const;
+  /// S ∪ D: nodes with in > 0, out > 0, or retention > 0.
+  [[nodiscard]] std::vector<NodeId> special_nodes() const;
+
+  /// Σ_s in(s) — the arrival rate of Section II.
+  [[nodiscard]] Cap arrival_rate() const;
+  /// Σ_d out(d).
+  [[nodiscard]] Cap extraction_rate() const;
+  /// max over S ∪ D of out(v) (outmax of Properties 3–6).
+  [[nodiscard]] Cap max_out() const;
+  /// max retention over all nodes.
+  [[nodiscard]] Cap max_retention() const;
+  /// True if any node deviates from classical source/sink behaviour.
+  [[nodiscard]] bool is_generalized() const;
+
+  /// {node, in(v)} for every node with in > 0, in node order — the (s*, v)
+  /// arcs of G*.
+  [[nodiscard]] std::vector<flow::RatedNode> source_rates() const;
+  /// {node, out(v)} for every node with out > 0 — the (v, d*) arcs of G*.
+  [[nodiscard]] std::vector<flow::RatedNode> sink_rates() const;
+
+  /// Throws ContractViolation unless the instance has at least one source
+  /// and one sink and all rates are sane.
+  void validate() const;
+
+ private:
+  graph::Multigraph graph_;
+  std::vector<NodeSpec> specs_;
+};
+
+/// Full Section-II/V analysis of the instance (feasibility, f*, ε, min-cut
+/// placement) via the extended graph G*.
+flow::FeasibilityReport analyze(const SdNetwork& net);
+
+/// One-line human summary ("n=12 Δ=4 |S|=2 |D|=3 rate=5 feasible unsaturated
+/// eps=0.25 ...") for logs and bench output.
+std::string describe(const SdNetwork& net,
+                     const flow::FeasibilityReport& report);
+
+}  // namespace lgg::core

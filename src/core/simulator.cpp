@@ -1,0 +1,241 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace lgg::core {
+
+Simulator::Simulator(SdNetwork net, SimulatorOptions options,
+                     std::unique_ptr<RoutingProtocol> protocol)
+    : net_(std::move(net)),
+      options_(options),
+      protocol_(protocol ? std::move(protocol)
+                         : std::make_unique<LggProtocol>()),
+      arrival_(std::make_unique<ExactArrival>()),
+      loss_(std::make_unique<NoLoss>()),
+      scheduler_(std::make_unique<NoInterference>()),
+      dynamics_(std::make_unique<StaticTopology>()),
+      incidence_(net_.topology()),
+      mask_(net_.topology().edge_count()),
+      rng_(options.seed),
+      queue_(static_cast<std::size_t>(net_.node_count()), 0),
+      declared_(static_cast<std::size_t>(net_.node_count()), 0) {
+  net_.validate();
+}
+
+void Simulator::set_arrival(std::unique_ptr<ArrivalProcess> arrival) {
+  LGG_REQUIRE(arrival != nullptr, "set_arrival: null");
+  arrival_ = std::move(arrival);
+}
+
+void Simulator::set_loss(std::unique_ptr<LossModel> loss) {
+  LGG_REQUIRE(loss != nullptr, "set_loss: null");
+  loss_ = std::move(loss);
+}
+
+void Simulator::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
+  LGG_REQUIRE(scheduler != nullptr, "set_scheduler: null");
+  scheduler_ = std::move(scheduler);
+}
+
+void Simulator::set_dynamics(std::unique_ptr<TopologyDynamics> dynamics) {
+  LGG_REQUIRE(dynamics != nullptr, "set_dynamics: null");
+  dynamics_ = std::move(dynamics);
+}
+
+void Simulator::set_initial_queue(NodeId v, PacketCount q) {
+  LGG_REQUIRE(t_ == 0, "set_initial_queue: simulation already started");
+  LGG_REQUIRE(net_.topology().valid_node(v), "set_initial_queue: bad node");
+  LGG_REQUIRE(q >= 0, "set_initial_queue: negative queue");
+  initial_total_ -= queue_[static_cast<std::size_t>(v)];
+  queue_[static_cast<std::size_t>(v)] = q;
+  initial_total_ += q;
+}
+
+PacketCount Simulator::total_packets() const {
+  PacketCount total = 0;
+  for (const PacketCount q : queue_) total += q;
+  return total;
+}
+
+double Simulator::network_state() const {
+  double state = 0.0;
+  for (const PacketCount q : queue_) {
+    const auto qd = static_cast<double>(q);
+    state += qd * qd;
+  }
+  return state;
+}
+
+PacketCount Simulator::max_queue() const {
+  PacketCount best = 0;
+  for (const PacketCount q : queue_) best = std::max(best, q);
+  return best;
+}
+
+bool Simulator::conserves_packets() const {
+  return initial_total_ + totals_.injected - totals_.extracted -
+             totals_.lost ==
+         total_packets();
+}
+
+void Simulator::resolve_link_conflicts(std::vector<char>& keep) {
+  // Detect both directions of one edge being kept; keep the transmission
+  // realizing the larger true queue drop (ties: lower from-id wins).
+  std::map<EdgeId, std::size_t> first_use;
+  for (std::size_t i = 0; i < txs_.size(); ++i) {
+    if (!keep[i]) continue;
+    const auto [it, inserted] = first_use.emplace(txs_[i].edge, i);
+    if (inserted) continue;
+    const std::size_t j = it->second;  // earlier kept use of this edge
+    if (txs_[j].from == txs_[i].from) continue;  // same direction is the
+                                                 // protocol's contract to
+                                                 // avoid; checked elsewhere
+    const auto drop = [&](const Transmission& tx) {
+      return queue_[static_cast<std::size_t>(tx.from)] -
+             queue_[static_cast<std::size_t>(tx.to)];
+    };
+    std::size_t loser;
+    if (drop(txs_[i]) > drop(txs_[j]) ||
+        (drop(txs_[i]) == drop(txs_[j]) && txs_[i].from < txs_[j].from)) {
+      loser = j;
+      it->second = i;
+    } else {
+      loser = i;
+    }
+    keep[loser] = 0;
+  }
+}
+
+StepStats Simulator::step() {
+  StepStats stats;
+  const NodeId n = net_.node_count();
+
+  // 1. Topology dynamics.
+  if (dynamics_->evolve(t_, net_, mask_, rng_)) {
+    ++topology_version_;
+    stats.topology_changed = true;
+  }
+
+  // 2. Injection.
+  if (observer_ != nullptr) pre_injection_ = queue_;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeSpec& spec = net_.spec(v);
+    if (spec.in <= 0) continue;
+    const PacketCount a = arrival_->packets(v, spec.in, t_, rng_);
+    LGG_REQUIRE(a >= 0, "arrival process returned a negative count");
+    queue_[static_cast<std::size_t>(v)] += a;
+    stats.injected += a;
+  }
+
+  // 3. Declarations.
+  for (NodeId v = 0; v < n; ++v) {
+    declared_[static_cast<std::size_t>(v)] =
+        declared_queue(net_.spec(v), queue_[static_cast<std::size_t>(v)],
+                       options_.declaration_policy, rng_);
+  }
+
+  const StepView view{&net_,      &incidence_, &mask_,
+                      queue_,     declared_,   t_,
+                      topology_version_};
+
+  // 4. Protocol proposes transmissions.
+  txs_.clear();
+  protocol_->select_transmissions(view, rng_, txs_);
+  stats.proposed = static_cast<PacketCount>(txs_.size());
+  if (options_.check_contract) {
+    const std::string err = check_transmission_contract(view, txs_);
+    LGG_REQUIRE(err.empty(), "protocol contract violated: " + err);
+  }
+
+  // 5. Interference scheduling.
+  keep_.assign(txs_.size(), 1);
+  scheduler_->schedule(view, txs_, rng_, keep_);
+  stats.suppressed =
+      static_cast<PacketCount>(std::count(keep_.begin(), keep_.end(), 0));
+
+  // 6. Link-conflict resolution: when both directions of one link are
+  // scheduled, only one can use the link ("each link can transmit at most
+  // 1 packet").  The loser's packet stays in its queue.
+  if (options_.link_conflict == LinkConflictPolicy::kDropLower) {
+    std::vector<char> keep_before = keep_;
+    resolve_link_conflicts(keep_);
+    for (std::size_t i = 0; i < txs_.size(); ++i) {
+      if (keep_before[i] && !keep_[i]) ++stats.conflicted;
+    }
+  }
+
+  // 7. Losses + application.  Every kept transmission removes a packet from
+  // the sender; only un-lost ones arrive.
+  if (options_.extraction_basis == ExtractionBasis::kSnapshot ||
+      observer_ != nullptr) {
+    snapshot_ = queue_;  // step-start (post-injection) queue for step 8
+  }
+  lost_.assign(txs_.size(), 0);
+  loss_->mark_losses(view, txs_, rng_, lost_);
+  for (std::size_t i = 0; i < txs_.size(); ++i) {
+    if (!keep_[i]) continue;
+    const Transmission& tx = txs_[i];
+    auto& from_q = queue_[static_cast<std::size_t>(tx.from)];
+    LGG_REQUIRE(from_q > 0, "transmission from an empty queue");
+    --from_q;
+    ++stats.sent;
+    if (lost_[i]) {
+      ++stats.lost;
+    } else {
+      ++queue_[static_cast<std::size_t>(tx.to)];
+      ++stats.delivered;
+    }
+  }
+
+  // 8. Extraction.
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeSpec& spec = net_.spec(v);
+    if (spec.out <= 0) continue;
+    auto& q = queue_[static_cast<std::size_t>(v)];
+    PacketCount amount = 0;
+    if (options_.extraction_basis == ExtractionBasis::kSnapshot) {
+      // The paper's literal min{out(d), q_t(d)} with q_t the step-start
+      // (post-injection) snapshot, clamped to what the queue holds now.
+      amount = extraction_amount(
+          spec, snapshot_[static_cast<std::size_t>(v)],
+          options_.extraction_policy, rng_);
+      amount = std::min(amount, q);
+    } else {
+      amount = extraction_amount(spec, q, options_.extraction_policy, rng_);
+    }
+    LGG_ASSERT(amount >= 0 && amount <= q);
+    q -= amount;
+    stats.extracted += amount;
+  }
+
+  totals_.add(stats);
+  if (observer_ != nullptr) {
+    StepRecord record;
+    record.net = &net_;
+    record.t = t_;
+    record.before_injection = pre_injection_;
+    record.at_selection = snapshot_;
+    record.declared = declared_;
+    record.after_step = queue_;
+    record.transmissions = txs_;
+    record.kept = keep_;
+    record.lost = lost_;
+    record.stats = stats;
+    observer_->on_step(record);
+  }
+  ++t_;
+  return stats;
+}
+
+void Simulator::run(TimeStep steps, MetricsRecorder* recorder) {
+  LGG_REQUIRE(steps >= 0, "run: negative step count");
+  for (TimeStep i = 0; i < steps; ++i) {
+    const StepStats stats = step();
+    if (recorder != nullptr) {
+      recorder->observe(t_ - 1, queue_, stats);
+    }
+  }
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,163 @@
+// The synchronous simulation engine of Section II.
+//
+// One step executes, in order:
+//   1. topology dynamics mutate the active edge set           (Conj. 4)
+//   2. sources inject packets per the arrival process         (in_t <= in)
+//   3. nodes declare queue lengths                            (Def. 7 (ii))
+//   4. the routing protocol proposes transmissions            (Algorithm 1)
+//   5. the interference scheduler filters them                (Conj. 5)
+//   6. link-conflict resolution (two opposite sends on one link can only be
+//      scheduled when a node lies; the loser counts as a loss)
+//   7. transmissions fire: each packet leaves its sender; the loss model
+//      decides which ones arrive
+//   8. sinks extract packets                                  (Def. 7 (i))
+//
+// Every stochastic choice draws from one seeded RNG, so a run is a pure
+// function of (network, components, seed).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/arrival.hpp"
+#include "core/dynamics.hpp"
+#include "core/generalized.hpp"
+#include "core/interference.hpp"
+#include "core/loss.hpp"
+#include "core/lgg_protocol.hpp"
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+
+namespace lgg::core {
+
+/// What "q_t(d)" means in the sink-extraction rule min{out(d), q_t(d)}.
+enum class ExtractionBasis {
+  /// Post-transmission queue (physical: a sink extracts what it holds).
+  kPostTransmit,
+  /// Step-start (post-injection) queue, clamped to the current content —
+  /// the paper's literal reading.
+  kSnapshot,
+};
+
+/// Resolution when both directions of one link are scheduled (impossible
+/// for LGG without lying declarations, routine for gradient-free baselines
+/// such as random walk).
+enum class LinkConflictPolicy {
+  /// The link carries the transmission with the larger queue drop; the
+  /// loser's packet stays in its queue ("each link can transmit at most 1
+  /// packet").
+  kDropLower,
+  /// Both fire (interpret the link as full-duplex).
+  kAllowBoth,
+};
+
+/// Everything that happened inside one step, exposed to a StepObserver.
+/// Spans are only valid during the on_step call.
+struct StepRecord {
+  const SdNetwork* net = nullptr;
+  TimeStep t = 0;
+  std::span<const PacketCount> before_injection;  ///< x_t
+  std::span<const PacketCount> at_selection;      ///< q_t (post-injection)
+  std::span<const PacketCount> declared;          ///< q'_t
+  std::span<const PacketCount> after_step;        ///< x_{t+1}
+  std::span<const Transmission> transmissions;    ///< as proposed
+  std::span<const char> kept;   ///< fired (post scheduler + link conflict)
+  std::span<const char> lost;   ///< loss-model verdicts (only if kept)
+  StepStats stats;
+};
+
+/// Per-step instrumentation hook (Lyapunov audits, tracing, ...).
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_step(const StepRecord& record) = 0;
+};
+
+struct SimulatorOptions {
+  ExtractionBasis extraction_basis = ExtractionBasis::kPostTransmit;
+  LinkConflictPolicy link_conflict = LinkConflictPolicy::kDropLower;
+  ExtractionPolicy extraction_policy = ExtractionPolicy::kEager;
+  DeclarationPolicy declaration_policy = DeclarationPolicy::kTruthful;
+  /// Validate the protocol's transmission contract every step (tests).
+  bool check_contract = false;
+  std::uint64_t seed = 0x00c0ffee00c0ffeeULL;
+};
+
+class Simulator {
+ public:
+  /// The protocol defaults to LGG.
+  Simulator(SdNetwork net, SimulatorOptions options = {},
+            std::unique_ptr<RoutingProtocol> protocol = nullptr);
+
+  // Optional components (defaults: exact arrivals, no loss, no
+  // interference, static topology).
+  void set_arrival(std::unique_ptr<ArrivalProcess> arrival);
+  void set_loss(std::unique_ptr<LossModel> loss);
+  void set_scheduler(std::unique_ptr<Scheduler> scheduler);
+  void set_dynamics(std::unique_ptr<TopologyDynamics> dynamics);
+
+  /// Installs an instrumentation hook called at the end of every step.
+  /// Not owned; pass nullptr to detach.  Enables extra per-step queue
+  /// snapshots (small overhead).
+  void set_observer(StepObserver* observer) { observer_ = observer; }
+
+  [[nodiscard]] const SdNetwork& network() const { return net_; }
+  [[nodiscard]] const RoutingProtocol& protocol() const { return *protocol_; }
+  [[nodiscard]] const graph::EdgeMask& edge_mask() const { return mask_; }
+  [[nodiscard]] TimeStep now() const { return t_; }
+
+  [[nodiscard]] std::span<const PacketCount> queues() const {
+    return queue_;
+  }
+  /// Seeds an initial queue (e.g. the inflated starting states of the
+  /// Property-2 drift experiments).  Only allowed before the first step.
+  void set_initial_queue(NodeId v, PacketCount q);
+
+  [[nodiscard]] PacketCount total_packets() const;
+  /// P_t = Σ_v q_t(v)² (Definition 1), as double to survive divergence.
+  [[nodiscard]] double network_state() const;
+  [[nodiscard]] PacketCount max_queue() const;
+
+  [[nodiscard]] const CumulativeStats& cumulative() const { return totals_; }
+
+  /// Conservation audit: initial + injected − extracted − lost == stored.
+  [[nodiscard]] bool conserves_packets() const;
+
+  /// Executes one synchronous step and returns its statistics.
+  StepStats step();
+
+  /// Runs `steps` steps; if `recorder` is given, observes after each step.
+  void run(TimeStep steps, MetricsRecorder* recorder = nullptr);
+
+ private:
+  void resolve_link_conflicts(std::vector<char>& keep);
+
+  SdNetwork net_;
+  SimulatorOptions options_;
+  std::unique_ptr<RoutingProtocol> protocol_;
+  std::unique_ptr<ArrivalProcess> arrival_;
+  std::unique_ptr<LossModel> loss_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<TopologyDynamics> dynamics_;
+
+  graph::CsrIncidence incidence_;
+  graph::EdgeMask mask_;
+  Rng rng_;
+
+  StepObserver* observer_ = nullptr;
+
+  std::vector<PacketCount> queue_;
+  std::vector<PacketCount> declared_;
+  std::vector<PacketCount> snapshot_;       // q_t: post-injection snapshot
+  std::vector<PacketCount> pre_injection_;  // x_t: start-of-step snapshot
+  std::vector<Transmission> txs_;     // scratch
+  std::vector<char> keep_;            // scratch
+  std::vector<char> lost_;            // scratch
+
+  TimeStep t_ = 0;
+  std::uint64_t topology_version_ = 0;
+  PacketCount initial_total_ = 0;
+  CumulativeStats totals_;
+};
+
+}  // namespace lgg::core

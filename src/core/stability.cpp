@@ -1,0 +1,61 @@
+#include "core/stability.hpp"
+
+#include <algorithm>
+
+#include "analysis/stats.hpp"
+#include "analysis/timeseries.hpp"
+#include "common/require.hpp"
+
+namespace lgg::core {
+
+std::string_view to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kStable: return "stable";
+    case Verdict::kDiverging: return "diverging";
+    case Verdict::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+StabilityReport assess_stability(std::span<const double> network_state,
+                                 std::optional<double> theoretical_bound,
+                                 const StabilityOptions& options) {
+  StabilityReport report;
+  if (network_state.empty()) return report;
+
+  report.max_state =
+      *std::max_element(network_state.begin(), network_state.end());
+  report.final_state = network_state.back();
+  const auto tail_view =
+      analysis::tail(network_state, options.tail_fraction);
+  report.tail_mean = analysis::summarize(tail_view).mean;
+  report.tail_slope =
+      analysis::tail_slope(network_state, options.tail_fraction);
+  if (theoretical_bound.has_value()) {
+    report.within_bound = report.max_state <= *theoretical_bound;
+  }
+  if (network_state.size() < options.min_length) return report;
+
+  const auto windows = analysis::window_means(network_state, 4);
+  LGG_ASSERT(windows.size() == 4);
+  // Compare the last window to the second: a diverging quadratic grows by
+  // ~(7/3)² between them; a bounded trajectory stays flat.
+  const double early = windows[1] + options.slack;
+  const double late = windows[3];
+  if (late > options.diverging_ratio * early) {
+    report.verdict = Verdict::kDiverging;
+  } else if (late <= options.stable_ratio * early) {
+    report.verdict = Verdict::kStable;
+  } else {
+    report.verdict = Verdict::kInconclusive;
+  }
+  return report;
+}
+
+bool returns_below(std::span<const double> series, double bound,
+                   std::size_t min_returns) {
+  const auto half = analysis::tail(series, 0.5);
+  return analysis::count_below(half, bound) >= min_returns;
+}
+
+}  // namespace lgg::core

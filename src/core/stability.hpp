@@ -1,0 +1,58 @@
+// Empirical stability verdicts (Definition 2) from a P_t trajectory.
+//
+// A run is classified by comparing window means over the trajectory and the
+// least-squares slope of its tail: a bounded sequence has flat windows; a
+// diverging one (infeasible arrival rate ⇒ P_t grows ~ c·t²) has sharply
+// increasing windows.  The verdict is deliberately conservative —
+// kInconclusive when the horizon is too short to call.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace lgg::core {
+
+enum class Verdict {
+  kStable,
+  kDiverging,
+  kInconclusive,
+};
+
+[[nodiscard]] std::string_view to_string(Verdict verdict);
+
+struct StabilityOptions {
+  /// Fraction of the trajectory used for the tail slope.
+  double tail_fraction = 0.5;
+  /// Windows ratio above which the run is declared diverging.
+  double diverging_ratio = 1.5;
+  /// Windows ratio below which the run is declared stable.
+  double stable_ratio = 1.15;
+  /// Additive slack so tiny trajectories don't trip the ratios.
+  double slack = 10.0;
+  /// Minimum trajectory length for a non-inconclusive verdict.
+  std::size_t min_length = 16;
+};
+
+struct StabilityReport {
+  Verdict verdict = Verdict::kInconclusive;
+  double tail_slope = 0.0;   ///< least-squares slope of the tail of P_t
+  double max_state = 0.0;    ///< sup_t P_t over the run
+  double final_state = 0.0;  ///< P_T
+  double tail_mean = 0.0;
+  /// sup_t P_t <= bound, when a theoretical bound was supplied.
+  std::optional<bool> within_bound;
+};
+
+StabilityReport assess_stability(std::span<const double> network_state,
+                                 std::optional<double> theoretical_bound = {},
+                                 const StabilityOptions& options = {});
+
+/// Definition 9 ("infinitely bounded"), empirically: the trajectory returns
+/// below `bound` at least `min_returns` times in its trailing half.
+bool returns_below(std::span<const double> series, double bound,
+                   std::size_t min_returns);
+
+}  // namespace lgg::core

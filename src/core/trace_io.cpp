@@ -1,0 +1,95 @@
+#include "core/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/csv.hpp"
+#include "graph/graph_io.hpp"
+
+namespace lgg::core {
+
+void write_network(std::ostream& os, const SdNetwork& net) {
+  graph::write_graph(os, net.topology());
+  for (NodeId v = 0; v < net.node_count(); ++v) {
+    const NodeSpec& spec = net.spec(v);
+    if (spec.in == 0 && spec.out == 0 && spec.retention == 0) continue;
+    os << "role " << v << ' ' << spec.in << ' ' << spec.out << ' '
+       << spec.retention << '\n';
+  }
+}
+
+std::string to_string(const SdNetwork& net) {
+  std::ostringstream os;
+  write_network(os, net);
+  return os.str();
+}
+
+SdNetwork read_network(std::istream& is) {
+  // Split the stream: graph lines first, then role lines.  The graph
+  // parser does not know "role", so pre-scan.
+  std::ostringstream graph_part;
+  struct Role {
+    long long v, in, out, retention;
+    int line;
+  };
+  std::vector<Role> roles;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::string stripped = line;
+    if (const auto hash = stripped.find('#'); hash != std::string::npos) {
+      stripped.resize(hash);
+    }
+    std::istringstream ls(stripped);
+    std::string keyword;
+    if (ls >> keyword && keyword == "role") {
+      Role r{0, 0, 0, 0, lineno};
+      if (!(ls >> r.v >> r.in >> r.out >> r.retention)) {
+        throw graph::ParseError("bad role line", lineno);
+      }
+      roles.push_back(r);
+    } else {
+      graph_part << line << '\n';
+    }
+  }
+  std::istringstream graph_is(graph_part.str());
+  SdNetwork net(graph::read_graph(graph_is));
+  for (const Role& r : roles) {
+    if (r.v < 0 || r.v >= net.node_count()) {
+      throw graph::ParseError("role node out of range", r.line);
+    }
+    if (r.in < 0 || r.out < 0 || r.retention < 0) {
+      throw graph::ParseError("negative role rate", r.line);
+    }
+    if (r.in == 0 && r.out == 0 && r.retention == 0) {
+      throw graph::ParseError("role line with all-zero rates", r.line);
+    }
+    net.set_generalized(static_cast<NodeId>(r.v), r.in, r.out, r.retention);
+  }
+  return net;
+}
+
+SdNetwork network_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_network(is);
+}
+
+void write_trajectory_csv(std::ostream& os,
+                          const MetricsRecorder& recorder) {
+  analysis::CsvWriter csv(os);
+  csv.write_row({"t", "network_state", "total_packets", "max_queue",
+                 "injected", "proposed", "suppressed", "conflicted", "sent",
+                 "lost", "delivered", "extracted"});
+  for (std::size_t t = 0; t < recorder.size(); ++t) {
+    const StepStats& s = recorder.steps()[t];
+    csv.write_values(static_cast<std::int64_t>(t),
+                     recorder.network_state()[t],
+                     recorder.total_packets()[t], recorder.max_queue()[t],
+                     s.injected, s.proposed, s.suppressed, s.conflicted,
+                     s.sent, s.lost, s.delivered, s.extracted);
+  }
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,31 @@
+// Serialization for S-D-networks and recorded trajectories.
+//
+// Network format ("sdnet"), a superset of the graph format:
+//   nodes <n>
+//   edge <u> <v>
+//   role <v> <in> <out> <retention>     (one line per non-relay node)
+//
+// Trajectory export writes one CSV row per step with the stability metrics
+// and step statistics — directly loadable by pandas/gnuplot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/sd_network.hpp"
+
+namespace lgg::core {
+
+void write_network(std::ostream& os, const SdNetwork& net);
+std::string to_string(const SdNetwork& net);
+
+/// Throws graph::ParseError on malformed input.
+SdNetwork read_network(std::istream& is);
+SdNetwork network_from_string(const std::string& text);
+
+/// CSV with header: t,network_state,total_packets,max_queue,injected,
+/// proposed,suppressed,conflicted,sent,lost,delivered,extracted
+void write_trajectory_csv(std::ostream& os, const MetricsRecorder& recorder);
+
+}  // namespace lgg::core

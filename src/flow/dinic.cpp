@@ -1,0 +1,91 @@
+#include "flow/dinic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace lgg::flow {
+
+namespace {
+
+class DinicSolver {
+ public:
+  DinicSolver(FlowNetwork& net, NodeId source, NodeId sink)
+      : net_(net),
+        source_(source),
+        sink_(sink),
+        level_(static_cast<std::size_t>(net.node_count())),
+        iter_(static_cast<std::size_t>(net.node_count())) {}
+
+  Cap run() {
+    Cap total = 0;
+    while (build_levels()) {
+      std::fill(iter_.begin(), iter_.end(), 0);
+      while (const Cap pushed = augment(source_, kInf)) total += pushed;
+    }
+    return total;
+  }
+
+ private:
+  static constexpr Cap kInf = std::numeric_limits<Cap>::max();
+
+  bool build_levels() {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::queue<NodeId> bfs;
+    level_[static_cast<std::size_t>(source_)] = 0;
+    bfs.push(source_);
+    while (!bfs.empty()) {
+      const NodeId u = bfs.front();
+      bfs.pop();
+      for (const ArcId a : net_.out_arcs(u)) {
+        const NodeId v = net_.to(a);
+        if (net_.residual(a) > 0 && level_[static_cast<std::size_t>(v)] < 0) {
+          level_[static_cast<std::size_t>(v)] =
+              level_[static_cast<std::size_t>(u)] + 1;
+          bfs.push(v);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(sink_)] >= 0;
+  }
+
+  Cap augment(NodeId u, Cap limit) {
+    if (u == sink_) return limit;
+    const auto arcs = net_.out_arcs(u);
+    for (auto& i = iter_[static_cast<std::size_t>(u)];
+         i < static_cast<int>(arcs.size()); ++i) {
+      const ArcId a = arcs[static_cast<std::size_t>(i)];
+      const NodeId v = net_.to(a);
+      if (net_.residual(a) <= 0 ||
+          level_[static_cast<std::size_t>(v)] !=
+              level_[static_cast<std::size_t>(u)] + 1) {
+        continue;
+      }
+      const Cap pushed =
+          augment(v, std::min(limit, net_.residual(a)));
+      if (pushed > 0) {
+        net_.push(a, pushed);
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  FlowNetwork& net_;
+  NodeId source_;
+  NodeId sink_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace
+
+Cap dinic_max_flow(FlowNetwork& net, NodeId source, NodeId sink) {
+  LGG_REQUIRE(net.valid_node(source) && net.valid_node(sink),
+              "dinic: bad terminal");
+  LGG_REQUIRE(source != sink, "dinic: source == sink");
+  return DinicSolver(net, source, sink).run();
+}
+
+}  // namespace lgg::flow

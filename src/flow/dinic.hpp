@@ -1,0 +1,14 @@
+// Dinic's blocking-flow algorithm.  O(V^2 E) in general, O(E sqrt(V)) on
+// unit-capacity networks — which is exactly the regime of the paper's G*
+// (all internal links have capacity 1), so this is the default solver.
+#pragma once
+
+#include "flow/flow_network.hpp"
+
+namespace lgg::flow {
+
+/// Augments `net` to a maximum s-t flow and returns the value added.
+/// The network may already carry flow; Dinic continues from it.
+Cap dinic_max_flow(FlowNetwork& net, NodeId source, NodeId sink);
+
+}  // namespace lgg::flow

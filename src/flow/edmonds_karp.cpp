@@ -1,0 +1,56 @@
+#include "flow/edmonds_karp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace lgg::flow {
+
+Cap edmonds_karp_max_flow(FlowNetwork& net, NodeId source, NodeId sink) {
+  LGG_REQUIRE(net.valid_node(source) && net.valid_node(sink),
+              "edmonds_karp: bad terminal");
+  LGG_REQUIRE(source != sink, "edmonds_karp: source == sink");
+  Cap total = 0;
+  std::vector<ArcId> parent_arc(static_cast<std::size_t>(net.node_count()));
+  while (true) {
+    std::fill(parent_arc.begin(), parent_arc.end(), kInvalidEdge);
+    std::queue<NodeId> bfs;
+    bfs.push(source);
+    parent_arc[static_cast<std::size_t>(source)] = -2;  // visited sentinel
+    bool reached = false;
+    while (!bfs.empty() && !reached) {
+      const NodeId u = bfs.front();
+      bfs.pop();
+      for (const ArcId a : net.out_arcs(u)) {
+        const NodeId v = net.to(a);
+        if (net.residual(a) > 0 &&
+            parent_arc[static_cast<std::size_t>(v)] == kInvalidEdge) {
+          parent_arc[static_cast<std::size_t>(v)] = a;
+          if (v == sink) {
+            reached = true;
+            break;
+          }
+          bfs.push(v);
+        }
+      }
+    }
+    if (!reached) break;
+    // Bottleneck along the path, then augment.
+    Cap bottleneck = std::numeric_limits<Cap>::max();
+    for (NodeId v = sink; v != source;) {
+      const ArcId a = parent_arc[static_cast<std::size_t>(v)];
+      bottleneck = std::min(bottleneck, net.residual(a));
+      v = net.from(a);
+    }
+    for (NodeId v = sink; v != source;) {
+      const ArcId a = parent_arc[static_cast<std::size_t>(v)];
+      net.push(a, bottleneck);
+      v = net.from(a);
+    }
+    total += bottleneck;
+  }
+  return total;
+}
+
+}  // namespace lgg::flow

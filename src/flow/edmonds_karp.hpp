@@ -1,0 +1,12 @@
+// Edmonds–Karp (BFS augmenting paths).  O(V E^2); kept as an independent
+// cross-check oracle for the faster solvers in the test suite.
+#pragma once
+
+#include "flow/flow_network.hpp"
+
+namespace lgg::flow {
+
+/// Augments `net` to a maximum s-t flow and returns the value added.
+Cap edmonds_karp_max_flow(FlowNetwork& net, NodeId source, NodeId sink);
+
+}  // namespace lgg::flow

@@ -1,0 +1,170 @@
+#include "flow/feasibility.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "flow/max_flow.hpp"
+
+namespace lgg::flow {
+
+namespace {
+
+Cap total_rate(std::span<const RatedNode> nodes) {
+  Cap total = 0;
+  for (const RatedNode& rn : nodes) total += rn.rate;
+  return total;
+}
+
+void validate_rated(const graph::Multigraph& g,
+                    std::span<const RatedNode> nodes, const char* kind) {
+  for (const RatedNode& rn : nodes) {
+    LGG_REQUIRE(g.valid_node(rn.node), std::string(kind) + ": bad node id");
+    LGG_REQUIRE(rn.rate > 0, std::string(kind) + ": rate must be positive");
+  }
+}
+
+}  // namespace
+
+ExtendedGraph build_extended_graph(const graph::Multigraph& g,
+                                   std::span<const RatedNode> sources,
+                                   std::span<const RatedNode> sinks,
+                                   const ExtendedGraphOptions& options) {
+  validate_rated(g, sources, sinks.empty() && sources.empty() ? "sources"
+                                                              : "sources");
+  validate_rated(g, sinks, "sinks");
+  LGG_REQUIRE(options.edge_capacity >= 1, "edge_capacity >= 1");
+  LGG_REQUIRE(options.sink_scale >= 1, "sink_scale >= 1");
+  LGG_REQUIRE(options.source_scale >= 1 || options.unbounded_sources,
+              "source_scale >= 1");
+
+  ExtendedGraph ext;
+  ext.net = FlowNetwork(g.node_count());
+  ext.s_star = ext.net.add_node();
+  ext.d_star = ext.net.add_node();
+
+  // A capacity that no single cut can be limited by: above the sum of all
+  // finite capacities in the instance.
+  Cap unbounded = 1;
+  unbounded += 2 * static_cast<Cap>(g.edge_count()) * options.edge_capacity;
+  for (const RatedNode& rn : sinks) unbounded += rn.rate * options.sink_scale;
+  for (const RatedNode& rn : sources) {
+    unbounded += rn.rate * std::max<Cap>(options.source_scale, 1);
+  }
+
+  ext.source_arcs.reserve(sources.size());
+  for (const RatedNode& rn : sources) {
+    const Cap cap = options.unbounded_sources
+                        ? unbounded
+                        : rn.rate * options.source_scale;
+    ext.source_arcs.push_back(ext.net.add_arc(ext.s_star, rn.node, cap));
+  }
+  ext.sink_arcs.reserve(sinks.size());
+  for (const RatedNode& rn : sinks) {
+    ext.sink_arcs.push_back(
+        ext.net.add_arc(rn.node, ext.d_star, rn.rate * options.sink_scale));
+  }
+  ext.forward_edge_arcs.reserve(static_cast<std::size_t>(g.edge_count()));
+  ext.backward_edge_arcs.reserve(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const graph::Endpoints ep = g.endpoints(e);
+    ext.forward_edge_arcs.push_back(
+        ext.net.add_arc(ep.u, ep.v, options.edge_capacity));
+    ext.backward_edge_arcs.push_back(
+        ext.net.add_arc(ep.v, ep.u, options.edge_capacity));
+  }
+  return ext;
+}
+
+namespace {
+
+/// True iff the network is feasible when source rates are multiplied by
+/// numer/kEpsilonDenom (all other capacities scaled by kEpsilonDenom).
+bool feasible_at_scale(const graph::Multigraph& g,
+                       std::span<const RatedNode> sources,
+                       std::span<const RatedNode> sinks, Cap numer) {
+  ExtendedGraphOptions opt;
+  opt.edge_capacity = kEpsilonDenom;
+  opt.sink_scale = kEpsilonDenom;
+  opt.source_scale = numer;
+  ExtendedGraph ext = build_extended_graph(g, sources, sinks, opt);
+  const Cap want = numer * total_rate(sources);
+  const Cap value =
+      solve_max_flow(ext.net, ext.s_star, ext.d_star, FlowAlgorithm::kDinic);
+  return value == want;
+}
+
+}  // namespace
+
+FeasibilityReport analyze_feasibility(const graph::Multigraph& g,
+                                      std::span<const RatedNode> sources,
+                                      std::span<const RatedNode> sinks) {
+  LGG_REQUIRE(!sources.empty(), "analyze_feasibility: no sources");
+  LGG_REQUIRE(!sinks.empty(), "analyze_feasibility: no sinks");
+  FeasibilityReport report;
+  report.arrival_rate = total_rate(sources);
+
+  {  // f*: unbounded source arcs.
+    ExtendedGraphOptions opt;
+    opt.unbounded_sources = true;
+    ExtendedGraph ext = build_extended_graph(g, sources, sinks, opt);
+    report.fstar = solve_max_flow(ext.net, ext.s_star, ext.d_star,
+                                  FlowAlgorithm::kDinic);
+  }
+  {  // Exact capacities: feasibility and cut placement.
+    ExtendedGraph ext = build_extended_graph(g, sources, sinks);
+    report.max_flow_at_rates = solve_max_flow(ext.net, ext.s_star, ext.d_star,
+                                              FlowAlgorithm::kDinic);
+    report.feasible = (report.max_flow_at_rates == report.arrival_rate);
+    report.location = cut_location(ext.net, ext.s_star, ext.d_star);
+  }
+  if (report.feasible) {
+    // Binary search the largest feasible numerator a >= kEpsilonDenom.
+    // Feasibility is monotone decreasing in a (cut values are linear in a).
+    Cap lo = kEpsilonDenom;  // known feasible
+    Cap hi =                 // no cut can admit more than f* total
+        (report.fstar / std::max<Cap>(report.arrival_rate, 1) + 2) *
+        kEpsilonDenom;
+    while (lo < hi) {
+      const Cap mid = lo + (hi - lo + 1) / 2;
+      if (feasible_at_scale(g, sources, sinks, mid)) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    report.epsilon =
+        static_cast<double>(lo - kEpsilonDenom) /
+        static_cast<double>(kEpsilonDenom);
+    report.unsaturated = (lo > kEpsilonDenom);
+  }
+  return report;
+}
+
+double max_arrival_scaling(const graph::Multigraph& g,
+                           std::span<const RatedNode> sources,
+                           std::span<const RatedNode> sinks) {
+  LGG_REQUIRE(!sources.empty(), "max_arrival_scaling: no sources");
+  LGG_REQUIRE(!sinks.empty(), "max_arrival_scaling: no sinks");
+  // Find the largest feasible numerator by doubling then binary search,
+  // starting from 0 (always feasible: zero flow).
+  Cap rate = total_rate(sources);
+  if (rate == 0) return 0.0;
+  ExtendedGraphOptions probe;
+  probe.unbounded_sources = true;
+  ExtendedGraph ext = build_extended_graph(g, sources, sinks, probe);
+  const Cap fstar =
+      solve_max_flow(ext.net, ext.s_star, ext.d_star, FlowAlgorithm::kDinic);
+  const Cap ceiling = (fstar / rate + 2) * kEpsilonDenom;
+  Cap lo = 0, hi = ceiling;
+  while (lo < hi) {
+    const Cap mid = lo + (hi - lo + 1) / 2;
+    if (feasible_at_scale(g, sources, sinks, mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return static_cast<double>(lo) / static_cast<double>(kEpsilonDenom);
+}
+
+}  // namespace lgg::flow

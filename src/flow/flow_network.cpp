@@ -1,0 +1,40 @@
+#include "flow/flow_network.hpp"
+
+namespace lgg::flow {
+
+ArcId FlowNetwork::add_arc(NodeId u, NodeId v, Cap cap) {
+  LGG_REQUIRE(valid_node(u) && valid_node(v), "add_arc: bad endpoint");
+  LGG_REQUIRE(cap >= 0, "add_arc: negative capacity");
+  const auto fwd = static_cast<ArcId>(to_.size());
+  to_.push_back(v);
+  orig_cap_.push_back(cap);
+  res_cap_.push_back(cap);
+  to_.push_back(u);
+  orig_cap_.push_back(0);
+  res_cap_.push_back(0);
+  out_[static_cast<std::size_t>(u)].push_back(fwd);
+  out_[static_cast<std::size_t>(v)].push_back(fwd + 1);
+  return fwd;
+}
+
+void FlowNetwork::set_capacity(ArcId a, Cap cap) {
+  LGG_REQUIRE(valid_arc(a), "set_capacity: bad arc");
+  LGG_REQUIRE((a & 1) == 0, "set_capacity: must address the forward arc");
+  LGG_REQUIRE(cap >= 0, "set_capacity: negative capacity");
+  orig_cap_[static_cast<std::size_t>(a)] = cap;
+  res_cap_[static_cast<std::size_t>(a)] = cap;
+  res_cap_[static_cast<std::size_t>(a ^ 1)] = 0;
+}
+
+Cap FlowNetwork::excess_at(NodeId v) const {
+  LGG_REQUIRE(valid_node(v), "excess_at: bad node");
+  Cap in = 0, out = 0;
+  for (ArcId a = 0; a < arc_count(); a += 2) {
+    const Cap f = flow(a);
+    if (from(a) == v) out += f;
+    if (to(a) == v) in += f;
+  }
+  return in - out;
+}
+
+}  // namespace lgg::flow

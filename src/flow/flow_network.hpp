@@ -1,0 +1,114 @@
+// Directed flow network with residual arcs — the substrate for all max-flow
+// solvers (Dinic, Goldberg–Tarjan push-relabel, Edmonds–Karp).
+//
+// Arcs are stored in pairs: forward arc 2i and its residual twin 2i+1, so
+// `a ^ 1` is always the reverse arc.  Solvers mutate residual capacities in
+// place via push(); flow on a forward arc is recovered as
+// capacity(a) - residual(a).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+
+namespace lgg::flow {
+
+using ArcId = std::int32_t;
+
+class FlowNetwork {
+ public:
+  FlowNetwork() = default;
+  explicit FlowNetwork(NodeId n) {
+    LGG_REQUIRE(n >= 0, "FlowNetwork: n >= 0");
+    out_.resize(static_cast<std::size_t>(n));
+  }
+
+  NodeId add_node() {
+    out_.emplace_back();
+    return static_cast<NodeId>(out_.size() - 1);
+  }
+
+  /// Adds a directed arc u -> v with the given capacity; returns the forward
+  /// arc id (always even).  The residual twin (odd id) starts at capacity 0.
+  ArcId add_arc(NodeId u, NodeId v, Cap cap);
+
+  [[nodiscard]] NodeId node_count() const {
+    return static_cast<NodeId>(out_.size());
+  }
+  /// Total arcs including residual twins (always even).
+  [[nodiscard]] ArcId arc_count() const {
+    return static_cast<ArcId>(to_.size());
+  }
+
+  [[nodiscard]] bool valid_node(NodeId v) const {
+    return v >= 0 && v < node_count();
+  }
+  [[nodiscard]] bool valid_arc(ArcId a) const {
+    return a >= 0 && a < arc_count();
+  }
+
+  [[nodiscard]] NodeId to(ArcId a) const {
+    LGG_ASSERT(valid_arc(a));
+    return to_[static_cast<std::size_t>(a)];
+  }
+  [[nodiscard]] NodeId from(ArcId a) const { return to(a ^ 1); }
+
+  /// Original capacity of the arc (0 for residual twins of forward arcs).
+  [[nodiscard]] Cap capacity(ArcId a) const {
+    LGG_ASSERT(valid_arc(a));
+    return orig_cap_[static_cast<std::size_t>(a)];
+  }
+
+  /// Remaining residual capacity.
+  [[nodiscard]] Cap residual(ArcId a) const {
+    LGG_ASSERT(valid_arc(a));
+    return res_cap_[static_cast<std::size_t>(a)];
+  }
+
+  /// Net flow currently routed on the arc (negative if the twin carries
+  /// more than this direction).
+  [[nodiscard]] Cap flow(ArcId a) const {
+    return capacity(a) - residual(a);
+  }
+
+  /// Arc ids leaving `v` (forward and residual alike).
+  [[nodiscard]] std::span<const ArcId> out_arcs(NodeId v) const {
+    LGG_ASSERT(valid_node(v));
+    return out_[static_cast<std::size_t>(v)];
+  }
+
+  /// Moves `amount` units of flow across arc `a` (decreases its residual,
+  /// increases the twin's).  Requires amount <= residual(a).
+  void push(ArcId a, Cap amount) {
+    LGG_REQUIRE(valid_arc(a), "push: bad arc");
+    LGG_REQUIRE(amount >= 0 && amount <= residual(a),
+                "push: amount exceeds residual capacity");
+    res_cap_[static_cast<std::size_t>(a)] -= amount;
+    res_cap_[static_cast<std::size_t>(a ^ 1)] += amount;
+  }
+
+  /// Restores the zero-flow state (residuals = original capacities).
+  void reset_flow() { res_cap_ = orig_cap_; }
+
+  /// Replaces the capacity of an existing arc; resets that arc pair's flow.
+  void set_capacity(ArcId a, Cap cap);
+
+  /// Sum of flow out of `v` minus flow into `v` over forward arcs; zero for
+  /// all nodes except source/sink of a valid flow.  O(arcs).
+  [[nodiscard]] Cap excess_at(NodeId v) const;
+
+  /// Value of the current flow out of `source` (net outflow).
+  [[nodiscard]] Cap flow_value(NodeId source) const {
+    return -excess_at(source);
+  }
+
+ private:
+  std::vector<NodeId> to_;
+  std::vector<Cap> orig_cap_;
+  std::vector<Cap> res_cap_;
+  std::vector<std::vector<ArcId>> out_;
+};
+
+}  // namespace lgg::flow

@@ -1,0 +1,29 @@
+// Facade over the max-flow solvers plus flow-validity checking.
+#pragma once
+
+#include <string_view>
+
+#include "flow/flow_network.hpp"
+
+namespace lgg::flow {
+
+enum class FlowAlgorithm {
+  kDinic,
+  kPushRelabelFifo,
+  kPushRelabelHighest,
+  kEdmondsKarp,
+};
+
+[[nodiscard]] std::string_view algorithm_name(FlowAlgorithm algo);
+
+/// Computes a maximum s-t flow with the chosen algorithm; `net` must carry
+/// zero flow on entry.  Returns the flow value.
+Cap solve_max_flow(FlowNetwork& net, NodeId source, NodeId sink,
+                   FlowAlgorithm algo = FlowAlgorithm::kDinic);
+
+/// Validates the flow currently stored in `net`: capacity constraints on
+/// every arc and conservation at every node except the terminals.
+[[nodiscard]] bool flow_is_valid(const FlowNetwork& net, NodeId source,
+                                 NodeId sink);
+
+}  // namespace lgg::flow

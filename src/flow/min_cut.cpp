@@ -1,0 +1,157 @@
+#include "flow/min_cut.hpp"
+
+#include <queue>
+
+namespace lgg::flow {
+
+namespace {
+
+/// Forward residual reachability from `start`.
+std::vector<char> residual_reach(const FlowNetwork& net, NodeId start) {
+  std::vector<char> seen(static_cast<std::size_t>(net.node_count()), 0);
+  std::queue<NodeId> bfs;
+  seen[static_cast<std::size_t>(start)] = 1;
+  bfs.push(start);
+  while (!bfs.empty()) {
+    const NodeId u = bfs.front();
+    bfs.pop();
+    for (const ArcId a : net.out_arcs(u)) {
+      const NodeId v = net.to(a);
+      if (net.residual(a) > 0 && !seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        bfs.push(v);
+      }
+    }
+  }
+  return seen;
+}
+
+/// Backward residual reachability: nodes that can reach `target` through
+/// residual arcs.  v reaches target iff some residual arc v->w with w
+/// already reaching.  Computed as forward reachability on reversed arcs:
+/// arc a (u->v, residual r) is traversed backwards when residual(a) > 0.
+std::vector<char> residual_reach_to(const FlowNetwork& net, NodeId target) {
+  std::vector<char> seen(static_cast<std::size_t>(net.node_count()), 0);
+  std::queue<NodeId> bfs;
+  seen[static_cast<std::size_t>(target)] = 1;
+  bfs.push(target);
+  while (!bfs.empty()) {
+    const NodeId v = bfs.front();
+    bfs.pop();
+    // Any arc a = (u -> v) with residual > 0 lets u reach v.  Arcs *into*
+    // v are the twins of arcs out of v.
+    for (const ArcId out : net.out_arcs(v)) {
+      const ArcId a = out ^ 1;  // arc (u -> v)
+      const NodeId u = net.to(out);
+      if (net.residual(a) > 0 && !seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        bfs.push(u);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+CutSides min_cut_sides(const FlowNetwork& net, NodeId source, NodeId sink) {
+  LGG_REQUIRE(net.valid_node(source) && net.valid_node(sink),
+              "min_cut_sides: bad terminal");
+  CutSides sides;
+  sides.min_side = residual_reach(net, source);
+  LGG_REQUIRE(!sides.min_side[static_cast<std::size_t>(sink)],
+              "min_cut_sides: network does not hold a maximum flow");
+  const auto reaches_sink = residual_reach_to(net, sink);
+  sides.max_side.assign(static_cast<std::size_t>(net.node_count()), 0);
+  for (NodeId v = 0; v < net.node_count(); ++v) {
+    sides.max_side[static_cast<std::size_t>(v)] =
+        reaches_sink[static_cast<std::size_t>(v)] ? 0 : 1;
+  }
+  return sides;
+}
+
+Cap cut_capacity(const FlowNetwork& net, const std::vector<char>& side_a) {
+  LGG_REQUIRE(static_cast<NodeId>(side_a.size()) == net.node_count(),
+              "cut_capacity: indicator size mismatch");
+  Cap total = 0;
+  for (ArcId a = 0; a < net.arc_count(); a += 2) {
+    const NodeId u = net.from(a);
+    const NodeId v = net.to(a);
+    if (side_a[static_cast<std::size_t>(u)] &&
+        !side_a[static_cast<std::size_t>(v)]) {
+      total += net.capacity(a);
+    }
+  }
+  return total;
+}
+
+namespace {
+
+/// Residual reachability from a seed set.
+std::vector<char> residual_reach_from_set(const FlowNetwork& net,
+                                          std::vector<char> seen) {
+  std::queue<NodeId> bfs;
+  for (NodeId v = 0; v < net.node_count(); ++v) {
+    if (seen[static_cast<std::size_t>(v)]) bfs.push(v);
+  }
+  while (!bfs.empty()) {
+    const NodeId u = bfs.front();
+    bfs.pop();
+    for (const ArcId a : net.out_arcs(u)) {
+      const NodeId v = net.to(a);
+      if (net.residual(a) > 0 && !seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        bfs.push(v);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+CutLocation cut_location(const FlowNetwork& net, NodeId source, NodeId sink) {
+  const CutSides sides = min_cut_sides(net, source, sink);
+  const auto n = net.node_count();
+  CutLocation loc;
+
+  auto count_side = [n](const std::vector<char>& side) {
+    NodeId c = 0;
+    for (NodeId v = 0; v < n; ++v) c += side[static_cast<std::size_t>(v)] ? 1 : 0;
+    return c;
+  };
+  const NodeId min_count = count_side(sides.min_side);
+  const NodeId max_count = count_side(sides.max_side);
+
+  loc.at_source = (min_count == 1);    // A_min == {source}
+  loc.at_sink = (max_count == n - 1);  // B_max == {sink}
+  // Every min cut's source side lies between A_min and A_max; the cut at
+  // the source is unique iff the extremes coincide there.
+  loc.unique_at_source = loc.at_source && (max_count == 1);
+
+  // An internal min cut exists iff the residual closure of A_min together
+  // with some real node x stays clear of the sink while leaving a real
+  // node on the far side: that closure is then the source side of a min
+  // cut (no residual arc leaves a reachability-closed set).
+  for (NodeId x = 0; x < n && !loc.internal; ++x) {
+    if (x == source || x == sink) continue;
+    if (!sides.max_side[static_cast<std::size_t>(x)]) continue;  // closure
+                                                                 // would hit
+                                                                 // the sink
+    std::vector<char> seed = sides.min_side;
+    if (seed[static_cast<std::size_t>(x)]) {
+      // x already on the minimal source side: A_min itself is internal if
+      // it also leaves a real node outside.
+      if (min_count > 1 && n - min_count > 1) loc.internal = true;
+      continue;
+    }
+    seed[static_cast<std::size_t>(x)] = 1;
+    const std::vector<char> closure = residual_reach_from_set(net, seed);
+    if (closure[static_cast<std::size_t>(sink)]) continue;
+    const NodeId closure_count = count_side(closure);
+    if (closure_count > 1 && n - closure_count > 1) loc.internal = true;
+  }
+  return loc;
+}
+
+}  // namespace lgg::flow

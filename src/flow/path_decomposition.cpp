@@ -1,0 +1,161 @@
+#include "flow/path_decomposition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lgg::flow {
+
+namespace {
+
+/// Walks flow-carrying forward arcs from `start`, cancelling any cycle the
+/// walk closes (truncating the stack), until the walk dies at a node with
+/// no outgoing flow.  Returns the surviving simple path (possibly empty).
+/// `on_path` must be all -1 on entry and is restored on exit; it stores the
+/// stack position of each node currently on the path.
+struct Walk {
+  std::vector<NodeId> nodes;
+  std::vector<ArcId> arcs;
+};
+
+Walk walk_and_cancel(FlowNetwork& net, NodeId start,
+                     std::vector<int>& on_path) {
+  Walk w;
+  w.nodes.push_back(start);
+  on_path[static_cast<std::size_t>(start)] = 0;
+  NodeId u = start;
+  while (true) {
+    ArcId next = kInvalidEdge;
+    for (const ArcId a : net.out_arcs(u)) {
+      if ((a & 1) == 0 && net.flow(a) > 0) {
+        next = a;
+        break;
+      }
+    }
+    if (next == kInvalidEdge) break;
+    const NodeId v = net.to(next);
+    const int pos = on_path[static_cast<std::size_t>(v)];
+    if (pos >= 0) {
+      // Cycle closed: arcs[pos..] plus `next`.  Cancel it by bottleneck.
+      Cap bottleneck = net.flow(next);
+      for (std::size_t i = static_cast<std::size_t>(pos); i < w.arcs.size();
+           ++i) {
+        bottleneck = std::min(bottleneck, net.flow(w.arcs[i]));
+      }
+      net.push(next ^ 1, bottleneck);
+      for (std::size_t i = static_cast<std::size_t>(pos); i < w.arcs.size();
+           ++i) {
+        net.push(w.arcs[i] ^ 1, bottleneck);
+      }
+      // Truncate the stack back to v and continue from there.
+      for (std::size_t i = static_cast<std::size_t>(pos) + 1;
+           i < w.nodes.size(); ++i) {
+        on_path[static_cast<std::size_t>(w.nodes[i])] = -1;
+      }
+      w.nodes.resize(static_cast<std::size_t>(pos) + 1);
+      w.arcs.resize(static_cast<std::size_t>(pos));
+      u = v;
+      continue;
+    }
+    w.arcs.push_back(next);
+    w.nodes.push_back(v);
+    on_path[static_cast<std::size_t>(v)] =
+        static_cast<int>(w.nodes.size()) - 1;
+    u = v;
+  }
+  for (const NodeId v : w.nodes) on_path[static_cast<std::size_t>(v)] = -1;
+  return w;
+}
+
+}  // namespace
+
+namespace {
+
+/// DFS over flow-carrying arcs; returns the arcs of one directed cycle, or
+/// an empty vector if the flow subgraph is acyclic.
+std::vector<ArcId> find_flow_cycle(const FlowNetwork& net) {
+  enum : char { kWhite, kGray, kBlack };
+  std::vector<char> color(static_cast<std::size_t>(net.node_count()), kWhite);
+  std::vector<ArcId> stack_arcs;
+  std::vector<NodeId> stack_nodes;
+  std::vector<std::size_t> iter(static_cast<std::size_t>(net.node_count()), 0);
+  for (NodeId root = 0; root < net.node_count(); ++root) {
+    if (color[static_cast<std::size_t>(root)] != kWhite) continue;
+    stack_nodes.assign(1, root);
+    stack_arcs.clear();
+    color[static_cast<std::size_t>(root)] = kGray;
+    iter[static_cast<std::size_t>(root)] = 0;
+    while (!stack_nodes.empty()) {
+      const NodeId u = stack_nodes.back();
+      const auto arcs = net.out_arcs(u);
+      auto& i = iter[static_cast<std::size_t>(u)];
+      bool descended = false;
+      while (i < arcs.size()) {
+        const ArcId a = arcs[i++];
+        if ((a & 1) != 0 || net.flow(a) <= 0) continue;
+        const NodeId v = net.to(a);
+        if (color[static_cast<std::size_t>(v)] == kGray) {
+          // Cycle: arcs on the stack from v's position, plus `a`.
+          std::size_t begin = 0;
+          while (stack_nodes[begin] != v) ++begin;
+          std::vector<ArcId> cycle(stack_arcs.begin() +
+                                       static_cast<std::ptrdiff_t>(begin),
+                                   stack_arcs.end());
+          cycle.push_back(a);
+          return cycle;
+        }
+        if (color[static_cast<std::size_t>(v)] == kWhite) {
+          color[static_cast<std::size_t>(v)] = kGray;
+          iter[static_cast<std::size_t>(v)] = 0;
+          stack_nodes.push_back(v);
+          stack_arcs.push_back(a);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && !stack_nodes.empty() && stack_nodes.back() == u &&
+          i >= arcs.size()) {
+        color[static_cast<std::size_t>(u)] = kBlack;
+        stack_nodes.pop_back();
+        if (!stack_arcs.empty()) stack_arcs.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+void cancel_flow_cycles(FlowNetwork& net) {
+  while (true) {
+    const std::vector<ArcId> cycle = find_flow_cycle(net);
+    if (cycle.empty()) return;
+    Cap bottleneck = std::numeric_limits<Cap>::max();
+    for (const ArcId a : cycle) bottleneck = std::min(bottleneck, net.flow(a));
+    LGG_ASSERT(bottleneck > 0);
+    for (const ArcId a : cycle) net.push(a ^ 1, bottleneck);
+  }
+}
+
+std::vector<FlowPath> decompose_into_paths(FlowNetwork& net, NodeId source,
+                                           NodeId sink) {
+  LGG_REQUIRE(net.valid_node(source) && net.valid_node(sink),
+              "decompose_into_paths: bad terminal");
+  std::vector<int> on_path(static_cast<std::size_t>(net.node_count()), -1);
+  std::vector<FlowPath> paths;
+  // Phase 1: peel source-to-sink paths (cancelling cycles the walks close).
+  while (true) {
+    Walk w = walk_and_cancel(net, source, on_path);
+    if (w.arcs.empty() || w.nodes.back() != sink) break;
+    Cap bottleneck = std::numeric_limits<Cap>::max();
+    for (const ArcId a : w.arcs) bottleneck = std::min(bottleneck, net.flow(a));
+    for (const ArcId a : w.arcs) net.push(a ^ 1, bottleneck);
+    paths.push_back(FlowPath{std::move(w.nodes), std::move(w.arcs),
+                             bottleneck});
+  }
+  // Phase 2: whatever remains is a circulation; cancel it so the network
+  // ends at zero flow.
+  cancel_flow_cycles(net);
+  return paths;
+}
+
+}  // namespace lgg::flow

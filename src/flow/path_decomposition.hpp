@@ -1,0 +1,31 @@
+// Decomposition of an integral s-t flow into flow-carrying paths.
+//
+// Flow cycles (which push-relabel may leave behind) are cancelled first, so
+// the remaining flow decomposes into at most |E| simple s-t paths whose
+// amounts sum to the flow value.  On the paper's extended graph G* all
+// internal arcs have capacity 1, so the decomposition yields unit paths —
+// exactly the E_t^Φ comparison set used in the proofs of Properties 1–2,
+// and the route plan of the max-flow baseline router.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow_network.hpp"
+
+namespace lgg::flow {
+
+struct FlowPath {
+  std::vector<NodeId> nodes;  // s = nodes.front(), t = nodes.back()
+  std::vector<ArcId> arcs;    // arcs[i] connects nodes[i] -> nodes[i+1]
+  Cap amount = 0;
+};
+
+/// Removes flow cycles from `net` in place (flow value is unchanged).
+void cancel_flow_cycles(FlowNetwork& net);
+
+/// Decomposes the flow in `net` into paths.  `net` is modified: on return
+/// it carries zero flow.  The amounts sum to the original flow value.
+std::vector<FlowPath> decompose_into_paths(FlowNetwork& net, NodeId source,
+                                           NodeId sink);
+
+}  // namespace lgg::flow

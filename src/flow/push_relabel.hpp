@@ -1,0 +1,22 @@
+// Goldberg–Tarjan push-relabel maximum flow — the paper's reference [6] for
+// the distributed gradient intuition behind LGG.  Two active-node selection
+// rules are provided (FIFO and highest-label), both with the gap heuristic.
+// The algorithm is run to completion (not stopped at a max preflow), so the
+// result is a valid flow usable for cuts and path decomposition.
+#pragma once
+
+#include "flow/flow_network.hpp"
+
+namespace lgg::flow {
+
+enum class PushRelabelRule {
+  kFifo,
+  kHighestLabel,
+};
+
+/// Computes a maximum s-t flow in `net` (which must carry zero flow) and
+/// returns its value.
+Cap push_relabel_max_flow(FlowNetwork& net, NodeId source, NodeId sink,
+                          PushRelabelRule rule = PushRelabelRule::kHighestLabel);
+
+}  // namespace lgg::flow

@@ -1,0 +1,116 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace lgg::graph {
+
+namespace {
+
+void bfs_from(const Multigraph& g, const EdgeMask* mask,
+              std::queue<NodeId>& frontier, std::vector<int>& dist) {
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const IncidentLink& l : g.incident(u)) {
+      if (mask != nullptr && !mask->active(l.edge)) continue;
+      auto& d = dist[static_cast<std::size_t>(l.neighbor)];
+      if (d == kUnreachable) {
+        d = dist[static_cast<std::size_t>(u)] + 1;
+        frontier.push(l.neighbor);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int> bfs_distances(const Multigraph& g, NodeId source,
+                               const EdgeMask* mask) {
+  LGG_REQUIRE(g.valid_node(source), "bfs_distances: bad source");
+  std::vector<int> dist(static_cast<std::size_t>(g.node_count()),
+                        kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  bfs_from(g, mask, frontier, dist);
+  return dist;
+}
+
+std::vector<int> bfs_distances_multi(const Multigraph& g,
+                                     const std::vector<NodeId>& sources,
+                                     const EdgeMask* mask) {
+  std::vector<int> dist(static_cast<std::size_t>(g.node_count()),
+                        kUnreachable);
+  std::queue<NodeId> frontier;
+  for (const NodeId s : sources) {
+    LGG_REQUIRE(g.valid_node(s), "bfs_distances_multi: bad source");
+    if (dist[static_cast<std::size_t>(s)] != 0) {
+      dist[static_cast<std::size_t>(s)] = 0;
+      frontier.push(s);
+    }
+  }
+  bfs_from(g, mask, frontier, dist);
+  return dist;
+}
+
+std::vector<int> connected_components(const Multigraph& g,
+                                      const EdgeMask* mask) {
+  std::vector<int> label(static_cast<std::size_t>(g.node_count()), -1);
+  int next = 0;
+  for (NodeId root = 0; root < g.node_count(); ++root) {
+    if (label[static_cast<std::size_t>(root)] != -1) continue;
+    const int comp = next++;
+    std::queue<NodeId> frontier;
+    frontier.push(root);
+    label[static_cast<std::size_t>(root)] = comp;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const IncidentLink& l : g.incident(u)) {
+        if (mask != nullptr && !mask->active(l.edge)) continue;
+        auto& lab = label[static_cast<std::size_t>(l.neighbor)];
+        if (lab == -1) {
+          lab = comp;
+          frontier.push(l.neighbor);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+int component_count(const Multigraph& g, const EdgeMask* mask) {
+  const auto labels = connected_components(g, mask);
+  return labels.empty() ? 0 : 1 + *std::max_element(labels.begin(),
+                                                    labels.end());
+}
+
+int diameter(const Multigraph& g) {
+  if (g.node_count() <= 1) return 0;
+  int best = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (const int d : dist) {
+      if (d == kUnreachable) return kUnreachable;
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+std::vector<int> degree_histogram(const Multigraph& g) {
+  std::vector<int> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ++hist[static_cast<std::size_t>(g.degree(v))];
+  }
+  return hist;
+}
+
+double average_degree(const Multigraph& g) {
+  if (g.node_count() == 0) return 0.0;
+  return 2.0 * static_cast<double>(g.edge_count()) /
+         static_cast<double>(g.node_count());
+}
+
+}  // namespace lgg::graph

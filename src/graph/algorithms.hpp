@@ -1,0 +1,42 @@
+// Elementary graph algorithms on multigraphs: BFS distances, components,
+// diameter, degree statistics.  Used by baselines (distance-to-sink
+// routing), generators' validation, and the experiment harness.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/multigraph.hpp"
+
+namespace lgg::graph {
+
+inline constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+/// BFS hop distances from `source`; kUnreachable where disconnected.
+/// If `mask` is non-null, only active edges are traversed.
+std::vector<int> bfs_distances(const Multigraph& g, NodeId source,
+                               const EdgeMask* mask = nullptr);
+
+/// Multi-source BFS: distance to the nearest of `sources`.
+std::vector<int> bfs_distances_multi(const Multigraph& g,
+                                     const std::vector<NodeId>& sources,
+                                     const EdgeMask* mask = nullptr);
+
+/// Connected component label per node (labels are 0-based, dense).
+std::vector<int> connected_components(const Multigraph& g,
+                                      const EdgeMask* mask = nullptr);
+
+/// Number of connected components.
+int component_count(const Multigraph& g, const EdgeMask* mask = nullptr);
+
+/// Graph diameter (max finite eccentricity); kUnreachable if disconnected,
+/// 0 for graphs with a single node.
+int diameter(const Multigraph& g);
+
+/// Histogram of degrees: result[d] = number of nodes with degree d.
+std::vector<int> degree_histogram(const Multigraph& g);
+
+/// Sum of degrees / n; 0 for empty graphs.
+double average_degree(const Multigraph& g);
+
+}  // namespace lgg::graph

@@ -1,0 +1,64 @@
+#include "graph/dot_export.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace lgg::graph {
+
+void write_dot(std::ostream& os, const Multigraph& g,
+               const DotOptions& options) {
+  LGG_REQUIRE(options.labels.empty() ||
+                  static_cast<NodeId>(options.labels.size()) ==
+                      g.node_count(),
+              "write_dot: label count mismatch");
+  LGG_REQUIRE(options.intensity.empty() ||
+                  static_cast<NodeId>(options.intensity.size()) ==
+                      g.node_count(),
+              "write_dot: intensity count mismatch");
+  std::int64_t peak = 1;
+  for (const std::int64_t v : options.intensity) peak = std::max(peak, v);
+
+  const auto is_in = [](std::span<const NodeId> xs, NodeId v) {
+    return std::find(xs.begin(), xs.end(), v) != xs.end();
+  };
+
+  os << "graph \"" << options.graph_name << "\" {\n"
+     << "  node [style=filled, fillcolor=white];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v << " [label=\"";
+    if (!options.labels.empty()) {
+      os << options.labels[static_cast<std::size_t>(v)];
+    } else {
+      os << v;
+    }
+    os << '"';
+    if (!options.intensity.empty()) {
+      const auto value = options.intensity[static_cast<std::size_t>(v)];
+      const int shade =
+          100 - static_cast<int>(60.0 * static_cast<double>(value) /
+                                 static_cast<double>(peak));
+      os << ", fillcolor=\"gray" << shade << '"';
+    }
+    if (is_in(options.emphasized, v)) os << ", shape=doublecircle";
+    if (is_in(options.boxed, v)) os << ", shape=box";
+    os << "];\n";
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Endpoints ep = g.endpoints(e);
+    os << "  n" << ep.u << " -- n" << ep.v;
+    if (options.mask != nullptr && !options.mask->active(e)) {
+      os << " [style=dashed]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Multigraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  write_dot(os, g, options);
+  return os.str();
+}
+
+}  // namespace lgg::graph

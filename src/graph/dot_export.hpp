@@ -1,0 +1,32 @@
+// Graphviz DOT rendering of multigraphs and S-D-network state — for docs,
+// debugging, and the examples' visual output.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "graph/multigraph.hpp"
+
+namespace lgg::graph {
+
+struct DotOptions {
+  /// Optional per-node labels (size node_count); empty = node ids.
+  std::span<const std::string> labels = {};
+  /// Optional per-node fill shading values (e.g. queue lengths); nodes at
+  /// the max value render darkest.
+  std::span<const std::int64_t> intensity = {};
+  /// Nodes rendered as doublecircle (e.g. sources) / house (sinks).
+  std::span<const NodeId> emphasized = {};
+  std::span<const NodeId> boxed = {};
+  /// Inactive edges render dashed when a mask is provided.
+  const EdgeMask* mask = nullptr;
+  std::string graph_name = "G";
+};
+
+void write_dot(std::ostream& os, const Multigraph& g,
+               const DotOptions& options = {});
+std::string to_dot(const Multigraph& g, const DotOptions& options = {});
+
+}  // namespace lgg::graph

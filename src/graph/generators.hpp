@@ -1,0 +1,82 @@
+// Topology generators used throughout the test suite and the experiment
+// harness.  Deterministic generators take only size parameters; random
+// generators take an explicit seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/multigraph.hpp"
+
+namespace lgg::graph {
+
+/// Simple path v0 - v1 - ... - v_{n-1}.  Requires n >= 1.
+Multigraph make_path(NodeId n);
+
+/// Cycle on n >= 3 nodes.
+Multigraph make_cycle(NodeId n);
+
+/// Star: node 0 is the hub, connected to nodes 1..n-1.  Requires n >= 2.
+Multigraph make_star(NodeId n);
+
+/// Complete graph K_n.  Requires n >= 1.
+Multigraph make_complete(NodeId n);
+
+/// Complete bipartite K_{a,b}: nodes 0..a-1 on the left, a..a+b-1 on the
+/// right.  Requires a, b >= 1.
+Multigraph make_complete_bipartite(NodeId a, NodeId b);
+
+/// rows x cols grid, node (r, c) has id r*cols + c.  Requires rows, cols >= 1.
+Multigraph make_grid(NodeId rows, NodeId cols);
+
+/// rows x cols torus (grid with wraparound).  Requires rows, cols >= 3 to
+/// avoid parallel wrap edges collapsing to multi-edges on tiny sizes (they
+/// are still legal, just surprising).
+Multigraph make_torus(NodeId rows, NodeId cols);
+
+/// Path of length `len` where each consecutive pair is joined by
+/// `multiplicity` parallel edges — the canonical multigraph stress shape.
+Multigraph make_fat_path(NodeId len, int multiplicity);
+
+/// Erdős–Rényi G(n, p), simple edges only.
+Multigraph make_erdos_renyi(NodeId n, double p, std::uint64_t seed);
+
+/// Uniform random multigraph with exactly m edges; parallel edges allowed,
+/// self-loops resampled.
+Multigraph make_random_multigraph(NodeId n, EdgeId m, std::uint64_t seed);
+
+/// Random d-regular graph via the pairing model (retries until simple);
+/// requires n*d even, d < n.
+Multigraph make_random_regular(NodeId n, int d, std::uint64_t seed);
+
+/// "Flow ladder": `layers` layers of `width` nodes; node i of layer k is
+/// joined to `fan` random nodes of layer k+1.  Produces instances with
+/// interesting internal min cuts for the Section V case analysis.
+Multigraph make_layered(NodeId layers, NodeId width, int fan,
+                        std::uint64_t seed);
+
+/// Two cliques of size k joined by a single bridge edge — a guaranteed
+/// internal bottleneck.
+Multigraph make_barbell(NodeId k);
+
+/// d-dimensional hypercube Q_d (2^d nodes, d·2^{d-1} edges).  Requires
+/// 1 <= d <= 20.
+Multigraph make_hypercube(int d);
+
+/// Circulant graph C_n(offsets): node v joined to v ± o for each offset.
+/// Offsets must be in [1, n/2]; an offset of exactly n/2 adds one edge per
+/// pair.  Circulants with several offsets are standard expander stand-ins.
+Multigraph make_circulant(NodeId n, const std::vector<int>& offsets);
+
+/// Caterpillar: a spine path of `spine` nodes with `legs` leaves per spine
+/// node — maximal-degree stress with tree sparsity.
+Multigraph make_caterpillar(NodeId spine, int legs);
+
+/// Adds `extra` uniformly random parallel copies of existing edges.
+void thicken(Multigraph& g, EdgeId extra, std::uint64_t seed);
+
+/// True iff the graph is connected (empty and single-node graphs count as
+/// connected).
+bool is_connected(const Multigraph& g);
+
+}  // namespace lgg::graph

@@ -1,0 +1,37 @@
+// Plain-text serialization for multigraphs.
+//
+// Format ("lgg edge list"):
+//   # comment lines start with '#'
+//   nodes <n>
+//   edge <u> <v>        (one line per edge; parallel edges repeat)
+//
+// Round-trip is exact including edge order (edge ids are stable).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/multigraph.hpp"
+
+namespace lgg::graph {
+
+/// Thrown on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line)
+      : std::runtime_error("graph parse error at line " +
+                           std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+void write_graph(std::ostream& os, const Multigraph& g);
+std::string to_string(const Multigraph& g);
+
+Multigraph read_graph(std::istream& is);
+Multigraph graph_from_string(const std::string& text);
+
+}  // namespace lgg::graph

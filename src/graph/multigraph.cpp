@@ -1,0 +1,61 @@
+#include "graph/multigraph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lgg::graph {
+
+EdgeId Multigraph::add_edge(NodeId u, NodeId v) {
+  LGG_REQUIRE(valid_node(u) && valid_node(v), "add_edge: bad endpoint");
+  LGG_REQUIRE(u != v, "add_edge: self-loops are not part of the model");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({u, v});
+  incidence_[static_cast<std::size_t>(u)].push_back({id, v});
+  incidence_[static_cast<std::size_t>(v)].push_back({id, u});
+  return id;
+}
+
+int Multigraph::max_degree() const {
+  int best = 0;
+  for (const auto& inc : incidence_) {
+    best = std::max(best, static_cast<int>(inc.size()));
+  }
+  return best;
+}
+
+int Multigraph::multiplicity(NodeId u, NodeId v) const {
+  LGG_REQUIRE(valid_node(u) && valid_node(v), "multiplicity: bad node");
+  const auto& inc = incidence_[static_cast<std::size_t>(u)];
+  return static_cast<int>(std::count_if(
+      inc.begin(), inc.end(),
+      [v](const IncidentLink& l) { return l.neighbor == v; }));
+}
+
+CsrIncidence::CsrIncidence(const Multigraph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        offsets_[static_cast<std::size_t>(v)] +
+        static_cast<std::size_t>(g.degree(v));
+  }
+  links_.resize(offsets_[n]);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto inc = g.incident(v);
+    std::copy(inc.begin(), inc.end(),
+              links_.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      offsets_[static_cast<std::size_t>(v)]));
+  }
+}
+
+EdgeId EdgeMask::active_count() const {
+  return static_cast<EdgeId>(
+      std::count(active_.begin(), active_.end(), 1));
+}
+
+void EdgeMask::set_all(bool on) {
+  std::fill(active_.begin(), active_.end(), on ? 1 : 0);
+}
+
+}  // namespace lgg::graph

@@ -1,0 +1,52 @@
+#include "analysis/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lgg::analysis {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlinesQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesRowsWithCommas) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"x", "y"});
+  writer.write_row({"1", "two,three"});
+  EXPECT_EQ(os.str(), "x,y\n1,\"two,three\"\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(CsvWriter, WriteValuesFormatsMixedTypes) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_values("label", 42, 1.5);
+  EXPECT_EQ(os.str(), "label,42,1.5\n");
+}
+
+TEST(CsvWriter, DoubleRoundTripPrecision) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_values(0.1 + 0.2);
+  const double back = std::stod(os.str());
+  EXPECT_DOUBLE_EQ(back, 0.1 + 0.2);
+}
+
+}  // namespace
+}  // namespace lgg::analysis

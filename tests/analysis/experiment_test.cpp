@@ -1,0 +1,42 @@
+#include "analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace lgg::analysis {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(Stopwatch, ResetRestartsTheClock) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.reset();
+  EXPECT_LT(watch.seconds(), 0.015);
+}
+
+TEST(Replicate, ZeroReplicatesGiveEmptyResults) {
+  ThreadPool pool(2);
+  const auto results = replicate<int>(
+      pool, 0, 1, [](std::uint64_t, std::size_t) { return 7; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(Replicate, IndexArgumentMatchesPosition) {
+  ThreadPool pool(3);
+  const auto results = replicate<std::size_t>(
+      pool, 20, 1, [](std::uint64_t, std::size_t k) { return k; });
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    EXPECT_EQ(results[k], k);
+  }
+}
+
+}  // namespace
+}  // namespace lgg::analysis

@@ -1,0 +1,73 @@
+#include "analysis/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace lgg::analysis {
+namespace {
+
+TEST(Histogram, BinsValuesByRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.9);   // bin 4
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-3.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(4), 1);
+}
+
+TEST(Histogram, BinRangesTile) {
+  Histogram h(0.0, 10.0, 4);
+  double expected_lo = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    const auto [lo, hi] = h.bin_range(b);
+    EXPECT_DOUBLE_EQ(lo, expected_lo);
+    EXPECT_DOUBLE_EQ(hi - lo, 2.5);
+    expected_lo = hi;
+  }
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Histogram h(0.0, 4.0, 4);
+  const std::vector<double> values = {0.1, 1.1, 1.2, 2.5, 3.9};
+  h.add_all(values);
+  double sum = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.fraction(b);
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.4);
+}
+
+TEST(Histogram, EmptyHistogramFractionIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, AsciiRenderingShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string art = h.to_string(10);
+  EXPECT_NE(art.find("########## 2"), std::string::npos);
+  EXPECT_NE(art.find("##### 1"), std::string::npos);
+}
+
+TEST(Histogram, BadParametersRejected) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lgg::analysis

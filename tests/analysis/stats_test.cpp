@@ -1,0 +1,97 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace lgg::analysis {
+namespace {
+
+TEST(Summarize, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, KnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.variance, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, SingleElement) {
+  const std::vector<double> xs = {3.5};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Quantile, RejectsEmptyAndBadQ) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(quantile({}, 0.5), ContractViolation);
+  EXPECT_THROW(quantile(xs, -0.1), ContractViolation);
+  EXPECT_THROW(quantile(xs, 1.1), ContractViolation);
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 2.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 1.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(FitLine, FlatSeriesHasZeroSlope) {
+  const std::vector<double> ys = {4.0, 4.0, 4.0, 4.0, 4.0};
+  const LinearFit fit = fit_line_indexed(ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 4.0);
+}
+
+TEST(FitLine, DegenerateXGivesZeroSlope) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(FitLine, RejectsMismatchedOrTiny) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW(fit_line(a, b), ContractViolation);
+  EXPECT_THROW(fit_line(b, b), ContractViolation);
+}
+
+TEST(ToDoubles, ConvertsIntegers) {
+  const std::vector<std::int64_t> xs = {1, 2, 3};
+  const auto ds = to_doubles<std::int64_t>(xs);
+  EXPECT_EQ(ds, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace lgg::analysis

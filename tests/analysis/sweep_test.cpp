@@ -1,0 +1,93 @@
+#include "analysis/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace lgg::analysis {
+namespace {
+
+TEST(Sweep, RunsEveryPointWithEveryReplicate) {
+  ThreadPool pool(3);
+  Sweep sweep;
+  sweep.add_point("a", 1.0).add_point("b", 2.0).add_point("c", 3.0);
+  const auto rows = sweep.run(pool, 4, 99, [](double p, std::uint64_t) {
+    return p * 10.0;
+  });
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].samples.size(), 4u);
+    EXPECT_DOUBLE_EQ(rows[i].summary.mean, (i + 1) * 10.0);
+    EXPECT_DOUBLE_EQ(rows[i].summary.stddev, 0.0);
+  }
+  EXPECT_EQ(rows[0].point.label, "a");
+}
+
+TEST(Sweep, SeedsAreReproducibleAndThreadCountIndependent) {
+  Sweep sweep;
+  sweep.add_range(0.0, 1.0, 5);
+  const auto measure = [](double p, std::uint64_t seed) {
+    return p + static_cast<double>(seed % 1000) * 1e-6;
+  };
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const auto a = sweep.run(one, 3, 7, measure);
+  const auto b = sweep.run(four, 3, 7, measure);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].samples, b[i].samples) << i;
+  }
+}
+
+TEST(Sweep, AddRangeSpacesEvenly) {
+  Sweep sweep;
+  sweep.add_range(0.0, 2.0, 5);
+  ThreadPool pool(2);
+  const auto rows = sweep.run(pool, 1, 1, [](double p, std::uint64_t) {
+    return p;
+  });
+  ASSERT_EQ(rows.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(rows[i].point.parameter, 0.5 * static_cast<double>(i),
+                1e-12);
+  }
+}
+
+TEST(Sweep, SinglePointRangeIsLo) {
+  Sweep sweep;
+  sweep.add_range(0.7, 1.5, 1);
+  EXPECT_EQ(sweep.size(), 1u);
+}
+
+TEST(Sweep, BadArgumentsRejected) {
+  Sweep sweep;
+  EXPECT_THROW(sweep.add_range(1.0, 0.0, 2), ContractViolation);
+  EXPECT_THROW(sweep.add_range(0.0, 1.0, 0), ContractViolation);
+  sweep.add_point("x", 1.0);
+  ThreadPool pool(1);
+  EXPECT_THROW(sweep.run(pool, 0, 1, [](double, std::uint64_t) {
+    return 0.0;
+  }),
+               ContractViolation);
+  EXPECT_THROW(sweep.run(pool, 1, 1, Sweep::Measure{}), ContractViolation);
+}
+
+TEST(RowsToTable, RendersSummaries) {
+  Sweep sweep;
+  sweep.add_point("p1", 1.0);
+  ThreadPool pool(1);
+  const auto rows = sweep.run(pool, 3, 5, [](double, std::uint64_t seed) {
+    return static_cast<double>(seed % 7);
+  });
+  const Table table = rows_to_table(rows, "param", "value");
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("param"), std::string::npos);
+  EXPECT_NE(out.find("value mean"), std::string::npos);
+  EXPECT_NE(out.find("p1"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace lgg::analysis

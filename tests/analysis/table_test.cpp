@@ -1,0 +1,44 @@
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace lgg::analysis {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("b", 23);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 23    |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, WidthAdaptsToLongCells) {
+  Table t({"c"});
+  t.add("a-very-long-cell");
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| a-very-long-cell |"), std::string::npos);
+}
+
+TEST(Table, MismatchedRowRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, FormatsBoolsAndDoubles) {
+  EXPECT_EQ(Table::format_cell(true), "yes");
+  EXPECT_EQ(Table::format_cell(false), "no");
+  EXPECT_EQ(Table::format_cell(0.0), "0.0");
+  EXPECT_EQ(Table::format_cell(2.5), "2.5");
+  // Scientific fallback for extreme magnitudes.
+  EXPECT_NE(Table::format_cell(1e12).find('e'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lgg::analysis

@@ -1,0 +1,76 @@
+#include "analysis/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "common/require.hpp"
+
+namespace lgg::analysis {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsUsesHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, EmptyTaskRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), ContractViolation);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(Replicate, ResultsIndexedByReplicate) {
+  ThreadPool pool(4);
+  const auto results = replicate<std::uint64_t>(
+      pool, 32, 99,
+      [](std::uint64_t seed, std::size_t k) { return seed ^ k; });
+  // Recompute serially: must match exactly (thread-count independence).
+  for (std::size_t k = 0; k < 32; ++k) {
+    EXPECT_EQ(results[k], derive_seed(99, k) ^ k);
+  }
+}
+
+TEST(Replicate, SeedsAreDistinctAcrossReplicates) {
+  ThreadPool pool(2);
+  const auto seeds = replicate<std::uint64_t>(
+      pool, 64, 7, [](std::uint64_t seed, std::size_t) { return seed; });
+  auto sorted = seeds;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+}  // namespace
+}  // namespace lgg::analysis

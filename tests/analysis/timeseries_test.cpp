@@ -1,0 +1,82 @@
+#include "analysis/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace lgg::analysis {
+namespace {
+
+TEST(Tail, KeepsTrailingFraction) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto half = tail(std::span<const double>(xs), 0.5);
+  ASSERT_EQ(half.size(), 4u);
+  EXPECT_DOUBLE_EQ(half[0], 5.0);
+  const auto all = tail(std::span<const double>(xs), 1.0);
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(Tail, AtLeastOneElement) {
+  const std::vector<double> xs = {1, 2, 3};
+  EXPECT_EQ(tail(std::span<const double>(xs), 0.01).size(), 1u);
+  EXPECT_TRUE(tail(std::span<const double>{}, 0.5).empty());
+}
+
+TEST(TailSlope, GrowingSeriesHasPositiveSlope) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i * i));
+  EXPECT_GT(tail_slope(xs, 0.5), 0.0);
+}
+
+TEST(TailSlope, FlatTailIsZeroEvenAfterTransient) {
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(static_cast<double>(50 - i));
+  for (int i = 0; i < 50; ++i) xs.push_back(7.0);
+  EXPECT_DOUBLE_EQ(tail_slope(xs, 0.4), 0.0);
+}
+
+TEST(TailMax, FindsMaxInWindow) {
+  const std::vector<double> xs = {9, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(tail_max(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(tail_max(xs, 1.0), 9.0);
+}
+
+TEST(Increments, MaxAndMin) {
+  const std::vector<double> xs = {0, 5, 3, 10};
+  EXPECT_DOUBLE_EQ(max_increment(xs), 7.0);
+  EXPECT_DOUBLE_EQ(min_increment(xs), -2.0);
+  EXPECT_DOUBLE_EQ(max_increment(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(WindowMeans, SplitsEvenly) {
+  const std::vector<double> xs = {1, 1, 2, 2, 3, 3, 4, 4};
+  const auto means = window_means(xs, 4);
+  EXPECT_EQ(means, (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(WindowMeans, LastWindowAbsorbsRemainder) {
+  const std::vector<double> xs = {2, 2, 2, 8, 8};
+  const auto means = window_means(xs, 2);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 6.0);  // mean of {2, 8, 8}
+}
+
+TEST(WindowMeans, MoreWindowsThanPointsClamped) {
+  const std::vector<double> xs = {5.0, 7.0};
+  const auto means = window_means(xs, 10);
+  EXPECT_EQ(means, (std::vector<double>{5.0, 7.0}));
+  EXPECT_THROW(window_means(xs, 0), ContractViolation);
+}
+
+TEST(CountBelow, CountsInclusive) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_EQ(count_below(xs, 2.0), 2u);
+  EXPECT_EQ(count_below(xs, 0.5), 0u);
+  EXPECT_EQ(count_below(xs, 10.0), 4u);
+}
+
+}  // namespace
+}  // namespace lgg::analysis

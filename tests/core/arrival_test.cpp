@@ -1,0 +1,197 @@
+#include "core/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace lgg::core {
+namespace {
+
+PacketCount total_over(ArrivalProcess& process, NodeId v, Cap in,
+                       TimeStep steps, Rng& rng) {
+  PacketCount total = 0;
+  for (TimeStep t = 0; t < steps; ++t) total += process.packets(v, in, t, rng);
+  return total;
+}
+
+TEST(ExactArrival, AlwaysInjectsRate) {
+  ExactArrival arrival;
+  Rng rng(1);
+  for (TimeStep t = 0; t < 10; ++t) {
+    EXPECT_EQ(arrival.packets(0, 3, t, rng), 3);
+  }
+}
+
+TEST(ScaledArrival, FactorOneMatchesExact) {
+  ScaledArrival arrival(1.0);
+  Rng rng(1);
+  EXPECT_EQ(total_over(arrival, 0, 2, 100, rng), 200);
+}
+
+TEST(ScaledArrival, FractionalFactorAveragesOut) {
+  ScaledArrival arrival(0.5);
+  Rng rng(1);
+  // Bresenham accumulation: exactly half the packets over any even horizon.
+  EXPECT_EQ(total_over(arrival, 0, 1, 100, rng), 50);
+  // And per-step counts differ by at most 1.
+  for (TimeStep t = 0; t < 20; ++t) {
+    const PacketCount a = arrival.packets(0, 1, t, rng);
+    EXPECT_TRUE(a == 0 || a == 1);
+  }
+}
+
+TEST(ScaledArrival, OverloadFactorInjectsMore) {
+  ScaledArrival arrival(1.5);
+  Rng rng(1);
+  EXPECT_EQ(total_over(arrival, 0, 2, 100, rng), 300);
+}
+
+TEST(ScaledArrival, NegativeFactorRejected) {
+  EXPECT_THROW(ScaledArrival(-0.1), ContractViolation);
+}
+
+TEST(BernoulliArrival, ProbabilityExtremes) {
+  Rng rng(1);
+  BernoulliArrival never(0.0);
+  BernoulliArrival always(1.0);
+  EXPECT_EQ(total_over(never, 0, 5, 50, rng), 0);
+  EXPECT_EQ(total_over(always, 0, 5, 50, rng), 250);
+}
+
+TEST(BernoulliArrival, MeanApproximatesRateTimesP) {
+  Rng rng(42);
+  BernoulliArrival arrival(0.3);
+  const PacketCount total = total_over(arrival, 0, 10, 2000, rng);
+  EXPECT_NEAR(static_cast<double>(total), 0.3 * 10 * 2000, 400.0);
+}
+
+TEST(UniformArrival, RangeAndMean) {
+  Rng rng(7);
+  UniformArrival arrival(1.0);  // uniform on [0, 2·in]
+  PacketCount total = 0;
+  for (TimeStep t = 0; t < 3000; ++t) {
+    const PacketCount a = arrival.packets(0, 3, t, rng);
+    EXPECT_GE(a, 0);
+    EXPECT_LE(a, 6);
+    total += a;
+  }
+  EXPECT_NEAR(static_cast<double>(total) / 3000.0, 3.0, 0.25);
+}
+
+TEST(UniformArrival, ZeroMeanInjectsNothing) {
+  Rng rng(7);
+  UniformArrival arrival(0.0);
+  EXPECT_EQ(total_over(arrival, 0, 4, 20, rng), 0);
+}
+
+TEST(PoissonArrival, MeanMatchesFactorTimesRate) {
+  Rng rng(5);
+  PoissonArrival arrival(0.7);
+  const PacketCount total = total_over(arrival, 0, 4, 4000, rng);
+  EXPECT_NEAR(static_cast<double>(total) / 4000.0, 2.8, 0.15);
+}
+
+TEST(PoissonArrival, ZeroMeanInjectsNothing) {
+  Rng rng(5);
+  PoissonArrival arrival(0.0);
+  EXPECT_EQ(total_over(arrival, 0, 4, 50, rng), 0);
+  EXPECT_THROW(PoissonArrival(-1.0), ContractViolation);
+}
+
+TEST(GeometricArrival, MeanMatchesFactorTimesRate) {
+  Rng rng(5);
+  GeometricArrival arrival(0.5);
+  const PacketCount total = total_over(arrival, 0, 4, 6000, rng);
+  EXPECT_NEAR(static_cast<double>(total) / 6000.0, 2.0, 0.15);
+}
+
+TEST(GeometricArrival, HeavierTailThanUniform) {
+  // Same mean, compare the max over many draws: geometric spikes higher.
+  Rng rng_g(5), rng_u(5);
+  GeometricArrival geo(1.0);
+  UniformArrival uni(1.0);
+  PacketCount max_geo = 0, max_uni = 0;
+  for (TimeStep t = 0; t < 3000; ++t) {
+    max_geo = std::max(max_geo, geo.packets(0, 2, t, rng_g));
+    max_uni = std::max(max_uni, uni.packets(0, 2, t, rng_u));
+  }
+  EXPECT_GT(max_geo, max_uni);
+  EXPECT_LE(max_uni, 4);  // uniform is bounded at 2·mean
+}
+
+TEST(BurstArrival, PatternAlternates) {
+  BurstArrival arrival(3.0, 0.0, 2, 5);  // 2 high steps, 3 silent, repeat
+  Rng rng(1);
+  const std::vector<PacketCount> expect = {3, 3, 0, 0, 0, 3, 3, 0, 0, 0};
+  for (TimeStep t = 0; t < 10; ++t) {
+    EXPECT_EQ(arrival.packets(0, 1, t, rng), expect[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_DOUBLE_EQ(arrival.average_factor(), 1.2);
+}
+
+TEST(BurstArrival, BadParametersRejected) {
+  EXPECT_THROW(BurstArrival(1.0, 1.0, 3, 2), ContractViolation);
+  EXPECT_THROW(BurstArrival(1.0, 1.0, 1, 0), ContractViolation);
+  EXPECT_THROW(BurstArrival(-1.0, 0.0, 1, 2), ContractViolation);
+}
+
+TEST(TokenBucket, HoardsThenDumps) {
+  // r = 1, cap 10, hoard every 4 steps, in = 2: accumulates 2/step capped
+  // at 10 + 2, dumps on steps 3, 7, 11, ...
+  TokenBucketArrival arrival(1.0, 10.0, 4);
+  Rng rng(1);
+  std::vector<PacketCount> seq;
+  for (TimeStep t = 0; t < 8; ++t) seq.push_back(arrival.packets(0, 2, t, rng));
+  EXPECT_EQ(seq, (std::vector<PacketCount>{0, 0, 0, 8, 0, 0, 0, 8}));
+}
+
+TEST(TokenBucket, BurstCapLimitsTheDump) {
+  TokenBucketArrival arrival(1.0, 3.0, 100);
+  Rng rng(1);
+  PacketCount dump = 0;
+  for (TimeStep t = 0; t < 100; ++t) dump += arrival.packets(0, 5, t, rng);
+  // 100 steps of hoarding at rate 5 but cap 3 (+one refill): dump <= 8.
+  EXPECT_LE(dump, 8);
+  EXPECT_GT(dump, 0);
+}
+
+TEST(TokenBucket, LongRunRateIsRTimesIn) {
+  TokenBucketArrival arrival(0.5, 100.0, 7);
+  Rng rng(1);
+  EXPECT_NEAR(static_cast<double>(total_over(arrival, 0, 4, 700, rng)),
+              0.5 * 4 * 700, 110.0);
+}
+
+TEST(TokenBucket, PerNodeBucketsAreIndependent) {
+  TokenBucketArrival arrival(1.0, 50.0, 2);
+  Rng rng(1);
+  // Node 0 drains on odd steps; node 7's bucket is untouched by that.
+  EXPECT_EQ(arrival.packets(0, 3, 0, rng), 0);
+  EXPECT_EQ(arrival.packets(0, 3, 1, rng), 6);
+  EXPECT_EQ(arrival.packets(7, 3, 1, rng), 3);  // only one refill so far
+}
+
+TEST(TokenBucket, BadParametersRejected) {
+  EXPECT_THROW(TokenBucketArrival(-0.1, 1.0, 1), ContractViolation);
+  EXPECT_THROW(TokenBucketArrival(0.5, -1.0, 1), ContractViolation);
+  EXPECT_THROW(TokenBucketArrival(0.5, 1.0, 0), ContractViolation);
+}
+
+TEST(TraceArrival, ReplaysExactlyThenZero) {
+  TraceArrival arrival({{2, {5, 0, 7}}});
+  Rng rng(1);
+  EXPECT_EQ(arrival.packets(2, 99, 0, rng), 5);
+  EXPECT_EQ(arrival.packets(2, 99, 1, rng), 0);
+  EXPECT_EQ(arrival.packets(2, 99, 2, rng), 7);
+  EXPECT_EQ(arrival.packets(2, 99, 3, rng), 0);
+  EXPECT_EQ(arrival.packets(1, 99, 0, rng), 0);  // node without a trace
+}
+
+TEST(TraceArrival, NegativeEntriesRejected) {
+  EXPECT_THROW(TraceArrival({{0, {1, -1}}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,82 @@
+#include "core/burst_condition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace lgg::core {
+namespace {
+
+TEST(ForcedBacklog, LindleyRecursion) {
+  const std::vector<PacketCount> arrivals = {5, 0, 0, 4, 1};
+  const auto r = forced_backlog(arrivals, /*fstar=*/2);
+  EXPECT_EQ(r, (std::vector<PacketCount>{0, 3, 1, 0, 2, 1}));
+}
+
+TEST(ForcedBacklog, NeverNegative) {
+  const std::vector<PacketCount> arrivals = {0, 0, 10, 0, 0, 0};
+  const auto r = forced_backlog(arrivals, 3);
+  for (const PacketCount x : r) EXPECT_GE(x, 0);
+  EXPECT_EQ(r.back(), 0);
+}
+
+TEST(MaxIntervalExcess, MatchesWorstWindow) {
+  // Window {6, 6} against f* = 2: excess 8.
+  const std::vector<PacketCount> arrivals = {0, 6, 6, 0, 0, 0};
+  EXPECT_EQ(max_interval_excess(arrivals, 2), 8);
+}
+
+TEST(MaxIntervalExcess, ZeroWhenAlwaysWithinCapacity) {
+  const std::vector<PacketCount> arrivals = {2, 1, 2, 0, 2};
+  EXPECT_EQ(max_interval_excess(arrivals, 2), 0);
+}
+
+TEST(MaxIntervalExcess, NegativeArrivalRejected) {
+  const std::vector<PacketCount> arrivals = {1, -1};
+  EXPECT_THROW(max_interval_excess(arrivals, 1), ContractViolation);
+}
+
+TEST(AnalyzePeriodicTrace, CompensatedBurst) {
+  // Period: 6, 6, 0, 0 against f* = 3: per-period drift 0, max excess 6.
+  const std::vector<PacketCount> period = {6, 6, 0, 0};
+  const BurstVerdict v = analyze_periodic_trace(period, 3);
+  EXPECT_TRUE(v.compensated);
+  EXPECT_EQ(v.per_period_drift, 0);
+  EXPECT_EQ(v.max_excess, 6);
+  EXPECT_EQ(v.residual_backlog, 0);
+}
+
+TEST(AnalyzePeriodicTrace, UncompensatedBurstHasPositiveDrift) {
+  const std::vector<PacketCount> period = {6, 6, 2, 0};
+  const BurstVerdict v = analyze_periodic_trace(period, 3);
+  EXPECT_FALSE(v.compensated);
+  EXPECT_EQ(v.per_period_drift, 2);
+}
+
+TEST(AnalyzePeriodicTrace, WrapAroundWindowsCounted) {
+  // Bursts at the period boundary: {0, 0, 5, 5} against f* = 3 looks mild
+  // within one period start, but the wrap {5, 5 | 0, 0, 5, 5} windows are
+  // covered by doubling.
+  const std::vector<PacketCount> period = {0, 0, 5, 5};
+  const BurstVerdict v = analyze_periodic_trace(period, 3);
+  EXPECT_TRUE(v.compensated);  // drift = 10 - 12 < 0
+  EXPECT_EQ(v.max_excess, 4);  // window {5, 5}: 10 - 6
+}
+
+TEST(AnalyzePeriodicTrace, EmptyPeriodRejected) {
+  EXPECT_THROW(analyze_periodic_trace(std::span<const PacketCount>{}, 1),
+               ContractViolation);
+}
+
+TEST(AnalyzePeriodicTrace, PredictsTheE8Artifact) {
+  // The bench_conjecture2 rounding case: llround(1.5 * 3) = 5 per burst
+  // step, 4 burst steps, period 6, f* = 3: drift 20 - 18 > 0 => not
+  // compensated, hence the observed divergence.
+  const std::vector<PacketCount> period = {5, 5, 5, 5, 0, 0};
+  const BurstVerdict v = analyze_periodic_trace(period, 3);
+  EXPECT_FALSE(v.compensated);
+  EXPECT_EQ(v.per_period_drift, 2);
+}
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,89 @@
+#include "core/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+
+namespace lgg::core {
+namespace {
+
+TEST(StaticTopology, NeverChanges) {
+  const SdNetwork net = scenarios::single_path(4);
+  graph::EdgeMask mask(net.topology().edge_count());
+  StaticTopology dyn;
+  Rng rng(1);
+  EXPECT_FALSE(dyn.evolve(0, net, mask, rng));
+  EXPECT_EQ(mask.active_count(), 3);
+}
+
+TEST(RandomChurn, ProbabilityZeroIsStatic) {
+  const SdNetwork net = scenarios::single_path(5);
+  graph::EdgeMask mask(net.topology().edge_count());
+  RandomChurn dyn(0.0, 0.0);
+  Rng rng(1);
+  EXPECT_FALSE(dyn.evolve(0, net, mask, rng));
+  EXPECT_EQ(mask.active_count(), 4);
+}
+
+TEST(RandomChurn, ProbabilityOneFlipsEverything) {
+  const SdNetwork net = scenarios::single_path(5);
+  graph::EdgeMask mask(net.topology().edge_count());
+  RandomChurn dyn(1.0, 1.0);
+  Rng rng(1);
+  EXPECT_TRUE(dyn.evolve(0, net, mask, rng));
+  EXPECT_EQ(mask.active_count(), 0);
+  EXPECT_TRUE(dyn.evolve(1, net, mask, rng));
+  EXPECT_EQ(mask.active_count(), 4);
+}
+
+TEST(RandomChurn, BadProbabilitiesRejected) {
+  EXPECT_THROW(RandomChurn(-0.1, 0.0), ContractViolation);
+  EXPECT_THROW(RandomChurn(0.0, 1.1), ContractViolation);
+}
+
+TEST(ProtectedChurn, ProtectedEdgesStayUp) {
+  const SdNetwork net = scenarios::single_path(6);
+  graph::EdgeMask mask(net.topology().edge_count());
+  ProtectedChurn dyn({0, 2}, /*p_off=*/1.0, /*p_on=*/0.0);
+  Rng rng(1);
+  dyn.evolve(0, net, mask, rng);
+  EXPECT_TRUE(mask.active(0));
+  EXPECT_FALSE(mask.active(1));
+  EXPECT_TRUE(mask.active(2));
+  EXPECT_FALSE(mask.active(3));
+  EXPECT_FALSE(mask.active(4));
+}
+
+TEST(ProtectedChurn, ReactivatesProtectedEdges) {
+  const SdNetwork net = scenarios::single_path(3);
+  graph::EdgeMask mask(net.topology().edge_count());
+  mask.set_active(0, false);
+  ProtectedChurn dyn({0}, 0.0, 0.0);
+  Rng rng(1);
+  EXPECT_TRUE(dyn.evolve(0, net, mask, rng));
+  EXPECT_TRUE(mask.active(0));
+}
+
+TEST(PeriodicSwitch, AlternatesBetweenMasks) {
+  const SdNetwork net = scenarios::single_path(3);
+  graph::EdgeMask a(2);
+  graph::EdgeMask b(2);
+  b.set_active(0, false);
+  PeriodicSwitch dyn(a, b, /*period=*/2);
+  graph::EdgeMask mask(2);
+  Rng rng(1);
+  dyn.evolve(0, net, mask, rng);
+  EXPECT_TRUE(mask.active(0));   // phase A at t=0..1
+  dyn.evolve(2, net, mask, rng);
+  EXPECT_FALSE(mask.active(0));  // phase B at t=2..3
+  dyn.evolve(4, net, mask, rng);
+  EXPECT_TRUE(mask.active(0));
+}
+
+TEST(PeriodicSwitch, SizeMismatchRejected) {
+  EXPECT_THROW(PeriodicSwitch(graph::EdgeMask(2), graph::EdgeMask(3), 1),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace lgg::core

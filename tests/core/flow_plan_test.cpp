@@ -1,0 +1,82 @@
+#include "core/flow_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/scenarios.hpp"
+#include "graph/generators.hpp"
+
+namespace lgg::core {
+namespace {
+
+void expect_plan_well_formed(const FlowPlan& plan, const SdNetwork& net) {
+  const graph::Multigraph& g = net.topology();
+  std::map<EdgeId, int> edge_uses;
+  for (const auto& path : plan.paths) {
+    ASSERT_FALSE(path.empty());
+    // Hops chain: to of hop i == from of hop i+1.
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_EQ(path[i].to, path[i + 1].from);
+    }
+    // First hop starts at a source, last ends at a sink.
+    EXPECT_GT(net.spec(path.front().from).in, 0);
+    EXPECT_GT(net.spec(path.back().to).out, 0);
+    for (const Transmission& hop : path) {
+      const graph::Endpoints ep = g.endpoints(hop.edge);
+      EXPECT_TRUE((ep.u == hop.from && ep.v == hop.to) ||
+                  (ep.v == hop.from && ep.u == hop.to));
+      ++edge_uses[hop.edge];
+    }
+  }
+  // Unit link capacities: every edge belongs to at most one unit path.
+  for (const auto& [edge, uses] : edge_uses) {
+    EXPECT_LE(uses, 1) << "edge " << edge;
+  }
+}
+
+TEST(FlowPlan, FatPathUsesEveryLane) {
+  const SdNetwork net = scenarios::fat_path(3, 3, 3, 3);
+  const FlowPlan plan = build_flow_plan(net);
+  EXPECT_EQ(plan.value, 3);
+  EXPECT_EQ(plan.paths.size(), 3u);
+  expect_plan_well_formed(plan, net);
+}
+
+TEST(FlowPlan, ValueEqualsArrivalRateWhenFeasible) {
+  const SdNetwork net = scenarios::grid_single(3, 4, 1, 2);
+  const FlowPlan plan = build_flow_plan(net);
+  EXPECT_EQ(plan.value, net.arrival_rate());
+  expect_plan_well_formed(plan, net);
+}
+
+TEST(FlowPlan, InfeasibleNetworkPlansUpToFstar) {
+  const SdNetwork net = scenarios::barbell_bottleneck(3, 2, 2);
+  const FlowPlan plan = build_flow_plan(net);
+  EXPECT_EQ(plan.value, 1);  // bridge capacity
+  EXPECT_EQ(plan.paths.size(), 1u);
+}
+
+TEST(FlowPlan, MaskRestrictsThePlan) {
+  const SdNetwork net = scenarios::fat_path(2, 3, 3, 3);
+  graph::EdgeMask mask(net.topology().edge_count());
+  mask.set_active(0, false);
+  mask.set_active(1, false);
+  const FlowPlan plan = build_flow_plan(net, &mask);
+  EXPECT_EQ(plan.value, 1);
+  ASSERT_EQ(plan.paths.size(), 1u);
+  EXPECT_EQ(plan.paths[0][0].edge, 2);
+}
+
+TEST(FlowPlan, GeneralizedSelfServingNodeYieldsNoHops) {
+  // A node that is both source and sink absorbs its own flow: no paths.
+  SdNetwork net(graph::make_path(2));
+  net.set_generalized(0, 1, 1, 0);
+  net.set_sink(1, 1);
+  const FlowPlan plan = build_flow_plan(net);
+  EXPECT_EQ(plan.value, 1);
+  EXPECT_TRUE(plan.paths.empty());
+}
+
+}  // namespace
+}  // namespace lgg::core

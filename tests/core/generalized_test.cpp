@@ -1,0 +1,112 @@
+#include "core/generalized.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lgg::core {
+namespace {
+
+TEST(DeclaredQueue, TruthAboveRetentionIsForced) {
+  const NodeSpec spec{0, 2, /*retention=*/5};
+  Rng rng(1);
+  for (const auto policy :
+       {DeclarationPolicy::kTruthful, DeclarationPolicy::kDeclareR,
+        DeclarationPolicy::kDeclareZero, DeclarationPolicy::kRandom}) {
+    EXPECT_EQ(declared_queue(spec, 6, policy, rng), 6);
+    EXPECT_EQ(declared_queue(spec, 100, policy, rng), 100);
+  }
+}
+
+TEST(DeclaredQueue, LyingPoliciesBelowRetention) {
+  const NodeSpec spec{0, 2, /*retention=*/5};
+  Rng rng(1);
+  EXPECT_EQ(declared_queue(spec, 3, DeclarationPolicy::kTruthful, rng), 3);
+  EXPECT_EQ(declared_queue(spec, 3, DeclarationPolicy::kDeclareR, rng), 5);
+  EXPECT_EQ(declared_queue(spec, 3, DeclarationPolicy::kDeclareZero, rng), 0);
+  for (int i = 0; i < 50; ++i) {
+    const PacketCount d =
+        declared_queue(spec, 3, DeclarationPolicy::kRandom, rng);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 5);
+  }
+}
+
+TEST(DeclaredQueue, ClassicalNodesNeverLie) {
+  const NodeSpec spec{1, 0, /*retention=*/0};
+  Rng rng(1);
+  for (const auto policy :
+       {DeclarationPolicy::kDeclareR, DeclarationPolicy::kDeclareZero,
+        DeclarationPolicy::kRandom}) {
+    EXPECT_EQ(declared_queue(spec, 4, policy, rng), 4);
+    EXPECT_EQ(declared_queue(spec, 0, policy, rng), 0);
+  }
+}
+
+TEST(ExtractionRange, ClassicalSinkIsExact) {
+  const NodeSpec spec{0, 3, 0};
+  // q <= out: must take everything; q > out: must take out.
+  EXPECT_EQ(extraction_range(spec, 2).lower, 2);
+  EXPECT_EQ(extraction_range(spec, 2).upper, 2);
+  EXPECT_EQ(extraction_range(spec, 9).lower, 3);
+  EXPECT_EQ(extraction_range(spec, 9).upper, 3);
+}
+
+TEST(ExtractionRange, RetentionLoosensLowerBound) {
+  const NodeSpec spec{0, 3, /*retention=*/4};
+  // q <= R: may extract anything up to min(out, q).
+  EXPECT_EQ(extraction_range(spec, 2).lower, 0);
+  EXPECT_EQ(extraction_range(spec, 2).upper, 2);
+  // q > R: must extract at least min(out, q − R).
+  EXPECT_EQ(extraction_range(spec, 6).lower, 2);
+  EXPECT_EQ(extraction_range(spec, 6).upper, 3);
+  EXPECT_EQ(extraction_range(spec, 100).lower, 3);
+  EXPECT_EQ(extraction_range(spec, 100).upper, 3);
+}
+
+TEST(ExtractionAmount, PoliciesRespectTheRange) {
+  const NodeSpec spec{0, 3, 4};
+  Rng rng(5);
+  for (const PacketCount q : {0, 2, 4, 5, 7, 50}) {
+    const ExtractionRange range = extraction_range(spec, q);
+    EXPECT_EQ(extraction_amount(spec, q, ExtractionPolicy::kEager, rng),
+              range.upper);
+    EXPECT_EQ(extraction_amount(spec, q, ExtractionPolicy::kRetentive, rng),
+              range.lower);
+    for (int i = 0; i < 20; ++i) {
+      const PacketCount a =
+          extraction_amount(spec, q, ExtractionPolicy::kRandom, rng);
+      EXPECT_GE(a, range.lower);
+      EXPECT_LE(a, range.upper);
+    }
+  }
+}
+
+TEST(ExtractionAmount, ZeroGeneralizedEquivalence) {
+  // With R = 0 every policy collapses to min(out, q) — the classical sink.
+  const NodeSpec spec{0, 2, 0};
+  Rng rng(1);
+  for (const PacketCount q : {0, 1, 2, 3, 10}) {
+    const PacketCount expect = std::min<PacketCount>(2, q);
+    EXPECT_EQ(extraction_amount(spec, q, ExtractionPolicy::kEager, rng),
+              expect);
+    EXPECT_EQ(extraction_amount(spec, q, ExtractionPolicy::kRetentive, rng),
+              expect);
+    EXPECT_EQ(extraction_amount(spec, q, ExtractionPolicy::kRandom, rng),
+              expect);
+  }
+}
+
+TEST(Generalized, NegativeQueueRejected) {
+  const NodeSpec spec{0, 1, 0};
+  Rng rng(1);
+  EXPECT_THROW(declared_queue(spec, -1, DeclarationPolicy::kTruthful, rng),
+               ContractViolation);
+  EXPECT_THROW(extraction_range(spec, -1), ContractViolation);
+}
+
+TEST(Generalized, PolicyNames) {
+  EXPECT_EQ(to_string(DeclarationPolicy::kTruthful), "truthful");
+  EXPECT_EQ(to_string(ExtractionPolicy::kEager), "eager");
+}
+
+}  // namespace
+}  // namespace lgg::core

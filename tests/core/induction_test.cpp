@@ -1,0 +1,203 @@
+#include "core/induction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "core/simulator.hpp"
+#include "core/stability.hpp"
+#include "graph/generators.hpp"
+
+namespace lgg::core {
+namespace {
+
+TEST(FindInternalCut, NoneOnUnsaturatedFatPath) {
+  // Unsaturated: the unique min cut is at s*; no internal cut exists.
+  const auto cut = find_internal_cut(scenarios::fat_path(4, 3, 1, 3));
+  EXPECT_FALSE(cut.has_value());
+}
+
+TEST(FindInternalCut, BridgeOfTheBarbell) {
+  const SdNetwork net = scenarios::barbell_bottleneck(3, 1, 2);
+  const auto cut = find_internal_cut(net);
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->value, 1);
+  EXPECT_EQ(cut->a_size + cut->b_size, net.node_count());
+  EXPECT_GE(cut->a_size, 1);
+  EXPECT_GE(cut->b_size, 1);
+  // Source on the A side, sink on the B side.
+  EXPECT_TRUE(cut->side_a[0]);
+  EXPECT_FALSE(cut->side_a[static_cast<std::size_t>(net.node_count() - 1)]);
+}
+
+TEST(FindInternalCut, SaturatedPathHasInternalCuts) {
+  const auto cut = find_internal_cut(scenarios::single_path(5, 1, 1));
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->value, 1);
+}
+
+TEST(FindInternalCut, InfeasibleRejected) {
+  EXPECT_THROW(find_internal_cut(scenarios::barbell_bottleneck(3, 2, 2)),
+               ContractViolation);
+}
+
+TEST(DecomposeAtCut, BarbellSidesHaveSectionVCShape) {
+  const SdNetwork net = scenarios::barbell_bottleneck(3, 1, 2);
+  const auto cut = find_internal_cut(net);
+  ASSERT_TRUE(cut.has_value());
+  const CutDecomposition dec = decompose_at_cut(net, *cut, /*R_B=*/7);
+
+  EXPECT_EQ(dec.a_side.node_count() + dec.b_side.node_count(),
+            net.node_count());
+  // B side: the border node gained in = |Γ_A| = 1 (the bridge).
+  Cap border_in = 0;
+  for (const NodeId v : dec.b_side.sources()) {
+    border_in += dec.b_side.spec(v).in;
+  }
+  EXPECT_EQ(border_in, 1);
+  // A side: the border node gained out = |Γ_B| = 1 and retention R_B.
+  bool found_border_dest = false;
+  for (NodeId v = 0; v < dec.a_side.node_count(); ++v) {
+    const NodeSpec& spec = dec.a_side.spec(v);
+    if (spec.out > 0 && spec.retention == 7) found_border_dest = true;
+  }
+  EXPECT_TRUE(found_border_dest);
+  EXPECT_EQ(dec.retention_b, 7);
+  // Node id mapping is a bijection onto the original ids.
+  std::vector<char> seen(static_cast<std::size_t>(net.node_count()), 0);
+  for (const NodeId v : dec.a_to_original) seen[static_cast<std::size_t>(v)] = 1;
+  for (const NodeId v : dec.b_to_original) seen[static_cast<std::size_t>(v)] = 1;
+  for (const char s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DecomposeAtCut, PiecesAreFeasibleAndRemark2Holds) {
+  for (const NodeId k : {2, 3, 4}) {
+    const SdNetwork net = scenarios::barbell_bottleneck(k, 1, 2);
+    const auto cut = find_internal_cut(net);
+    ASSERT_TRUE(cut.has_value()) << "k=" << k;
+    const CutDecomposition dec = decompose_at_cut(net, *cut, 5);
+    EXPECT_TRUE(verify_remark2(dec)) << "k=" << k;
+    EXPECT_TRUE(verify_pieces_feasible(dec)) << "k=" << k;
+  }
+}
+
+TEST(DecomposeAtCut, MultiplicityCountsInBorderRates) {
+  // Two parallel bridge edges: border nodes gain 2, not 1.
+  graph::Multigraph g = graph::make_barbell(3);
+  g.add_edge(2, 3);  // second bridge
+  SdNetwork net(std::move(g));
+  net.set_source(0, 2);
+  net.set_sink(5, 3);
+  const auto cut = find_internal_cut(net);
+  ASSERT_TRUE(cut.has_value());
+  const CutDecomposition dec = decompose_at_cut(net, *cut, 3);
+  Cap total_border_in = 0;
+  for (const NodeId v : dec.b_side.sources()) {
+    total_border_in += dec.b_side.spec(v).in;
+  }
+  EXPECT_EQ(total_border_in, 2);
+}
+
+TEST(DecomposeAtCut, BadCutRejected) {
+  const SdNetwork net = scenarios::barbell_bottleneck(3, 1, 2);
+  InternalCut bad;
+  bad.side_a.assign(static_cast<std::size_t>(net.node_count()), 1);
+  bad.a_size = net.node_count();
+  bad.b_size = 0;
+  EXPECT_THROW(decompose_at_cut(net, bad, 1), ContractViolation);
+}
+
+TEST(RunInduction, TerminatesOnBarbellFamilies) {
+  for (const NodeId k : {2, 3, 4, 5}) {
+    const InductionTrace trace =
+        run_induction(scenarios::barbell_bottleneck(k, 1, 2));
+    EXPECT_GE(trace.splits, 1) << "k=" << k;
+    EXPECT_EQ(trace.leaves, trace.splits + 1) << "k=" << k;
+  }
+}
+
+TEST(RunInduction, UnsaturatedNetworksAreLeaves) {
+  const InductionTrace trace =
+      run_induction(scenarios::fat_path(4, 3, 1, 3));
+  EXPECT_EQ(trace.splits, 0);
+  EXPECT_EQ(trace.leaves, 1);
+  EXPECT_EQ(trace.largest_leaf, 4);
+}
+
+TEST(RunInduction, SaturatedPathSplitsToSingletons) {
+  const InductionTrace trace =
+      run_induction(scenarios::single_path(6, 1, 1));
+  EXPECT_GE(trace.splits, 1);
+  // Each split peels at least one node; leaves stay small.
+  EXPECT_LE(trace.largest_leaf, 6);
+}
+
+TEST(DecomposeAtCut, OriginalRetentionSurvivesInBothSides) {
+  // R-generalized input: the pieces must still carry at least the original
+  // retention (the A side upgrades its border to R_B).
+  const SdNetwork net =
+      scenarios::generalize(scenarios::barbell_bottleneck(3, 1, 2), 5);
+  const auto cut = find_internal_cut(net);
+  ASSERT_TRUE(cut.has_value());
+  const CutDecomposition dec = decompose_at_cut(net, *cut, /*R_B=*/11);
+  Cap max_b = 0;
+  for (NodeId v = 0; v < dec.b_side.node_count(); ++v) {
+    max_b = std::max(max_b, dec.b_side.spec(v).retention);
+  }
+  EXPECT_GE(max_b, 5);  // original R preserved on the B side
+  bool a_has_rb = false;
+  for (NodeId v = 0; v < dec.a_side.node_count(); ++v) {
+    if (dec.a_side.spec(v).retention >= 11) a_has_rb = true;
+  }
+  EXPECT_TRUE(a_has_rb);  // border destination carries R_B
+}
+
+TEST(RunInduction, GeneralizedNetworksRecurseToo) {
+  const SdNetwork net =
+      scenarios::generalize(scenarios::barbell_bottleneck(3, 1, 2), 4);
+  const InductionTrace trace = run_induction(net);
+  EXPECT_GE(trace.splits, 1);
+  EXPECT_EQ(trace.leaves, trace.splits + 1);
+}
+
+TEST(RunInduction, CliqueChainForcesDeepRecursion) {
+  // count cliques => count − 1 bridges, each a saturated internal cut: the
+  // recursion must split at least count − 1 times.
+  for (const int count : {2, 3, 4}) {
+    const SdNetwork net = scenarios::clique_chain(3, count);
+    ASSERT_TRUE(analyze(net).feasible) << count;
+    const InductionTrace trace = run_induction(net);
+    EXPECT_GE(trace.splits, count - 1) << count;
+    EXPECT_EQ(trace.leaves, trace.splits + 1) << count;
+    EXPECT_LE(trace.largest_leaf, 3 + 1) << count;
+  }
+}
+
+TEST(CliqueChain, IsStableUnderLgg) {
+  const SdNetwork net = scenarios::clique_chain(3, 3);
+  SimulatorOptions options;
+  options.seed = 9;
+  Simulator sim(net, options);
+  MetricsRecorder recorder;
+  sim.run(3000, &recorder);
+  EXPECT_EQ(assess_stability(recorder.network_state()).verdict,
+            Verdict::kStable);
+}
+
+TEST(RunInduction, RandomSaturatedInstances) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    graph::Multigraph g = graph::make_random_multigraph(10, 30, seed);
+    if (!graph::is_connected(g)) continue;
+    SdNetwork probe(g);
+    probe.set_source(0, 1);
+    probe.set_sink(9, 2);
+    const Cap fstar = analyze(probe).fstar;
+    SdNetwork net(std::move(g));
+    net.set_source(0, fstar);
+    net.set_sink(9, fstar);
+    const InductionTrace trace = run_induction(net);
+    EXPECT_EQ(trace.leaves, trace.splits + 1) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace lgg::core

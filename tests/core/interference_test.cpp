@@ -1,0 +1,232 @@
+#include "core/interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/scenarios.hpp"
+#include "graph/generators.hpp"
+
+namespace lgg::core {
+namespace {
+
+struct Fixture {
+  explicit Fixture(SdNetwork network, std::vector<PacketCount> queues)
+      : net(std::move(network)),
+        incidence(net.topology()),
+        mask(net.topology().edge_count()),
+        queue(std::move(queues)),
+        declared(queue) {}
+
+  StepView view() {
+    return StepView{&net, &incidence, &mask, queue, declared, 0, 0};
+  }
+
+  SdNetwork net;
+  graph::CsrIncidence incidence;
+  graph::EdgeMask mask;
+  std::vector<PacketCount> queue;
+  std::vector<PacketCount> declared;
+};
+
+SdNetwork path_net(NodeId n) {
+  SdNetwork net(graph::make_path(n));
+  net.set_source(0, 1);
+  net.set_sink(n - 1, 1);
+  return net;
+}
+
+PacketCount kept_weight(const StepView& view,
+                        const std::vector<Transmission>& txs,
+                        const std::vector<char>& keep) {
+  PacketCount total = 0;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (keep[i]) total += transmission_weight(view, txs[i]);
+  }
+  return total;
+}
+
+TEST(TransmissionWeight, IsQueueDrop) {
+  Fixture fx(path_net(3), {7, 2, 0});
+  EXPECT_EQ(transmission_weight(fx.view(), {0, 0, 1}), 5);
+  EXPECT_EQ(transmission_weight(fx.view(), {1, 1, 2}), 2);
+}
+
+TEST(NoInterference, KeepsEverything) {
+  Fixture fx(path_net(4), {5, 4, 3, 0});
+  NoInterference sched;
+  Rng rng(1);
+  const std::vector<Transmission> txs = {{0, 0, 1}, {1, 1, 2}, {2, 2, 3}};
+  std::vector<char> keep(txs.size(), 1);
+  sched.schedule(fx.view(), txs, rng, keep);
+  EXPECT_EQ(std::count(keep.begin(), keep.end(), 1), 3);
+}
+
+TEST(GreedyMatching, AdjacentTransmissionsConflict) {
+  // Path 0-1-2-3 with all hops proposed: a matching keeps hops 0->1 and
+  // 2->3 (they don't share nodes) but not 1->2.
+  Fixture fx(path_net(4), {9, 6, 3, 0});
+  GreedyMatchingScheduler sched;
+  Rng rng(1);
+  const std::vector<Transmission> txs = {{0, 0, 1}, {1, 1, 2}, {2, 2, 3}};
+  std::vector<char> keep(txs.size(), 1);
+  sched.schedule(fx.view(), txs, rng, keep);
+  EXPECT_TRUE(is_matching(txs, keep, 4));
+  EXPECT_EQ(keep, (std::vector<char>{1, 0, 1}));
+}
+
+TEST(GreedyMatching, PicksHeaviestFirst) {
+  // Star: hub 0 with neighbours 1, 2; weights differ; only one can fire.
+  SdNetwork net(graph::make_star(3));
+  net.set_source(0, 1);
+  net.set_sink(1, 1);
+  Fixture star(std::move(net), {9, 5, 1});
+  GreedyMatchingScheduler sched;
+  Rng rng(1);
+  const std::vector<Transmission> txs = {{0, 0, 1}, {1, 0, 2}};
+  std::vector<char> keep(txs.size(), 1);
+  sched.schedule(star.view(), txs, rng, keep);
+  EXPECT_EQ(keep, (std::vector<char>{0, 1}));  // weight 8 beats weight 4
+}
+
+TEST(ExactMatching, BeatsOrMatchesGreedy) {
+  // Declared values are chosen so the hop weights along the path are
+  // 6, 3, 8 — any matching on a 3-hop path picks hops {0, 2} or {1}.
+  Fixture fx(path_net(4), {8, 3, 9, 1});
+  fx.declared = {0, 2, 0, 1};  // weights: 8-2=6, 3-0=3, 9-1=8
+  const std::vector<Transmission> txs = {{0, 0, 1}, {1, 1, 2}, {2, 2, 3}};
+  Rng rng(1);
+  GreedyMatchingScheduler greedy;
+  std::vector<char> keep_greedy(txs.size(), 1);
+  greedy.schedule(fx.view(), txs, rng, keep_greedy);
+  ExactMatchingScheduler exact;
+  std::vector<char> keep_exact(txs.size(), 1);
+  exact.schedule(fx.view(), txs, rng, keep_exact);
+  EXPECT_TRUE(is_matching(txs, keep_exact, 4));
+  EXPECT_GE(kept_weight(fx.view(), txs, keep_exact),
+            kept_weight(fx.view(), txs, keep_greedy));
+}
+
+TEST(ExactMatching, OptimalOnKnownInstance) {
+  // Hop weights 5, 6, 5: greedy would grab the middle (total 6); the
+  // optimum is the two outer hops (total 10).
+  Fixture fx(path_net(4), {5, 6, 6, 0});
+  fx.declared = {0, 0, 0, 1};  // weights: 5-0=5, 6-0=6, 6-1=5
+  const std::vector<Transmission> txs = {{0, 0, 1}, {1, 1, 2}, {2, 2, 3}};
+  Rng rng(1);
+  ExactMatchingScheduler exact;
+  std::vector<char> keep(txs.size(), 1);
+  exact.schedule(fx.view(), txs, rng, keep);
+  EXPECT_EQ(keep, (std::vector<char>{1, 0, 1}));
+  EXPECT_EQ(kept_weight(fx.view(), txs, keep), 10);
+}
+
+TEST(ExactMatching, AgreesWithBruteForceOnRandomInstances) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    SdNetwork net(graph::make_random_multigraph(8, 14, 100 + trial));
+    net.set_source(0, 1);
+    net.set_sink(7, 1);
+    std::vector<PacketCount> queue(8);
+    for (auto& q : queue) q = rng.uniform_int(0, 9);
+    Fixture fx(std::move(net), queue);
+    // Propose every down-gradient link once.
+    std::vector<Transmission> txs;
+    for (EdgeId e = 0; e < fx.net.topology().edge_count(); ++e) {
+      const graph::Endpoints ep = fx.net.topology().endpoints(e);
+      if (fx.queue[static_cast<std::size_t>(ep.u)] >
+          fx.queue[static_cast<std::size_t>(ep.v)]) {
+        txs.push_back({e, ep.u, ep.v});
+      }
+    }
+    if (txs.empty()) continue;
+    ExactMatchingScheduler exact;
+    std::vector<char> keep(txs.size(), 1);
+    exact.schedule(fx.view(), txs, rng, keep);
+    ASSERT_TRUE(is_matching(txs, keep, 8));
+    const PacketCount exact_weight = kept_weight(fx.view(), txs, keep);
+    // Brute force over all subsets (|txs| <= ~14).
+    PacketCount best = 0;
+    const std::size_t subsets = std::size_t{1} << txs.size();
+    for (std::size_t s = 0; s < subsets; ++s) {
+      std::vector<char> mask(txs.size(), 0);
+      for (std::size_t i = 0; i < txs.size(); ++i) {
+        mask[i] = (s >> i) & 1 ? 1 : 0;
+      }
+      if (!is_matching(txs, mask, 8)) continue;
+      best = std::max(best, kept_weight(fx.view(), txs, mask));
+    }
+    EXPECT_EQ(exact_weight, best) << "trial " << trial;
+    // The exact matching also dominates greedy (2-approximation check).
+    GreedyMatchingScheduler greedy;
+    std::vector<char> keep_greedy(txs.size(), 1);
+    Rng rng2(1);
+    greedy.schedule(fx.view(), txs, rng2, keep_greedy);
+    const PacketCount greedy_weight =
+        kept_weight(fx.view(), txs, keep_greedy);
+    EXPECT_GE(exact_weight, greedy_weight);
+    EXPECT_GE(2 * greedy_weight, exact_weight) << "trial " << trial;
+  }
+}
+
+TEST(Distance2, NeighbouringMatchingsAlsoConflict) {
+  // Path 0-1-2-3-4-5: hops 0->1 and 2->3 are node-disjoint but distance-2
+  // adjacent (1 adjacent to 2); hop 4->5 is... 3 adjacent to 4 too.  Only
+  // one of the three can fire under distance-2.
+  Fixture fx(path_net(6), {9, 8, 7, 6, 5, 0});
+  Distance2GreedyScheduler sched;
+  Rng rng(1);
+  const std::vector<Transmission> txs = {{0, 0, 1}, {2, 2, 3}, {4, 4, 5}};
+  std::vector<char> keep(txs.size(), 1);
+  sched.schedule(fx.view(), txs, rng, keep);
+  // 0->1 blocks 2->3 (via adjacency 1-2); 4->5 is distance-2 from 2->3 but
+  // 3-4 adjacency only matters if 2->3 fired.  With weights 9-8=1, 7-6=1,
+  // 5-0=5: greedy takes 4->5 first (weight 5), which blocks 2->3 (3 is a
+  // neighbour of 4), then 0->1 (weight 1) fits.
+  EXPECT_EQ(keep, (std::vector<char>{1, 0, 1}));
+}
+
+TEST(OracleOrGreedy, UsesExactOnSmallSteps) {
+  Fixture fx(path_net(4), {9, 6, 3, 0});
+  OracleOrGreedyScheduler sched;
+  Rng rng(1);
+  const std::vector<Transmission> txs = {{0, 0, 1}, {1, 1, 2}, {2, 2, 3}};
+  std::vector<char> keep(txs.size(), 1);
+  sched.schedule(fx.view(), txs, rng, keep);
+  EXPECT_TRUE(is_matching(txs, keep, 4));
+  EXPECT_EQ(sched.exact_steps(), 1);
+  EXPECT_EQ(sched.greedy_steps(), 0);
+}
+
+TEST(OracleOrGreedy, FallsBackOnLargeSteps) {
+  // 30 disjoint transmissions: 60 distinct endpoints > the exact cap.
+  SdNetwork net(graph::make_path(60));
+  net.set_source(0, 1);
+  net.set_sink(59, 1);
+  std::vector<PacketCount> queue(60, 0);
+  std::vector<Transmission> txs;
+  for (NodeId v = 0; v < 60; v += 2) {
+    queue[static_cast<std::size_t>(v)] = 5;
+    txs.push_back({static_cast<EdgeId>(v), v, v + 1});
+  }
+  Fixture fx(std::move(net), queue);
+  OracleOrGreedyScheduler sched;
+  Rng rng(1);
+  std::vector<char> keep(txs.size(), 1);
+  sched.schedule(fx.view(), txs, rng, keep);
+  EXPECT_TRUE(is_matching(txs, keep, 60));
+  EXPECT_EQ(sched.exact_steps(), 0);
+  EXPECT_EQ(sched.greedy_steps(), 1);
+  // All 30 proposed transmissions are node-disjoint: everything fires.
+  EXPECT_EQ(std::count(keep.begin(), keep.end(), 1), 30);
+}
+
+TEST(IsMatching, DetectsSharedNodes) {
+  const std::vector<Transmission> txs = {{0, 0, 1}, {1, 1, 2}};
+  EXPECT_FALSE(is_matching(txs, std::vector<char>{1, 1}, 3));
+  EXPECT_TRUE(is_matching(txs, std::vector<char>{1, 0}, 3));
+}
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,191 @@
+#include "core/lgg_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/scenarios.hpp"
+#include "graph/generators.hpp"
+
+namespace lgg::core {
+namespace {
+
+/// Builds a StepView over explicit queue values (declared == true queues).
+struct ViewFixture {
+  explicit ViewFixture(SdNetwork network, std::vector<PacketCount> queues)
+      : net(std::move(network)),
+        incidence(net.topology()),
+        mask(net.topology().edge_count()),
+        queue(std::move(queues)),
+        declared(queue) {}
+
+  StepView view() {
+    return StepView{&net, &incidence, &mask, queue, declared, 0, 0};
+  }
+
+  SdNetwork net;
+  graph::CsrIncidence incidence;
+  graph::EdgeMask mask;
+  std::vector<PacketCount> queue;
+  std::vector<PacketCount> declared;
+};
+
+SdNetwork star_net(NodeId n) {
+  SdNetwork net(graph::make_star(n));
+  net.set_source(0, 1);
+  net.set_sink(1, 1);
+  return net;
+}
+
+TEST(LggProtocol, SendsOnlyDownGradient) {
+  // Path queues 3 - 1 - 2: node 0 sends to 1; node 2 sends to 1; node 1
+  // sends nowhere (no strictly smaller neighbour).
+  ViewFixture fx(scenarios::single_path(3), {3, 1, 2});
+  LggProtocol lgg;
+  Rng rng(1);
+  std::vector<Transmission> txs;
+  lgg.select_transmissions(fx.view(), rng, txs);
+  ASSERT_EQ(txs.size(), 2u);
+  EXPECT_EQ(txs[0], (Transmission{0, 0, 1}));
+  EXPECT_EQ(txs[1], (Transmission{1, 2, 1}));
+}
+
+TEST(LggProtocol, EqualQueuesSendNothing) {
+  ViewFixture fx(scenarios::single_path(3), {5, 5, 5});
+  LggProtocol lgg;
+  Rng rng(1);
+  std::vector<Transmission> txs;
+  lgg.select_transmissions(fx.view(), rng, txs);
+  EXPECT_TRUE(txs.empty());
+}
+
+TEST(LggProtocol, BudgetLimitsTransmissions) {
+  // Hub (node 0) has 2 packets and 5 empty neighbours: sends exactly 2.
+  ViewFixture fx(star_net(6), {2, 0, 0, 0, 0, 0});
+  LggProtocol lgg;
+  Rng rng(1);
+  std::vector<Transmission> txs;
+  lgg.select_transmissions(fx.view(), rng, txs);
+  ASSERT_EQ(txs.size(), 2u);
+  for (const Transmission& tx : txs) EXPECT_EQ(tx.from, 0);
+}
+
+TEST(LggProtocol, PrefersSmallestNeighbours) {
+  // Hub has 2 packets; neighbours hold 4, 0, 3, 1, 9: of the hub's sends,
+  // the two smallest neighbours (nodes 2 and 4) are served.  (Leaf nodes
+  // above the hub's queue send their own packets hub-wards too.)
+  ViewFixture fx(star_net(6), {2, 4, 0, 3, 1, 9});
+  LggProtocol lgg;
+  Rng rng(1);
+  std::vector<Transmission> txs;
+  lgg.select_transmissions(fx.view(), rng, txs);
+  std::vector<NodeId> hub_targets;
+  for (const Transmission& tx : txs) {
+    if (tx.from == 0) hub_targets.push_back(tx.to);
+  }
+  EXPECT_EQ(hub_targets, (std::vector<NodeId>{2, 4}));
+  // Leaves with queues above the hub's (4, 3, 9) push toward the hub.
+  int leaf_sends = 0;
+  for (const Transmission& tx : txs) {
+    if (tx.from != 0) {
+      EXPECT_EQ(tx.to, 0);
+      EXPECT_GT(fx.queue[static_cast<std::size_t>(tx.from)], fx.queue[0]);
+      ++leaf_sends;
+    }
+  }
+  EXPECT_EQ(leaf_sends, 3);
+}
+
+TEST(LggProtocol, ParallelEdgesEachCarryOnePacket) {
+  ViewFixture fx(scenarios::fat_path(2, 3, 1, 1), {5, 0});
+  LggProtocol lgg;
+  Rng rng(1);
+  std::vector<Transmission> txs;
+  lgg.select_transmissions(fx.view(), rng, txs);
+  // Three parallel links, all down-gradient, budget 5: all three fire.
+  ASSERT_EQ(txs.size(), 3u);
+  std::vector<EdgeId> edges;
+  for (const Transmission& tx : txs) edges.push_back(tx.edge);
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(edges, (std::vector<EdgeId>{0, 1, 2}));
+}
+
+TEST(LggProtocol, BudgetSmallerThanEligibleLinks) {
+  ViewFixture fx(scenarios::fat_path(2, 4, 1, 1), {2, 0});
+  LggProtocol lgg;
+  Rng rng(1);
+  std::vector<Transmission> txs;
+  lgg.select_transmissions(fx.view(), rng, txs);
+  EXPECT_EQ(txs.size(), 2u);
+}
+
+TEST(LggProtocol, InactiveEdgesSkipped) {
+  ViewFixture fx(scenarios::fat_path(2, 3, 1, 1), {5, 0});
+  fx.mask.set_active(0, false);
+  fx.mask.set_active(2, false);
+  LggProtocol lgg;
+  Rng rng(1);
+  std::vector<Transmission> txs;
+  lgg.select_transmissions(fx.view(), rng, txs);
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0].edge, 1);
+}
+
+TEST(LggProtocol, UsesDeclaredQueuesOfNeighbours) {
+  // Node 1's true queue is 0 but it declares 10: node 0 (queue 3) holds.
+  ViewFixture fx(scenarios::single_path(2), {3, 0});
+  fx.declared[1] = 10;
+  LggProtocol lgg;
+  Rng rng(1);
+  std::vector<Transmission> txs;
+  lgg.select_transmissions(fx.view(), rng, txs);
+  EXPECT_TRUE(txs.empty());
+}
+
+TEST(LggProtocol, OwnComparisonUsesTrueQueue) {
+  // Node 0 declares 0 (lies) but truly holds 3 > neighbour's declared 2:
+  // it sends.  (Were it to compare its own *declared* 0, it would hold.)
+  ViewFixture fx(scenarios::single_path(2), {3, 0});
+  fx.declared = {0, 2};
+  LggProtocol lgg;
+  Rng rng(1);
+  std::vector<Transmission> txs;
+  lgg.select_transmissions(fx.view(), rng, txs);
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0], (Transmission{0, 0, 1}));
+}
+
+TEST(LggProtocol, RandomTieBreakStillRespectsGradient) {
+  ViewFixture fx(star_net(8), {3, 1, 1, 1, 1, 1, 1, 1});
+  LggProtocol lgg(TieBreak::kRandomShuffle);
+  Rng rng(1234);
+  std::vector<Transmission> txs;
+  lgg.select_transmissions(fx.view(), rng, txs);
+  ASSERT_EQ(txs.size(), 3u);
+  for (const Transmission& tx : txs) {
+    EXPECT_EQ(tx.from, 0);
+    EXPECT_LT(fx.declared[static_cast<std::size_t>(tx.to)], 3);
+  }
+}
+
+TEST(LggProtocol, ContractHoldsOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    SdNetwork net(graph::make_random_multigraph(12, 30, seed));
+    net.set_source(0, 2);
+    net.set_sink(11, 2);
+    graph::CsrIncidence inc(net.topology());
+    graph::EdgeMask mask(net.topology().edge_count());
+    Rng rng(seed);
+    std::vector<PacketCount> queue(12);
+    for (auto& q : queue) q = rng.uniform_int(0, 8);
+    const std::vector<PacketCount> declared = queue;
+    const StepView view{&net, &inc, &mask, queue, declared, 0, 0};
+    LggProtocol lgg;
+    std::vector<Transmission> txs;
+    lgg.select_transmissions(view, rng, txs);
+    EXPECT_EQ(check_transmission_contract(view, txs), "");
+  }
+}
+
+}  // namespace
+}  // namespace lgg::core

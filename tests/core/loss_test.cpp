@@ -1,0 +1,138 @@
+#include "core/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/scenarios.hpp"
+
+namespace lgg::core {
+namespace {
+
+struct LossFixture {
+  LossFixture()
+      : net(scenarios::single_path(4)),
+        incidence(net.topology()),
+        mask(net.topology().edge_count()),
+        queue({9, 5, 3, 0}),
+        declared(queue) {}
+
+  StepView view() {
+    return StepView{&net, &incidence, &mask, queue, declared, 0, 0};
+  }
+
+  SdNetwork net;
+  graph::CsrIncidence incidence;
+  graph::EdgeMask mask;
+  std::vector<PacketCount> queue;
+  std::vector<PacketCount> declared;
+};
+
+std::vector<Transmission> down_path_txs() {
+  return {{0, 0, 1}, {1, 1, 2}, {2, 2, 3}};
+}
+
+int count_lost(const std::vector<char>& lost) {
+  return static_cast<int>(std::count(lost.begin(), lost.end(), 1));
+}
+
+TEST(NoLoss, MarksNothing) {
+  LossFixture fx;
+  NoLoss model;
+  Rng rng(1);
+  const auto txs = down_path_txs();
+  std::vector<char> lost(txs.size(), 0);
+  model.mark_losses(fx.view(), txs, rng, lost);
+  EXPECT_EQ(count_lost(lost), 0);
+}
+
+TEST(BernoulliLoss, ExtremeProbabilities) {
+  LossFixture fx;
+  Rng rng(1);
+  const auto txs = down_path_txs();
+  {
+    BernoulliLoss model(0.0);
+    std::vector<char> lost(txs.size(), 0);
+    model.mark_losses(fx.view(), txs, rng, lost);
+    EXPECT_EQ(count_lost(lost), 0);
+  }
+  {
+    BernoulliLoss model(1.0);
+    std::vector<char> lost(txs.size(), 0);
+    model.mark_losses(fx.view(), txs, rng, lost);
+    EXPECT_EQ(count_lost(lost), 3);
+  }
+  EXPECT_THROW(BernoulliLoss(1.5), ContractViolation);
+}
+
+TEST(BernoulliLoss, RateApproximatesP) {
+  LossFixture fx;
+  Rng rng(9);
+  BernoulliLoss model(0.25);
+  const auto txs = down_path_txs();
+  int lost_total = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<char> lost(txs.size(), 0);
+    model.mark_losses(fx.view(), txs, rng, lost);
+    lost_total += count_lost(lost);
+  }
+  EXPECT_NEAR(lost_total / 6000.0, 0.25, 0.03);
+}
+
+TEST(PeriodicLoss, EveryKthTransmissionLost) {
+  LossFixture fx;
+  Rng rng(1);
+  PeriodicLoss model(3);
+  const auto txs = down_path_txs();
+  std::vector<char> first(txs.size(), 0);
+  model.mark_losses(fx.view(), txs, rng, first);
+  std::vector<char> second(txs.size(), 0);
+  model.mark_losses(fx.view(), txs, rng, second);
+  // 6 transmissions, period 3: exactly 2 lost in total.
+  EXPECT_EQ(count_lost(first) + count_lost(second), 2);
+  EXPECT_THROW(PeriodicLoss(0), ContractViolation);
+}
+
+TEST(TargetedCutLoss, OnlyCrossingTransmissionsLost) {
+  LossFixture fx;
+  Rng rng(1);
+  // A = {0, 1}: only the hop 1 -> 2 crosses.
+  TargetedCutLoss model({1, 1, 0, 0}, /*budget=*/5);
+  const auto txs = down_path_txs();
+  std::vector<char> lost(txs.size(), 0);
+  model.mark_losses(fx.view(), txs, rng, lost);
+  EXPECT_EQ(lost, (std::vector<char>{0, 1, 0}));
+}
+
+TEST(TargetedCutLoss, BudgetCapsLosses) {
+  LossFixture fx;
+  Rng rng(1);
+  TargetedCutLoss model({1, 1, 1, 0}, /*budget=*/0);
+  const auto txs = down_path_txs();
+  std::vector<char> lost(txs.size(), 0);
+  model.mark_losses(fx.view(), txs, rng, lost);
+  EXPECT_EQ(count_lost(lost), 0);
+}
+
+TEST(MaxGradientLoss, KillsLargestDropsFirst) {
+  LossFixture fx;  // queues 9,5,3,0: drops are 4, 2, 3
+  Rng rng(1);
+  MaxGradientLoss model(/*budget=*/2);
+  const auto txs = down_path_txs();
+  std::vector<char> lost(txs.size(), 0);
+  model.mark_losses(fx.view(), txs, rng, lost);
+  EXPECT_EQ(lost, (std::vector<char>{1, 0, 1}));  // drops 4 and 3
+}
+
+TEST(MaxGradientLoss, BudgetLargerThanSetKillsAll) {
+  LossFixture fx;
+  Rng rng(1);
+  MaxGradientLoss model(99);
+  const auto txs = down_path_txs();
+  std::vector<char> lost(txs.size(), 0);
+  model.mark_losses(fx.view(), txs, rng, lost);
+  EXPECT_EQ(count_lost(lost), 3);
+}
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,165 @@
+#include "core/lyapunov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/hot_potato.hpp"
+#include "core/scenarios.hpp"
+
+namespace lgg::core {
+namespace {
+
+LyapunovAuditor audit_run(const SdNetwork& net, TimeStep steps,
+                          std::unique_ptr<LossModel> loss = nullptr,
+                          std::uint64_t seed = 5) {
+  SimulatorOptions options;
+  options.seed = seed;
+  options.check_contract = true;
+  Simulator sim(net, options);
+  if (loss) sim.set_loss(std::move(loss));
+  LyapunovAuditor auditor(net);
+  sim.set_observer(&auditor);
+  sim.run(steps);
+  return auditor;
+}
+
+TEST(LyapunovAuditor, AllIdentitiesHoldOnUnsaturatedRun) {
+  const SdNetwork net = scenarios::fat_path(4, 3, 1, 3);
+  const auto auditor = audit_run(net, 500);
+  ASSERT_EQ(auditor.audits().size(), 500u);
+  EXPECT_TRUE(auditor.all_ok());
+}
+
+TEST(LyapunovAuditor, IdentitiesHoldUnderLosses) {
+  const SdNetwork net = scenarios::fat_path(4, 3, 1, 3);
+  const auto auditor =
+      audit_run(net, 500, std::make_unique<BernoulliLoss>(0.3));
+  EXPECT_TRUE(auditor.all_ok());
+}
+
+TEST(LyapunovAuditor, IdentitiesHoldOnSaturatedNetworks) {
+  const auto auditor = audit_run(scenarios::saturated_at_dstar(3), 800);
+  EXPECT_TRUE(auditor.all_ok());
+}
+
+TEST(LyapunovAuditor, IdentitiesHoldOnDivergentRuns) {
+  // The algebra holds even when the system diverges (P_t grows).
+  const auto auditor =
+      audit_run(scenarios::barbell_bottleneck(3, 2, 2), 400);
+  EXPECT_TRUE(auditor.all_ok());
+}
+
+TEST(LyapunovAuditor, TelescopeMatchesFlowEndpointForm) {
+  // Spot-check one audited step's telescope values directly.
+  const SdNetwork net = scenarios::fat_path(3, 2, 2, 2);
+  const auto auditor = audit_run(net, 100);
+  for (const auto& a : auditor.audits()) {
+    EXPECT_TRUE(a.telescope_ok);
+    EXPECT_DOUBLE_EQ(a.telescope_lhs, a.telescope_rhs);
+  }
+}
+
+TEST(LyapunovAuditor, DeltaIsBoundedOnUnsaturatedRuns) {
+  // Property 1's engine: δ_t <= 2 n Δ² on unsaturated networks; measured
+  // δ_t sits far below.
+  const SdNetwork net = scenarios::fat_path(4, 3, 1, 3);
+  const auto auditor = audit_run(net, 2000);
+  const double n = 4, delta2 = 36;
+  EXPECT_LE(auditor.max_delta(), 2 * n * delta2);
+}
+
+TEST(LyapunovAuditor, GradientCheckCatchesUphillProtocols) {
+  // Hot potato pushes into congested downstream nodes: the strict-downhill
+  // audit must flag at least one step once a pile forms.
+  const SdNetwork net = scenarios::single_path(3, 1, 1);
+  SimulatorOptions options;
+  options.seed = 5;
+  Simulator sim(net, options,
+                std::make_unique<baselines::HotPotatoProtocol>());
+  sim.set_initial_queue(1, 50);  // congested relay next to the source
+  LyapunovAuditor auditor(net);
+  sim.set_observer(&auditor);
+  sim.run(20);
+  bool flagged = false;
+  for (const auto& a : auditor.audits()) {
+    if (!a.gradient_ok) flagged = true;
+    EXPECT_TRUE(a.identity_ok);  // the algebra still holds
+    EXPECT_TRUE(a.ledger_ok);
+  }
+  EXPECT_TRUE(flagged);
+}
+
+class LyapunovRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LyapunovRandomSweep, DeltaBoundAndIdentitiesOnRandomUnsaturated) {
+  const std::uint64_t seed = GetParam();
+  const SdNetwork net = scenarios::random_unsaturated(10, 36, 2, 2, seed);
+  SimulatorOptions options;
+  options.seed = seed;
+  Simulator sim(net, options);
+  LyapunovAuditor auditor(net);
+  sim.set_observer(&auditor);
+  sim.run(800);
+  EXPECT_TRUE(auditor.all_ok());
+  // The Property-1 engine: δ_t <= 2 n Δ² on unsaturated networks.
+  const double n = static_cast<double>(net.node_count());
+  const double d = static_cast<double>(net.max_degree());
+  EXPECT_LE(auditor.max_delta(), 2.0 * n * d * d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LyapunovRandomSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(LyapunovAuditor, LedgerHoldsOnLyingRetentiveNetworks) {
+  // The Eq. 1 algebra and the extraction ledger are model-independent;
+  // only the strict-downhill check is relative to *declared* queues, so it
+  // must still pass when nodes lie within Definition 7.
+  const SdNetwork net =
+      scenarios::generalize(scenarios::fat_path(4, 3, 1, 3), 8);
+  SimulatorOptions options;
+  options.seed = 21;
+  options.declaration_policy = DeclarationPolicy::kDeclareR;
+  options.extraction_policy = ExtractionPolicy::kRetentive;
+  Simulator sim(net, options);
+  LyapunovAuditor auditor(net);
+  sim.set_observer(&auditor);
+  sim.run(600);
+  for (const auto& a : auditor.audits()) {
+    EXPECT_TRUE(a.identity_ok);
+    EXPECT_TRUE(a.ledger_ok);
+    EXPECT_TRUE(a.gradient_ok);
+    EXPECT_TRUE(a.telescope_ok);
+  }
+}
+
+TEST(StepObserver, RecordSpansAreConsistent) {
+  struct Checker final : StepObserver {
+    void on_step(const StepRecord& record) override {
+      ++steps;
+      const auto n = static_cast<std::size_t>(record.net->node_count());
+      ASSERT_EQ(record.before_injection.size(), n);
+      ASSERT_EQ(record.at_selection.size(), n);
+      ASSERT_EQ(record.after_step.size(), n);
+      ASSERT_EQ(record.kept.size(), record.transmissions.size());
+      ASSERT_EQ(record.lost.size(), record.transmissions.size());
+      // Injection only raises queues.
+      for (std::size_t v = 0; v < n; ++v) {
+        EXPECT_GE(record.at_selection[v], record.before_injection[v]);
+      }
+      EXPECT_EQ(record.t, steps - 1);
+    }
+    TimeStep steps = 0;
+  };
+  Checker checker;
+  SimulatorOptions options;
+  Simulator sim(scenarios::fat_path(3, 2, 1, 2), options);
+  sim.set_observer(&checker);
+  sim.run(50);
+  EXPECT_EQ(checker.steps, 50);
+  // Detach: no further callbacks.
+  sim.set_observer(nullptr);
+  sim.run(10);
+  EXPECT_EQ(checker.steps, 50);
+}
+
+}  // namespace
+}  // namespace lgg::core

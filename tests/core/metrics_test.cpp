@@ -1,0 +1,86 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "core/simulator.hpp"
+
+namespace lgg::core {
+namespace {
+
+TEST(StepStatsAccounting, CumulativeAddSumsEveryField) {
+  CumulativeStats totals;
+  StepStats a;
+  a.injected = 3;
+  a.proposed = 5;
+  a.suppressed = 1;
+  a.conflicted = 1;
+  a.sent = 4;
+  a.lost = 2;
+  a.delivered = 2;
+  a.extracted = 1;
+  StepStats b = a;
+  b.injected = 7;
+  totals.add(a);
+  totals.add(b);
+  EXPECT_EQ(totals.injected, 10);
+  EXPECT_EQ(totals.proposed, 10);
+  EXPECT_EQ(totals.suppressed, 2);
+  EXPECT_EQ(totals.conflicted, 2);
+  EXPECT_EQ(totals.sent, 8);
+  EXPECT_EQ(totals.lost, 4);
+  EXPECT_EQ(totals.delivered, 4);
+  EXPECT_EQ(totals.extracted, 2);
+  EXPECT_EQ(totals.steps, 2);
+}
+
+TEST(MetricsRecorder, DefaultDoesNotKeepQueueTraces) {
+  SimulatorOptions options;
+  Simulator sim(scenarios::single_path(3), options);
+  MetricsRecorder recorder;
+  sim.run(20, &recorder);
+  EXPECT_EQ(recorder.size(), 20u);
+  EXPECT_TRUE(recorder.queue_traces().empty());
+  EXPECT_EQ(recorder.steps().size(), 20u);
+}
+
+TEST(MetricsRecorder, SeriesAreMutuallyConsistent) {
+  SimulatorOptions options;
+  options.seed = 77;
+  Simulator sim(scenarios::grid_single(3, 4), options);
+  sim.set_loss(std::make_unique<BernoulliLoss>(0.1));
+  MetricsRecorder recorder(/*record_queue_traces=*/true);
+  sim.run(200, &recorder);
+  for (std::size_t t = 0; t < recorder.size(); ++t) {
+    double total = 0, state = 0, max_q = 0;
+    for (const PacketCount q : recorder.queue_traces()[t]) {
+      total += static_cast<double>(q);
+      state += static_cast<double>(q) * static_cast<double>(q);
+      max_q = std::max(max_q, static_cast<double>(q));
+    }
+    EXPECT_DOUBLE_EQ(recorder.total_packets()[t], total);
+    EXPECT_DOUBLE_EQ(recorder.network_state()[t], state);
+    EXPECT_DOUBLE_EQ(recorder.max_queue()[t], max_q);
+    // Cauchy–Schwarz sandwich: total²/n <= P_t <= total·max.
+    const double n = static_cast<double>(recorder.queue_traces()[t].size());
+    EXPECT_LE(total * total / n, state + 1e-9);
+    EXPECT_LE(state, total * max_q + 1e-9);
+  }
+}
+
+TEST(MetricsRecorder, StepLedgerMatchesQueueDeltas) {
+  SimulatorOptions options;
+  options.seed = 5;
+  Simulator sim(scenarios::fat_path(3, 2, 1, 2), options);
+  MetricsRecorder recorder;
+  sim.run(100, &recorder);
+  double running = 0;
+  for (std::size_t t = 0; t < recorder.size(); ++t) {
+    const StepStats& s = recorder.steps()[t];
+    running += static_cast<double>(s.injected - s.extracted - s.lost);
+    EXPECT_DOUBLE_EQ(recorder.total_packets()[t], running) << t;
+  }
+}
+
+}  // namespace
+}  // namespace lgg::core

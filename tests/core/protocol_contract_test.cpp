@@ -1,0 +1,96 @@
+// check_transmission_contract: every violation class is detected, and
+// valid sets pass.
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "core/scenarios.hpp"
+#include "graph/generators.hpp"
+
+namespace lgg::core {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : net(scenarios::fat_path(3, 2, 1, 2)),
+        incidence(net.topology()),
+        mask(net.topology().edge_count()),
+        queue({3, 2, 0}),
+        declared(queue) {}
+
+  StepView view() {
+    return StepView{&net, &incidence, &mask, queue, declared, 0, 0};
+  }
+
+  SdNetwork net;
+  graph::CsrIncidence incidence;
+  graph::EdgeMask mask;
+  std::vector<PacketCount> queue;
+  std::vector<PacketCount> declared;
+};
+
+TEST(TransmissionContract, ValidSetPasses) {
+  Fixture fx;
+  // fat_path(3,2): edges 0,1 join nodes 0-1; edges 2,3 join 1-2.
+  const std::vector<Transmission> txs = {{0, 0, 1}, {2, 1, 2}, {3, 1, 2}};
+  EXPECT_EQ(check_transmission_contract(fx.view(), txs), "");
+}
+
+TEST(TransmissionContract, EmptySetPasses) {
+  Fixture fx;
+  EXPECT_EQ(check_transmission_contract(fx.view(), {}), "");
+}
+
+TEST(TransmissionContract, InvalidEdgeIdCaught) {
+  Fixture fx;
+  const std::vector<Transmission> txs = {{99, 0, 1}};
+  EXPECT_NE(check_transmission_contract(fx.view(), txs).find("invalid edge"),
+            std::string::npos);
+}
+
+TEST(TransmissionContract, EndpointMismatchCaught) {
+  Fixture fx;
+  // Edge 0 joins 0-1, not 0-2.
+  const std::vector<Transmission> txs = {{0, 0, 2}};
+  EXPECT_NE(check_transmission_contract(fx.view(), txs)
+                .find("do not match"),
+            std::string::npos);
+}
+
+TEST(TransmissionContract, InactiveEdgeCaught) {
+  Fixture fx;
+  fx.mask.set_active(0, false);
+  const std::vector<Transmission> txs = {{0, 0, 1}};
+  EXPECT_NE(check_transmission_contract(fx.view(), txs).find("inactive"),
+            std::string::npos);
+}
+
+TEST(TransmissionContract, DuplicateDirectionCaught) {
+  Fixture fx;
+  const std::vector<Transmission> txs = {{0, 0, 1}, {0, 0, 1}};
+  EXPECT_NE(check_transmission_contract(fx.view(), txs)
+                .find("twice in the same direction"),
+            std::string::npos);
+}
+
+TEST(TransmissionContract, OppositeDirectionsOnOneEdgeAllowed) {
+  // The contract forbids duplicate *directions*; opposite directions on
+  // one link are resolved later by the link-conflict policy.
+  Fixture fx;
+  fx.queue = {3, 2, 0};
+  const std::vector<Transmission> txs = {{0, 0, 1}, {0, 1, 0}};
+  EXPECT_EQ(check_transmission_contract(fx.view(), txs), "");
+}
+
+TEST(TransmissionContract, BudgetOverrunCaught) {
+  Fixture fx;
+  fx.queue = {1, 0, 0};
+  fx.declared = fx.queue;
+  // Node 0 holds 1 packet but sends 2.
+  const std::vector<Transmission> txs = {{0, 0, 1}, {1, 0, 1}};
+  EXPECT_NE(check_transmission_contract(fx.view(), txs)
+                .find("holds only"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,95 @@
+#include "core/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "core/simulator.hpp"
+
+namespace lgg::core {
+namespace {
+
+/// Synthetic probe with a known threshold — exercises the bisection alone.
+LoadProbe step_probe(double threshold) {
+  return [threshold](double load, std::uint64_t) {
+    return load <= threshold ? Verdict::kStable : Verdict::kDiverging;
+  };
+}
+
+TEST(CriticalLoad, FindsSyntheticThreshold) {
+  RegionOptions options;
+  options.tolerance = 1.0 / 256.0;
+  const double found = critical_load(step_probe(0.7), options);
+  EXPECT_NEAR(found, 0.7, options.tolerance);
+}
+
+TEST(CriticalLoad, AllStableReturnsCeiling) {
+  EXPECT_DOUBLE_EQ(critical_load(step_probe(10.0)), 2.0);
+}
+
+TEST(CriticalLoad, AllUnstableReturnsZero) {
+  EXPECT_DOUBLE_EQ(critical_load(step_probe(0.0)), 0.0);
+}
+
+TEST(CriticalLoad, BadOptionsRejected) {
+  RegionOptions options;
+  options.lo = 2.0;
+  options.hi = 1.0;
+  EXPECT_THROW(critical_load(step_probe(0.5), options), ContractViolation);
+}
+
+TEST(LoadIsStable, MajorityVote) {
+  RegionOptions options;
+  options.replicates = 3;
+  int call = 0;
+  const LoadProbe flaky = [&call](double, std::uint64_t) {
+    // 2 stable, 1 diverging.
+    return (call++ % 3 == 0) ? Verdict::kDiverging : Verdict::kStable;
+  };
+  EXPECT_TRUE(load_is_stable(flaky, 0.5, options));
+}
+
+LoadProbe lgg_probe(const SdNetwork& net, TimeStep steps) {
+  return [&net, steps](double load, std::uint64_t seed) {
+    SimulatorOptions options;
+    options.seed = seed;
+    Simulator sim(net, options);
+    sim.set_arrival(std::make_unique<ScaledArrival>(load));
+    MetricsRecorder recorder;
+    sim.run(steps, &recorder);
+    return assess_stability(recorder.network_state()).verdict;
+  };
+}
+
+TEST(CriticalLoad, LggOnFatPathSitsAtTheMaxFlow) {
+  // in = f* = 3, so load 1.0 is exactly critical.
+  const SdNetwork net = scenarios::fat_path(4, 3, 3, 3);
+  RegionOptions options;
+  options.tolerance = 1.0 / 16.0;
+  options.replicates = 1;
+  const double found = critical_load(lgg_probe(net, 2500), options);
+  EXPECT_GE(found, 0.85);
+  EXPECT_LE(found, 1.15);
+}
+
+TEST(CriticalLoad, MatchingInterferenceHalvesTheRegion) {
+  const SdNetwork net = scenarios::single_path(4, 1, 1);
+  const LoadProbe probe = [&net](double load, std::uint64_t seed) {
+    SimulatorOptions options;
+    options.seed = seed;
+    Simulator sim(net, options);
+    sim.set_arrival(std::make_unique<ScaledArrival>(load));
+    sim.set_scheduler(std::make_unique<GreedyMatchingScheduler>());
+    MetricsRecorder recorder;
+    sim.run(2500, &recorder);
+    return assess_stability(recorder.network_state()).verdict;
+  };
+  RegionOptions options;
+  options.tolerance = 1.0 / 16.0;
+  options.replicates = 1;
+  const double found = critical_load(probe, options);
+  EXPECT_GE(found, 0.3);
+  EXPECT_LE(found, 0.65);
+}
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,88 @@
+#include "core/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lgg::core {
+namespace {
+
+TEST(Scenarios, SinglePathRoles) {
+  const SdNetwork net = scenarios::single_path(5, 1, 2);
+  EXPECT_EQ(net.node_count(), 5);
+  EXPECT_EQ(net.sources(), (std::vector<NodeId>{0}));
+  EXPECT_EQ(net.sinks(), (std::vector<NodeId>{4}));
+  const auto report = analyze(net);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_FALSE(report.unsaturated);
+}
+
+TEST(Scenarios, FatPathFeasibility) {
+  const auto report = analyze(scenarios::fat_path(4, 3, 2, 3));
+  EXPECT_TRUE(report.feasible);
+  EXPECT_TRUE(report.unsaturated);
+  EXPECT_EQ(report.fstar, 3);
+}
+
+TEST(Scenarios, GridFlowIsFeasible) {
+  const SdNetwork net = scenarios::grid_flow(3, 5);
+  EXPECT_EQ(net.sources().size(), 3u);
+  EXPECT_EQ(net.sinks().size(), 3u);
+  EXPECT_TRUE(analyze(net).feasible);
+}
+
+TEST(Scenarios, BipartiteUnsaturatedWhenWide) {
+  const auto report = analyze(scenarios::bipartite(3, 3, 1, 2));
+  EXPECT_TRUE(report.feasible);
+  EXPECT_TRUE(report.unsaturated);
+}
+
+TEST(Scenarios, BarbellSaturatedInternalCut) {
+  const auto report = analyze(scenarios::barbell_bottleneck(3, 1, 2));
+  EXPECT_TRUE(report.feasible);
+  EXPECT_FALSE(report.unsaturated);
+  EXPECT_TRUE(report.location.internal);
+  EXPECT_EQ(report.fstar, 1);
+}
+
+TEST(Scenarios, BarbellOverloadInfeasible) {
+  const auto report = analyze(scenarios::barbell_bottleneck(3, 2, 2));
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Scenarios, RandomUnsaturatedAlwaysDelivers) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const SdNetwork net = scenarios::random_unsaturated(10, 30, 2, 2, seed);
+    const auto report = analyze(net);
+    EXPECT_TRUE(report.feasible);
+    EXPECT_TRUE(report.unsaturated);
+    EXPECT_GT(report.epsilon, 0.0);
+  }
+}
+
+TEST(Scenarios, SaturatedAtDstarHasCutsAtBothTerminals) {
+  const auto report = analyze(scenarios::saturated_at_dstar(3));
+  EXPECT_TRUE(report.feasible);
+  EXPECT_FALSE(report.unsaturated);
+  EXPECT_TRUE(report.location.at_source);
+  EXPECT_TRUE(report.location.at_sink);
+}
+
+TEST(Scenarios, ScaleArrivalsProducesOverload) {
+  const SdNetwork base = scenarios::saturated_at_dstar(3);
+  const SdNetwork over = scenarios::scale_arrivals(base, 2.0);
+  EXPECT_EQ(over.arrival_rate(), 2 * base.arrival_rate());
+  EXPECT_FALSE(analyze(over).feasible);
+}
+
+TEST(Scenarios, GeneralizePreservesRatesAndSetsRetention) {
+  const SdNetwork base = scenarios::grid_flow(2, 3);
+  const SdNetwork gen = scenarios::generalize(base, 7);
+  EXPECT_EQ(gen.arrival_rate(), base.arrival_rate());
+  EXPECT_EQ(gen.extraction_rate(), base.extraction_rate());
+  EXPECT_EQ(gen.max_retention(), 7);
+  EXPECT_TRUE(gen.is_generalized());
+  // Feasibility is a property of rates and topology, not retention.
+  EXPECT_EQ(analyze(gen).feasible, analyze(base).feasible);
+}
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,94 @@
+#include "core/sd_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "graph/generators.hpp"
+
+namespace lgg::core {
+namespace {
+
+TEST(SdNetwork, RolesRoundTrip) {
+  SdNetwork net(graph::make_path(4));
+  net.set_source(0, 2);
+  net.set_sink(3, 5);
+  EXPECT_EQ(net.spec(0), (NodeSpec{2, 0, 0}));
+  EXPECT_EQ(net.spec(3), (NodeSpec{0, 5, 0}));
+  EXPECT_EQ(net.spec(1), (NodeSpec{}));
+  EXPECT_EQ(net.sources(), (std::vector<NodeId>{0}));
+  EXPECT_EQ(net.sinks(), (std::vector<NodeId>{3}));
+  EXPECT_EQ(net.arrival_rate(), 2);
+  EXPECT_EQ(net.extraction_rate(), 5);
+  EXPECT_FALSE(net.is_generalized());
+}
+
+TEST(SdNetwork, GeneralizedNodeDetection) {
+  SdNetwork net(graph::make_path(3));
+  net.set_generalized(0, 2, 1, 4);
+  net.set_sink(2, 1);
+  EXPECT_TRUE(net.is_generalized());
+  EXPECT_EQ(net.max_retention(), 4);
+  EXPECT_EQ(net.special_nodes(), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(net.max_out(), 1);
+}
+
+TEST(SdNetwork, ClearRoleRestoresRelay) {
+  SdNetwork net(graph::make_path(3));
+  net.set_source(1, 3);
+  net.clear_role(1);
+  EXPECT_EQ(net.spec(1), (NodeSpec{}));
+  EXPECT_TRUE(net.sources().empty());
+}
+
+TEST(SdNetwork, RatedNodeViewsMatchRoles) {
+  SdNetwork net(graph::make_path(4));
+  net.set_source(0, 1);
+  net.set_generalized(1, 2, 3, 0);
+  net.set_sink(3, 4);
+  const auto src = net.source_rates();
+  ASSERT_EQ(src.size(), 2u);
+  EXPECT_EQ(src[0], (flow::RatedNode{0, 1}));
+  EXPECT_EQ(src[1], (flow::RatedNode{1, 2}));
+  const auto dst = net.sink_rates();
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst[0], (flow::RatedNode{1, 3}));
+  EXPECT_EQ(dst[1], (flow::RatedNode{3, 4}));
+}
+
+TEST(SdNetwork, ValidationRequiresSourceAndSink) {
+  SdNetwork net(graph::make_path(2));
+  EXPECT_THROW(net.validate(), ContractViolation);
+  net.set_source(0, 1);
+  EXPECT_THROW(net.validate(), ContractViolation);
+  net.set_sink(1, 1);
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(SdNetwork, BadRolesRejected) {
+  SdNetwork net(graph::make_path(2));
+  EXPECT_THROW(net.set_source(0, 0), ContractViolation);
+  EXPECT_THROW(net.set_sink(1, -1), ContractViolation);
+  EXPECT_THROW(net.set_source(9, 1), ContractViolation);
+  EXPECT_THROW(net.set_generalized(0, 0, 0, 0), ContractViolation);
+}
+
+TEST(Analyze, WrapsFeasibilityAnalysis) {
+  const SdNetwork net = scenarios::fat_path(3, 2, 1, 2);
+  const auto report = analyze(net);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_TRUE(report.unsaturated);
+  EXPECT_EQ(report.fstar, 2);
+  EXPECT_NEAR(report.epsilon, 1.0, 1e-9);
+}
+
+TEST(Describe, MentionsKeyNumbers) {
+  const SdNetwork net = scenarios::single_path(3, 1, 1);
+  const auto report = analyze(net);
+  const std::string text = describe(net, report);
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("rate=1"), std::string::npos);
+  EXPECT_NE(text.find("feasible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lgg::core

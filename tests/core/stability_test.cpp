@@ -1,0 +1,126 @@
+#include "core/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace lgg::core {
+namespace {
+
+std::vector<double> constant_series(std::size_t n, double v) {
+  return std::vector<double>(n, v);
+}
+
+std::vector<double> quadratic_series(std::size_t n, double c) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = c * static_cast<double>(i) * static_cast<double>(i);
+  }
+  return xs;
+}
+
+TEST(AssessStability, FlatSeriesIsStable) {
+  const auto report = assess_stability(constant_series(200, 42.0));
+  EXPECT_EQ(report.verdict, Verdict::kStable);
+  EXPECT_DOUBLE_EQ(report.max_state, 42.0);
+  EXPECT_DOUBLE_EQ(report.final_state, 42.0);
+  EXPECT_NEAR(report.tail_slope, 0.0, 1e-12);
+}
+
+TEST(AssessStability, QuadraticGrowthDiverges) {
+  const auto report = assess_stability(quadratic_series(200, 3.0));
+  EXPECT_EQ(report.verdict, Verdict::kDiverging);
+  EXPECT_GT(report.tail_slope, 0.0);
+}
+
+TEST(AssessStability, LinearGrowthDiverges) {
+  std::vector<double> xs(400);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = 5.0 * static_cast<double>(i);
+  }
+  EXPECT_EQ(assess_stability(xs).verdict, Verdict::kDiverging);
+}
+
+TEST(AssessStability, TransientThenFlatIsStable) {
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(static_cast<double>(i * 10));
+  for (int i = 0; i < 350; ++i) xs.push_back(500.0);
+  EXPECT_EQ(assess_stability(xs).verdict, Verdict::kStable);
+}
+
+TEST(AssessStability, NoisyBoundedSeriesIsStable) {
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) {
+    xs.push_back(100.0 + 20.0 * std::sin(static_cast<double>(i) * 0.7));
+  }
+  EXPECT_EQ(assess_stability(xs).verdict, Verdict::kStable);
+}
+
+TEST(AssessStability, ShortSeriesInconclusive) {
+  const auto report = assess_stability(constant_series(8, 1.0));
+  EXPECT_EQ(report.verdict, Verdict::kInconclusive);
+}
+
+TEST(AssessStability, EmptySeriesInconclusive) {
+  EXPECT_EQ(assess_stability({}).verdict, Verdict::kInconclusive);
+}
+
+TEST(AssessStability, BoundCheckReported) {
+  const auto series = constant_series(100, 50.0);
+  const auto ok = assess_stability(series, 60.0);
+  ASSERT_TRUE(ok.within_bound.has_value());
+  EXPECT_TRUE(*ok.within_bound);
+  const auto bad = assess_stability(series, 40.0);
+  ASSERT_TRUE(bad.within_bound.has_value());
+  EXPECT_FALSE(*bad.within_bound);
+  EXPECT_FALSE(assess_stability(series).within_bound.has_value());
+}
+
+TEST(AssessStability, ZeroSeriesIsStable) {
+  EXPECT_EQ(assess_stability(constant_series(100, 0.0)).verdict,
+            Verdict::kStable);
+}
+
+TEST(AssessStability, CustomOptionsChangeTheCall) {
+  // A mildly growing series: default thresholds call it diverging or
+  // inconclusive; an extremely permissive ratio calls it stable.
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(100.0 + i);
+  StabilityOptions strict;
+  strict.diverging_ratio = 1.05;
+  strict.stable_ratio = 1.01;
+  EXPECT_EQ(assess_stability(xs, {}, strict).verdict, Verdict::kDiverging);
+  StabilityOptions lax;
+  lax.diverging_ratio = 10.0;
+  lax.stable_ratio = 5.0;
+  EXPECT_EQ(assess_stability(xs, {}, lax).verdict, Verdict::kStable);
+}
+
+TEST(AssessStability, MinLengthOptionGatesTheVerdict) {
+  const auto series = constant_series(30, 5.0);
+  StabilityOptions opts;
+  opts.min_length = 64;
+  EXPECT_EQ(assess_stability(series, {}, opts).verdict,
+            Verdict::kInconclusive);
+  opts.min_length = 16;
+  EXPECT_EQ(assess_stability(series, {}, opts).verdict, Verdict::kStable);
+}
+
+TEST(ReturnsBelow, DetectsRecurrence) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i % 10 == 0 ? 1.0 : 50.0);
+  }
+  EXPECT_TRUE(returns_below(xs, 5.0, 3));
+  EXPECT_FALSE(returns_below(xs, 0.5, 1));
+}
+
+TEST(VerdictToString, Names) {
+  EXPECT_EQ(to_string(Verdict::kStable), "stable");
+  EXPECT_EQ(to_string(Verdict::kDiverging), "diverging");
+  EXPECT_EQ(to_string(Verdict::kInconclusive), "inconclusive");
+}
+
+}  // namespace
+}  // namespace lgg::core

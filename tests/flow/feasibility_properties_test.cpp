@@ -1,0 +1,90 @@
+// Structural monotonicity properties of the feasibility analysis —
+// directions the theory fixes, checked over random instances:
+//   * adding an edge never decreases f* and never decreases ε
+//   * raising a source rate never turns an infeasible network feasible
+//   * scaling every capacity uniformly scales f*
+#include <gtest/gtest.h>
+
+#include "flow/feasibility.hpp"
+#include "graph/generators.hpp"
+
+namespace lgg::flow {
+namespace {
+
+TEST(FeasibilityProperties, AddingEdgesIsMonotoneInFstarAndEpsilon) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    graph::Multigraph g = graph::make_random_multigraph(8, 14, seed);
+    const std::vector<RatedNode> sources = {{0, 2}};
+    const std::vector<RatedNode> sinks = {{7, 3}};
+    const auto before = analyze_feasibility(g, sources, sinks);
+    // Duplicate three random existing edges.
+    graph::thicken(g, 3, seed + 101);
+    const auto after = analyze_feasibility(g, sources, sinks);
+    EXPECT_GE(after.fstar, before.fstar) << "seed " << seed;
+    if (before.feasible) {
+      EXPECT_TRUE(after.feasible) << "seed " << seed;
+      EXPECT_GE(after.epsilon, before.epsilon - 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FeasibilityProperties, RaisingRatesNeverRepairsInfeasibility) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const graph::Multigraph g = graph::make_random_multigraph(8, 12, seed);
+    for (Cap rate = 1; rate <= 6; ++rate) {
+      const auto lo = analyze_feasibility(g, {{RatedNode{0, rate}}},
+                                          {{RatedNode{7, 6}}});
+      const auto hi = analyze_feasibility(g, {{RatedNode{0, rate + 1}}},
+                                          {{RatedNode{7, 6}}});
+      if (!lo.feasible) {
+        EXPECT_FALSE(hi.feasible)
+            << "seed " << seed << " rate " << rate;
+      }
+      // f* with unbounded sources is rate-independent.
+      EXPECT_EQ(lo.fstar, hi.fstar);
+    }
+  }
+}
+
+TEST(FeasibilityProperties, EpsilonDecreasesAsRatesRise) {
+  const graph::Multigraph g = graph::make_fat_path(3, 4);
+  double previous = 1e18;
+  for (Cap rate = 1; rate <= 4; ++rate) {
+    const auto report = analyze_feasibility(g, {{RatedNode{0, rate}}},
+                                            {{RatedNode{2, 4}}});
+    ASSERT_TRUE(report.feasible) << rate;
+    EXPECT_LE(report.epsilon, previous + 1e-9);
+    previous = report.epsilon;
+  }
+  EXPECT_DOUBLE_EQ(previous, 0.0);  // rate 4 == f*: saturated
+}
+
+TEST(FeasibilityProperties, MultiSinkSplitKeepsTotalFstar) {
+  // One fat sink vs the same capacity split over two sinks behind the
+  // same bottleneck: f* is identical.
+  graph::Multigraph g1 = graph::make_fat_path(3, 4);
+  const auto one = analyze_feasibility(g1, {{RatedNode{0, 2}}},
+                                       {{RatedNode{2, 4}}});
+  graph::Multigraph g2 = graph::make_fat_path(3, 4);
+  const NodeId extra = g2.add_node();
+  g2.add_edge(1, extra);
+  g2.add_edge(1, extra);
+  const auto two = analyze_feasibility(
+      g2, {{RatedNode{0, 2}}}, {{RatedNode{2, 2}, RatedNode{extra, 2}}});
+  EXPECT_EQ(one.fstar, 4);
+  EXPECT_EQ(two.fstar, 4);
+  EXPECT_TRUE(two.feasible);
+}
+
+TEST(FeasibilityProperties, DisconnectedSinkMakesArrivalInfeasible) {
+  graph::Multigraph g(4);
+  g.add_edge(0, 1);  // 2, 3 isolated
+  g.add_edge(2, 3);
+  const auto report = analyze_feasibility(g, {{RatedNode{0, 1}}},
+                                          {{RatedNode{3, 1}}});
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(report.fstar, 0);
+}
+
+}  // namespace
+}  // namespace lgg::flow

@@ -1,0 +1,88 @@
+#include "flow/flow_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace lgg::flow {
+namespace {
+
+TEST(FlowNetwork, ArcPairsAreTwinned) {
+  FlowNetwork net(3);
+  const ArcId a = net.add_arc(0, 1, 5);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(net.to(a), 1);
+  EXPECT_EQ(net.from(a), 0);
+  EXPECT_EQ(net.to(a ^ 1), 0);
+  EXPECT_EQ(net.capacity(a), 5);
+  EXPECT_EQ(net.capacity(a ^ 1), 0);
+  EXPECT_EQ(net.residual(a), 5);
+  EXPECT_EQ(net.residual(a ^ 1), 0);
+}
+
+TEST(FlowNetwork, PushMovesResidualCapacity) {
+  FlowNetwork net(2);
+  const ArcId a = net.add_arc(0, 1, 4);
+  net.push(a, 3);
+  EXPECT_EQ(net.residual(a), 1);
+  EXPECT_EQ(net.residual(a ^ 1), 3);
+  EXPECT_EQ(net.flow(a), 3);
+  net.push(a ^ 1, 2);  // undo 2 units
+  EXPECT_EQ(net.flow(a), 1);
+}
+
+TEST(FlowNetwork, PushBeyondResidualRejected) {
+  FlowNetwork net(2);
+  const ArcId a = net.add_arc(0, 1, 2);
+  EXPECT_THROW(net.push(a, 3), ContractViolation);
+  EXPECT_THROW(net.push(a, -1), ContractViolation);
+}
+
+TEST(FlowNetwork, OutArcsContainResidualTwins) {
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 1);
+  net.add_arc(1, 2, 1);
+  EXPECT_EQ(net.out_arcs(0).size(), 1u);
+  EXPECT_EQ(net.out_arcs(1).size(), 2u);  // twin of (0,1) + forward (1,2)
+  EXPECT_EQ(net.out_arcs(2).size(), 1u);  // twin of (1,2)
+}
+
+TEST(FlowNetwork, ResetFlowRestoresCapacities) {
+  FlowNetwork net(2);
+  const ArcId a = net.add_arc(0, 1, 7);
+  net.push(a, 7);
+  net.reset_flow();
+  EXPECT_EQ(net.residual(a), 7);
+  EXPECT_EQ(net.flow(a), 0);
+}
+
+TEST(FlowNetwork, SetCapacityResetsArcPair) {
+  FlowNetwork net(2);
+  const ArcId a = net.add_arc(0, 1, 2);
+  net.push(a, 2);
+  net.set_capacity(a, 9);
+  EXPECT_EQ(net.capacity(a), 9);
+  EXPECT_EQ(net.residual(a), 9);
+  EXPECT_EQ(net.flow(a), 0);
+  EXPECT_THROW(net.set_capacity(a ^ 1, 1), ContractViolation);
+}
+
+TEST(FlowNetwork, ExcessTracksImbalance) {
+  FlowNetwork net(3);
+  const ArcId a = net.add_arc(0, 1, 5);
+  const ArcId b = net.add_arc(1, 2, 5);
+  net.push(a, 3);
+  net.push(b, 1);
+  EXPECT_EQ(net.excess_at(1), 2);   // 3 in, 1 out
+  EXPECT_EQ(net.excess_at(0), -3);
+  EXPECT_EQ(net.excess_at(2), 1);
+  EXPECT_EQ(net.flow_value(0), 3);
+}
+
+TEST(FlowNetwork, NegativeCapacityRejected) {
+  FlowNetwork net(2);
+  EXPECT_THROW(net.add_arc(0, 1, -1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lgg::flow

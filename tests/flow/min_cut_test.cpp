@@ -1,0 +1,127 @@
+#include "flow/min_cut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/max_flow.hpp"
+
+namespace lgg::flow {
+namespace {
+
+TEST(MinCut, SingleArcCutSeparatesTerminals) {
+  FlowNetwork net(2);
+  net.add_arc(0, 1, 3);
+  solve_max_flow(net, 0, 1);
+  const CutSides sides = min_cut_sides(net, 0, 1);
+  EXPECT_TRUE(sides.min_side[0]);
+  EXPECT_FALSE(sides.min_side[1]);
+  EXPECT_TRUE(sides.max_side[0]);
+  EXPECT_FALSE(sides.max_side[1]);
+}
+
+TEST(MinCut, RequiresMaximumFlow) {
+  FlowNetwork net(2);
+  net.add_arc(0, 1, 3);
+  // No flow pushed: the sink is still residually reachable.
+  EXPECT_THROW(min_cut_sides(net, 0, 1), ContractViolation);
+}
+
+TEST(MinCut, BottleneckInTheMiddle) {
+  // 0 ->(5) 1 ->(1) 2 ->(5) 3: the unique min cut is the middle arc.
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 5);
+  net.add_arc(1, 2, 1);
+  net.add_arc(2, 3, 5);
+  EXPECT_EQ(solve_max_flow(net, 0, 3), 1);
+  const CutSides sides = min_cut_sides(net, 0, 3);
+  const std::vector<char> expect_a = {1, 1, 0, 0};
+  EXPECT_EQ(sides.min_side, expect_a);
+  EXPECT_EQ(sides.max_side, expect_a);
+  const CutLocation loc = cut_location(net, 0, 3);
+  EXPECT_FALSE(loc.at_source);
+  EXPECT_FALSE(loc.at_sink);
+  EXPECT_TRUE(loc.internal);
+}
+
+TEST(MinCut, ExtremeCutsDifferWithTiedBottlenecks) {
+  // 0 ->(1) 1 ->(1) 2: both arcs are min cuts; A_min = {0}, A_max = {0,1}.
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 1);
+  net.add_arc(1, 2, 1);
+  EXPECT_EQ(solve_max_flow(net, 0, 2), 1);
+  const CutSides sides = min_cut_sides(net, 0, 2);
+  EXPECT_EQ(sides.min_side, (std::vector<char>{1, 0, 0}));
+  EXPECT_EQ(sides.max_side, (std::vector<char>{1, 1, 0}));
+  const CutLocation loc = cut_location(net, 0, 2);
+  EXPECT_TRUE(loc.at_source);
+  EXPECT_TRUE(loc.at_sink);
+  EXPECT_FALSE(loc.unique_at_source);
+}
+
+TEST(MinCut, UniqueCutAtSource) {
+  // 0 ->(1) 1 ->(3) 2: only the source arc is tight.
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 1);
+  net.add_arc(1, 2, 3);
+  EXPECT_EQ(solve_max_flow(net, 0, 2), 1);
+  const CutLocation loc = cut_location(net, 0, 2);
+  EXPECT_TRUE(loc.at_source);
+  EXPECT_TRUE(loc.unique_at_source);
+  EXPECT_FALSE(loc.at_sink);
+  EXPECT_FALSE(loc.internal);
+}
+
+TEST(MinCut, CutCapacityOfArbitraryPartition) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 2);
+  net.add_arc(0, 2, 3);
+  net.add_arc(1, 3, 4);
+  net.add_arc(2, 3, 5);
+  // A = {0, 1}: crossing arcs are (0,2) cap 3 and (1,3) cap 4.
+  EXPECT_EQ(cut_capacity(net, {1, 1, 0, 0}), 7);
+  // A = {0}: crossing arcs (0,1), (0,2).
+  EXPECT_EQ(cut_capacity(net, {1, 0, 0, 0}), 5);
+}
+
+TEST(MinCut, DiamondTightAtBothTerminalsIsNotInternal) {
+  // Diamond: 0->1 (2), 0->2 (2), 1->3 (1), 2->3 (1); value 2.  The extreme
+  // cuts are ({0}, ...) — wait: the source arcs have capacity 2 each, so
+  // ({0}, rest) costs 4; the only min cuts use the sink-side unit arcs:
+  // A_min = A_max = {0, 1, 2}, which is a cut "at the sink" and, having
+  // real nodes only on the A side, not an internal S-D cut.
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 2);
+  net.add_arc(0, 2, 2);
+  net.add_arc(1, 3, 1);
+  net.add_arc(2, 3, 1);
+  EXPECT_EQ(solve_max_flow(net, 0, 3), 2);
+  const CutSides sides = min_cut_sides(net, 0, 3);
+  EXPECT_EQ(sides.min_side, (std::vector<char>{1, 1, 1, 0}));
+  EXPECT_EQ(sides.max_side, (std::vector<char>{1, 1, 1, 0}));
+  const CutLocation loc = cut_location(net, 0, 3);
+  EXPECT_TRUE(loc.at_sink);
+  EXPECT_FALSE(loc.at_source);
+  EXPECT_FALSE(loc.internal);
+}
+
+TEST(MinCut, GenuinelyInternalCut) {
+  // 0 ->(2) 1; 1 ->(1) 2 and 1 ->(1) 3; 2 ->(2) 4, 3 ->(2) 4, 0 ->(1) 4?
+  // Simpler: 0 ->(3) 1 ->(1) 2 ->(1) 3 ->(3) 4.  Min cuts: arcs (1,2) and
+  // (2,3); A_min = {0,1}, A_max = {0,1,2}; both have real nodes on both
+  // sides, so an internal cut exists.
+  FlowNetwork net(5);
+  net.add_arc(0, 1, 3);
+  net.add_arc(1, 2, 1);
+  net.add_arc(2, 3, 1);
+  net.add_arc(3, 4, 3);
+  EXPECT_EQ(solve_max_flow(net, 0, 4), 1);
+  const CutSides sides = min_cut_sides(net, 0, 4);
+  EXPECT_EQ(sides.min_side, (std::vector<char>{1, 1, 0, 0, 0}));
+  EXPECT_EQ(sides.max_side, (std::vector<char>{1, 1, 1, 0, 0}));
+  const CutLocation loc = cut_location(net, 0, 4);
+  EXPECT_FALSE(loc.at_source);
+  EXPECT_FALSE(loc.at_sink);
+  EXPECT_TRUE(loc.internal);
+}
+
+}  // namespace
+}  // namespace lgg::flow

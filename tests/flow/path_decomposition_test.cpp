@@ -1,0 +1,138 @@
+#include "flow/path_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "flow/max_flow.hpp"
+
+namespace lgg::flow {
+namespace {
+
+Cap total_amount(const std::vector<FlowPath>& paths) {
+  Cap total = 0;
+  for (const FlowPath& p : paths) total += p.amount;
+  return total;
+}
+
+void expect_paths_well_formed(const FlowNetwork& net,
+                              const std::vector<FlowPath>& paths, NodeId s,
+                              NodeId t) {
+  for (const FlowPath& p : paths) {
+    ASSERT_GE(p.nodes.size(), 2u);
+    EXPECT_EQ(p.nodes.front(), s);
+    EXPECT_EQ(p.nodes.back(), t);
+    ASSERT_EQ(p.arcs.size(), p.nodes.size() - 1);
+    EXPECT_GT(p.amount, 0);
+    for (std::size_t i = 0; i < p.arcs.size(); ++i) {
+      EXPECT_EQ(net.from(p.arcs[i]), p.nodes[i]);
+      EXPECT_EQ(net.to(p.arcs[i]), p.nodes[i + 1]);
+    }
+    // Simple path: no repeated nodes.
+    auto nodes = p.nodes;
+    std::sort(nodes.begin(), nodes.end());
+    EXPECT_EQ(std::adjacent_find(nodes.begin(), nodes.end()), nodes.end());
+  }
+}
+
+TEST(PathDecomposition, SinglePath) {
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 2);
+  net.add_arc(1, 2, 2);
+  solve_max_flow(net, 0, 2);
+  const auto paths = decompose_into_paths(net, 0, 2);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].amount, 2);
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{0, 1, 2}));
+  expect_paths_well_formed(net, paths, 0, 2);
+}
+
+TEST(PathDecomposition, NetworkEndsAtZeroFlow) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 1);
+  net.add_arc(1, 3, 1);
+  net.add_arc(0, 2, 1);
+  net.add_arc(2, 3, 1);
+  solve_max_flow(net, 0, 3);
+  decompose_into_paths(net, 0, 3);
+  for (ArcId a = 0; a < net.arc_count(); a += 2) {
+    EXPECT_EQ(net.flow(a), 0);
+  }
+}
+
+TEST(PathDecomposition, AmountsSumToFlowValue) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 2);
+  net.add_arc(0, 2, 3);
+  net.add_arc(1, 3, 4);
+  net.add_arc(2, 3, 2);
+  net.add_arc(1, 2, 1);
+  const Cap value = solve_max_flow(net, 0, 3);
+  const auto paths = decompose_into_paths(net, 0, 3);
+  EXPECT_EQ(total_amount(paths), value);
+  expect_paths_well_formed(net, paths, 0, 3);
+}
+
+TEST(PathDecomposition, ZeroFlowGivesNoPaths) {
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 1);  // sink unreachable
+  EXPECT_TRUE(decompose_into_paths(net, 0, 2).empty());
+}
+
+TEST(CancelFlowCycles, RemovesAPureCirculation) {
+  FlowNetwork net(3);
+  const ArcId a = net.add_arc(0, 1, 1);
+  const ArcId b = net.add_arc(1, 2, 1);
+  const ArcId c = net.add_arc(2, 0, 1);
+  net.push(a, 1);
+  net.push(b, 1);
+  net.push(c, 1);
+  cancel_flow_cycles(net);
+  EXPECT_EQ(net.flow(a), 0);
+  EXPECT_EQ(net.flow(b), 0);
+  EXPECT_EQ(net.flow(c), 0);
+}
+
+TEST(CancelFlowCycles, PreservesPathFlow) {
+  FlowNetwork net(4);
+  const ArcId p1 = net.add_arc(0, 1, 1);
+  const ArcId p2 = net.add_arc(1, 3, 1);
+  const ArcId c1 = net.add_arc(1, 2, 1);
+  const ArcId c2 = net.add_arc(2, 1, 1);
+  net.push(p1, 1);
+  net.push(p2, 1);
+  net.push(c1, 1);
+  net.push(c2, 1);
+  cancel_flow_cycles(net);
+  EXPECT_EQ(net.flow(p1), 1);
+  EXPECT_EQ(net.flow(p2), 1);
+  EXPECT_EQ(net.flow(c1), 0);
+  EXPECT_EQ(net.flow(c2), 0);
+}
+
+TEST(PathDecomposition, RandomNetworksDecomposeExactly) {
+  Rng rng(77);
+  for (int trial = 0; trial < 12; ++trial) {
+    const NodeId n = 10;
+    FlowNetwork net(n);
+    for (int i = 0; i < 35; ++i) {
+      const auto u = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      auto v = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      while (v == u) v = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      net.add_arc(u, v, rng.uniform_int(1, 5));
+    }
+    const Cap value = solve_max_flow(net, 0, n - 1,
+                                     FlowAlgorithm::kPushRelabelHighest);
+    const auto paths = decompose_into_paths(net, 0, n - 1);
+    EXPECT_EQ(total_amount(paths), value) << "trial " << trial;
+    expect_paths_well_formed(net, paths, 0, n - 1);
+    for (ArcId a = 0; a < net.arc_count(); a += 2) {
+      EXPECT_EQ(net.flow(a), 0) << "leftover flow, trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lgg::flow

@@ -1,0 +1,92 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace lgg::graph {
+namespace {
+
+TEST(BfsDistances, PathDistancesAreLinear) {
+  const Multigraph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(BfsDistances, DisconnectedNodesAreUnreachable) {
+  Multigraph g(3);
+  g.add_edge(0, 1);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(BfsDistances, MaskExcludesEdges) {
+  const Multigraph g = make_cycle(6);
+  EdgeMask mask(g.edge_count());
+  mask.set_active(5, false);  // cut the wraparound edge (5, 0)
+  const auto dist = bfs_distances(g, 0, &mask);
+  EXPECT_EQ(dist[5], 5);  // forced the long way round
+}
+
+TEST(BfsDistancesMulti, NearestOfSeveralSources) {
+  const Multigraph g = make_path(7);
+  const auto dist = bfs_distances_multi(g, {0, 6});
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[5], 1);
+}
+
+TEST(BfsDistancesMulti, DuplicateSourcesAreHarmless) {
+  const Multigraph g = make_path(4);
+  const auto dist = bfs_distances_multi(g, {0, 0, 0});
+  EXPECT_EQ(dist[3], 3);
+}
+
+TEST(ConnectedComponents, LabelsPartitionNodes) {
+  Multigraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto label = connected_components(g);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[1], label[2]);
+  EXPECT_EQ(label[3], label[4]);
+  EXPECT_NE(label[0], label[3]);
+  EXPECT_NE(label[5], label[0]);
+  EXPECT_NE(label[5], label[3]);
+  EXPECT_EQ(component_count(g), 3);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(make_path(6)), 5);
+  EXPECT_EQ(diameter(make_cycle(8)), 4);
+  EXPECT_EQ(diameter(make_complete(5)), 1);
+  EXPECT_EQ(diameter(make_star(9)), 2);
+  EXPECT_EQ(diameter(Multigraph(1)), 0);
+}
+
+TEST(Diameter, DisconnectedIsUnreachable) {
+  Multigraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(diameter(g), kUnreachable);
+}
+
+TEST(DegreeHistogram, CountsPerDegree) {
+  const Multigraph g = make_star(5);  // hub degree 4, leaves degree 1
+  const auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[1], 4);
+  EXPECT_EQ(hist[4], 1);
+  EXPECT_EQ(hist[0], 0);
+}
+
+TEST(AverageDegree, HandshakeLemma) {
+  const Multigraph g = make_cycle(10);
+  EXPECT_DOUBLE_EQ(average_degree(g), 2.0);
+  EXPECT_DOUBLE_EQ(average_degree(Multigraph(0)), 0.0);
+}
+
+}  // namespace
+}  // namespace lgg::graph

@@ -1,0 +1,67 @@
+#include "graph/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace lgg::graph {
+namespace {
+
+TEST(DotExport, BasicStructure) {
+  const Multigraph g = make_path(3);
+  const std::string dot = to_dot(g);
+  EXPECT_EQ(dot.rfind("graph \"G\" {", 0), 0u);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2;"), std::string::npos);
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST(DotExport, ParallelEdgesRepeated) {
+  const Multigraph g = make_fat_path(2, 3);
+  const std::string dot = to_dot(g);
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = dot.find("n0 -- n1;", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(DotExport, MaskedEdgesDashed) {
+  const Multigraph g = make_path(3);
+  EdgeMask mask(g.edge_count());
+  mask.set_active(1, false);
+  DotOptions options;
+  options.mask = &mask;
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("n1 -- n2 [style=dashed];"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+}
+
+TEST(DotExport, EmphasisAndIntensity) {
+  const Multigraph g = make_path(3);
+  const std::vector<std::int64_t> queues = {0, 5, 10};
+  const std::vector<NodeId> sources = {0};
+  const std::vector<NodeId> sinks = {2};
+  DotOptions options;
+  options.intensity = queues;
+  options.emphasized = sources;
+  options.boxed = sinks;
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=\"gray40\""), std::string::npos);  // peak
+  EXPECT_NE(dot.find("fillcolor=\"gray100\""), std::string::npos); // empty
+}
+
+TEST(DotExport, LabelMismatchRejected) {
+  const Multigraph g = make_path(3);
+  const std::vector<std::string> labels = {"a"};
+  DotOptions options;
+  options.labels = labels;
+  EXPECT_THROW(to_dot(g, options), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lgg::graph

@@ -1,0 +1,74 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace lgg::graph {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesStructureAndEdgeOrder) {
+  Multigraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 2);  // parallel
+  g.add_edge(3, 0);
+  const Multigraph back = graph_from_string(to_string(g));
+  EXPECT_EQ(g, back);
+  EXPECT_EQ(back.endpoints(2), (Endpoints{1, 2}));
+}
+
+TEST(GraphIo, RoundTripRandomGraph) {
+  const Multigraph g = make_random_multigraph(12, 40, 5);
+  EXPECT_EQ(g, graph_from_string(to_string(g)));
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  const Multigraph g = graph_from_string(
+      "# header comment\n"
+      "nodes 3\n"
+      "\n"
+      "edge 0 1  # trailing comment\n"
+      "edge 1 2\n");
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 2);
+}
+
+TEST(GraphIo, MissingNodesLineThrows) {
+  EXPECT_THROW(graph_from_string("edge 0 1\n"), ParseError);
+  EXPECT_THROW(graph_from_string(""), ParseError);
+}
+
+TEST(GraphIo, DuplicateNodesLineThrows) {
+  EXPECT_THROW(graph_from_string("nodes 2\nnodes 2\n"), ParseError);
+}
+
+TEST(GraphIo, BadEndpointThrowsWithLineNumber) {
+  try {
+    graph_from_string("nodes 2\nedge 0 5\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(GraphIo, SelfLoopRejected) {
+  EXPECT_THROW(graph_from_string("nodes 2\nedge 1 1\n"), ParseError);
+}
+
+TEST(GraphIo, UnknownKeywordRejected) {
+  EXPECT_THROW(graph_from_string("nodes 1\nvertex 0\n"), ParseError);
+}
+
+TEST(GraphIo, NegativeNodeCountRejected) {
+  EXPECT_THROW(graph_from_string("nodes -3\n"), ParseError);
+}
+
+TEST(GraphIo, EmptyGraphRoundTrips) {
+  const Multigraph g = graph_from_string("nodes 0\n");
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(to_string(g), "nodes 0\n");
+}
+
+}  // namespace
+}  // namespace lgg::graph

@@ -1,0 +1,150 @@
+// Differential tests against independent brute-force references:
+//   * max-flow value vs exhaustive min-cut enumeration (all 2^n partitions)
+//   * LggProtocol vs a direct transliteration of Algorithm 1's pseudocode
+// Any divergence between the optimized implementations and these oracles
+// is a bug in one of them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "lgg.hpp"
+
+namespace lgg {
+namespace {
+
+// ---------------------------------------------------------------------
+// Oracle 1: min cut by enumeration.
+
+/// Capacity of the cut (A = bits set in `mask`, source side) in a small
+/// directed network given as explicit arcs.
+struct TinyArc {
+  NodeId from, to;
+  Cap cap;
+};
+
+Cap brute_force_min_cut(NodeId n, const std::vector<TinyArc>& arcs,
+                        NodeId s, NodeId t) {
+  Cap best = std::numeric_limits<Cap>::max();
+  const std::uint32_t subsets = 1u << n;
+  for (std::uint32_t mask = 0; mask < subsets; ++mask) {
+    if (!(mask >> s & 1) || (mask >> t & 1)) continue;
+    Cap cut = 0;
+    for (const TinyArc& a : arcs) {
+      if ((mask >> a.from & 1) && !(mask >> a.to & 1)) cut += a.cap;
+    }
+    best = std::min(best, cut);
+  }
+  return best;
+}
+
+TEST(BruteForce, MaxFlowEqualsEnumeratedMinCutOnRandomTinyNetworks) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeId n = static_cast<NodeId>(rng.uniform_int(3, 9));
+    std::vector<TinyArc> arcs;
+    const int arc_count = static_cast<int>(rng.uniform_int(n, 4 * n));
+    for (int i = 0; i < arc_count; ++i) {
+      const auto u = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      auto v = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      while (v == u) v = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      arcs.push_back({u, v, rng.uniform_int(0, 4)});
+    }
+    flow::FlowNetwork net(n);
+    for (const TinyArc& a : arcs) net.add_arc(a.from, a.to, a.cap);
+    const Cap value = flow::solve_max_flow(net, 0, n - 1);
+    EXPECT_EQ(value, brute_force_min_cut(n, arcs, 0, n - 1))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(BruteForce, FeasibilityMatchesEnumeratedCutOnExtendedGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    graph::Multigraph g = graph::make_random_multigraph(
+        6, static_cast<EdgeId>(rng.uniform_int(6, 16)),
+        1000 + static_cast<std::uint64_t>(trial));
+    std::vector<flow::RatedNode> sources = {{0, rng.uniform_int(1, 3)}};
+    std::vector<flow::RatedNode> sinks = {{5, rng.uniform_int(1, 3)}};
+    const auto report = flow::analyze_feasibility(g, sources, sinks);
+
+    // Rebuild G* as tiny arcs (8 nodes: 6 + s*=6 + d*=7).
+    std::vector<TinyArc> arcs;
+    arcs.push_back({6, 0, sources[0].rate});
+    arcs.push_back({5, 7, sinks[0].rate});
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const graph::Endpoints ep = g.endpoints(e);
+      arcs.push_back({ep.u, ep.v, 1});
+      arcs.push_back({ep.v, ep.u, 1});
+    }
+    const Cap mincut = brute_force_min_cut(8, arcs, 6, 7);
+    EXPECT_EQ(report.max_flow_at_rates, mincut) << "trial " << trial;
+    EXPECT_EQ(report.feasible, mincut == sources[0].rate);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Oracle 2: Algorithm 1, transliterated.
+
+/// Direct rendering of the paper's pseudocode for node u:
+///   E_t(u) <- {}; q <- q_t(u)
+///   list(u) <- order Γ(u) by increasing declared q_t
+///   for all v in list(u):
+///     if q_t(u) > q_t(v) && q > 0: E_t(u) += (u, v); q -= 1
+std::vector<core::Transmission> algorithm1_reference(
+    const core::SdNetwork& net, std::span<const PacketCount> queue,
+    std::span<const PacketCount> declared) {
+  std::vector<core::Transmission> result;
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    PacketCount budget = queue[static_cast<std::size_t>(u)];
+    auto list = std::vector<graph::IncidentLink>(
+        net.topology().incident(u).begin(),
+        net.topology().incident(u).end());
+    std::sort(list.begin(), list.end(),
+              [&](const graph::IncidentLink& a, const graph::IncidentLink& b) {
+                const auto qa = declared[static_cast<std::size_t>(a.neighbor)];
+                const auto qb = declared[static_cast<std::size_t>(b.neighbor)];
+                if (qa != qb) return qa < qb;
+                if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
+                return a.edge < b.edge;
+              });
+    for (const graph::IncidentLink& link : list) {
+      if (queue[static_cast<std::size_t>(u)] >
+              declared[static_cast<std::size_t>(link.neighbor)] &&
+          budget > 0) {
+        result.push_back({link.edge, u, link.neighbor});
+        --budget;
+      }
+    }
+  }
+  return result;
+}
+
+TEST(BruteForce, LggMatchesAlgorithm1TransliterationOnRandomStates) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    core::SdNetwork net(graph::make_random_multigraph(
+        8, 20, 500 + static_cast<std::uint64_t>(trial)));
+    net.set_source(0, 1);
+    net.set_sink(7, 1);
+    graph::CsrIncidence incidence(net.topology());
+    graph::EdgeMask mask(net.topology().edge_count());
+    std::vector<PacketCount> queue(8);
+    for (auto& q : queue) q = rng.uniform_int(0, 6);
+    std::vector<PacketCount> declared = queue;
+    if (trial % 3 == 0) {
+      // Exercise lying states too.
+      for (auto& d : declared) d = rng.uniform_int(0, 6);
+    }
+    const core::StepView view{&net,  &incidence, &mask, queue,
+                              declared, 0,        0};
+    core::LggProtocol lgg;
+    std::vector<core::Transmission> fast;
+    lgg.select_transmissions(view, rng, fast);
+    const auto reference = algorithm1_reference(net, queue, declared);
+    EXPECT_EQ(fast, reference) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace lgg

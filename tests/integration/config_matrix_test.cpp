@@ -1,0 +1,100 @@
+// Cross-product sweep: every protocol × arrival × loss × scheduler
+// combination must respect the transmission contract and conserve packets.
+// This is the broad-spectrum invariant net for the whole simulator.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lgg.hpp"
+
+namespace lgg::core {
+namespace {
+
+using Config = std::tuple<std::string /*protocol*/, int /*arrival*/,
+                          int /*loss*/, int /*scheduler*/>;
+
+std::unique_ptr<ArrivalProcess> make_arrival(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<ExactArrival>();
+    case 1: return std::make_unique<BernoulliArrival>(0.5);
+    case 2: return std::make_unique<UniformArrival>(0.5);
+    case 3: return std::make_unique<BurstArrival>(2.0, 0.0, 2, 5);
+    default: return std::make_unique<ScaledArrival>(0.5);
+  }
+}
+
+std::unique_ptr<LossModel> make_loss(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<NoLoss>();
+    case 1: return std::make_unique<BernoulliLoss>(0.2);
+    default: return std::make_unique<PeriodicLoss>(4);
+  }
+}
+
+std::unique_ptr<Scheduler> make_scheduler(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<NoInterference>();
+    case 1: return std::make_unique<GreedyMatchingScheduler>();
+    default: return std::make_unique<Distance2GreedyScheduler>();
+  }
+}
+
+class ConfigMatrix : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ConfigMatrix, ContractAndConservation) {
+  const auto& [protocol, arrival, loss, scheduler] = GetParam();
+  SimulatorOptions options;
+  options.seed = 1234;
+  options.check_contract = true;
+  Simulator sim(scenarios::grid_single(3, 4), options,
+                baselines::make_protocol(protocol));
+  sim.set_arrival(make_arrival(arrival));
+  sim.set_loss(make_loss(loss));
+  sim.set_scheduler(make_scheduler(scheduler));
+  sim.run(250);
+  EXPECT_TRUE(sim.conserves_packets());
+  EXPECT_EQ(sim.cumulative().sent,
+            sim.cumulative().delivered + sim.cumulative().lost);
+}
+
+std::string config_name(const ::testing::TestParamInfo<Config>& info) {
+  const auto& [protocol, arrival, loss, scheduler] = info.param;
+  return std::string(protocol) + "_a" + std::to_string(arrival) + "_l" +
+         std::to_string(loss) + "_s" + std::to_string(scheduler);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConfigMatrix,
+    ::testing::Combine(
+        ::testing::Values("lgg", "backpressure", "hot_potato",
+                          "random_walk", "flow_routing"),
+        ::testing::Values(0, 1, 2, 3),
+        ::testing::Values(0, 1, 2),
+        ::testing::Values(0, 1, 2)),
+    config_name);
+
+// The same sweep on a generalized lying network exercises declaration and
+// link-conflict paths too.
+class GeneralizedMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GeneralizedMatrix, LyingNetworksConserve) {
+  const auto [declaration, extraction] = GetParam();
+  SimulatorOptions options;
+  options.seed = 4321;
+  options.check_contract = true;
+  options.declaration_policy = static_cast<DeclarationPolicy>(declaration);
+  options.extraction_policy = static_cast<ExtractionPolicy>(extraction);
+  Simulator sim(
+      scenarios::generalize(scenarios::grid_single(3, 4), 6), options);
+  sim.set_loss(std::make_unique<BernoulliLoss>(0.1));
+  sim.run(250);
+  EXPECT_TRUE(sim.conserves_packets());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneralizedMatrix,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 3)));
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,119 @@
+// Properties 1 and 2 (Section III): the per-step growth of P_t is bounded
+// by 5nΔ², and once P_t exceeds nY² the state strictly decreases by more
+// than 5nΔ² per step.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/timeseries.hpp"
+#include "core/bounds.hpp"
+#include "core/scenarios.hpp"
+#include "support/test_helpers.hpp"
+
+namespace lgg::core {
+namespace {
+
+using lgg::testing::run_lgg;
+
+struct Instance {
+  const char* label;
+  SdNetwork net;
+};
+
+std::vector<Instance> unsaturated_instances() {
+  std::vector<Instance> out;
+  out.push_back({"fat_path", scenarios::fat_path(4, 3, 1, 3)});
+  out.push_back({"grid", scenarios::grid_single(3, 4, 1, 2)});
+  out.push_back({"bipartite", scenarios::bipartite(3, 3, 1, 2)});
+  out.push_back({"random", scenarios::random_unsaturated(10, 34, 2, 2, 3)});
+  return out;
+}
+
+TEST(Property1, GrowthNeverExceedsBoundFromEmptyStart) {
+  for (auto& instance : unsaturated_instances()) {
+    const auto report = analyze(instance.net);
+    ASSERT_TRUE(report.unsaturated) << instance.label;
+    const UnsaturatedBounds bounds = unsaturated_bounds(instance.net, report);
+    const auto recorder = run_lgg(instance.net, 1500);
+    const double max_growth =
+        analysis::max_increment(recorder.network_state());
+    EXPECT_LE(max_growth, bounds.growth) << instance.label;
+  }
+}
+
+TEST(Property1, GrowthBoundHoldsUnderLosses) {
+  const SdNetwork net = scenarios::fat_path(4, 3, 1, 3);
+  const UnsaturatedBounds bounds = unsaturated_bounds(net, analyze(net));
+  SimulatorOptions options;
+  options.seed = 77;
+  Simulator sim(net, options);
+  sim.set_loss(std::make_unique<BernoulliLoss>(0.25));
+  MetricsRecorder recorder;
+  sim.run(1500, &recorder);
+  EXPECT_LE(analysis::max_increment(recorder.network_state()),
+            bounds.growth);
+}
+
+TEST(Property2, InflatedStateDrainsStrictly) {
+  // Start far above nY² — P_t must decrease by more than 5nΔ² per step
+  // while it stays above the threshold.
+  const SdNetwork net = scenarios::fat_path(3, 3, 1, 3);
+  const auto report = analyze(net);
+  const UnsaturatedBounds bounds = unsaturated_bounds(net, report);
+  // nY² is astronomically large; seed queues so P_0 > nY² would overflow
+  // practical horizons, so instead verify the *drift mechanism*: from a
+  // hugely inflated (but simulable) state the drift is negative and at
+  // least one full extraction per step until the pipe drains.
+  SimulatorOptions options;
+  options.seed = 5;
+  Simulator sim(net, options);
+  sim.set_initial_queue(0, 100000);
+  MetricsRecorder recorder;
+  sim.run(400, &recorder);
+  const auto& state = recorder.network_state();
+  // Strictly decreasing whenever the state is large.
+  for (std::size_t t = 1; t < state.size(); ++t) {
+    if (state[t - 1] > 1e6) {
+      EXPECT_LT(state[t], state[t - 1]) << "t=" << t;
+    }
+  }
+  (void)bounds;
+}
+
+TEST(Property2, DrainRateExceedsFiveNDeltaSquaredScaledRegime) {
+  // With a large inflated queue the per-step decrease of P_t is of order
+  // 2·q·(served per step), which dwarfs 5nΔ² — the paper's drift constant.
+  const SdNetwork net = scenarios::fat_path(3, 3, 1, 3);
+  const UnsaturatedBounds bounds = unsaturated_bounds(net, analyze(net));
+  SimulatorOptions options;
+  options.seed = 6;
+  Simulator sim(net, options);
+  sim.set_initial_queue(0, 500000);
+  MetricsRecorder recorder;
+  sim.run(50, &recorder);
+  const auto& state = recorder.network_state();
+  for (std::size_t t = 20; t < state.size(); ++t) {
+    EXPECT_LT(state[t] - state[t - 1], -bounds.growth) << "t=" << t;
+  }
+}
+
+TEST(Property1, TieBreakChoiceDoesNotAffectTheBound) {
+  // The paper notes the choice among equal-queue neighbours has no impact
+  // on stability: both tie-break policies respect Property 1.
+  for (const TieBreak tb : {TieBreak::kById, TieBreak::kRandomShuffle}) {
+    const SdNetwork net = scenarios::grid_single(3, 4, 1, 2);
+    const UnsaturatedBounds bounds = unsaturated_bounds(net, analyze(net));
+    SimulatorOptions options;
+    options.seed = 99;
+    Simulator sim(net, options, std::make_unique<LggProtocol>(tb));
+    MetricsRecorder recorder;
+    sim.run(1200, &recorder);
+    EXPECT_LE(analysis::max_increment(recorder.network_state()),
+              bounds.growth);
+    EXPECT_EQ(assess_stability(recorder.network_state()).verdict,
+              Verdict::kStable);
+  }
+}
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,160 @@
+// R-generalized S-D-networks (Definitions 5–8, Properties 3–6): the
+// generalized behaviours stay stable on feasible instances, respect the
+// generalized growth bound, and collapse to the classical model at R = 0.
+#include <gtest/gtest.h>
+
+#include "analysis/timeseries.hpp"
+#include "core/bounds.hpp"
+#include "core/scenarios.hpp"
+#include "graph/generators.hpp"
+#include "support/test_helpers.hpp"
+
+namespace lgg::core {
+namespace {
+
+MetricsRecorder run_generalized(const SdNetwork& net,
+                                DeclarationPolicy declaration,
+                                ExtractionPolicy extraction, TimeStep steps,
+                                std::uint64_t seed) {
+  SimulatorOptions options;
+  options.seed = seed;
+  options.check_contract = true;
+  options.declaration_policy = declaration;
+  options.extraction_policy = extraction;
+  Simulator sim(net, options);
+  MetricsRecorder recorder;
+  sim.run(steps, &recorder);
+  return recorder;
+}
+
+TEST(RGeneralized, ZeroRetentionMatchesClassicalTrajectoryExactly) {
+  // A 0-generalized network is a classical S-D-network: identical runs.
+  const SdNetwork classical = scenarios::grid_flow(2, 4, 1, 2);
+  const SdNetwork zero_gen = scenarios::generalize(classical, 0);
+  const auto a = run_generalized(classical, DeclarationPolicy::kDeclareR,
+                                 ExtractionPolicy::kRetentive, 500, 42);
+  const auto b = run_generalized(zero_gen, DeclarationPolicy::kDeclareR,
+                                 ExtractionPolicy::kRetentive, 500, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_DOUBLE_EQ(a.network_state()[t], b.network_state()[t]) << t;
+  }
+}
+
+class RetentionSweep : public ::testing::TestWithParam<Cap> {};
+
+TEST_P(RetentionSweep, FeasibleGeneralizedNetworksStayStable) {
+  const Cap retention = GetParam();
+  const SdNetwork net =
+      scenarios::generalize(scenarios::fat_path(4, 3, 1, 3), retention);
+  for (const auto declaration :
+       {DeclarationPolicy::kTruthful, DeclarationPolicy::kDeclareR,
+        DeclarationPolicy::kDeclareZero}) {
+    const auto recorder = run_generalized(
+        net, declaration, ExtractionPolicy::kRetentive, 2500, 7);
+    EXPECT_EQ(assess_stability(recorder.network_state()).verdict,
+              Verdict::kStable)
+        << "R=" << retention
+        << " declaration=" << to_string(declaration);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Retentions, RetentionSweep,
+                         ::testing::Values(0, 1, 4, 16));
+
+TEST(RGeneralized, RetentionKeepsPacketsBack) {
+  // A retentive sink holds ~R packets in steady state instead of draining.
+  const Cap r = 6;
+  const SdNetwork net =
+      scenarios::generalize(scenarios::fat_path(2, 3, 1, 3), r);
+  const auto recorder = run_generalized(net, DeclarationPolicy::kTruthful,
+                                        ExtractionPolicy::kRetentive, 500, 3);
+  // Total stored converges to about R at the sink (plus pipeline).
+  const double tail_total =
+      recorder.total_packets().back();
+  EXPECT_GE(tail_total, static_cast<double>(r) - 1.0);
+  EXPECT_LE(tail_total, static_cast<double>(r) + 8.0);
+}
+
+TEST(RGeneralized, GrowthRespectsProperty3Bound) {
+  const SdNetwork net =
+      scenarios::generalize(scenarios::fat_path(4, 3, 1, 3), 4);
+  const GeneralizedBounds bounds = generalized_bounds(net);
+  for (const auto declaration :
+       {DeclarationPolicy::kTruthful, DeclarationPolicy::kDeclareR}) {
+    const auto recorder = run_generalized(
+        net, declaration, ExtractionPolicy::kRetentive, 2000, 11);
+    EXPECT_LE(analysis::max_increment(recorder.network_state()),
+              bounds.growth)
+        << to_string(declaration);
+  }
+}
+
+TEST(RGeneralized, Property4DriftDrainsInflatedGeneralizedState) {
+  // Properties 4/6: an unsaturated R-generalized network with a huge state
+  // strictly drains, even with maximal lying.
+  const SdNetwork net =
+      scenarios::generalize(scenarios::fat_path(3, 3, 1, 3), 8);
+  SimulatorOptions options;
+  options.seed = 55;
+  options.declaration_policy = DeclarationPolicy::kDeclareR;
+  options.extraction_policy = ExtractionPolicy::kRetentive;
+  Simulator sim(net, options);
+  sim.set_initial_queue(0, 100000);
+  MetricsRecorder recorder;
+  sim.run(400, &recorder);
+  const auto& state = recorder.network_state();
+  for (std::size_t t = 25; t < state.size(); ++t) {
+    if (state[t - 1] > 1e6) {
+      EXPECT_LT(state[t], state[t - 1]) << "t=" << t;
+    }
+  }
+  // The drain rate dwarfs the Property-3/4 constant.
+  const GeneralizedBounds bounds = generalized_bounds(net);
+  bool observed_fast_drain = false;
+  for (std::size_t t = 25; t < state.size(); ++t) {
+    if (state[t - 1] > 1e8 &&
+        state[t] - state[t - 1] < -bounds.growth) {
+      observed_fast_drain = true;
+    }
+  }
+  EXPECT_TRUE(observed_fast_drain);
+}
+
+TEST(RGeneralized, RandomLyingAndRandomExtractionConserve) {
+  const SdNetwork net =
+      scenarios::generalize(scenarios::grid_flow(2, 4, 1, 2), 5);
+  SimulatorOptions options;
+  options.seed = 13;
+  options.check_contract = true;
+  options.declaration_policy = DeclarationPolicy::kRandom;
+  options.extraction_policy = ExtractionPolicy::kRandom;
+  Simulator sim(net, options);
+  MetricsRecorder recorder;
+  sim.run(1500, &recorder);
+  EXPECT_TRUE(sim.conserves_packets());
+  EXPECT_EQ(assess_stability(recorder.network_state()).verdict,
+            Verdict::kStable);
+}
+
+TEST(RGeneralized, NodeWithBothRolesActsAsRelayWithTurnover) {
+  // A generalized node injecting and extracting (Fig. 4 shape) on a path
+  // between a classical source and sink.
+  SdNetwork net(graph::make_fat_path(3, 2));
+  net.set_source(0, 1);
+  net.set_generalized(1, 1, 1, 2);
+  net.set_sink(2, 2);
+  ASSERT_TRUE(analyze(net).feasible);
+  SimulatorOptions options;
+  options.seed = 29;
+  options.check_contract = true;
+  Simulator sim(net, options);
+  MetricsRecorder recorder;
+  sim.run(2500, &recorder);
+  EXPECT_TRUE(sim.conserves_packets());
+  EXPECT_EQ(assess_stability(recorder.network_state()).verdict,
+            Verdict::kStable);
+}
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,114 @@
+// Theorem 1: LGG is stable on every feasible S-D-network; on an infeasible
+// one the stored packets diverge no matter the algorithm.
+#include <gtest/gtest.h>
+
+#include "baselines/protocol_registry.hpp"
+#include "core/bounds.hpp"
+#include "core/scenarios.hpp"
+#include "support/test_helpers.hpp"
+
+namespace lgg::core {
+namespace {
+
+using lgg::testing::lgg_verdict;
+using lgg::testing::run_lgg;
+
+TEST(Theorem1, UnsaturatedFatPathIsStable) {
+  EXPECT_EQ(lgg_verdict(scenarios::fat_path(4, 3, 1, 3), 2000),
+            Verdict::kStable);
+}
+
+TEST(Theorem1, UnsaturatedGridIsStable) {
+  EXPECT_EQ(lgg_verdict(scenarios::grid_single(3, 5, 1, 2), 2000),
+            Verdict::kStable);
+}
+
+TEST(Theorem1, SaturatedGridIsStable) {
+  // Every-row sources exactly fill the per-row horizontal cut: saturated
+  // but feasible, hence still stable.
+  EXPECT_EQ(lgg_verdict(scenarios::grid_flow(3, 5, 1, 2), 2000),
+            Verdict::kStable);
+}
+
+TEST(Theorem1, UnsaturatedRandomInstancesAreStable) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    EXPECT_EQ(lgg_verdict(scenarios::random_unsaturated(12, 40, 2, 2, seed),
+                          3000, seed),
+              Verdict::kStable)
+        << "seed " << seed;
+  }
+}
+
+TEST(Theorem1, StateStaysWithinLemma1Bound) {
+  const SdNetwork net = scenarios::fat_path(3, 3, 1, 3);
+  const auto report = analyze(net);
+  ASSERT_TRUE(report.unsaturated);
+  const UnsaturatedBounds bounds = unsaturated_bounds(net, report);
+  const auto recorder = run_lgg(net, 5000);
+  const auto stability =
+      assess_stability(recorder.network_state(), bounds.state);
+  EXPECT_EQ(stability.verdict, Verdict::kStable);
+  ASSERT_TRUE(stability.within_bound.has_value());
+  EXPECT_TRUE(*stability.within_bound);
+  // In practice the trajectory sits far below the worst-case bound.
+  EXPECT_LT(stability.max_state, bounds.state / 10.0);
+}
+
+TEST(Theorem1, SaturatedPathIsStillStable) {
+  // Feasible but with zero margin: Theorem 1 (via Section V) still gives
+  // stability.
+  EXPECT_EQ(lgg_verdict(scenarios::single_path(5, 1, 1), 3000),
+            Verdict::kStable);
+}
+
+TEST(Theorem1, SaturatedInternalCutIsStable) {
+  EXPECT_EQ(lgg_verdict(scenarios::barbell_bottleneck(3, 1, 2), 3000),
+            Verdict::kStable);
+}
+
+TEST(Theorem1, InfeasibleDivergesUnderLgg) {
+  // in = 2 over a single unit link: every step strands one packet.
+  EXPECT_EQ(lgg_verdict(scenarios::single_path(4, 2, 2), 1500),
+            Verdict::kDiverging);
+}
+
+TEST(Theorem1, InfeasibleDivergesUnderEveryProtocol) {
+  for (const auto name : baselines::protocol_names()) {
+    SimulatorOptions options;
+    options.seed = 17;
+    Simulator sim(scenarios::barbell_bottleneck(4, 3, 3), options,
+                  baselines::make_protocol(name));
+    MetricsRecorder recorder;
+    sim.run(1200, &recorder);
+    EXPECT_EQ(assess_stability(recorder.network_state()).verdict,
+              Verdict::kDiverging)
+        << name;
+  }
+}
+
+TEST(Theorem1, DivergenceRateMatchesCutExcess) {
+  // Arrival 3 vs f* = 1 on the barbell: stored packets grow by ~2/step.
+  SimulatorOptions options;
+  options.seed = 5;
+  Simulator sim(scenarios::barbell_bottleneck(4, 3, 3), options);
+  MetricsRecorder recorder;
+  sim.run(2000, &recorder);
+  const double stored = recorder.total_packets().back();
+  EXPECT_NEAR(stored / 2000.0, 2.0, 0.2);
+}
+
+TEST(Theorem1, LossesOnlyImproveStability) {
+  // The same unsaturated network with heavy random losses stays stable
+  // (Section III remark: "packet losses here only improve stability").
+  SimulatorOptions options;
+  options.seed = 23;
+  Simulator sim(scenarios::fat_path(4, 3, 1, 3), options);
+  sim.set_loss(std::make_unique<BernoulliLoss>(0.4));
+  MetricsRecorder recorder;
+  sim.run(2000, &recorder);
+  EXPECT_EQ(assess_stability(recorder.network_state()).verdict,
+            Verdict::kStable);
+}
+
+}  // namespace
+}  // namespace lgg::core

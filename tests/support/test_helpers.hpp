@@ -1,0 +1,33 @@
+// Shared helpers for the liblgg test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/simulator.hpp"
+#include "core/stability.hpp"
+
+namespace lgg::testing {
+
+/// Runs a fresh LGG simulation of `net` for `steps` steps with the given
+/// seed and returns the recorded trajectory.
+inline core::MetricsRecorder run_lgg(core::SdNetwork net, TimeStep steps,
+                                     std::uint64_t seed = 42,
+                                     core::SimulatorOptions options = {}) {
+  options.seed = seed;
+  options.check_contract = true;
+  core::Simulator sim(std::move(net), options);
+  core::MetricsRecorder recorder;
+  sim.run(steps, &recorder);
+  return recorder;
+}
+
+/// Stability verdict of an LGG run.
+inline core::Verdict lgg_verdict(core::SdNetwork net, TimeStep steps,
+                                 std::uint64_t seed = 42) {
+  const auto recorder = run_lgg(std::move(net), steps, seed);
+  return core::assess_stability(recorder.network_state()).verdict;
+}
+
+}  // namespace lgg::testing

@@ -1,0 +1,182 @@
+// lgg_sim — command-line driver for the liblgg simulator.
+//
+// Reads an S-D-network (sdnet format, see core/trace_io.hpp) from a file
+// or stdin, runs a protocol for a number of steps, and reports the
+// feasibility analysis, the stability verdict, and (optionally) the full
+// trajectory as CSV.
+//
+// Usage:
+//   lgg_sim [options] [network.sdnet]
+//     --steps N            simulation horizon           (default 2000)
+//     --seed S             RNG seed                     (default 1)
+//     --protocol NAME      lgg | lgg_random_tiebreak | flow_routing |
+//                          backpressure | hot_potato | random_walk
+//     --loss P             Bernoulli loss probability   (default 0)
+//     --arrival-scale F    ScaledArrival factor         (default: exact)
+//     --matching           node-exclusive greedy matching scheduler
+//     --churn P_OFF P_ON   random edge churn
+//     --csv FILE           write the trajectory as CSV
+//     --analyze-only       print the feasibility report and exit
+//
+// Example:
+//   echo 'nodes 2
+//   edge 0 1
+//   edge 0 1
+//   role 0 1 0 0
+//   role 1 0 2 0' | lgg_sim --steps 5000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "baselines/protocol_registry.hpp"
+#include "core/bounds.hpp"
+#include "core/scenarios.hpp"
+#include "core/simulator.hpp"
+#include "core/stability.hpp"
+#include "core/trace_io.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--steps N] [--seed S] [--protocol NAME] "
+               "[--loss P] [--arrival-scale F] [--matching] "
+               "[--churn P_OFF P_ON] [--csv FILE] [--analyze-only] "
+               "[network.sdnet]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lgg;
+  TimeStep steps = 2000;
+  std::uint64_t seed = 1;
+  std::string protocol = "lgg";
+  double loss = 0.0;
+  double arrival_scale = -1.0;
+  bool matching = false;
+  double churn_off = -1.0, churn_on = -1.0;
+  std::string csv_path;
+  std::string input_path;
+  bool analyze_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--steps") {
+      steps = std::atoll(next("--steps"));
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--protocol") {
+      protocol = next("--protocol");
+    } else if (arg == "--loss") {
+      loss = std::atof(next("--loss"));
+    } else if (arg == "--arrival-scale") {
+      arrival_scale = std::atof(next("--arrival-scale"));
+    } else if (arg == "--matching") {
+      matching = true;
+    } else if (arg == "--churn") {
+      churn_off = std::atof(next("--churn"));
+      churn_on = std::atof(next("--churn"));
+    } else if (arg == "--csv") {
+      csv_path = next("--csv");
+    } else if (arg == "--analyze-only") {
+      analyze_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage(argv[0]);
+    } else {
+      input_path = arg;
+    }
+  }
+
+  try {
+    core::SdNetwork net = [&] {
+      if (input_path.empty()) {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        return core::network_from_string(buffer.str());
+      }
+      std::ifstream file(input_path);
+      if (!file) {
+        throw std::runtime_error("cannot open " + input_path);
+      }
+      return core::read_network(file);
+    }();
+
+    const auto report = core::analyze(net);
+    std::printf("%s\n", core::describe(net, report).c_str());
+    if (report.unsaturated) {
+      const auto bounds = core::unsaturated_bounds(net, report);
+      std::printf("lemma1 bound: %.6g (Y = %.6g)\n", bounds.state, bounds.y);
+    }
+    std::printf("cut placement: at_source=%d unique=%d at_sink=%d internal=%d\n",
+                report.location.at_source ? 1 : 0,
+                report.location.unique_at_source ? 1 : 0,
+                report.location.at_sink ? 1 : 0,
+                report.location.internal ? 1 : 0);
+    if (analyze_only) return 0;
+
+    core::SimulatorOptions options;
+    options.seed = seed;
+    core::Simulator sim(std::move(net), options,
+                        baselines::make_protocol(protocol));
+    if (loss > 0) sim.set_loss(std::make_unique<core::BernoulliLoss>(loss));
+    if (arrival_scale >= 0) {
+      sim.set_arrival(std::make_unique<core::ScaledArrival>(arrival_scale));
+    }
+    if (matching) {
+      sim.set_scheduler(std::make_unique<core::GreedyMatchingScheduler>());
+    }
+    if (churn_off >= 0) {
+      sim.set_dynamics(
+          std::make_unique<core::RandomChurn>(churn_off, churn_on));
+    }
+    core::MetricsRecorder recorder;
+    sim.run(steps, &recorder);
+
+    const auto stability = core::assess_stability(recorder.network_state());
+    std::printf("verdict: %s after %lld steps\n",
+                std::string(core::to_string(stability.verdict)).c_str(),
+                static_cast<long long>(steps));
+    std::printf("sup P_t = %.6g  final P_t = %.6g  tail slope = %.4g\n",
+                stability.max_state, stability.final_state,
+                stability.tail_slope);
+    const auto& totals = sim.cumulative();
+    std::printf(
+        "injected=%lld sent=%lld delivered=%lld lost=%lld extracted=%lld "
+        "stored=%lld\n",
+        static_cast<long long>(totals.injected),
+        static_cast<long long>(totals.sent),
+        static_cast<long long>(totals.delivered),
+        static_cast<long long>(totals.lost),
+        static_cast<long long>(totals.extracted),
+        static_cast<long long>(sim.total_packets()));
+    std::printf("conservation: %s\n",
+                sim.conserves_packets() ? "ok" : "VIOLATED");
+
+    if (!csv_path.empty()) {
+      std::ofstream csv(csv_path);
+      if (!csv) throw std::runtime_error("cannot write " + csv_path);
+      core::write_trajectory_csv(csv, recorder);
+      std::printf("trajectory written to %s\n", csv_path.c_str());
+    }
+    return stability.verdict == core::Verdict::kDiverging ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
