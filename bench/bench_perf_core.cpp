@@ -1,9 +1,16 @@
 // E15 — engineering throughput: simulator steps/second vs network size and
 // degree, flow-solver speed on G*, and thread-pool replication scaling.
+// Also prints the per-phase step profile on a sparse-source topology (2
+// sources / 2 sinks in 1024 nodes — the regime the O(1)-potential and
+// role-list optimizations target) and emits BENCH_perf_core.json so the
+// perf trajectory is machine-trackable across commits.
 #include "support/bench_common.hpp"
+
+#include <fstream>
 
 #include "analysis/experiment.hpp"
 #include "flow/max_flow.hpp"
+#include "core/profiler.hpp"
 #include "core/scenarios.hpp"
 #include "graph/generators.hpp"
 
@@ -13,9 +20,40 @@ using namespace lgg;
 
 void print_report() {
   bench::banner("E15: core throughput",
-                "Engineering numbers only — see the google-benchmark "
-                "section below for steps/sec, solver times, and parallel "
-                "replication scaling.");
+                "Per-phase breakdown of one simulator step on a "
+                "sparse-source topology, then the google-benchmark section "
+                "for steps/sec, solver times, and replication scaling.");
+
+  // Sparse-source profile: 1024 nodes, 4096 links, only 2 sources and 2
+  // sinks — injection/extraction must not scan the 1020 relays.
+  const NodeId n = 1024;
+  core::Simulator sim(
+      core::scenarios::random_unsaturated(n, static_cast<EdgeId>(4 * n), 2,
+                                          2, 5),
+      core::SimulatorOptions{});
+  core::StepProfiler profiler;
+  sim.set_profiler(&profiler);
+  const TimeStep steps = 5000;
+  analysis::Stopwatch wall;
+  sim.run(steps);
+  const double seconds = wall.seconds();
+  std::printf("sparse-source phase profile (n=%d, m=%d, %lld steps):\n%s",
+              static_cast<int>(n), static_cast<int>(4 * n),
+              static_cast<long long>(steps), profiler.table().c_str());
+  std::printf("wall steps/sec=%.6g  P_t=%.6g  total=%lld\n\n",
+              static_cast<double>(steps) / seconds, sim.network_state(),
+              static_cast<long long>(sim.total_packets()));
+
+  std::ofstream json("BENCH_perf_core.json");
+  if (json) {
+    json << "{\"experiment\":\"perf_core\",\"topology\":{\"nodes\":" << n
+         << ",\"edges\":" << 4 * n << ",\"sources\":2,\"sinks\":2}"
+         << ",\"steps\":" << steps << ",\"wall_seconds\":" << seconds
+         << ",\"wall_steps_per_second\":"
+         << static_cast<double>(steps) / seconds
+         << ",\"profile\":" << profiler.json() << "}\n";
+    std::printf("machine-readable profile written to BENCH_perf_core.json\n");
+  }
 }
 
 void BM_SimStepBySize(benchmark::State& state) {

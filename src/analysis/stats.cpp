@@ -25,8 +25,12 @@ Summary summarize(std::span<const double> xs) {
     const double d = x - s.mean;
     ss += d * d;
   }
-  s.variance = ss / static_cast<double>(xs.size());
-  s.stddev = std::sqrt(s.variance);
+  // Unbiased sample estimator: replicate measurements are samples of the
+  // underlying distribution, not the whole population.
+  if (xs.size() >= 2) {
+    s.variance = ss / static_cast<double>(xs.size() - 1);
+    s.stddev = std::sqrt(s.variance);
+  }
   return s;
 }
 

@@ -10,7 +10,7 @@ namespace lgg::analysis {
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
-  double variance = 0.0;  // population variance
+  double variance = 0.0;  // unbiased sample variance (n−1); 0 when count < 2
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;

@@ -1,5 +1,9 @@
 #include "analysis/sweep.hpp"
 
+#include <algorithm>
+#include <set>
+#include <string_view>
+
 #include "common/require.hpp"
 #include "common/rng.hpp"
 
@@ -13,7 +17,17 @@ Sweep& Sweep::add_range(double lo, double hi, int count) {
         count == 1 ? lo
                    : lo + (hi - lo) * static_cast<double>(i) /
                          static_cast<double>(count - 1);
-    add_point(Table::format_cell(p), p);
+    // Nearby parameters can round to the same printed label; suffix the
+    // point index so every row stays distinguishable in tables and CSV.
+    std::string label = Table::format_cell(p);
+    const auto taken = [this](const std::string& l) {
+      return std::any_of(points_.begin(), points_.end(),
+                         [&l](const SweepPoint& pt) { return pt.label == l; });
+    };
+    if (taken(label)) {
+      label += "#" + std::to_string(points_.size());
+    }
+    add_point(std::move(label), p);
   }
   return *this;
 }
@@ -23,6 +37,13 @@ std::vector<SweepRow> Sweep::run(ThreadPool& pool, int replicates,
                                  const Measure& measure) const {
   LGG_REQUIRE(replicates >= 1, "Sweep::run: replicates >= 1");
   LGG_REQUIRE(static_cast<bool>(measure), "Sweep::run: empty measure");
+  {
+    std::set<std::string_view> labels;
+    for (const SweepPoint& pt : points_) {
+      LGG_REQUIRE(labels.insert(pt.label).second,
+                  "Sweep::run: duplicate point label '" + pt.label + "'");
+    }
+  }
   std::vector<SweepRow> rows(points_.size());
   for (std::size_t i = 0; i < points_.size(); ++i) {
     rows[i].point = points_[i];

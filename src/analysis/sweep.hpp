@@ -43,6 +43,8 @@ class Sweep {
   }
 
   /// Adds `count` evenly spaced points over [lo, hi] labelled by value.
+  /// Labels that would collide (nearby parameters rounding to the same
+  /// string) get a `#<index>` suffix; run() rejects duplicate labels.
   Sweep& add_range(double lo, double hi, int count);
 
   [[nodiscard]] std::size_t size() const { return points_.size(); }

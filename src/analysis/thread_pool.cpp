@@ -1,6 +1,7 @@
 #include "analysis/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/require.hpp"
 
@@ -39,6 +40,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -51,9 +57,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.back());
       queue_.pop_back();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = std::move(error);
+      }
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -65,11 +79,18 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   if (count == 0) return;
   const std::size_t shards = std::min(count, pool.thread_count());
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto failed = std::make_shared<std::atomic<bool>>(false);
   for (std::size_t s = 0; s < shards; ++s) {
-    pool.submit([next, count, &body] {
-      for (std::size_t i = next->fetch_add(1); i < count;
+    pool.submit([next, failed, count, &body] {
+      for (std::size_t i = next->fetch_add(1);
+           i < count && !failed->load(std::memory_order_relaxed);
            i = next->fetch_add(1)) {
-        body(i);
+        try {
+          body(i);
+        } catch (...) {
+          failed->store(true, std::memory_order_relaxed);
+          throw;
+        }
       }
     });
   }

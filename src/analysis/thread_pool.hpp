@@ -10,6 +10,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,10 +29,13 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueues a task; it may run on any worker.
+  /// Enqueues a task; it may run on any worker.  An exception escaping the
+  /// task is captured (first one wins) and rethrown by the next wait_idle.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished.  If any task threw
+  /// since the last wait_idle, rethrows the first captured exception (and
+  /// clears it, so the pool stays usable).
   void wait_idle();
 
  private:
@@ -42,13 +46,16 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
+  std::exception_ptr first_error_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
 };
 
 /// Runs body(i) for i in [0, count) across the pool's threads and blocks
 /// until all iterations complete.  `body` must be thread-safe across
-/// distinct indices.
+/// distinct indices.  If an iteration throws, the remaining indices are
+/// abandoned cooperatively and the first exception is rethrown to the
+/// caller; the pool remains usable afterwards.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 

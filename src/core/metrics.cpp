@@ -4,20 +4,27 @@
 
 namespace lgg::core {
 
-void MetricsRecorder::observe(TimeStep, std::span<const PacketCount> queues,
+void MetricsRecorder::observe(TimeStep t, std::span<const PacketCount> queues,
                               const StepStats& stats) {
   double state = 0.0;
-  double total = 0.0;
-  double max_q = 0.0;
+  PacketCount total = 0;
   for (const PacketCount q : queues) {
     const auto qd = static_cast<double>(q);
     state += qd * qd;
-    total += qd;
-    max_q = std::max(max_q, qd);
+    total += q;
   }
-  network_state_.push_back(state);
-  total_packets_.push_back(total);
-  max_queue_.push_back(max_q);
+  observe(t, queues, stats, total, state);
+}
+
+void MetricsRecorder::observe(TimeStep, std::span<const PacketCount> queues,
+                              const StepStats& stats,
+                              PacketCount total_packets,
+                              double network_state) {
+  PacketCount max_q = 0;
+  for (const PacketCount q : queues) max_q = std::max(max_q, q);
+  network_state_.push_back(network_state);
+  total_packets_.push_back(static_cast<double>(total_packets));
+  max_queue_.push_back(static_cast<double>(max_q));
   steps_.push_back(stats);
   if (record_queues_) {
     queue_traces_.emplace_back(queues.begin(), queues.end());

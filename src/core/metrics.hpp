@@ -56,8 +56,16 @@ class MetricsRecorder {
   explicit MetricsRecorder(bool record_queue_traces = false)
       : record_queues_(record_queue_traces) {}
 
+  /// Full-scan variant: derives Σq and Σq² from the queue vector.
   void observe(TimeStep t, std::span<const PacketCount> queues,
                const StepStats& stats);
+
+  /// O(1)-aggregate variant: the caller supplies the incrementally
+  /// maintained Σq and Σq² (the simulator's total_packets() /
+  /// network_state()); only the max still scans the queues.
+  void observe(TimeStep t, std::span<const PacketCount> queues,
+               const StepStats& stats, PacketCount total_packets,
+               double network_state);
 
   [[nodiscard]] const std::vector<double>& network_state() const {
     return network_state_;

@@ -1,0 +1,78 @@
+// Per-phase observability for the simulation hot path.
+//
+// A StepProfiler attached to a Simulator (set_profiler) accumulates, for
+// each of the eight pipeline phases of one synchronous step, the wall time
+// spent and a phase-specific work counter (packets injected, transmissions
+// proposed, ...).  The simulator pays two steady_clock reads per phase when
+// a profiler is attached and nothing at all otherwise, so production runs
+// stay unperturbed while `lgg_sim --profile` and bench_perf_core can print
+// a phase breakdown and emit machine-readable JSON.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lgg::core {
+
+/// The eight phases of Simulator::step(), in execution order.
+enum class StepPhase : std::uint8_t {
+  kDynamics = 0,    ///< topology dynamics mutate the edge mask
+  kInjection,       ///< sources add packets
+  kDeclaration,     ///< nodes declare queue lengths
+  kSelection,       ///< the protocol proposes transmissions
+  kScheduling,      ///< interference scheduling
+  kConflict,        ///< link-conflict resolution
+  kLossApply,       ///< losses decided + transmissions applied
+  kExtraction,      ///< sinks remove packets
+};
+
+inline constexpr std::size_t kStepPhaseCount = 8;
+
+[[nodiscard]] std::string_view to_string(StepPhase phase);
+
+/// Accumulated cost of one phase across all profiled steps.
+struct PhaseTotals {
+  std::uint64_t nanos = 0;  ///< wall time, nanoseconds
+  std::uint64_t items = 0;  ///< phase-specific work counter
+};
+
+class StepProfiler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Adds one phase observation (called by the simulator once per phase
+  /// per step while attached).
+  void record(StepPhase phase, std::uint64_t nanos, std::uint64_t items) {
+    auto& totals = phases_[static_cast<std::size_t>(phase)];
+    totals.nanos += nanos;
+    totals.items += items;
+  }
+
+  /// Marks the end of one profiled step.
+  void finish_step() { ++steps_; }
+
+  void reset();
+
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  [[nodiscard]] const PhaseTotals& phase(StepPhase p) const {
+    return phases_[static_cast<std::size_t>(p)];
+  }
+  /// Σ over phases — the profiled portion of the step wall time.
+  [[nodiscard]] std::uint64_t total_nanos() const;
+  /// Throughput over the profiled portion (0 before the first step).
+  [[nodiscard]] double steps_per_second() const;
+
+  /// Aligned phase-breakdown table (phase, time, share, ns/step, items).
+  [[nodiscard]] std::string table() const;
+  /// Machine-readable summary (steps, steps/sec, per-phase nanos/items).
+  [[nodiscard]] std::string json() const;
+
+ private:
+  std::array<PhaseTotals, kStepPhaseCount> phases_{};
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace lgg::core

@@ -5,16 +5,40 @@
 
 namespace lgg::core {
 
+namespace {
+
+/// Keeps `ids` a sorted set: v is present iff `member`.
+void sync_membership(std::vector<NodeId>& ids, NodeId v, bool member) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), v);
+  const bool present = it != ids.end() && *it == v;
+  if (member && !present) {
+    ids.insert(it, v);
+  } else if (!member && present) {
+    ids.erase(it);
+  }
+}
+
+}  // namespace
+
+void SdNetwork::update_role_index(NodeId v) {
+  const NodeSpec& s = specs_[static_cast<std::size_t>(v)];
+  sync_membership(source_ids_, v, s.in > 0);
+  sync_membership(sink_ids_, v, s.out > 0);
+  sync_membership(retention_ids_, v, s.retention > 0);
+}
+
 void SdNetwork::set_source(NodeId v, Cap in_rate) {
   LGG_REQUIRE(graph_.valid_node(v), "set_source: bad node");
   LGG_REQUIRE(in_rate > 0, "set_source: in(s) must be positive");
   specs_[static_cast<std::size_t>(v)] = NodeSpec{in_rate, 0, 0};
+  update_role_index(v);
 }
 
 void SdNetwork::set_sink(NodeId v, Cap out_rate) {
   LGG_REQUIRE(graph_.valid_node(v), "set_sink: bad node");
   LGG_REQUIRE(out_rate > 0, "set_sink: out(d) must be positive");
   specs_[static_cast<std::size_t>(v)] = NodeSpec{0, out_rate, 0};
+  update_role_index(v);
 }
 
 void SdNetwork::set_generalized(NodeId v, Cap in_rate, Cap out_rate,
@@ -25,27 +49,13 @@ void SdNetwork::set_generalized(NodeId v, Cap in_rate, Cap out_rate,
   LGG_REQUIRE(in_rate > 0 || out_rate > 0 || retention > 0,
               "set_generalized: use clear_role for a plain relay");
   specs_[static_cast<std::size_t>(v)] = NodeSpec{in_rate, out_rate, retention};
+  update_role_index(v);
 }
 
 void SdNetwork::clear_role(NodeId v) {
   LGG_REQUIRE(graph_.valid_node(v), "clear_role: bad node");
   specs_[static_cast<std::size_t>(v)] = NodeSpec{};
-}
-
-std::vector<NodeId> SdNetwork::sources() const {
-  std::vector<NodeId> out;
-  for (NodeId v = 0; v < node_count(); ++v) {
-    if (specs_[static_cast<std::size_t>(v)].in > 0) out.push_back(v);
-  }
-  return out;
-}
-
-std::vector<NodeId> SdNetwork::sinks() const {
-  std::vector<NodeId> out;
-  for (NodeId v = 0; v < node_count(); ++v) {
-    if (specs_[static_cast<std::size_t>(v)].out > 0) out.push_back(v);
-  }
-  return out;
+  update_role_index(v);
 }
 
 std::vector<NodeId> SdNetwork::special_nodes() const {

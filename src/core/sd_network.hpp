@@ -55,10 +55,24 @@ class SdNetwork {
     return specs_[static_cast<std::size_t>(v)];
   }
 
-  /// Nodes with in > 0 (injection side of S ∪ D).
-  [[nodiscard]] std::vector<NodeId> sources() const;
-  /// Nodes with out > 0 (extraction side of S ∪ D).
-  [[nodiscard]] std::vector<NodeId> sinks() const;
+  // The role indices below are maintained eagerly on every role mutation
+  // (set_source/set_sink/set_generalized/clear_role), so the simulator's
+  // per-step injection and extraction loops touch only the relevant nodes
+  // instead of scanning all n.  Topology dynamics (edge-mask churn) never
+  // change roles, so a running simulation can cache the references.
+
+  /// Nodes with in > 0 (injection side of S ∪ D), ascending.
+  [[nodiscard]] const std::vector<NodeId>& sources() const {
+    return source_ids_;
+  }
+  /// Nodes with out > 0 (extraction side of S ∪ D), ascending.
+  [[nodiscard]] const std::vector<NodeId>& sinks() const {
+    return sink_ids_;
+  }
+  /// Nodes with retention > 0 (the only ones whose declaration can lie).
+  [[nodiscard]] const std::vector<NodeId>& retention_nodes() const {
+    return retention_ids_;
+  }
   /// S ∪ D: nodes with in > 0, out > 0, or retention > 0.
   [[nodiscard]] std::vector<NodeId> special_nodes() const;
 
@@ -84,8 +98,13 @@ class SdNetwork {
   void validate() const;
 
  private:
+  void update_role_index(NodeId v);
+
   graph::Multigraph graph_;
   std::vector<NodeSpec> specs_;
+  std::vector<NodeId> source_ids_;     // in > 0, ascending
+  std::vector<NodeId> sink_ids_;       // out > 0, ascending
+  std::vector<NodeId> retention_ids_;  // retention > 0, ascending
 };
 
 /// Full Section-II/V analysis of the instance (feasibility, f*, ε, min-cut

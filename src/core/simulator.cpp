@@ -1,7 +1,7 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
-#include <map>
+#include <limits>
 
 namespace lgg::core {
 
@@ -47,24 +47,9 @@ void Simulator::set_initial_queue(NodeId v, PacketCount q) {
   LGG_REQUIRE(t_ == 0, "set_initial_queue: simulation already started");
   LGG_REQUIRE(net_.topology().valid_node(v), "set_initial_queue: bad node");
   LGG_REQUIRE(q >= 0, "set_initial_queue: negative queue");
-  initial_total_ -= queue_[static_cast<std::size_t>(v)];
-  queue_[static_cast<std::size_t>(v)] = q;
-  initial_total_ += q;
-}
-
-PacketCount Simulator::total_packets() const {
-  PacketCount total = 0;
-  for (const PacketCount q : queue_) total += q;
-  return total;
-}
-
-double Simulator::network_state() const {
-  double state = 0.0;
-  for (const PacketCount q : queue_) {
-    const auto qd = static_cast<double>(q);
-    state += qd * qd;
-  }
-  return state;
+  const PacketCount old = queue_[static_cast<std::size_t>(v)];
+  initial_total_ += q - old;
+  apply_queue_delta(v, q - old);
 }
 
 PacketCount Simulator::max_queue() const {
@@ -79,64 +64,140 @@ bool Simulator::conserves_packets() const {
          total_packets();
 }
 
-void Simulator::resolve_link_conflicts(std::vector<char>& keep) {
+void Simulator::audit_counters() const {
+  PacketCount total = 0;
+  detail::QuadAccum sq = 0;
+  for (const PacketCount q : queue_) {
+    total += q;
+    sq += detail::square(q);
+  }
+  LGG_ASSERT(total == sum_q_);
+  LGG_ASSERT(sq == sum_sq_);
+}
+
+std::size_t resolve_link_conflicts(std::span<const Transmission> txs,
+                                   std::span<const PacketCount> queue,
+                                   std::vector<char>& keep,
+                                   LinkConflictScratch& scratch) {
   // Detect both directions of one edge being kept; keep the transmission
   // realizing the larger true queue drop (ties: lower from-id wins).
-  std::map<EdgeId, std::size_t> first_use;
-  for (std::size_t i = 0; i < txs_.size(); ++i) {
+  if (scratch.current == std::numeric_limits<std::uint32_t>::max()) {
+    // Epoch wraparound: stale stamps could alias the new epoch; start over.
+    std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0);
+    scratch.current = 0;
+  }
+  const std::uint32_t epoch = ++scratch.current;
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
     if (!keep[i]) continue;
-    const auto [it, inserted] = first_use.emplace(txs_[i].edge, i);
-    if (inserted) continue;
-    const std::size_t j = it->second;  // earlier kept use of this edge
-    if (txs_[j].from == txs_[i].from) continue;  // same direction is the
-                                                 // protocol's contract to
-                                                 // avoid; checked elsewhere
+    const auto e = static_cast<std::size_t>(txs[i].edge);
+    if (e >= scratch.stamp.size()) {
+      scratch.stamp.resize(e + 1, 0);
+      scratch.first_use.resize(e + 1, 0);
+    }
+    if (scratch.stamp[e] != epoch) {
+      scratch.stamp[e] = epoch;
+      scratch.first_use[e] = static_cast<std::uint32_t>(i);
+      continue;
+    }
+    const std::size_t j = scratch.first_use[e];  // earlier kept use
+    if (txs[j].from == txs[i].from) continue;  // same direction is the
+                                               // protocol's contract to
+                                               // avoid; checked elsewhere
     const auto drop = [&](const Transmission& tx) {
-      return queue_[static_cast<std::size_t>(tx.from)] -
-             queue_[static_cast<std::size_t>(tx.to)];
+      return queue[static_cast<std::size_t>(tx.from)] -
+             queue[static_cast<std::size_t>(tx.to)];
     };
     std::size_t loser;
-    if (drop(txs_[i]) > drop(txs_[j]) ||
-        (drop(txs_[i]) == drop(txs_[j]) && txs_[i].from < txs_[j].from)) {
+    if (drop(txs[i]) > drop(txs[j]) ||
+        (drop(txs[i]) == drop(txs[j]) && txs[i].from < txs[j].from)) {
       loser = j;
-      it->second = i;
+      scratch.first_use[e] = static_cast<std::uint32_t>(i);
     } else {
       loser = i;
     }
     keep[loser] = 0;
+    ++dropped;
   }
+  return dropped;
 }
 
 StepStats Simulator::step() {
   StepStats stats;
-  const NodeId n = net_.node_count();
+
+  // Phase timing: two clock reads per phase when a profiler is attached,
+  // nothing otherwise.
+  StepProfiler* const prof = profiler_;
+  StepProfiler::Clock::time_point mark{};
+  if (prof != nullptr) mark = StepProfiler::Clock::now();
+  const auto lap = [&](StepPhase phase, std::uint64_t items) {
+    if (prof == nullptr) return;
+    const auto now = StepProfiler::Clock::now();
+    prof->record(phase,
+                 static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         now - mark)
+                         .count()),
+                 items);
+    mark = now;
+  };
 
   // 1. Topology dynamics.
   if (dynamics_->evolve(t_, net_, mask_, rng_)) {
     ++topology_version_;
     stats.topology_changed = true;
   }
+  lap(StepPhase::kDynamics, stats.topology_changed ? 1 : 0);
 
-  // 2. Injection.
+  // 2. Injection — only source nodes (in > 0) can inject.
   if (observer_ != nullptr) pre_injection_ = queue_;
-  for (NodeId v = 0; v < n; ++v) {
+  for (const NodeId v : net_.sources()) {
     const NodeSpec& spec = net_.spec(v);
-    if (spec.in <= 0) continue;
     const PacketCount a = arrival_->packets(v, spec.in, t_, rng_);
     LGG_REQUIRE(a >= 0, "arrival process returned a negative count");
-    queue_[static_cast<std::size_t>(v)] += a;
+    apply_queue_delta(v, a);
     stats.injected += a;
   }
+  lap(StepPhase::kInjection, static_cast<std::uint64_t>(stats.injected));
 
-  // 3. Declarations.
-  for (NodeId v = 0; v < n; ++v) {
-    declared_[static_cast<std::size_t>(v)] =
-        declared_queue(net_.spec(v), queue_[static_cast<std::size_t>(v)],
-                       options_.declaration_policy, rng_);
+  // 3. Declarations.  Only retention nodes may deviate from their true
+  // queue, and only under a lying policy, so the common cases avoid the
+  // full per-node policy evaluation:
+  //   * truthful         — q'_t == q_t for every node; alias the queue.
+  //   * declare-R / zero — deterministic; copy then patch retention nodes.
+  //   * random           — draws RNG per node; keep the full loop so the
+  //                        RNG stream (and thus trajectories) is unchanged.
+  std::span<const PacketCount> declared_view = declared_;
+  std::uint64_t declaration_work = 0;
+  switch (options_.declaration_policy) {
+    case DeclarationPolicy::kTruthful:
+      declared_view = queue_;
+      break;
+    case DeclarationPolicy::kDeclareR:
+    case DeclarationPolicy::kDeclareZero:
+      declared_ = queue_;
+      for (const NodeId v : net_.retention_nodes()) {
+        declared_[static_cast<std::size_t>(v)] =
+            declared_queue(net_.spec(v), queue_[static_cast<std::size_t>(v)],
+                           options_.declaration_policy, rng_);
+      }
+      declaration_work = net_.retention_nodes().size();
+      break;
+    case DeclarationPolicy::kRandom: {
+      const NodeId n = net_.node_count();
+      for (NodeId v = 0; v < n; ++v) {
+        declared_[static_cast<std::size_t>(v)] =
+            declared_queue(net_.spec(v), queue_[static_cast<std::size_t>(v)],
+                           options_.declaration_policy, rng_);
+      }
+      declaration_work = static_cast<std::uint64_t>(n);
+      break;
+    }
   }
+  lap(StepPhase::kDeclaration, declaration_work);
 
-  const StepView view{&net_,      &incidence_, &mask_,
-                      queue_,     declared_,   t_,
+  const StepView view{&net_,      &incidence_,   &mask_,
+                      queue_,     declared_view, t_,
                       topology_version_};
 
   // 4. Protocol proposes transmissions.
@@ -147,23 +208,23 @@ StepStats Simulator::step() {
     const std::string err = check_transmission_contract(view, txs_);
     LGG_REQUIRE(err.empty(), "protocol contract violated: " + err);
   }
+  lap(StepPhase::kSelection, static_cast<std::uint64_t>(stats.proposed));
 
   // 5. Interference scheduling.
   keep_.assign(txs_.size(), 1);
   scheduler_->schedule(view, txs_, rng_, keep_);
   stats.suppressed =
       static_cast<PacketCount>(std::count(keep_.begin(), keep_.end(), 0));
+  lap(StepPhase::kScheduling, static_cast<std::uint64_t>(stats.suppressed));
 
   // 6. Link-conflict resolution: when both directions of one link are
   // scheduled, only one can use the link ("each link can transmit at most
   // 1 packet").  The loser's packet stays in its queue.
   if (options_.link_conflict == LinkConflictPolicy::kDropLower) {
-    std::vector<char> keep_before = keep_;
-    resolve_link_conflicts(keep_);
-    for (std::size_t i = 0; i < txs_.size(); ++i) {
-      if (keep_before[i] && !keep_[i]) ++stats.conflicted;
-    }
+    stats.conflicted = static_cast<PacketCount>(
+        resolve_link_conflicts(txs_, queue_, keep_, conflict_scratch_));
   }
+  lap(StepPhase::kConflict, static_cast<std::uint64_t>(stats.conflicted));
 
   // 7. Losses + application.  Every kept transmission removes a packet from
   // the sender; only un-lost ones arrive.
@@ -176,23 +237,23 @@ StepStats Simulator::step() {
   for (std::size_t i = 0; i < txs_.size(); ++i) {
     if (!keep_[i]) continue;
     const Transmission& tx = txs_[i];
-    auto& from_q = queue_[static_cast<std::size_t>(tx.from)];
-    LGG_REQUIRE(from_q > 0, "transmission from an empty queue");
-    --from_q;
+    LGG_REQUIRE(queue_[static_cast<std::size_t>(tx.from)] > 0,
+                "transmission from an empty queue");
+    apply_queue_delta(tx.from, -1);
     ++stats.sent;
     if (lost_[i]) {
       ++stats.lost;
     } else {
-      ++queue_[static_cast<std::size_t>(tx.to)];
+      apply_queue_delta(tx.to, 1);
       ++stats.delivered;
     }
   }
+  lap(StepPhase::kLossApply, static_cast<std::uint64_t>(stats.sent));
 
-  // 8. Extraction.
-  for (NodeId v = 0; v < n; ++v) {
+  // 8. Extraction — only sink nodes (out > 0) can extract.
+  for (const NodeId v : net_.sinks()) {
     const NodeSpec& spec = net_.spec(v);
-    if (spec.out <= 0) continue;
-    auto& q = queue_[static_cast<std::size_t>(v)];
+    const PacketCount q = queue_[static_cast<std::size_t>(v)];
     PacketCount amount = 0;
     if (options_.extraction_basis == ExtractionBasis::kSnapshot) {
       // The paper's literal min{out(d), q_t(d)} with q_t the step-start
@@ -205,18 +266,29 @@ StepStats Simulator::step() {
       amount = extraction_amount(spec, q, options_.extraction_policy, rng_);
     }
     LGG_ASSERT(amount >= 0 && amount <= q);
-    q -= amount;
+    apply_queue_delta(v, -amount);
     stats.extracted += amount;
   }
+  lap(StepPhase::kExtraction, static_cast<std::uint64_t>(stats.extracted));
+  if (prof != nullptr) prof->finish_step();
 
   totals_.add(stats);
+#ifndef NDEBUG
+  audit_counters();
+#endif
   if (observer_ != nullptr) {
     StepRecord record;
     record.net = &net_;
     record.t = t_;
     record.before_injection = pre_injection_;
     record.at_selection = snapshot_;
-    record.declared = declared_;
+    // Under the truthful policy declared_view aliases queue_, which phases
+    // 7–8 have since mutated; the declarations equalled the post-injection
+    // snapshot, which is what snapshot_ preserved.
+    record.declared =
+        options_.declaration_policy == DeclarationPolicy::kTruthful
+            ? std::span<const PacketCount>(snapshot_)
+            : declared_view;
     record.after_step = queue_;
     record.transmissions = txs_;
     record.kept = keep_;
@@ -233,7 +305,8 @@ void Simulator::run(TimeStep steps, MetricsRecorder* recorder) {
   for (TimeStep i = 0; i < steps; ++i) {
     const StepStats stats = step();
     if (recorder != nullptr) {
-      recorder->observe(t_ - 1, queue_, stats);
+      recorder->observe(t_ - 1, queue_, stats, total_packets(),
+                        network_state());
     }
   }
 }

@@ -26,9 +26,44 @@
 #include "core/loss.hpp"
 #include "core/lgg_protocol.hpp"
 #include "core/metrics.hpp"
+#include "core/profiler.hpp"
 #include "core/protocol.hpp"
 
 namespace lgg::core {
+
+namespace detail {
+#if defined(__SIZEOF_INT128__)
+/// Exact accumulator for Σq²: queue values are 63-bit, so squares need up
+/// to 126 bits.  Unsigned so wraparound deltas stay well defined.
+__extension__ typedef unsigned __int128 QuadAccum;
+#else
+typedef std::uint64_t QuadAccum;
+#endif
+
+[[nodiscard]] inline QuadAccum square(PacketCount q) {
+  const auto u = static_cast<QuadAccum>(static_cast<std::uint64_t>(q));
+  return u * u;
+}
+}  // namespace detail
+
+/// Reusable per-edge scratch for link-conflict resolution.  Entries are
+/// epoch-stamped: bumping `current` invalidates every slot at once, so a
+/// resolution pass costs O(kept transmissions), not O(edges).
+struct LinkConflictScratch {
+  std::vector<std::uint32_t> stamp;      ///< epoch that last touched the edge
+  std::vector<std::uint32_t> first_use;  ///< kept tx index for that epoch
+  std::uint32_t current = 0;
+};
+
+/// Resolves both-directions-on-one-link conflicts over the kept
+/// transmissions: the link carries the transmission realizing the larger
+/// true queue drop (ties: lower from-id), the loser's keep flag is cleared.
+/// Returns the number of transmissions dropped.  Exposed as a free function
+/// so tests can fuzz it against a reference implementation.
+std::size_t resolve_link_conflicts(std::span<const Transmission> txs,
+                                   std::span<const PacketCount> queue,
+                                   std::vector<char>& keep,
+                                   LinkConflictScratch& scratch);
 
 /// What "q_t(d)" means in the sink-extraction rule min{out(d), q_t(d)}.
 enum class ExtractionBasis {
@@ -101,6 +136,11 @@ class Simulator {
   /// snapshots (small overhead).
   void set_observer(StepObserver* observer) { observer_ = observer; }
 
+  /// Attaches a per-phase profiler (wall time + work counters for the 8
+  /// step phases).  Not owned; pass nullptr to detach.  Costs two clock
+  /// reads per phase while attached, nothing when detached.
+  void set_profiler(StepProfiler* profiler) { profiler_ = profiler; }
+
   [[nodiscard]] const SdNetwork& network() const { return net_; }
   [[nodiscard]] const RoutingProtocol& protocol() const { return *protocol_; }
   [[nodiscard]] const graph::EdgeMask& edge_mask() const { return mask_; }
@@ -113,9 +153,17 @@ class Simulator {
   /// Property-2 drift experiments).  Only allowed before the first step.
   void set_initial_queue(NodeId v, PacketCount q);
 
-  [[nodiscard]] PacketCount total_packets() const;
-  /// P_t = Σ_v q_t(v)² (Definition 1), as double to survive divergence.
-  [[nodiscard]] double network_state() const;
+  // Σq and Σq² are maintained incrementally by every queue mutation, so
+  // both accessors are O(1); in debug builds each step cross-checks them
+  // against a full scan.  max_queue() still scans (a decrement at the
+  // argmax cannot be repaired in O(1)).
+
+  /// Σ_v q_t(v), O(1).
+  [[nodiscard]] PacketCount total_packets() const { return sum_q_; }
+  /// P_t = Σ_v q_t(v)² (Definition 1), O(1); double to survive divergence.
+  [[nodiscard]] double network_state() const {
+    return static_cast<double>(sum_sq_);
+  }
   [[nodiscard]] PacketCount max_queue() const;
 
   [[nodiscard]] const CumulativeStats& cumulative() const { return totals_; }
@@ -130,7 +178,17 @@ class Simulator {
   void run(TimeStep steps, MetricsRecorder* recorder = nullptr);
 
  private:
-  void resolve_link_conflicts(std::vector<char>& keep);
+  /// The single funnel for queue mutations: updates the queue and the
+  /// running Σq / Σq² so total_packets()/network_state() stay O(1).
+  void apply_queue_delta(NodeId v, PacketCount delta) {
+    auto& q = queue_[static_cast<std::size_t>(v)];
+    sum_sq_ += detail::square(q + delta) - detail::square(q);
+    sum_q_ += delta;
+    q += delta;
+  }
+
+  /// Debug-only full-scan cross-check of the incremental counters.
+  void audit_counters() const;
 
   SdNetwork net_;
   SimulatorOptions options_;
@@ -145,6 +203,7 @@ class Simulator {
   Rng rng_;
 
   StepObserver* observer_ = nullptr;
+  StepProfiler* profiler_ = nullptr;
 
   std::vector<PacketCount> queue_;
   std::vector<PacketCount> declared_;
@@ -153,10 +212,13 @@ class Simulator {
   std::vector<Transmission> txs_;     // scratch
   std::vector<char> keep_;            // scratch
   std::vector<char> lost_;            // scratch
+  LinkConflictScratch conflict_scratch_;
 
   TimeStep t_ = 0;
   std::uint64_t topology_version_ = 0;
   PacketCount initial_total_ = 0;
+  PacketCount sum_q_ = 0;             // running Σ_v q(v)
+  detail::QuadAccum sum_sq_ = 0;      // running Σ_v q(v)²
   CumulativeStats totals_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "common/require.hpp"
@@ -20,8 +21,9 @@ TEST(Summarize, KnownValues) {
   const Summary s = summarize(xs);
   EXPECT_EQ(s.count, 8u);
   EXPECT_DOUBLE_EQ(s.mean, 5.0);
-  EXPECT_DOUBLE_EQ(s.variance, 4.0);
-  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  // Sample (n−1) estimator: Σ(x−mean)² = 32 over 7 degrees of freedom.
+  EXPECT_DOUBLE_EQ(s.variance, 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(32.0 / 7.0));
   EXPECT_DOUBLE_EQ(s.min, 2.0);
   EXPECT_DOUBLE_EQ(s.max, 9.0);
 }
@@ -30,9 +32,20 @@ TEST(Summarize, SingleElement) {
   const std::vector<double> xs = {3.5};
   const Summary s = summarize(xs);
   EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  // One sample has zero degrees of freedom: spread is reported as 0.
   EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
   EXPECT_DOUBLE_EQ(s.min, 3.5);
   EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Summarize, TwoElementSampleVariance) {
+  const std::vector<double> xs = {1.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  // Σ(x−mean)² = 2 over n−1 = 1 degree of freedom.
+  EXPECT_DOUBLE_EQ(s.variance, 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(2.0));
 }
 
 TEST(Quantile, MedianAndExtremes) {

@@ -61,6 +61,31 @@ TEST(Sweep, SinglePointRangeIsLo) {
   EXPECT_EQ(sweep.size(), 1u);
 }
 
+TEST(Sweep, NearbyRangePointsGetDistinctLabels) {
+  Sweep sweep;
+  // All three parameters round to the same printed cell; labels must still
+  // be unique so rows stay distinguishable.
+  sweep.add_range(1.0, 1.0 + 1e-12, 3);
+  ThreadPool pool(1);
+  const auto rows = sweep.run(pool, 1, 1, [](double p, std::uint64_t) {
+    return p;
+  });
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_NE(rows[0].point.label, rows[1].point.label);
+  EXPECT_NE(rows[0].point.label, rows[2].point.label);
+  EXPECT_NE(rows[1].point.label, rows[2].point.label);
+}
+
+TEST(Sweep, RunRejectsDuplicateLabels) {
+  Sweep sweep;
+  sweep.add_point("same", 1.0).add_point("same", 2.0);
+  ThreadPool pool(1);
+  EXPECT_THROW(sweep.run(pool, 1, 1, [](double, std::uint64_t) {
+    return 0.0;
+  }),
+               ContractViolation);
+}
+
 TEST(Sweep, BadArgumentsRejected) {
   Sweep sweep;
   EXPECT_THROW(sweep.add_range(1.0, 0.0, 2), ContractViolation);

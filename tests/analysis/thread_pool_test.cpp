@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "analysis/experiment.hpp"
@@ -61,6 +62,65 @@ TEST(Replicate, ResultsIndexedByReplicate) {
   for (std::size_t k = 0; k < 32; ++k) {
     EXPECT_EQ(results[k], derive_seed(99, k) ^ k);
   }
+}
+
+TEST(ThreadPool, ThrowingTaskPropagatesThroughWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is cleared: a second wait is clean and the pool is reusable.
+  pool.wait_idle();
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, OnlyFirstOfManyFailuresIsRethrown) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  // No deadlock, no terminate — exactly one throw surfaces.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();
+}
+
+TEST(ParallelFor, BodyExceptionReachesCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(pool, 1000,
+                            [](std::size_t i) {
+                              if (i == 17) throw std::runtime_error("bad");
+                            }),
+               std::runtime_error);
+  // Pool is reusable and indices are still covered exactly once.
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, FailureAbandonsRemainingIterations) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(parallel_for(pool, 1u << 20,
+                            [&executed](std::size_t i) {
+                              executed.fetch_add(1);
+                              if (i == 0) throw std::runtime_error("stop");
+                            }),
+               std::runtime_error);
+  // Cooperative cancellation: nowhere near the full index space ran.
+  EXPECT_LT(executed.load(), (1u << 20));
+}
+
+TEST(Replicate, MeasureExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(replicate<double>(pool, 16, 3,
+                                 [](std::uint64_t, std::size_t k) -> double {
+                                   if (k == 5) throw std::runtime_error("x");
+                                   return 0.0;
+                                 }),
+               std::runtime_error);
 }
 
 TEST(Replicate, SeedsAreDistinctAcrossReplicates) {

@@ -16,6 +16,7 @@
 //     --matching           node-exclusive greedy matching scheduler
 //     --churn P_OFF P_ON   random edge churn
 //     --csv FILE           write the trajectory as CSV
+//     --profile            print the per-phase step profile after the run
 //     --analyze-only       print the feasibility report and exit
 //
 // Example:
@@ -44,8 +45,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--steps N] [--seed S] [--protocol NAME] "
                "[--loss P] [--arrival-scale F] [--matching] "
-               "[--churn P_OFF P_ON] [--csv FILE] [--analyze-only] "
-               "[network.sdnet]\n",
+               "[--churn P_OFF P_ON] [--csv FILE] [--profile] "
+               "[--analyze-only] [network.sdnet]\n",
                argv0);
   std::exit(2);
 }
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string input_path;
   bool analyze_only = false;
+  bool profile = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,6 +93,8 @@ int main(int argc, char** argv) {
       churn_on = std::atof(next("--churn"));
     } else if (arg == "--csv") {
       csv_path = next("--csv");
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--analyze-only") {
       analyze_only = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -145,8 +149,14 @@ int main(int argc, char** argv) {
       sim.set_dynamics(
           std::make_unique<core::RandomChurn>(churn_off, churn_on));
     }
+    core::StepProfiler profiler;
+    if (profile) sim.set_profiler(&profiler);
     core::MetricsRecorder recorder;
     sim.run(steps, &recorder);
+    if (profile) {
+      std::printf("\nper-phase step profile:\n%s\n",
+                  profiler.table().c_str());
+    }
 
     const auto stability = core::assess_stability(recorder.network_state());
     std::printf("verdict: %s after %lld steps\n",
