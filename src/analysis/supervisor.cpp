@@ -1,0 +1,155 @@
+#include "analysis/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "core/faults.hpp"
+#include "core/simulator.hpp"
+
+namespace lgg::analysis {
+
+void Deadline::check(const std::string& what) const {
+  if (!expired()) return;
+  throw DeadlineExceeded(what + ": wall-clock deadline of " +
+                         std::to_string(budget_.count()) + " ms exceeded");
+}
+
+RunSupervisor::RunSupervisor(SupervisorOptions options)
+    : options_(std::move(options)) {
+  LGG_REQUIRE(options_.check_every >= 1, "RunSupervisor: check_every >= 1");
+  LGG_REQUIRE(options_.checkpoint_every >= 0,
+              "RunSupervisor: checkpoint_every >= 0");
+  LGG_REQUIRE(options_.checkpoint_every == 0 ||
+                  !options_.checkpoint_path.empty(),
+              "RunSupervisor: periodic checkpoints need a checkpoint_path");
+}
+
+namespace {
+
+/// Crash atomicity: a checkpoint is either the complete new file or the
+/// complete old one, never a torn write.
+void write_checkpoint_atomic(const core::Simulator& sim,
+                             const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  core::write_checkpoint_file(sim, tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw core::CheckpointError("checkpoint: rename to '" + path +
+                                "' failed");
+  }
+}
+
+}  // namespace
+
+std::string RunSupervisor::write_crash_dump(core::Simulator& sim,
+                                            const std::string& error) const {
+  if (options_.crash_dump_dir.empty()) return {};
+  const std::string base =
+      options_.crash_dump_dir + "/" + options_.label + ".crash";
+  const std::string ckpt_path = base + ".ckpt";
+  bool have_ckpt = false;
+  try {
+    core::write_checkpoint_file(sim, ckpt_path);
+    have_ckpt = true;
+  } catch (const std::exception&) {
+    // The dump text still records the failure even without a checkpoint.
+  }
+
+  std::ofstream os(base + ".txt", std::ios::trunc);
+  if (!os.is_open()) return {};
+  os << "# lgg crash dump\n"
+     << "label: " << options_.label << '\n'
+     << "seed: " << options_.seed << '\n'
+     << "step: " << sim.now() << '\n'
+     << "total_packets: " << sim.total_packets() << '\n'
+     << "network_state: " << sim.network_state() << '\n'
+     << "error: " << error << '\n';
+  if (sim.faults() != nullptr) {
+    os << "faults: " << core::to_string(sim.faults()->schedule()) << '\n';
+  }
+  if (have_ckpt) os << "checkpoint: " << ckpt_path << '\n';
+  if (!options_.repro_config.empty()) {
+    os << "config:\n" << options_.repro_config << '\n';
+  }
+  return base + ".txt";
+}
+
+SupervisedResult RunSupervisor::run(core::Simulator& sim, TimeStep steps,
+                                    core::MetricsRecorder* recorder) const {
+  LGG_REQUIRE(steps >= 0, "RunSupervisor::run: negative step count");
+  SupervisedResult result;
+  const Deadline deadline(options_.deadline);
+  TimeStep next_checkpoint =
+      options_.checkpoint_every > 0 ? sim.now() + options_.checkpoint_every
+                                    : std::numeric_limits<TimeStep>::max();
+  try {
+    TimeStep remaining = steps;
+    while (remaining > 0) {
+      // Shrink the chunk so checkpoints land exactly on multiples of
+      // checkpoint_every — a resumed run then restarts at a predictable
+      // step instead of whatever health-check boundary came next.
+      const TimeStep chunk = std::min(
+          {remaining, options_.check_every, next_checkpoint - sim.now()});
+      sim.run(chunk, recorder);
+      remaining -= chunk;
+      result.steps_done += chunk;
+
+      if (options_.divergence_bound > 0.0 &&
+          sim.network_state() > options_.divergence_bound) {
+        std::ostringstream msg;
+        msg << "P_t = " << sim.network_state() << " exceeded the divergence"
+            << " bound " << options_.divergence_bound << " at step "
+            << sim.now();
+        throw DivergenceDetected(msg.str());
+      }
+      deadline.check(options_.label);
+
+      if (sim.now() >= next_checkpoint) {
+        write_checkpoint_atomic(sim, options_.checkpoint_path);
+        next_checkpoint = sim.now() + options_.checkpoint_every;
+      }
+    }
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    result.crash_dump_path = write_crash_dump(sim, result.error);
+  }
+  return result;
+}
+
+RunSupervisor::ReplicateReport RunSupervisor::run_replicates(
+    ThreadPool& pool, std::size_t count, std::uint64_t master_seed,
+    const Replicate& replicate) const {
+  LGG_REQUIRE(static_cast<bool>(replicate),
+              "run_replicates: empty replicate");
+  ReplicateReport report;
+  report.values.assign(count, std::numeric_limits<double>::quiet_NaN());
+  std::mutex failures_mutex;
+  parallel_for(pool, count, [&](std::size_t i) {
+    const std::uint64_t seed =
+        derive_seed(master_seed, static_cast<std::uint64_t>(i));
+    const Deadline deadline(options_.deadline);
+    try {
+      report.values[i] = replicate(i, seed, deadline);
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(failures_mutex);
+      report.failures.push_back(
+          {i, options_.label + " replicate " + std::to_string(i), e.what()});
+    }
+  });
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const ReplicateFailure& a, const ReplicateFailure& b) {
+              return a.index < b.index;
+            });
+  return report;
+}
+
+}  // namespace lgg::analysis

@@ -1,0 +1,140 @@
+// Supervised long-run execution: periodic crash-safe checkpoints, wall-clock
+// deadlines, divergence watchdogs, and on-failure crash-dump artifacts.
+//
+// Long fault-injection soaks die in annoying ways: a run diverges and eats
+// memory, a replicate wedges on a pathological seed, a machine reboots
+// mid-experiment.  RunSupervisor wraps Simulator::run with the scaffolding
+// a multi-hour campaign needs:
+//
+//   * every `checkpoint_every` steps the full simulator state is written
+//     atomically (temp file + rename) so a killed process resumes with
+//     --resume instead of restarting;
+//   * a divergence bound on P_t and a wall-clock deadline abort runaway
+//     runs deterministically instead of OOM-ing;
+//   * on any failure a crash dump (config + seed + schedule + a final
+//     checkpoint) is written so the failure replays offline.
+//
+// Lives above lgg_core (links the simulator), hence the separate
+// lgg_supervision target.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/thread_pool.hpp"
+#include "common/types.hpp"
+
+namespace lgg::core {
+class Simulator;
+class MetricsRecorder;
+}  // namespace lgg::core
+
+namespace lgg::analysis {
+
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class DivergenceDetected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Wall-clock watchdog.  Default-constructed deadlines never expire.
+class Deadline {
+ public:
+  Deadline() = default;
+  explicit Deadline(std::chrono::milliseconds budget)
+      : start_(Clock::now()), budget_(budget), enabled_(budget.count() > 0) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] bool expired() const {
+    return enabled_ && Clock::now() - start_ >= budget_;
+  }
+  /// Throws DeadlineExceeded mentioning `what` when expired.
+  void check(const std::string& what) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  std::chrono::milliseconds budget_{0};
+  bool enabled_ = false;
+};
+
+struct SupervisorOptions {
+  /// Steps between periodic checkpoints; 0 disables them.
+  TimeStep checkpoint_every = 0;
+  /// Where periodic checkpoints go (written via temp + rename).  Required
+  /// when checkpoint_every > 0.
+  std::string checkpoint_path;
+  /// Abort (DivergenceDetected) when P_t exceeds this; 0 disables.
+  double divergence_bound = 0.0;
+  /// Wall-clock budget per run/replicate; <= 0 disables.
+  std::chrono::milliseconds deadline{0};
+  /// Watchdog polling granularity in steps (the run is chunked by this).
+  TimeStep check_every = 64;
+  /// Directory for crash-dump artifacts; empty disables dumps.
+  std::string crash_dump_dir;
+  /// Free-form reproduction notes embedded in crash dumps (config text,
+  /// command line, ...).
+  std::string repro_config;
+  std::uint64_t seed = 0;
+  std::string label = "run";
+};
+
+struct SupervisedResult {
+  bool ok = false;
+  TimeStep steps_done = 0;      ///< steps executed by this call
+  std::string error;            ///< what() of the failure, empty when ok
+  std::string crash_dump_path;  ///< dump text file, empty if none written
+};
+
+class RunSupervisor {
+ public:
+  explicit RunSupervisor(SupervisorOptions options);
+
+  [[nodiscard]] const SupervisorOptions& options() const { return options_; }
+
+  /// Runs `steps` simulator steps under supervision.  Failures (divergence,
+  /// deadline, anything the simulator throws) are captured into the result
+  /// — not rethrown — after writing the crash-dump artifact.
+  SupervisedResult run(core::Simulator& sim, TimeStep steps,
+                       core::MetricsRecorder* recorder = nullptr) const;
+
+  struct ReplicateFailure {
+    std::size_t index = 0;
+    std::string label;
+    std::string error;
+  };
+  struct ReplicateReport {
+    std::vector<double> values;  ///< one per replicate; NaN where failed
+    std::vector<ReplicateFailure> failures;
+    [[nodiscard]] bool all_ok() const { return failures.empty(); }
+  };
+
+  /// One replicate: gets its flat index, derived seed, and a per-replicate
+  /// deadline it should poll (via check) in its own long loops.
+  using Replicate = std::function<double(
+      std::size_t index, std::uint64_t seed, const Deadline& deadline)>;
+
+  /// Fans `count` replicates over the pool with the derive_seed discipline.
+  /// A throwing replicate is recorded in the report (label + what()) and
+  /// the rest keep running — one pathological seed no longer sinks the
+  /// campaign.
+  ReplicateReport run_replicates(ThreadPool& pool, std::size_t count,
+                                 std::uint64_t master_seed,
+                                 const Replicate& replicate) const;
+
+ private:
+  std::string write_crash_dump(core::Simulator& sim,
+                               const std::string& error) const;
+
+  SupervisorOptions options_;
+};
+
+}  // namespace lgg::analysis

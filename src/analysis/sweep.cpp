@@ -47,20 +47,41 @@ std::vector<SweepRow> Sweep::run(ThreadPool& pool, int replicates,
   std::vector<SweepRow> rows(points_.size());
   for (std::size_t i = 0; i < points_.size(); ++i) {
     rows[i].point = points_[i];
-    rows[i].samples.resize(static_cast<std::size_t>(replicates));
   }
   // Flatten (point, replicate) into one parallel index space so small
-  // sweeps still use every worker.
+  // sweeps still use every worker.  Results land in flat buffers; rows are
+  // assembled afterwards so a throwing replicate only loses its own cell.
   const std::size_t total =
       points_.size() * static_cast<std::size_t>(replicates);
+  std::vector<double> values(total, 0.0);
+  std::vector<char> ok(total, 0);
+  std::vector<std::string> errors(total);
   parallel_for(pool, total, [&](std::size_t flat) {
     const std::size_t p = flat / static_cast<std::size_t>(replicates);
-    const std::size_t k = flat % static_cast<std::size_t>(replicates);
     const std::uint64_t seed =
         derive_seed(master_seed, static_cast<std::uint64_t>(flat));
-    rows[p].samples[k] = measure(points_[p].parameter, seed);
+    try {
+      values[flat] = measure(points_[p].parameter, seed);
+      ok[flat] = 1;
+    } catch (const std::exception& e) {
+      errors[flat] = e.what();
+    } catch (...) {
+      errors[flat] = "unknown exception";
+    }
   });
-  for (auto& row : rows) {
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    SweepRow& row = rows[p];
+    for (int k = 0; k < replicates; ++k) {
+      const std::size_t flat =
+          p * static_cast<std::size_t>(replicates) +
+          static_cast<std::size_t>(k);
+      if (ok[flat] != 0) {
+        row.samples.push_back(values[flat]);
+      } else {
+        ++row.failed_replicates;
+        row.failures.push_back({k, errors[flat]});
+      }
+    }
     row.summary = summarize(row.samples);
   }
   return rows;
@@ -70,11 +91,13 @@ Table rows_to_table(const std::vector<SweepRow>& rows,
                     const std::string& parameter_header,
                     const std::string& value_header) {
   Table table({parameter_header, value_header + " mean",
-               value_header + " stddev", "min", "max", "replicates"});
+               value_header + " stddev", "min", "max", "replicates",
+               "failed"});
   for (const SweepRow& row : rows) {
     table.add(row.point.label, row.summary.mean, row.summary.stddev,
               row.summary.min, row.summary.max,
-              static_cast<std::int64_t>(row.summary.count));
+              static_cast<std::int64_t>(row.summary.count),
+              static_cast<std::int64_t>(row.failed_replicates));
   }
   return table;
 }

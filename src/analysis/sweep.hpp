@@ -29,10 +29,19 @@ struct SweepPoint {
   double parameter = 0.0;
 };
 
+/// One replicate that threw instead of returning a measurement.
+struct ReplicateFailure {
+  int replicate = 0;   ///< replicate index within the point
+  std::string error;   ///< what() of the exception
+};
+
 struct SweepRow {
   SweepPoint point;
-  Summary summary;                 ///< across replicates
-  std::vector<double> samples;     ///< raw replicate measurements
+  Summary summary;                 ///< across surviving replicates
+  std::vector<double> samples;     ///< measurements of survivors, in
+                                   ///< replicate order
+  int failed_replicates = 0;
+  std::vector<ReplicateFailure> failures;
 };
 
 class Sweep {
@@ -54,7 +63,9 @@ class Sweep {
 
   /// Runs `replicates` seeded measurements per point, parallel across the
   /// pool.  Rows are returned in point order; replication is reproducible
-  /// from `master_seed` and independent of the pool width.
+  /// from `master_seed` and independent of the pool width.  A replicate
+  /// that throws is recorded in its row (failed_replicates + failures) and
+  /// excluded from samples/summary; the sweep itself completes.
   std::vector<SweepRow> run(ThreadPool& pool, int replicates,
                             std::uint64_t master_seed,
                             const Measure& measure) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/binio.hpp"
 #include "common/require.hpp"
 
 namespace lgg::baselines {
@@ -61,6 +62,25 @@ void StaleLggProtocol::select_transmissions(
         --budget;
       }
     }
+  }
+}
+
+void StaleLggProtocol::save_state(std::ostream& os) const {
+  binio::write_u32(os, static_cast<std::uint32_t>(history_.size()));
+  for (const std::vector<PacketCount>& snapshot : history_) {
+    binio::write_u32(os, static_cast<std::uint32_t>(snapshot.size()));
+    for (const PacketCount q : snapshot) binio::write_i64(os, q);
+  }
+}
+
+void StaleLggProtocol::load_state(std::istream& is) {
+  history_.clear();
+  const std::uint32_t depth = binio::read_u32(is);
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    const std::uint32_t n = binio::read_u32(is);
+    std::vector<PacketCount> snapshot(n);
+    for (std::uint32_t v = 0; v < n; ++v) snapshot[v] = binio::read_i64(is);
+    history_.push_back(std::move(snapshot));
   }
 }
 

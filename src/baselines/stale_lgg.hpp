@@ -24,6 +24,11 @@ class StaleLggProtocol final : public core::RoutingProtocol {
 
   void reset() override { history_.clear(); }
 
+  // The declaration history is the protocol's memory; without it a resumed
+  // run would compare against the wrong (empty) past.
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
  private:
   int delay_;
   core::TieBreak tie_break_;

@@ -61,6 +61,7 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+  [[nodiscard]] const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/binio.hpp"
 #include "common/require.hpp"
 
 namespace lgg::core {
@@ -116,6 +117,23 @@ PacketCount TokenBucketArrival::packets(NodeId v, Cap in_rate, TimeStep t,
   const auto dump = static_cast<PacketCount>(tokens);
   tokens -= static_cast<double>(dump);
   return dump;
+}
+
+void TokenBucketArrival::save_state(std::ostream& os) const {
+  binio::write_u32(os, static_cast<std::uint32_t>(tokens_.size()));
+  for (const auto& [node, tokens] : tokens_) {
+    binio::write_i64(os, node);
+    binio::write_f64(os, tokens);
+  }
+}
+
+void TokenBucketArrival::load_state(std::istream& is) {
+  tokens_.clear();
+  const std::uint32_t count = binio::read_u32(is);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto node = static_cast<NodeId>(binio::read_i64(is));
+    tokens_[node] = binio::read_f64(is);
+  }
 }
 
 TraceArrival::TraceArrival(std::map<NodeId, std::vector<PacketCount>> trace)

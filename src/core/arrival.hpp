@@ -6,6 +6,7 @@
 // Each process maps (node, in-rate, step) to an injection count.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string_view>
@@ -23,6 +24,12 @@ class ArrivalProcess {
   /// Packets injected at node v at step t.  `in_rate` is the node's in(v).
   virtual PacketCount packets(NodeId v, Cap in_rate, TimeStep t,
                               Rng& rng) = 0;
+
+  /// Checkpoint hooks (core/checkpoint.hpp): serialize/restore cross-step
+  /// internal state (e.g. TokenBucketArrival's token balances).  Default:
+  /// stateless — most processes are pure functions of (v, in_rate, t, rng).
+  virtual void save_state(std::ostream&) const {}
+  virtual void load_state(std::istream&) {}
 };
 
 /// Exactly in(v) packets each step — the Section V-B premise.
@@ -129,6 +136,10 @@ class TokenBucketArrival final : public ArrivalProcess {
     return "token_bucket";
   }
   PacketCount packets(NodeId v, Cap in_rate, TimeStep t, Rng&) override;
+
+  // The token balances persist across steps, so they checkpoint.
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
  private:
   double r_;

@@ -1,0 +1,274 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string_view>
+
+#include "common/binio.hpp"
+#include "core/simulator.hpp"
+
+namespace lgg::core {
+
+namespace {
+
+/// Payload field order; restore validates each label so a truncated or
+/// reordered payload fails with a named field instead of garbage state.
+constexpr std::array<std::string_view, 6> kComponentLabels = {
+    "protocol", "arrival", "loss", "scheduler", "dynamics", "faults"};
+
+constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 36;  // 64 GiB
+
+std::string capture(const std::function<void(std::ostream&)>& write) {
+  std::ostringstream os(std::ios::binary);
+  write(os);
+  return os.str();
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw CheckpointError("checkpoint: " + what);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void Simulator::save_checkpoint(std::ostream& os) const {
+  std::ostringstream payload_os(std::ios::binary);
+
+  binio::write_i64(payload_os, t_);
+  binio::write_u64(payload_os, topology_version_);
+  binio::write_i64(payload_os, initial_total_);
+  binio::write_i64(payload_os, sum_q_);
+  // Σq² is a 128-bit accumulator; split via two 32-bit shifts so the
+  // 64-bit fallback build stays well defined.
+  binio::write_u64(payload_os, static_cast<std::uint64_t>(sum_sq_));
+  binio::write_u64(payload_os,
+                   static_cast<std::uint64_t>((sum_sq_ >> 32) >> 32));
+
+  binio::write_u32(payload_os, static_cast<std::uint32_t>(queue_.size()));
+  for (const PacketCount q : queue_) binio::write_i64(payload_os, q);
+
+  binio::write_u32(payload_os, static_cast<std::uint32_t>(mask_.size()));
+  for (EdgeId e = 0; e < mask_.size(); ++e) {
+    binio::write_u8(payload_os, mask_.active(e) ? 1 : 0);
+  }
+
+  binio::write_i64(payload_os, totals_.injected);
+  binio::write_i64(payload_os, totals_.proposed);
+  binio::write_i64(payload_os, totals_.suppressed);
+  binio::write_i64(payload_os, totals_.conflicted);
+  binio::write_i64(payload_os, totals_.sent);
+  binio::write_i64(payload_os, totals_.lost);
+  binio::write_i64(payload_os, totals_.delivered);
+  binio::write_i64(payload_os, totals_.extracted);
+  binio::write_i64(payload_os, totals_.crash_wiped);
+  binio::write_i64(payload_os, totals_.steps);
+
+  // mt19937_64 round-trips exactly through its textual representation.
+  binio::write_string(payload_os, capture([&](std::ostream& s) {
+                        s << rng_.engine();
+                      }));
+
+  const auto component = [&](std::string_view label,
+                             const std::string& blob) {
+    binio::write_string(payload_os, std::string(label));
+    binio::write_string(payload_os, blob);
+  };
+  component("protocol", capture([&](std::ostream& s) {
+              protocol_->save_state(s);
+            }));
+  component("arrival", capture([&](std::ostream& s) {
+              arrival_->save_state(s);
+            }));
+  component("loss", capture([&](std::ostream& s) { loss_->save_state(s); }));
+  component("scheduler", capture([&](std::ostream& s) {
+              scheduler_->save_state(s);
+            }));
+  component("dynamics", capture([&](std::ostream& s) {
+              dynamics_->save_state(s);
+            }));
+  component("faults", faults_ != nullptr
+                          ? capture([&](std::ostream& s) {
+                              faults_->save_state(s);
+                            })
+                          : std::string());
+  binio::write_u8(payload_os, faults_ != nullptr ? 1 : 0);
+
+  const std::string payload = payload_os.str();
+  os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  binio::write_u32(os, kCheckpointVersion);
+  binio::write_u64(os, payload.size());
+  binio::write_u32(os, crc32(payload.data(), payload.size()));
+  binio::write_bytes(os, payload.data(), payload.size());
+  if (!os.good()) fail("write failed");
+}
+
+void Simulator::restore_checkpoint(std::istream& is) {
+  char magic[sizeof(kCheckpointMagic)] = {};
+  is.read(magic, sizeof(magic));
+  if (is.gcount() != sizeof(magic) ||
+      !std::equal(std::begin(magic), std::end(magic), kCheckpointMagic)) {
+    fail("bad magic (not a checkpoint file?)");
+  }
+  const std::uint32_t version = binio::read_u32(is);
+  if (version != kCheckpointVersion) {
+    fail("unsupported version " + std::to_string(version) + " (expected " +
+         std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::uint64_t size = binio::read_u64(is);
+  if (size > kMaxPayload) fail("implausible payload size");
+  const std::uint32_t want_crc = binio::read_u32(is);
+  std::string payload(static_cast<std::size_t>(size), '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(size));
+  if (static_cast<std::uint64_t>(is.gcount()) != size) {
+    fail("truncated payload (" + std::to_string(is.gcount()) + " of " +
+         std::to_string(size) + " bytes)");
+  }
+  const std::uint32_t got_crc = crc32(payload.data(), payload.size());
+  if (got_crc != want_crc) fail("CRC mismatch (corrupt payload)");
+
+  std::istringstream ps(payload, std::ios::binary);
+  try {
+    const TimeStep t = binio::read_i64(ps);
+    const std::uint64_t topology_version = binio::read_u64(ps);
+    const PacketCount initial_total = binio::read_i64(ps);
+    const PacketCount want_sum_q = binio::read_i64(ps);
+    const std::uint64_t sum_sq_lo = binio::read_u64(ps);
+    const std::uint64_t sum_sq_hi = binio::read_u64(ps);
+
+    const std::uint32_t node_count = binio::read_u32(ps);
+    if (node_count != queue_.size()) {
+      fail("node count mismatch: checkpoint has " +
+           std::to_string(node_count) + ", network has " +
+           std::to_string(queue_.size()));
+    }
+    std::vector<PacketCount> queue(node_count);
+    for (std::uint32_t v = 0; v < node_count; ++v) {
+      queue[v] = binio::read_i64(ps);
+      if (queue[v] < 0) fail("negative queue in payload");
+    }
+
+    const std::uint32_t edge_count = binio::read_u32(ps);
+    if (static_cast<EdgeId>(edge_count) != mask_.size()) {
+      fail("edge count mismatch: checkpoint has " +
+           std::to_string(edge_count) + ", network has " +
+           std::to_string(mask_.size()));
+    }
+    std::vector<char> active(edge_count);
+    for (std::uint32_t e = 0; e < edge_count; ++e) {
+      active[e] = static_cast<char>(binio::read_u8(ps));
+    }
+
+    CumulativeStats totals;
+    totals.injected = binio::read_i64(ps);
+    totals.proposed = binio::read_i64(ps);
+    totals.suppressed = binio::read_i64(ps);
+    totals.conflicted = binio::read_i64(ps);
+    totals.sent = binio::read_i64(ps);
+    totals.lost = binio::read_i64(ps);
+    totals.delivered = binio::read_i64(ps);
+    totals.extracted = binio::read_i64(ps);
+    totals.crash_wiped = binio::read_i64(ps);
+    totals.steps = binio::read_i64(ps);
+
+    const std::string rng_text = binio::read_string(ps);
+
+    std::array<std::string, kComponentLabels.size()> blobs;
+    for (std::size_t i = 0; i < kComponentLabels.size(); ++i) {
+      const std::string label = binio::read_string(ps);
+      if (label != kComponentLabels[i]) {
+        fail("expected component '" + std::string(kComponentLabels[i]) +
+             "', found '" + label + "'");
+      }
+      blobs[i] = binio::read_string(ps);
+    }
+    const bool had_faults = binio::read_u8(ps) != 0;
+    if (had_faults && faults_ == nullptr) {
+      fail("checkpoint has fault-injector state but none is installed");
+    }
+    if (!had_faults && faults_ != nullptr) {
+      fail("a fault injector is installed but the checkpoint has none");
+    }
+
+    // Everything parsed — apply.  Queues go through a full recompute of the
+    // Σ accumulators, then cross-check against the saved values: a mismatch
+    // means the payload is internally inconsistent.
+    queue_ = std::move(queue);
+    sum_q_ = 0;
+    sum_sq_ = 0;
+    for (const PacketCount q : queue_) {
+      sum_q_ += q;
+      sum_sq_ += detail::square(q);
+    }
+    if (sum_q_ != want_sum_q) fail("Σq accumulator mismatch");
+    const auto want_sum_sq =
+        (((static_cast<detail::QuadAccum>(sum_sq_hi) << 32) << 32)) |
+        static_cast<detail::QuadAccum>(sum_sq_lo);
+    if (sum_sq_ != want_sum_sq) fail("Σq² accumulator mismatch");
+
+    for (EdgeId e = 0; e < mask_.size(); ++e) {
+      mask_.set_active(e, active[static_cast<std::size_t>(e)] != 0);
+    }
+    t_ = t;
+    topology_version_ = topology_version;
+    initial_total_ = initial_total;
+    totals_ = totals;
+
+    std::istringstream rng_is(rng_text);
+    rng_is >> rng_.engine();
+    if (rng_is.fail()) fail("corrupt RNG state");
+
+    const auto load = [&](std::size_t i, auto& target) {
+      std::istringstream blob(blobs[i], std::ios::binary);
+      target.load_state(blob);
+    };
+    protocol_->reset();
+    load(0, *protocol_);
+    load(1, *arrival_);
+    load(2, *loss_);
+    load(3, *scheduler_);
+    load(4, *dynamics_);
+    if (faults_ != nullptr) load(5, *faults_);
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::exception& e) {
+    fail(std::string("malformed payload: ") + e.what());
+  }
+}
+
+void write_checkpoint_file(const Simulator& sim, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.is_open()) fail("cannot open '" + path + "' for writing");
+  sim.save_checkpoint(os);
+  os.flush();
+  if (!os.good()) fail("write to '" + path + "' failed");
+}
+
+void restore_checkpoint_file(Simulator& sim, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) fail("cannot open '" + path + "'");
+  sim.restore_checkpoint(is);
+}
+
+}  // namespace lgg::core

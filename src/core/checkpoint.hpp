@@ -1,0 +1,59 @@
+// Crash-safe simulator checkpoints.
+//
+// A checkpoint captures everything that determines the rest of a
+// trajectory: the step index, queues, edge mask, topology version, the
+// Σq / Σq² accumulators, cumulative stats, the simulation RNG stream, and
+// an opaque state blob per component (protocol, arrival, loss, scheduler,
+// dynamics, faults).  Restoring into a simulator assembled with the same
+// network, options, and component configuration continues the run
+// bitwise-identically to one that was never interrupted.
+//
+// Wire format (all integers little-endian; see docs/formats.md):
+//
+//   magic   8 bytes  "LGGCKPT1"
+//   version u32      kCheckpointVersion
+//   size    u64      payload byte count
+//   crc     u32      CRC-32 (IEEE, poly 0xEDB88320) of the payload
+//   payload size bytes
+//
+// The header is validated before any payload field is interpreted, so a
+// truncated or bit-flipped file fails loudly with CheckpointError instead
+// of resuming from garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lgg::core {
+
+class Simulator;
+
+/// Any structural problem with a checkpoint: bad magic, version or size
+/// mismatch, CRC failure, truncation, or a configuration that does not
+/// match the saved state.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char kCheckpointMagic[8] = {'L', 'G', 'G', 'C',
+                                             'K', 'P', 'T', '1'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).  `seed` chains
+/// incremental computations; pass the previous return value.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+/// Writes a checkpoint to `path` (binary).  Throws CheckpointError when the
+/// file cannot be written.  Callers that need crash atomicity should write
+/// to a temporary path and rename (analysis::RunSupervisor does).
+void write_checkpoint_file(const Simulator& sim, const std::string& path);
+
+/// Restores `sim` from the checkpoint at `path`.  Throws CheckpointError on
+/// a missing/corrupt file or mismatched configuration.
+void restore_checkpoint_file(Simulator& sim, const std::string& path);
+
+}  // namespace lgg::core

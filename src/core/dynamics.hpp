@@ -2,6 +2,7 @@
 // steps.  Dynamics mutate the simulator's EdgeMask at the start of a step.
 #pragma once
 
+#include <iosfwd>
 #include <string_view>
 #include <vector>
 
@@ -17,6 +18,11 @@ class TopologyDynamics {
   /// Mutates `mask` for step t.  Returns true iff the mask changed.
   virtual bool evolve(TimeStep t, const SdNetwork& net,
                       graph::EdgeMask& mask, Rng& rng) = 0;
+
+  /// Checkpoint hooks (core/checkpoint.hpp).  The mask itself is saved by
+  /// the simulator; the shipped dynamics carry no other cross-step state.
+  virtual void save_state(std::ostream&) const {}
+  virtual void load_state(std::istream&) {}
 };
 
 /// The static network of the base model.

@@ -1,0 +1,416 @@
+#include "core/faults.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/binio.hpp"
+#include "common/require.hpp"
+
+namespace lgg::core {
+
+namespace {
+constexpr TimeStep kForever = std::numeric_limits<TimeStep>::max();
+
+/// End of a window starting at `at` with the given duration (-1 = forever).
+TimeStep window_end(TimeStep at, TimeStep duration) {
+  if (duration < 0) return kForever;
+  if (at > kForever - duration) return kForever;
+  return at + duration;
+}
+
+bool window_active(const FaultEvent& e, TimeStep t) {
+  return t >= e.at && t < window_end(e.at, e.duration);
+}
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kSinkOutage: return "sink_outage";
+    case FaultKind::kSourceSurge: return "surge";
+    case FaultKind::kByzantine: return "byzantine";
+  }
+  return "?";
+}
+
+std::string_view to_string(CrashMode mode) {
+  return mode == CrashMode::kWipe ? "wipe" : "freeze";
+}
+
+FaultSchedule& FaultSchedule::add(FaultEvent event) {
+  LGG_REQUIRE(event.node >= 0, "FaultSchedule::add: negative node");
+  LGG_REQUIRE(event.at >= 0, "FaultSchedule::add: negative start step");
+  LGG_REQUIRE(event.duration != 0,
+              "FaultSchedule::add: zero-length window (use -1 for forever)");
+  LGG_REQUIRE(event.kind != FaultKind::kSourceSurge || event.extra > 0,
+              "FaultSchedule::add: surge needs extra > 0");
+  LGG_REQUIRE(event.kind != FaultKind::kByzantine || event.declare >= 0,
+              "FaultSchedule::add: byzantine declaration must be >= 0");
+  events_.push_back(event);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::set_random_crashes(RandomCrashConfig config) {
+  LGG_REQUIRE(config.p_per_step >= 0.0 && config.p_per_step <= 1.0,
+              "random_crashes: p must be in [0, 1]");
+  LGG_REQUIRE(config.min_down >= 1 && config.max_down >= config.min_down,
+              "random_crashes: need 1 <= min_down <= max_down");
+  random_ = config;
+  return *this;
+}
+
+void FaultSchedule::validate(const SdNetwork& net) const {
+  for (const FaultEvent& e : events_) {
+    LGG_REQUIRE(net.topology().valid_node(e.node),
+                "fault schedule: node " + std::to_string(e.node) +
+                    " is not in the network");
+    if (e.kind == FaultKind::kSourceSurge) {
+      LGG_REQUIRE(net.spec(e.node).in > 0,
+                  "fault schedule: surge node " + std::to_string(e.node) +
+                      " is not a source (in = 0)");
+    }
+    if (e.kind == FaultKind::kSinkOutage) {
+      LGG_REQUIRE(net.spec(e.node).out > 0,
+                  "fault schedule: sink_outage node " +
+                      std::to_string(e.node) + " is not a sink (out = 0)");
+    }
+  }
+}
+
+namespace {
+
+[[noreturn]] void spec_fail(const std::string& clause, const std::string& why) {
+  LGG_REQUIRE(false, "bad --faults clause '" + clause + "': " + why);
+  std::abort();  // unreachable; LGG_REQUIRE(false) throws
+}
+
+std::int64_t spec_int(const std::string& clause, const std::string& key,
+                      const std::string& value) {
+  std::size_t used = 0;
+  std::int64_t parsed = 0;
+  try {
+    parsed = std::stoll(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size() || value.empty()) {
+    spec_fail(clause, key + " wants an integer, got '" + value + "'");
+  }
+  return parsed;
+}
+
+double spec_double(const std::string& clause, const std::string& key,
+                   const std::string& value) {
+  std::size_t used = 0;
+  double parsed = 0;
+  try {
+    parsed = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size() || value.empty()) {
+    spec_fail(clause, key + " wants a number, got '" + value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+FaultSchedule parse_fault_spec(const std::string& spec) {
+  FaultSchedule schedule;
+  std::istringstream clauses(spec);
+  std::string clause;
+  bool any = false;
+  while (std::getline(clauses, clause, ';')) {
+    if (clause.empty()) continue;
+    any = true;
+    const auto colon = clause.find(':');
+    const std::string kind_name = clause.substr(0, colon);
+
+    // Parse key=value pairs into a small flat list.
+    std::vector<std::pair<std::string, std::string>> kv;
+    if (colon != std::string::npos) {
+      std::istringstream pairs(clause.substr(colon + 1));
+      std::string pair;
+      while (std::getline(pairs, pair, ',')) {
+        const auto eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+          spec_fail(clause, "expected key=value, got '" + pair + "'");
+        }
+        kv.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+      }
+    }
+    const auto take = [&](const std::string& key) -> const std::string* {
+      for (const auto& [k, v] : kv) {
+        if (k == key) return &v;
+      }
+      return nullptr;
+    };
+    const auto parse_mode = [&](CrashMode fallback) {
+      const std::string* m = take("mode");
+      if (m == nullptr) return fallback;
+      if (*m == "wipe") return CrashMode::kWipe;
+      if (*m == "freeze") return CrashMode::kFreeze;
+      spec_fail(clause, "mode must be wipe or freeze, got '" + *m + "'");
+    };
+
+    if (kind_name == "random_crashes") {
+      RandomCrashConfig config;
+      const std::string* p = take("p");
+      if (p == nullptr) spec_fail(clause, "random_crashes needs p=<prob>");
+      config.p_per_step = spec_double(clause, "p", *p);
+      if (config.p_per_step < 0.0 || config.p_per_step > 1.0) {
+        spec_fail(clause, "p must be in [0, 1]");
+      }
+      if (const std::string* down = take("down")) {
+        const auto dots = down->find("..");
+        if (dots == std::string::npos) {
+          config.min_down = config.max_down =
+              spec_int(clause, "down", *down);
+        } else {
+          config.min_down = spec_int(clause, "down", down->substr(0, dots));
+          config.max_down = spec_int(clause, "down", down->substr(dots + 2));
+        }
+        if (config.min_down < 1 || config.max_down < config.min_down) {
+          spec_fail(clause, "down wants 1 <= lo <= hi");
+        }
+      }
+      config.mode = parse_mode(CrashMode::kWipe);
+      schedule.set_random_crashes(config);
+      continue;
+    }
+
+    FaultEvent event;
+    if (kind_name == "crash") {
+      event.kind = FaultKind::kCrash;
+    } else if (kind_name == "sink_outage") {
+      event.kind = FaultKind::kSinkOutage;
+    } else if (kind_name == "surge") {
+      event.kind = FaultKind::kSourceSurge;
+    } else if (kind_name == "byzantine") {
+      event.kind = FaultKind::kByzantine;
+    } else {
+      spec_fail(clause, "unknown fault kind '" + kind_name +
+                            "' (crash, sink_outage, surge, byzantine, "
+                            "random_crashes)");
+    }
+    const std::string* node = take("node");
+    if (node == nullptr) spec_fail(clause, "missing node=<id>");
+    event.node = static_cast<NodeId>(spec_int(clause, "node", *node));
+    if (event.node < 0) spec_fail(clause, "node must be >= 0");
+    if (const std::string* at = take("at")) {
+      event.at = spec_int(clause, "at", *at);
+      if (event.at < 0) spec_fail(clause, "at must be >= 0");
+    }
+    if (const std::string* dur = take("for")) {
+      event.duration = spec_int(clause, "for", *dur);
+      if (event.duration == 0 || event.duration < -1) {
+        spec_fail(clause, "for must be >= 1 (or -1 for forever)");
+      }
+    }
+    event.mode = parse_mode(CrashMode::kWipe);
+    if (event.kind == FaultKind::kSourceSurge) {
+      const std::string* extra = take("extra");
+      if (extra == nullptr) spec_fail(clause, "surge needs extra=<packets>");
+      event.extra = spec_int(clause, "extra", *extra);
+      if (event.extra <= 0) spec_fail(clause, "extra must be > 0");
+    }
+    if (event.kind == FaultKind::kByzantine) {
+      const std::string* declare = take("declare");
+      if (declare == nullptr) {
+        spec_fail(clause, "byzantine needs declare=<value>");
+      }
+      event.declare = spec_int(clause, "declare", *declare);
+      if (event.declare < 0) spec_fail(clause, "declare must be >= 0");
+    }
+    schedule.add(event);
+  }
+  LGG_REQUIRE(any, "empty --faults spec");
+  return schedule;
+}
+
+std::string to_string(const FaultSchedule& schedule) {
+  std::ostringstream os;
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ';';
+    first = false;
+  };
+  for (const FaultEvent& e : schedule.events()) {
+    sep();
+    os << to_string(e.kind) << ":node=" << e.node << ",at=" << e.at
+       << ",for=" << e.duration;
+    if (e.kind == FaultKind::kCrash) os << ",mode=" << to_string(e.mode);
+    if (e.kind == FaultKind::kSourceSurge) os << ",extra=" << e.extra;
+    if (e.kind == FaultKind::kByzantine) os << ",declare=" << e.declare;
+  }
+  const RandomCrashConfig& r = schedule.random_crashes();
+  if (r.p_per_step > 0.0) {
+    sep();
+    os << "random_crashes:p=" << r.p_per_step << ",down=" << r.min_down
+       << ".." << r.max_down << ",mode=" << to_string(r.mode);
+  }
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
+    : schedule_(std::move(schedule)), rng_(seed) {}
+
+void FaultInjector::ensure_sized(NodeId n) {
+  const auto size = static_cast<std::size_t>(n);
+  if (down_until_.size() >= size) return;
+  down_until_.resize(size, 0);
+  down_now_.resize(size, 0);
+  surge_.resize(size, 0);
+  sink_out_.resize(size, 0);
+}
+
+FaultInjector::StepEffects FaultInjector::begin_step(
+    TimeStep t, const SdNetwork& net,
+    const std::function<void(NodeId)>& wipe) {
+  ensure_sized(net.node_count());
+  StepEffects effects;
+
+  const auto crash = [&](NodeId v, TimeStep until, CrashMode mode) {
+    auto& down = down_until_[static_cast<std::size_t>(v)];
+    if (down > t) {
+      // Already down: overlapping windows extend the outage.
+      down = std::max(down, until);
+      return;
+    }
+    down = until;
+    if (mode == CrashMode::kWipe) wipe(v);
+  };
+
+  // Scheduled events starting at t.
+  for (const FaultEvent& e : schedule_.events()) {
+    if (e.kind == FaultKind::kCrash && e.at == t) {
+      crash(e.node, window_end(e.at, e.duration), e.mode);
+    }
+  }
+
+  // Random crashes: iterate nodes in a fixed order on the injector's own
+  // RNG stream, so outcomes are seed-deterministic and independent of the
+  // simulation RNG.
+  const RandomCrashConfig& random = schedule_.random_crashes();
+  if (random.p_per_step > 0.0) {
+    const NodeId n = net.node_count();
+    for (NodeId v = 0; v < n; ++v) {
+      if (down_until_[static_cast<std::size_t>(v)] > t) continue;
+      if (!rng_.bernoulli(random.p_per_step)) continue;
+      const TimeStep down =
+          rng_.uniform_int(random.min_down, random.max_down);
+      crash(v, window_end(t, down), random.mode);
+    }
+  }
+
+  // Refresh the down set (covers recoveries: down_until <= t means up).
+  for (std::size_t v = 0; v < down_now_.size(); ++v) {
+    const char now = down_until_[v] > t ? 1 : 0;
+    if (now != down_now_[v]) {
+      down_now_[v] = now;
+      effects.down_set_changed = true;
+    }
+    if (now) effects.any_down = true;
+  }
+
+  // Windowed effects, recomputed from the schedule each step.
+  for (const NodeId v : surge_nodes_) surge_[static_cast<std::size_t>(v)] = 0;
+  surge_nodes_.clear();
+  for (const NodeId v : out_nodes_) sink_out_[static_cast<std::size_t>(v)] = 0;
+  out_nodes_.clear();
+  byz_active_.clear();
+  for (const FaultEvent& e : schedule_.events()) {
+    if (!window_active(e, t)) continue;
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        break;
+      case FaultKind::kSinkOutage:
+        if (!sink_out_[static_cast<std::size_t>(e.node)]) {
+          sink_out_[static_cast<std::size_t>(e.node)] = 1;
+          out_nodes_.push_back(e.node);
+        }
+        break;
+      case FaultKind::kSourceSurge:
+        if (surge_[static_cast<std::size_t>(e.node)] == 0) {
+          surge_nodes_.push_back(e.node);
+        }
+        surge_[static_cast<std::size_t>(e.node)] += e.extra;
+        break;
+      case FaultKind::kByzantine:
+        if (!down_now_[static_cast<std::size_t>(e.node)]) {
+          byz_active_.emplace_back(e.node, e.declare);
+        }
+        break;
+    }
+  }
+  effects.any_byzantine = !byz_active_.empty();
+  return effects;
+}
+
+bool FaultInjector::node_down(NodeId v) const {
+  const auto i = static_cast<std::size_t>(v);
+  return i < down_now_.size() && down_now_[i] != 0;
+}
+
+bool FaultInjector::sink_out(NodeId v) const {
+  const auto i = static_cast<std::size_t>(v);
+  return i < sink_out_.size() && sink_out_[i] != 0;
+}
+
+PacketCount FaultInjector::surge_extra(NodeId v) const {
+  const auto i = static_cast<std::size_t>(v);
+  return i < surge_.size() ? surge_[i] : 0;
+}
+
+void FaultInjector::apply_to_mask(const SdNetwork& net,
+                                  graph::EdgeMask& mask) const {
+  for (std::size_t v = 0; v < down_now_.size(); ++v) {
+    if (!down_now_[v]) continue;
+    for (const graph::IncidentLink link :
+         net.topology().incident(static_cast<NodeId>(v))) {
+      mask.set_active(link.edge, false);
+    }
+  }
+}
+
+void FaultInjector::save_state(std::ostream& os) const {
+  // Sparse down map + the fault RNG engine; everything else is recomputed
+  // from the schedule by the next begin_step.
+  std::uint32_t down_count = 0;
+  for (const TimeStep until : down_until_) {
+    if (until > 0) ++down_count;
+  }
+  binio::write_u32(os, down_count);
+  for (std::size_t v = 0; v < down_until_.size(); ++v) {
+    if (down_until_[v] == 0) continue;
+    binio::write_i64(os, static_cast<std::int64_t>(v));
+    binio::write_i64(os, down_until_[v]);
+  }
+  std::ostringstream engine;
+  engine << rng_.engine();
+  binio::write_string(os, engine.str());
+}
+
+void FaultInjector::load_state(std::istream& is) {
+  std::fill(down_until_.begin(), down_until_.end(), TimeStep{0});
+  std::fill(down_now_.begin(), down_now_.end(), char{0});
+  const std::uint32_t down_count = binio::read_u32(is);
+  for (std::uint32_t i = 0; i < down_count; ++i) {
+    const auto v = static_cast<std::size_t>(binio::read_i64(is));
+    const TimeStep until = binio::read_i64(is);
+    if (v >= down_until_.size()) {
+      ensure_sized(static_cast<NodeId>(v) + 1);
+    }
+    down_until_[v] = until;
+  }
+  std::istringstream engine(binio::read_string(is));
+  engine >> rng_.engine();
+  if (engine.fail()) {
+    throw std::runtime_error("FaultInjector: corrupt RNG state");
+  }
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,177 @@
+// Fault injection: node crashes, sink outages, source surges, and Byzantine
+// declaration corruption, driven by a scriptable, seed-deterministic
+// schedule.
+//
+// The paper's stability claims (Lemma 1, Conjectures 1/4) are adversarial:
+// P_t stays bounded under *every* silent-loss pattern and, conjecturally,
+// under dynamic edge sets.  The loss and dynamics components perturb links;
+// this module perturbs *nodes* so experiments can measure the potential's
+// recovery after whole-node failures:
+//
+//   * crash (wipe)   — the node goes down and its queue is destroyed; the
+//                      wiped packets are accounted as `crash_wiped` in the
+//                      step stats so the conservation audit still balances.
+//   * crash (freeze) — the node goes down but keeps its packets; they thaw
+//                      when it recovers.
+//   * sink outage    — a window where out(d) behaves as 0 (no extraction).
+//   * source surge   — a window where a source injects `extra` packets per
+//                      step on top of its arrival process.
+//   * byzantine      — the node declares a fixed queue value to neighbours,
+//                      violating Definition 7's R-bound whenever it differs
+//                      from the true queue above R.
+//
+// While a node is down every incident link is inactive (the simulator
+// overlays the fault state onto the dynamics-owned edge mask), it neither
+// injects nor extracts, and no transmissions touch it.
+//
+// Determinism: scheduled events are pure functions of the step index, and
+// the random-crash process draws from the injector's own RNG (seeded at
+// construction), so a faulted run is a pure function of
+// (network, components, seed, schedule, fault_seed) — and the injector's
+// state checkpoints alongside the simulator's (save_state/load_state).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/sd_network.hpp"
+
+namespace lgg::core {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,        ///< node down for the window; mode decides wipe vs freeze
+  kSinkOutage,   ///< out(node) = 0 for the window
+  kSourceSurge,  ///< node injects `extra` additional packets per step
+  kByzantine,    ///< node declares `declare` regardless of its true queue
+};
+
+enum class CrashMode : std::uint8_t {
+  kWipe,    ///< queue destroyed on crash (counted as crash_wiped)
+  kFreeze,  ///< queue kept; reappears on recovery
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+[[nodiscard]] std::string_view to_string(CrashMode mode);
+
+/// One scheduled fault.  The window is [at, at + duration); duration < 0
+/// means "until the end of the run".
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  NodeId node = kInvalidNode;
+  TimeStep at = 0;
+  TimeStep duration = -1;
+  CrashMode mode = CrashMode::kWipe;
+  PacketCount extra = 0;    ///< surge packets per step (kSourceSurge)
+  PacketCount declare = 0;  ///< declared queue value (kByzantine)
+};
+
+/// Memoryless random crashes on top of the scheduled events: each up node
+/// independently crashes with probability `p_per_step`, staying down for a
+/// uniform duration in [min_down, max_down].
+struct RandomCrashConfig {
+  double p_per_step = 0.0;
+  TimeStep min_down = 1;
+  TimeStep max_down = 1;
+  CrashMode mode = CrashMode::kWipe;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule& add(FaultEvent event);
+  FaultSchedule& set_random_crashes(RandomCrashConfig config);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const RandomCrashConfig& random_crashes() const {
+    return random_;
+  }
+  [[nodiscard]] bool empty() const {
+    return events_.empty() && random_.p_per_step <= 0.0;
+  }
+
+  /// Throws ContractViolation if any event references a node outside `net`,
+  /// surges a non-source, or outages a non-sink.
+  void validate(const SdNetwork& net) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  RandomCrashConfig random_;
+};
+
+/// Parses the `--faults` spec grammar: semicolon-separated clauses
+///
+///   crash:node=3,at=100,for=50,mode=wipe|freeze
+///   sink_outage:node=5,at=200,for=30
+///   surge:node=0,at=10,for=5,extra=4
+///   byzantine:node=2,at=0,for=1000,declare=0
+///   random_crashes:p=0.001,down=20..50,mode=freeze
+///
+/// `for` defaults to -1 (until the end of the run).  Throws
+/// ContractViolation with a one-line description on any malformed clause.
+FaultSchedule parse_fault_spec(const std::string& spec);
+
+/// Round-trips a schedule back to the spec grammar (crash dumps, logs).
+std::string to_string(const FaultSchedule& schedule);
+
+/// Per-step driver the Simulator consults; owns the fault RNG stream.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSchedule schedule, std::uint64_t seed = 0xFA);
+
+  struct StepEffects {
+    bool any_down = false;          ///< ≥ 1 node down during this step
+    bool down_set_changed = false;  ///< membership changed at this step
+    bool any_byzantine = false;     ///< ≥ 1 corrupted declaration
+  };
+
+  /// Applies start-of-step transitions for step t (monotonically increasing
+  /// across calls except after load_state).  `wipe` is invoked once for
+  /// every node whose queue must be destroyed by a wipe-mode crash.
+  StepEffects begin_step(TimeStep t, const SdNetwork& net,
+                         const std::function<void(NodeId)>& wipe);
+
+  // Queries about the step most recently passed to begin_step.
+  [[nodiscard]] bool node_down(NodeId v) const;
+  [[nodiscard]] bool sink_out(NodeId v) const;
+  [[nodiscard]] PacketCount surge_extra(NodeId v) const;
+  /// Byzantine nodes active this step with their corrupted declarations.
+  [[nodiscard]] const std::vector<std::pair<NodeId, PacketCount>>&
+  byzantine_declarations() const {
+    return byz_active_;
+  }
+
+  /// Deactivates every edge incident to a down node.
+  void apply_to_mask(const SdNetwork& net, graph::EdgeMask& mask) const;
+
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+
+  // Checkpoint support: the down-state and the fault RNG stream are the
+  // only cross-step state (windowed effects are recomputed from the
+  // schedule each begin_step).
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
+ private:
+  void ensure_sized(NodeId n);
+
+  FaultSchedule schedule_;
+  Rng rng_;
+
+  // Per-node cross-step state: 0 = up, otherwise down until this step
+  // (exclusive); kForever for open-ended crashes.
+  std::vector<TimeStep> down_until_;
+  std::vector<char> down_now_;
+
+  // Per-step recomputed state (begin_step).
+  std::vector<PacketCount> surge_;             // dense, reset via surge_nodes_
+  std::vector<NodeId> surge_nodes_;
+  std::vector<char> sink_out_;                 // dense, reset via out_nodes_
+  std::vector<NodeId> out_nodes_;
+  std::vector<std::pair<NodeId, PacketCount>> byz_active_;
+};
+
+}  // namespace lgg::core

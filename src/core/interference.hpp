@@ -13,6 +13,7 @@
 //     sets touch or are adjacent.
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -31,6 +32,12 @@ class Scheduler {
   virtual void schedule(const StepView& view,
                         std::span<const Transmission> txs, Rng& rng,
                         std::vector<char>& keep) = 0;
+
+  /// Checkpoint hooks (core/checkpoint.hpp).  All shipped schedulers are
+  /// trajectory-stateless (OracleOrGreedy's counters are observability
+  /// only), so the defaults suffice.
+  virtual void save_state(std::ostream&) const {}
+  virtual void load_state(std::istream&) {}
 };
 
 /// All proposed transmissions fire (the paper's base model).

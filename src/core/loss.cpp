@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/binio.hpp"
 #include "common/require.hpp"
 
 namespace lgg::core {
@@ -33,6 +34,14 @@ void PeriodicLoss::mark_losses(const StepView&,
       lost[i] = 1;
     }
   }
+}
+
+void PeriodicLoss::save_state(std::ostream& os) const {
+  binio::write_i64(os, counter_);
+}
+
+void PeriodicLoss::load_state(std::istream& is) {
+  counter_ = binio::read_i64(is);
 }
 
 TargetedCutLoss::TargetedCutLoss(std::vector<char> side_a,

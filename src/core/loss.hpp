@@ -7,6 +7,7 @@
 // a per-step loss budget where it hurts most.
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,11 @@ class LossModel {
   virtual void mark_losses(const StepView& view,
                            std::span<const Transmission> txs, Rng& rng,
                            std::vector<char>& lost) = 0;
+
+  /// Checkpoint hooks (core/checkpoint.hpp): serialize/restore cross-step
+  /// internal state (e.g. PeriodicLoss's transmission counter).
+  virtual void save_state(std::ostream&) const {}
+  virtual void load_state(std::istream&) {}
 };
 
 /// The lossless channel.
@@ -55,6 +61,10 @@ class PeriodicLoss final : public LossModel {
   [[nodiscard]] std::string_view name() const override { return "periodic"; }
   void mark_losses(const StepView&, std::span<const Transmission>, Rng&,
                    std::vector<char>& lost) override;
+
+  // The run-wide transmission counter persists across steps.
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
  private:
   std::int64_t period_;

@@ -19,6 +19,8 @@ struct StepStats {
                                ///< conflict drops)
   PacketCount delivered = 0;   ///< sent and arrived at the far endpoint
   PacketCount extracted = 0;   ///< removed by sinks
+  PacketCount crash_wiped = 0; ///< destroyed by wipe-mode node crashes
+                               ///< (core/faults.hpp)
   bool topology_changed = false;
 };
 
@@ -32,6 +34,7 @@ struct CumulativeStats {
   PacketCount lost = 0;
   PacketCount delivered = 0;
   PacketCount extracted = 0;
+  PacketCount crash_wiped = 0;
   TimeStep steps = 0;
 
   void add(const StepStats& s) {
@@ -43,6 +46,7 @@ struct CumulativeStats {
     lost += s.lost;
     delivered += s.delivered;
     extracted += s.extracted;
+    crash_wiped += s.crash_wiped;
     ++steps;
   }
 };

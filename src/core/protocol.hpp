@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -56,6 +57,16 @@ class RoutingProtocol {
 
   /// Drops protocol-internal caches (called when the simulator is reset).
   virtual void reset() {}
+
+  /// Serializes cross-step internal state that a checkpoint must capture
+  /// (core/checkpoint.hpp).  Topology-derived caches that rebuild
+  /// deterministically without touching the RNG need not be saved — only
+  /// state whose loss would change the trajectory (e.g. StaleLgg's
+  /// declaration history).  Default: stateless.
+  virtual void save_state(std::ostream&) const {}
+  /// Restores state written by save_state on an identically configured
+  /// instance.  Called after reset().  Default: stateless.
+  virtual void load_state(std::istream&) {}
 };
 
 /// Debug/test helper: verifies the protocol contract for a proposed set.

@@ -43,6 +43,11 @@ void Simulator::set_dynamics(std::unique_ptr<TopologyDynamics> dynamics) {
   dynamics_ = std::move(dynamics);
 }
 
+void Simulator::set_faults(std::unique_ptr<FaultInjector> faults) {
+  if (faults != nullptr) faults->schedule().validate(net_);
+  faults_ = std::move(faults);
+}
+
 void Simulator::set_initial_queue(NodeId v, PacketCount q) {
   LGG_REQUIRE(t_ == 0, "set_initial_queue: simulation already started");
   LGG_REQUIRE(net_.topology().valid_node(v), "set_initial_queue: bad node");
@@ -60,7 +65,7 @@ PacketCount Simulator::max_queue() const {
 
 bool Simulator::conserves_packets() const {
   return initial_total_ + totals_.injected - totals_.extracted -
-             totals_.lost ==
+             totals_.lost - totals_.crash_wiped ==
          total_packets();
 }
 
@@ -142,21 +147,48 @@ StepStats Simulator::step() {
     mark = now;
   };
 
-  // 1. Topology dynamics.
+  // 1. Topology dynamics, then fault transitions.  Faults fold into the
+  // dynamics phase: both mutate which links exist this step.
   if (dynamics_->evolve(t_, net_, mask_, rng_)) {
     ++topology_version_;
     stats.topology_changed = true;
   }
+  const graph::EdgeMask* active_mask = &mask_;
+  if (faults_ != nullptr) {
+    const FaultInjector::StepEffects effects = faults_->begin_step(
+        t_, net_, [&](NodeId v) {
+          const PacketCount q = queue_[static_cast<std::size_t>(v)];
+          if (q > 0) {
+            apply_queue_delta(v, -q);
+            stats.crash_wiped += q;
+          }
+        });
+    if (effects.down_set_changed) {
+      // Protocol caches key on the topology version; a down-set change
+      // alters the effective edge set just like a dynamics event.
+      ++topology_version_;
+      stats.topology_changed = true;
+    }
+    if (effects.any_down) {
+      effective_mask_ = mask_;
+      faults_->apply_to_mask(net_, effective_mask_);
+      active_mask = &effective_mask_;
+    }
+  }
   lap(StepPhase::kDynamics, stats.topology_changed ? 1 : 0);
 
-  // 2. Injection — only source nodes (in > 0) can inject.
+  // 2. Injection — only source nodes (in > 0) can inject; down sources
+  // don't, surging sources inject extra on top of the arrival process.
   if (observer_ != nullptr) pre_injection_ = queue_;
   for (const NodeId v : net_.sources()) {
     const NodeSpec& spec = net_.spec(v);
     const PacketCount a = arrival_->packets(v, spec.in, t_, rng_);
     LGG_REQUIRE(a >= 0, "arrival process returned a negative count");
-    apply_queue_delta(v, a);
-    stats.injected += a;
+    if (faults_ != nullptr && faults_->node_down(v)) continue;
+    const PacketCount extra =
+        faults_ != nullptr ? faults_->surge_extra(v) : 0;
+    apply_queue_delta(v, a + extra);
+    stats.injected += a + extra;
   }
   lap(StepPhase::kInjection, static_cast<std::uint64_t>(stats.injected));
 
@@ -194,9 +226,22 @@ StepStats Simulator::step() {
       break;
     }
   }
+  // Byzantine faults overwrite the chosen declarations.  The truthful fast
+  // path aliases the live queue, so corruption forces a copy first.
+  if (faults_ != nullptr &&
+      !faults_->byzantine_declarations().empty()) {
+    if (declared_view.data() == queue_.data()) {
+      declared_ = queue_;
+      declared_view = declared_;
+    }
+    for (const auto& [v, value] : faults_->byzantine_declarations()) {
+      declared_[static_cast<std::size_t>(v)] = value;
+      ++declaration_work;
+    }
+  }
   lap(StepPhase::kDeclaration, declaration_work);
 
-  const StepView view{&net_,      &incidence_,   &mask_,
+  const StepView view{&net_,      &incidence_,   active_mask,
                       queue_,     declared_view, t_,
                       topology_version_};
 
@@ -250,8 +295,13 @@ StepStats Simulator::step() {
   }
   lap(StepPhase::kLossApply, static_cast<std::uint64_t>(stats.sent));
 
-  // 8. Extraction — only sink nodes (out > 0) can extract.
+  // 8. Extraction — only sink nodes (out > 0) can extract; down or outaged
+  // sinks behave as out(d) = 0 this step.
   for (const NodeId v : net_.sinks()) {
+    if (faults_ != nullptr &&
+        (faults_->node_down(v) || faults_->sink_out(v))) {
+      continue;
+    }
     const NodeSpec& spec = net_.spec(v);
     const PacketCount q = queue_[static_cast<std::size_t>(v)];
     PacketCount amount = 0;
@@ -282,13 +332,13 @@ StepStats Simulator::step() {
     record.t = t_;
     record.before_injection = pre_injection_;
     record.at_selection = snapshot_;
-    // Under the truthful policy declared_view aliases queue_, which phases
-    // 7–8 have since mutated; the declarations equalled the post-injection
-    // snapshot, which is what snapshot_ preserved.
-    record.declared =
-        options_.declaration_policy == DeclarationPolicy::kTruthful
-            ? std::span<const PacketCount>(snapshot_)
-            : declared_view;
+    // When declared_view still aliases queue_ (truthful, no Byzantine
+    // corruption), phases 7–8 have since mutated it; the declarations
+    // equalled the post-injection snapshot, which is what snapshot_
+    // preserved.
+    record.declared = declared_view.data() == queue_.data()
+                          ? std::span<const PacketCount>(snapshot_)
+                          : declared_view;
     record.after_step = queue_;
     record.transmissions = txs_;
     record.kept = keep_;

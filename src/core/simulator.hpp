@@ -21,6 +21,7 @@
 
 #include "core/arrival.hpp"
 #include "core/dynamics.hpp"
+#include "core/faults.hpp"
 #include "core/generalized.hpp"
 #include "core/interference.hpp"
 #include "core/loss.hpp"
@@ -131,6 +132,12 @@ class Simulator {
   void set_scheduler(std::unique_ptr<Scheduler> scheduler);
   void set_dynamics(std::unique_ptr<TopologyDynamics> dynamics);
 
+  /// Installs a fault injector (node crashes, sink outages, source surges,
+  /// Byzantine declarations — core/faults.hpp).  The schedule is validated
+  /// against the network; pass nullptr to remove.
+  void set_faults(std::unique_ptr<FaultInjector> faults);
+  [[nodiscard]] const FaultInjector* faults() const { return faults_.get(); }
+
   /// Installs an instrumentation hook called at the end of every step.
   /// Not owned; pass nullptr to detach.  Enables extra per-step queue
   /// snapshots (small overhead).
@@ -177,6 +184,13 @@ class Simulator {
   /// Runs `steps` steps; if `recorder` is given, observes after each step.
   void run(TimeStep steps, MetricsRecorder* recorder = nullptr);
 
+  // Crash-safe checkpointing (implemented in core/checkpoint.cpp).  A
+  // restored simulator continues bitwise-identically to the uninterrupted
+  // run, provided it is reassembled with the same network and components
+  // before restore_checkpoint is called.
+  void save_checkpoint(std::ostream& os) const;
+  void restore_checkpoint(std::istream& is);
+
  private:
   /// The single funnel for queue mutations: updates the queue and the
   /// running Σq / Σq² so total_packets()/network_state() stay O(1).
@@ -197,9 +211,11 @@ class Simulator {
   std::unique_ptr<LossModel> loss_;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<TopologyDynamics> dynamics_;
+  std::unique_ptr<FaultInjector> faults_;
 
   graph::CsrIncidence incidence_;
   graph::EdgeMask mask_;
+  graph::EdgeMask effective_mask_;  // mask_ with fault down-nodes overlaid
   Rng rng_;
 
   StepObserver* observer_ = nullptr;

@@ -81,14 +81,15 @@ void write_trajectory_csv(std::ostream& os,
   analysis::CsvWriter csv(os);
   csv.write_row({"t", "network_state", "total_packets", "max_queue",
                  "injected", "proposed", "suppressed", "conflicted", "sent",
-                 "lost", "delivered", "extracted"});
+                 "lost", "delivered", "extracted", "crash_wiped"});
   for (std::size_t t = 0; t < recorder.size(); ++t) {
     const StepStats& s = recorder.steps()[t];
     csv.write_values(static_cast<std::int64_t>(t),
                      recorder.network_state()[t],
                      recorder.total_packets()[t], recorder.max_queue()[t],
                      s.injected, s.proposed, s.suppressed, s.conflicted,
-                     s.sent, s.lost, s.delivered, s.extracted);
+                     s.sent, s.lost, s.delivered, s.extracted,
+                     s.crash_wiped);
   }
 }
 

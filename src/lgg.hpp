@@ -30,8 +30,10 @@
 #include "core/arrival.hpp"          // IWYU pragma: export
 #include "core/bounds.hpp"           // IWYU pragma: export
 #include "core/burst_condition.hpp"  // IWYU pragma: export
+#include "core/checkpoint.hpp"       // IWYU pragma: export
 #include "core/convergence.hpp"      // IWYU pragma: export
 #include "core/dynamics.hpp"         // IWYU pragma: export
+#include "core/faults.hpp"           // IWYU pragma: export
 #include "core/flow_plan.hpp"        // IWYU pragma: export
 #include "core/generalized.hpp"      // IWYU pragma: export
 #include "core/induction.hpp"        // IWYU pragma: export
@@ -61,6 +63,7 @@
 #include "analysis/experiment.hpp"   // IWYU pragma: export
 #include "analysis/histogram.hpp"    // IWYU pragma: export
 #include "analysis/stats.hpp"        // IWYU pragma: export
+#include "analysis/supervisor.hpp"   // IWYU pragma: export
 #include "analysis/sweep.hpp"        // IWYU pragma: export
 #include "analysis/table.hpp"        // IWYU pragma: export
 #include "analysis/thread_pool.hpp"  // IWYU pragma: export

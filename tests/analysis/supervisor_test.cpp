@@ -1,0 +1,154 @@
+#include "analysis/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/require.hpp"
+#include "core/checkpoint.hpp"
+#include "core/scenarios.hpp"
+#include "core/simulator.hpp"
+
+namespace lgg::analysis {
+namespace {
+
+core::Simulator make_sim(std::uint64_t seed = 1) {
+  core::SimulatorOptions options;
+  options.seed = seed;
+  return core::Simulator(core::scenarios::single_path(4, 1, 1), options);
+}
+
+TEST(Deadline, DefaultNeverExpires) {
+  const Deadline d;
+  EXPECT_FALSE(d.enabled());
+  EXPECT_FALSE(d.expired());
+  EXPECT_NO_THROW(d.check("idle"));
+}
+
+TEST(Deadline, ExpiresAndThrows) {
+  const Deadline d(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.expired());
+  EXPECT_THROW(d.check("soak"), DeadlineExceeded);
+}
+
+TEST(RunSupervisor, CompletesAHealthyRun) {
+  auto sim = make_sim();
+  const RunSupervisor supervisor(SupervisorOptions{});
+  core::MetricsRecorder recorder;
+  const SupervisedResult result = supervisor.run(sim, 500, &recorder);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.steps_done, 500);
+  EXPECT_EQ(sim.now(), 500);
+  EXPECT_EQ(recorder.size(), 500u);
+  EXPECT_TRUE(result.error.empty());
+}
+
+TEST(RunSupervisor, WritesPeriodicCheckpoints) {
+  const std::string path = ::testing::TempDir() + "/supervised.ckpt";
+  std::remove(path.c_str());
+  auto sim = make_sim();
+  SupervisorOptions options;
+  options.checkpoint_every = 100;
+  options.checkpoint_path = path;
+  const RunSupervisor supervisor(options);
+  const SupervisedResult result = supervisor.run(sim, 350);
+  EXPECT_TRUE(result.ok);
+
+  // The file exists and restores to a mid-run step.
+  auto resumed = make_sim();
+  core::restore_checkpoint_file(resumed, path);
+  EXPECT_GE(resumed.now(), 100);
+  EXPECT_LE(resumed.now(), 350);
+}
+
+TEST(RunSupervisor, DetectsDivergence) {
+  // Overload the source far past the cut capacity so P_t climbs steadily.
+  auto sim = make_sim();
+  sim.set_arrival(std::make_unique<core::ScaledArrival>(50.0));
+
+  SupervisorOptions options;
+  options.divergence_bound = 50.0;
+  options.check_every = 8;
+  const RunSupervisor supervisor(options);
+  const SupervisedResult result = supervisor.run(sim, 100000);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("divergence"), std::string::npos);
+  EXPECT_LT(result.steps_done, 100000);
+}
+
+TEST(RunSupervisor, WritesCrashDumpOnFailure) {
+  auto sim = make_sim();
+  sim.set_arrival(std::make_unique<core::ScaledArrival>(50.0));
+  core::FaultSchedule schedule;
+  schedule.add({core::FaultKind::kCrash, 1, 50, 10, core::CrashMode::kWipe,
+                0, 0});
+  sim.set_faults(std::make_unique<core::FaultInjector>(schedule, 3));
+
+  SupervisorOptions options;
+  options.divergence_bound = 25.0;
+  options.crash_dump_dir = ::testing::TempDir();
+  options.label = "dumptest";
+  options.seed = 77;
+  options.repro_config = "steps=100000";
+  const RunSupervisor supervisor(options);
+  const SupervisedResult result = supervisor.run(sim, 100000);
+  ASSERT_FALSE(result.ok);
+  ASSERT_FALSE(result.crash_dump_path.empty());
+
+  std::ifstream dump(result.crash_dump_path);
+  ASSERT_TRUE(dump.is_open());
+  std::stringstream text;
+  text << dump.rdbuf();
+  EXPECT_NE(text.str().find("seed: 77"), std::string::npos);
+  EXPECT_NE(text.str().find("error:"), std::string::npos);
+  EXPECT_NE(text.str().find("crash:node=1"), std::string::npos);
+  EXPECT_NE(text.str().find("steps=100000"), std::string::npos);
+
+  // The companion checkpoint restores on an identically configured sim.
+  auto twin = make_sim();
+  twin.set_arrival(std::make_unique<core::ScaledArrival>(50.0));
+  twin.set_faults(std::make_unique<core::FaultInjector>(schedule, 3));
+  core::restore_checkpoint_file(
+      twin, ::testing::TempDir() + "/dumptest.crash.ckpt");
+  EXPECT_EQ(twin.now(), sim.now());
+}
+
+TEST(RunSupervisor, RunReplicatesSurvivesThrowingReplicate) {
+  ThreadPool pool(4);
+  const RunSupervisor supervisor(SupervisorOptions{});
+  const auto report = supervisor.run_replicates(
+      pool, 12, 99, [](std::size_t i, std::uint64_t seed, const Deadline&) {
+        if (i == 5) throw std::runtime_error("replicate 5 exploded");
+        return static_cast<double>(seed % 100);
+      });
+  ASSERT_EQ(report.values.size(), 12u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].index, 5u);
+  EXPECT_NE(report.failures[0].error.find("exploded"), std::string::npos);
+  EXPECT_FALSE(report.all_ok());
+  for (std::size_t i = 0; i < report.values.size(); ++i) {
+    if (i == 5) {
+      EXPECT_TRUE(std::isnan(report.values[i]));
+    } else {
+      EXPECT_FALSE(std::isnan(report.values[i]));
+    }
+  }
+}
+
+TEST(RunSupervisor, RejectsBadOptions) {
+  SupervisorOptions bad;
+  bad.check_every = 0;
+  EXPECT_THROW(RunSupervisor{bad}, ContractViolation);
+  SupervisorOptions no_path;
+  no_path.checkpoint_every = 10;
+  EXPECT_THROW(RunSupervisor{no_path}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace lgg::analysis

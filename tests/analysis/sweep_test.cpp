@@ -99,6 +99,55 @@ TEST(Sweep, BadArgumentsRejected) {
   EXPECT_THROW(sweep.run(pool, 1, 1, Sweep::Measure{}), ContractViolation);
 }
 
+TEST(Sweep, SurvivesThrowingReplicates) {
+  ThreadPool pool(3);
+  Sweep sweep;
+  sweep.add_point("healthy", 1.0).add_point("flaky", 2.0);
+  // Every replicate of the "flaky" point with an odd replicate index throws;
+  // the sweep must still complete and summarize the survivors.
+  const auto rows = sweep.run(pool, 6, 123, [](double p, std::uint64_t seed) {
+    if (p == 2.0 && seed % 2 != 0) {
+      throw std::runtime_error("replicate exploded");
+    }
+    return p * 10.0;
+  });
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].failed_replicates, 0);
+  EXPECT_EQ(rows[0].samples.size(), 6u);
+  EXPECT_TRUE(rows[0].failures.empty());
+
+  const SweepRow& flaky = rows[1];
+  EXPECT_EQ(flaky.failed_replicates,
+            static_cast<int>(flaky.failures.size()));
+  EXPECT_EQ(flaky.samples.size() + flaky.failures.size(), 6u);
+  for (const ReplicateFailure& f : flaky.failures) {
+    EXPECT_NE(f.error.find("exploded"), std::string::npos);
+    EXPECT_GE(f.replicate, 0);
+    EXPECT_LT(f.replicate, 6);
+  }
+  // Survivors still summarize correctly.
+  if (!flaky.samples.empty()) {
+    EXPECT_DOUBLE_EQ(flaky.summary.mean, 20.0);
+    EXPECT_EQ(flaky.summary.count, flaky.samples.size());
+  }
+  // The failed column renders.
+  const Table table = rows_to_table(rows, "param", "value");
+  EXPECT_NE(table.to_string().find("failed"), std::string::npos);
+}
+
+TEST(Sweep, AllReplicatesFailingYieldsEmptySummary) {
+  ThreadPool pool(2);
+  Sweep sweep;
+  sweep.add_point("doomed", 1.0);
+  const auto rows = sweep.run(pool, 3, 7, [](double, std::uint64_t) -> double {
+    throw std::runtime_error("nope");
+  });
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].failed_replicates, 3);
+  EXPECT_TRUE(rows[0].samples.empty());
+  EXPECT_EQ(rows[0].summary.count, 0u);
+}
+
 TEST(RowsToTable, RendersSummaries) {
   Sweep sweep;
   sweep.add_point("p1", 1.0);

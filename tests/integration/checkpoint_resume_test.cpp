@@ -1,0 +1,225 @@
+// Checkpoint/resume must be invisible: a run interrupted at step t and
+// restored into a fresh simulator continues bitwise-identically to the run
+// that was never interrupted — per-step P_t, totals, queues, everything —
+// for every protocol in the registry and for every stateful component.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lgg.hpp"
+
+namespace lgg {
+namespace {
+
+constexpr TimeStep kHorizon = 400;
+constexpr TimeStep kBreak = 137;
+
+core::SdNetwork test_network() {
+  return core::scenarios::barbell_bottleneck(3, 1, 2);
+}
+
+/// A deliberately busy configuration: every RNG consumer in play at once.
+std::unique_ptr<core::Simulator> build(const std::string& protocol,
+                                       bool with_faults) {
+  core::SimulatorOptions options;
+  options.seed = 0xBEEF;
+  auto sim = std::make_unique<core::Simulator>(
+      test_network(), options, baselines::make_protocol(protocol));
+  sim->set_arrival(std::make_unique<core::BernoulliArrival>(0.8));
+  sim->set_loss(std::make_unique<core::BernoulliLoss>(0.05));
+  sim->set_dynamics(std::make_unique<core::RandomChurn>(0.05, 0.4));
+  if (with_faults) {
+    core::FaultSchedule schedule;
+    schedule.set_random_crashes({0.02, 1, 8, core::CrashMode::kWipe});
+    sim->set_faults(std::make_unique<core::FaultInjector>(schedule, 0xFA));
+  }
+  return sim;
+}
+
+void expect_same_totals(const core::CumulativeStats& a,
+                        const core::CumulativeStats& b) {
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.proposed, b.proposed);
+  EXPECT_EQ(a.suppressed, b.suppressed);
+  EXPECT_EQ(a.conflicted, b.conflicted);
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.extracted, b.extracted);
+  EXPECT_EQ(a.crash_wiped, b.crash_wiped);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+void expect_bitwise_resume(const std::string& protocol, bool with_faults) {
+  SCOPED_TRACE(protocol + (with_faults ? "+faults" : ""));
+
+  // Reference: uninterrupted run.
+  auto full = build(protocol, with_faults);
+  core::MetricsRecorder full_rec;
+  full->run(kHorizon, &full_rec);
+
+  // Interrupted twin: run to the break point, checkpoint, restore into a
+  // freshly assembled simulator, finish the horizon.
+  auto first = build(protocol, with_faults);
+  first->run(kBreak);
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  first->save_checkpoint(blob);
+
+  auto resumed = build(protocol, with_faults);
+  resumed->restore_checkpoint(blob);
+  ASSERT_EQ(resumed->now(), kBreak);
+  core::MetricsRecorder tail_rec;
+  resumed->run(kHorizon - kBreak, &tail_rec);
+
+  // The tail trajectory matches the reference exactly, step for step.
+  ASSERT_EQ(tail_rec.size(),
+            static_cast<std::size_t>(kHorizon - kBreak));
+  for (std::size_t i = 0; i < tail_rec.size(); ++i) {
+    const std::size_t j = static_cast<std::size_t>(kBreak) + i;
+    ASSERT_EQ(tail_rec.network_state()[i], full_rec.network_state()[j])
+        << "step " << j;
+    ASSERT_EQ(tail_rec.total_packets()[i], full_rec.total_packets()[j]);
+    ASSERT_EQ(tail_rec.max_queue()[i], full_rec.max_queue()[j]);
+  }
+  const auto fq = full->queues();
+  const auto rq = resumed->queues();
+  ASSERT_EQ(fq.size(), rq.size());
+  for (std::size_t v = 0; v < fq.size(); ++v) {
+    EXPECT_EQ(fq[v], rq[v]) << "node " << v;
+  }
+  expect_same_totals(full->cumulative(), resumed->cumulative());
+  EXPECT_TRUE(resumed->conserves_packets());
+}
+
+TEST(CheckpointResume, BitwiseIdenticalForEveryRegisteredProtocol) {
+  for (const auto& name : baselines::protocol_names()) {
+    expect_bitwise_resume(std::string(name), /*with_faults=*/false);
+  }
+}
+
+TEST(CheckpointResume, BitwiseIdenticalWithFaultsActive) {
+  for (const auto& name : baselines::protocol_names()) {
+    expect_bitwise_resume(std::string(name), /*with_faults=*/true);
+  }
+}
+
+TEST(CheckpointResume, StatefulComponentsRoundTrip) {
+  // StaleLgg's declaration history, TokenBucket's per-node tokens, and
+  // PeriodicLoss's counter are all cross-step state the blob must carry.
+  const auto build_stateful = [] {
+    core::SimulatorOptions options;
+    options.seed = 0xCAFE;
+    auto sim = std::make_unique<core::Simulator>(
+        test_network(), options,
+        std::make_unique<baselines::StaleLggProtocol>(3));
+    sim->set_arrival(
+        std::make_unique<core::TokenBucketArrival>(0.7, 10.0, 4));
+    sim->set_loss(std::make_unique<core::PeriodicLoss>(5));
+    return sim;
+  };
+  auto full = build_stateful();
+  core::MetricsRecorder full_rec;
+  full->run(kHorizon, &full_rec);
+
+  auto first = build_stateful();
+  first->run(kBreak);
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  first->save_checkpoint(blob);
+
+  auto resumed = build_stateful();
+  resumed->restore_checkpoint(blob);
+  core::MetricsRecorder tail_rec;
+  resumed->run(kHorizon - kBreak, &tail_rec);
+  for (std::size_t i = 0; i < tail_rec.size(); ++i) {
+    const std::size_t j = static_cast<std::size_t>(kBreak) + i;
+    ASSERT_EQ(tail_rec.network_state()[i], full_rec.network_state()[j])
+        << "step " << j;
+  }
+  expect_same_totals(full->cumulative(), resumed->cumulative());
+}
+
+TEST(CheckpointResume, CorruptionIsDetected) {
+  auto sim = build("lgg", false);
+  sim->run(50);
+  std::ostringstream os(std::ios::binary);
+  sim->save_checkpoint(os);
+  std::string bytes = os.str();
+
+  {  // Flip one payload byte: CRC must catch it.
+    std::string corrupt = bytes;
+    corrupt[corrupt.size() - 3] ^= 0x40;
+    std::istringstream is(corrupt, std::ios::binary);
+    auto victim = build("lgg", false);
+    EXPECT_THROW(victim->restore_checkpoint(is), core::CheckpointError);
+  }
+  {  // Truncate: header size check must catch it.
+    std::istringstream is(bytes.substr(0, bytes.size() / 2),
+                          std::ios::binary);
+    auto victim = build("lgg", false);
+    EXPECT_THROW(victim->restore_checkpoint(is), core::CheckpointError);
+  }
+  {  // Not a checkpoint at all.
+    std::istringstream is("definitely not a checkpoint",
+                          std::ios::binary);
+    auto victim = build("lgg", false);
+    EXPECT_THROW(victim->restore_checkpoint(is), core::CheckpointError);
+  }
+  {  // Bad magic with plausible length.
+    std::string corrupt = bytes;
+    corrupt[0] = 'X';
+    std::istringstream is(corrupt, std::ios::binary);
+    auto victim = build("lgg", false);
+    EXPECT_THROW(victim->restore_checkpoint(is), core::CheckpointError);
+  }
+}
+
+TEST(CheckpointResume, ConfigurationMismatchIsDetected) {
+  auto sim = build("lgg", false);
+  sim->run(20);
+  std::ostringstream os(std::ios::binary);
+  sim->save_checkpoint(os);
+  const std::string bytes = os.str();
+
+  {  // Different network shape.
+    core::Simulator other(core::scenarios::single_path(3, 1, 1));
+    std::istringstream is(bytes, std::ios::binary);
+    EXPECT_THROW(other.restore_checkpoint(is), core::CheckpointError);
+  }
+  {  // Checkpoint without faults, simulator with faults installed.
+    auto other = build("lgg", true);
+    std::istringstream is(bytes, std::ios::binary);
+    EXPECT_THROW(other->restore_checkpoint(is), core::CheckpointError);
+  }
+  {  // Checkpoint with faults, simulator without.
+    auto faulted = build("lgg", true);
+    faulted->run(20);
+    std::ostringstream fos(std::ios::binary);
+    faulted->save_checkpoint(fos);
+    auto other = build("lgg", false);
+    std::istringstream is(fos.str(), std::ios::binary);
+    EXPECT_THROW(other->restore_checkpoint(is), core::CheckpointError);
+  }
+}
+
+TEST(CheckpointResume, FileHelpersRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/lgg_ckpt_test.bin";
+  auto sim = build("backpressure", true);
+  sim->run(100);
+  core::write_checkpoint_file(*sim, path);
+
+  auto resumed = build("backpressure", true);
+  core::restore_checkpoint_file(*resumed, path);
+  EXPECT_EQ(resumed->now(), 100);
+  sim->run(50);
+  resumed->run(50);
+  const auto a = sim->queues();
+  const auto b = resumed->queues();
+  for (std::size_t v = 0; v < a.size(); ++v) EXPECT_EQ(a[v], b[v]);
+
+  EXPECT_THROW(
+      core::restore_checkpoint_file(*resumed, path + ".does-not-exist"),
+      core::CheckpointError);
+}
+
+}  // namespace
+}  // namespace lgg

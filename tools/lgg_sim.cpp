@@ -15,6 +15,11 @@
 //     --arrival-scale F    ScaledArrival factor         (default: exact)
 //     --matching           node-exclusive greedy matching scheduler
 //     --churn P_OFF P_ON   random edge churn
+//     --faults SPEC        fault schedule (core/faults.hpp grammar), e.g.
+//                          'crash:node=2,at=100,for=50;random_crashes:p=1e-3'
+//     --checkpoint FILE    checkpoint file path
+//     --checkpoint-every N write FILE atomically every N steps
+//     --resume FILE        restore state from FILE before running
 //     --csv FILE           write the trajectory as CSV
 //     --profile            print the per-phase step profile after the run
 //     --analyze-only       print the feasibility report and exit
@@ -25,6 +30,7 @@
 //   edge 0 1
 //   role 0 1 0 0
 //   role 1 0 2 0' | lgg_sim --steps 5000
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,8 +38,11 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/supervisor.hpp"
 #include "baselines/protocol_registry.hpp"
 #include "core/bounds.hpp"
+#include "core/checkpoint.hpp"
+#include "core/faults.hpp"
 #include "core/scenarios.hpp"
 #include "core/simulator.hpp"
 #include "core/stability.hpp"
@@ -45,10 +54,59 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--steps N] [--seed S] [--protocol NAME] "
                "[--loss P] [--arrival-scale F] [--matching] "
-               "[--churn P_OFF P_ON] [--csv FILE] [--profile] "
-               "[--analyze-only] [network.sdnet]\n",
+               "[--churn P_OFF P_ON] [--faults SPEC] [--checkpoint FILE] "
+               "[--checkpoint-every N] [--resume FILE] [--csv FILE] "
+               "[--profile] [--analyze-only] [network.sdnet]\n",
                argv0);
   std::exit(2);
+}
+
+// Strict numeric parsing: trailing garbage, empty strings, and overflow are
+// rejected with a one-line error instead of silently becoming 0 (atoll).
+
+long long parse_int(const char* what, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "error: %s wants an integer, got '%s'\n", what,
+                 text);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::uint64_t parse_uint(const char* what, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || *text == '-') {
+    std::fprintf(stderr, "error: %s wants a non-negative integer, got '%s'\n",
+                 what, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+double parse_double(const char* what, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "error: %s wants a number, got '%s'\n", what, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+double parse_probability(const char* what, const char* text) {
+  const double v = parse_double(what, text);
+  if (v < 0.0 || v > 1.0) {
+    std::fprintf(stderr, "error: %s wants a probability in [0, 1], got %s\n",
+                 what, text);
+    std::exit(2);
+  }
+  return v;
 }
 
 }  // namespace
@@ -62,6 +120,10 @@ int main(int argc, char** argv) {
   double arrival_scale = -1.0;
   bool matching = false;
   double churn_off = -1.0, churn_on = -1.0;
+  std::string faults_spec;
+  std::string checkpoint_path;
+  TimeStep checkpoint_every = 0;
+  std::string resume_path;
   std::string csv_path;
   std::string input_path;
   bool analyze_only = false;
@@ -77,20 +139,42 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--steps") {
-      steps = std::atoll(next("--steps"));
+      steps = parse_int("--steps", next("--steps"));
+      if (steps <= 0) {
+        std::fprintf(stderr, "error: --steps wants a positive count\n");
+        return 2;
+      }
     } else if (arg == "--seed") {
-      seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+      seed = parse_uint("--seed", next("--seed"));
     } else if (arg == "--protocol") {
       protocol = next("--protocol");
     } else if (arg == "--loss") {
-      loss = std::atof(next("--loss"));
+      loss = parse_probability("--loss", next("--loss"));
     } else if (arg == "--arrival-scale") {
-      arrival_scale = std::atof(next("--arrival-scale"));
+      arrival_scale = parse_double("--arrival-scale", next("--arrival-scale"));
+      if (arrival_scale < 0.0) {
+        std::fprintf(stderr, "error: --arrival-scale wants a factor >= 0\n");
+        return 2;
+      }
     } else if (arg == "--matching") {
       matching = true;
     } else if (arg == "--churn") {
-      churn_off = std::atof(next("--churn"));
-      churn_on = std::atof(next("--churn"));
+      churn_off = parse_probability("--churn P_OFF", next("--churn"));
+      churn_on = parse_probability("--churn P_ON", next("--churn"));
+    } else if (arg == "--faults") {
+      faults_spec = next("--faults");
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next("--checkpoint");
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every =
+          parse_int("--checkpoint-every", next("--checkpoint-every"));
+      if (checkpoint_every <= 0) {
+        std::fprintf(stderr,
+                     "error: --checkpoint-every wants a positive interval\n");
+        return 2;
+      }
+    } else if (arg == "--resume") {
+      resume_path = next("--resume");
     } else if (arg == "--csv") {
       csv_path = next("--csv");
     } else if (arg == "--profile") {
@@ -106,6 +190,11 @@ int main(int argc, char** argv) {
       input_path = arg;
     }
   }
+  if (checkpoint_every > 0 && checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-every needs --checkpoint FILE\n");
+    return 2;
+  }
 
   try {
     core::SdNetwork net = [&] {
@@ -120,6 +209,13 @@ int main(int argc, char** argv) {
       }
       return core::read_network(file);
     }();
+
+    // Parse (and thus validate) the fault spec before running anything.
+    core::FaultSchedule fault_schedule;
+    if (!faults_spec.empty()) {
+      fault_schedule = core::parse_fault_spec(faults_spec);
+      fault_schedule.validate(net);
+    }
 
     const auto report = core::analyze(net);
     std::printf("%s\n", core::describe(net, report).c_str());
@@ -149,10 +245,40 @@ int main(int argc, char** argv) {
       sim.set_dynamics(
           std::make_unique<core::RandomChurn>(churn_off, churn_on));
     }
+    if (!fault_schedule.empty()) {
+      // The injector's RNG stream derives from the master seed so faulted
+      // runs are reproducible yet independent of the simulation stream.
+      sim.set_faults(std::make_unique<core::FaultInjector>(
+          fault_schedule, derive_seed(seed, 0xFA17)));
+    }
+    if (!resume_path.empty()) {
+      core::restore_checkpoint_file(sim, resume_path);
+      std::printf("resumed from %s at step %lld\n", resume_path.c_str(),
+                  static_cast<long long>(sim.now()));
+    }
     core::StepProfiler profiler;
     if (profile) sim.set_profiler(&profiler);
     core::MetricsRecorder recorder;
-    sim.run(steps, &recorder);
+
+    if (checkpoint_every > 0) {
+      analysis::SupervisorOptions sopts;
+      sopts.checkpoint_every = checkpoint_every;
+      sopts.checkpoint_path = checkpoint_path;
+      sopts.seed = seed;
+      sopts.label = "lgg_sim";
+      sopts.repro_config = faults_spec;
+      const analysis::RunSupervisor supervisor(sopts);
+      const analysis::SupervisedResult result =
+          supervisor.run(sim, steps, &recorder);
+      if (!result.ok) {
+        std::fprintf(stderr, "error: supervised run failed after %lld steps: %s\n",
+                     static_cast<long long>(result.steps_done),
+                     result.error.c_str());
+        return 2;
+      }
+    } else {
+      sim.run(steps, &recorder);
+    }
     if (profile) {
       std::printf("\nper-phase step profile:\n%s\n",
                   profiler.table().c_str());
@@ -168,12 +294,13 @@ int main(int argc, char** argv) {
     const auto& totals = sim.cumulative();
     std::printf(
         "injected=%lld sent=%lld delivered=%lld lost=%lld extracted=%lld "
-        "stored=%lld\n",
+        "crash_wiped=%lld stored=%lld\n",
         static_cast<long long>(totals.injected),
         static_cast<long long>(totals.sent),
         static_cast<long long>(totals.delivered),
         static_cast<long long>(totals.lost),
         static_cast<long long>(totals.extracted),
+        static_cast<long long>(totals.crash_wiped),
         static_cast<long long>(sim.total_packets()));
     std::printf("conservation: %s\n",
                 sim.conserves_packets() ? "ok" : "VIOLATED");
