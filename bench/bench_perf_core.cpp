@@ -13,10 +13,47 @@
 #include "core/profiler.hpp"
 #include "core/scenarios.hpp"
 #include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
 using namespace lgg;
+
+/// Counts bytes but keeps nothing: measures the full snapshot-emission
+/// cost without mixing in disk latency.
+class DiscardSink final : public obs::TelemetrySink {
+ public:
+  void write_line(std::string_view line) override { bytes_ += line.size(); }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+ private:
+  std::size_t bytes_ = 0;
+};
+
+enum class TelemetryMode { kNone, kUnarmed, kArmed };
+
+/// steps/sec of a 5000-step run on the sparse-source topology with the
+/// telemetry layer in one of its three cost states.
+double measure_steps_per_second(TelemetryMode mode, DiscardSink* sink) {
+  const NodeId n = 1024;
+  core::Simulator sim(
+      core::scenarios::random_unsaturated(n, static_cast<EdgeId>(4 * n), 2,
+                                          2, 5),
+      core::SimulatorOptions{});
+  obs::TelemetryOptions topts;
+  topts.snapshot_every = 100;
+  topts.flight_capacity = mode == TelemetryMode::kArmed ? 256 : 0;
+  obs::Telemetry telemetry(topts);
+  if (mode == TelemetryMode::kArmed && sink != nullptr) {
+    telemetry.set_sink(sink);
+  }
+  if (mode != TelemetryMode::kNone) sim.set_telemetry(&telemetry);
+  const TimeStep steps = 5000;
+  analysis::Stopwatch wall;
+  sim.run(steps);
+  return static_cast<double>(steps) / wall.seconds();
+}
 
 void print_report() {
   bench::banner("E15: core throughput",
@@ -44,14 +81,54 @@ void print_report() {
               static_cast<double>(steps) / seconds, sim.network_state(),
               static_cast<long long>(sim.total_packets()));
 
-  std::ofstream json("BENCH_perf_core.json");
-  if (json) {
-    json << "{\"experiment\":\"perf_core\",\"topology\":{\"nodes\":" << n
-         << ",\"edges\":" << 4 * n << ",\"sources\":2,\"sinks\":2}"
-         << ",\"steps\":" << steps << ",\"wall_seconds\":" << seconds
-         << ",\"wall_steps_per_second\":"
-         << static_cast<double>(steps) / seconds
-         << ",\"profile\":" << profiler.json() << "}\n";
+  // Telemetry cost states on the same topology: a detached run, an
+  // attached-but-unarmed session (the claim: within noise of baseline —
+  // one pointer test per step), and a fully armed session emitting
+  // snapshots into a discarding sink (the real observation cost).
+  const double baseline_sps =
+      measure_steps_per_second(TelemetryMode::kNone, nullptr);
+  const double unarmed_sps =
+      measure_steps_per_second(TelemetryMode::kUnarmed, nullptr);
+  DiscardSink discard;
+  const double armed_sps =
+      measure_steps_per_second(TelemetryMode::kArmed, &discard);
+  const double unarmed_overhead_pct =
+      100.0 * (baseline_sps / unarmed_sps - 1.0);
+  const double armed_overhead_pct = 100.0 * (baseline_sps / armed_sps - 1.0);
+  std::printf("telemetry overhead (5000 steps, same topology):\n");
+  std::printf("  no telemetry      %.6g steps/sec\n", baseline_sps);
+  std::printf("  attached, unarmed %.6g steps/sec (%+.2f%%)\n", unarmed_sps,
+              unarmed_overhead_pct);
+  std::printf("  armed, JSONL sink %.6g steps/sec (%+.2f%%, %zu bytes)\n\n",
+              armed_sps, armed_overhead_pct, discard.bytes());
+
+  std::ofstream out("BENCH_perf_core.json");
+  if (out) {
+    obs::JsonWriter json;
+    json.begin_object();
+    json.field("experiment", "perf_core");
+    json.begin_object("topology");
+    json.field("nodes", static_cast<std::int64_t>(n));
+    json.field("edges", static_cast<std::int64_t>(4 * n));
+    json.field("sources", std::int64_t{2});
+    json.field("sinks", std::int64_t{2});
+    json.end_object();
+    json.field("steps", static_cast<std::int64_t>(steps));
+    json.field("wall_seconds", seconds);
+    json.field("wall_steps_per_second",
+               static_cast<double>(steps) / seconds);
+    json.begin_object("telemetry_overhead");
+    json.field("baseline_steps_per_second", baseline_sps);
+    json.field("unarmed_steps_per_second", unarmed_sps);
+    json.field("unarmed_overhead_pct", unarmed_overhead_pct);
+    json.field("armed_steps_per_second", armed_sps);
+    json.field("armed_overhead_pct", armed_overhead_pct);
+    json.field("armed_bytes_emitted",
+               static_cast<std::uint64_t>(discard.bytes()));
+    json.end_object();
+    json.raw_field("profile", profiler.json());
+    json.end_object();
+    out << json.str() << '\n';
     std::printf("machine-readable profile written to BENCH_perf_core.json\n");
   }
 }
@@ -83,6 +160,30 @@ void BM_SimStepByDegree(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SimStepByDegree)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SimStepTelemetry(benchmark::State& state) {
+  const auto mode = static_cast<TelemetryMode>(state.range(0));
+  const NodeId n = 1024;
+  core::Simulator sim(
+      core::scenarios::random_unsaturated(n, static_cast<EdgeId>(4 * n), 2,
+                                          2, 5),
+      core::SimulatorOptions{});
+  obs::TelemetryOptions topts;
+  topts.snapshot_every = 100;
+  topts.flight_capacity = mode == TelemetryMode::kArmed ? 256 : 0;
+  obs::Telemetry telemetry(topts);
+  DiscardSink sink;
+  if (mode == TelemetryMode::kArmed) telemetry.set_sink(&sink);
+  if (mode != TelemetryMode::kNone) sim.set_telemetry(&telemetry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(mode == TelemetryMode::kNone     ? "no-telemetry"
+                 : mode == TelemetryMode::kUnarmed ? "attached-unarmed"
+                                                   : "armed-jsonl-sink");
+}
+BENCHMARK(BM_SimStepTelemetry)->DenseRange(0, 2);
 
 void BM_MaxFlowSolvers(benchmark::State& state) {
   const auto algo = static_cast<flow::FlowAlgorithm>(state.range(0));

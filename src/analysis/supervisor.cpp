@@ -63,6 +63,20 @@ std::string RunSupervisor::write_crash_dump(core::Simulator& sim,
     // The dump text still records the failure even without a checkpoint.
   }
 
+  // The flight recorder's recent-event ring is the post-mortem's step-by-
+  // step record; dump it next to the checkpoint when one is attached.
+  std::string events_path;
+  if (sim.telemetry() != nullptr && sim.telemetry()->flight() != nullptr &&
+      sim.telemetry()->flight()->size() > 0) {
+    events_path = base + ".events.jsonl";
+    std::ofstream events(events_path, std::ios::trunc);
+    if (events.is_open()) {
+      sim.telemetry()->dump_flight(events);
+    } else {
+      events_path.clear();
+    }
+  }
+
   std::ofstream os(base + ".txt", std::ios::trunc);
   if (!os.is_open()) return {};
   os << "# lgg crash dump\n"
@@ -76,6 +90,7 @@ std::string RunSupervisor::write_crash_dump(core::Simulator& sim,
     os << "faults: " << core::to_string(sim.faults()->schedule()) << '\n';
   }
   if (have_ckpt) os << "checkpoint: " << ckpt_path << '\n';
+  if (!events_path.empty()) os << "events: " << events_path << '\n';
   if (!options_.repro_config.empty()) {
     os << "config:\n" << options_.repro_config << '\n';
   }
@@ -113,6 +128,12 @@ SupervisedResult RunSupervisor::run(core::Simulator& sim, TimeStep steps,
       deadline.check(options_.label);
 
       if (sim.now() >= next_checkpoint) {
+        // Record the event *before* writing: the saved telemetry state
+        // then includes it, so a resumed stream matches the uninterrupted
+        // one byte for byte.
+        if (sim.telemetry() != nullptr && sim.telemetry()->armed()) {
+          sim.telemetry()->record_checkpoint(sim.now());
+        }
         write_checkpoint_atomic(sim, options_.checkpoint_path);
         next_checkpoint = sim.now() + options_.checkpoint_every;
       }

@@ -115,6 +115,16 @@ void Simulator::save_checkpoint(std::ostream& os) const {
                           : std::string());
   binio::write_u8(payload_os, faults_ != nullptr ? 1 : 0);
 
+  // v2: optional trailing telemetry section.  Saving it lets a resumed run
+  // continue the JSONL stream (sequence numbers, counters, cumulative
+  // drift, flight ring) byte-identically.
+  binio::write_u8(payload_os, telemetry_ != nullptr ? 1 : 0);
+  if (telemetry_ != nullptr) {
+    binio::write_string(payload_os, capture([&](std::ostream& s) {
+                          telemetry_->save_state(s);
+                        }));
+  }
+
   const std::string payload = payload_os.str();
   os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
   binio::write_u32(os, kCheckpointVersion);
@@ -211,6 +221,15 @@ void Simulator::restore_checkpoint(std::istream& is) {
       fail("a fault injector is installed but the checkpoint has none");
     }
 
+    // Telemetry does not influence the trajectory, so the section is
+    // forgiving in one direction: a checkpoint with telemetry state
+    // restores fine into a simulator without a session (the blob is
+    // skipped), and an attached session stays fresh when the checkpoint
+    // has none.
+    const bool had_telemetry = binio::read_u8(ps) != 0;
+    std::string telemetry_blob;
+    if (had_telemetry) telemetry_blob = binio::read_string(ps);
+
     // Everything parsed — apply.  Queues go through a full recompute of the
     // Σ accumulators, then cross-check against the saved values: a mismatch
     // means the payload is internally inconsistent.
@@ -250,6 +269,10 @@ void Simulator::restore_checkpoint(std::istream& is) {
     load(3, *scheduler_);
     load(4, *dynamics_);
     if (faults_ != nullptr) load(5, *faults_);
+    if (had_telemetry && telemetry_ != nullptr) {
+      std::istringstream blob(telemetry_blob, std::ios::binary);
+      telemetry_->load_state(blob);
+    }
   } catch (const CheckpointError&) {
     throw;
   } catch (const std::exception& e) {

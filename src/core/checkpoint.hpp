@@ -2,11 +2,15 @@
 //
 // A checkpoint captures everything that determines the rest of a
 // trajectory: the step index, queues, edge mask, topology version, the
-// Σq / Σq² accumulators, cumulative stats, the simulation RNG stream, and
-// an opaque state blob per component (protocol, arrival, loss, scheduler,
-// dynamics, faults).  Restoring into a simulator assembled with the same
-// network, options, and component configuration continues the run
-// bitwise-identically to one that was never interrupted.
+// Σq / Σq² accumulators, cumulative stats, the simulation RNG stream, an
+// opaque state blob per component (protocol, arrival, loss, scheduler,
+// dynamics, faults), and — when a telemetry session is attached — the
+// telemetry state (snapshot sequence number, metric values, cumulative
+// drift, flight-recorder ring).  Restoring into a simulator assembled
+// with the same network, options, and component configuration continues
+// the run bitwise-identically to one that was never interrupted; with the
+// telemetry state restored, the resumed run also emits byte-identical
+// JSONL telemetry.
 //
 // Wire format (all integers little-endian; see docs/formats.md):
 //
@@ -40,7 +44,10 @@ class CheckpointError : public std::runtime_error {
 
 inline constexpr char kCheckpointMagic[8] = {'L', 'G', 'G', 'C',
                                              'K', 'P', 'T', '1'};
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// v2: fault-injector blobs carry the live down-state bit per entry (so a
+/// resume reports no spurious fault transitions) and the payload gains an
+/// optional trailing telemetry section.  v1 files are rejected.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).  `seed` chains
 /// incremental computations; pass the previous return value.

@@ -7,6 +7,7 @@
 
 #include "common/binio.hpp"
 #include "common/require.hpp"
+#include "obs/registry.hpp"
 
 namespace lgg::core {
 
@@ -307,11 +308,20 @@ FaultInjector::StepEffects FaultInjector::begin_step(
   }
 
   // Refresh the down set (covers recoveries: down_until <= t means up).
+  went_down_.clear();
+  came_up_.clear();
   for (std::size_t v = 0; v < down_now_.size(); ++v) {
     const char now = down_until_[v] > t ? 1 : 0;
     if (now != down_now_[v]) {
       down_now_[v] = now;
       effects.down_set_changed = true;
+      if (now) {
+        went_down_.push_back(static_cast<NodeId>(v));
+        if (crashes_counter_ != nullptr) crashes_counter_->add(1);
+      } else {
+        came_up_.push_back(static_cast<NodeId>(v));
+        if (recoveries_counter_ != nullptr) recoveries_counter_->add(1);
+      }
     }
     if (now) effects.any_down = true;
   }
@@ -378,7 +388,10 @@ void FaultInjector::apply_to_mask(const SdNetwork& net,
 
 void FaultInjector::save_state(std::ostream& os) const {
   // Sparse down map + the fault RNG engine; everything else is recomputed
-  // from the schedule by the next begin_step.
+  // from the schedule by the next begin_step.  The live down_now_ bit is
+  // saved too: rebuilding it from down_until_ alone would make the first
+  // post-restore begin_step report spurious down-transitions, breaking
+  // the byte-identical-telemetry resume guarantee.
   std::uint32_t down_count = 0;
   for (const TimeStep until : down_until_) {
     if (until > 0) ++down_count;
@@ -388,6 +401,7 @@ void FaultInjector::save_state(std::ostream& os) const {
     if (down_until_[v] == 0) continue;
     binio::write_i64(os, static_cast<std::int64_t>(v));
     binio::write_i64(os, down_until_[v]);
+    binio::write_u8(os, down_now_[v] != 0 ? 1 : 0);
   }
   std::ostringstream engine;
   engine << rng_.engine();
@@ -401,16 +415,23 @@ void FaultInjector::load_state(std::istream& is) {
   for (std::uint32_t i = 0; i < down_count; ++i) {
     const auto v = static_cast<std::size_t>(binio::read_i64(is));
     const TimeStep until = binio::read_i64(is);
+    const std::uint8_t now = binio::read_u8(is);
     if (v >= down_until_.size()) {
       ensure_sized(static_cast<NodeId>(v) + 1);
     }
     down_until_[v] = until;
+    down_now_[v] = static_cast<char>(now != 0 ? 1 : 0);
   }
   std::istringstream engine(binio::read_string(is));
   engine >> rng_.engine();
   if (engine.fail()) {
     throw std::runtime_error("FaultInjector: corrupt RNG state");
   }
+}
+
+void FaultInjector::register_metrics(obs::MetricRegistry& registry) {
+  crashes_counter_ = &registry.counter("faults.crashes");
+  recoveries_counter_ = &registry.counter("faults.recoveries");
 }
 
 }  // namespace lgg::core

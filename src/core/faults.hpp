@@ -39,6 +39,11 @@
 #include "common/rng.hpp"
 #include "core/sd_network.hpp"
 
+namespace lgg::obs {
+class Counter;
+class MetricRegistry;
+}  // namespace lgg::obs
+
 namespace lgg::core {
 
 enum class FaultKind : std::uint8_t {
@@ -138,6 +143,14 @@ class FaultInjector {
   [[nodiscard]] bool node_down(NodeId v) const;
   [[nodiscard]] bool sink_out(NodeId v) const;
   [[nodiscard]] PacketCount surge_extra(NodeId v) const;
+  /// Nodes whose down-state flipped at the most recent begin_step, in
+  /// node-id order (telemetry: flight-recorder fault-transition events).
+  [[nodiscard]] const std::vector<NodeId>& went_down() const {
+    return went_down_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& came_up() const {
+    return came_up_;
+  }
   /// Byzantine nodes active this step with their corrupted declarations.
   [[nodiscard]] const std::vector<std::pair<NodeId, PacketCount>>&
   byzantine_declarations() const {
@@ -154,6 +167,10 @@ class FaultInjector {
   // schedule each begin_step).
   void save_state(std::ostream& os) const;
   void load_state(std::istream& is);
+
+  /// Registers faults.crashes / faults.recoveries counters, bumped on each
+  /// down-state transition.
+  void register_metrics(obs::MetricRegistry& registry);
 
  private:
   void ensure_sized(NodeId n);
@@ -172,6 +189,11 @@ class FaultInjector {
   std::vector<char> sink_out_;                 // dense, reset via out_nodes_
   std::vector<NodeId> out_nodes_;
   std::vector<std::pair<NodeId, PacketCount>> byz_active_;
+  std::vector<NodeId> went_down_;              // transitions at this step
+  std::vector<NodeId> came_up_;
+
+  obs::Counter* crashes_counter_ = nullptr;
+  obs::Counter* recoveries_counter_ = nullptr;
 };
 
 }  // namespace lgg::core

@@ -6,6 +6,8 @@
 #include <map>
 #include <numeric>
 
+#include "obs/registry.hpp"
+
 namespace lgg::core {
 
 PacketCount transmission_weight(const StepView& view, const Transmission& tx) {
@@ -141,11 +143,18 @@ void OracleOrGreedyScheduler::schedule(const StepView& view,
   }
   if (static_cast<NodeId>(endpoints.size()) <= kExactMatchingMaxNodes) {
     ++exact_steps_;
+    if (exact_counter_ != nullptr) exact_counter_->add(1);
     exact_.schedule(view, txs, rng, keep);
   } else {
     ++greedy_steps_;
+    if (greedy_counter_ != nullptr) greedy_counter_->add(1);
     greedy_.schedule(view, txs, rng, keep);
   }
+}
+
+void OracleOrGreedyScheduler::register_metrics(obs::MetricRegistry& registry) {
+  exact_counter_ = &registry.counter("scheduler.exact_steps");
+  greedy_counter_ = &registry.counter("scheduler.greedy_steps");
 }
 
 void Distance2GreedyScheduler::schedule(const StepView& view,

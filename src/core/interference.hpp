@@ -21,6 +21,10 @@
 #include "common/rng.hpp"
 #include "core/protocol.hpp"
 
+namespace lgg::obs {
+class Counter;
+}  // namespace lgg::obs
+
 namespace lgg::core {
 
 class Scheduler {
@@ -38,6 +42,10 @@ class Scheduler {
   /// only), so the defaults suffice.
   virtual void save_state(std::ostream&) const {}
   virtual void load_state(std::istream&) {}
+
+  /// Registers scheduler-specific metrics (obs/registry.hpp) when
+  /// telemetry is attached.  Default: nothing to register.
+  virtual void register_metrics(obs::MetricRegistry&) {}
 };
 
 /// All proposed transmissions fire (the paper's base model).
@@ -94,11 +102,17 @@ class OracleOrGreedyScheduler final : public Scheduler {
   [[nodiscard]] std::int64_t exact_steps() const { return exact_steps_; }
   [[nodiscard]] std::int64_t greedy_steps() const { return greedy_steps_; }
 
+  /// Mirrors the two counters above into scheduler.exact_steps /
+  /// scheduler.greedy_steps registry counters.
+  void register_metrics(obs::MetricRegistry& registry) override;
+
  private:
   ExactMatchingScheduler exact_;
   GreedyMatchingScheduler greedy_;
   std::int64_t exact_steps_ = 0;
   std::int64_t greedy_steps_ = 0;
+  obs::Counter* exact_counter_ = nullptr;
+  obs::Counter* greedy_counter_ = nullptr;
 };
 
 /// Distance-2 conflict: two transmissions conflict when they share an

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace lgg::core {
 
 void LggProtocol::select_transmissions(const StepView& view, Rng& rng,
                                        std::vector<Transmission>& out) {
   const NodeId n = view.net->node_count();
+  std::uint64_t active = 0;
   for (NodeId u = 0; u < n; ++u) {
     PacketCount budget = view.queue[static_cast<std::size_t>(u)];
     if (budget <= 0) continue;
+    ++active;
     const PacketCount qu = view.queue[static_cast<std::size_t>(u)];
 
     // list(u): active incident links ordered by increasing declared queue.
@@ -52,6 +56,11 @@ void LggProtocol::select_transmissions(const StepView& view, Rng& rng,
       }
     }
   }
+  if (active_nodes_ != nullptr) active_nodes_->add(active);
+}
+
+void LggProtocol::register_metrics(obs::MetricRegistry& registry) {
+  active_nodes_ = &registry.counter("protocol.active_nodes");
 }
 
 }  // namespace lgg::core

@@ -11,6 +11,10 @@
 
 #include "core/protocol.hpp"
 
+namespace lgg::obs {
+class Counter;
+}  // namespace lgg::obs
+
 namespace lgg::core {
 
 enum class TieBreak {
@@ -28,10 +32,15 @@ class LggProtocol final : public RoutingProtocol {
   void select_transmissions(const StepView& view, Rng& rng,
                             std::vector<Transmission>& out) override;
 
+  /// Registers protocol.active_nodes — cumulative count of nodes that held
+  /// packets when transmissions were chosen (the per-step work LGG scans).
+  void register_metrics(obs::MetricRegistry& registry) override;
+
  private:
   TieBreak tie_break_;
   // Scratch reused across steps to avoid per-step allocation.
   std::vector<graph::IncidentLink> scratch_;
+  obs::Counter* active_nodes_ = nullptr;
 };
 
 }  // namespace lgg::core

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "analysis/table.hpp"
+#include "obs/json.hpp"
 
 namespace lgg::core {
 
@@ -60,17 +61,23 @@ std::string StepProfiler::table() const {
 }
 
 std::string StepProfiler::json() const {
-  std::ostringstream os;
-  os << "{\"steps\":" << steps_ << ",\"total_nanos\":" << total_nanos()
-     << ",\"steps_per_second\":" << steps_per_second() << ",\"phases\":[";
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("steps", steps_);
+  json.field("total_nanos", total_nanos());
+  json.field("steps_per_second", steps_per_second());
+  json.begin_array("phases");
   for (std::size_t i = 0; i < kStepPhaseCount; ++i) {
     const PhaseTotals& p = phases_[i];
-    if (i != 0) os << ',';
-    os << "{\"name\":\"" << to_string(static_cast<StepPhase>(i))
-       << "\",\"nanos\":" << p.nanos << ",\"items\":" << p.items << '}';
+    json.begin_object();
+    json.field("name", to_string(static_cast<StepPhase>(i)));
+    json.field("nanos", p.nanos);
+    json.field("items", p.items);
+    json.end_object();
   }
-  os << "]}";
-  return os.str();
+  json.end_array();
+  json.end_object();
+  return json.take();
 }
 
 }  // namespace lgg::core

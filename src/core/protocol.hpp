@@ -17,6 +17,10 @@
 #include "common/types.hpp"
 #include "core/sd_network.hpp"
 
+namespace lgg::obs {
+class MetricRegistry;
+}  // namespace lgg::obs
+
 namespace lgg::core {
 
 /// One packet moved across one link in one step.
@@ -57,6 +61,11 @@ class RoutingProtocol {
 
   /// Drops protocol-internal caches (called when the simulator is reset).
   virtual void reset() {}
+
+  /// Registers protocol-specific metrics (obs/registry.hpp) when telemetry
+  /// is attached.  Handles must be null-guarded: a protocol runs without a
+  /// registry by default.  Default: nothing to register.
+  virtual void register_metrics(obs::MetricRegistry&) {}
 
   /// Serializes cross-step internal state that a checkpoint must capture
   /// (core/checkpoint.hpp).  Topology-derived caches that rebuild

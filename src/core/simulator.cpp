@@ -36,6 +36,9 @@ void Simulator::set_loss(std::unique_ptr<LossModel> loss) {
 void Simulator::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
   LGG_REQUIRE(scheduler != nullptr, "set_scheduler: null");
   scheduler_ = std::move(scheduler);
+  if (telemetry_ != nullptr) {
+    scheduler_->register_metrics(telemetry_->registry());
+  }
 }
 
 void Simulator::set_dynamics(std::unique_ptr<TopologyDynamics> dynamics) {
@@ -46,6 +49,24 @@ void Simulator::set_dynamics(std::unique_ptr<TopologyDynamics> dynamics) {
 void Simulator::set_faults(std::unique_ptr<FaultInjector> faults) {
   if (faults != nullptr) faults->schedule().validate(net_);
   faults_ = std::move(faults);
+  if (telemetry_ != nullptr && faults_ != nullptr) {
+    faults_->register_metrics(telemetry_->registry());
+  }
+}
+
+void Simulator::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  drift_ = nullptr;  // re-evaluated at the top of every step
+  if (telemetry_ == nullptr) return;
+  telemetry_->bind(net_.node_count());
+  register_component_metrics();
+}
+
+void Simulator::register_component_metrics() {
+  obs::MetricRegistry& registry = telemetry_->registry();
+  protocol_->register_metrics(registry);
+  scheduler_->register_metrics(registry);
+  if (faults_ != nullptr) faults_->register_metrics(registry);
 }
 
 void Simulator::set_initial_queue(NodeId v, PacketCount q) {
@@ -54,7 +75,9 @@ void Simulator::set_initial_queue(NodeId v, PacketCount q) {
   LGG_REQUIRE(q >= 0, "set_initial_queue: negative queue");
   const PacketCount old = queue_[static_cast<std::size_t>(v)];
   initial_total_ += q - old;
-  apply_queue_delta(v, q - old);
+  // Pre-run seeding: drift attribution is inactive outside step(), so the
+  // cause is never recorded.
+  apply_queue_delta(v, q - old, obs::DriftCause::kInjection);
 }
 
 PacketCount Simulator::max_queue() const {
@@ -130,6 +153,14 @@ std::size_t resolve_link_conflicts(std::span<const Transmission> txs,
 StepStats Simulator::step() {
   StepStats stats;
 
+  // Telemetry arms once per step: with no sink and no flight recorder the
+  // session has nothing to feed, so drift_ stays null and every recording
+  // site below collapses to one untaken branch.
+  obs::Telemetry* const tel =
+      (telemetry_ != nullptr && telemetry_->armed()) ? telemetry_ : nullptr;
+  drift_ = tel != nullptr ? &tel->drift() : nullptr;
+  if (tel != nullptr) tel->begin_step();
+
   // Phase timing: two clock reads per phase when a profiler is attached,
   // nothing otherwise.
   StepProfiler* const prof = profiler_;
@@ -155,14 +186,29 @@ StepStats Simulator::step() {
   }
   const graph::EdgeMask* active_mask = &mask_;
   if (faults_ != nullptr) {
+    wiped_scratch_.clear();
     const FaultInjector::StepEffects effects = faults_->begin_step(
         t_, net_, [&](NodeId v) {
           const PacketCount q = queue_[static_cast<std::size_t>(v)];
           if (q > 0) {
-            apply_queue_delta(v, -q);
+            apply_queue_delta(v, -q, obs::DriftCause::kCrashWiped);
             stats.crash_wiped += q;
+            if (tel != nullptr) wiped_scratch_.emplace_back(v, q);
           }
         });
+    if (tel != nullptr) {
+      for (const NodeId v : faults_->went_down()) {
+        PacketCount wiped = 0;
+        for (const auto& [w, q] : wiped_scratch_) {
+          if (w == v) wiped = q;
+        }
+        tel->record_event(
+            {t_, obs::EventKind::kNodeDown, v, kInvalidNode, wiped});
+      }
+      for (const NodeId v : faults_->came_up()) {
+        tel->record_event({t_, obs::EventKind::kNodeUp, v, kInvalidNode, 0});
+      }
+    }
     if (effects.down_set_changed) {
       // Protocol caches key on the topology version; a down-set change
       // alters the effective edge set just like a dynamics event.
@@ -187,7 +233,7 @@ StepStats Simulator::step() {
     if (faults_ != nullptr && faults_->node_down(v)) continue;
     const PacketCount extra =
         faults_ != nullptr ? faults_->surge_extra(v) : 0;
-    apply_queue_delta(v, a + extra);
+    apply_queue_delta(v, a + extra, obs::DriftCause::kInjection);
     stats.injected += a + extra;
   }
   lap(StepPhase::kInjection, static_cast<std::uint64_t>(stats.injected));
@@ -284,13 +330,28 @@ StepStats Simulator::step() {
     const Transmission& tx = txs_[i];
     LGG_REQUIRE(queue_[static_cast<std::size_t>(tx.from)] > 0,
                 "transmission from an empty queue");
-    apply_queue_delta(tx.from, -1);
+    // A lost packet leaves the network at the sender, so its decrement is
+    // a kLoss contribution; a delivered packet's sender/receiver pair are
+    // both kForwarding.
+    apply_queue_delta(
+        tx.from, -1,
+        lost_[i] ? obs::DriftCause::kLoss : obs::DriftCause::kForwarding);
     ++stats.sent;
     if (lost_[i]) {
       ++stats.lost;
     } else {
-      apply_queue_delta(tx.to, 1);
+      apply_queue_delta(tx.to, 1, obs::DriftCause::kForwarding);
       ++stats.delivered;
+    }
+  }
+  if (tel != nullptr && tel->flight() != nullptr) {
+    for (std::size_t i = 0; i < txs_.size(); ++i) {
+      const Transmission& tx = txs_[i];
+      const obs::EventKind kind = !keep_[i] ? obs::EventKind::kDrop
+                                  : lost_[i] ? obs::EventKind::kLoss
+                                             : obs::EventKind::kSend;
+      tel->record_event(
+          {t_, kind, tx.from, tx.to, static_cast<std::int64_t>(tx.edge)});
     }
   }
   lap(StepPhase::kLossApply, static_cast<std::uint64_t>(stats.sent));
@@ -316,7 +377,7 @@ StepStats Simulator::step() {
       amount = extraction_amount(spec, q, options_.extraction_policy, rng_);
     }
     LGG_ASSERT(amount >= 0 && amount <= q);
-    apply_queue_delta(v, -amount);
+    apply_queue_delta(v, -amount, obs::DriftCause::kExtraction);
     stats.extracted += amount;
   }
   lap(StepPhase::kExtraction, static_cast<std::uint64_t>(stats.extracted));
@@ -326,6 +387,24 @@ StepStats Simulator::step() {
 #ifndef NDEBUG
   audit_counters();
 #endif
+  if (tel != nullptr) {
+    obs::StepSample sample;
+    sample.t = t_;
+    sample.potential = network_state();
+    sample.total_packets = total_packets();
+    // max_queue is an O(n) scan; only pay it on snapshot steps.
+    if (tel->snapshot_due(t_)) sample.max_queue = max_queue();
+    sample.injected = stats.injected;
+    sample.proposed = stats.proposed;
+    sample.suppressed = stats.suppressed;
+    sample.conflicted = stats.conflicted;
+    sample.sent = stats.sent;
+    sample.lost = stats.lost;
+    sample.delivered = stats.delivered;
+    sample.extracted = stats.extracted;
+    sample.crash_wiped = stats.crash_wiped;
+    tel->end_step(sample);
+  }
   if (observer_ != nullptr) {
     StepRecord record;
     record.net = &net_;

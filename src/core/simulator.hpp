@@ -29,6 +29,7 @@
 #include "core/metrics.hpp"
 #include "core/profiler.hpp"
 #include "core/protocol.hpp"
+#include "obs/telemetry.hpp"
 
 namespace lgg::core {
 
@@ -148,6 +149,16 @@ class Simulator {
   /// reads per phase while attached, nothing when detached.
   void set_profiler(StepProfiler* profiler) { profiler_ = profiler; }
 
+  /// Attaches a telemetry session (obs/telemetry.hpp): metric registry,
+  /// per-node drift attribution, flight recorder, JSONL snapshots.  Not
+  /// owned; pass nullptr to detach.  Binds the session to this network
+  /// and registers component metrics (protocol, scheduler, faults).  The
+  /// step pays one branch while the session is not armed() — drift
+  /// attribution and per-mutation accounting only run when a sink or
+  /// flight recorder is actually listening.
+  void set_telemetry(obs::Telemetry* telemetry);
+  [[nodiscard]] obs::Telemetry* telemetry() const { return telemetry_; }
+
   [[nodiscard]] const SdNetwork& network() const { return net_; }
   [[nodiscard]] const RoutingProtocol& protocol() const { return *protocol_; }
   [[nodiscard]] const graph::EdgeMask& edge_mask() const { return mask_; }
@@ -193,13 +204,25 @@ class Simulator {
 
  private:
   /// The single funnel for queue mutations: updates the queue and the
-  /// running Σq / Σq² so total_packets()/network_state() stay O(1).
-  void apply_queue_delta(NodeId v, PacketCount delta) {
+  /// running Σq / Σq² so total_packets()/network_state() stay O(1).  When
+  /// drift attribution is live (telemetry armed), the mutation's exact ΔP
+  /// contribution δ(2q+δ) is recorded against (node, cause); computed in
+  /// unsigned 64-bit (wraparound-safe, exact whenever the true values fit
+  /// in int64 — the same modular discipline as the Σq² accumulator).
+  void apply_queue_delta(NodeId v, PacketCount delta, obs::DriftCause cause) {
     auto& q = queue_[static_cast<std::size_t>(v)];
+    if (drift_ != nullptr) {
+      const auto uq = static_cast<std::uint64_t>(q);
+      const auto ud = static_cast<std::uint64_t>(delta);
+      drift_->record(v, cause, ud * (2 * uq + ud));
+    }
     sum_sq_ += detail::square(q + delta) - detail::square(q);
     sum_q_ += delta;
     q += delta;
   }
+
+  /// Registers component metrics into the attached telemetry session.
+  void register_component_metrics();
 
   /// Debug-only full-scan cross-check of the incremental counters.
   void audit_counters() const;
@@ -220,6 +243,8 @@ class Simulator {
 
   StepObserver* observer_ = nullptr;
   StepProfiler* profiler_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::DriftAttributor* drift_ = nullptr;  // non-null only while armed
 
   std::vector<PacketCount> queue_;
   std::vector<PacketCount> declared_;
@@ -229,6 +254,8 @@ class Simulator {
   std::vector<char> keep_;            // scratch
   std::vector<char> lost_;            // scratch
   LinkConflictScratch conflict_scratch_;
+  // Per-step (node, wiped packets) pairs for flight-recorder crash events.
+  std::vector<std::pair<NodeId, PacketCount>> wiped_scratch_;
 
   TimeStep t_ = 0;
   std::uint64_t topology_version_ = 0;

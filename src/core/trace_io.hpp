@@ -25,7 +25,7 @@ SdNetwork read_network(std::istream& is);
 SdNetwork network_from_string(const std::string& text);
 
 /// CSV with header: t,network_state,total_packets,max_queue,injected,
-/// proposed,suppressed,conflicted,sent,lost,delivered,extracted
+/// proposed,suppressed,conflicted,sent,lost,delivered,extracted,crash_wiped
 void write_trajectory_csv(std::ostream& os, const MetricsRecorder& recorder);
 
 }  // namespace lgg::core

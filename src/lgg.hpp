@@ -27,6 +27,12 @@
 #include "flow/path_decomposition.hpp"  // IWYU pragma: export
 #include "flow/push_relabel.hpp"        // IWYU pragma: export
 
+#include "obs/drift.hpp"            // IWYU pragma: export
+#include "obs/flight_recorder.hpp"  // IWYU pragma: export
+#include "obs/json.hpp"             // IWYU pragma: export
+#include "obs/registry.hpp"         // IWYU pragma: export
+#include "obs/telemetry.hpp"        // IWYU pragma: export
+
 #include "core/arrival.hpp"          // IWYU pragma: export
 #include "core/bounds.hpp"           // IWYU pragma: export
 #include "core/burst_condition.hpp"  // IWYU pragma: export

@@ -1,0 +1,99 @@
+#include "obs/flight_recorder.hpp"
+
+#include <ostream>
+
+#include "common/binio.hpp"
+#include "obs/json.hpp"
+
+namespace lgg::obs {
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSend: return "send";
+    case EventKind::kLoss: return "loss";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kNodeDown: return "node_down";
+    case EventKind::kNodeUp: return "node_up";
+    case EventKind::kCheckpoint: return "checkpoint";
+    case EventKind::kSnapshot: return "snapshot";
+  }
+  return "?";
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  // Before the first wrap next_ is 0 and the ring is already in order;
+  // after wrapping, next_ points at the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t FlightRecorder::dump(std::ostream& os) const {
+  const std::vector<FlightEvent> ordered = events();
+  const std::uint64_t first_seq = recorded_ - ordered.size();
+  JsonWriter json;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const FlightEvent& e = ordered[i];
+    json.clear();
+    json.begin_object();
+    json.field("type", "event");
+    json.field("seq", first_seq + i);
+    json.field("t", static_cast<std::int64_t>(e.t));
+    json.field("kind", to_string(e.kind));
+    if (e.a != kInvalidNode) json.field("a", static_cast<std::int64_t>(e.a));
+    if (e.b != kInvalidNode) json.field("b", static_cast<std::int64_t>(e.b));
+    if (e.value != 0) json.field("value", e.value);
+    json.end_object();
+    os << json.str() << '\n';
+  }
+  return ordered.size();
+}
+
+void FlightRecorder::save_state(std::ostream& os) const {
+  binio::write_u64(os, static_cast<std::uint64_t>(capacity_));
+  binio::write_u64(os, recorded_);
+  const std::vector<FlightEvent> ordered = events();
+  binio::write_u32(os, static_cast<std::uint32_t>(ordered.size()));
+  for (const FlightEvent& e : ordered) {
+    binio::write_i64(os, e.t);
+    binio::write_u8(os, static_cast<std::uint8_t>(e.kind));
+    binio::write_i64(os, e.a);
+    binio::write_i64(os, e.b);
+    binio::write_i64(os, e.value);
+  }
+}
+
+void FlightRecorder::load_state(std::istream& is) {
+  const std::uint64_t capacity = binio::read_u64(is);
+  if (capacity != capacity_) {
+    throw std::runtime_error("FlightRecorder: checkpoint capacity " +
+                             std::to_string(capacity) + " != configured " +
+                             std::to_string(capacity_));
+  }
+  const std::uint64_t recorded = binio::read_u64(is);
+  const std::uint32_t count = binio::read_u32(is);
+  if (count > capacity_) {
+    throw std::runtime_error("FlightRecorder: corrupt state (count > cap)");
+  }
+  ring_.clear();
+  next_ = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FlightEvent e;
+    e.t = binio::read_i64(is);
+    e.kind = static_cast<EventKind>(binio::read_u8(is));
+    e.a = static_cast<NodeId>(binio::read_i64(is));
+    e.b = static_cast<NodeId>(binio::read_i64(is));
+    e.value = binio::read_i64(is);
+    ring_.push_back(e);
+  }
+  // Events were saved oldest-first, so the reloaded ring is in order and
+  // the overwrite cursor (only consulted once the ring is full) sits on
+  // the oldest slot, index 0.
+  next_ = 0;
+  recorded_ = recorded;
+}
+
+}  // namespace lgg::obs

@@ -1,0 +1,160 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/require.hpp"
+
+namespace lgg::obs {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_json_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  LGG_ASSERT(ec == std::errc());
+  out.append(buf, ptr);
+}
+
+void JsonWriter::begin_object() {
+  if (pending_comma_) out_.push_back(',');
+  out_.push_back('{');
+  stack_.push_back('{');
+  pending_comma_ = false;
+}
+
+void JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  out_.push_back('{');
+  stack_.push_back('{');
+  pending_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  LGG_REQUIRE(!stack_.empty() && stack_.back() == '{',
+              "JsonWriter: end_object without begin_object");
+  stack_.pop_back();
+  out_.push_back('}');
+  pending_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  if (pending_comma_) out_.push_back(',');
+  out_.push_back('[');
+  stack_.push_back('[');
+  pending_comma_ = false;
+}
+
+void JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  out_.push_back('[');
+  stack_.push_back('[');
+  pending_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  LGG_REQUIRE(!stack_.empty() && stack_.back() == '[',
+              "JsonWriter: end_array without begin_array");
+  stack_.pop_back();
+  out_.push_back(']');
+  pending_comma_ = true;
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  LGG_REQUIRE(!stack_.empty() && stack_.back() == '{',
+              "JsonWriter: keyed member outside an object");
+  if (pending_comma_) out_.push_back(',');
+  append_json_string(out_, key);
+  out_.push_back(':');
+  pending_comma_ = false;
+}
+
+void JsonWriter::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  append_json_string(out_, value);
+  pending_comma_ = true;
+}
+
+void JsonWriter::field(std::string_view key, double value) {
+  key_prefix(key);
+  append_json_double(out_, value);
+  pending_comma_ = true;
+}
+
+void JsonWriter::field(std::string_view key, std::int64_t value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+  pending_comma_ = true;
+}
+
+void JsonWriter::field(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+  pending_comma_ = true;
+}
+
+void JsonWriter::field(std::string_view key, bool value) {
+  key_prefix(key);
+  out_ += value ? "true" : "false";
+  pending_comma_ = true;
+}
+
+void JsonWriter::raw_field(std::string_view key, std::string_view json) {
+  key_prefix(key);
+  out_ += json;
+  pending_comma_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  if (pending_comma_) out_.push_back(',');
+  append_json_string(out_, v);
+  pending_comma_ = true;
+}
+
+void JsonWriter::value(double v) {
+  if (pending_comma_) out_.push_back(',');
+  append_json_double(out_, v);
+  pending_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  if (pending_comma_) out_.push_back(',');
+  out_ += std::to_string(v);
+  pending_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  if (pending_comma_) out_.push_back(',');
+  out_ += std::to_string(v);
+  pending_comma_ = true;
+}
+
+}  // namespace lgg::obs

@@ -138,6 +138,82 @@ TEST(CheckpointResume, StatefulComponentsRoundTrip) {
   expect_same_totals(full->cumulative(), resumed->cumulative());
 }
 
+TEST(CheckpointResume, TelemetryStreamIsByteIdenticalAcrossResume) {
+  // A resumed run's JSONL telemetry must continue the interrupted stream
+  // exactly: concatenating the pre-break and post-resume files yields the
+  // uninterrupted run's bytes (sequence numbers, counters, cumulative
+  // drift, and the flight ring all travel in the checkpoint).
+  const auto make_telemetry = [] {
+    obs::TelemetryOptions topts;
+    topts.snapshot_every = 10;
+    topts.flight_capacity = 32;
+    return std::make_unique<obs::Telemetry>(topts);
+  };
+
+  for (const bool with_faults : {false, true}) {
+    SCOPED_TRACE(with_faults ? "with faults" : "no faults");
+
+    // Reference: uninterrupted, fully observed run.
+    auto full_tel = make_telemetry();
+    std::ostringstream full_stream;
+    obs::OstreamJsonlSink full_sink(full_stream);
+    full_tel->set_sink(&full_sink);
+    auto full = build("lgg", with_faults);
+    full->set_telemetry(full_tel.get());
+    full->run(kHorizon);
+    std::ostringstream full_flight;
+    full_tel->dump_flight(full_flight);
+
+    // Interrupted twin, telemetry attached on both sides of the break.
+    auto first_tel = make_telemetry();
+    std::ostringstream first_stream;
+    obs::OstreamJsonlSink first_sink(first_stream);
+    first_tel->set_sink(&first_sink);
+    auto first = build("lgg", with_faults);
+    first->set_telemetry(first_tel.get());
+    first->run(kBreak);
+    std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+    first->save_checkpoint(blob);
+
+    auto resumed_tel = make_telemetry();
+    std::ostringstream resumed_stream;
+    obs::OstreamJsonlSink resumed_sink(resumed_stream);
+    resumed_tel->set_sink(&resumed_sink);
+    auto resumed = build("lgg", with_faults);
+    // Attach before restoring, as lgg_sim does: the checkpoint's
+    // telemetry section then loads into the live session.
+    resumed->set_telemetry(resumed_tel.get());
+    resumed->restore_checkpoint(blob);
+    EXPECT_EQ(resumed_tel->sequence(), first_tel->sequence());
+    resumed->run(kHorizon - kBreak);
+
+    EXPECT_EQ(first_stream.str() + resumed_stream.str(), full_stream.str());
+    std::ostringstream resumed_flight;
+    resumed_tel->dump_flight(resumed_flight);
+    EXPECT_EQ(resumed_flight.str(), full_flight.str());
+  }
+}
+
+TEST(CheckpointResume, TelemetryConfigurationMismatchIsRejected) {
+  // A checkpoint saved with one telemetry shape cannot restore into a
+  // session with a different flight-recorder capacity.
+  obs::TelemetryOptions topts;
+  topts.flight_capacity = 32;
+  obs::Telemetry saved_tel(topts);
+  auto sim = build("lgg", false);
+  sim->set_telemetry(&saved_tel);
+  sim->run(50);
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  sim->save_checkpoint(blob);
+
+  obs::TelemetryOptions other_opts;
+  other_opts.flight_capacity = 8;
+  obs::Telemetry other_tel(other_opts);
+  auto victim = build("lgg", false);
+  victim->set_telemetry(&other_tel);
+  EXPECT_THROW(victim->restore_checkpoint(blob), std::runtime_error);
+}
+
 TEST(CheckpointResume, CorruptionIsDetected) {
   auto sim = build("lgg", false);
   sim->run(50);

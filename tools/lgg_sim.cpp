@@ -21,6 +21,11 @@
 //     --checkpoint-every N write FILE atomically every N steps
 //     --resume FILE        restore state from FILE before running
 //     --csv FILE           write the trajectory as CSV
+//     --telemetry FILE     write JSONL telemetry snapshots (docs/formats.md)
+//     --telemetry-every K  steps between snapshots       (default 100)
+//     --flight-recorder N  keep the last N step events; dumped into the
+//                          telemetry stream (and into crash dumps).
+//                          Default 256 with --telemetry, else off
 //     --profile            print the per-phase step profile after the run
 //     --analyze-only       print the feasibility report and exit
 //
@@ -36,6 +41,8 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 
 #include "analysis/supervisor.hpp"
@@ -47,6 +54,8 @@
 #include "core/simulator.hpp"
 #include "core/stability.hpp"
 #include "core/trace_io.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -56,6 +65,8 @@ namespace {
                "[--loss P] [--arrival-scale F] [--matching] "
                "[--churn P_OFF P_ON] [--faults SPEC] [--checkpoint FILE] "
                "[--checkpoint-every N] [--resume FILE] [--csv FILE] "
+               "[--telemetry FILE] [--telemetry-every K] "
+               "[--flight-recorder N] "
                "[--profile] [--analyze-only] [network.sdnet]\n",
                argv0);
   std::exit(2);
@@ -125,6 +136,9 @@ int main(int argc, char** argv) {
   TimeStep checkpoint_every = 0;
   std::string resume_path;
   std::string csv_path;
+  std::string telemetry_path;
+  TimeStep telemetry_every = 100;
+  long long flight_capacity = -1;  // -1 = default (256 with --telemetry)
   std::string input_path;
   bool analyze_only = false;
   bool profile = false;
@@ -177,6 +191,24 @@ int main(int argc, char** argv) {
       resume_path = next("--resume");
     } else if (arg == "--csv") {
       csv_path = next("--csv");
+    } else if (arg == "--telemetry") {
+      telemetry_path = next("--telemetry");
+    } else if (arg == "--telemetry-every") {
+      telemetry_every =
+          parse_int("--telemetry-every", next("--telemetry-every"));
+      if (telemetry_every <= 0) {
+        std::fprintf(stderr,
+                     "error: --telemetry-every wants a positive interval\n");
+        return 2;
+      }
+    } else if (arg == "--flight-recorder") {
+      flight_capacity =
+          parse_int("--flight-recorder", next("--flight-recorder"));
+      if (flight_capacity < 0) {
+        std::fprintf(stderr,
+                     "error: --flight-recorder wants a capacity >= 0\n");
+        return 2;
+      }
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--analyze-only") {
@@ -219,9 +251,11 @@ int main(int argc, char** argv) {
 
     const auto report = core::analyze(net);
     std::printf("%s\n", core::describe(net, report).c_str());
+    std::optional<core::UnsaturatedBounds> lemma1;
     if (report.unsaturated) {
-      const auto bounds = core::unsaturated_bounds(net, report);
-      std::printf("lemma1 bound: %.6g (Y = %.6g)\n", bounds.state, bounds.y);
+      lemma1 = core::unsaturated_bounds(net, report);
+      std::printf("lemma1 bound: %.6g (Y = %.6g)\n", lemma1->state,
+                  lemma1->y);
     }
     std::printf("cut placement: at_source=%d unique=%d at_sink=%d internal=%d\n",
                 report.location.at_source ? 1 : 0,
@@ -250,6 +284,34 @@ int main(int argc, char** argv) {
       // runs are reproducible yet independent of the simulation stream.
       sim.set_faults(std::make_unique<core::FaultInjector>(
           fault_schedule, derive_seed(seed, 0xFA17)));
+    }
+    // Telemetry attaches before --resume so a checkpoint's telemetry
+    // section restores into it and the JSONL stream continues seamlessly.
+    std::ofstream telemetry_file;
+    std::unique_ptr<obs::OstreamJsonlSink> sink;
+    std::unique_ptr<obs::Telemetry> telemetry;
+    if (!telemetry_path.empty() || flight_capacity > 0) {
+      obs::TelemetryOptions topts;
+      topts.snapshot_every = telemetry_every;
+      topts.flight_capacity =
+          flight_capacity >= 0
+              ? static_cast<std::size_t>(flight_capacity)
+              : (!telemetry_path.empty() ? std::size_t{256} : std::size_t{0});
+      telemetry = std::make_unique<obs::Telemetry>(topts);
+      if (lemma1.has_value()) {
+        // Live bound-slack gauges: Property 1 growth (5nΔ²) and the
+        // Lemma 1 state bound (nY² + 5nΔ²).
+        telemetry->set_lemma1_bounds(lemma1->growth, lemma1->state);
+      }
+      if (!telemetry_path.empty()) {
+        telemetry_file.open(telemetry_path, std::ios::trunc);
+        if (!telemetry_file) {
+          throw std::runtime_error("cannot write " + telemetry_path);
+        }
+        sink = std::make_unique<obs::OstreamJsonlSink>(telemetry_file);
+        telemetry->set_sink(sink.get());
+      }
+      sim.set_telemetry(telemetry.get());
     }
     if (!resume_path.empty()) {
       core::restore_checkpoint_file(sim, resume_path);
@@ -304,6 +366,26 @@ int main(int argc, char** argv) {
         static_cast<long long>(sim.total_packets()));
     std::printf("conservation: %s\n",
                 sim.conserves_packets() ? "ok" : "VIOLATED");
+
+    if (telemetry != nullptr && sink != nullptr) {
+      obs::JsonWriter json;
+      json.begin_object();
+      json.field("type", "summary");
+      json.field("t", static_cast<std::int64_t>(sim.now()));
+      json.field("P", sim.network_state());
+      json.field("verdict", core::to_string(stability.verdict));
+      json.field("snapshots", telemetry->sequence());
+      json.end_object();
+      sink->write_line(json.str());
+      // Append the flight ring so the stream's tail shows the run's last
+      // events (same lines a crash dump would contain).
+      const std::size_t events = telemetry->dump_flight(telemetry_file);
+      sink->flush();
+      std::printf("telemetry written to %s (%llu snapshots, %llu events)\n",
+                  telemetry_path.c_str(),
+                  static_cast<unsigned long long>(telemetry->sequence()),
+                  static_cast<unsigned long long>(events));
+    }
 
     if (!csv_path.empty()) {
       std::ofstream csv(csv_path);

@@ -1,0 +1,446 @@
+// lgg_telemetry_check — schema validator for telemetry JSONL streams.
+//
+// Reads a stream produced by `lgg_sim --telemetry` (or the obs::Telemetry
+// API) from a file or stdin and verifies, line by line:
+//
+//   * every line is one complete JSON object with a string "type";
+//   * a "header" line, when present, is the first line, with schema >= 1;
+//   * "snapshot" lines come after a header, their seq values are
+//     consecutive, their t values strictly increase, and the drift
+//     decomposition is internally consistent: the per-cause contributions
+//     sum to drift.dP, the per-node contributions sum to drift.dP, and
+//     each per-node entry's cause fields sum to its own dP;
+//   * "event" lines carry t and kind, with seq values non-decreasing;
+//   * "summary" lines carry t and P.
+//
+// With --strict-bounds, every snapshot's sim.bound_slack_growth and
+// sim.bound_slack_state gauges must also be non-negative — the live form
+// of the Lemma 1 acceptance check for unsaturated runs.
+//
+// Exit codes: 0 = valid, 1 = validation failure, 2 = usage or I/O error.
+//
+// The JSON parser below is deliberately minimal (objects, arrays,
+// strings, numbers, booleans, null; numbers as double).  Integer fields
+// up to 2^53 round-trip exactly through double, far beyond any bounded
+// run's counters.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::vector<std::pair<std::string, ValuePtr>> object;
+
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return v.get();
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  ValuePtr value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  ValuePtr object() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      ValuePtr key = string_value();
+      skip_ws();
+      expect(':');
+      v->object.emplace_back(key->string, value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  ValuePtr array() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v->array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  ValuePtr string_value() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kString;
+    expect('"');
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return v;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': v->string.push_back('"'); break;
+          case '\\': v->string.push_back('\\'); break;
+          case '/': v->string.push_back('/'); break;
+          case 'b': v->string.push_back('\b'); break;
+          case 'f': v->string.push_back('\f'); break;
+          case 'n': v->string.push_back('\n'); break;
+          case 'r': v->string.push_back('\r'); break;
+          case 't': v->string.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              throw std::runtime_error("truncated \\u escape");
+            }
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            // Validator only needs the byte content for comparisons, and
+            // the writer emits \u only for ASCII control characters.
+            v->string.push_back(static_cast<char>(code & 0x7F));
+            break;
+          }
+          default: throw std::runtime_error("bad escape");
+        }
+        continue;
+      }
+      v->string.push_back(c);
+    }
+  }
+
+  ValuePtr boolean() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v->boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v->boolean = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+
+  ValuePtr null() {
+    if (text_.compare(pos_, 4, "null") != 0) {
+      throw std::runtime_error("bad literal");
+    }
+    pos_ += 4;
+    return std::make_shared<Value>();
+  }
+
+  ValuePtr number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::strchr("+-0123456789.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("expected a value");
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kNumber;
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    v->number = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      throw std::runtime_error("bad number '" + token + "'");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+struct Checker {
+  bool strict_bounds = false;
+  bool seen_header = false;
+  bool have_snapshot_seq = false;
+  double last_snapshot_seq = 0.0;
+  bool have_snapshot_t = false;
+  double last_snapshot_t = 0.0;
+  bool have_event_seq = false;
+  double last_event_seq = 0.0;
+  std::size_t snapshots = 0;
+  std::size_t events = 0;
+  std::size_t summaries = 0;
+
+  [[nodiscard]] const Value* require(const Value& obj, const char* key,
+                                     Value::Kind kind, const char* in) {
+    const Value* v = obj.find(key);
+    if (v == nullptr || v->kind != kind) {
+      throw std::runtime_error(std::string(in) + " needs " + key);
+    }
+    return v;
+  }
+
+  void check_line(const Value& obj, std::size_t line_no) {
+    if (obj.kind != Value::Kind::kObject) {
+      throw std::runtime_error("line is not a JSON object");
+    }
+    const Value* type = obj.find("type");
+    if (type == nullptr || type->kind != Value::Kind::kString) {
+      throw std::runtime_error("missing string \"type\"");
+    }
+    if (type->string == "header") {
+      if (line_no != 1) throw std::runtime_error("header is not line 1");
+      if (seen_header) throw std::runtime_error("duplicate header");
+      if (require(obj, "schema", Value::Kind::kNumber, "header")->number <
+          1.0) {
+        throw std::runtime_error("header schema < 1");
+      }
+      require(obj, "n", Value::Kind::kNumber, "header");
+      seen_header = true;
+    } else if (type->string == "snapshot") {
+      check_snapshot(obj);
+    } else if (type->string == "event") {
+      check_event(obj);
+    } else if (type->string == "summary") {
+      require(obj, "t", Value::Kind::kNumber, "summary");
+      require(obj, "P", Value::Kind::kNumber, "summary");
+      ++summaries;
+    } else {
+      throw std::runtime_error("unknown type \"" + type->string + "\"");
+    }
+  }
+
+  void check_snapshot(const Value& obj) {
+    if (!seen_header) throw std::runtime_error("snapshot before header");
+    const double seq =
+        require(obj, "seq", Value::Kind::kNumber, "snapshot")->number;
+    if (have_snapshot_seq && seq != last_snapshot_seq + 1.0) {
+      throw std::runtime_error("snapshot seq not consecutive");
+    }
+    last_snapshot_seq = seq;
+    have_snapshot_seq = true;
+    const double t =
+        require(obj, "t", Value::Kind::kNumber, "snapshot")->number;
+    if (have_snapshot_t && t <= last_snapshot_t) {
+      throw std::runtime_error("snapshot t not increasing");
+    }
+    last_snapshot_t = t;
+    have_snapshot_t = true;
+    require(obj, "P", Value::Kind::kNumber, "snapshot");
+    const double dp =
+        require(obj, "dP", Value::Kind::kNumber, "snapshot")->number;
+    require(obj, "counters", Value::Kind::kObject, "snapshot");
+    const Value* gauges =
+        require(obj, "gauges", Value::Kind::kObject, "snapshot");
+    require(obj, "histograms", Value::Kind::kObject, "snapshot");
+
+    const Value* drift =
+        require(obj, "drift", Value::Kind::kObject, "snapshot");
+    const double drift_dp =
+        require(*drift, "dP", Value::Kind::kNumber, "drift")->number;
+    if (drift_dp != dp) {
+      throw std::runtime_error("drift.dP != snapshot dP");
+    }
+    const Value* by_cause =
+        require(*drift, "by_cause", Value::Kind::kObject, "drift");
+    double cause_sum = 0.0;
+    for (const auto& [name, v] : by_cause->object) {
+      if (v->kind != Value::Kind::kNumber) {
+        throw std::runtime_error("by_cause." + name + " is not a number");
+      }
+      cause_sum += v->number;
+    }
+    if (cause_sum != drift_dp) {
+      throw std::runtime_error("by_cause sum != drift.dP");
+    }
+    require(*drift, "cumulative_by_cause", Value::Kind::kObject, "drift");
+    const Value* per_node =
+        require(*drift, "per_node", Value::Kind::kArray, "drift");
+    double node_sum = 0.0;
+    double last_node = -1.0;
+    for (const ValuePtr& entry : per_node->array) {
+      if (entry->kind != Value::Kind::kObject) {
+        throw std::runtime_error("per_node entry is not an object");
+      }
+      const double v =
+          require(*entry, "v", Value::Kind::kNumber, "per_node")->number;
+      if (v <= last_node) {
+        throw std::runtime_error("per_node not sorted by node id");
+      }
+      last_node = v;
+      const double node_dp =
+          require(*entry, "dP", Value::Kind::kNumber, "per_node")->number;
+      double entry_sum = 0.0;
+      for (const auto& [key, field] : entry->object) {
+        if (key == "v" || key == "dP") continue;
+        if (field->kind != Value::Kind::kNumber) {
+          throw std::runtime_error("per_node." + key + " is not a number");
+        }
+        entry_sum += field->number;
+      }
+      if (entry_sum != node_dp) {
+        throw std::runtime_error("per_node causes don't sum to entry dP");
+      }
+      node_sum += node_dp;
+    }
+    if (node_sum != drift_dp) {
+      throw std::runtime_error("per_node sum != drift.dP");
+    }
+
+    if (strict_bounds) {
+      for (const char* gauge :
+           {"sim.bound_slack_growth", "sim.bound_slack_state"}) {
+        const Value* v = gauges->find(gauge);
+        if (v == nullptr || v->kind != Value::Kind::kNumber) {
+          throw std::runtime_error(std::string(gauge) + " missing");
+        }
+        if (v->number < 0.0) {
+          throw std::runtime_error(std::string(gauge) + " is negative (" +
+                                   std::to_string(v->number) + ")");
+        }
+      }
+    }
+    ++snapshots;
+  }
+
+  void check_event(const Value& obj) {
+    const double seq =
+        require(obj, "seq", Value::Kind::kNumber, "event")->number;
+    if (have_event_seq && seq < last_event_seq) {
+      throw std::runtime_error("event seq decreased");
+    }
+    last_event_seq = seq;
+    have_event_seq = true;
+    require(obj, "t", Value::Kind::kNumber, "event");
+    require(obj, "kind", Value::Kind::kString, "event");
+    ++events;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict_bounds = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict-bounds") {
+      strict_bounds = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: %s [--strict-bounds] [telemetry.jsonl]\n",
+                   argv[0]);
+      return 2;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+
+  std::ifstream file;
+  if (!path.empty()) {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = path.empty() ? std::cin : file;
+
+  Checker checker;
+  checker.strict_bounds = strict_bounds;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      Parser parser(line);
+      const ValuePtr value = parser.parse();
+      checker.check_line(*value, line_no);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "line %zu: INVALID: %s\n", line_no, e.what());
+      return 1;
+    }
+  }
+  if (line_no == 0) {
+    std::fprintf(stderr, "error: empty stream\n");
+    return 1;
+  }
+  std::printf("valid: %zu lines (%zu snapshots, %zu events, %zu summaries)\n",
+              line_no, checker.snapshots, checker.events, checker.summaries);
+  return 0;
+}
