@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <sstream>
+
+#include <signal.h>
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
@@ -34,18 +38,39 @@ RunSupervisor::RunSupervisor(SupervisorOptions options)
 
 namespace {
 
-/// Crash atomicity: a checkpoint is either the complete new file or the
-/// complete old one, never a torn write.
-void write_checkpoint_atomic(const core::Simulator& sim,
-                             const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  core::write_checkpoint_file(sim, tmp);
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw core::CheckpointError("checkpoint: rename to '" + path +
-                                "' failed");
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void supervisor_stop_handler(int) { g_stop_requested = 1; }
+
+/// RAII SIGINT/SIGTERM trap: handlers set only the sig_atomic_t flag
+/// (async-signal safe); the run loop polls it at chunk boundaries.  The
+/// previous dispositions are restored on destruction, so supervised runs
+/// compose with whatever the embedding tool installed.
+class ScopedSignalTrap {
+ public:
+  ScopedSignalTrap() {
+    g_stop_requested = 0;
+    struct sigaction action {};
+    action.sa_handler = supervisor_stop_handler;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, &old_int_);
+    sigaction(SIGTERM, &action, &old_term_);
   }
-}
+  ~ScopedSignalTrap() {
+    sigaction(SIGINT, &old_int_, nullptr);
+    sigaction(SIGTERM, &old_term_, nullptr);
+  }
+  ScopedSignalTrap(const ScopedSignalTrap&) = delete;
+  ScopedSignalTrap& operator=(const ScopedSignalTrap&) = delete;
+
+  [[nodiscard]] static bool stop_requested() {
+    return g_stop_requested != 0;
+  }
+
+ private:
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
 
 }  // namespace
 
@@ -102,12 +127,28 @@ SupervisedResult RunSupervisor::run(core::Simulator& sim, TimeStep steps,
   LGG_REQUIRE(steps >= 0, "RunSupervisor::run: negative step count");
   SupervisedResult result;
   const Deadline deadline(options_.deadline);
+  std::optional<ScopedSignalTrap> trap;
+  if (options_.handle_signals) trap.emplace();
   TimeStep next_checkpoint =
       options_.checkpoint_every > 0 ? sim.now() + options_.checkpoint_every
                                     : std::numeric_limits<TimeStep>::max();
   try {
     TimeStep remaining = steps;
     while (remaining > 0) {
+      if (trap && ScopedSignalTrap::stop_requested()) {
+        // Graceful stop: leave resumable state behind before returning.
+        if (!options_.checkpoint_path.empty()) {
+          if (sim.telemetry() != nullptr && sim.telemetry()->armed()) {
+            sim.telemetry()->record_checkpoint(sim.now());
+          }
+          core::write_checkpoint_file_atomic(sim, options_.checkpoint_path);
+        }
+        result.kind = SupervisedResult::FailureKind::kStopped;
+        result.error = "stopped by signal at step " +
+                       std::to_string(static_cast<long long>(sim.now()));
+        result.crash_dump_path = write_crash_dump(sim, result.error);
+        return result;
+      }
       // Shrink the chunk so checkpoints land exactly on multiples of
       // checkpoint_every — a resumed run then restarts at a predictable
       // step instead of whatever health-check boundary came next.
@@ -134,12 +175,21 @@ SupervisedResult RunSupervisor::run(core::Simulator& sim, TimeStep steps,
         if (sim.telemetry() != nullptr && sim.telemetry()->armed()) {
           sim.telemetry()->record_checkpoint(sim.now());
         }
-        write_checkpoint_atomic(sim, options_.checkpoint_path);
+        core::write_checkpoint_file_atomic(sim, options_.checkpoint_path);
         next_checkpoint = sim.now() + options_.checkpoint_every;
       }
     }
     result.ok = true;
+  } catch (const DivergenceDetected& e) {
+    result.kind = SupervisedResult::FailureKind::kDivergence;
+    result.error = e.what();
+    result.crash_dump_path = write_crash_dump(sim, result.error);
+  } catch (const DeadlineExceeded& e) {
+    result.kind = SupervisedResult::FailureKind::kDeadline;
+    result.error = e.what();
+    result.crash_dump_path = write_crash_dump(sim, result.error);
   } catch (const std::exception& e) {
+    result.kind = SupervisedResult::FailureKind::kError;
     result.error = e.what();
     result.crash_dump_path = write_crash_dump(sim, result.error);
   }

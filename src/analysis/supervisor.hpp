@@ -85,10 +85,25 @@ struct SupervisorOptions {
   std::string repro_config;
   std::uint64_t seed = 0;
   std::string label = "run";
+  /// Trap SIGINT/SIGTERM for the duration of run(): a signal requests a
+  /// graceful stop at the next chunk boundary, after which a final atomic
+  /// checkpoint (when checkpoint_path is set) and a flight-recorder dump
+  /// (when crash_dump_dir is set and telemetry is attached) are written.
+  /// The previous handlers are restored when run() returns.
+  bool handle_signals = false;
 };
 
 struct SupervisedResult {
+  enum class FailureKind {
+    kNone,        ///< completed all requested steps
+    kError,       ///< the simulator (or a checkpoint write) threw
+    kDivergence,  ///< P_t exceeded divergence_bound
+    kDeadline,    ///< wall-clock budget exhausted
+    kStopped,     ///< SIGINT/SIGTERM graceful stop (handle_signals)
+  };
+
   bool ok = false;
+  FailureKind kind = FailureKind::kNone;
   TimeStep steps_done = 0;      ///< steps executed by this call
   std::string error;            ///< what() of the failure, empty when ok
   std::string crash_dump_path;  ///< dump text file, empty if none written

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <string_view>
+#include <thread>
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
@@ -34,9 +35,11 @@ Sweep& Sweep::add_range(double lo, double hi, int count) {
 
 std::vector<SweepRow> Sweep::run(ThreadPool& pool, int replicates,
                                  std::uint64_t master_seed,
-                                 const Measure& measure) const {
+                                 const Measure& measure,
+                                 const RetryPolicy& retry) const {
   LGG_REQUIRE(replicates >= 1, "Sweep::run: replicates >= 1");
   LGG_REQUIRE(static_cast<bool>(measure), "Sweep::run: empty measure");
+  LGG_REQUIRE(retry.max_attempts >= 1, "Sweep::run: max_attempts >= 1");
   {
     std::set<std::string_view> labels;
     for (const SweepPoint& pt : points_) {
@@ -56,17 +59,31 @@ std::vector<SweepRow> Sweep::run(ThreadPool& pool, int replicates,
   std::vector<double> values(total, 0.0);
   std::vector<char> ok(total, 0);
   std::vector<std::string> errors(total);
+  std::vector<int> attempts(total, 0);
   parallel_for(pool, total, [&](std::size_t flat) {
-    const std::size_t p = flat / static_cast<std::size_t>(replicates);
-    const std::uint64_t seed =
-        derive_seed(master_seed, static_cast<std::uint64_t>(flat));
-    try {
-      values[flat] = measure(points_[p].parameter, seed);
-      ok[flat] = 1;
-    } catch (const std::exception& e) {
-      errors[flat] = e.what();
-    } catch (...) {
-      errors[flat] = "unknown exception";
+    auto backoff = retry.backoff_initial;
+    for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
+      if (attempt > 0 && backoff.count() > 0) {
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, retry.backoff_max);
+      }
+      // Attempt 0 keeps the historical flat-index seed; retries shift by
+      // whole `total` strides, so they collide with no other replicate's
+      // stream at any attempt.
+      const std::size_t p = flat / static_cast<std::size_t>(replicates);
+      const std::uint64_t seed = derive_seed(
+          master_seed, static_cast<std::uint64_t>(
+                           flat + total * static_cast<std::size_t>(attempt)));
+      ++attempts[flat];
+      try {
+        values[flat] = measure(points_[p].parameter, seed);
+        ok[flat] = 1;
+        return;
+      } catch (const std::exception& e) {
+        errors[flat] = e.what();
+      } catch (...) {
+        errors[flat] = "unknown exception";
+      }
     }
   });
   for (std::size_t p = 0; p < points_.size(); ++p) {
@@ -75,11 +92,12 @@ std::vector<SweepRow> Sweep::run(ThreadPool& pool, int replicates,
       const std::size_t flat =
           p * static_cast<std::size_t>(replicates) +
           static_cast<std::size_t>(k);
+      row.attempts += attempts[flat];
       if (ok[flat] != 0) {
         row.samples.push_back(values[flat]);
       } else {
         ++row.failed_replicates;
-        row.failures.push_back({k, errors[flat]});
+        row.failures.push_back({k, errors[flat], attempts[flat]});
       }
     }
     row.summary = summarize(row.samples);
@@ -92,12 +110,13 @@ Table rows_to_table(const std::vector<SweepRow>& rows,
                     const std::string& value_header) {
   Table table({parameter_header, value_header + " mean",
                value_header + " stddev", "min", "max", "replicates",
-               "failed"});
+               "failed", "attempts"});
   for (const SweepRow& row : rows) {
     table.add(row.point.label, row.summary.mean, row.summary.stddev,
               row.summary.min, row.summary.max,
               static_cast<std::int64_t>(row.summary.count),
-              static_cast<std::int64_t>(row.failed_replicates));
+              static_cast<std::int64_t>(row.failed_replicates),
+              static_cast<std::int64_t>(row.attempts));
   }
   return table;
 }

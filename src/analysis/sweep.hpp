@@ -13,6 +13,7 @@
 //   analysis::Table table = rows_to_table(rows, "load", "P_t");
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -32,7 +33,19 @@ struct SweepPoint {
 /// One replicate that threw instead of returning a measurement.
 struct ReplicateFailure {
   int replicate = 0;   ///< replicate index within the point
-  std::string error;   ///< what() of the exception
+  std::string error;   ///< what() of the last failing attempt
+  int attempts = 1;    ///< attempts spent before giving up
+};
+
+/// Bounded retry-with-backoff for replicates that throw (transient
+/// failures: a pathological derived seed, a flaky measurement resource).
+/// Each retry draws a FRESH derived seed, so a deterministic failure is
+/// retried with different randomness and a genuinely broken point still
+/// exhausts its attempts and lands in `failures`.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total attempts per replicate; 1 = no retries
+  std::chrono::milliseconds backoff_initial{10};  ///< doubles per retry
+  std::chrono::milliseconds backoff_max{1000};    ///< cap
 };
 
 struct SweepRow {
@@ -41,6 +54,8 @@ struct SweepRow {
   std::vector<double> samples;     ///< measurements of survivors, in
                                    ///< replicate order
   int failed_replicates = 0;
+  int attempts = 0;                ///< total attempts across replicates
+                                   ///< (== replicates when nothing retried)
   std::vector<ReplicateFailure> failures;
 };
 
@@ -64,11 +79,13 @@ class Sweep {
   /// Runs `replicates` seeded measurements per point, parallel across the
   /// pool.  Rows are returned in point order; replication is reproducible
   /// from `master_seed` and independent of the pool width.  A replicate
-  /// that throws is recorded in its row (failed_replicates + failures) and
-  /// excluded from samples/summary; the sweep itself completes.
+  /// that throws is retried per `retry` (fresh derived seed each attempt,
+  /// capped exponential backoff); one that still fails is recorded in its
+  /// row (failed_replicates + failures) and excluded from samples/summary —
+  /// the sweep itself completes either way.
   std::vector<SweepRow> run(ThreadPool& pool, int replicates,
-                            std::uint64_t master_seed,
-                            const Measure& measure) const;
+                            std::uint64_t master_seed, const Measure& measure,
+                            const RetryPolicy& retry = {}) const;
 
  private:
   std::vector<SweepPoint> points_;

@@ -1,0 +1,98 @@
+// The resilient soak executor.
+//
+// Every scenario runs in a forked child so the parent's watchdog can
+// SIGKILL a genuinely hung replicate — an in-process deadline cannot
+// interrupt a stuck step.  The parent triages the reaped child by the
+// documented exit-code contract (common/exit_codes.hpp):
+//
+//   0 ok / 1 diverged         — normal completions (divergence is a finding
+//                               only when the scenario was analyzed stable)
+//   3 violation               — a finding; the child left scenario +
+//                               outcome artifacts in out_dir/violations/
+//   watchdog kill / signal    — recorded under out_dir/timeouts/, never
+//                               retried (hangs are deterministic here)
+//   2 usage / crash / spawn   — transient-or-broken: retried with capped
+//     failure                   exponential backoff, then quarantined under
+//                               out_dir/quarantine/ instead of aborting
+//                               the soak
+//
+// SIGINT/SIGTERM request a graceful stop: the current child is killed and
+// reaped, the soak summary is written atomically (temp + rename), and
+// run_soak returns kExitTimeout.  The summary is also rewritten after every
+// scenario, so even SIGKILL loses at most one scenario of accounting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.hpp"
+#include "chaos/scenario.hpp"
+
+namespace lgg::chaos {
+
+struct ExecutorOptions {
+  std::string out_dir = "chaos-out";
+  std::int64_t deadline_ms = 20000;      ///< per-scenario watchdog
+  int max_attempts = 3;                  ///< 1 = no retries
+  std::int64_t backoff_initial_ms = 50;  ///< doubles per retry
+  std::int64_t backoff_max_ms = 2000;    ///< cap
+  bool shrink_findings = false;  ///< auto-minimize each finding in-place
+};
+
+/// How one scenario ended after watchdog/retry handling.
+enum class RunClass {
+  kOk,
+  kExpectedDivergence,  ///< diverged, but the scenario never promised
+                        ///< stability
+  kFinding,             ///< violation, or divergence on expect_stable
+  kTimeout,             ///< watchdog-killed (or child died to a signal
+                        ///< while hung)
+  kQuarantined,         ///< still crashing/erroring after max_attempts
+  kStopped,             ///< graceful-stop requested before it could run
+};
+
+[[nodiscard]] std::string_view to_string(RunClass c);
+
+struct SoakTotals {
+  std::size_t scenarios = 0;
+  std::size_t ok = 0;
+  std::size_t findings = 0;
+  std::size_t diverged = 0;  ///< expected divergences
+  std::size_t timeouts = 0;
+  std::size_t quarantined = 0;
+  std::size_t retries = 0;  ///< extra attempts across all scenarios
+};
+
+class Executor {
+ public:
+  /// Creates out_dir (and violations/, timeouts/, quarantine/ below it).
+  explicit Executor(ExecutorOptions options);
+
+  /// Runs one scenario under the watchdog with retry/backoff, records
+  /// artifacts, updates totals, and rewrites the summary atomically.
+  RunClass run_one(const ScenarioConfig& config);
+
+  [[nodiscard]] const SoakTotals& totals() const { return totals_; }
+  /// "soak: scenarios=... ok=... violations=..." — the line tests grep.
+  [[nodiscard]] std::string summary_line() const;
+  /// Atomic (temp + rename) rewrite of out_dir/soak-summary.txt.
+  void write_summary() const;
+
+  /// Installs SIGINT/SIGTERM handlers that set the stop flag (async-signal
+  /// safe: the flag is the only thing they touch).
+  static void install_signal_handlers();
+  [[nodiscard]] static bool stop_requested();
+  /// Test hook: clear the flag between soaks in one process.
+  static void reset_stop();
+
+ private:
+  RunClass classify_and_record(const ScenarioConfig& config, int attempt);
+
+  ExecutorOptions options_;
+  SoakTotals totals_;
+  std::vector<std::string> events_;  ///< one line per scenario for the
+                                     ///< summary file
+};
+
+}  // namespace lgg::chaos

@@ -1,0 +1,170 @@
+#include "chaos/oracle.hpp"
+
+#include <sstream>
+
+namespace lgg::chaos {
+
+namespace {
+
+PacketCount span_sum(std::span<const PacketCount> values) {
+  PacketCount sum = 0;
+  for (const PacketCount v : values) sum += v;
+  return sum;
+}
+
+double span_potential(std::span<const PacketCount> values) {
+  double sum = 0.0;
+  for (const PacketCount v : values) {
+    const auto q = static_cast<double>(v);
+    sum += q * q;
+  }
+  return sum;
+}
+
+}  // namespace
+
+OracleSuite::OracleSuite(const ScenarioConfig& config, core::Simulator& sim)
+    : config_(&config), sim_(&sim), armed_(config.oracles) {
+  if ((armed_ & (kOracleGrowth | kOracleState)) != 0) {
+    try {
+      const auto report = core::analyze(sim.network());
+      if (report.unsaturated) {
+        bounds_ = core::unsaturated_bounds(sim.network(), report);
+      }
+    } catch (const std::exception&) {
+      // fall through: disarm below
+    }
+    if (!bounds_) armed_ &= ~(kOracleGrowth | kOracleState);
+  }
+}
+
+void OracleSuite::report(std::uint32_t oracle, TimeStep step,
+                         std::string message) {
+  if (violation_) return;
+  violation_ = Violation{oracle, step, std::move(message)};
+}
+
+void OracleSuite::on_step(const core::StepRecord& r) {
+  if (violation_) return;
+  if ((armed_ & kOracleContract) != 0) check_contract(r);
+  if ((armed_ & kOracleConservation) != 0) check_conservation(r);
+  if ((armed_ & (kOracleGrowth | kOracleState)) != 0) {
+    check_growth_and_state(r);
+  }
+  if ((armed_ & kOracleRBound) != 0) check_rbound(r);
+}
+
+void OracleSuite::check_contract(const core::StepRecord& r) {
+  const core::StepStats& s = r.stats;
+  std::ostringstream err;
+  if (s.injected < 0 || s.proposed < 0 || s.suppressed < 0 ||
+      s.conflicted < 0 || s.sent < 0 || s.lost < 0 || s.delivered < 0 ||
+      s.extracted < 0 || s.crash_wiped < 0) {
+    err << "negative step-stats counter";
+  } else if (s.sent != s.proposed - s.suppressed - s.conflicted) {
+    err << "sent=" << s.sent << " != proposed=" << s.proposed
+        << " - suppressed=" << s.suppressed
+        << " - conflicted=" << s.conflicted;
+  } else if (s.delivered != s.sent - s.lost) {
+    err << "delivered=" << s.delivered << " != sent=" << s.sent
+        << " - lost=" << s.lost;
+  } else {
+    for (std::size_t v = 0; v < r.after_step.size(); ++v) {
+      if (r.after_step[v] < 0) {
+        err << "negative queue q(" << v << ")=" << r.after_step[v];
+        break;
+      }
+    }
+  }
+  const std::string text = err.str();
+  if (!text.empty()) report(kOracleContract, r.t, text);
+}
+
+void OracleSuite::check_conservation(const core::StepRecord& r) {
+  const PacketCount before = span_sum(r.before_injection);
+  const PacketCount after = span_sum(r.after_step);
+  const PacketCount expected =
+      r.stats.injected - r.stats.lost - r.stats.extracted;
+  if (after - before != expected) {
+    std::ostringstream err;
+    err << "step balance: stored " << before << " -> " << after
+        << " (delta " << (after - before) << ") but injected "
+        << r.stats.injected << " - lost " << r.stats.lost << " - extracted "
+        << r.stats.extracted << " = " << expected;
+    report(kOracleConservation, r.t, err.str());
+  }
+}
+
+void OracleSuite::check_growth_and_state(const core::StepRecord& r) {
+  const double p_before = span_potential(r.before_injection);
+  const double p_after = span_potential(r.after_step);
+  if ((armed_ & kOracleGrowth) != 0 &&
+      p_after - p_before > bounds_->growth) {
+    std::ostringstream err;
+    err << "Property 1: dP=" << (p_after - p_before) << " > 5nD^2="
+        << bounds_->growth;
+    report(kOracleGrowth, r.t, err.str());
+    return;
+  }
+  if ((armed_ & kOracleState) != 0 && p_after > bounds_->state) {
+    std::ostringstream err;
+    err << "Lemma 1: P_t=" << p_after << " > nY^2+5nD^2=" << bounds_->state;
+    report(kOracleState, r.t, err.str());
+  }
+}
+
+void OracleSuite::check_rbound(const core::StepRecord& r) {
+  const core::SdNetwork& net = *r.net;
+  const core::FaultInjector* faults = sim_->faults();
+  for (std::size_t i = 0; i < r.declared.size(); ++i) {
+    const PacketCount q = r.at_selection[i];
+    const PacketCount d = r.declared[i];
+    const Cap retention = net.spec(static_cast<NodeId>(i)).retention;
+    const bool legal = d == q || (q <= retention && d >= 0 && d <= retention);
+    if (legal) continue;
+    if (!config_->strict_declarations && faults != nullptr) {
+      bool scripted = false;
+      for (const auto& [v, value] : faults->byzantine_declarations()) {
+        if (static_cast<std::size_t>(v) == i && value == d) {
+          scripted = true;
+          break;
+        }
+      }
+      if (scripted) continue;
+    }
+    std::ostringstream err;
+    err << "Def. 7: node " << i << " declared " << d << " with queue " << q
+        << " and retention " << retention;
+    report(kOracleRBound, r.t, err.str());
+    return;
+  }
+}
+
+void OracleSuite::finish() {
+  if (violation_) return;
+  if ((armed_ & kOracleConservation) != 0 && !sim_->conserves_packets()) {
+    const core::CumulativeStats& c = sim_->cumulative();
+    std::ostringstream err;
+    err << "cumulative audit: injected " << c.injected << " - extracted "
+        << c.extracted << " - lost " << c.lost << " - crash_wiped "
+        << c.crash_wiped << " != stored " << sim_->total_packets();
+    report(kOracleConservation, -1, err.str());
+    return;
+  }
+  if ((armed_ & kOracleCheckpoint) != 0) {
+    std::ostringstream first;
+    sim_->save_checkpoint(first);
+    std::istringstream restore(first.str());
+    sim_->restore_checkpoint(restore);
+    std::ostringstream second;
+    sim_->save_checkpoint(second);
+    if (first.str() != second.str()) {
+      std::ostringstream err;
+      err << "checkpoint round-trip not bitwise identical (" << first.str().size()
+          << " vs " << second.str().size() << " bytes)";
+      report(kOracleCheckpoint, -1, err.str());
+    }
+  }
+}
+
+}  // namespace lgg::chaos

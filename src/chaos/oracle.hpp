@@ -1,0 +1,82 @@
+// The invariant-oracle suite: the paper's quantitative claims, checked live
+// against a running Simulator through the StepObserver hook.
+//
+//   conservation — per-step packet balance
+//                  Σ x_{t+1} − Σ x_t == injected − lost − extracted
+//                  (crash wipes happen before the x_t snapshot, so they
+//                  never enter the per-step equation), plus the cumulative
+//                  conserves_packets() audit at end of run.
+//   growth       — Property 1: P_{t+1} − P_t <= 5nΔ².  Sound only on
+//                  unsaturated instances under LGG with truthful
+//                  declarations and in-rate-compliant arrivals.
+//   state        — Lemma 1: P_t <= nY² + 5nΔ², same preconditions.
+//   rbound       — Definition 7(ii): a node with retention R must declare
+//                  its true queue when q > R and may declare any value in
+//                  [0, R] when q <= R; classical nodes (R = 0) must always
+//                  be truthful.  Nodes whose lying is *scripted* by a
+//                  Byzantine fault event are excluded unless the scenario
+//                  sets strict_declarations (planted-bug fixtures).
+//   checkpoint   — save → restore → save must be bitwise identical
+//                  (end of run; exercises every component's state hooks).
+//   contract     — step-stats postconditions (sent == proposed −
+//                  suppressed − conflicted, delivered == sent − lost,
+//                  non-negative queues and counters).  The protocol-level
+//                  transmission contract itself is armed via
+//                  SimulatorOptions::check_contract by the runner.
+//
+// The suite records the FIRST violation and goes quiet — the shrinker's
+// fixed point is "the same oracle still fires", so one deterministic
+// earliest finding per run is exactly what it needs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "chaos/scenario.hpp"
+#include "core/bounds.hpp"
+#include "core/simulator.hpp"
+
+namespace lgg::chaos {
+
+struct Violation {
+  std::uint32_t oracle = 0;  ///< single OracleFlag
+  TimeStep step = -1;        ///< -1: end-of-run check
+  std::string message;
+};
+
+class OracleSuite final : public core::StepObserver {
+ public:
+  /// Keeps references; both must outlive the suite.  Disarms growth/state
+  /// internally when the instance analysis cannot justify them (defensive —
+  /// the generator should never arm them unsoundly in the first place).
+  OracleSuite(const ScenarioConfig& config, core::Simulator& sim);
+
+  void on_step(const core::StepRecord& record) override;
+
+  /// End-of-run checks: cumulative conservation + checkpoint round-trip.
+  /// Call once after the step loop (skipped internally if a per-step
+  /// violation was already found).
+  void finish();
+
+  [[nodiscard]] bool violated() const { return violation_.has_value(); }
+  [[nodiscard]] const std::optional<Violation>& violation() const {
+    return violation_;
+  }
+  /// Oracles actually armed after soundness disarming.
+  [[nodiscard]] std::uint32_t armed() const { return armed_; }
+
+ private:
+  void check_contract(const core::StepRecord& r);
+  void check_conservation(const core::StepRecord& r);
+  void check_growth_and_state(const core::StepRecord& r);
+  void check_rbound(const core::StepRecord& r);
+  void report(std::uint32_t oracle, TimeStep step, std::string message);
+
+  const ScenarioConfig* config_;
+  core::Simulator* sim_;
+  std::uint32_t armed_;
+  std::optional<core::UnsaturatedBounds> bounds_;
+  std::optional<Violation> violation_;
+};
+
+}  // namespace lgg::chaos

@@ -1,0 +1,58 @@
+// Runs one scenario to a verdict: assembles the Simulator the scenario
+// describes (protocol, arrivals, loss, churn, scheduler, faults), attaches
+// the oracle suite, and steps to the horizon under an in-process soft
+// deadline.  A truly hung step is the executor's fork/SIGKILL watchdog's
+// problem; the deadline here catches the merely-slow case cheaply.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "chaos/oracle.hpp"
+#include "chaos/scenario.hpp"
+
+namespace lgg::chaos {
+
+enum class Verdict {
+  kOk,         ///< horizon reached, all armed oracles quiet
+  kViolation,  ///< an oracle fired — always a finding
+  kDiverged,   ///< divergence bound exceeded — a finding iff expect_stable
+  kDeadline,   ///< soft deadline exceeded mid-run
+  kError,      ///< scenario could not be assembled or run
+};
+
+[[nodiscard]] std::string_view to_string(Verdict verdict);
+/// Maps a verdict to the documented exit-code contract
+/// (common/exit_codes.hpp): ok→0, diverged→1, error→2, violation→3,
+/// deadline→4.
+[[nodiscard]] int verdict_exit_code(Verdict verdict);
+
+struct ScenarioOutcome {
+  Verdict verdict = Verdict::kOk;
+  std::optional<Violation> violation;  ///< set iff verdict == kViolation
+  TimeStep steps_done = 0;
+  PacketCount final_packets = 0;
+  double final_state = 0.0;  ///< P_t at the end
+  std::string error;         ///< set iff verdict == kError
+};
+
+/// True when the outcome is a *finding* the soak should record: any
+/// violation, or divergence on a scenario analyzed stable.
+[[nodiscard]] bool is_finding(const ScenarioConfig& config,
+                              const ScenarioOutcome& outcome);
+
+/// Deterministic: the outcome is a pure function of the config.
+/// `deadline_ms_override` > 0 replaces the scenario's own deadline (the
+/// executor passes its per-scenario default).
+[[nodiscard]] ScenarioOutcome run_scenario(const ScenarioConfig& config,
+                                           std::int64_t deadline_ms_override =
+                                               0);
+
+// Key/value round-trip for outcomes — the executor's child process hands
+// its result to the parent through a file, and repro artifacts embed the
+// expected violation this way.
+void write_outcome(std::ostream& os, const ScenarioOutcome& outcome);
+[[nodiscard]] ScenarioOutcome read_outcome(std::istream& is);
+
+}  // namespace lgg::chaos

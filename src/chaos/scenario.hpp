@@ -1,0 +1,141 @@
+// Chaos-soak scenarios: one self-contained, re-runnable description of a
+// hostile simulation — (topology × protocol × arrival × loss × faults ×
+// seed × horizon) plus the set of invariant oracles armed against it.
+//
+// A scenario is the unit of work of the whole chaos subsystem: the
+// generator samples them (biased toward the paper's hostile regions —
+// near-saturated ε, Byzantine declarations, crash/recover churn), the
+// executor runs them under a watchdog, and the shrinker minimizes a
+// violating one into a repro artifact.  The text format round-trips
+// exactly (write_scenario ∘ read_scenario is the identity on the parsed
+// representation), so a violation artifact replays bit-identically on any
+// machine:
+//
+//   lgg-scenario v1
+//   label byz-relay
+//   seed 7
+//   horizon 2000
+//   protocol lgg
+//   loss 0.05
+//   faults byzantine:node=2,at=0,for=-1,declare=0
+//   oracles conservation,rbound,checkpoint,contract
+//   strict_declarations 1
+//   network
+//   nodes 6
+//   edge 0 1
+//   ...
+//
+// Everything after the `network` line is the sdnet format of
+// core/trace_io.hpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/faults.hpp"
+#include "core/generalized.hpp"
+#include "core/sd_network.hpp"
+
+namespace lgg::chaos {
+
+/// Invariant-oracle selection flags (docs/chaos.md has the catalog).
+enum OracleFlag : std::uint32_t {
+  kOracleConservation = 1u << 0,  ///< per-step + cumulative packet balance
+  kOracleGrowth = 1u << 1,        ///< Property 1: ΔP_t <= 5nΔ²
+  kOracleState = 1u << 2,         ///< Lemma 1:    P_t <= nY² + 5nΔ²
+  kOracleRBound = 1u << 3,        ///< Def. 7: |q'_t(v) − q_t(v)| <= R(v)
+  kOracleCheckpoint = 1u << 4,    ///< save/restore/save bitwise identity
+  kOracleContract = 1u << 5,      ///< protocol/step-stats postconditions
+};
+
+/// Oracles that are sound on every instance, faulted or not.
+inline constexpr std::uint32_t kOracleAlwaysSound =
+    kOracleConservation | kOracleRBound | kOracleCheckpoint | kOracleContract;
+
+[[nodiscard]] std::string oracles_to_string(std::uint32_t flags);
+/// Throws ContractViolation on an unknown oracle name.
+[[nodiscard]] std::uint32_t oracles_from_string(const std::string& list);
+
+struct ScenarioConfig {
+  std::string label = "scenario";
+  core::SdNetwork network;
+  std::string protocol = "lgg";
+  TimeStep horizon = 2000;
+  std::uint64_t seed = 1;
+  double loss = 0.0;                ///< Bernoulli loss probability
+  double arrival_scale = -1.0;      ///< < 0: exact arrivals
+  double churn_off = -1.0;          ///< < 0: static topology
+  double churn_on = -1.0;
+  bool matching = false;            ///< greedy-matching scheduler
+  core::DeclarationPolicy declaration = core::DeclarationPolicy::kTruthful;
+  core::FaultSchedule faults;
+  std::uint64_t fault_seed = 0;     ///< 0: derive_seed(seed, 0xFA17)
+  double divergence_bound = 0.0;    ///< abort run when P_t exceeds; 0 = off
+  std::int64_t deadline_ms = 0;     ///< per-scenario watchdog; 0 = executor
+                                    ///< default
+  /// When true, a diverged run is a *finding* (the instance was analyzed
+  /// stable); otherwise divergence is an expected possibility (infeasible
+  /// or adversarial configs) and only ends the run early.
+  bool expect_stable = false;
+  std::uint32_t oracles = kOracleAlwaysSound;
+  /// Arms the R-bound oracle even for nodes whose lying is *scripted* by a
+  /// Byzantine fault event.  Off in normal soaks (scripted lies are
+  /// injected, not bugs); on in planted-bug fixtures, where a Byzantine
+  /// schedule becomes a guaranteed-detectable violation.
+  bool strict_declarations = false;
+  /// Test hook: sleep this long before running, so the executor's watchdog
+  /// has a deliberately hung scenario to reap.  Never set by the generator.
+  std::int64_t hang_ms = 0;
+  /// Oracle/divergence/deadline polling granularity in steps.
+  TimeStep check_every = 64;
+
+  [[nodiscard]] std::uint64_t effective_fault_seed() const {
+    return fault_seed != 0 ? fault_seed : derive_seed(seed, 0xFA17);
+  }
+};
+
+void write_scenario(std::ostream& os, const ScenarioConfig& config);
+[[nodiscard]] std::string to_string(const ScenarioConfig& config);
+
+/// Throws ContractViolation (malformed header) or graph::ParseError
+/// (malformed network body).
+[[nodiscard]] ScenarioConfig read_scenario(std::istream& is);
+[[nodiscard]] ScenarioConfig scenario_from_string(const std::string& text);
+/// Throws std::runtime_error when the file cannot be opened.
+[[nodiscard]] ScenarioConfig read_scenario_file(const std::string& path);
+void write_scenario_file(const ScenarioConfig& config,
+                         const std::string& path);
+
+struct GeneratorOptions {
+  NodeId min_nodes = 4;
+  NodeId max_nodes = 20;
+  TimeStep min_horizon = 400;
+  TimeStep max_horizon = 3000;
+  double p_faulted = 0.6;      ///< any fault schedule at all
+  double p_byzantine = 0.3;    ///< within faulted: scripted lying node
+  double p_near_saturated = 0.5;  ///< arrival_scale drawn from [0.85, 1)
+  double p_baseline_protocol = 0.25;
+  double p_generalized = 0.2;  ///< convert roles to R-generalized nodes
+  double p_churn = 0.2;
+  double max_loss = 0.3;
+};
+
+/// Seeded scenario sampler.  Deterministic: two generators built with the
+/// same (seed, options) produce the same scenario sequence.  Oracles are
+/// armed soundly — Lemma-1 bounds only on clean unsaturated LGG instances
+/// where the paper proves them; the always-sound set everywhere else.
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(std::uint64_t seed, GeneratorOptions options = {});
+
+  [[nodiscard]] ScenarioConfig next();
+
+ private:
+  Rng rng_;
+  GeneratorOptions options_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace lgg::chaos

@@ -1,0 +1,271 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace lgg::chaos {
+
+namespace {
+
+void copy_role(const core::NodeSpec& spec, NodeId v, core::SdNetwork& out) {
+  if (spec.retention > 0 || (spec.in > 0 && spec.out > 0)) {
+    out.set_generalized(v, spec.in, spec.out, spec.retention);
+  } else if (spec.in > 0) {
+    out.set_source(v, spec.in);
+  } else if (spec.out > 0) {
+    out.set_sink(v, spec.out);
+  }
+}
+
+/// Drops events that reference the removed node and shifts higher ids down.
+core::FaultSchedule remap_faults(const core::FaultSchedule& faults,
+                                 NodeId victim) {
+  core::FaultSchedule out;
+  out.set_random_crashes(faults.random_crashes());
+  for (core::FaultEvent e : faults.events()) {
+    if (e.node == victim) continue;
+    if (e.node > victim) --e.node;
+    out.add(e);
+  }
+  return out;
+}
+
+core::FaultSchedule without_event(const core::FaultSchedule& faults,
+                                  std::size_t index) {
+  core::FaultSchedule out;
+  out.set_random_crashes(faults.random_crashes());
+  for (std::size_t i = 0; i < faults.events().size(); ++i) {
+    if (i != index) out.add(faults.events()[i]);
+  }
+  return out;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const ScenarioConfig& original, const ScenarioOutcome& finding,
+           std::int64_t probe_deadline_ms)
+      : current_(original),
+        outcome_(finding),
+        deadline_ms_(probe_deadline_ms),
+        want_divergence_(finding.verdict == Verdict::kDiverged),
+        want_oracle_(finding.violation ? finding.violation->oracle : 0) {}
+
+  ShrinkResult run() {
+    ShrinkResult result;
+    result.before = measure(current_);
+    clamp_horizon();
+    constexpr int kMaxRounds = 16;
+    for (int round = 0; round < kMaxRounds; ++round) {
+      ++result.rounds;
+      bool changed = false;
+      changed |= simplify_knobs();
+      changed |= drop_fault_events();
+      changed |= drop_nodes();
+      changed |= drop_edges();
+      changed |= halve_horizon();
+      if (!changed) break;
+    }
+    result.minimized = std::move(current_);
+    result.outcome = outcome_;
+    result.after = measure(result.minimized);
+    result.probes = probes_;
+    return result;
+  }
+
+ private:
+  /// Reruns `candidate`; adopts it (and its outcome) when the same finding
+  /// reproduces.
+  bool accept(ScenarioConfig candidate) {
+    ++probes_;
+    const ScenarioOutcome probe = run_scenario(candidate, deadline_ms_);
+    const bool same =
+        want_divergence_
+            ? probe.verdict == Verdict::kDiverged
+            : probe.verdict == Verdict::kViolation && probe.violation &&
+                  probe.violation->oracle == want_oracle_;
+    if (!same) return false;
+    current_ = std::move(candidate);
+    outcome_ = probe;
+    clamp_horizon();
+    return true;
+  }
+
+  /// Nothing after the violating step matters; cutting the horizon there is
+  /// sound without a probe (the oracle records the FIRST violation, so the
+  /// truncated run finds the same one).  End-of-run findings (step < 0) and
+  /// divergence keep their horizon for the halving pass.
+  void clamp_horizon() {
+    if (want_divergence_ || !outcome_.violation) return;
+    const TimeStep step = outcome_.violation->step;
+    if (step >= 0 && step + 1 < current_.horizon) {
+      current_.horizon = step + 1;
+    }
+  }
+
+  bool simplify_knobs() {
+    bool changed = false;
+    if (current_.faults.random_crashes().p_per_step > 0.0) {
+      ScenarioConfig candidate = current_;
+      core::FaultSchedule faults;
+      for (const core::FaultEvent& e : current_.faults.events()) {
+        faults.add(e);
+      }
+      candidate.faults = std::move(faults);
+      changed |= accept(std::move(candidate));
+    }
+    if (current_.churn_off >= 0.0) {
+      ScenarioConfig candidate = current_;
+      candidate.churn_off = -1.0;
+      candidate.churn_on = -1.0;
+      changed |= accept(std::move(candidate));
+    }
+    if (current_.loss > 0.0) {
+      ScenarioConfig candidate = current_;
+      candidate.loss = 0.0;
+      changed |= accept(std::move(candidate));
+    }
+    if (current_.matching) {
+      ScenarioConfig candidate = current_;
+      candidate.matching = false;
+      changed |= accept(std::move(candidate));
+    }
+    if (current_.arrival_scale >= 0.0) {
+      ScenarioConfig candidate = current_;
+      candidate.arrival_scale = -1.0;
+      changed |= accept(std::move(candidate));
+    }
+    if (current_.declaration != core::DeclarationPolicy::kTruthful) {
+      ScenarioConfig candidate = current_;
+      candidate.declaration = core::DeclarationPolicy::kTruthful;
+      changed |= accept(std::move(candidate));
+    }
+    return changed;
+  }
+
+  bool drop_fault_events() {
+    bool changed = false;
+    // Greedy one-at-a-time removal; restart the scan after every success
+    // (indices shift).
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < current_.faults.events().size(); ++i) {
+        ScenarioConfig candidate = current_;
+        candidate.faults = without_event(current_.faults, i);
+        if (accept(std::move(candidate))) {
+          progress = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool drop_nodes() {
+    bool changed = false;
+    // Descending ids: a successful removal only renumbers ids above the
+    // victim, which this scan has already passed.
+    for (NodeId v = current_.network.node_count() - 1; v >= 0; --v) {
+      if (current_.network.node_count() <= 2) break;
+      ScenarioConfig candidate = current_;
+      candidate.network = remove_node(current_.network, v);
+      try {
+        candidate.network.validate();
+      } catch (const std::exception&) {
+        continue;  // removal dropped the last source or sink
+      }
+      candidate.faults = remap_faults(current_.faults, v);
+      changed |= accept(std::move(candidate));
+    }
+    return changed;
+  }
+
+  bool drop_edges() {
+    bool changed = false;
+    for (EdgeId e = current_.network.topology().edge_count() - 1; e >= 0;
+         --e) {
+      ScenarioConfig candidate = current_;
+      candidate.network = remove_edge(current_.network, e);
+      changed |= accept(std::move(candidate));
+    }
+    return changed;
+  }
+
+  bool halve_horizon() {
+    bool changed = false;
+    while (current_.horizon > 1) {
+      ScenarioConfig candidate = current_;
+      candidate.horizon = current_.horizon / 2;
+      if (!accept(std::move(candidate))) break;
+      changed = true;
+    }
+    return changed;
+  }
+
+  ScenarioConfig current_;
+  ScenarioOutcome outcome_;
+  std::int64_t deadline_ms_;
+  bool want_divergence_;
+  std::uint32_t want_oracle_;
+  std::size_t probes_ = 0;
+};
+
+}  // namespace
+
+core::SdNetwork remove_node(const core::SdNetwork& net, NodeId victim) {
+  LGG_REQUIRE(net.topology().valid_node(victim), "remove_node: bad node");
+  const graph::Multigraph& g = net.topology();
+  graph::Multigraph out_graph(g.node_count() - 1);
+  const auto remap = [victim](NodeId v) {
+    return v > victim ? v - 1 : v;
+  };
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const graph::Endpoints ep = g.endpoints(e);
+    if (ep.u == victim || ep.v == victim) continue;
+    out_graph.add_edge(remap(ep.u), remap(ep.v));
+  }
+  core::SdNetwork out(std::move(out_graph));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == victim) continue;
+    copy_role(net.spec(v), remap(v), out);
+  }
+  return out;
+}
+
+core::SdNetwork remove_edge(const core::SdNetwork& net, EdgeId victim) {
+  const graph::Multigraph& g = net.topology();
+  LGG_REQUIRE(g.valid_edge(victim), "remove_edge: bad edge");
+  graph::Multigraph out_graph(g.node_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (e == victim) continue;
+    const graph::Endpoints ep = g.endpoints(e);
+    out_graph.add_edge(ep.u, ep.v);
+  }
+  core::SdNetwork out(std::move(out_graph));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    copy_role(net.spec(v), v, out);
+  }
+  return out;
+}
+
+ShrinkStats measure(const ScenarioConfig& config) {
+  ShrinkStats stats;
+  stats.nodes = config.network.node_count();
+  stats.edges = config.network.topology().edge_count();
+  stats.fault_events = config.faults.events().size();
+  stats.horizon = config.horizon;
+  return stats;
+}
+
+ShrinkResult shrink(const ScenarioConfig& original,
+                    const ScenarioOutcome& finding,
+                    std::int64_t probe_deadline_ms) {
+  LGG_REQUIRE(is_finding(original, finding),
+              "shrink: outcome is not a finding");
+  return Shrinker(original, finding, probe_deadline_ms).run();
+}
+
+}  // namespace lgg::chaos

@@ -1,0 +1,64 @@
+// Delta-debugging minimizer for violating scenarios.
+//
+// Given a scenario whose run produced a finding (oracle violation, or
+// divergence on an expect_stable instance), `shrink` greedily removes
+// structure — scalar knobs (loss, churn, matching, random crashes), fault
+// events, nodes, edges — and clamps the horizon, keeping a candidate only
+// when rerunning it still produces the SAME finding (same oracle flag; or
+// still-diverged).  Passes repeat to a fixed point, every probe is a
+// deterministic full rerun (run_scenario is a pure function of the config),
+// and candidates are enumerated in a fixed order, so the same input
+// violation always shrinks to the same artifact.
+#pragma once
+
+#include "chaos/runner.hpp"
+#include "chaos/scenario.hpp"
+
+namespace lgg::chaos {
+
+/// Rebuilds the network without `victim`: incident edges are dropped and
+/// node ids above `victim` shift down by one.  Roles of surviving nodes are
+/// preserved.  The result may be invalid (no source/sink left) — callers
+/// probe with validate().
+[[nodiscard]] core::SdNetwork remove_node(const core::SdNetwork& net,
+                                          NodeId victim);
+
+/// Rebuilds the network without edge `victim`; edge ids above shift down.
+[[nodiscard]] core::SdNetwork remove_edge(const core::SdNetwork& net,
+                                          EdgeId victim);
+
+/// The "size" the acceptance criterion compares: a minimized artifact must
+/// strictly shrink nodes + fault events + horizon.
+struct ShrinkStats {
+  NodeId nodes = 0;
+  EdgeId edges = 0;
+  std::size_t fault_events = 0;
+  TimeStep horizon = 0;
+
+  [[nodiscard]] std::int64_t total() const {
+    return static_cast<std::int64_t>(nodes) +
+           static_cast<std::int64_t>(fault_events) +
+           static_cast<std::int64_t>(horizon);
+  }
+};
+
+[[nodiscard]] ShrinkStats measure(const ScenarioConfig& config);
+
+struct ShrinkResult {
+  ScenarioConfig minimized;
+  ScenarioOutcome outcome;  ///< the minimized scenario's (matching) finding
+  ShrinkStats before;
+  ShrinkStats after;
+  std::size_t probes = 0;   ///< candidate reruns executed
+  int rounds = 0;           ///< fixed-point iterations
+};
+
+/// `finding` must satisfy is_finding(original, finding); throws
+/// ContractViolation otherwise.  `probe_deadline_ms` bounds each candidate
+/// rerun so a shrink step can never hang (a candidate that times out is
+/// simply rejected).
+[[nodiscard]] ShrinkResult shrink(const ScenarioConfig& original,
+                                  const ScenarioOutcome& finding,
+                                  std::int64_t probe_deadline_ms = 5000);
+
+}  // namespace lgg::chaos

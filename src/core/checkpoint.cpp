@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -286,6 +287,16 @@ void write_checkpoint_file(const Simulator& sim, const std::string& path) {
   sim.save_checkpoint(os);
   os.flush();
   if (!os.good()) fail("write to '" + path + "' failed");
+}
+
+void write_checkpoint_file_atomic(const Simulator& sim,
+                                  const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  write_checkpoint_file(sim, tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("rename to '" + path + "' failed");
+  }
 }
 
 void restore_checkpoint_file(Simulator& sim, const std::string& path) {

@@ -55,9 +55,16 @@ inline constexpr std::uint32_t kCheckpointVersion = 2;
                                   std::uint32_t seed = 0);
 
 /// Writes a checkpoint to `path` (binary).  Throws CheckpointError when the
-/// file cannot be written.  Callers that need crash atomicity should write
-/// to a temporary path and rename (analysis::RunSupervisor does).
+/// file cannot be written.  Callers that need crash atomicity should use
+/// write_checkpoint_file_atomic instead.
 void write_checkpoint_file(const Simulator& sim, const std::string& path);
+
+/// Crash-atomic variant: writes to `path`.tmp and renames, so a reader at
+/// `path` sees either the complete old checkpoint or the complete new one,
+/// never a torn write.  Throws CheckpointError when the write or the rename
+/// fails (the temp file is removed on a failed rename).
+void write_checkpoint_file_atomic(const Simulator& sim,
+                                  const std::string& path);
 
 /// Restores `sim` from the checkpoint at `path`.  Throws CheckpointError on
 /// a missing/corrupt file or mismatched configuration.

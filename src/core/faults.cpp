@@ -1,9 +1,12 @@
 #include "core/faults.hpp"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "common/binio.hpp"
 #include "common/require.hpp"
@@ -250,8 +253,16 @@ std::string to_string(const FaultSchedule& schedule) {
   const RandomCrashConfig& r = schedule.random_crashes();
   if (r.p_per_step > 0.0) {
     sep();
-    os << "random_crashes:p=" << r.p_per_step << ",down=" << r.min_down
-       << ".." << r.max_down << ",mode=" << to_string(r.mode);
+    // Shortest round-tripping form: a re-parsed artifact must replay with
+    // exactly this probability, not a 6-significant-digit approximation.
+    std::array<char, 32> buffer{};
+    const auto [ptr, ec] =
+        std::to_chars(buffer.data(), buffer.data() + buffer.size(),
+                      r.p_per_step);
+    LGG_REQUIRE(ec == std::errc(), "to_string: to_chars failed");
+    os << "random_crashes:p=" << std::string_view(buffer.data(), ptr)
+       << ",down=" << r.min_down << ".." << r.max_down
+       << ",mode=" << to_string(r.mode);
   }
   return os.str();
 }

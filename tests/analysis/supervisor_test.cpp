@@ -5,9 +5,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "common/require.hpp"
 #include "core/checkpoint.hpp"
@@ -139,6 +144,53 @@ TEST(RunSupervisor, RunReplicatesSurvivesThrowingReplicate) {
       EXPECT_FALSE(std::isnan(report.values[i]));
     }
   }
+}
+
+TEST(RunSupervisor, SigtermRequestsGracefulStopWithFinalCheckpoint) {
+  // Fork a supervised run with handle_signals, SIGTERM it from the parent,
+  // and verify it stopped gracefully (kStopped) leaving a restorable final
+  // checkpoint — the contract a soak harness relies on to resume.
+  const std::string dir = ::testing::TempDir() + "/sigstop";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string ckpt = dir + "/final.ckpt";
+  const std::string ready = dir + "/ready";
+
+  const pid_t child = fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    auto sim = make_sim();
+    SupervisorOptions options;
+    options.checkpoint_path = ckpt;
+    options.handle_signals = true;
+    options.check_every = 16;
+    const RunSupervisor supervisor(options);
+    { std::ofstream(ready) << "go\n"; }
+    // Effectively endless: only the signal ends this run.
+    const SupervisedResult result = supervisor.run(sim, 2000000000);
+    const bool stopped =
+        result.kind == SupervisedResult::FailureKind::kStopped &&
+        !result.ok && std::ifstream(ckpt).good();
+    _exit(stopped ? 0 : 1);
+  }
+
+  // Wait until the child is inside (or about to enter) run() before
+  // signalling, so the trap is installed.
+  for (int i = 0; i < 500 && !std::ifstream(ready).good(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(std::ifstream(ready).good());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(kill(child, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status)) << "child killed instead of stopping";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // The final checkpoint restores into a fresh simulator.
+  auto resumed = make_sim();
+  core::restore_checkpoint_file(resumed, ckpt);
+  EXPECT_GT(resumed.now(), 0);
 }
 
 TEST(RunSupervisor, RejectsBadOptions) {

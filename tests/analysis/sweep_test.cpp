@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "common/rng.hpp"
 
 namespace lgg::analysis {
 namespace {
@@ -146,6 +147,78 @@ TEST(Sweep, AllReplicatesFailingYieldsEmptySummary) {
   EXPECT_EQ(rows[0].failed_replicates, 3);
   EXPECT_TRUE(rows[0].samples.empty());
   EXPECT_EQ(rows[0].summary.count, 0u);
+}
+
+TEST(Sweep, RetrySucceedsWithAFreshSeedAndRecordsAttempts) {
+  ThreadPool pool(1);
+  Sweep sweep;
+  sweep.add_point("flaky", 2.0);
+  std::vector<std::uint64_t> seeds_seen;
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.backoff_initial = std::chrono::milliseconds(0);
+  // First attempt throws; the retry must arrive with a different derived
+  // seed and succeed.
+  const auto rows = sweep.run(
+      pool, 1, 99,
+      [&](double, std::uint64_t seed) {
+        seeds_seen.push_back(seed);
+        if (seeds_seen.size() == 1) throw std::runtime_error("transient");
+        return 1.0;
+      },
+      retry);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].samples.size(), 1u);
+  EXPECT_EQ(rows[0].failed_replicates, 0);
+  EXPECT_TRUE(rows[0].failures.empty());
+  EXPECT_EQ(rows[0].attempts, 2);
+  ASSERT_EQ(seeds_seen.size(), 2u);
+  EXPECT_NE(seeds_seen[0], seeds_seen[1]);
+}
+
+TEST(Sweep, ExhaustedRetriesLandInFailuresWithAttemptCounts) {
+  ThreadPool pool(2);
+  Sweep sweep;
+  sweep.add_point("doomed", 1.0);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.backoff_initial = std::chrono::milliseconds(0);
+  const auto rows = sweep.run(
+      pool, 2, 7,
+      [](double, std::uint64_t) -> double {
+        throw std::runtime_error("permanent");
+      },
+      retry);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].failed_replicates, 2);
+  EXPECT_EQ(rows[0].attempts, 6);
+  ASSERT_EQ(rows[0].failures.size(), 2u);
+  for (const ReplicateFailure& f : rows[0].failures) {
+    EXPECT_EQ(f.attempts, 3);
+    EXPECT_NE(f.error.find("permanent"), std::string::npos);
+  }
+  // The attempts column renders in tables.
+  const Table table = rows_to_table(rows, "param", "value");
+  EXPECT_NE(table.to_string().find("attempts"), std::string::npos);
+}
+
+TEST(Sweep, DefaultPolicyKeepsHistoricalSeedsAndSingleAttempts) {
+  // No-retry runs must be byte-compatible with the pre-RetryPolicy seeds:
+  // attempt 0 uses derive_seed(master, flat), exactly as before.
+  ThreadPool pool(1);
+  Sweep sweep;
+  sweep.add_point("a", 1.0);
+  std::vector<std::uint64_t> seeds;
+  const auto rows =
+      sweep.run(pool, 2, 55, [&](double, std::uint64_t seed) {
+        seeds.push_back(seed);
+        return 0.0;
+      });
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].attempts, 2);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], derive_seed(55, 0));
+  EXPECT_EQ(seeds[1], derive_seed(55, 1));
 }
 
 TEST(RowsToTable, RendersSummaries) {

@@ -1,0 +1,139 @@
+#include "chaos/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/scenarios.hpp"
+
+namespace lgg::chaos {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScenarioConfig clean_config() {
+  ScenarioConfig c;
+  c.label = "clean";
+  c.network = core::scenarios::fat_path(5, 2, 1, 2);
+  c.horizon = 300;
+  c.seed = 3;
+  return c;
+}
+
+ScenarioConfig byzantine_config() {
+  ScenarioConfig c = clean_config();
+  c.label = "byz";
+  c.faults.add({core::FaultKind::kByzantine, 2, 10, -1,
+                core::CrashMode::kWipe, 0, 1000});
+  c.strict_declarations = true;
+  return c;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/chaos-exec-" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::size_t count_files(const std::string& dir) {
+  if (!fs::exists(dir)) return 0;
+  std::size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+TEST(Executor, ClassifiesCleanScenarioOk) {
+  ExecutorOptions options;
+  options.out_dir = fresh_dir("ok");
+  Executor executor(options);
+  EXPECT_EQ(executor.run_one(clean_config()), RunClass::kOk);
+  EXPECT_EQ(executor.totals().ok, 1u);
+  EXPECT_EQ(executor.totals().findings, 0u);
+  EXPECT_TRUE(fs::exists(options.out_dir + "/soak-summary.txt"));
+}
+
+TEST(Executor, RecordsFindingWithReplayableArtifacts) {
+  ExecutorOptions options;
+  options.out_dir = fresh_dir("finding");
+  Executor executor(options);
+  EXPECT_EQ(executor.run_one(byzantine_config()), RunClass::kFinding);
+  EXPECT_EQ(executor.totals().findings, 1u);
+  EXPECT_NE(executor.summary_line().find("violations=1"), std::string::npos);
+
+  const std::string dir = options.out_dir + "/violations";
+  ASSERT_EQ(count_files(dir), 2u);  // .scenario + .outcome
+  // The recorded scenario replays to the same finding.
+  std::ifstream scenario_file(dir + "/byz-seed3.scenario");
+  ASSERT_TRUE(scenario_file.is_open());
+  const ScenarioConfig replayed = read_scenario(scenario_file);
+  const ScenarioOutcome outcome = run_scenario(replayed);
+  ASSERT_TRUE(outcome.violation.has_value());
+  EXPECT_EQ(outcome.violation->oracle, kOracleRBound);
+  std::ifstream outcome_file(dir + "/byz-seed3.outcome");
+  ASSERT_TRUE(outcome_file.is_open());
+  const ScenarioOutcome recorded = read_outcome(outcome_file);
+  EXPECT_EQ(recorded.violation->step, outcome.violation->step);
+}
+
+TEST(Executor, WatchdogReapsHungScenarioWithoutAbortingTheSoak) {
+  ExecutorOptions options;
+  options.out_dir = fresh_dir("hang");
+  options.deadline_ms = 250;
+  Executor executor(options);
+  ScenarioConfig hung = clean_config();
+  hung.label = "hung";
+  hung.hang_ms = 20000;  // far beyond the watchdog's hard deadline
+  EXPECT_EQ(executor.run_one(hung), RunClass::kTimeout);
+  EXPECT_EQ(executor.totals().timeouts, 1u);
+  EXPECT_EQ(count_files(options.out_dir + "/timeouts"), 1u);
+  // The soak is still alive: the next scenario runs normally.
+  EXPECT_EQ(executor.run_one(clean_config()), RunClass::kOk);
+  EXPECT_NE(executor.summary_line().find("scenarios=2"), std::string::npos);
+  EXPECT_NE(executor.summary_line().find("timeouts=1"), std::string::npos);
+}
+
+TEST(Executor, QuarantinesPersistentFailureAfterRetries) {
+  ExecutorOptions options;
+  options.out_dir = fresh_dir("quarantine");
+  options.max_attempts = 3;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 4;
+  Executor executor(options);
+  ScenarioConfig broken = clean_config();
+  broken.label = "broken";
+  broken.protocol = "no_such_protocol";
+  EXPECT_EQ(executor.run_one(broken), RunClass::kQuarantined);
+  EXPECT_EQ(executor.totals().quarantined, 1u);
+  EXPECT_EQ(executor.totals().retries, 2u);  // attempts 2 and 3
+  // Quarantine holds the scenario plus a reason file.
+  EXPECT_EQ(count_files(options.out_dir + "/quarantine"), 2u);
+  std::ifstream reason(options.out_dir +
+                       "/quarantine/broken-seed3.reason.txt");
+  ASSERT_TRUE(reason.is_open());
+  std::stringstream text;
+  text << reason.rdbuf();
+  EXPECT_NE(text.str().find("no_such_protocol"), std::string::npos);
+}
+
+TEST(Executor, ExpectedDivergenceIsNotAFinding) {
+  ExecutorOptions options;
+  options.out_dir = fresh_dir("diverge");
+  Executor executor(options);
+  ScenarioConfig c = clean_config();
+  c.label = "overload";
+  c.arrival_scale = 20.0;
+  c.horizon = 100000;
+  c.divergence_bound = 1e6;
+  EXPECT_EQ(executor.run_one(c), RunClass::kExpectedDivergence);
+  EXPECT_EQ(executor.totals().findings, 0u);
+  EXPECT_EQ(executor.totals().diverged, 1u);
+  EXPECT_EQ(count_files(options.out_dir + "/violations"), 0u);
+}
+
+}  // namespace
+}  // namespace lgg::chaos

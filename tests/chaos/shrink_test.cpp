@@ -1,0 +1,98 @@
+#include "chaos/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chaos/runner.hpp"
+#include "common/require.hpp"
+#include "core/scenarios.hpp"
+
+namespace lgg::chaos {
+namespace {
+
+/// The planted bug (a scripted Byzantine relay under strict declaration
+/// checking) wrapped in deliberate padding: extra chain length, a benign
+/// crash, and a surge, all of which the shrinker should strip.
+ScenarioConfig padded_byzantine_config() {
+  ScenarioConfig c;
+  c.label = "padded-byz";
+  c.network = core::scenarios::fat_path(8, 2, 1, 2);
+  c.horizon = 2000;
+  c.seed = 7;
+  c.faults.add({core::FaultKind::kByzantine, 3, 10, -1,
+                core::CrashMode::kWipe, 0, 1000});
+  c.faults.add({core::FaultKind::kCrash, 5, 100, 20, core::CrashMode::kWipe,
+                0, 0});
+  c.faults.add({core::FaultKind::kSourceSurge, 0, 200, 10,
+                core::CrashMode::kWipe, 2, 0});
+  c.loss = 0.05;
+  c.strict_declarations = true;
+  return c;
+}
+
+TEST(Shrink, MinimizesToAStrictlySmallerSameOracleRepro) {
+  const ScenarioConfig original = padded_byzantine_config();
+  const ScenarioOutcome finding = run_scenario(original);
+  ASSERT_TRUE(is_finding(original, finding));
+  ASSERT_EQ(finding.violation->oracle, kOracleRBound);
+
+  const ShrinkResult result = shrink(original, finding);
+  // Strictly smaller on the combined size (nodes + fault events + horizon).
+  EXPECT_LT(result.after.total(), result.before.total());
+  EXPECT_LT(result.after.nodes, result.before.nodes);
+  EXPECT_LT(result.after.fault_events, result.before.fault_events);
+  EXPECT_LT(result.after.horizon, result.before.horizon);
+  EXPECT_GT(result.probes, 0u);
+
+  // The minimized scenario still trips the SAME oracle when re-run.
+  const ScenarioOutcome replay = run_scenario(result.minimized);
+  ASSERT_EQ(replay.verdict, Verdict::kViolation);
+  ASSERT_TRUE(replay.violation.has_value());
+  EXPECT_EQ(replay.violation->oracle, kOracleRBound);
+  // The incidental knobs were simplified away.
+  EXPECT_EQ(result.minimized.loss, 0.0);
+  EXPECT_EQ(result.minimized.faults.events().size(), 1u);
+}
+
+TEST(Shrink, IsDeterministic) {
+  const ScenarioConfig original = padded_byzantine_config();
+  const ScenarioOutcome finding = run_scenario(original);
+  ASSERT_TRUE(is_finding(original, finding));
+  const ShrinkResult a = shrink(original, finding);
+  const ShrinkResult b = shrink(original, finding);
+  EXPECT_EQ(to_string(a.minimized), to_string(b.minimized));
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Shrink, HorizonClampsToJustPastTheViolation) {
+  const ScenarioConfig original = padded_byzantine_config();
+  const ScenarioOutcome finding = run_scenario(original);
+  ASSERT_TRUE(is_finding(original, finding));
+  const ShrinkResult result = shrink(original, finding);
+  // The violation fires at step 10 (the Byzantine window opening), so the
+  // horizon cannot shrink below 11 — and must reach it.
+  EXPECT_EQ(result.after.horizon, 11);
+  EXPECT_EQ(result.outcome.violation->step, 10);
+}
+
+TEST(Shrink, RejectsANonFinding) {
+  ScenarioConfig clean;
+  clean.label = "clean";
+  clean.network = core::scenarios::fat_path(4, 2, 1, 2);
+  clean.horizon = 100;
+  const ScenarioOutcome outcome = run_scenario(clean);
+  ASSERT_FALSE(is_finding(clean, outcome));
+  EXPECT_THROW((void)shrink(clean, outcome), ContractViolation);
+}
+
+TEST(ShrinkStats, MeasuresAllDimensions) {
+  const ScenarioConfig c = padded_byzantine_config();
+  const ShrinkStats stats = measure(c);
+  EXPECT_EQ(stats.nodes, 8);
+  EXPECT_EQ(stats.fault_events, 3u);
+  EXPECT_EQ(stats.horizon, 2000);
+  EXPECT_EQ(stats.total(), 8 + 3 + 2000);
+}
+
+}  // namespace
+}  // namespace lgg::chaos

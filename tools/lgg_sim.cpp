@@ -26,8 +26,16 @@
 //     --flight-recorder N  keep the last N step events; dumped into the
 //                          telemetry stream (and into crash dumps).
 //                          Default 256 with --telemetry, else off
+//     --deadline-ms N      wall-clock budget; run supervised and exit 4
+//                          when it expires
 //     --profile            print the per-phase step profile after the run
 //     --analyze-only       print the feasibility report and exit
+//
+// Exit codes (common/exit_codes.hpp): 0 stable/ok, 1 diverging verdict,
+// 2 usage error or exception, 3 packet-conservation violation, 4 deadline
+// expired or stopped by SIGINT/SIGTERM.  Supervised runs (--deadline-ms or
+// --checkpoint-every) trap SIGINT/SIGTERM and leave a final atomic
+// checkpoint behind before exiting.
 //
 // Example:
 //   echo 'nodes 2
@@ -36,6 +44,7 @@
 //   role 0 1 0 0
 //   role 1 0 2 0' | lgg_sim --steps 5000
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +56,7 @@
 
 #include "analysis/supervisor.hpp"
 #include "baselines/protocol_registry.hpp"
+#include "common/exit_codes.hpp"
 #include "core/bounds.hpp"
 #include "core/checkpoint.hpp"
 #include "core/faults.hpp"
@@ -66,10 +76,10 @@ namespace {
                "[--churn P_OFF P_ON] [--faults SPEC] [--checkpoint FILE] "
                "[--checkpoint-every N] [--resume FILE] [--csv FILE] "
                "[--telemetry FILE] [--telemetry-every K] "
-               "[--flight-recorder N] "
+               "[--flight-recorder N] [--deadline-ms N] "
                "[--profile] [--analyze-only] [network.sdnet]\n",
                argv0);
-  std::exit(2);
+  std::exit(lgg::kExitUsage);
 }
 
 // Strict numeric parsing: trailing garbage, empty strings, and overflow are
@@ -82,7 +92,7 @@ long long parse_int(const char* what, const char* text) {
   if (end == text || *end != '\0' || errno == ERANGE) {
     std::fprintf(stderr, "error: %s wants an integer, got '%s'\n", what,
                  text);
-    std::exit(2);
+    std::exit(lgg::kExitUsage);
   }
   return v;
 }
@@ -94,7 +104,7 @@ std::uint64_t parse_uint(const char* what, const char* text) {
   if (end == text || *end != '\0' || errno == ERANGE || *text == '-') {
     std::fprintf(stderr, "error: %s wants a non-negative integer, got '%s'\n",
                  what, text);
-    std::exit(2);
+    std::exit(lgg::kExitUsage);
   }
   return v;
 }
@@ -105,7 +115,7 @@ double parse_double(const char* what, const char* text) {
   const double v = std::strtod(text, &end);
   if (end == text || *end != '\0' || errno == ERANGE) {
     std::fprintf(stderr, "error: %s wants a number, got '%s'\n", what, text);
-    std::exit(2);
+    std::exit(lgg::kExitUsage);
   }
   return v;
 }
@@ -115,7 +125,7 @@ double parse_probability(const char* what, const char* text) {
   if (v < 0.0 || v > 1.0) {
     std::fprintf(stderr, "error: %s wants a probability in [0, 1], got %s\n",
                  what, text);
-    std::exit(2);
+    std::exit(lgg::kExitUsage);
   }
   return v;
 }
@@ -139,6 +149,7 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   TimeStep telemetry_every = 100;
   long long flight_capacity = -1;  // -1 = default (256 with --telemetry)
+  long long deadline_ms = 0;
   std::string input_path;
   bool analyze_only = false;
   bool profile = false;
@@ -156,7 +167,7 @@ int main(int argc, char** argv) {
       steps = parse_int("--steps", next("--steps"));
       if (steps <= 0) {
         std::fprintf(stderr, "error: --steps wants a positive count\n");
-        return 2;
+        return lgg::kExitUsage;
       }
     } else if (arg == "--seed") {
       seed = parse_uint("--seed", next("--seed"));
@@ -168,7 +179,7 @@ int main(int argc, char** argv) {
       arrival_scale = parse_double("--arrival-scale", next("--arrival-scale"));
       if (arrival_scale < 0.0) {
         std::fprintf(stderr, "error: --arrival-scale wants a factor >= 0\n");
-        return 2;
+        return lgg::kExitUsage;
       }
     } else if (arg == "--matching") {
       matching = true;
@@ -185,7 +196,7 @@ int main(int argc, char** argv) {
       if (checkpoint_every <= 0) {
         std::fprintf(stderr,
                      "error: --checkpoint-every wants a positive interval\n");
-        return 2;
+        return lgg::kExitUsage;
       }
     } else if (arg == "--resume") {
       resume_path = next("--resume");
@@ -199,7 +210,7 @@ int main(int argc, char** argv) {
       if (telemetry_every <= 0) {
         std::fprintf(stderr,
                      "error: --telemetry-every wants a positive interval\n");
-        return 2;
+        return lgg::kExitUsage;
       }
     } else if (arg == "--flight-recorder") {
       flight_capacity =
@@ -207,7 +218,13 @@ int main(int argc, char** argv) {
       if (flight_capacity < 0) {
         std::fprintf(stderr,
                      "error: --flight-recorder wants a capacity >= 0\n");
-        return 2;
+        return lgg::kExitUsage;
+      }
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = parse_int("--deadline-ms", next("--deadline-ms"));
+      if (deadline_ms <= 0) {
+        std::fprintf(stderr, "error: --deadline-ms wants a positive budget\n");
+        return lgg::kExitUsage;
       }
     } else if (arg == "--profile") {
       profile = true;
@@ -225,7 +242,7 @@ int main(int argc, char** argv) {
   if (checkpoint_every > 0 && checkpoint_path.empty()) {
     std::fprintf(stderr,
                  "error: --checkpoint-every needs --checkpoint FILE\n");
-    return 2;
+    return lgg::kExitUsage;
   }
 
   try {
@@ -322,10 +339,12 @@ int main(int argc, char** argv) {
     if (profile) sim.set_profiler(&profiler);
     core::MetricsRecorder recorder;
 
-    if (checkpoint_every > 0) {
+    if (checkpoint_every > 0 || deadline_ms > 0) {
       analysis::SupervisorOptions sopts;
       sopts.checkpoint_every = checkpoint_every;
       sopts.checkpoint_path = checkpoint_path;
+      sopts.deadline = std::chrono::milliseconds(deadline_ms);
+      sopts.handle_signals = true;
       sopts.seed = seed;
       sopts.label = "lgg_sim";
       sopts.repro_config = faults_spec;
@@ -336,7 +355,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: supervised run failed after %lld steps: %s\n",
                      static_cast<long long>(result.steps_done),
                      result.error.c_str());
-        return 2;
+        using Kind = analysis::SupervisedResult::FailureKind;
+        switch (result.kind) {
+          case Kind::kDeadline:
+          case Kind::kStopped:
+            return lgg::kExitTimeout;
+          case Kind::kDivergence:
+            return lgg::kExitDiverged;
+          default:
+            return lgg::kExitUsage;
+        }
       }
     } else {
       sim.run(steps, &recorder);
@@ -364,8 +392,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(totals.extracted),
         static_cast<long long>(totals.crash_wiped),
         static_cast<long long>(sim.total_packets()));
-    std::printf("conservation: %s\n",
-                sim.conserves_packets() ? "ok" : "VIOLATED");
+    const bool conserved = sim.conserves_packets();
+    std::printf("conservation: %s\n", conserved ? "ok" : "VIOLATED");
 
     if (telemetry != nullptr && sink != nullptr) {
       obs::JsonWriter json;
@@ -393,9 +421,13 @@ int main(int argc, char** argv) {
       core::write_trajectory_csv(csv, recorder);
       std::printf("trajectory written to %s\n", csv_path.c_str());
     }
-    return stability.verdict == core::Verdict::kDiverging ? 1 : 0;
+    // A conservation violation outranks the stability verdict: it means
+    // the simulation itself is untrustworthy, not merely unstable.
+    if (!conserved) return lgg::kExitViolation;
+    return stability.verdict == core::Verdict::kDiverging ? lgg::kExitDiverged
+                                                          : lgg::kExitOk;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    return lgg::kExitUsage;
   }
 }

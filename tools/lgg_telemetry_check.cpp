@@ -424,23 +424,46 @@ int main(int argc, char** argv) {
   checker.strict_bounds = strict_bounds;
   std::string line;
   std::size_t line_no = 0;
+  std::size_t complete_lines = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    if (line.empty()) {
+      ++complete_lines;
+      continue;
+    }
+    ValuePtr value;
     try {
       Parser parser(line);
-      const ValuePtr value = parser.parse();
+      value = parser.parse();
+    } catch (const std::exception& e) {
+      // A writer killed mid-line (crash, SIGKILL, full disk) leaves one
+      // partial trailing line.  Tolerate exactly that: a parse failure on
+      // the stream's final line, after at least one complete line.
+      // Semantic (Checker) failures and any non-final garbage still fail.
+      const bool is_last = in.eof() || in.peek() == EOF;
+      if (is_last && complete_lines > 0) {
+        std::fprintf(stderr,
+                     "warning: truncated trailing line %zu ignored (%s)\n",
+                     line_no, e.what());
+        break;
+      }
+      std::fprintf(stderr, "line %zu: INVALID: %s\n", line_no, e.what());
+      return 1;
+    }
+    try {
       checker.check_line(*value, line_no);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "line %zu: INVALID: %s\n", line_no, e.what());
       return 1;
     }
+    ++complete_lines;
   }
-  if (line_no == 0) {
+  if (complete_lines == 0) {
     std::fprintf(stderr, "error: empty stream\n");
     return 1;
   }
   std::printf("valid: %zu lines (%zu snapshots, %zu events, %zu summaries)\n",
-              line_no, checker.snapshots, checker.events, checker.summaries);
+              complete_lines, checker.snapshots, checker.events,
+              checker.summaries);
   return 0;
 }
