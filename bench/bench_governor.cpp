@@ -1,0 +1,193 @@
+// Overload-protection benchmarks: shed rate vs offered load, recovery
+// time after a fault surge, and the per-step cost of an attached governor.
+//
+// The sweep drives the demo relay with ScaledArrival factors from feasible
+// (0.5x) to triple the service capacity (3.0x): below 1.0 a sound governor
+// sheds nothing; above it the shed fraction should track the infeasible
+// excess while P_t stays bounded.  The surge experiment measures the full
+// AIMD cycle — detection, multiplicative shed, additive probe — as the
+// number of steps from surge end until the multiplier is exactly 1.0
+// again.  Emits BENCH_governor.json for commit-over-commit tracking.
+#include "support/bench_common.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "control/governor.hpp"
+#include "core/arrival.hpp"
+#include "core/faults.hpp"
+#include "core/scenarios.hpp"
+#include "core/trace_io.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace lgg;
+
+constexpr const char* kDemoRelay =
+    "nodes 4\n"
+    "edge 0 1\nedge 0 1\nedge 0 1\n"
+    "edge 1 2\nedge 1 2\nedge 1 2\n"
+    "edge 2 3\nedge 2 3\nedge 2 3\n"
+    "role 0 1 0 0\nrole 1 1 1 2\nrole 3 0 3 0\n";
+
+struct SweepPoint {
+  double scale = 0.0;
+  double shed_fraction = 0.0;
+  double final_potential = 0.0;
+  double multiplier = 0.0;
+  int mode = 0;
+};
+
+SweepPoint run_governed(double scale, TimeStep steps) {
+  core::Simulator sim(core::network_from_string(kDemoRelay),
+                      core::SimulatorOptions{});
+  sim.set_arrival(std::make_unique<core::ScaledArrival>(scale));
+  control::AdmissionGovernor governor(sim.network());
+  sim.set_admission(&governor);
+  sim.run(steps);
+
+  SweepPoint point;
+  point.scale = scale;
+  PacketCount offered = 0;
+  for (const PacketCount o : governor.offered_per_source()) offered += o;
+  point.shed_fraction =
+      offered > 0 ? static_cast<double>(governor.total_shed()) /
+                        static_cast<double>(offered)
+                  : 0.0;
+  point.final_potential = sim.network_state();
+  point.multiplier = governor.multiplier();
+  point.mode = governor.mode();
+  return point;
+}
+
+struct SurgeResult {
+  TimeStep engaged_at = -1;    // first step with multiplier < 1
+  TimeStep recovered_at = -1;  // first post-surge step back at exactly 1.0
+  PacketCount total_shed = 0;
+};
+
+SurgeResult run_surge(TimeStep surge_at, TimeStep surge_len,
+                      TimeStep horizon) {
+  core::Simulator sim(core::network_from_string(kDemoRelay),
+                      core::SimulatorOptions{});
+  std::ostringstream spec;
+  spec << "surge:node=0,at=" << surge_at << ",for=" << surge_len
+       << ",extra=20";
+  sim.set_faults(std::make_unique<core::FaultInjector>(
+      core::parse_fault_spec(spec.str()), 0xFA17));
+  control::AdmissionGovernor governor(sim.network());
+  sim.set_admission(&governor);
+
+  SurgeResult result;
+  for (TimeStep t = 0; t < horizon; ++t) {
+    sim.step();
+    if (result.engaged_at < 0 && governor.multiplier() < 1.0) {
+      result.engaged_at = sim.now();
+    }
+    if (result.engaged_at >= 0 && result.recovered_at < 0 &&
+        sim.now() > surge_at + surge_len && governor.multiplier() == 1.0) {
+      result.recovered_at = sim.now();
+    }
+  }
+  result.total_shed = governor.total_shed();
+  return result;
+}
+
+void print_report() {
+  bench::banner("E22: overload protection",
+                "Admission-governor shed rate across the offered-load "
+                "sweep, surge recovery time, and the google-benchmark "
+                "section for governed step overhead.");
+
+  const TimeStep sweep_steps = 5000;
+  const std::vector<double> scales = {0.5, 0.8, 1.0,
+                                      1.2, 1.5, 2.0, 3.0};
+  std::vector<SweepPoint> sweep;
+  std::printf("offered-load sweep (%lld steps each):\n",
+              static_cast<long long>(sweep_steps));
+  std::printf("  %-8s %-12s %-14s %-12s %s\n", "scale", "shed_frac",
+              "final P_t", "multiplier", "mode");
+  for (const double scale : scales) {
+    sweep.push_back(run_governed(scale, sweep_steps));
+    const SweepPoint& p = sweep.back();
+    std::printf("  %-8.2f %-12.4f %-14.6g %-12.4g %s\n", p.scale,
+                p.shed_fraction, p.final_potential, p.multiplier,
+                std::string(control::to_string(
+                                static_cast<control::SaturationMode>(p.mode)))
+                    .c_str());
+  }
+
+  const TimeStep surge_at = 500, surge_len = 100, horizon = 6000;
+  const SurgeResult surge = run_surge(surge_at, surge_len, horizon);
+  std::printf("\nsurge recovery (extra=20 for %lld steps at %lld):\n",
+              static_cast<long long>(surge_len),
+              static_cast<long long>(surge_at));
+  std::printf("  engaged at step %lld (detection lag %lld)\n",
+              static_cast<long long>(surge.engaged_at),
+              static_cast<long long>(surge.engaged_at - surge_at));
+  if (surge.recovered_at >= 0) {
+    std::printf("  multiplier back to 1.0 at step %lld "
+                "(recovery %lld steps after surge end)\n",
+                static_cast<long long>(surge.recovered_at),
+                static_cast<long long>(surge.recovered_at -
+                                       (surge_at + surge_len)));
+  } else {
+    std::printf("  NOT recovered within the %lld-step horizon\n",
+                static_cast<long long>(horizon));
+  }
+  std::printf("  total shed %lld\n\n",
+              static_cast<long long>(surge.total_shed));
+
+  std::ofstream out("BENCH_governor.json");
+  if (out) {
+    obs::JsonWriter json;
+    json.begin_object();
+    json.field("experiment", "governor");
+    json.field("sweep_steps", static_cast<std::int64_t>(sweep_steps));
+    json.begin_array("offered_load_sweep");
+    for (const SweepPoint& p : sweep) {
+      json.begin_object();
+      json.field("scale", p.scale);
+      json.field("shed_fraction", p.shed_fraction);
+      json.field("final_potential", p.final_potential);
+      json.field("multiplier", p.multiplier);
+      json.field("mode", static_cast<std::int64_t>(p.mode));
+      json.end_object();
+    }
+    json.end_array();
+    json.begin_object("surge_recovery");
+    json.field("surge_at", static_cast<std::int64_t>(surge_at));
+    json.field("surge_len", static_cast<std::int64_t>(surge_len));
+    json.field("engaged_at", static_cast<std::int64_t>(surge.engaged_at));
+    json.field("recovered_at",
+               static_cast<std::int64_t>(surge.recovered_at));
+    json.field("total_shed", static_cast<std::int64_t>(surge.total_shed));
+    json.end_object();
+    json.end_object();
+    out << json.str() << '\n';
+    std::printf("machine-readable results written to BENCH_governor.json\n");
+  }
+}
+
+void BM_GovernedStep(benchmark::State& state) {
+  const bool governed = state.range(0) != 0;
+  const NodeId n = 1024;
+  core::Simulator sim(
+      core::scenarios::random_unsaturated(n, static_cast<EdgeId>(4 * n), 2,
+                                          2, 5),
+      core::SimulatorOptions{});
+  control::AdmissionGovernor governor(sim.network());
+  if (governed) sim.set_admission(&governor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(governed ? "governed" : "ungoverned");
+}
+BENCHMARK(BM_GovernedStep)->Arg(0)->Arg(1);
+
+}  // namespace
+
+LGG_BENCH_MAIN()

@@ -14,6 +14,7 @@
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
+#include "control/sentinel.hpp"
 #include "core/checkpoint.hpp"
 #include "core/faults.hpp"
 #include "core/simulator.hpp"
@@ -129,6 +130,17 @@ SupervisedResult RunSupervisor::run(core::Simulator& sim, TimeStep steps,
   const Deadline deadline(options_.deadline);
   std::optional<ScopedSignalTrap> trap;
   if (options_.handle_signals) trap.emplace();
+  // Divergence watching is unified behind the saturation sentinel: the
+  // configured raw bound stays as the compatibility backstop, and on top of
+  // it the sentinel's statistical verdict (Page–Hinkley past threshold with
+  // P_t beyond an absolute floor) catches runaway growth the fixed
+  // threshold would only meet much later.  When an admission controller is
+  // attached, statistical overload is its job to govern — the supervisor
+  // then aborts only on the raw backstop, i.e. govern-and-continue.
+  std::optional<control::SaturationSentinel> sentinel;
+  if (options_.divergence_bound > 0.0) {
+    sentinel.emplace(sim.network());
+  }
   TimeStep next_checkpoint =
       options_.checkpoint_every > 0 ? sim.now() + options_.checkpoint_every
                                     : std::numeric_limits<TimeStep>::max();
@@ -158,13 +170,18 @@ SupervisedResult RunSupervisor::run(core::Simulator& sim, TimeStep steps,
       remaining -= chunk;
       result.steps_done += chunk;
 
-      if (options_.divergence_bound > 0.0 &&
-          sim.network_state() > options_.divergence_bound) {
-        std::ostringstream msg;
-        msg << "P_t = " << sim.network_state() << " exceeded the divergence"
-            << " bound " << options_.divergence_bound << " at step "
-            << sim.now();
-        throw DivergenceDetected(msg.str());
+      if (sentinel.has_value()) {
+        const double potential = sim.network_state();
+        sentinel->observe(sim.now(), potential);
+        const bool raw = potential > options_.divergence_bound;
+        if (raw || (sim.admission() == nullptr &&
+                    sentinel->diverged(0.0, potential))) {
+          std::ostringstream msg;
+          msg << sentinel->describe_divergence(
+                     raw ? options_.divergence_bound : 0.0, potential)
+              << " at step " << sim.now();
+          throw DivergenceDetected(msg.str());
+        }
       }
       deadline.check(options_.label);
 

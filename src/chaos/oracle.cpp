@@ -36,6 +36,8 @@ OracleSuite::OracleSuite(const ScenarioConfig& config, core::Simulator& sim)
     }
     if (!bounds_) armed_ &= ~(kOracleGrowth | kOracleState);
   }
+  // The governed oracle needs an actual governor to make promises about.
+  if (!config.governor) armed_ &= ~kOracleGoverned;
 }
 
 void OracleSuite::report(std::uint32_t oracle, TimeStep step,
@@ -52,6 +54,36 @@ void OracleSuite::on_step(const core::StepRecord& r) {
     check_growth_and_state(r);
   }
   if ((armed_ & kOracleRBound) != 0) check_rbound(r);
+  if ((armed_ & kOracleGoverned) != 0) check_governed(r);
+}
+
+void OracleSuite::check_governed(const core::StepRecord& r) {
+  const core::AdmissionController* admission = sim_->admission();
+  if (admission == nullptr) return;
+  if (config_->expect_stable) {
+    // Certified-unsaturated instance: the governor must never throttle — a
+    // single shed packet falsifies the feasible-never-throttled guarantee.
+    if (r.stats.shed > 0) {
+      std::ostringstream err;
+      err << "governed: shed " << r.stats.shed
+          << " packets on a certified-unsaturated instance";
+      report(kOracleGoverned, r.t, err.str());
+    }
+    return;
+  }
+  // Overloaded instance: once the governor engaged (shed at least once),
+  // P_t must stay under its engage-anchored bound — the "governed infeasible
+  // instances keep P_t bounded" half of the guarantee.
+  const double bound = admission->overload_bound();
+  if (bound > 0.0) {
+    const double p_after = span_potential(r.after_step);
+    if (p_after > bound) {
+      std::ostringstream err;
+      err << "governed: P_t=" << p_after
+          << " exceeded the post-engagement bound " << bound;
+      report(kOracleGoverned, r.t, err.str());
+    }
+  }
 }
 
 void OracleSuite::check_contract(const core::StepRecord& r) {
@@ -59,7 +91,7 @@ void OracleSuite::check_contract(const core::StepRecord& r) {
   std::ostringstream err;
   if (s.injected < 0 || s.proposed < 0 || s.suppressed < 0 ||
       s.conflicted < 0 || s.sent < 0 || s.lost < 0 || s.delivered < 0 ||
-      s.extracted < 0 || s.crash_wiped < 0) {
+      s.extracted < 0 || s.crash_wiped < 0 || s.shed < 0) {
     err << "negative step-stats counter";
   } else if (s.sent != s.proposed - s.suppressed - s.conflicted) {
     err << "sent=" << s.sent << " != proposed=" << s.proposed
@@ -142,6 +174,14 @@ void OracleSuite::check_rbound(const core::StepRecord& r) {
 
 void OracleSuite::finish() {
   if (violation_) return;
+  if ((armed_ & kOracleGoverned) != 0 && config_->expect_stable &&
+      sim_->admission() != nullptr && sim_->admission()->total_shed() != 0) {
+    std::ostringstream err;
+    err << "governed: cumulative shed " << sim_->admission()->total_shed()
+        << " on a certified-unsaturated instance";
+    report(kOracleGoverned, -1, err.str());
+    return;
+  }
   if ((armed_ & kOracleConservation) != 0 && !sim_->conserves_packets()) {
     const core::CumulativeStats& c = sim_->cumulative();
     std::ostringstream err;

@@ -23,6 +23,11 @@
 //                  non-negative queues and counters).  The protocol-level
 //                  transmission contract itself is armed via
 //                  SimulatorOptions::check_contract by the runner.
+//   governed     — admission-governor guarantees (requires the scenario's
+//                  `governor` stanza): on expect_stable instances the
+//                  governor sheds zero packets (per step and cumulatively);
+//                  otherwise, once engaged, P_t stays under the governor's
+//                  engage-anchored overload bound.
 //
 // The suite records the FIRST violation and goes quiet — the shrinker's
 // fixed point is "the same oracle still fires", so one deterministic
@@ -70,6 +75,7 @@ class OracleSuite final : public core::StepObserver {
   void check_conservation(const core::StepRecord& r);
   void check_growth_and_state(const core::StepRecord& r);
   void check_rbound(const core::StepRecord& r);
+  void check_governed(const core::StepRecord& r);
   void report(std::uint32_t oracle, TimeStep step, std::string message);
 
   const ScenarioConfig* config_;

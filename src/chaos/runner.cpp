@@ -2,11 +2,14 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "baselines/protocol_registry.hpp"
 #include "common/exit_codes.hpp"
 #include "common/require.hpp"
+#include "control/governor.hpp"
+#include "control/sentinel.hpp"
 #include "core/arrival.hpp"
 #include "core/dynamics.hpp"
 #include "core/interference.hpp"
@@ -59,6 +62,7 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config,
   // usage errors, not findings — keep them outside the loop's catch, which
   // folds ContractViolation into the contract oracle.
   std::unique_ptr<core::Simulator> sim;
+  std::unique_ptr<control::AdmissionGovernor> governor;
   try {
     config.network.validate();
     config.faults.validate(config.network);
@@ -87,6 +91,14 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config,
       sim->set_faults(std::make_unique<core::FaultInjector>(
           config.faults, config.effective_fault_seed()));
     }
+    if (config.governor) {
+      control::GovernorOptions gov;
+      gov.target_eps = config.governor_target_eps;
+      gov.brownout = config.brownout;
+      governor = std::make_unique<control::AdmissionGovernor>(sim->network(),
+                                                              gov);
+      sim->set_admission(governor.get());
+    }
   } catch (const std::exception& e) {
     outcome.verdict = Verdict::kError;
     outcome.error = e.what();
@@ -96,6 +108,15 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config,
   try {
     OracleSuite oracle(config, *sim);
     sim->set_observer(&oracle);
+
+    // Unified divergence detection (shared with RunSupervisor): the
+    // configured bound stays as the raw backstop; the sentinel adds the
+    // statistical verdict.  A governed run is expected to *contain*
+    // statistical overload, so only the raw backstop ends it early.
+    std::optional<control::SaturationSentinel> sentinel;
+    if (config.divergence_bound > 0.0) {
+      sentinel.emplace(sim->network());
+    }
 
     const Clock::time_point start = Clock::now();
     const TimeStep chunk = std::max<TimeStep>(1, config.check_every);
@@ -107,10 +128,14 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config,
         sim->step();
         ++outcome.steps_done;
       }
-      if (config.divergence_bound > 0.0 &&
-          sim->network_state() > config.divergence_bound) {
-        outcome.verdict = Verdict::kDiverged;
-        break;
+      if (sentinel.has_value()) {
+        const double potential = sim->network_state();
+        sentinel->observe(sim->now(), potential);
+        const bool raw = potential > config.divergence_bound;
+        if (raw || (!config.governor && sentinel->diverged(0.0, potential))) {
+          outcome.verdict = Verdict::kDiverged;
+          break;
+        }
       }
       if (deadline_ms > 0 &&
           Clock::now() - start >= std::chrono::milliseconds(deadline_ms)) {

@@ -24,6 +24,7 @@ constexpr OracleName kOracleNames[] = {
     {kOracleConservation, "conservation"}, {kOracleGrowth, "growth"},
     {kOracleState, "state"},               {kOracleRBound, "rbound"},
     {kOracleCheckpoint, "checkpoint"},     {kOracleContract, "contract"},
+    {kOracleGoverned, "governed"},
 };
 
 /// Shortest round-trippable decimal form — scenario files must replay the
@@ -144,6 +145,11 @@ void write_scenario(std::ostream& os, const ScenarioConfig& c) {
     os << "divergence_bound " << fmt_double(c.divergence_bound) << '\n';
   }
   if (c.deadline_ms > 0) os << "deadline_ms " << c.deadline_ms << '\n';
+  if (c.governor) os << "governor 1\n";
+  if (c.governor_target_eps != 0.05) {
+    os << "governor_target_eps " << fmt_double(c.governor_target_eps) << '\n';
+  }
+  if (c.brownout) os << "brownout 1\n";
   if (c.expect_stable) os << "expect_stable 1\n";
   os << "oracles " << oracles_to_string(c.oracles) << '\n';
   if (c.strict_declarations) os << "strict_declarations 1\n";
@@ -215,6 +221,14 @@ ScenarioConfig read_scenario(std::istream& is) {
       c.divergence_bound = parse_double_field(key, value);
     } else if (key == "deadline_ms") {
       c.deadline_ms = parse_int_field(key, value);
+    } else if (key == "governor") {
+      c.governor = parse_int_field(key, value) != 0;
+    } else if (key == "governor_target_eps") {
+      c.governor_target_eps = parse_double_field(key, value);
+      LGG_REQUIRE(c.governor_target_eps >= 0.0,
+                  "scenario: governor_target_eps must be >= 0");
+    } else if (key == "brownout") {
+      c.brownout = parse_int_field(key, value) != 0;
     } else if (key == "expect_stable") {
       c.expect_stable = parse_int_field(key, value) != 0;
     } else if (key == "oracles") {
@@ -421,6 +435,15 @@ ScenarioConfig ScenarioGenerator::next() {
       if (report.unsaturated) {
         c.oracles |= kOracleGrowth | kOracleState;
         c.expect_stable = true;
+        // A slice of the certified-stable instances also runs governed: the
+        // governed oracle then proves the zero-shed guarantee in the wild.
+        // The bit is seed-derived (not drawn from rng_) so arming governors
+        // never perturbs the generator's RNG stream — pinned-seed soaks
+        // keep producing the exact same scenario sequence.
+        if ((derive_seed(c.seed, 0x60F) & 3) == 0) {
+          c.governor = true;
+          c.oracles |= kOracleGoverned;
+        }
       }
     } catch (const std::exception&) {
       // Analysis can reject degenerate instances; keep the sound set.

@@ -48,6 +48,9 @@ enum OracleFlag : std::uint32_t {
   kOracleRBound = 1u << 3,        ///< Def. 7: |q'_t(v) − q_t(v)| <= R(v)
   kOracleCheckpoint = 1u << 4,    ///< save/restore/save bitwise identity
   kOracleContract = 1u << 5,      ///< protocol/step-stats postconditions
+  kOracleGoverned = 1u << 6,      ///< admission governor guarantees: zero
+                                  ///< shed on expect_stable instances, P_t
+                                  ///< bounded after engagement otherwise
 };
 
 /// Oracles that are sound on every instance, faulted or not.
@@ -73,6 +76,9 @@ struct ScenarioConfig {
   core::FaultSchedule faults;
   std::uint64_t fault_seed = 0;     ///< 0: derive_seed(seed, 0xFA17)
   double divergence_bound = 0.0;    ///< abort run when P_t exceeds; 0 = off
+  bool governor = false;            ///< attach an admission governor
+  double governor_target_eps = 0.05;
+  bool brownout = false;            ///< ordered brownout ladder (vs uniform)
   std::int64_t deadline_ms = 0;     ///< per-scenario watchdog; 0 = executor
                                     ///< default
   /// When true, a diverged run is a *finding* (the instance was analyzed

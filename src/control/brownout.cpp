@@ -1,0 +1,40 @@
+#include "control/brownout.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace lgg::control {
+
+void BrownoutPolicy::apply(std::span<const Cap> rates, double g,
+                           std::span<double> out) const {
+  LGG_REQUIRE(rates.size() == out.size(), "brownout: size mismatch");
+  g = std::clamp(g, 0.0, 1.0);
+  std::fill(out.begin(), out.end(), 1.0);
+  if (g >= 1.0 || rates.empty()) return;
+
+  if (!options_.ordered || g < options_.min_multiplier) {
+    // Uniform shed: also the fallback when even min_multiplier on every
+    // source cannot realize g.
+    std::fill(out.begin(), out.end(), g);
+    return;
+  }
+
+  double total = 0.0;
+  for (const Cap r : rates) total += static_cast<double>(r);
+  if (total <= 0.0) return;
+
+  // Walk the ladder from the lowest-priority (last) source: each gives up
+  // at most (1 - min_multiplier) of its rate before the next one is asked.
+  double excess = (1.0 - g) * total;
+  for (std::size_t i = rates.size(); i-- > 0 && excess > 0.0;) {
+    const double rate = static_cast<double>(rates[i]);
+    if (rate <= 0.0) continue;
+    const double reducible = (1.0 - options_.min_multiplier) * rate;
+    const double take = std::min(excess, reducible);
+    out[i] = 1.0 - take / rate;
+    excess -= take;
+  }
+}
+
+}  // namespace lgg::control

@@ -1,0 +1,50 @@
+// Ordered degradation of source admission.
+//
+// When the governor has to realize a global admission factor g < 1, two
+// ladders are available:
+//
+//  * ordered (the brownout ladder): defer the lowest-priority sources first
+//    — priority is position in the network's ascending source list, so the
+//    highest node ids shed first — each pushed down to min_multiplier
+//    before the next-higher-priority source is touched (the boundary source
+//    gets a partial multiplier).  If even full deferral of every source
+//    cannot reach g (g < min_multiplier), the ladder falls back to uniform.
+//  * uniform: every source gets multiplier g.
+//
+// The computation is a pure function of (rates, g), so it is recomputed
+// each step from checkpointed inputs rather than persisted.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace lgg::control {
+
+class BrownoutPolicy {
+ public:
+  struct Options {
+    /// Floor any single source can be deferred to before the ladder moves
+    /// on; also the uniform-fallback trigger.
+    double min_multiplier = 1.0 / 16.0;
+    /// false = uniform shed only (no priority ordering).
+    bool ordered = true;
+  };
+
+  BrownoutPolicy() = default;
+  explicit BrownoutPolicy(Options options) : options_(options) {}
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Fills `out[i]` with the admission multiplier for the source whose
+  /// declared rate is `rates[i]`, such that Σ out[i]·rates[i] ≈ g·Σ rates.
+  /// `out` and `rates` are parallel to the network's ascending source list;
+  /// index 0 is the highest-priority source.  g is clamped to [0, 1].
+  void apply(std::span<const Cap> rates, double g,
+             std::span<double> out) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace lgg::control

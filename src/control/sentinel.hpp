@@ -1,0 +1,144 @@
+// Online saturation detection for the potential P_t = Σ q².
+//
+// The paper's dichotomy makes P_t drift the natural control signal: an
+// unsaturated network obeys Property 1 (ΔP ≤ 5nΔ² every step) and Lemma 1
+// (P_t ≤ nY² + 5nΔ² forever), while an infeasible one diverges under any
+// protocol.  The sentinel watches the drift two ways at once:
+//
+//  * statistically — an EWMA of the per-step drift plus a one-sided
+//    Page–Hinkley cumulative test with allowance δ = 5nΔ².  Because
+//    Property 1 caps every clean-LGG step at exactly δ, the Page–Hinkley
+//    statistic is identically 0 on any unsaturated trajectory; only
+//    super-Property-1 growth (overload, surges) can accumulate toward the
+//    alarm threshold λ.
+//  * exactly — a feasibility certificate from the Section-II analysis
+//    (max-flow + ε-margin search) computed at construction and re-checked
+//    (max-flow only, rate-limited) when the topology changes.  While the
+//    certificate holds *and* observed arrivals have respected the declared
+//    rates for a full compliance window, Lemma 1 is in force and the
+//    sentinel refuses to report overload unless P_t outright exceeds the
+//    Lemma-1 state bound — which a clean run provably never does.
+//
+// observe() is gap-tolerant: callers may feed every step (the admission
+// governor) or every check_every steps (RunSupervisor, chaos::Runner); the
+// statistic is normalized by the elapsed span so both see the same test.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "core/sd_network.hpp"
+
+namespace lgg::control {
+
+enum class SaturationMode : int {
+  kUnsaturated = 0,
+  kNearSaturated = 1,
+  kOverloaded = 2,
+};
+
+[[nodiscard]] std::string_view to_string(SaturationMode mode);
+
+struct SentinelOptions {
+  /// EWMA smoothing for the normalized per-step drift estimate.
+  double ewma_alpha = 1.0 / 64.0;
+  /// Page–Hinkley allowance, as a multiple of the Property-1 growth bound
+  /// 5nΔ².  1.0 means a clean LGG run keeps the statistic at exactly 0.
+  double ph_allowance = 1.0;
+  /// Alarm threshold λ, as a multiple of 5nΔ²: kOverloaded at PH > λ,
+  /// kNearSaturated at PH > λ/2, with hysteresis on the way down (an
+  /// overloaded sentinel stays overloaded until PH < λ/4).
+  double ph_threshold = 8.0;
+  /// Steps of rate-compliant offers required before the feasibility
+  /// certificate overrides the statistical verdict.
+  TimeStep compliance_window = 64;
+  /// Statistical divergence floor: diverged() only reports on the
+  /// statistical path once P_t exceeds max(this, 256·(5nΔ²)²).  Keeps the
+  /// unified verdict from firing earlier than the legacy raw thresholds on
+  /// bounded-noise runs.
+  double divergence_floor = 1e9;
+};
+
+class SaturationSentinel {
+ public:
+  /// Runs the exact feasibility analysis once at construction; degenerate
+  /// instances the analyzer rejects simply get no certificate (the
+  /// statistical path still works).
+  explicit SaturationSentinel(const core::SdNetwork& net,
+                              SentinelOptions options = {});
+
+  /// Feed the potential observed at step t.  Gaps are fine; t must be
+  /// non-decreasing.
+  void observe(TimeStep t, double potential);
+
+  /// Arrival compliance feedback: call when a source offered more than its
+  /// declared in-rate this step (fault surges, hostile arrivals).  Resets
+  /// the compliance streak, suspending the certificate override.
+  void note_noncompliant_offer() { compliant_streak_ = 0; }
+
+  /// The topology changed: the unsaturated certificate is dropped until
+  /// refresh_certificate() re-checks.  Conservative — churn can only shrink
+  /// the feasible region.
+  void mark_certificate_stale() { cert_unsaturated_ = false; }
+
+  /// Exact re-check on the current active-edge mask (nullptr = all edges).
+  /// Mask-restricted instances get a feasibility-only certificate from one
+  /// max-flow; the full ε-margin claim returns only with the full topology.
+  void refresh_certificate(const graph::EdgeMask* mask);
+
+  [[nodiscard]] SaturationMode mode() const { return mode_; }
+  /// EWMA of the normalized per-step drift of P_t.
+  [[nodiscard]] double drift_estimate() const { return ewma_; }
+  [[nodiscard]] double page_hinkley() const { return ph_; }
+  /// Steps spent in the current mode.
+  [[nodiscard]] TimeStep time_in_mode() const { return time_in_mode_; }
+  /// The Property-1 growth bound 5nΔ² the test is calibrated against.
+  [[nodiscard]] double growth_bound() const { return growth_; }
+  /// Lemma-1 state bound, when the instance is certified unsaturated.
+  [[nodiscard]] std::optional<double> state_bound() const {
+    return state_bound_;
+  }
+  [[nodiscard]] bool certificate_feasible() const { return cert_feasible_; }
+  [[nodiscard]] bool certificate_unsaturated() const {
+    return cert_unsaturated_;
+  }
+
+  /// Unified divergence verdict shared by RunSupervisor and chaos::Runner:
+  /// the caller's raw bound stays as a compatibility backstop; on top of it
+  /// the sentinel reports divergence when it is in kOverloaded with the
+  /// potential past the statistical floor.  `raw_bound <= 0` disables the
+  /// backstop.
+  [[nodiscard]] bool diverged(double raw_bound, double potential) const;
+  /// Human-readable reason for a diverged() == true verdict.
+  [[nodiscard]] std::string describe_divergence(double raw_bound,
+                                                double potential) const;
+
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
+
+ private:
+  void classify(TimeStep span, double potential);
+
+  const core::SdNetwork* net_;
+  SentinelOptions options_;
+  double growth_ = 0.0;                // 5 n Δ²
+  double floor_ = 0.0;                 // statistical divergence floor
+  std::optional<double> state_bound_;  // Lemma 1, when certified
+
+  bool cert_feasible_ = false;
+  bool cert_unsaturated_ = false;
+
+  bool has_prev_ = false;
+  TimeStep prev_t_ = 0;
+  double prev_potential_ = 0.0;
+  double ewma_ = 0.0;
+  double ph_ = 0.0;
+  TimeStep compliant_streak_ = 0;
+  SaturationMode mode_ = SaturationMode::kUnsaturated;
+  TimeStep time_in_mode_ = 0;
+};
+
+}  // namespace lgg::control

@@ -1,0 +1,81 @@
+// Pre-injection admission control hook.
+//
+// The simulator consults an attached AdmissionController once per step,
+// immediately before the injection phase: `begin_step` sees the pre-injection
+// potential P_t = sum q^2 (the control signal the paper's dichotomy is built
+// on), then `admit` gates each source's offered packet count.  Shed packets
+// are never injected, so the conservation audit is untouched; they are
+// accounted separately in StepStats::shed.
+//
+// This header lives in core (not src/control/) so the simulator does not
+// depend on the control plane: core sees only this abstract interface, and
+// control::AdmissionGovernor implements it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/types.hpp"
+
+namespace lgg::graph {
+class EdgeMask;
+}  // namespace lgg::graph
+
+namespace lgg::obs {
+class MetricRegistry;
+}  // namespace lgg::obs
+
+namespace lgg::core {
+
+class SdNetwork;
+
+class AdmissionController {
+ public:
+  /// Everything the controller may observe at the top of a step.  `net` and
+  /// `active_mask` stay valid for the duration of the step; the mask already
+  /// reflects this step's churn, so a feasibility certificate recomputed from
+  /// it is exact for the current topology.
+  struct StepContext {
+    TimeStep t = 0;
+    double potential = 0.0;  ///< P_t before injection (crash wipes applied).
+    std::uint64_t topology_version = 0;
+    const SdNetwork* net = nullptr;
+    const graph::EdgeMask* active_mask = nullptr;
+  };
+
+  virtual ~AdmissionController() = default;
+
+  /// Called once per step before any `admit` call of that step.
+  virtual void begin_step(const StepContext& ctx) = 0;
+
+  /// Gate one source's injection: `offered` packets arrived (arrival process
+  /// plus any fault surge) at source `v` whose declared rate is `in_rate`.
+  /// Returns how many to actually inject, in [0, offered].  The difference
+  /// is shed.
+  virtual PacketCount admit(NodeId v, Cap in_rate, PacketCount offered) = 0;
+
+  /// Current saturation mode as a small integer (control::SaturationMode);
+  /// exposed untyped so core needs no control-plane headers.
+  [[nodiscard]] virtual int mode() const = 0;
+
+  /// Total packets shed since construction (or state load).
+  [[nodiscard]] virtual PacketCount total_shed() const = 0;
+
+  /// Bound that P_t must stay under once the controller has engaged (shed at
+  /// least once).  0 while never engaged — callers skip the check then.
+  [[nodiscard]] virtual double overload_bound() const { return 0.0; }
+
+  /// Register controller metrics (multiplier, drift estimate, ...) with the
+  /// simulator's telemetry registry.  Optional.
+  virtual void register_metrics(obs::MetricRegistry& registry) {
+    (void)registry;
+  }
+
+  /// Checkpoint support.  Admission state affects the trajectory, so the
+  /// checkpoint layer treats presence strictly: a governed checkpoint only
+  /// restores into a governed simulator and vice versa.
+  virtual void save_state(std::ostream& out) const = 0;
+  virtual void load_state(std::istream& in) = 0;
+};
+
+}  // namespace lgg::core

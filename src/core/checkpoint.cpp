@@ -84,6 +84,7 @@ void Simulator::save_checkpoint(std::ostream& os) const {
   binio::write_i64(payload_os, totals_.delivered);
   binio::write_i64(payload_os, totals_.extracted);
   binio::write_i64(payload_os, totals_.crash_wiped);
+  binio::write_i64(payload_os, totals_.shed);
   binio::write_i64(payload_os, totals_.steps);
 
   // mt19937_64 round-trips exactly through its textual representation.
@@ -123,6 +124,16 @@ void Simulator::save_checkpoint(std::ostream& os) const {
   if (telemetry_ != nullptr) {
     binio::write_string(payload_os, capture([&](std::ostream& s) {
                           telemetry_->save_state(s);
+                        }));
+  }
+
+  // v3: trailing admission-controller section.  Unlike telemetry this is
+  // strict in both directions — admission gating steers the trajectory, so
+  // a presence mismatch cannot resume bitwise-identically.
+  binio::write_u8(payload_os, admission_ != nullptr ? 1 : 0);
+  if (admission_ != nullptr) {
+    binio::write_string(payload_os, capture([&](std::ostream& s) {
+                          admission_->save_state(s);
                         }));
   }
 
@@ -201,6 +212,7 @@ void Simulator::restore_checkpoint(std::istream& is) {
     totals.delivered = binio::read_i64(ps);
     totals.extracted = binio::read_i64(ps);
     totals.crash_wiped = binio::read_i64(ps);
+    totals.shed = binio::read_i64(ps);
     totals.steps = binio::read_i64(ps);
 
     const std::string rng_text = binio::read_string(ps);
@@ -230,6 +242,18 @@ void Simulator::restore_checkpoint(std::istream& is) {
     const bool had_telemetry = binio::read_u8(ps) != 0;
     std::string telemetry_blob;
     if (had_telemetry) telemetry_blob = binio::read_string(ps);
+
+    // Admission control does influence the trajectory, so presence is
+    // strict in both directions (like the fault injector).
+    const bool had_admission = binio::read_u8(ps) != 0;
+    std::string admission_blob;
+    if (had_admission) admission_blob = binio::read_string(ps);
+    if (had_admission && admission_ == nullptr) {
+      fail("checkpoint has admission-controller state but none is attached");
+    }
+    if (!had_admission && admission_ != nullptr) {
+      fail("an admission controller is attached but the checkpoint has none");
+    }
 
     // Everything parsed — apply.  Queues go through a full recompute of the
     // Σ accumulators, then cross-check against the saved values: a mismatch
@@ -273,6 +297,10 @@ void Simulator::restore_checkpoint(std::istream& is) {
     if (had_telemetry && telemetry_ != nullptr) {
       std::istringstream blob(telemetry_blob, std::ios::binary);
       telemetry_->load_state(blob);
+    }
+    if (had_admission && admission_ != nullptr) {
+      std::istringstream blob(admission_blob, std::ios::binary);
+      admission_->load_state(blob);
     }
   } catch (const CheckpointError&) {
     throw;

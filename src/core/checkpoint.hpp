@@ -46,8 +46,14 @@ inline constexpr char kCheckpointMagic[8] = {'L', 'G', 'G', 'C',
                                              'K', 'P', 'T', '1'};
 /// v2: fault-injector blobs carry the live down-state bit per entry (so a
 /// resume reports no spurious fault transitions) and the payload gains an
-/// optional trailing telemetry section.  v1 files are rejected.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+/// optional trailing telemetry section.
+/// v3: cumulative totals gain the admission `shed` counter and the payload
+/// gains a trailing admission-controller section (strict presence: a
+/// governed checkpoint only restores into a simulator with an admission
+/// controller attached, and vice versa — admission state steers the
+/// trajectory, so a mismatch cannot resume bitwise-identically).  Older
+/// versions are rejected.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).  `seed` chains
 /// incremental computations; pass the previous return value.

@@ -21,6 +21,9 @@ struct StepStats {
   PacketCount extracted = 0;   ///< removed by sinks
   PacketCount crash_wiped = 0; ///< destroyed by wipe-mode node crashes
                                ///< (core/faults.hpp)
+  PacketCount shed = 0;        ///< offered but not admitted (core/admission
+                               ///< gating); never injected, so excluded from
+                               ///< the conservation balance
   bool topology_changed = false;
 };
 
@@ -35,6 +38,7 @@ struct CumulativeStats {
   PacketCount delivered = 0;
   PacketCount extracted = 0;
   PacketCount crash_wiped = 0;
+  PacketCount shed = 0;
   TimeStep steps = 0;
 
   void add(const StepStats& s) {
@@ -47,6 +51,7 @@ struct CumulativeStats {
     delivered += s.delivered;
     extracted += s.extracted;
     crash_wiped += s.crash_wiped;
+    shed += s.shed;
     ++steps;
   }
 };

@@ -62,11 +62,19 @@ void Simulator::set_telemetry(obs::Telemetry* telemetry) {
   register_component_metrics();
 }
 
+void Simulator::set_admission(AdmissionController* admission) {
+  admission_ = admission;
+  if (telemetry_ != nullptr && admission_ != nullptr) {
+    admission_->register_metrics(telemetry_->registry());
+  }
+}
+
 void Simulator::register_component_metrics() {
   obs::MetricRegistry& registry = telemetry_->registry();
   protocol_->register_metrics(registry);
   scheduler_->register_metrics(registry);
   if (faults_ != nullptr) faults_->register_metrics(registry);
+  if (admission_ != nullptr) admission_->register_metrics(registry);
 }
 
 void Simulator::set_initial_queue(NodeId v, PacketCount q) {
@@ -225,6 +233,16 @@ StepStats Simulator::step() {
 
   // 2. Injection — only source nodes (in > 0) can inject; down sources
   // don't, surging sources inject extra on top of the arrival process.
+  // An attached admission controller sees the pre-injection potential and
+  // may shed part of each source's offered packets; shed packets are never
+  // injected, so the conservation audit is untouched.  The arrival process
+  // always draws first, keeping the RNG stream independent of admission.
+  int admission_mode_before = 0;
+  if (admission_ != nullptr) {
+    admission_mode_before = admission_->mode();
+    admission_->begin_step({t_, network_state(), topology_version_, &net_,
+                            active_mask});
+  }
   if (observer_ != nullptr) pre_injection_ = queue_;
   for (const NodeId v : net_.sources()) {
     const NodeSpec& spec = net_.spec(v);
@@ -233,8 +251,22 @@ StepStats Simulator::step() {
     if (faults_ != nullptr && faults_->node_down(v)) continue;
     const PacketCount extra =
         faults_ != nullptr ? faults_->surge_extra(v) : 0;
-    apply_queue_delta(v, a + extra, obs::DriftCause::kInjection);
-    stats.injected += a + extra;
+    PacketCount offered = a + extra;
+    if (admission_ != nullptr) {
+      const PacketCount admitted = admission_->admit(v, spec.in, offered);
+      LGG_REQUIRE(admitted >= 0 && admitted <= offered,
+                  "admission controller returned a count outside [0, offered]");
+      stats.shed += offered - admitted;
+      offered = admitted;
+    }
+    apply_queue_delta(v, offered, obs::DriftCause::kInjection);
+    stats.injected += offered;
+  }
+  if (admission_ != nullptr && tel != nullptr &&
+      admission_->mode() != admission_mode_before) {
+    tel->record_event({t_, obs::EventKind::kGovernorMode, kInvalidNode,
+                       kInvalidNode,
+                       static_cast<PacketCount>(admission_->mode())});
   }
   lap(StepPhase::kInjection, static_cast<std::uint64_t>(stats.injected));
 
@@ -403,6 +435,7 @@ StepStats Simulator::step() {
     sample.delivered = stats.delivered;
     sample.extracted = stats.extracted;
     sample.crash_wiped = stats.crash_wiped;
+    sample.shed = stats.shed;
     tel->end_step(sample);
   }
   if (observer_ != nullptr) {

@@ -19,6 +19,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/admission.hpp"
 #include "core/arrival.hpp"
 #include "core/dynamics.hpp"
 #include "core/faults.hpp"
@@ -159,6 +160,14 @@ class Simulator {
   void set_telemetry(obs::Telemetry* telemetry);
   [[nodiscard]] obs::Telemetry* telemetry() const { return telemetry_; }
 
+  /// Attaches an admission controller (core/admission.hpp) consulted before
+  /// the injection phase: it sees the pre-injection potential and may shed
+  /// part of each source's offered packets.  Not owned; pass nullptr to
+  /// detach.  Admission state is part of the checkpoint (strict presence:
+  /// governed checkpoints only restore into governed simulators).
+  void set_admission(AdmissionController* admission);
+  [[nodiscard]] AdmissionController* admission() const { return admission_; }
+
   [[nodiscard]] const SdNetwork& network() const { return net_; }
   [[nodiscard]] const RoutingProtocol& protocol() const { return *protocol_; }
   [[nodiscard]] const graph::EdgeMask& edge_mask() const { return mask_; }
@@ -245,6 +254,7 @@ class Simulator {
   StepProfiler* profiler_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
   obs::DriftAttributor* drift_ = nullptr;  // non-null only while armed
+  AdmissionController* admission_ = nullptr;
 
   std::vector<PacketCount> queue_;
   std::vector<PacketCount> declared_;

@@ -16,6 +16,7 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kNodeUp: return "node_up";
     case EventKind::kCheckpoint: return "checkpoint";
     case EventKind::kSnapshot: return "snapshot";
+    case EventKind::kGovernorMode: return "governor_mode";
   }
   return "?";
 }

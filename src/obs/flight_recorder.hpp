@@ -34,9 +34,11 @@ enum class EventKind : std::uint8_t {
   kNodeUp,       ///< fault recovery: a=node
   kCheckpoint,   ///< checkpoint written at step t
   kSnapshot,     ///< telemetry snapshot emitted: value=sequence number
+  kGovernorMode, ///< admission governor mode transition: value=new mode
+                 ///< (control::SaturationMode as an integer)
 };
 
-inline constexpr std::size_t kEventKindCount = 7;
+inline constexpr std::size_t kEventKindCount = 8;
 
 [[nodiscard]] std::string_view to_string(EventKind kind);
 

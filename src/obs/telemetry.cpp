@@ -33,6 +33,7 @@ Telemetry::Telemetry(TelemetryOptions options) : options_(options) {
   delivered_ = &registry_.counter("sim.delivered");
   extracted_ = &registry_.counter("sim.extracted");
   crash_wiped_ = &registry_.counter("sim.crash_wiped");
+  shed_ = &registry_.counter("sim.shed");
   checkpoints_ = &registry_.counter("sim.checkpoints");
   potential_ = &registry_.gauge("sim.P");
   total_packets_ = &registry_.gauge("sim.total_packets");
@@ -63,6 +64,7 @@ void Telemetry::end_step(const StepSample& sample) {
   delivered_->add(static_cast<std::uint64_t>(sample.delivered));
   extracted_->add(static_cast<std::uint64_t>(sample.extracted));
   crash_wiped_->add(static_cast<std::uint64_t>(sample.crash_wiped));
+  shed_->add(static_cast<std::uint64_t>(sample.shed));
   potential_->set(sample.potential);
   total_packets_->set(static_cast<double>(sample.total_packets));
   if (sample.max_queue >= 0) {

@@ -89,6 +89,7 @@ struct StepSample {
   std::int64_t delivered = 0;
   std::int64_t extracted = 0;
   std::int64_t crash_wiped = 0;
+  std::int64_t shed = 0;  ///< offered but refused by admission control
 };
 
 class Telemetry {
@@ -178,6 +179,7 @@ class Telemetry {
   Counter* delivered_;
   Counter* extracted_;
   Counter* crash_wiped_;
+  Counter* shed_;
   Counter* checkpoints_;
   Gauge* potential_;
   Gauge* total_packets_;

@@ -28,6 +28,13 @@
 //                          Default 256 with --telemetry, else off
 //     --deadline-ms N      wall-clock budget; run supervised and exit 4
 //                          when it expires
+//     --governor           attach the adaptive admission governor
+//                          (src/control/, docs/control.md): sheds offered
+//                          load when the saturation sentinel certifies
+//                          overload, keeps P_t bounded on infeasible inputs
+//     --governor-target-eps F  recovery-probe drift target (default 0.05)
+//     --brownout           ordered brownout ladder: defer lowest-priority
+//                          sources first instead of shedding uniformly
 //     --profile            print the per-phase step profile after the run
 //     --analyze-only       print the feasibility report and exit
 //
@@ -57,6 +64,8 @@
 #include "analysis/supervisor.hpp"
 #include "baselines/protocol_registry.hpp"
 #include "common/exit_codes.hpp"
+#include "control/governor.hpp"
+#include "control/sentinel.hpp"
 #include "core/bounds.hpp"
 #include "core/checkpoint.hpp"
 #include "core/faults.hpp"
@@ -77,6 +86,7 @@ namespace {
                "[--checkpoint-every N] [--resume FILE] [--csv FILE] "
                "[--telemetry FILE] [--telemetry-every K] "
                "[--flight-recorder N] [--deadline-ms N] "
+               "[--governor] [--governor-target-eps F] [--brownout] "
                "[--profile] [--analyze-only] [network.sdnet]\n",
                argv0);
   std::exit(lgg::kExitUsage);
@@ -153,6 +163,9 @@ int main(int argc, char** argv) {
   std::string input_path;
   bool analyze_only = false;
   bool profile = false;
+  bool governor = false;
+  double governor_target_eps = 0.05;
+  bool brownout = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -226,6 +239,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --deadline-ms wants a positive budget\n");
         return lgg::kExitUsage;
       }
+    } else if (arg == "--governor") {
+      governor = true;
+    } else if (arg == "--governor-target-eps") {
+      governor_target_eps = parse_double("--governor-target-eps",
+                                         next("--governor-target-eps"));
+      if (governor_target_eps < 0.0) {
+        std::fprintf(stderr,
+                     "error: --governor-target-eps wants a factor >= 0\n");
+        return lgg::kExitUsage;
+      }
+    } else if (arg == "--brownout") {
+      brownout = true;
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--analyze-only") {
@@ -242,6 +267,10 @@ int main(int argc, char** argv) {
   if (checkpoint_every > 0 && checkpoint_path.empty()) {
     std::fprintf(stderr,
                  "error: --checkpoint-every needs --checkpoint FILE\n");
+    return lgg::kExitUsage;
+  }
+  if (brownout && !governor) {
+    std::fprintf(stderr, "error: --brownout needs --governor\n");
     return lgg::kExitUsage;
   }
 
@@ -330,6 +359,19 @@ int main(int argc, char** argv) {
       }
       sim.set_telemetry(telemetry.get());
     }
+    // The governor attaches before --resume: a v3 checkpoint written by a
+    // governed run carries admission state and restores only into a sim
+    // with a controller attached (and vice versa — the presence check is
+    // strict both ways, see core/checkpoint.hpp).
+    std::unique_ptr<control::AdmissionGovernor> admission;
+    if (governor) {
+      control::GovernorOptions gov;
+      gov.target_eps = governor_target_eps;
+      gov.brownout = brownout;
+      admission =
+          std::make_unique<control::AdmissionGovernor>(sim.network(), gov);
+      sim.set_admission(admission.get());
+    }
     if (!resume_path.empty()) {
       core::restore_checkpoint_file(sim, resume_path);
       std::printf("resumed from %s at step %lld\n", resume_path.c_str(),
@@ -384,16 +426,25 @@ int main(int argc, char** argv) {
     const auto& totals = sim.cumulative();
     std::printf(
         "injected=%lld sent=%lld delivered=%lld lost=%lld extracted=%lld "
-        "crash_wiped=%lld stored=%lld\n",
+        "crash_wiped=%lld shed=%lld stored=%lld\n",
         static_cast<long long>(totals.injected),
         static_cast<long long>(totals.sent),
         static_cast<long long>(totals.delivered),
         static_cast<long long>(totals.lost),
         static_cast<long long>(totals.extracted),
         static_cast<long long>(totals.crash_wiped),
+        static_cast<long long>(totals.shed),
         static_cast<long long>(sim.total_packets()));
     const bool conserved = sim.conserves_packets();
     std::printf("conservation: %s\n", conserved ? "ok" : "VIOLATED");
+    if (admission != nullptr) {
+      std::printf("governor: mode=%s multiplier=%.6g shed=%lld\n",
+                  std::string(control::to_string(static_cast<control::SaturationMode>(
+                                  admission->mode())))
+                      .c_str(),
+                  admission->multiplier(),
+                  static_cast<long long>(admission->total_shed()));
+    }
 
     if (telemetry != nullptr && sink != nullptr) {
       obs::JsonWriter json;

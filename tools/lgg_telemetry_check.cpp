@@ -11,6 +11,11 @@
 //     sum to drift.dP, the per-node contributions sum to drift.dP, and
 //     each per-node entry's cause fields sum to its own dP;
 //   * "event" lines carry t and kind, with seq values non-decreasing;
+//     "governor_mode" events additionally have strictly increasing t
+//     (the governor emits at most one mode transition per step);
+//   * snapshots carrying any "governor.*" gauge carry the full governor
+//     gauge set (multiplier in [0, 1], drift_estimate, mode in {0, 1, 2},
+//     time_in_mode >= 0);
 //   * "summary" lines carry t and P.
 //
 // With --strict-bounds, every snapshot's sim.bound_slack_growth and
@@ -238,6 +243,8 @@ struct Checker {
   double last_snapshot_t = 0.0;
   bool have_event_seq = false;
   double last_event_seq = 0.0;
+  bool have_governor_mode_t = false;
+  double last_governor_mode_t = 0.0;
   std::size_t snapshots = 0;
   std::size_t events = 0;
   std::size_t summaries = 0;
@@ -358,6 +365,42 @@ struct Checker {
       throw std::runtime_error("per_node sum != drift.dP");
     }
 
+    // Governor gauge schema: the set is all-or-nothing, and the gauges
+    // have hard ranges (multiplier is a fraction, mode a SaturationMode).
+    bool any_governor = false;
+    for (const auto& [name, v] : gauges->object) {
+      (void)v;
+      if (name.rfind("governor.", 0) == 0) {
+        any_governor = true;
+        break;
+      }
+    }
+    if (any_governor) {
+      const double multiplier =
+          require(*gauges, "governor.multiplier", Value::Kind::kNumber,
+                  "governor gauges")
+              ->number;
+      if (multiplier < 0.0 || multiplier > 1.0) {
+        throw std::runtime_error("governor.multiplier outside [0, 1]");
+      }
+      require(*gauges, "governor.drift_estimate", Value::Kind::kNumber,
+              "governor gauges");
+      const double mode =
+          require(*gauges, "governor.mode", Value::Kind::kNumber,
+                  "governor gauges")
+              ->number;
+      if (mode != 0.0 && mode != 1.0 && mode != 2.0) {
+        throw std::runtime_error("governor.mode is not a SaturationMode");
+      }
+      const double time_in_mode =
+          require(*gauges, "governor.time_in_mode", Value::Kind::kNumber,
+                  "governor gauges")
+              ->number;
+      if (time_in_mode < 0.0) {
+        throw std::runtime_error("governor.time_in_mode is negative");
+      }
+    }
+
     if (strict_bounds) {
       for (const char* gauge :
            {"sim.bound_slack_growth", "sim.bound_slack_state"}) {
@@ -382,8 +425,17 @@ struct Checker {
     }
     last_event_seq = seq;
     have_event_seq = true;
-    require(obj, "t", Value::Kind::kNumber, "event");
-    require(obj, "kind", Value::Kind::kString, "event");
+    const double t = require(obj, "t", Value::Kind::kNumber, "event")->number;
+    const Value* kind = require(obj, "kind", Value::Kind::kString, "event");
+    if (kind->string == "governor_mode") {
+      // Mode transitions are emitted at most once per step, so equal (or
+      // backwards) step stamps mean a corrupt or interleaved stream.
+      if (have_governor_mode_t && t <= last_governor_mode_t) {
+        throw std::runtime_error("governor_mode event t not increasing");
+      }
+      last_governor_mode_t = t;
+      have_governor_mode_t = true;
+    }
     ++events;
   }
 };
