@@ -33,6 +33,66 @@ class DiscardSink final : public obs::TelemetrySink {
 
 enum class TelemetryMode { kNone, kUnarmed, kArmed };
 
+/// One cell of the shard-engine scaling curve.
+struct ScalingCell {
+  NodeId nodes = 0;
+  std::size_t threads = 0;
+  TimeStep steps = 0;
+  double seconds = 0.0;
+  double node_steps_per_second = 0.0;
+  double speedup = 1.0;  ///< vs the serial engine on the same topology
+};
+
+/// Relay-heavy workload for the shard engine: a side×side grid with one
+/// source and one sink, every relay seeded with packets so the selection
+/// and apply phases (the parallelized hot spots) dominate.  threads == 0
+/// runs the serial engine; threads >= 1 runs the shard engine with
+/// K = threads shards.
+double measure_sharded_seconds(NodeId side, std::size_t threads,
+                               TimeStep steps) {
+  core::Simulator sim(core::scenarios::grid_single(side, side),
+                      core::SimulatorOptions{});
+  const NodeId n = side * side;
+  for (NodeId v = 0; v < n; ++v) sim.set_initial_queue(v, 8);
+  if (threads >= 1) {
+    sim.enable_sharding(static_cast<std::uint32_t>(threads), threads);
+  }
+  analysis::Stopwatch wall;
+  sim.run(steps);
+  return wall.seconds();
+}
+
+/// nodes × threads node-steps/second curve (the acceptance curve for the
+/// shard engine: monotone in threads, >= 2x at 4 threads on the largest
+/// topology when the hardware has >= 4 cores).
+std::vector<ScalingCell> measure_shard_scaling() {
+  std::vector<ScalingCell> cells;
+  for (const NodeId side : {NodeId{64}, NodeId{128}, NodeId{256}}) {
+    const NodeId n = side * side;
+    // Fix total work per row: bigger networks take fewer steps.
+    const auto steps =
+        static_cast<TimeStep>(std::max<NodeId>(8, 262144 / n) * 8);
+    const double serial_seconds = measure_sharded_seconds(side, 0, steps);
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                      std::size_t{2}, std::size_t{4},
+                                      std::size_t{8}}) {
+      const double seconds =
+          threads == 0 ? serial_seconds
+                       : measure_sharded_seconds(side, threads, steps);
+      ScalingCell cell;
+      cell.nodes = n;
+      cell.threads = threads;
+      cell.steps = steps;
+      cell.seconds = seconds;
+      cell.node_steps_per_second =
+          static_cast<double>(n) * static_cast<double>(steps) / seconds;
+      cell.speedup = serial_seconds / seconds;
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
 /// steps/sec of a 5000-step run on the sparse-source topology with the
 /// telemetry layer in one of its three cost states.
 double measure_steps_per_second(TelemetryMode mode, DiscardSink* sink) {
@@ -102,6 +162,22 @@ void print_report() {
   std::printf("  armed, JSONL sink %.6g steps/sec (%+.2f%%, %zu bytes)\n\n",
               armed_sps, armed_overhead_pct, discard.bytes());
 
+  // Shard-engine scaling: node-steps/second over nodes × threads
+  // (threads = 0 is the serial engine; each sharded row uses K = threads
+  // shards).  Relay-heavy topology with seeded queues, so the parallel
+  // phases carry the step.
+  const std::vector<ScalingCell> scaling = measure_shard_scaling();
+  std::printf("shard-engine scaling (node-steps/sec, speedup vs serial):\n");
+  std::printf("  %8s %8s %8s %14s %8s\n", "nodes", "threads", "steps",
+              "node-steps/s", "speedup");
+  for (const ScalingCell& cell : scaling) {
+    std::printf("  %8d %8zu %8lld %14.6g %7.2fx\n",
+                static_cast<int>(cell.nodes), cell.threads,
+                static_cast<long long>(cell.steps),
+                cell.node_steps_per_second, cell.speedup);
+  }
+  std::printf("\n");
+
   std::ofstream out("BENCH_perf_core.json");
   if (out) {
     obs::JsonWriter json;
@@ -126,6 +202,18 @@ void print_report() {
     json.field("armed_bytes_emitted",
                static_cast<std::uint64_t>(discard.bytes()));
     json.end_object();
+    json.begin_array("shard_scaling");
+    for (const ScalingCell& cell : scaling) {
+      json.begin_object();
+      json.field("nodes", static_cast<std::int64_t>(cell.nodes));
+      json.field("threads", static_cast<std::uint64_t>(cell.threads));
+      json.field("steps", static_cast<std::int64_t>(cell.steps));
+      json.field("seconds", cell.seconds);
+      json.field("node_steps_per_second", cell.node_steps_per_second);
+      json.field("speedup_vs_serial", cell.speedup);
+      json.end_object();
+    }
+    json.end_array();
     json.raw_field("profile", profiler.json());
     json.end_object();
     out << json.str() << '\n';
@@ -146,6 +234,25 @@ void BM_SimStepBySize(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SimStepBySize)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SimStepSharded(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const NodeId side = 64;
+  const NodeId n = side * side;
+  core::Simulator sim(core::scenarios::grid_single(side, side),
+                      core::SimulatorOptions{});
+  for (NodeId v = 0; v < n; ++v) sim.set_initial_queue(v, 8);
+  if (threads >= 1) {
+    sim.enable_sharding(static_cast<std::uint32_t>(threads), threads);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(threads == 0 ? "serial"
+                              : "sharded-k" + std::to_string(threads));
+}
+BENCHMARK(BM_SimStepSharded)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_SimStepByDegree(benchmark::State& state) {
   const auto mult = static_cast<int>(state.range(0));

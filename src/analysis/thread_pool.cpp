@@ -97,4 +97,30 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   pool.wait_idle();
 }
 
+void parallel_for_chunked(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks = std::min(count, pool.thread_count());
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;  // first `extra` chunks get +1
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t size = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + size;
+    pool.submit([failed, begin, end, &body] {
+      if (failed->load(std::memory_order_relaxed)) return;
+      try {
+        body(begin, end);
+      } catch (...) {
+        failed->store(true, std::memory_order_relaxed);
+        throw;
+      }
+    });
+    begin = end;
+  }
+  pool.wait_idle();
+}
+
 }  // namespace lgg::analysis

@@ -59,4 +59,15 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 
+/// Static-chunked variant: partitions [0, count) into min(count, threads)
+/// contiguous chunks and runs body(begin, end) once per chunk.  The chunk
+/// bounds are exact: chunks cover [0, count) disjointly, no chunk is empty
+/// (in particular when count < threads, exactly `count` one-element chunks
+/// are spawned — never a begin == end task), and the first count % chunks
+/// chunks are one element longer than the rest.  Same exception contract
+/// as parallel_for.
+void parallel_for_chunked(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
 }  // namespace lgg::analysis

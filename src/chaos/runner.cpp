@@ -91,6 +91,12 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config,
       sim->set_faults(std::make_unique<core::FaultInjector>(
           config.faults, config.effective_fault_seed()));
     }
+    if (config.shards >= 1) {
+      // The shard engine reproduces the serial trajectory bitwise, so a
+      // sharded soak exercises the engine's concurrency without changing
+      // what the oracles should observe.
+      sim->enable_sharding(config.shards);
+    }
     if (config.governor) {
       control::GovernorOptions gov;
       gov.target_eps = config.governor_target_eps;

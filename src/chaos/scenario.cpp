@@ -155,6 +155,7 @@ void write_scenario(std::ostream& os, const ScenarioConfig& c) {
   if (c.strict_declarations) os << "strict_declarations 1\n";
   if (c.hang_ms > 0) os << "hang_ms " << c.hang_ms << '\n';
   if (c.check_every != 64) os << "check_every " << c.check_every << '\n';
+  if (c.shards != 0) os << "shards " << c.shards << '\n';
   os << "network\n";
   core::write_network(os, c.network);
 }
@@ -240,6 +241,10 @@ ScenarioConfig read_scenario(std::istream& is) {
     } else if (key == "check_every") {
       c.check_every = parse_int_field(key, value);
       LGG_REQUIRE(c.check_every >= 1, "scenario: check_every must be >= 1");
+    } else if (key == "shards") {
+      const auto shards = parse_int_field(key, value);
+      LGG_REQUIRE(shards >= 0, "scenario: shards must be >= 0");
+      c.shards = static_cast<std::uint32_t>(shards);
     } else {
       LGG_REQUIRE(false, "scenario: unknown key '" + key + "'");
     }

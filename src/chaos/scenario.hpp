@@ -96,6 +96,10 @@ struct ScenarioConfig {
   std::int64_t hang_ms = 0;
   /// Oracle/divergence/deadline polling granularity in steps.
   TimeStep check_every = 64;
+  /// 0 = serial engine; >= 1 runs the graph-partitioned shard engine with
+  /// this many shards (trajectory is bitwise identical either way, so the
+  /// oracles need no sharding awareness).
+  std::uint32_t shards = 0;
 
   [[nodiscard]] std::uint64_t effective_fault_seed() const {
     return fault_seed != 0 ? fault_seed : derive_seed(seed, 0xFA17);

@@ -25,6 +25,14 @@ class ArrivalProcess {
   virtual PacketCount packets(NodeId v, Cap in_rate, TimeStep t,
                               Rng& rng) = 0;
 
+  /// True when packets() may be called concurrently for distinct nodes —
+  /// i.e. it is a pure function of (v, in_rate, t, rng) with no mutable
+  /// cross-call state.  The shard engine only parallelizes the injection
+  /// phase when this holds; stateful processes (token buckets) run it
+  /// serially, with identical results.  Defaults to false so a new process
+  /// is safe until it opts in.
+  [[nodiscard]] virtual bool parallel_safe() const { return false; }
+
   /// Checkpoint hooks (core/checkpoint.hpp): serialize/restore cross-step
   /// internal state (e.g. TokenBucketArrival's token balances).  Default:
   /// stateless — most processes are pure functions of (v, in_rate, t, rng).
@@ -36,6 +44,7 @@ class ArrivalProcess {
 class ExactArrival final : public ArrivalProcess {
  public:
   [[nodiscard]] std::string_view name() const override { return "exact"; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   PacketCount packets(NodeId, Cap in_rate, TimeStep, Rng&) override {
     return in_rate;
   }
@@ -49,6 +58,7 @@ class ScaledArrival final : public ArrivalProcess {
  public:
   explicit ScaledArrival(double factor);
   [[nodiscard]] std::string_view name() const override { return "scaled"; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   PacketCount packets(NodeId v, Cap in_rate, TimeStep t, Rng&) override;
 
  private:
@@ -61,6 +71,7 @@ class BernoulliArrival final : public ArrivalProcess {
  public:
   explicit BernoulliArrival(double p);
   [[nodiscard]] std::string_view name() const override { return "bernoulli"; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   PacketCount packets(NodeId, Cap in_rate, TimeStep, Rng& rng) override;
 
  private:
@@ -73,6 +84,7 @@ class UniformArrival final : public ArrivalProcess {
  public:
   explicit UniformArrival(double mean_factor);
   [[nodiscard]] std::string_view name() const override { return "uniform"; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   PacketCount packets(NodeId, Cap in_rate, TimeStep, Rng& rng) override;
 
  private:
@@ -86,6 +98,7 @@ class PoissonArrival final : public ArrivalProcess {
  public:
   explicit PoissonArrival(double mean_factor);
   [[nodiscard]] std::string_view name() const override { return "poisson"; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   PacketCount packets(NodeId, Cap in_rate, TimeStep, Rng& rng) override;
 
  private:
@@ -98,6 +111,7 @@ class GeometricArrival final : public ArrivalProcess {
  public:
   explicit GeometricArrival(double mean_factor);
   [[nodiscard]] std::string_view name() const override { return "geometric"; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   PacketCount packets(NodeId, Cap in_rate, TimeStep, Rng& rng) override;
 
  private:
@@ -111,6 +125,7 @@ class BurstArrival final : public ArrivalProcess {
   BurstArrival(double high_factor, double low_factor, TimeStep burst_len,
                TimeStep period);
   [[nodiscard]] std::string_view name() const override { return "burst"; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   PacketCount packets(NodeId v, Cap in_rate, TimeStep t, Rng&) override;
 
   [[nodiscard]] double average_factor() const;
@@ -155,6 +170,7 @@ class TraceArrival final : public ArrivalProcess {
  public:
   explicit TraceArrival(std::map<NodeId, std::vector<PacketCount>> trace);
   [[nodiscard]] std::string_view name() const override { return "trace"; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   PacketCount packets(NodeId v, Cap, TimeStep t, Rng&) override;
 
  private:

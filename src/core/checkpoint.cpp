@@ -87,10 +87,10 @@ void Simulator::save_checkpoint(std::ostream& os) const {
   binio::write_i64(payload_os, totals_.shed);
   binio::write_i64(payload_os, totals_.steps);
 
-  // mt19937_64 round-trips exactly through its textual representation.
-  binio::write_string(payload_os, capture([&](std::ostream& s) {
-                        s << rng_.engine();
-                      }));
+  // v4: the master seed pins every remaining draw (draws are addressed by
+  // (seed, step, phase, node), never sequenced), so the RNG section is the
+  // seed itself.
+  binio::write_u64(payload_os, options_.seed);
 
   const auto component = [&](std::string_view label,
                              const std::string& blob) {
@@ -215,7 +215,7 @@ void Simulator::restore_checkpoint(std::istream& is) {
     totals.shed = binio::read_i64(ps);
     totals.steps = binio::read_i64(ps);
 
-    const std::string rng_text = binio::read_string(ps);
+    const std::uint64_t seed = binio::read_u64(ps);
 
     std::array<std::string, kComponentLabels.size()> blobs;
     for (std::size_t i = 0; i < kComponentLabels.size(); ++i) {
@@ -279,9 +279,10 @@ void Simulator::restore_checkpoint(std::istream& is) {
     initial_total_ = initial_total;
     totals_ = totals;
 
-    std::istringstream rng_is(rng_text);
-    rng_is >> rng_.engine();
-    if (rng_is.fail()) fail("corrupt RNG state");
+    // Adopting the saved seed (rather than requiring the assembled one to
+    // match) keeps the resume bitwise-faithful even when the restoring
+    // process was launched with a different --seed.
+    options_.seed = seed;
 
     const auto load = [&](std::size_t i, auto& target) {
       std::istringstream blob(blobs[i], std::ios::binary);

@@ -2,7 +2,9 @@
 //
 // A checkpoint captures everything that determines the rest of a
 // trajectory: the step index, queues, edge mask, topology version, the
-// Σq / Σq² accumulators, cumulative stats, the simulation RNG stream, an
+// Σq / Σq² accumulators, cumulative stats, the master seed (draws are
+// addressed by (seed, step, phase, node), so seed + step pin every
+// remaining draw — there is no evolving stream to capture), an
 // opaque state blob per component (protocol, arrival, loss, scheduler,
 // dynamics, faults), and — when a telemetry session is attached — the
 // telemetry state (snapshot sequence number, metric values, cumulative
@@ -51,9 +53,13 @@ inline constexpr char kCheckpointMagic[8] = {'L', 'G', 'G', 'C',
 /// gains a trailing admission-controller section (strict presence: a
 /// governed checkpoint only restores into a simulator with an admission
 /// controller attached, and vice versa — admission state steers the
-/// trajectory, so a mismatch cannot resume bitwise-identically).  Older
-/// versions are rejected.
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+/// trajectory, so a mismatch cannot resume bitwise-identically).
+/// v4: the serialized RNG stream is replaced by the master seed.  Draws
+/// are addressed by (seed, step, phase, node) — common/rng.hpp — so there
+/// is no evolving stream to capture: (seed, t) alone pins every future
+/// draw, under any shard count.  Older versions are rejected with an error
+/// naming both versions.
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).  `seed` chains
 /// incremental computations; pass the previous return value.

@@ -2,60 +2,89 @@
 
 #include <algorithm>
 
+#include "core/profiler.hpp"
 #include "obs/registry.hpp"
 
 namespace lgg::core {
 
-void LggProtocol::select_transmissions(const StepView& view, Rng& rng,
+std::uint64_t LggProtocol::select_node(
+    const StepView& view, NodeId u,
+    std::vector<graph::IncidentLink>& scratch,
+    std::vector<Transmission>& out) const {
+  PacketCount budget = view.queue[static_cast<std::size_t>(u)];
+  if (budget <= 0) return 0;
+  const PacketCount qu = view.queue[static_cast<std::size_t>(u)];
+
+  // list(u): active incident links ordered by increasing declared queue.
+  scratch.clear();
+  for (const graph::IncidentLink& link : view.incidence->incident(u)) {
+    if (view.active != nullptr && !view.active->active(link.edge)) continue;
+    scratch.push_back(link);
+  }
+  if (scratch.empty()) return 1;
+  if (tie_break_ == TieBreak::kRandomShuffle) {
+    // The shuffle draws from u's addressed stream, never a shared one, so
+    // the tie-break is identical whether u is visited serially or from a
+    // shard.
+    Rng rng = draw_rng(view.draw_seed, static_cast<std::uint64_t>(view.t),
+                       static_cast<std::uint64_t>(StepPhase::kSelection),
+                       static_cast<std::uint64_t>(u));
+    std::shuffle(scratch.begin(), scratch.end(), rng.engine());
+    std::stable_sort(scratch.begin(), scratch.end(),
+                     [&](const graph::IncidentLink& a,
+                         const graph::IncidentLink& b) {
+                       return view.declared[static_cast<std::size_t>(
+                                  a.neighbor)] <
+                              view.declared[static_cast<std::size_t>(
+                                  b.neighbor)];
+                     });
+  } else {
+    std::sort(scratch.begin(), scratch.end(),
+              [&](const graph::IncidentLink& a,
+                  const graph::IncidentLink& b) {
+                const auto qa =
+                    view.declared[static_cast<std::size_t>(a.neighbor)];
+                const auto qb =
+                    view.declared[static_cast<std::size_t>(b.neighbor)];
+                if (qa != qb) return qa < qb;
+                if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
+                return a.edge < b.edge;
+              });
+  }
+
+  for (const graph::IncidentLink& link : scratch) {
+    if (budget <= 0) break;
+    // u compares its own true queue against the neighbour's declaration.
+    if (qu > view.declared[static_cast<std::size_t>(link.neighbor)]) {
+      out.push_back(Transmission{link.edge, u, link.neighbor});
+      --budget;
+    }
+  }
+  return 1;
+}
+
+void LggProtocol::select_transmissions(const StepView& view, Rng&,
                                        std::vector<Transmission>& out) {
   const NodeId n = view.net->node_count();
   std::uint64_t active = 0;
   for (NodeId u = 0; u < n; ++u) {
-    PacketCount budget = view.queue[static_cast<std::size_t>(u)];
-    if (budget <= 0) continue;
-    ++active;
-    const PacketCount qu = view.queue[static_cast<std::size_t>(u)];
-
-    // list(u): active incident links ordered by increasing declared queue.
-    scratch_.clear();
-    for (const graph::IncidentLink& link : view.incidence->incident(u)) {
-      if (view.active != nullptr && !view.active->active(link.edge)) continue;
-      scratch_.push_back(link);
-    }
-    if (scratch_.empty()) continue;
-    if (tie_break_ == TieBreak::kRandomShuffle) {
-      std::shuffle(scratch_.begin(), scratch_.end(), rng.engine());
-      std::stable_sort(scratch_.begin(), scratch_.end(),
-                       [&](const graph::IncidentLink& a,
-                           const graph::IncidentLink& b) {
-                         return view.declared[static_cast<std::size_t>(
-                                    a.neighbor)] <
-                                view.declared[static_cast<std::size_t>(
-                                    b.neighbor)];
-                       });
-    } else {
-      std::sort(scratch_.begin(), scratch_.end(),
-                [&](const graph::IncidentLink& a,
-                    const graph::IncidentLink& b) {
-                  const auto qa =
-                      view.declared[static_cast<std::size_t>(a.neighbor)];
-                  const auto qb =
-                      view.declared[static_cast<std::size_t>(b.neighbor)];
-                  if (qa != qb) return qa < qb;
-                  if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
-                  return a.edge < b.edge;
-                });
-    }
-
-    for (const graph::IncidentLink& link : scratch_) {
-      if (budget <= 0) break;
-      // u compares its own true queue against the neighbour's declaration.
-      if (qu > view.declared[static_cast<std::size_t>(link.neighbor)]) {
-        out.push_back(Transmission{link.edge, u, link.neighbor});
-        --budget;
-      }
-    }
+    active += select_node(view, u, scratch_, out);
   }
+  if (active_nodes_ != nullptr) active_nodes_->add(active);
+}
+
+std::uint64_t LggProtocol::select_for_nodes(const StepView& view,
+                                            std::span<const NodeId> nodes,
+                                            std::vector<Transmission>& out) {
+  std::vector<graph::IncidentLink> scratch;
+  std::uint64_t active = 0;
+  for (const NodeId u : nodes) {
+    active += select_node(view, u, scratch, out);
+  }
+  return active;
+}
+
+void LggProtocol::note_selection_work(std::uint64_t active) {
   if (active_nodes_ != nullptr) active_nodes_->add(active);
 }
 

@@ -7,6 +7,12 @@
 // serves its q_t(u) lowest neighbours first.  The paper notes the tie-break
 // among equal neighbours does not affect stability; both deterministic and
 // randomized tie-breaks are provided so experiments can confirm it.
+//
+// Selection is local by construction (each node needs only its own queue
+// and its neighbours' declarations), and the randomized tie-break draws
+// from the node's addressed stream (StepView::draw_seed), so the shard
+// engine can select disjoint node ranges concurrently and reproduce the
+// serial trajectory bit for bit.
 #pragma once
 
 #include "core/protocol.hpp"
@@ -32,13 +38,26 @@ class LggProtocol final : public RoutingProtocol {
   void select_transmissions(const StepView& view, Rng& rng,
                             std::vector<Transmission>& out) override;
 
+  [[nodiscard]] bool local_selection() const override { return true; }
+  std::uint64_t select_for_nodes(const StepView& view,
+                                 std::span<const NodeId> nodes,
+                                 std::vector<Transmission>& out) override;
+  void note_selection_work(std::uint64_t active) override;
+
   /// Registers protocol.active_nodes — cumulative count of nodes that held
   /// packets when transmissions were chosen (the per-step work LGG scans).
   void register_metrics(obs::MetricRegistry& registry) override;
 
  private:
+  /// One node's selection into `out` using caller-provided scratch.
+  /// Returns 1 when the node was active (held packets), 0 otherwise.
+  std::uint64_t select_node(const StepView& view, NodeId u,
+                            std::vector<graph::IncidentLink>& scratch,
+                            std::vector<Transmission>& out) const;
+
   TieBreak tie_break_;
-  // Scratch reused across steps to avoid per-step allocation.
+  // Scratch reused across steps by the serial path; the shard path uses a
+  // call-local vector instead so concurrent shards never share it.
   std::vector<graph::IncidentLink> scratch_;
   obs::Counter* active_nodes_ = nullptr;
 };

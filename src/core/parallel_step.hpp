@@ -1,0 +1,123 @@
+// The graph-partitioned shard engine behind Simulator::enable_sharding.
+//
+// One step runs the same eight phases as the serial engine, with the
+// node-local phases fanned out over a ShardPlan on a thread pool:
+//
+//   1. dynamics + faults        serial   (mutates the shared edge mask)
+//   2. injection                sharded  (serial when admission control or
+//                                         a stateful arrival forces order)
+//   3. declarations             serial   (O(retention nodes), cheap)
+//   4. selection                sharded  (protocols with local_selection;
+//                                         baselines select serially)
+//   5. interference scheduling  serial   (global view of the proposal set)
+//   6. link-conflict resolution serial
+//   7. loss mark                serial   (loss models may hold state)
+//      apply                    sharded  (the boundary exchange — see below)
+//   8. extraction               sharded
+//
+// Bitwise determinism across every (shard, thread) count rests on three
+// invariants:
+//
+//   * every stochastic draw is addressed by (seed, step, phase, node)
+//     (common/rng.hpp), so a draw's value cannot depend on which shard or
+//     thread performs it;
+//   * the global reductions (Σq, Σq², drift attribution, StepStats) use
+//     exact integer accumulators folded in fixed shard order — integer
+//     sums commute, so the fold equals the serial accumulation;
+//   * each node's queue is mutated only by its owner shard, in ascending
+//     transmission order — exactly the per-node mutation order of the
+//     serial engine, which pins the value-dependent drift contributions
+//     δ(2q+δ).
+//
+// The boundary exchange is implicit in the apply phase: the merged
+// transmission list, keep flags, and loss verdicts are shared read-only
+// state, and every shard scans the full list applying just the mutations
+// of nodes it owns.  A cross-boundary delivery is therefore "exchanged"
+// by the receiver's shard reading the sender's transmission — no queues,
+// no message passing, no ordering ambiguity.  (A local-then-inbox scheme
+// would reorder a node's receives after its sends and silently change the
+// drift attribution relative to the serial engine.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/thread_pool.hpp"
+#include "core/shard.hpp"
+#include "core/simulator.hpp"
+
+namespace lgg::core {
+
+class ParallelStepEngine {
+ public:
+  /// Builds the plan for `sim`'s network.  `threads` == 0 picks
+  /// min(shard_count, hardware concurrency).
+  ParallelStepEngine(Simulator& sim, std::uint32_t shard_count,
+                     std::size_t threads);
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return plan_.shard_count;
+  }
+  [[nodiscard]] std::size_t thread_count() const {
+    return pool_.thread_count();
+  }
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+
+  /// Executes one step of `sim` (must be the simulator this engine was
+  /// built for).  Called by Simulator::step while sharding is enabled.
+  StepStats step(Simulator& sim);
+
+ private:
+  /// Per-shard working state; reset each step.  Accumulators are exact
+  /// (wraparound-safe) mirrors of Simulator::apply_queue_delta's, folded
+  /// into the simulator in shard order after the last parallel phase.
+  struct ShardScratch {
+    std::vector<Transmission> txs;  ///< selection output, grouped by node
+    std::uint64_t active_nodes = 0;
+    PacketCount sum_q_delta = 0;
+    detail::QuadAccum sum_sq_delta = 0;
+    StepStats stats;  ///< only the sharded-phase counters are used
+    // Sparse per-(local node, cause) drift contributions, only maintained
+    // while telemetry is armed.
+    std::vector<std::uint64_t> drift;  // local node × kDriftCauseCount
+    std::vector<char> drift_touched_flag;
+    std::vector<std::uint32_t> drift_touched;  // local indices, visit order
+    std::uint64_t busy_nanos = 0;  ///< this shard's work time (profiling)
+  };
+
+  /// The per-shard mutation funnel (mirror of apply_queue_delta).
+  void shard_apply(Simulator& sim, ShardScratch& sh, bool drift_on, NodeId v,
+                   PacketCount delta, obs::DriftCause cause) {
+    auto& q = sim.queue_[static_cast<std::size_t>(v)];
+    if (drift_on) {
+      const auto uq = static_cast<std::uint64_t>(q);
+      const auto ud = static_cast<std::uint64_t>(delta);
+      const auto local =
+          static_cast<std::size_t>(plan_.local_index[static_cast<std::size_t>(v)]);
+      if (!sh.drift_touched_flag[local]) {
+        sh.drift_touched_flag[local] = 1;
+        sh.drift_touched.push_back(static_cast<std::uint32_t>(local));
+      }
+      sh.drift[local * obs::kDriftCauseCount +
+               static_cast<std::size_t>(cause)] += ud * (2 * uq + ud);
+    }
+    sh.sum_sq_delta += detail::square(q + delta) - detail::square(q);
+    sh.sum_q_delta += delta;
+    q += delta;
+  }
+
+  /// Concatenates the per-shard selection outputs in ascending sender
+  /// order — the serial engine's proposal order.
+  void merge_transmissions(std::vector<Transmission>& out);
+
+  /// Folds every shard's accumulators into the simulator, in shard order,
+  /// and resets the scratch for the next step.
+  void fold(Simulator& sim, StepStats& stats, bool drift_on);
+
+  ShardPlan plan_;
+  analysis::ThreadPool pool_;
+  std::vector<ShardScratch> shards_;
+  std::vector<std::size_t> merge_cursor_;
+};
+
+}  // namespace lgg::core

@@ -32,6 +32,12 @@ std::uint64_t StepProfiler::total_nanos() const {
   return total;
 }
 
+std::uint64_t StepProfiler::total_cpu_nanos() const {
+  std::uint64_t total = 0;
+  for (const PhaseTotals& p : phases_) total += p.cpu_nanos;
+  return total;
+}
+
 double StepProfiler::steps_per_second() const {
   const std::uint64_t nanos = total_nanos();
   if (steps_ == 0 || nanos == 0) return 0.0;
@@ -72,6 +78,7 @@ std::string StepProfiler::json() const {
     json.begin_object();
     json.field("name", to_string(static_cast<StepPhase>(i)));
     json.field("nanos", p.nanos);
+    json.field("cpu_nanos", p.cpu_nanos);
     json.field("items", p.items);
     json.end_object();
   }

@@ -33,21 +33,40 @@ inline constexpr std::size_t kStepPhaseCount = 8;
 
 [[nodiscard]] std::string_view to_string(StepPhase phase);
 
-/// Accumulated cost of one phase across all profiled steps.
+/// Accumulated cost of one phase across all profiled steps.  Serial phases
+/// have cpu_nanos == nanos; a shard-parallel phase reports the wall time of
+/// its slowest shard (phases do not overlap, so the per-phase walls still
+/// sum to the step wall) and the summed CPU time across shards (which can
+/// legitimately exceed the wall — that excess is the realized parallelism).
 struct PhaseTotals {
-  std::uint64_t nanos = 0;  ///< wall time, nanoseconds
-  std::uint64_t items = 0;  ///< phase-specific work counter
+  std::uint64_t nanos = 0;      ///< wall time, nanoseconds
+  std::uint64_t cpu_nanos = 0;  ///< cpu time summed over shards
+  std::uint64_t items = 0;      ///< phase-specific work counter
 };
 
 class StepProfiler {
  public:
   using Clock = std::chrono::steady_clock;
 
-  /// Adds one phase observation (called by the simulator once per phase
-  /// per step while attached).
+  /// Adds one serial phase observation (called by the simulator once per
+  /// phase per step while attached).  Serial wall time is CPU time.
   void record(StepPhase phase, std::uint64_t nanos, std::uint64_t items) {
     auto& totals = phases_[static_cast<std::size_t>(phase)];
     totals.nanos += nanos;
+    totals.cpu_nanos += nanos;
+    totals.items += items;
+  }
+
+  /// Adds one shard-parallel phase observation: `wall_nanos` is the
+  /// max-over-shards elapsed time (what the step actually waited),
+  /// `cpu_nanos` the sum-over-shards elapsed time (what the cores burned).
+  /// Summing per-shard walls into `nanos` would double-count the step wall
+  /// K-fold, which is exactly the bug this split exists to avoid.
+  void record_parallel(StepPhase phase, std::uint64_t wall_nanos,
+                       std::uint64_t cpu_nanos, std::uint64_t items) {
+    auto& totals = phases_[static_cast<std::size_t>(phase)];
+    totals.nanos += wall_nanos;
+    totals.cpu_nanos += cpu_nanos;
     totals.items += items;
   }
 
@@ -62,6 +81,8 @@ class StepProfiler {
   }
   /// Σ over phases — the profiled portion of the step wall time.
   [[nodiscard]] std::uint64_t total_nanos() const;
+  /// Σ over phases of shard CPU time (== total_nanos() for serial runs).
+  [[nodiscard]] std::uint64_t total_cpu_nanos() const;
   /// Throughput over the profiled portion (0 before the first step).
   [[nodiscard]] double steps_per_second() const;
 

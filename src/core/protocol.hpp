@@ -44,6 +44,11 @@ struct StepView {
   /// Incremented whenever the active edge set changes; protocols holding
   /// topology-derived caches (distances, flow paths) rekey on it.
   std::uint64_t topology_version = 0;
+  /// Master seed for addressed draws (common/rng.hpp draw_key): a protocol
+  /// that randomizes per node derives that node's stream from
+  /// (draw_seed, t, phase, node) instead of consuming the shared stream,
+  /// so its selections are identical under any sharding of the node set.
+  std::uint64_t draw_seed = 0;
 };
 
 class RoutingProtocol {
@@ -58,6 +63,31 @@ class RoutingProtocol {
   /// queue[u] transmissions leaving u.
   virtual void select_transmissions(const StepView& view, Rng& rng,
                                     std::vector<Transmission>& out) = 0;
+
+  /// True when selection decomposes into independent per-node work whose
+  /// randomness is addressed (StepView::draw_seed) rather than drawn from
+  /// the shared stream.  The shard engine runs such protocols via
+  /// select_for_nodes on one node range per shard; everything else is
+  /// selected serially on the merged view.
+  [[nodiscard]] virtual bool local_selection() const { return false; }
+
+  /// Selection restricted to `nodes` (ascending node ids).  Appends the
+  /// transmissions of exactly those senders to `out`, grouped per node in
+  /// the order given, and returns the number of active nodes (nodes that
+  /// held packets) — the work counter select_transmissions would have
+  /// accumulated for them.  Must be thread-safe across disjoint node sets
+  /// (no shared mutable scratch) and must not touch protocol metrics; the
+  /// caller folds the returned counts via note_selection_work.  Only
+  /// meaningful when local_selection() is true.
+  virtual std::uint64_t select_for_nodes(const StepView&,
+                                         std::span<const NodeId>,
+                                         std::vector<Transmission>&) {
+    return 0;
+  }
+
+  /// Folds a per-shard active-node count back into protocol metrics after
+  /// a parallel selection (called once per step, deterministic total).
+  virtual void note_selection_work(std::uint64_t) {}
 
   /// Drops protocol-internal caches (called when the simulator is reset).
   virtual void reset() {}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/parallel_step.hpp"
+
 namespace lgg::core {
 
 Simulator::Simulator(SdNetwork net, SimulatorOptions options,
@@ -17,10 +19,22 @@ Simulator::Simulator(SdNetwork net, SimulatorOptions options,
       dynamics_(std::make_unique<StaticTopology>()),
       incidence_(net_.topology()),
       mask_(net_.topology().edge_count()),
-      rng_(options.seed),
       queue_(static_cast<std::size_t>(net_.node_count()), 0),
       declared_(static_cast<std::size_t>(net_.node_count()), 0) {
   net_.validate();
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::enable_sharding(std::uint32_t shards, std::size_t threads) {
+  LGG_REQUIRE(shards >= 1, "enable_sharding: shards >= 1");
+  engine_ = std::make_unique<ParallelStepEngine>(*this, shards, threads);
+}
+
+void Simulator::disable_sharding() { engine_.reset(); }
+
+std::uint32_t Simulator::shard_count() const {
+  return engine_ != nullptr ? engine_->shard_count() : 1;
 }
 
 void Simulator::set_arrival(std::unique_ptr<ArrivalProcess> arrival) {
@@ -158,9 +172,7 @@ std::size_t resolve_link_conflicts(std::span<const Transmission> txs,
   return dropped;
 }
 
-StepStats Simulator::step() {
-  StepStats stats;
-
+obs::Telemetry* Simulator::arm_telemetry() {
   // Telemetry arms once per step: with no sink and no flight recorder the
   // session has nothing to feed, so drift_ stays null and every recording
   // site below collapses to one untaken branch.
@@ -168,29 +180,19 @@ StepStats Simulator::step() {
       (telemetry_ != nullptr && telemetry_->armed()) ? telemetry_ : nullptr;
   drift_ = tel != nullptr ? &tel->drift() : nullptr;
   if (tel != nullptr) tel->begin_step();
+  return tel;
+}
 
-  // Phase timing: two clock reads per phase when a profiler is attached,
-  // nothing otherwise.
-  StepProfiler* const prof = profiler_;
-  StepProfiler::Clock::time_point mark{};
-  if (prof != nullptr) mark = StepProfiler::Clock::now();
-  const auto lap = [&](StepPhase phase, std::uint64_t items) {
-    if (prof == nullptr) return;
-    const auto now = StepProfiler::Clock::now();
-    prof->record(phase,
-                 static_cast<std::uint64_t>(
-                     std::chrono::duration_cast<std::chrono::nanoseconds>(
-                         now - mark)
-                         .count()),
-                 items);
-    mark = now;
-  };
-
-  // 1. Topology dynamics, then fault transitions.  Faults fold into the
+const graph::EdgeMask* Simulator::phase_dynamics(StepStats& stats,
+                                                 obs::Telemetry* tel) {
+  // Topology dynamics, then fault transitions.  Faults fold into the
   // dynamics phase: both mutate which links exist this step.
-  if (dynamics_->evolve(t_, net_, mask_, rng_)) {
-    ++topology_version_;
-    stats.topology_changed = true;
+  {
+    Rng rng = phase_rng(StepPhase::kDynamics);
+    if (dynamics_->evolve(t_, net_, mask_, rng)) {
+      ++topology_version_;
+      stats.topology_changed = true;
+    }
   }
   const graph::EdgeMask* active_mask = &mask_;
   if (faults_ != nullptr) {
@@ -229,24 +231,28 @@ StepStats Simulator::step() {
       active_mask = &effective_mask_;
     }
   }
-  lap(StepPhase::kDynamics, stats.topology_changed ? 1 : 0);
+  return active_mask;
+}
 
-  // 2. Injection — only source nodes (in > 0) can inject; down sources
+void Simulator::phase_injection_serial(StepStats& stats, obs::Telemetry* tel,
+                                       const graph::EdgeMask* active_mask) {
+  // Injection — only source nodes (in > 0) can inject; down sources
   // don't, surging sources inject extra on top of the arrival process.
   // An attached admission controller sees the pre-injection potential and
   // may shed part of each source's offered packets; shed packets are never
-  // injected, so the conservation audit is untouched.  The arrival process
-  // always draws first, keeping the RNG stream independent of admission.
+  // injected, so the conservation audit is untouched.  Each source draws
+  // from its own addressed stream, so the draw is independent of admission
+  // and of every other source.
   int admission_mode_before = 0;
   if (admission_ != nullptr) {
     admission_mode_before = admission_->mode();
     admission_->begin_step({t_, network_state(), topology_version_, &net_,
                             active_mask});
   }
-  if (observer_ != nullptr) pre_injection_ = queue_;
   for (const NodeId v : net_.sources()) {
     const NodeSpec& spec = net_.spec(v);
-    const PacketCount a = arrival_->packets(v, spec.in, t_, rng_);
+    Rng rng = phase_rng(StepPhase::kInjection, static_cast<std::uint64_t>(v));
+    const PacketCount a = arrival_->packets(v, spec.in, t_, rng);
     LGG_REQUIRE(a >= 0, "arrival process returned a negative count");
     if (faults_ != nullptr && faults_->node_down(v)) continue;
     const PacketCount extra =
@@ -268,39 +274,45 @@ StepStats Simulator::step() {
                        kInvalidNode,
                        static_cast<PacketCount>(admission_->mode())});
   }
-  lap(StepPhase::kInjection, static_cast<std::uint64_t>(stats.injected));
+}
 
-  // 3. Declarations.  Only retention nodes may deviate from their true
-  // queue, and only under a lying policy, so the common cases avoid the
-  // full per-node policy evaluation:
+std::span<const PacketCount> Simulator::phase_declarations(
+    std::uint64_t& work) {
+  // Declarations.  Only retention nodes may deviate from their true queue,
+  // and only under a lying policy, so every case needs at most the
+  // retention-node loop (classical nodes are forced truthful and, under
+  // kRandom, their addressed draw would be uniform over [0, 0] — skipping
+  // it cannot shift any other node's stream):
   //   * truthful         — q'_t == q_t for every node; alias the queue.
   //   * declare-R / zero — deterministic; copy then patch retention nodes.
-  //   * random           — draws RNG per node; keep the full loop so the
-  //                        RNG stream (and thus trajectories) is unchanged.
+  //   * random           — copy, then per-node addressed draws.
   std::span<const PacketCount> declared_view = declared_;
-  std::uint64_t declaration_work = 0;
   switch (options_.declaration_policy) {
     case DeclarationPolicy::kTruthful:
       declared_view = queue_;
       break;
     case DeclarationPolicy::kDeclareR:
-    case DeclarationPolicy::kDeclareZero:
+    case DeclarationPolicy::kDeclareZero: {
       declared_ = queue_;
+      Rng rng = phase_rng(StepPhase::kDeclaration);  // never drawn from
       for (const NodeId v : net_.retention_nodes()) {
         declared_[static_cast<std::size_t>(v)] =
             declared_queue(net_.spec(v), queue_[static_cast<std::size_t>(v)],
-                           options_.declaration_policy, rng_);
+                           options_.declaration_policy, rng);
       }
-      declaration_work = net_.retention_nodes().size();
+      work += net_.retention_nodes().size();
       break;
+    }
     case DeclarationPolicy::kRandom: {
-      const NodeId n = net_.node_count();
-      for (NodeId v = 0; v < n; ++v) {
+      declared_ = queue_;
+      for (const NodeId v : net_.retention_nodes()) {
+        Rng rng = phase_rng(StepPhase::kDeclaration,
+                            static_cast<std::uint64_t>(v));
         declared_[static_cast<std::size_t>(v)] =
             declared_queue(net_.spec(v), queue_[static_cast<std::size_t>(v)],
-                           options_.declaration_policy, rng_);
+                           options_.declaration_policy, rng);
       }
-      declaration_work = static_cast<std::uint64_t>(n);
+      work += net_.retention_nodes().size();
       break;
     }
   }
@@ -314,107 +326,26 @@ StepStats Simulator::step() {
     }
     for (const auto& [v, value] : faults_->byzantine_declarations()) {
       declared_[static_cast<std::size_t>(v)] = value;
-      ++declaration_work;
+      ++work;
     }
   }
-  lap(StepPhase::kDeclaration, declaration_work);
+  return declared_view;
+}
 
-  const StepView view{&net_,      &incidence_,   active_mask,
-                      queue_,     declared_view, t_,
-                      topology_version_};
-
-  // 4. Protocol proposes transmissions.
-  txs_.clear();
-  protocol_->select_transmissions(view, rng_, txs_);
-  stats.proposed = static_cast<PacketCount>(txs_.size());
-  if (options_.check_contract) {
-    const std::string err = check_transmission_contract(view, txs_);
-    LGG_REQUIRE(err.empty(), "protocol contract violated: " + err);
-  }
-  lap(StepPhase::kSelection, static_cast<std::uint64_t>(stats.proposed));
-
-  // 5. Interference scheduling.
-  keep_.assign(txs_.size(), 1);
-  scheduler_->schedule(view, txs_, rng_, keep_);
-  stats.suppressed =
-      static_cast<PacketCount>(std::count(keep_.begin(), keep_.end(), 0));
-  lap(StepPhase::kScheduling, static_cast<std::uint64_t>(stats.suppressed));
-
-  // 6. Link-conflict resolution: when both directions of one link are
-  // scheduled, only one can use the link ("each link can transmit at most
-  // 1 packet").  The loser's packet stays in its queue.
-  if (options_.link_conflict == LinkConflictPolicy::kDropLower) {
-    stats.conflicted = static_cast<PacketCount>(
-        resolve_link_conflicts(txs_, queue_, keep_, conflict_scratch_));
-  }
-  lap(StepPhase::kConflict, static_cast<std::uint64_t>(stats.conflicted));
-
-  // 7. Losses + application.  Every kept transmission removes a packet from
-  // the sender; only un-lost ones arrive.
-  if (options_.extraction_basis == ExtractionBasis::kSnapshot ||
-      observer_ != nullptr) {
-    snapshot_ = queue_;  // step-start (post-injection) queue for step 8
-  }
-  lost_.assign(txs_.size(), 0);
-  loss_->mark_losses(view, txs_, rng_, lost_);
+void Simulator::record_tx_flight_events(obs::Telemetry* tel) {
+  if (tel == nullptr || tel->flight() == nullptr) return;
   for (std::size_t i = 0; i < txs_.size(); ++i) {
-    if (!keep_[i]) continue;
     const Transmission& tx = txs_[i];
-    LGG_REQUIRE(queue_[static_cast<std::size_t>(tx.from)] > 0,
-                "transmission from an empty queue");
-    // A lost packet leaves the network at the sender, so its decrement is
-    // a kLoss contribution; a delivered packet's sender/receiver pair are
-    // both kForwarding.
-    apply_queue_delta(
-        tx.from, -1,
-        lost_[i] ? obs::DriftCause::kLoss : obs::DriftCause::kForwarding);
-    ++stats.sent;
-    if (lost_[i]) {
-      ++stats.lost;
-    } else {
-      apply_queue_delta(tx.to, 1, obs::DriftCause::kForwarding);
-      ++stats.delivered;
-    }
+    const obs::EventKind kind = !keep_[i] ? obs::EventKind::kDrop
+                                : lost_[i] ? obs::EventKind::kLoss
+                                           : obs::EventKind::kSend;
+    tel->record_event(
+        {t_, kind, tx.from, tx.to, static_cast<std::int64_t>(tx.edge)});
   }
-  if (tel != nullptr && tel->flight() != nullptr) {
-    for (std::size_t i = 0; i < txs_.size(); ++i) {
-      const Transmission& tx = txs_[i];
-      const obs::EventKind kind = !keep_[i] ? obs::EventKind::kDrop
-                                  : lost_[i] ? obs::EventKind::kLoss
-                                             : obs::EventKind::kSend;
-      tel->record_event(
-          {t_, kind, tx.from, tx.to, static_cast<std::int64_t>(tx.edge)});
-    }
-  }
-  lap(StepPhase::kLossApply, static_cast<std::uint64_t>(stats.sent));
+}
 
-  // 8. Extraction — only sink nodes (out > 0) can extract; down or outaged
-  // sinks behave as out(d) = 0 this step.
-  for (const NodeId v : net_.sinks()) {
-    if (faults_ != nullptr &&
-        (faults_->node_down(v) || faults_->sink_out(v))) {
-      continue;
-    }
-    const NodeSpec& spec = net_.spec(v);
-    const PacketCount q = queue_[static_cast<std::size_t>(v)];
-    PacketCount amount = 0;
-    if (options_.extraction_basis == ExtractionBasis::kSnapshot) {
-      // The paper's literal min{out(d), q_t(d)} with q_t the step-start
-      // (post-injection) snapshot, clamped to what the queue holds now.
-      amount = extraction_amount(
-          spec, snapshot_[static_cast<std::size_t>(v)],
-          options_.extraction_policy, rng_);
-      amount = std::min(amount, q);
-    } else {
-      amount = extraction_amount(spec, q, options_.extraction_policy, rng_);
-    }
-    LGG_ASSERT(amount >= 0 && amount <= q);
-    apply_queue_delta(v, -amount, obs::DriftCause::kExtraction);
-    stats.extracted += amount;
-  }
-  lap(StepPhase::kExtraction, static_cast<std::uint64_t>(stats.extracted));
-  if (prof != nullptr) prof->finish_step();
-
+void Simulator::step_epilogue(StepStats& stats, obs::Telemetry* tel,
+                              std::span<const PacketCount> declared_view) {
   totals_.add(stats);
 #ifndef NDEBUG
   audit_counters();
@@ -459,6 +390,148 @@ StepStats Simulator::step() {
     observer_->on_step(record);
   }
   ++t_;
+}
+
+StepStats Simulator::step() {
+  if (engine_ != nullptr) return engine_->step(*this);
+  return step_serial();
+}
+
+StepStats Simulator::step_serial() {
+  StepStats stats;
+  obs::Telemetry* const tel = arm_telemetry();
+
+  // Phase timing: two clock reads per phase when a profiler is attached,
+  // nothing otherwise.
+  StepProfiler* const prof = profiler_;
+  StepProfiler::Clock::time_point mark{};
+  if (prof != nullptr) mark = StepProfiler::Clock::now();
+  const auto lap = [&](StepPhase phase, std::uint64_t items) {
+    if (prof == nullptr) return;
+    const auto now = StepProfiler::Clock::now();
+    prof->record(phase,
+                 static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         now - mark)
+                         .count()),
+                 items);
+    mark = now;
+  };
+
+  // 1. Topology dynamics + fault transitions.
+  const graph::EdgeMask* active_mask = phase_dynamics(stats, tel);
+  lap(StepPhase::kDynamics, stats.topology_changed ? 1 : 0);
+
+  // 2. Injection.
+  if (observer_ != nullptr) pre_injection_ = queue_;
+  phase_injection_serial(stats, tel, active_mask);
+  lap(StepPhase::kInjection, static_cast<std::uint64_t>(stats.injected));
+
+  // 3. Declarations.
+  std::uint64_t declaration_work = 0;
+  const std::span<const PacketCount> declared_view =
+      phase_declarations(declaration_work);
+  lap(StepPhase::kDeclaration, declaration_work);
+
+  const StepView view{&net_,      &incidence_,   active_mask,
+                      queue_,     declared_view, t_,
+                      topology_version_, options_.seed};
+
+  // 4. Protocol proposes transmissions.  Locally selecting protocols draw
+  // only addressed streams; the phase-global stream covers baselines.
+  txs_.clear();
+  {
+    Rng rng = phase_rng(StepPhase::kSelection);
+    protocol_->select_transmissions(view, rng, txs_);
+  }
+  stats.proposed = static_cast<PacketCount>(txs_.size());
+  if (options_.check_contract) {
+    const std::string err = check_transmission_contract(view, txs_);
+    LGG_REQUIRE(err.empty(), "protocol contract violated: " + err);
+  }
+  lap(StepPhase::kSelection, static_cast<std::uint64_t>(stats.proposed));
+
+  // 5. Interference scheduling.
+  keep_.assign(txs_.size(), 1);
+  {
+    Rng rng = phase_rng(StepPhase::kScheduling);
+    scheduler_->schedule(view, txs_, rng, keep_);
+  }
+  stats.suppressed =
+      static_cast<PacketCount>(std::count(keep_.begin(), keep_.end(), 0));
+  lap(StepPhase::kScheduling, static_cast<std::uint64_t>(stats.suppressed));
+
+  // 6. Link-conflict resolution: when both directions of one link are
+  // scheduled, only one can use the link ("each link can transmit at most
+  // 1 packet").  The loser's packet stays in its queue.
+  if (options_.link_conflict == LinkConflictPolicy::kDropLower) {
+    stats.conflicted = static_cast<PacketCount>(
+        resolve_link_conflicts(txs_, queue_, keep_, conflict_scratch_));
+  }
+  lap(StepPhase::kConflict, static_cast<std::uint64_t>(stats.conflicted));
+
+  // 7. Losses + application.  Every kept transmission removes a packet from
+  // the sender; only un-lost ones arrive.
+  if (options_.extraction_basis == ExtractionBasis::kSnapshot ||
+      observer_ != nullptr) {
+    snapshot_ = queue_;  // step-start (post-injection) queue for step 8
+  }
+  lost_.assign(txs_.size(), 0);
+  {
+    Rng rng = phase_rng(StepPhase::kLossApply);
+    loss_->mark_losses(view, txs_, rng, lost_);
+  }
+  for (std::size_t i = 0; i < txs_.size(); ++i) {
+    if (!keep_[i]) continue;
+    const Transmission& tx = txs_[i];
+    LGG_REQUIRE(queue_[static_cast<std::size_t>(tx.from)] > 0,
+                "transmission from an empty queue");
+    // A lost packet leaves the network at the sender, so its decrement is
+    // a kLoss contribution; a delivered packet's sender/receiver pair are
+    // both kForwarding.
+    apply_queue_delta(
+        tx.from, -1,
+        lost_[i] ? obs::DriftCause::kLoss : obs::DriftCause::kForwarding);
+    ++stats.sent;
+    if (lost_[i]) {
+      ++stats.lost;
+    } else {
+      apply_queue_delta(tx.to, 1, obs::DriftCause::kForwarding);
+      ++stats.delivered;
+    }
+  }
+  record_tx_flight_events(tel);
+  lap(StepPhase::kLossApply, static_cast<std::uint64_t>(stats.sent));
+
+  // 8. Extraction — only sink nodes (out > 0) can extract; down or outaged
+  // sinks behave as out(d) = 0 this step.
+  for (const NodeId v : net_.sinks()) {
+    if (faults_ != nullptr &&
+        (faults_->node_down(v) || faults_->sink_out(v))) {
+      continue;
+    }
+    const NodeSpec& spec = net_.spec(v);
+    const PacketCount q = queue_[static_cast<std::size_t>(v)];
+    Rng rng = phase_rng(StepPhase::kExtraction, static_cast<std::uint64_t>(v));
+    PacketCount amount = 0;
+    if (options_.extraction_basis == ExtractionBasis::kSnapshot) {
+      // The paper's literal min{out(d), q_t(d)} with q_t the step-start
+      // (post-injection) snapshot, clamped to what the queue holds now.
+      amount = extraction_amount(
+          spec, snapshot_[static_cast<std::size_t>(v)],
+          options_.extraction_policy, rng);
+      amount = std::min(amount, q);
+    } else {
+      amount = extraction_amount(spec, q, options_.extraction_policy, rng);
+    }
+    LGG_ASSERT(amount >= 0 && amount <= q);
+    apply_queue_delta(v, -amount, obs::DriftCause::kExtraction);
+    stats.extracted += amount;
+  }
+  lap(StepPhase::kExtraction, static_cast<std::uint64_t>(stats.extracted));
+  if (prof != nullptr) prof->finish_step();
+
+  step_epilogue(stats, tel, declared_view);
   return stats;
 }
 

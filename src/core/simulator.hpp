@@ -12,8 +12,12 @@
 //      decides which ones arrive
 //   8. sinks extract packets                                  (Def. 7 (i))
 //
-// Every stochastic choice draws from one seeded RNG, so a run is a pure
-// function of (network, components, seed).
+// Every stochastic choice draws from an *addressed* stream keyed by
+// (seed, step, phase, node) — common/rng.hpp draw_key — so a run is a pure
+// function of (network, components, seed) and, because no draw's value
+// depends on how the node loops are grouped, the graph-partitioned shard
+// engine (core/parallel_step.hpp, enable_sharding) reproduces the serial
+// trajectory bitwise for every shard and thread count.
 #pragma once
 
 #include <memory>
@@ -121,11 +125,29 @@ struct SimulatorOptions {
   std::uint64_t seed = 0x00c0ffee00c0ffeeULL;
 };
 
+class ParallelStepEngine;
+
 class Simulator {
  public:
   /// The protocol defaults to LGG.
   Simulator(SdNetwork net, SimulatorOptions options = {},
             std::unique_ptr<RoutingProtocol> protocol = nullptr);
+  ~Simulator();
+
+  /// Switches step() to the graph-partitioned shard engine: nodes are
+  /// split into `shards` balanced regions (graph/partition.hpp) and the
+  /// injection/selection/apply/extraction phases run shard-parallel on an
+  /// internal thread pool (`threads` == 0 picks min(shards, hardware)).
+  /// The trajectory — queues, stats, drift attribution, telemetry bytes,
+  /// checkpoint bytes — is bitwise identical to the serial engine for
+  /// every (shards, threads) choice.  May be called between steps; the
+  /// partition derives from the base graph only, so topology dynamics and
+  /// checkpoint restores compose freely.
+  void enable_sharding(std::uint32_t shards, std::size_t threads = 0);
+  /// Returns step() to the serial engine.
+  void disable_sharding();
+  /// Shards of the active engine (1 when serial).
+  [[nodiscard]] std::uint32_t shard_count() const;
 
   // Optional components (defaults: exact arrivals, no loss, no
   // interference, static topology).
@@ -212,6 +234,11 @@ class Simulator {
   void restore_checkpoint(std::istream& is);
 
  private:
+  // The shard engine is the only other writer of simulator state; it
+  // reuses the phase helpers below and mirrors apply_queue_delta with
+  // per-shard accumulators folded in shard order.
+  friend class ParallelStepEngine;
+
   /// The single funnel for queue mutations: updates the queue and the
   /// running Σq / Σq² so total_packets()/network_state() stay O(1).  When
   /// drift attribution is live (telemetry armed), the mutation's exact ΔP
@@ -236,6 +263,40 @@ class Simulator {
   /// Debug-only full-scan cross-check of the incremental counters.
   void audit_counters() const;
 
+  // The step pipeline is factored into phase helpers shared verbatim by
+  // the serial path and the shard engine (which replaces only the phases
+  // it parallelizes).  All of them assume they are called in pipeline
+  // order within one step.
+
+  /// The Rng owning the addressed stream of (this step, phase, node).
+  [[nodiscard]] Rng phase_rng(StepPhase phase,
+                              std::uint64_t node = kGlobalDraw) const {
+    return draw_rng(options_.seed, static_cast<std::uint64_t>(t_),
+                    static_cast<std::uint64_t>(phase), node);
+  }
+
+  /// Arms telemetry/drift for this step; returns the session or nullptr.
+  obs::Telemetry* arm_telemetry();
+  /// Phase 1: topology dynamics + fault transitions; returns the mask the
+  /// rest of the step routes against.
+  const graph::EdgeMask* phase_dynamics(StepStats& stats,
+                                        obs::Telemetry* tel);
+  /// Phase 2, serial form (also used by the shard engine when admission
+  /// control or a stateful arrival process forces ordered calls).
+  void phase_injection_serial(StepStats& stats, obs::Telemetry* tel,
+                              const graph::EdgeMask* active_mask);
+  /// Phase 3: declarations; returns the view (may alias queue_) and adds
+  /// the per-node evaluations performed to `work`.
+  std::span<const PacketCount> phase_declarations(std::uint64_t& work);
+  /// Phase 7 tail: per-transmission flight-recorder events.
+  void record_tx_flight_events(obs::Telemetry* tel);
+  /// Common step tail: cumulative stats, counter audit, telemetry sample,
+  /// observer callback, step counter.
+  void step_epilogue(StepStats& stats, obs::Telemetry* tel,
+                     std::span<const PacketCount> declared_view);
+  /// Serial engine body.
+  StepStats step_serial();
+
   SdNetwork net_;
   SimulatorOptions options_;
   std::unique_ptr<RoutingProtocol> protocol_;
@@ -248,7 +309,12 @@ class Simulator {
   graph::CsrIncidence incidence_;
   graph::EdgeMask mask_;
   graph::EdgeMask effective_mask_;  // mask_ with fault down-nodes overlaid
-  Rng rng_;
+
+  // Non-null while sharding is enabled; owns the partition, thread pool,
+  // and per-shard scratch.  Holds no cross-step trajectory state, so
+  // enabling/disabling between steps (or across a checkpoint restore)
+  // never perturbs the run.
+  std::unique_ptr<ParallelStepEngine> engine_;
 
   StepObserver* observer_ = nullptr;
   StepProfiler* profiler_ = nullptr;

@@ -1,0 +1,74 @@
+#include "graph/partition.hpp"
+
+#include <deque>
+
+#include "common/require.hpp"
+
+namespace lgg::graph {
+
+std::vector<std::uint32_t> partition_edge_cut(const Multigraph& g,
+                                              std::uint32_t parts) {
+  LGG_REQUIRE(parts >= 1, "partition_edge_cut: parts >= 1");
+  const auto n = static_cast<std::size_t>(g.node_count());
+  constexpr std::uint32_t kUnassigned = ~std::uint32_t{0};
+  std::vector<std::uint32_t> owner(n, kUnassigned);
+  if (n == 0) return owner;
+
+  std::size_t remaining = n;
+  NodeId next_seed = 0;  // lowest node id that might be unassigned
+  std::deque<NodeId> frontier;
+  for (std::uint32_t p = 0; p < parts && remaining > 0; ++p) {
+    // Balanced target: distributing the remainder one node at a time keeps
+    // every pair of shard sizes within one of each other.
+    const std::uint32_t shards_left = parts - p;
+    const std::size_t target = (remaining + shards_left - 1) / shards_left;
+    std::size_t grown = 0;
+    frontier.clear();
+    while (grown < target) {
+      if (frontier.empty()) {
+        // Seed (or re-seed after exhausting a component) at the lowest
+        // unassigned node — deterministic, and keeps low ids in low shards
+        // so shard node lists stay roughly id-contiguous.
+        while (owner[static_cast<std::size_t>(next_seed)] != kUnassigned) {
+          ++next_seed;
+        }
+        frontier.push_back(next_seed);
+        owner[static_cast<std::size_t>(next_seed)] = p;
+        ++grown;
+        --remaining;
+        if (grown >= target) break;
+      }
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const IncidentLink& link : g.incident(u)) {
+        auto& slot = owner[static_cast<std::size_t>(link.neighbor)];
+        if (slot != kUnassigned) continue;
+        slot = p;
+        ++grown;
+        --remaining;
+        frontier.push_back(link.neighbor);
+        if (grown >= target) break;
+      }
+    }
+  }
+  // parts > 0 and targets cover the remainder exactly, so nothing is left.
+  LGG_ASSERT(remaining == 0);
+  return owner;
+}
+
+std::size_t cut_edges(const Multigraph& g,
+                      std::span<const std::uint32_t> owner) {
+  LGG_REQUIRE(owner.size() == static_cast<std::size_t>(g.node_count()),
+              "cut_edges: owner size mismatch");
+  std::size_t cut = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Endpoints ep = g.endpoints(e);
+    if (owner[static_cast<std::size_t>(ep.u)] !=
+        owner[static_cast<std::size_t>(ep.v)]) {
+      ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace lgg::graph

@@ -4,8 +4,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/experiment.hpp"
@@ -121,6 +124,91 @@ TEST(Replicate, MeasureExceptionPropagates) {
                                    return 0.0;
                                  }),
                std::runtime_error);
+}
+
+TEST(ParallelFor, SweepItemsByWorkersCoversExactlyOnce) {
+  // Regression sweep for the degenerate corners (fewer items than workers,
+  // zero items, single worker): every index runs exactly once, regardless
+  // of how the pool splits the range.
+  for (std::size_t workers = 1; workers <= 8; ++workers) {
+    ThreadPool pool(workers);
+    for (std::size_t items = 0; items <= 9; ++items) {
+      std::vector<std::atomic<int>> hits(items);
+      parallel_for(pool, items,
+                   [&hits](std::size_t i) { hits[i].fetch_add(1); });
+      for (std::size_t i = 0; i < items; ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "items=" << items << " workers=" << workers << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForChunked, SweepItemsByWorkersExactBounds) {
+  // The chunked variant must emit disjoint, contiguous, non-empty chunks
+  // covering [0, count) for every (items, workers) pair — in particular no
+  // begin == end task and no overlap when items < workers.
+  for (std::size_t workers = 1; workers <= 8; ++workers) {
+    ThreadPool pool(workers);
+    for (std::size_t items = 0; items <= 9; ++items) {
+      std::mutex mu;
+      std::vector<std::pair<std::size_t, std::size_t>> chunks;
+      parallel_for_chunked(pool, items,
+                           [&](std::size_t begin, std::size_t end) {
+                             const std::lock_guard<std::mutex> lock(mu);
+                             chunks.emplace_back(begin, end);
+                           });
+      SCOPED_TRACE("items=" + std::to_string(items) +
+                   " workers=" + std::to_string(workers));
+      if (items == 0) {
+        EXPECT_TRUE(chunks.empty());
+        continue;
+      }
+      EXPECT_EQ(chunks.size(), std::min(items, workers));
+      std::sort(chunks.begin(), chunks.end());
+      std::size_t expected_begin = 0;
+      std::size_t largest = 0;
+      std::size_t smallest = items;
+      for (const auto& [begin, end] : chunks) {
+        EXPECT_EQ(begin, expected_begin);  // contiguous, disjoint
+        EXPECT_LT(begin, end);             // never empty
+        largest = std::max(largest, end - begin);
+        smallest = std::min(smallest, end - begin);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, items);  // full coverage
+      EXPECT_LE(largest - smallest, 1u);  // balanced to within one item
+    }
+  }
+}
+
+TEST(ParallelForChunked, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(5);
+  std::vector<std::atomic<int>> hits(1023);
+  parallel_for_chunked(pool, hits.size(),
+                       [&hits](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           hits[i].fetch_add(1);
+                         }
+                       });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunked, BodyExceptionReachesCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for_chunked(pool, 100,
+                                    [](std::size_t begin, std::size_t) {
+                                      if (begin == 0) {
+                                        throw std::runtime_error("bad");
+                                      }
+                                    }),
+               std::runtime_error);
+  // Pool stays usable.
+  std::atomic<int> ran{0};
+  parallel_for_chunked(pool, 8, [&ran](std::size_t begin, std::size_t end) {
+    ran.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(ran.load(), 8);
 }
 
 TEST(Replicate, SeedsAreDistinctAcrossReplicates) {

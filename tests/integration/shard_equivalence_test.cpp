@@ -1,0 +1,314 @@
+// Trajectory equivalence of the shard engine: for every fixture in the
+// matrix and every (shards, threads) pair, a sharded run must be BITWISE
+// identical to the serial run — per-step potentials, final queues,
+// cumulative ledgers, the telemetry JSONL byte stream (which embeds drift
+// attribution and the flight recorder), and the final checkpoint bytes.
+// Any divergence — a draw keyed off the wrong address, a reduction folded
+// in thread order, a node mutated out of serial order — fails here
+// exactly, not statistically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "control/governor.hpp"
+#include "lgg.hpp"
+
+namespace lgg {
+namespace {
+
+constexpr TimeStep kHorizon = 120;
+
+struct Fixture {
+  std::string name;
+  core::SdNetwork (*network)();
+  void (*configure)(core::Simulator&);
+  bool governed = false;  ///< attach an AdmissionGovernor (serial injection)
+};
+
+core::SdNetwork stochastic_net() { return core::scenarios::grid_single(4, 5); }
+core::SdNetwork fault_net() {
+  return core::scenarios::barbell_bottleneck(3, 1, 2);
+}
+core::SdNetwork plain_net() { return core::scenarios::fat_path(4, 2, 2, 2); }
+core::SdNetwork lying_net() {
+  // Retention nodes so kRandom declarations actually draw.
+  return core::scenarios::generalize(core::scenarios::grid_single(3, 4), 2);
+}
+
+void configure_plain(core::Simulator&) {}
+
+void configure_stochastic(core::Simulator& sim) {
+  sim.set_arrival(std::make_unique<core::BernoulliArrival>(0.7));
+  sim.set_loss(std::make_unique<core::BernoulliLoss>(0.1));
+  sim.set_dynamics(std::make_unique<core::RandomChurn>(0.03, 0.3));
+}
+
+void configure_faults(core::Simulator& sim) {
+  sim.set_arrival(std::make_unique<core::BernoulliArrival>(0.8));
+  sim.set_loss(std::make_unique<core::BernoulliLoss>(0.05));
+  core::FaultSchedule schedule;
+  schedule.set_random_crashes({0.03, 1, 6, core::CrashMode::kWipe});
+  sim.set_faults(std::make_unique<core::FaultInjector>(schedule, 0xFA));
+}
+
+void configure_governed(core::Simulator& sim) {
+  sim.set_arrival(std::make_unique<core::UniformArrival>(1.5));
+}
+
+void configure_stateful_arrival(core::Simulator& sim) {
+  // TokenBucketArrival is order-sensitive: the engine must detect
+  // !parallel_safe() and keep the serial injection path.
+  sim.set_arrival(std::make_unique<core::TokenBucketArrival>(0.7, 8.0, 3));
+  sim.set_loss(std::make_unique<core::PeriodicLoss>(7));
+}
+
+const std::vector<Fixture>& fixtures() {
+  static const std::vector<Fixture> kFixtures = {
+      {"plain-lgg", plain_net, configure_plain, false},
+      {"stochastic-churn", stochastic_net, configure_stochastic, false},
+      {"faults", fault_net, configure_faults, false},
+      {"governed", stochastic_net, configure_governed, true},
+      {"stateful-arrival", stochastic_net, configure_stateful_arrival,
+       false},
+  };
+  return kFixtures;
+}
+
+struct RunResult {
+  std::string telemetry;   ///< full JSONL byte stream
+  std::string checkpoint;  ///< final checkpoint bytes
+  std::vector<double> potential;
+  std::vector<PacketCount> queues;
+  core::CumulativeStats totals;
+};
+
+RunResult run_fixture(const Fixture& fx, std::uint32_t shards,
+                      std::size_t threads,
+                      core::DeclarationPolicy declarations =
+                          core::DeclarationPolicy::kTruthful) {
+  core::SimulatorOptions options;
+  options.seed = 0x51AB;
+  options.declaration_policy = declarations;
+  core::Simulator sim(fx.network(), options);
+  fx.configure(sim);
+  std::unique_ptr<control::AdmissionGovernor> governor;
+  if (fx.governed) {
+    governor = std::make_unique<control::AdmissionGovernor>(sim.network());
+    sim.set_admission(governor.get());
+  }
+
+  obs::TelemetryOptions topts;
+  topts.snapshot_every = 10;
+  topts.flight_capacity = 64;
+  obs::Telemetry telemetry(topts);
+  std::ostringstream stream;
+  obs::OstreamJsonlSink sink(stream);
+  telemetry.set_sink(&sink);
+  sim.set_telemetry(&telemetry);
+
+  if (shards > 1 || threads > 1) sim.enable_sharding(shards, threads);
+  EXPECT_EQ(sim.shard_count(), shards > 1 || threads > 1 ? shards : 1u);
+
+  RunResult result;
+  core::MetricsRecorder recorder;
+  sim.run(kHorizon, &recorder);
+  result.potential.assign(recorder.network_state().begin(),
+                          recorder.network_state().end());
+  result.queues.assign(sim.queues().begin(), sim.queues().end());
+  result.totals = sim.cumulative();
+  result.telemetry = stream.str();
+  std::ostringstream blob(std::ios::binary);
+  sim.save_checkpoint(blob);
+  result.checkpoint = blob.str();
+  EXPECT_TRUE(sim.conserves_packets());
+  return result;
+}
+
+void expect_bitwise_equal(const RunResult& serial, const RunResult& sharded) {
+  ASSERT_EQ(serial.potential.size(), sharded.potential.size());
+  for (std::size_t i = 0; i < serial.potential.size(); ++i) {
+    ASSERT_EQ(serial.potential[i], sharded.potential[i]) << "step " << i;
+  }
+  ASSERT_EQ(serial.queues, sharded.queues);
+  EXPECT_EQ(serial.totals.injected, sharded.totals.injected);
+  EXPECT_EQ(serial.totals.proposed, sharded.totals.proposed);
+  EXPECT_EQ(serial.totals.suppressed, sharded.totals.suppressed);
+  EXPECT_EQ(serial.totals.conflicted, sharded.totals.conflicted);
+  EXPECT_EQ(serial.totals.sent, sharded.totals.sent);
+  EXPECT_EQ(serial.totals.lost, sharded.totals.lost);
+  EXPECT_EQ(serial.totals.delivered, sharded.totals.delivered);
+  EXPECT_EQ(serial.totals.extracted, sharded.totals.extracted);
+  EXPECT_EQ(serial.totals.crash_wiped, sharded.totals.crash_wiped);
+  EXPECT_EQ(serial.totals.shed, sharded.totals.shed);
+  EXPECT_EQ(serial.telemetry, sharded.telemetry) << "telemetry bytes differ";
+  EXPECT_EQ(serial.checkpoint, sharded.checkpoint)
+      << "checkpoint bytes differ";
+}
+
+TEST(ShardEquivalence, BitwiseIdenticalAcrossShardAndThreadMatrix) {
+  for (const Fixture& fx : fixtures()) {
+    SCOPED_TRACE(fx.name);
+    const RunResult serial = run_fixture(fx, 1, 1);
+    ASSERT_FALSE(serial.telemetry.empty());
+    for (const std::uint32_t shards : {2u, 4u, 8u}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) +
+                     " threads=" + std::to_string(threads));
+        expect_bitwise_equal(serial, run_fixture(fx, shards, threads));
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalence, RandomDeclarationsMatchUnderSharding) {
+  // kRandom declarations draw per retention node; the addressed streams
+  // must line up between the serial loop and the sharded engine.
+  const Fixture fx{"lying", lying_net, configure_stochastic, false};
+  const RunResult serial =
+      run_fixture(fx, 1, 1, core::DeclarationPolicy::kRandom);
+  for (const std::uint32_t shards : {2u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    expect_bitwise_equal(
+        serial, run_fixture(fx, shards, 4, core::DeclarationPolicy::kRandom));
+  }
+}
+
+TEST(ShardEquivalence, SnapshotExtractionBasisMatches) {
+  core::SimulatorOptions options;
+  options.seed = 9;
+  options.extraction_basis = core::ExtractionBasis::kSnapshot;
+  const auto run = [&options](std::uint32_t shards) {
+    core::Simulator sim(core::scenarios::grid_single(4, 4), options);
+    sim.set_arrival(std::make_unique<core::PoissonArrival>(1.3));
+    if (shards > 1) sim.enable_sharding(shards, 4);
+    sim.run(kHorizon);
+    return std::vector<PacketCount>(sim.queues().begin(),
+                                          sim.queues().end());
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(3));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ShardEquivalence, MoreShardsThanNodesStillExact) {
+  const Fixture fx{"tiny", plain_net, configure_stochastic, false};
+  const RunResult serial = run_fixture(fx, 1, 1);
+  expect_bitwise_equal(serial, run_fixture(fx, 64, 4));
+}
+
+TEST(ShardEquivalence, EnableDisableMidRunIsSeamless) {
+  // Addressed draws make the engines interchangeable between steps: a run
+  // that flips sharding on and off mid-flight matches the serial run.
+  const auto run_flipping = [](bool flip) {
+    core::SimulatorOptions options;
+    options.seed = 0xD1CE;
+    core::Simulator sim(stochastic_net(), options);
+    configure_stochastic(sim);
+    for (int leg = 0; leg < 4; ++leg) {
+      if (flip && leg % 2 == 1) {
+        sim.enable_sharding(4, 2);
+      } else if (flip) {
+        sim.disable_sharding();
+      }
+      sim.run(kHorizon / 4);
+    }
+    return std::vector<PacketCount>(sim.queues().begin(),
+                                          sim.queues().end());
+  };
+  EXPECT_EQ(run_flipping(false), run_flipping(true));
+}
+
+TEST(ShardEquivalence, CheckpointResumeAcrossEngines) {
+  // Satellite 3: a checkpoint taken mid-run resumes bitwise-identically
+  // whether the producer and consumer are serial or sharded (any K); the
+  // v4 blob carries only (seed, step), no engine state.
+  constexpr TimeStep kBreak = 53;
+  const auto build = [] {
+    core::SimulatorOptions options;
+    options.seed = 0xBEA7;
+    auto sim = std::make_unique<core::Simulator>(fault_net(), options);
+    configure_faults(*sim);
+    return sim;
+  };
+
+  auto reference = build();
+  reference->run(kHorizon);
+  const std::vector<PacketCount> want(reference->queues().begin(),
+                                            reference->queues().end());
+
+  for (const std::uint32_t save_shards : {1u, 8u}) {
+    for (const std::uint32_t resume_shards : {1u, 8u}) {
+      SCOPED_TRACE("save K=" + std::to_string(save_shards) + " resume K=" +
+                   std::to_string(resume_shards));
+      auto first = build();
+      if (save_shards > 1) first->enable_sharding(save_shards, 4);
+      first->run(kBreak);
+      std::stringstream blob(std::ios::in | std::ios::out |
+                             std::ios::binary);
+      first->save_checkpoint(blob);
+
+      auto resumed = build();
+      if (resume_shards > 1) resumed->enable_sharding(resume_shards, 4);
+      resumed->restore_checkpoint(blob);
+      ASSERT_EQ(resumed->now(), kBreak);
+      resumed->run(kHorizon - kBreak);
+      const std::vector<PacketCount> got(resumed->queues().begin(),
+                                               resumed->queues().end());
+      EXPECT_EQ(got, want);
+      EXPECT_TRUE(resumed->conserves_packets());
+    }
+  }
+}
+
+TEST(ShardEquivalence, ResumeUnderDifferentCliSeedAdoptsSavedSeed) {
+  // The v4 RNG section is the master seed; restore adopts it, so resuming
+  // with a different --seed still replays the original trajectory.
+  core::SimulatorOptions saved_options;
+  saved_options.seed = 0xAAAA;
+  core::Simulator first(plain_net(), saved_options);
+  first.run(40);
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  first.save_checkpoint(blob);
+
+  core::SimulatorOptions other_options;
+  other_options.seed = 0xBBBB;
+  core::Simulator resumed(plain_net(), other_options);
+  resumed.restore_checkpoint(blob);
+  first.run(40);
+  resumed.run(40);
+  EXPECT_TRUE(std::equal(first.queues().begin(), first.queues().end(),
+                         resumed.queues().begin()));
+}
+
+TEST(ShardEquivalence, OldCheckpointVersionRejectedByName) {
+  // Satellite 3: v3 (serialized RNG stream) blobs are not silently
+  // misread — the error names both the found and the expected version.
+  core::Simulator sim(plain_net());
+  sim.run(10);
+  std::ostringstream os(std::ios::binary);
+  sim.save_checkpoint(os);
+  std::string bytes = os.str();
+  // The version u32 sits right after the 8-byte magic (little endian).
+  ASSERT_GT(bytes.size(), 12u);
+  ASSERT_EQ(static_cast<unsigned char>(bytes[8]), core::kCheckpointVersion);
+  bytes[8] = 3;
+  std::istringstream is(bytes, std::ios::binary);
+  core::Simulator victim(plain_net());
+  try {
+    victim.restore_checkpoint(is);
+    FAIL() << "v3 checkpoint was accepted";
+  } catch (const core::CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 3"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(core::kCheckpointVersion)),
+              std::string::npos)
+        << what;
+  }
+}
+
+}  // namespace
+}  // namespace lgg

@@ -46,7 +46,7 @@ namespace {
       stderr,
       "usage: %s soak [--scenarios N] [--seed S] [--from FILE]... "
       "[--out DIR] [--deadline-ms N] [--max-attempts N] [--backoff-ms N] "
-      "[--time-budget-ms N] [--shrink]\n"
+      "[--time-budget-ms N] [--shrink] [--shards K]\n"
       "       %s shrink FILE [--out DIR] [--probe-deadline-ms N]\n"
       "       %s replay FILE [--expect OUTCOME_FILE]\n",
       argv0, argv0, argv0);
@@ -90,6 +90,7 @@ int cmd_soak(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::vector<std::string> from;
   long long time_budget_ms = 0;
+  long long shards = 0;
   chaos::ExecutorOptions options;
 
   for (int i = 0; i < argc; ++i) {
@@ -122,6 +123,15 @@ int cmd_soak(int argc, char** argv) {
           parse_int("--time-budget-ms", next("--time-budget-ms"));
     } else if (arg == "--shrink") {
       options.shrink_findings = true;
+    } else if (arg == "--shards") {
+      // Run every scenario on the shard engine (K shards).  Trajectories
+      // are bitwise identical to serial, so this soaks the engine's
+      // concurrency under the same oracles.
+      shards = parse_int("--shards", next("--shards"));
+      if (shards <= 0) {
+        std::fprintf(stderr, "error: --shards wants a positive count\n");
+        std::exit(kExitUsage);
+      }
     } else {
       std::fprintf(stderr, "unknown soak option %s\n", arg.c_str());
       std::exit(kExitUsage);
@@ -140,7 +150,8 @@ int cmd_soak(int argc, char** argv) {
   if (!from.empty()) {
     for (const std::string& path : from) {
       if (chaos::Executor::stop_requested() || !budget_left()) break;
-      const chaos::ScenarioConfig config = chaos::read_scenario_file(path);
+      chaos::ScenarioConfig config = chaos::read_scenario_file(path);
+      if (shards > 0) config.shards = static_cast<std::uint32_t>(shards);
       const chaos::RunClass result = executor.run_one(config);
       std::printf("%s: %s\n", path.c_str(),
                   std::string(to_string(result)).c_str());
@@ -149,7 +160,8 @@ int cmd_soak(int argc, char** argv) {
     chaos::ScenarioGenerator generator(seed);
     for (long long i = 0; i < scenarios; ++i) {
       if (chaos::Executor::stop_requested() || !budget_left()) break;
-      const chaos::ScenarioConfig config = generator.next();
+      chaos::ScenarioConfig config = generator.next();
+      if (shards > 0) config.shards = static_cast<std::uint32_t>(shards);
       const chaos::RunClass result = executor.run_one(config);
       std::printf("%s seed=%llu: %s\n", config.label.c_str(),
                   static_cast<unsigned long long>(config.seed),

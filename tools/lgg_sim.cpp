@@ -35,6 +35,11 @@
 //     --governor-target-eps F  recovery-probe drift target (default 0.05)
 //     --brownout           ordered brownout ladder: defer lowest-priority
 //                          sources first instead of shedding uniformly
+//     --shards K           run the graph-partitioned shard engine with K
+//                          shards (bitwise identical to serial; docs:
+//                          DESIGN.md "Shard engine")
+//     --threads T          worker threads for --shards (default:
+//                          min(K, hardware))
 //     --profile            print the per-phase step profile after the run
 //     --analyze-only       print the feasibility report and exit
 //
@@ -87,6 +92,7 @@ namespace {
                "[--telemetry FILE] [--telemetry-every K] "
                "[--flight-recorder N] [--deadline-ms N] "
                "[--governor] [--governor-target-eps F] [--brownout] "
+               "[--shards K] [--threads T] "
                "[--profile] [--analyze-only] [network.sdnet]\n",
                argv0);
   std::exit(lgg::kExitUsage);
@@ -163,6 +169,8 @@ int main(int argc, char** argv) {
   std::string input_path;
   bool analyze_only = false;
   bool profile = false;
+  long long shards = 0;   // 0 = serial engine
+  long long threads = 0;  // 0 = min(shards, hardware)
   bool governor = false;
   double governor_target_eps = 0.05;
   bool brownout = false;
@@ -251,6 +259,18 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--brownout") {
       brownout = true;
+    } else if (arg == "--shards") {
+      shards = parse_int("--shards", next("--shards"));
+      if (shards <= 0) {
+        std::fprintf(stderr, "error: --shards wants a positive count\n");
+        return lgg::kExitUsage;
+      }
+    } else if (arg == "--threads") {
+      threads = parse_int("--threads", next("--threads"));
+      if (threads <= 0) {
+        std::fprintf(stderr, "error: --threads wants a positive count\n");
+        return lgg::kExitUsage;
+      }
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--analyze-only") {
@@ -271,6 +291,10 @@ int main(int argc, char** argv) {
   }
   if (brownout && !governor) {
     std::fprintf(stderr, "error: --brownout needs --governor\n");
+    return lgg::kExitUsage;
+  }
+  if (threads > 0 && shards == 0) {
+    std::fprintf(stderr, "error: --threads needs --shards\n");
     return lgg::kExitUsage;
   }
 
@@ -371,6 +395,13 @@ int main(int argc, char** argv) {
       admission =
           std::make_unique<control::AdmissionGovernor>(sim.network(), gov);
       sim.set_admission(admission.get());
+    }
+    // Sharding may attach before --resume: the shard plan derives from the
+    // base graph only and the engine holds no trajectory state, so the
+    // restored run is bitwise identical either way.
+    if (shards > 0) {
+      sim.enable_sharding(static_cast<std::uint32_t>(shards),
+                          static_cast<std::size_t>(threads));
     }
     if (!resume_path.empty()) {
       core::restore_checkpoint_file(sim, resume_path);
