@@ -66,6 +66,7 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config,
   try {
     config.network.validate();
     config.faults.validate(config.network);
+    config.churn_events.validate(config.network);
 
     core::SimulatorOptions options;
     options.declaration_policy = config.declaration;
@@ -87,9 +88,15 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config,
     if (config.matching) {
       sim->set_scheduler(std::make_unique<core::GreedyMatchingScheduler>());
     }
-    if (!config.faults.empty()) {
+    if (!config.faults.empty() || !config.churn_events.empty()) {
+      // One injector drives both stanzas; churn clauses are kept separate
+      // in the file format only for legibility and shrinking.
+      core::FaultSchedule merged = config.faults;
+      for (const core::FaultEvent& e : config.churn_events.events()) {
+        merged.add(e);
+      }
       sim->set_faults(std::make_unique<core::FaultInjector>(
-          config.faults, config.effective_fault_seed()));
+          std::move(merged), config.effective_fault_seed()));
     }
     if (config.shards >= 1) {
       // The shard engine reproduces the serial trajectory bitwise, so a

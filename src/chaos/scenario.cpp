@@ -140,6 +140,9 @@ void write_scenario(std::ostream& os, const ScenarioConfig& c) {
     os << "declaration " << core::to_string(c.declaration) << '\n';
   }
   if (!c.faults.empty()) os << "faults " << core::to_string(c.faults) << '\n';
+  if (!c.churn_events.empty()) {
+    os << "churn_events " << core::to_string(c.churn_events) << '\n';
+  }
   if (c.fault_seed != 0) os << "fault_seed " << c.fault_seed << '\n';
   if (c.divergence_bound > 0.0) {
     os << "divergence_bound " << fmt_double(c.divergence_bound) << '\n';
@@ -216,6 +219,17 @@ ScenarioConfig read_scenario(std::istream& is) {
       c.declaration = parse_declaration(value);
     } else if (key == "faults") {
       c.faults = core::parse_fault_spec(value);
+    } else if (key == "churn_events") {
+      c.churn_events = core::parse_fault_spec(value);
+      LGG_REQUIRE(c.churn_events.random_crashes().p_per_step <= 0.0,
+                  "scenario: churn_events cannot carry random_crashes");
+      for (const core::FaultEvent& e : c.churn_events.events()) {
+        LGG_REQUIRE(core::is_churn(e.kind),
+                    "scenario: churn_events only takes topology-churn "
+                    "clauses; '" +
+                        std::string(core::to_string(e.kind)) +
+                        "' belongs in faults");
+      }
     } else if (key == "fault_seed") {
       c.fault_seed = parse_uint_field(key, value);
     } else if (key == "divergence_bound") {
@@ -252,6 +266,7 @@ ScenarioConfig read_scenario(std::istream& is) {
   LGG_REQUIRE(saw_network, "scenario: missing 'network' section");
   c.network = core::read_network(is);
   c.faults.validate(c.network);
+  c.churn_events.validate(c.network);
   return c;
 }
 
@@ -424,13 +439,53 @@ ScenarioConfig ScenarioGenerator::next() {
     c.faults = std::move(schedule);
   }
 
+  // Scheduled topology churn: the scripted mutate-and-heal family.  Every
+  // cut is paired with a later restore, so the hostile part is the window
+  // in between and the instance ends structurally whole — the shape the
+  // incremental certificate and shard repair have to survive.
+  if (rng_.bernoulli(o.p_scheduled_churn)) {
+    core::FaultSchedule churn;
+    const TimeStep mid = std::max<TimeStep>(2, c.horizon / 2);
+    const EdgeId edges = c.network.topology().edge_count();
+    {
+      const EdgeId e = static_cast<EdgeId>(rng_.uniform_int(0, edges - 1));
+      const TimeStep at = rng_.uniform_int(1, mid);
+      churn.add({.kind = core::FaultKind::kEdgeRemove, .at = at, .edge = e});
+      churn.add({.kind = core::FaultKind::kEdgeAdd,
+                 .at = at + rng_.uniform_int(5, 60),
+                 .edge = e});
+    }
+    if (rng_.bernoulli(0.5)) {
+      const NodeId v = span(0, n - 1);
+      const TimeStep at = rng_.uniform_int(1, mid);
+      churn.add({.kind = core::FaultKind::kNodeLeave, .node = v, .at = at});
+      churn.add({.kind = core::FaultKind::kNodeJoin,
+                 .node = v,
+                 .at = at + rng_.uniform_int(5, 60)});
+    }
+    if (rng_.bernoulli(0.5)) {
+      core::FaultEvent nudge;
+      nudge.kind = core::FaultKind::kCapacityNudge;
+      nudge.node = span(0, n - 1);
+      nudge.at = rng_.uniform_int(1, std::max<TimeStep>(1, c.horizon - 1));
+      nudge.din = rng_.bernoulli(0.5) ? 1 : -1;
+      if (rng_.bernoulli(0.5)) nudge.dout = rng_.bernoulli(0.5) ? 1 : -1;
+      churn.add(nudge);
+    }
+    c.churn_events = std::move(churn);
+    // A slice of the churn family runs sharded: churn is exactly where the
+    // incremental ShardPlan repair must stay bitwise-faithful to serial.
+    if (rng_.bernoulli(0.3)) c.shards = 2;
+  }
+
   // Oracle arming.  The always-sound set goes everywhere; the Lemma-1
   // bounds only where Section III proves them: unsaturated instance, LGG,
   // truthful declarations, arrivals within in(v), static topology, no
   // fault interference.  Silent loss is covered by the paper and stays
   // armed-compatible.
   c.oracles = kOracleAlwaysSound;
-  const bool clean = c.faults.empty() && c.churn_off < 0.0 &&
+  const bool clean = c.faults.empty() && c.churn_events.empty() &&
+                     c.churn_off < 0.0 &&
                      c.protocol == "lgg" && !c.matching &&
                      c.declaration == core::DeclarationPolicy::kTruthful &&
                      c.arrival_scale <= 1.0;

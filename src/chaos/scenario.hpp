@@ -71,6 +71,12 @@ struct ScenarioConfig {
   double arrival_scale = -1.0;      ///< < 0: exact arrivals
   double churn_off = -1.0;          ///< < 0: static topology
   double churn_on = -1.0;
+  /// Scheduled topology churn (edge_remove/edge_add/node_leave/node_join/
+  /// capacity_nudge clauses only), serialized as its own `churn_events`
+  /// stanza.  Merged with `faults` into one injector at run time; kept
+  /// separate in the format so churn-specific fixtures and shrinks stay
+  /// legible.
+  core::FaultSchedule churn_events;
   bool matching = false;            ///< greedy-matching scheduler
   core::DeclarationPolicy declaration = core::DeclarationPolicy::kTruthful;
   core::FaultSchedule faults;
@@ -129,6 +135,7 @@ struct GeneratorOptions {
   double p_baseline_protocol = 0.25;
   double p_generalized = 0.2;  ///< convert roles to R-generalized nodes
   double p_churn = 0.2;
+  double p_scheduled_churn = 0.25;  ///< scripted topology-churn family
   double max_loss = 0.3;
 };
 

@@ -19,14 +19,48 @@ void copy_role(const core::NodeSpec& spec, NodeId v, core::SdNetwork& out) {
   }
 }
 
-/// Drops events that reference the removed node and shifts higher ids down.
+/// Drops events that reference the removed node and shifts higher ids
+/// down.  Edge-churn events are remapped through the post-removal edge
+/// numbering (remove_node drops the victim's incident edges and compacts
+/// the rest); events whose edge vanished are dropped with it.
 core::FaultSchedule remap_faults(const core::FaultSchedule& faults,
-                                 NodeId victim) {
+                                 NodeId victim,
+                                 const core::SdNetwork& before) {
+  const graph::Multigraph& g = before.topology();
+  std::vector<EdgeId> edge_map(static_cast<std::size_t>(g.edge_count()),
+                               kInvalidEdge);
+  EdgeId next = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const graph::Endpoints ep = g.endpoints(e);
+    if (ep.u == victim || ep.v == victim) continue;
+    edge_map[static_cast<std::size_t>(e)] = next++;
+  }
   core::FaultSchedule out;
   out.set_random_crashes(faults.random_crashes());
   for (core::FaultEvent e : faults.events()) {
     if (e.node == victim) continue;
-    if (e.node > victim) --e.node;
+    if (e.node != kInvalidNode && e.node > victim) --e.node;
+    if (e.edge != kInvalidEdge) {
+      const EdgeId mapped = edge_map[static_cast<std::size_t>(e.edge)];
+      if (mapped == kInvalidEdge) continue;
+      e.edge = mapped;
+    }
+    out.add(e);
+  }
+  return out;
+}
+
+/// Edge-id remap for remove_edge: the victim's events vanish, higher ids
+/// shift down.
+core::FaultSchedule remap_faults_for_edge(const core::FaultSchedule& faults,
+                                          EdgeId victim) {
+  core::FaultSchedule out;
+  out.set_random_crashes(faults.random_crashes());
+  for (core::FaultEvent e : faults.events()) {
+    if (e.edge != kInvalidEdge) {
+      if (e.edge == victim) continue;
+      if (e.edge > victim) --e.edge;
+    }
     out.add(e);
   }
   return out;
@@ -160,6 +194,16 @@ class Shrinker {
           break;
         }
       }
+      for (std::size_t i = 0; i < current_.churn_events.events().size();
+           ++i) {
+        ScenarioConfig candidate = current_;
+        candidate.churn_events = without_event(current_.churn_events, i);
+        if (accept(std::move(candidate))) {
+          progress = true;
+          changed = true;
+          break;
+        }
+      }
     }
     return changed;
   }
@@ -177,7 +221,9 @@ class Shrinker {
       } catch (const std::exception&) {
         continue;  // removal dropped the last source or sink
       }
-      candidate.faults = remap_faults(current_.faults, v);
+      candidate.faults = remap_faults(current_.faults, v, current_.network);
+      candidate.churn_events =
+          remap_faults(current_.churn_events, v, current_.network);
       changed |= accept(std::move(candidate));
     }
     return changed;
@@ -189,6 +235,9 @@ class Shrinker {
          --e) {
       ScenarioConfig candidate = current_;
       candidate.network = remove_edge(current_.network, e);
+      candidate.faults = remap_faults_for_edge(current_.faults, e);
+      candidate.churn_events =
+          remap_faults_for_edge(current_.churn_events, e);
       changed |= accept(std::move(candidate));
     }
     return changed;
@@ -255,7 +304,8 @@ ShrinkStats measure(const ScenarioConfig& config) {
   ShrinkStats stats;
   stats.nodes = config.network.node_count();
   stats.edges = config.network.topology().edge_count();
-  stats.fault_events = config.faults.events().size();
+  stats.fault_events =
+      config.faults.events().size() + config.churn_events.events().size();
   stats.horizon = config.horizon;
   return stats;
 }

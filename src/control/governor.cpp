@@ -48,8 +48,16 @@ std::size_t AdmissionGovernor::source_index(NodeId v) const {
 void AdmissionGovernor::begin_step(const StepContext& ctx) {
   if (ctx.topology_version != last_topology_version_) {
     last_topology_version_ = ctx.topology_version;
-    cert_dirty_ = true;
-    sentinel_.mark_certificate_stale();
+    if (options_.incremental_certificates) {
+      // Patch the warm-started certificate in place: the verdict is exact
+      // for the post-churn topology before this step's admissions, so no
+      // stale window ever opens.
+      sentinel_.patch_certificate(ctx.active_mask, ctx.churn);
+      last_cert_t_ = ctx.t;
+    } else {
+      cert_dirty_ = true;
+      sentinel_.mark_certificate_stale();
+    }
   }
   if (cert_dirty_ && ctx.t - last_cert_t_ >= options_.certificate_backoff) {
     sentinel_.refresh_certificate(ctx.active_mask);
@@ -98,12 +106,26 @@ void AdmissionGovernor::begin_step(const StepContext& ctx) {
     drift_gauge_->set(sentinel_.drift_estimate());
     mode_gauge_->set(static_cast<double>(static_cast<int>(mode)));
     time_in_mode_gauge_->set(static_cast<double>(sentinel_.time_in_mode()));
+    cert_patches_gauge_->set(
+        static_cast<double>(sentinel_.certificate_patches()));
+    cert_recomputes_gauge_->set(
+        static_cast<double>(sentinel_.certificate_recomputes()));
+    cert_age_gauge_->set(static_cast<double>(ctx.t - last_cert_t_));
   }
 }
 
 PacketCount AdmissionGovernor::admit(NodeId v, Cap in_rate,
                                      PacketCount offered) {
   LGG_REQUIRE(offered >= 0, "governor: negative offer");
+  if (v < 0 || static_cast<std::size_t>(v) >= source_of_.size() ||
+      source_of_[static_cast<std::size_t>(v)] < 0) {
+    // A source the governor was not built with — churn nudged a node's
+    // in-rate above zero mid-run.  Its load is still visible to the
+    // sentinel through P_t and the patched certificate; per-source gating
+    // and fairness accounting cover only the construction-time sources.
+    if (offered > in_rate) sentinel_.note_noncompliant_offer();
+    return offered;
+  }
   const std::size_t idx = source_index(v);
   offered_[idx] += offered;
   if (offered > in_rate) sentinel_.note_noncompliant_offer();
@@ -132,6 +154,9 @@ void AdmissionGovernor::register_metrics(obs::MetricRegistry& registry) {
   drift_gauge_ = &registry.gauge("governor.drift_estimate");
   mode_gauge_ = &registry.gauge("governor.mode");
   time_in_mode_gauge_ = &registry.gauge("governor.time_in_mode");
+  cert_patches_gauge_ = &registry.gauge("governor.cert_patches");
+  cert_recomputes_gauge_ = &registry.gauge("governor.cert_recomputes");
+  cert_age_gauge_ = &registry.gauge("governor.cert_age");
   shed_counter_ = &registry.counter("governor.shed");
   multiplier_gauge_->set(multiplier_);
   mode_gauge_->set(static_cast<double>(mode()));

@@ -48,8 +48,16 @@ struct GovernorOptions {
   TimeStep hold_steps = 32;
   /// Steps of uninterrupted kUnsaturated required before probing starts.
   TimeStep quiet_steps = 128;
-  /// Minimum steps between exact certificate re-checks after churn.
+  /// Minimum steps between exact certificate re-checks after churn.  Only
+  /// consulted when incremental_certificates is off — the patch path keeps
+  /// the certificate continuously valid with no backoff window.
   TimeStep certificate_backoff = 64;
+  /// Patch the feasibility certificate incrementally on every topology
+  /// change (warm-started max-flow, O(affected region)) instead of marking
+  /// it stale and re-solving from scratch after certificate_backoff steps.
+  /// The verdict is then valid on every step — churn never opens a window
+  /// where the sentinel runs certificate-free.
+  bool incremental_certificates = true;
   /// Use the ordered brownout ladder instead of uniform shedding.
   bool brownout = false;
   SentinelOptions sentinel;
@@ -116,6 +124,9 @@ class AdmissionGovernor final : public core::AdmissionController {
   obs::Gauge* drift_gauge_ = nullptr;
   obs::Gauge* mode_gauge_ = nullptr;
   obs::Gauge* time_in_mode_gauge_ = nullptr;
+  obs::Gauge* cert_patches_gauge_ = nullptr;
+  obs::Gauge* cert_recomputes_gauge_ = nullptr;
+  obs::Gauge* cert_age_gauge_ = nullptr;
   obs::Counter* shed_counter_ = nullptr;
 };
 

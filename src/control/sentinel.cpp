@@ -7,8 +7,18 @@
 #include "common/require.hpp"
 #include "core/bounds.hpp"
 #include "core/flow_plan.hpp"
+#include "core/topology_delta.hpp"
+#include "flow/incremental.hpp"
 
 namespace lgg::control {
+
+// Out of line so the unique_ptr<IncrementalMaxFlow> members see a complete
+// type.
+SaturationSentinel::SaturationSentinel(SaturationSentinel&&) noexcept =
+    default;
+SaturationSentinel& SaturationSentinel::operator=(
+    SaturationSentinel&&) noexcept = default;
+SaturationSentinel::~SaturationSentinel() = default;
 
 std::string_view to_string(SaturationMode mode) {
   switch (mode) {
@@ -47,7 +57,80 @@ SaturationSentinel::SaturationSentinel(const core::SdNetwork& net,
   }
 }
 
+void SaturationSentinel::rebuild_engines(const graph::EdgeMask* mask,
+                                         bool count) {
+  cert_exact_.reset();
+  cert_margin_.reset();
+  const std::vector<flow::RatedNode> sources = net_->source_rates();
+  const std::vector<flow::RatedNode> sinks = net_->sink_rates();
+  // The margin instance is feasible_at_scale's integer encoding of
+  // Definition 4 at the smallest representable ε = 1/kEpsilonDenom: every
+  // capacity scaled by the denominator, source rates by denominator + 1.
+  flow::ExtendedGraphOptions margin;
+  margin.edge_capacity = flow::kEpsilonDenom;
+  margin.sink_scale = flow::kEpsilonDenom;
+  margin.source_scale = flow::kEpsilonDenom + 1;
+  cert_exact_ = std::make_unique<flow::IncrementalMaxFlow>(
+      net_->topology(), sources, sinks, flow::ExtendedGraphOptions{}, mask);
+  cert_margin_ = std::make_unique<flow::IncrementalMaxFlow>(
+      net_->topology(), sources, sinks, margin, mask);
+  if (count) ++cert_recomputes_;
+}
+
+void SaturationSentinel::sync_engines(const graph::EdgeMask* mask) {
+  const EdgeId edges = net_->topology().edge_count();
+  for (EdgeId e = 0; e < edges; ++e) {
+    const bool active = mask == nullptr || mask->active(e);
+    if (cert_exact_->edge_active(e) != active) {
+      cert_exact_->set_edge_active(e, active);
+      cert_margin_->set_edge_active(e, active);
+    }
+  }
+  cert_feasible_ = cert_exact_->saturates_sources();
+  cert_unsaturated_ = cert_feasible_ && cert_margin_->saturates_sources();
+}
+
+void SaturationSentinel::patch_certificate(const graph::EdgeMask* mask,
+                                           const core::TopologyDelta* churn) {
+  if (cert_exact_ == nullptr || cert_margin_ == nullptr) {
+    // First call, post-restore, or post-refresh: there is no warm state to
+    // patch.  Rebuild without counting a recompute so the patch/recompute
+    // totals of a resumed run match an uninterrupted one.
+    try {
+      rebuild_engines(mask, /*count=*/false);
+    } catch (const std::exception&) {
+      cert_exact_.reset();
+      cert_margin_.reset();
+      cert_feasible_ = false;
+      cert_unsaturated_ = false;
+      return;
+    }
+  } else if (churn != nullptr) {
+    for (const core::TopologyDelta::RateChange& rc : churn->rates) {
+      cert_exact_->set_source_rate(rc.node, rc.after.in);
+      cert_exact_->set_sink_rate(rc.node, rc.after.out);
+      cert_margin_->set_source_rate(rc.node, rc.after.in);
+      cert_margin_->set_sink_rate(rc.node, rc.after.out);
+    }
+  }
+  if (churn != nullptr && !churn->rates.empty()) {
+    // The construction-time Lemma-1 bound was computed from the original
+    // rates' Y and ε; after a rate change it no longer applies.  While the
+    // exact certificate holds, the certified override simply never reports
+    // overload — which the certificate justifies on its own.
+    state_bound_.reset();
+  }
+  sync_engines(mask);
+  ++cert_patches_;
+}
+
 void SaturationSentinel::refresh_certificate(const graph::EdgeMask* mask) {
+  // A from-scratch check invalidates the warm engines (their rates may
+  // drift from the network's if churn continues past this point); the next
+  // patch_certificate rebuilds them.
+  cert_exact_.reset();
+  cert_margin_.reset();
+  ++cert_recomputes_;
   if (mask == nullptr || mask->active_count() == mask->size()) {
     // Full topology back: one max-flow suffices for feasibility, and the
     // construction-time ε-margin (topology-determined) applies again.
@@ -159,6 +242,10 @@ void SaturationSentinel::save_state(std::ostream& out) const {
   binio::write_i64(out, time_in_mode_);
   binio::write_u8(out, cert_feasible_ ? 1 : 0);
   binio::write_u8(out, cert_unsaturated_ ? 1 : 0);
+  binio::write_u8(out, state_bound_.has_value() ? 1 : 0);
+  binio::write_f64(out, state_bound_.value_or(0.0));
+  binio::write_u64(out, cert_patches_);
+  binio::write_u64(out, cert_recomputes_);
 }
 
 void SaturationSentinel::load_state(std::istream& in) {
@@ -174,6 +261,15 @@ void SaturationSentinel::load_state(std::istream& in) {
   time_in_mode_ = binio::read_i64(in);
   cert_feasible_ = binio::read_u8(in) != 0;
   cert_unsaturated_ = binio::read_u8(in) != 0;
+  const bool has_bound = binio::read_u8(in) != 0;
+  const double bound = binio::read_f64(in);
+  state_bound_ = has_bound ? std::optional<double>(bound) : std::nullopt;
+  cert_patches_ = binio::read_u64(in);
+  cert_recomputes_ = binio::read_u64(in);
+  // The engines' flow state is not part of the checkpoint; the next
+  // patch_certificate rebuilds from the restored network + mask.
+  cert_exact_.reset();
+  cert_margin_.reset();
 }
 
 }  // namespace lgg::control

@@ -25,12 +25,21 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "common/types.hpp"
 #include "core/sd_network.hpp"
+
+namespace lgg::core {
+struct TopologyDelta;
+}  // namespace lgg::core
+
+namespace lgg::flow {
+class IncrementalMaxFlow;
+}  // namespace lgg::flow
 
 namespace lgg::control {
 
@@ -87,7 +96,35 @@ class SaturationSentinel {
   /// Exact re-check on the current active-edge mask (nullptr = all edges).
   /// Mask-restricted instances get a feasibility-only certificate from one
   /// max-flow; the full ε-margin claim returns only with the full topology.
+  /// Drops the warm-started engines, so the next patch_certificate rebuilds.
   void refresh_certificate(const graph::EdgeMask* mask);
+
+  /// Incremental alternative to refresh_certificate: patches two
+  /// warm-started max-flow engines (flow/incremental.hpp) — the exact-rate
+  /// instance for Definition-3 feasibility and the (1+1/kEpsilonDenom)-
+  /// scaled margin instance for Definition-4 unsaturation — across this
+  /// step's mutations.  `mask` is the step's active mask (nullptr = all
+  /// edges); `churn` carries the step's rate changes (may be nullptr).
+  /// Mask diffs are self-healing (the engines are reconciled against the
+  /// actual mask, whatever was missed), so the certificate is exact after
+  /// every call; only the augmentation work is O(affected region).  Unlike
+  /// refresh_certificate, the unsaturated verdict stays live on restricted
+  /// masks — it is exact for the current topology.  After a rate change the
+  /// construction-time Lemma-1 state bound no longer applies and is
+  /// dropped (state_bound() goes empty; the certified override then never
+  /// reports overload, which the exact certificate justifies).
+  void patch_certificate(const graph::EdgeMask* mask,
+                         const core::TopologyDelta* churn);
+
+  /// Patch-vs-recompute accounting for patch_certificate /
+  /// refresh_certificate (checkpointed, so a resumed run reports the same
+  /// totals as an uninterrupted one).
+  [[nodiscard]] std::uint64_t certificate_patches() const {
+    return cert_patches_;
+  }
+  [[nodiscard]] std::uint64_t certificate_recomputes() const {
+    return cert_recomputes_;
+  }
 
   [[nodiscard]] SaturationMode mode() const { return mode_; }
   /// EWMA of the normalized per-step drift of P_t.
@@ -116,11 +153,23 @@ class SaturationSentinel {
   [[nodiscard]] std::string describe_divergence(double raw_bound,
                                                 double potential) const;
 
+  SaturationSentinel(SaturationSentinel&&) noexcept;
+  SaturationSentinel& operator=(SaturationSentinel&&) noexcept;
+  ~SaturationSentinel();
+
   void save_state(std::ostream& out) const;
   void load_state(std::istream& in);
 
  private:
   void classify(TimeStep span, double potential);
+  /// (Re)builds the two incremental engines from the current network and
+  /// mask.  Counts toward cert_recomputes_ only when `count` is set — the
+  /// silent path reconstructs engines a checkpoint could not carry, keeping
+  /// the counters identical to an uninterrupted run.
+  void rebuild_engines(const graph::EdgeMask* mask, bool count);
+  /// Reconciles both engines' edge activations with `mask` and reads off
+  /// the certificate.
+  void sync_engines(const graph::EdgeMask* mask);
 
   const core::SdNetwork* net_;
   SentinelOptions options_;
@@ -130,6 +179,15 @@ class SaturationSentinel {
 
   bool cert_feasible_ = false;
   bool cert_unsaturated_ = false;
+
+  // Warm-started certificate engines (null until the first
+  // patch_certificate, or when the analyzer rejects the instance).  Their
+  // flow state is not checkpointed: load_state drops them and the next
+  // patch silently rebuilds from the restored network + mask.
+  std::unique_ptr<flow::IncrementalMaxFlow> cert_exact_;
+  std::unique_ptr<flow::IncrementalMaxFlow> cert_margin_;
+  std::uint64_t cert_patches_ = 0;
+  std::uint64_t cert_recomputes_ = 0;
 
   bool has_prev_ = false;
   TimeStep prev_t_ = 0;

@@ -28,6 +28,7 @@ class MetricRegistry;
 namespace lgg::core {
 
 class SdNetwork;
+struct TopologyDelta;
 
 class AdmissionController {
  public:
@@ -41,6 +42,10 @@ class AdmissionController {
     std::uint64_t topology_version = 0;
     const SdNetwork* net = nullptr;
     const graph::EdgeMask* active_mask = nullptr;
+    /// Exactly what this step's scheduled churn mutated (nullptr when no
+    /// churn fired) — controllers holding warm-started feasibility state
+    /// patch per entry instead of recomputing from scratch.
+    const TopologyDelta* churn = nullptr;
   };
 
   virtual ~AdmissionController() = default;

@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "common/binio.hpp"
+#include "core/parallel_step.hpp"
 #include "core/simulator.hpp"
 
 namespace lgg::core {
@@ -73,6 +74,16 @@ void Simulator::save_checkpoint(std::ostream& os) const {
   binio::write_u32(payload_os, static_cast<std::uint32_t>(mask_.size()));
   for (EdgeId e = 0; e < mask_.size(); ++e) {
     binio::write_u8(payload_os, mask_.active(e) ? 1 : 0);
+  }
+
+  // v5: live node specs.  Churn mutates rates mid-run, so the checkpoint
+  // carries the current specs rather than trusting the network file.
+  binio::write_u32(payload_os, static_cast<std::uint32_t>(net_.node_count()));
+  for (NodeId v = 0; v < net_.node_count(); ++v) {
+    const NodeSpec& spec = net_.spec(v);
+    binio::write_i64(payload_os, spec.in);
+    binio::write_i64(payload_os, spec.out);
+    binio::write_i64(payload_os, spec.retention);
   }
 
   binio::write_i64(payload_os, totals_.injected);
@@ -202,6 +213,23 @@ void Simulator::restore_checkpoint(std::istream& is) {
       active[e] = static_cast<char>(binio::read_u8(ps));
     }
 
+    // v5: live node specs (see save side).
+    const std::uint32_t spec_count = binio::read_u32(ps);
+    if (spec_count != node_count) {
+      fail("spec count mismatch: checkpoint has " +
+           std::to_string(spec_count) + ", network has " +
+           std::to_string(node_count));
+    }
+    std::vector<NodeSpec> specs(spec_count);
+    for (std::uint32_t v = 0; v < spec_count; ++v) {
+      specs[v].in = binio::read_i64(ps);
+      specs[v].out = binio::read_i64(ps);
+      specs[v].retention = binio::read_i64(ps);
+      if (specs[v].in < 0 || specs[v].out < 0 || specs[v].retention < 0) {
+        fail("negative node spec in payload");
+      }
+    }
+
     CumulativeStats totals;
     totals.injected = binio::read_i64(ps);
     totals.proposed = binio::read_i64(ps);
@@ -274,6 +302,14 @@ void Simulator::restore_checkpoint(std::istream& is) {
     for (EdgeId e = 0; e < mask_.size(); ++e) {
       mask_.set_active(e, active[static_cast<std::size_t>(e)] != 0);
     }
+    for (std::uint32_t v = 0; v < spec_count; ++v) {
+      if (!(net_.spec(static_cast<NodeId>(v)) == specs[v])) {
+        net_.set_spec(static_cast<NodeId>(v), specs[v]);
+      }
+    }
+    // Specs may have changed the role sets; a sharding engine's per-shard
+    // role lists must follow.
+    if (engine_ != nullptr) engine_->refresh_roles(net_);
     t_ = t;
     topology_version_ = topology_version;
     initial_total_ = initial_total;

@@ -59,7 +59,14 @@ inline constexpr char kCheckpointMagic[8] = {'L', 'G', 'G', 'C',
 /// is no evolving stream to capture: (seed, t) alone pins every future
 /// draw, under any shard count.  Older versions are rejected with an error
 /// naming both versions.
-inline constexpr std::uint32_t kCheckpointVersion = 4;
+/// v5: the payload gains a node-spec section (in/out/retention per node)
+/// after the edge mask.  Topology churn (core/faults.hpp) mutates specs
+/// mid-run, so a mid-churn checkpoint must carry the *current* rates — the
+/// network file only has the initial ones.  Restore re-applies the saved
+/// specs, which also rebuilds the role indices (and, when sharding is
+/// enabled, the per-shard role lists), so a mid-churn resume is bitwise
+/// identical to the uninterrupted run.
+inline constexpr std::uint32_t kCheckpointVersion = 5;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).  `seed` chains
 /// incremental computations; pass the previous return value.

@@ -35,6 +35,11 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kSinkOutage: return "sink_outage";
     case FaultKind::kSourceSurge: return "surge";
     case FaultKind::kByzantine: return "byzantine";
+    case FaultKind::kEdgeRemove: return "edge_remove";
+    case FaultKind::kEdgeAdd: return "edge_add";
+    case FaultKind::kNodeLeave: return "node_leave";
+    case FaultKind::kNodeJoin: return "node_join";
+    case FaultKind::kCapacityNudge: return "nudge";
   }
   return "?";
 }
@@ -44,7 +49,13 @@ std::string_view to_string(CrashMode mode) {
 }
 
 FaultSchedule& FaultSchedule::add(FaultEvent event) {
-  LGG_REQUIRE(event.node >= 0, "FaultSchedule::add: negative node");
+  const bool edge_kind = event.kind == FaultKind::kEdgeRemove ||
+                         event.kind == FaultKind::kEdgeAdd;
+  if (edge_kind) {
+    LGG_REQUIRE(event.edge >= 0, "FaultSchedule::add: negative edge");
+  } else {
+    LGG_REQUIRE(event.node >= 0, "FaultSchedule::add: negative node");
+  }
   LGG_REQUIRE(event.at >= 0, "FaultSchedule::add: negative start step");
   LGG_REQUIRE(event.duration != 0,
               "FaultSchedule::add: zero-length window (use -1 for forever)");
@@ -52,6 +63,10 @@ FaultSchedule& FaultSchedule::add(FaultEvent event) {
               "FaultSchedule::add: surge needs extra > 0");
   LGG_REQUIRE(event.kind != FaultKind::kByzantine || event.declare >= 0,
               "FaultSchedule::add: byzantine declaration must be >= 0");
+  LGG_REQUIRE(event.kind != FaultKind::kCapacityNudge ||
+                  event.din != 0 || event.dout != 0,
+              "FaultSchedule::add: nudge needs din or dout nonzero");
+  if (is_churn(event.kind)) ++churn_events_;
   events_.push_back(event);
   return *this;
 }
@@ -67,6 +82,12 @@ FaultSchedule& FaultSchedule::set_random_crashes(RandomCrashConfig config) {
 
 void FaultSchedule::validate(const SdNetwork& net) const {
   for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kEdgeRemove || e.kind == FaultKind::kEdgeAdd) {
+      LGG_REQUIRE(net.topology().valid_edge(e.edge),
+                  "fault schedule: edge " + std::to_string(e.edge) +
+                      " is not in the network");
+      continue;
+    }
     LGG_REQUIRE(net.topology().valid_node(e.node),
                 "fault schedule: node " + std::to_string(e.node) +
                     " is not in the network");
@@ -79,6 +100,91 @@ void FaultSchedule::validate(const SdNetwork& net) const {
       LGG_REQUIRE(net.spec(e.node).out > 0,
                   "fault schedule: sink_outage node " +
                       std::to_string(e.node) + " is not a sink (out = 0)");
+    }
+  }
+}
+
+void FaultSchedule::validate_strict(const SdNetwork& net) const {
+  validate(net);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& a = events_[i];
+    for (std::size_t j = i + 1; j < events_.size(); ++j) {
+      const FaultEvent& b = events_[j];
+      const bool same_target =
+          a.kind == b.kind && a.node == b.node && a.edge == b.edge;
+      LGG_REQUIRE(!(same_target && a.at == b.at),
+                  "fault schedule: duplicate " +
+                      std::string(to_string(a.kind)) + " event at step " +
+                      std::to_string(a.at));
+      if (a.kind == FaultKind::kCrash && b.kind == FaultKind::kCrash &&
+          a.node == b.node) {
+        const bool overlap = a.at < window_end(b.at, b.duration) &&
+                             b.at < window_end(a.at, a.duration);
+        LGG_REQUIRE(!overlap,
+                    "fault schedule: overlapping crash windows on node " +
+                        std::to_string(a.node));
+      }
+    }
+  }
+  // Replay the churn sequence in firing order (stable by `at`, schedule
+  // order breaking ties — exactly how apply_churn fires them): every
+  // node_join must find its node departed, every edge_add its edge
+  // removed, and the inverse events must not double-fire.
+  std::vector<const FaultEvent*> churn;
+  for (const FaultEvent& e : events_) {
+    if (is_churn(e.kind)) churn.push_back(&e);
+  }
+  std::stable_sort(churn.begin(), churn.end(),
+                   [](const FaultEvent* a, const FaultEvent* b) {
+                     return a->at < b->at;
+                   });
+  std::vector<char> edge_out(static_cast<std::size_t>(
+                                 net.topology().edge_count()),
+                             0);
+  std::vector<char> node_out(static_cast<std::size_t>(net.node_count()), 0);
+  for (const FaultEvent* e : churn) {
+    switch (e->kind) {
+      case FaultKind::kEdgeRemove: {
+        auto& out = edge_out[static_cast<std::size_t>(e->edge)];
+        LGG_REQUIRE(!out, "fault schedule: edge " + std::to_string(e->edge) +
+                              " removed twice (step " +
+                              std::to_string(e->at) + ")");
+        out = 1;
+        break;
+      }
+      case FaultKind::kEdgeAdd: {
+        auto& out = edge_out[static_cast<std::size_t>(e->edge)];
+        LGG_REQUIRE(out, "fault schedule: edge_add at step " +
+                             std::to_string(e->at) + " for edge " +
+                             std::to_string(e->edge) +
+                             " without a prior edge_remove");
+        out = 0;
+        break;
+      }
+      case FaultKind::kNodeLeave: {
+        auto& out = node_out[static_cast<std::size_t>(e->node)];
+        LGG_REQUIRE(!out, "fault schedule: node " + std::to_string(e->node) +
+                              " leaves twice (step " + std::to_string(e->at) +
+                              ")");
+        out = 1;
+        break;
+      }
+      case FaultKind::kNodeJoin: {
+        auto& out = node_out[static_cast<std::size_t>(e->node)];
+        LGG_REQUIRE(out, "fault schedule: node_join at step " +
+                             std::to_string(e->at) + " for node " +
+                             std::to_string(e->node) +
+                             " without a prior node_leave");
+        out = 0;
+        break;
+      }
+      case FaultKind::kCapacityNudge:
+        LGG_REQUIRE(!node_out[static_cast<std::size_t>(e->node)],
+                    "fault schedule: nudge at step " + std::to_string(e->at) +
+                        " targets departed node " + std::to_string(e->node));
+        break;
+      default:
+        break;
     }
   }
 }
@@ -195,26 +301,61 @@ FaultSchedule parse_fault_spec(const std::string& spec) {
       event.kind = FaultKind::kSourceSurge;
     } else if (kind_name == "byzantine") {
       event.kind = FaultKind::kByzantine;
+    } else if (kind_name == "edge_remove") {
+      event.kind = FaultKind::kEdgeRemove;
+    } else if (kind_name == "edge_add") {
+      event.kind = FaultKind::kEdgeAdd;
+    } else if (kind_name == "node_leave") {
+      event.kind = FaultKind::kNodeLeave;
+    } else if (kind_name == "node_join") {
+      event.kind = FaultKind::kNodeJoin;
+    } else if (kind_name == "nudge") {
+      event.kind = FaultKind::kCapacityNudge;
     } else {
       spec_fail(clause, "unknown fault kind '" + kind_name +
                             "' (crash, sink_outage, surge, byzantine, "
-                            "random_crashes)");
+                            "random_crashes, edge_remove, edge_add, "
+                            "node_leave, node_join, nudge)");
     }
-    const std::string* node = take("node");
-    if (node == nullptr) spec_fail(clause, "missing node=<id>");
-    event.node = static_cast<NodeId>(spec_int(clause, "node", *node));
-    if (event.node < 0) spec_fail(clause, "node must be >= 0");
+    const bool edge_kind = event.kind == FaultKind::kEdgeRemove ||
+                           event.kind == FaultKind::kEdgeAdd;
+    if (edge_kind) {
+      const std::string* edge = take("edge");
+      if (edge == nullptr) spec_fail(clause, "missing edge=<id>");
+      event.edge = static_cast<EdgeId>(spec_int(clause, "edge", *edge));
+      if (event.edge < 0) spec_fail(clause, "edge must be >= 0");
+    } else {
+      const std::string* node = take("node");
+      if (node == nullptr) spec_fail(clause, "missing node=<id>");
+      event.node = static_cast<NodeId>(spec_int(clause, "node", *node));
+      if (event.node < 0) spec_fail(clause, "node must be >= 0");
+    }
     if (const std::string* at = take("at")) {
       event.at = spec_int(clause, "at", *at);
       if (event.at < 0) spec_fail(clause, "at must be >= 0");
     }
     if (const std::string* dur = take("for")) {
+      if (is_churn(event.kind)) {
+        spec_fail(clause, "churn events are instantaneous (no for=)");
+      }
       event.duration = spec_int(clause, "for", *dur);
       if (event.duration == 0 || event.duration < -1) {
         spec_fail(clause, "for must be >= 1 (or -1 for forever)");
       }
     }
     event.mode = parse_mode(CrashMode::kWipe);
+    if (event.kind == FaultKind::kCapacityNudge) {
+      const std::string* din = take("din");
+      const std::string* dout = take("dout");
+      if (din == nullptr && dout == nullptr) {
+        spec_fail(clause, "nudge needs din=<delta> and/or dout=<delta>");
+      }
+      if (din != nullptr) event.din = spec_int(clause, "din", *din);
+      if (dout != nullptr) event.dout = spec_int(clause, "dout", *dout);
+      if (event.din == 0 && event.dout == 0) {
+        spec_fail(clause, "nudge with din=0,dout=0 is a no-op");
+      }
+    }
     if (event.kind == FaultKind::kSourceSurge) {
       const std::string* extra = take("extra");
       if (extra == nullptr) spec_fail(clause, "surge needs extra=<packets>");
@@ -244,6 +385,18 @@ std::string to_string(const FaultSchedule& schedule) {
   };
   for (const FaultEvent& e : schedule.events()) {
     sep();
+    if (e.kind == FaultKind::kEdgeRemove || e.kind == FaultKind::kEdgeAdd) {
+      os << to_string(e.kind) << ":edge=" << e.edge << ",at=" << e.at;
+      continue;
+    }
+    if (is_churn(e.kind)) {
+      os << to_string(e.kind) << ":node=" << e.node << ",at=" << e.at;
+      if (e.kind == FaultKind::kCapacityNudge) {
+        if (e.din != 0) os << ",din=" << e.din;
+        if (e.dout != 0) os << ",dout=" << e.dout;
+      }
+      continue;
+    }
     os << to_string(e.kind) << ":node=" << e.node << ",at=" << e.at
        << ",for=" << e.duration;
     if (e.kind == FaultKind::kCrash) os << ",mode=" << to_string(e.mode);
@@ -277,6 +430,104 @@ void FaultInjector::ensure_sized(NodeId n) {
   down_now_.resize(size, 0);
   surge_.resize(size, 0);
   sink_out_.resize(size, 0);
+  departed_.resize(size, 0);
+  parked_specs_.resize(size);
+}
+
+void FaultInjector::ensure_edges(EdgeId n) {
+  const auto size = static_cast<std::size_t>(n);
+  if (edge_removed_.size() < size) edge_removed_.resize(size, 0);
+}
+
+bool FaultInjector::apply_churn(TimeStep t, SdNetwork& net,
+                                TopologyDelta& delta,
+                                const std::function<void(NodeId)>& wipe) {
+  if (!schedule_.has_churn_events()) return false;
+  ensure_sized(net.node_count());
+  ensure_edges(net.topology().edge_count());
+  const std::size_t before = delta.edges.size() + delta.rates.size() +
+                             delta.joined.size() + delta.left.size();
+  for (const FaultEvent& e : schedule_.events()) {
+    if (!is_churn(e.kind) || e.at != t) continue;
+    switch (e.kind) {
+      case FaultKind::kEdgeRemove: {
+        auto& removed = edge_removed_[static_cast<std::size_t>(e.edge)];
+        if (!removed) {
+          removed = 1;
+          ++removed_edge_count_;
+          delta.edges.push_back({e.edge, false});
+        }
+        break;
+      }
+      case FaultKind::kEdgeAdd: {
+        auto& removed = edge_removed_[static_cast<std::size_t>(e.edge)];
+        if (removed) {
+          removed = 0;
+          --removed_edge_count_;
+          delta.edges.push_back({e.edge, true});
+        }
+        break;
+      }
+      case FaultKind::kNodeLeave: {
+        const auto i = static_cast<std::size_t>(e.node);
+        if (departed_[i]) break;
+        departed_[i] = 1;
+        ++departed_count_;
+        const NodeSpec spec = net.spec(e.node);
+        parked_specs_[i] = spec;
+        if (spec != NodeSpec{}) {
+          net.set_spec(e.node, NodeSpec{});
+          delta.rates.push_back({e.node, spec, NodeSpec{}});
+        }
+        wipe(e.node);
+        delta.left.push_back(e.node);
+        break;
+      }
+      case FaultKind::kNodeJoin: {
+        const auto i = static_cast<std::size_t>(e.node);
+        if (!departed_[i]) break;
+        departed_[i] = 0;
+        --departed_count_;
+        const NodeSpec spec = parked_specs_[i];
+        if (spec != NodeSpec{}) {
+          net.set_spec(e.node, spec);
+          delta.rates.push_back({e.node, NodeSpec{}, spec});
+        }
+        delta.joined.push_back(e.node);
+        break;
+      }
+      case FaultKind::kCapacityNudge: {
+        if (departed_[static_cast<std::size_t>(e.node)]) break;
+        const NodeSpec before_spec = net.spec(e.node);
+        NodeSpec after = before_spec;
+        after.in = std::max<Cap>(0, before_spec.in + e.din);
+        after.out = std::max<Cap>(0, before_spec.out + e.dout);
+        if (after != before_spec) {
+          net.set_spec(e.node, after);
+          delta.rates.push_back({e.node, before_spec, after});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  const std::size_t after = delta.edges.size() + delta.rates.size() +
+                            delta.joined.size() + delta.left.size();
+  if (after != before && churn_counter_ != nullptr) {
+    churn_counter_->add(static_cast<std::uint64_t>(after - before));
+  }
+  return after != before;
+}
+
+bool FaultInjector::edge_removed(EdgeId e) const {
+  const auto i = static_cast<std::size_t>(e);
+  return i < edge_removed_.size() && edge_removed_[i] != 0;
+}
+
+bool FaultInjector::node_departed(NodeId v) const {
+  const auto i = static_cast<std::size_t>(v);
+  return i < departed_.size() && departed_[i] != 0;
 }
 
 FaultInjector::StepEffects FaultInjector::begin_step(
@@ -344,6 +595,10 @@ FaultInjector::StepEffects FaultInjector::begin_step(
   out_nodes_.clear();
   byz_active_.clear();
   for (const FaultEvent& e : schedule_.events()) {
+    // Churn events are instantaneous mutations handled by apply_churn, not
+    // windowed effects (their default duration of -1 would otherwise read
+    // as forever).
+    if (is_churn(e.kind)) continue;
     if (!window_active(e, t)) continue;
     switch (e.kind) {
       case FaultKind::kCrash:
@@ -364,6 +619,8 @@ FaultInjector::StepEffects FaultInjector::begin_step(
         if (!down_now_[static_cast<std::size_t>(e.node)]) {
           byz_active_.emplace_back(e.node, e.declare);
         }
+        break;
+      default:  // churn kinds: skipped above
         break;
     }
   }
@@ -389,20 +646,27 @@ PacketCount FaultInjector::surge_extra(NodeId v) const {
 void FaultInjector::apply_to_mask(const SdNetwork& net,
                                   graph::EdgeMask& mask) const {
   for (std::size_t v = 0; v < down_now_.size(); ++v) {
-    if (!down_now_[v]) continue;
+    const bool cut = down_now_[v] != 0 ||
+                     (v < departed_.size() && departed_[v] != 0);
+    if (!cut) continue;
     for (const graph::IncidentLink link :
          net.topology().incident(static_cast<NodeId>(v))) {
       mask.set_active(link.edge, false);
     }
   }
+  for (std::size_t e = 0; e < edge_removed_.size(); ++e) {
+    if (edge_removed_[e]) mask.set_active(static_cast<EdgeId>(e), false);
+  }
 }
 
 void FaultInjector::save_state(std::ostream& os) const {
-  // Sparse down map + the fault RNG engine; everything else is recomputed
-  // from the schedule by the next begin_step.  The live down_now_ bit is
-  // saved too: rebuilding it from down_until_ alone would make the first
-  // post-restore begin_step report spurious down-transitions, breaking
-  // the byte-identical-telemetry resume guarantee.
+  // Sparse down map, the fault RNG engine, and the churn overlays; the
+  // windowed effects are recomputed from the schedule by the next
+  // begin_step.  The live down_now_ bit is saved too: rebuilding it from
+  // down_until_ alone would make the first post-restore begin_step report
+  // spurious down-transitions, breaking the byte-identical-telemetry
+  // resume guarantee.  (Churn cannot be replayed from the schedule either:
+  // a resume at step t must not re-fire mutations that already happened.)
   std::uint32_t down_count = 0;
   for (const TimeStep until : down_until_) {
     if (until > 0) ++down_count;
@@ -417,6 +681,23 @@ void FaultInjector::save_state(std::ostream& os) const {
   std::ostringstream engine;
   engine << rng_.engine();
   binio::write_string(os, engine.str());
+
+  // Churn overlays: removed edges, then departed nodes with their parked
+  // specs.  Both sparse — churn typically touches a handful of entries.
+  binio::write_u32(os, static_cast<std::uint32_t>(removed_edge_count_));
+  for (std::size_t e = 0; e < edge_removed_.size(); ++e) {
+    if (edge_removed_[e]) {
+      binio::write_i64(os, static_cast<std::int64_t>(e));
+    }
+  }
+  binio::write_u32(os, static_cast<std::uint32_t>(departed_count_));
+  for (std::size_t v = 0; v < departed_.size(); ++v) {
+    if (!departed_[v]) continue;
+    binio::write_i64(os, static_cast<std::int64_t>(v));
+    binio::write_i64(os, parked_specs_[v].in);
+    binio::write_i64(os, parked_specs_[v].out);
+    binio::write_i64(os, parked_specs_[v].retention);
+  }
 }
 
 void FaultInjector::load_state(std::istream& is) {
@@ -438,11 +719,40 @@ void FaultInjector::load_state(std::istream& is) {
   if (engine.fail()) {
     throw std::runtime_error("FaultInjector: corrupt RNG state");
   }
+
+  std::fill(edge_removed_.begin(), edge_removed_.end(), char{0});
+  std::fill(departed_.begin(), departed_.end(), char{0});
+  removed_edge_count_ = 0;
+  departed_count_ = 0;
+  const std::uint32_t removed_count = binio::read_u32(is);
+  for (std::uint32_t i = 0; i < removed_count; ++i) {
+    const auto e = static_cast<std::size_t>(binio::read_i64(is));
+    ensure_edges(static_cast<EdgeId>(e) + 1);
+    if (!edge_removed_[e]) {
+      edge_removed_[e] = 1;
+      ++removed_edge_count_;
+    }
+  }
+  const std::uint32_t departed_count = binio::read_u32(is);
+  for (std::uint32_t i = 0; i < departed_count; ++i) {
+    const auto v = static_cast<std::size_t>(binio::read_i64(is));
+    if (v >= departed_.size()) ensure_sized(static_cast<NodeId>(v) + 1);
+    NodeSpec spec;
+    spec.in = binio::read_i64(is);
+    spec.out = binio::read_i64(is);
+    spec.retention = binio::read_i64(is);
+    if (!departed_[v]) {
+      departed_[v] = 1;
+      ++departed_count_;
+    }
+    parked_specs_[v] = spec;
+  }
 }
 
 void FaultInjector::register_metrics(obs::MetricRegistry& registry) {
   crashes_counter_ = &registry.counter("faults.crashes");
   recoveries_counter_ = &registry.counter("faults.recoveries");
+  churn_counter_ = &registry.counter("faults.churn");
 }
 
 }  // namespace lgg::core

@@ -24,6 +24,26 @@
 // overlays the fault state onto the dynamics-owned edge mask), it neither
 // injects nor extracts, and no transmissions touch it.
 //
+// On top of the windowed faults, the schedule can script *churn*: live,
+// instantaneous topology and rate mutations that model nodes and links
+// joining and leaving the network (Conjecture 4's dynamic edge sets made
+// concrete):
+//
+//   * edge_remove / edge_add — toggles an edge's churn overlay; a removed
+//                      edge stays out of the effective mask until a
+//                      matching edge_add restores it.
+//   * node_leave     — the node departs: its spec is parked (it stops
+//                      being a source/sink), its queue is wiped (accounted
+//                      as crash_wiped so conservation balances), and its
+//                      incident edges leave the effective mask.
+//   * node_join      — a departed node re-enters with its parked spec.
+//   * nudge          — in(v)/out(v) move by din/dout, clamped at 0.
+//
+// Each churn event fires exactly once, at step `at`, draws from no RNG,
+// and reports what changed through a TopologyDelta so downstream consumers
+// (admission certificates, shard role lists, telemetry) can react in
+// O(|delta|).
+//
 // Determinism: scheduled events are pure functions of the step index, and
 // the random-crash process draws from the injector's own RNG (seeded at
 // construction), so a faulted run is a pure function of
@@ -38,6 +58,7 @@
 
 #include "common/rng.hpp"
 #include "core/sd_network.hpp"
+#include "core/topology_delta.hpp"
 
 namespace lgg::obs {
 class Counter;
@@ -51,7 +72,20 @@ enum class FaultKind : std::uint8_t {
   kSinkOutage,   ///< out(node) = 0 for the window
   kSourceSurge,  ///< node injects `extra` additional packets per step
   kByzantine,    ///< node declares `declare` regardless of its true queue
+  // Churn events below are instantaneous (fire once, at step `at`).
+  kEdgeRemove,     ///< edge leaves the live topology until re-added
+  kEdgeAdd,        ///< a removed edge re-enters the live topology
+  kNodeLeave,      ///< node departs: spec parked, queue wiped, links cut
+  kNodeJoin,       ///< a departed node re-enters with its parked spec
+  kCapacityNudge,  ///< in(node) += din, out(node) += dout, clamped at 0
 };
+
+/// True for the instantaneous topology-churn kinds.
+[[nodiscard]] constexpr bool is_churn(FaultKind kind) {
+  return kind == FaultKind::kEdgeRemove || kind == FaultKind::kEdgeAdd ||
+         kind == FaultKind::kNodeLeave || kind == FaultKind::kNodeJoin ||
+         kind == FaultKind::kCapacityNudge;
+}
 
 enum class CrashMode : std::uint8_t {
   kWipe,    ///< queue destroyed on crash (counted as crash_wiped)
@@ -61,16 +95,21 @@ enum class CrashMode : std::uint8_t {
 [[nodiscard]] std::string_view to_string(FaultKind kind);
 [[nodiscard]] std::string_view to_string(CrashMode mode);
 
-/// One scheduled fault.  The window is [at, at + duration); duration < 0
-/// means "until the end of the run".
+/// One scheduled fault.  For windowed kinds the window is [at, at +
+/// duration); duration < 0 means "until the end of the run".  Churn kinds
+/// (is_churn) are instantaneous: they fire exactly once at step `at` and
+/// ignore `duration`.
 struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
   NodeId node = kInvalidNode;
   TimeStep at = 0;
   TimeStep duration = -1;
   CrashMode mode = CrashMode::kWipe;
-  PacketCount extra = 0;    ///< surge packets per step (kSourceSurge)
-  PacketCount declare = 0;  ///< declared queue value (kByzantine)
+  PacketCount extra = 0;     ///< surge packets per step (kSourceSurge)
+  PacketCount declare = 0;   ///< declared queue value (kByzantine)
+  EdgeId edge = kInvalidEdge;  ///< target edge (kEdgeRemove / kEdgeAdd)
+  Cap din = 0;               ///< in-rate delta (kCapacityNudge)
+  Cap dout = 0;              ///< out-rate delta (kCapacityNudge)
 };
 
 /// Memoryless random crashes on top of the scheduled events: each up node
@@ -98,13 +137,23 @@ class FaultSchedule {
     return events_.empty() && random_.p_per_step <= 0.0;
   }
 
-  /// Throws ContractViolation if any event references a node outside `net`,
-  /// surges a non-source, or outages a non-sink.
+  [[nodiscard]] bool has_churn_events() const { return churn_events_ > 0; }
+
+  /// Throws ContractViolation if any event references a node or edge
+  /// outside `net`, surges a non-source, or outages a non-sink.
   void validate(const SdNetwork& net) const;
+
+  /// Everything validate() checks, plus structural sanity the tools enforce
+  /// before a run starts (exit code 2 on failure): no duplicate events, no
+  /// overlapping scheduled crash windows on one node, every node_join
+  /// strictly after a matching node_leave, and every edge_add strictly
+  /// after a matching edge_remove.
+  void validate_strict(const SdNetwork& net) const;
 
  private:
   std::vector<FaultEvent> events_;
   RandomCrashConfig random_;
+  std::size_t churn_events_ = 0;  ///< count of is_churn entries in events_
 };
 
 /// Parses the `--faults` spec grammar: semicolon-separated clauses
@@ -114,9 +163,15 @@ class FaultSchedule {
 ///   surge:node=0,at=10,for=5,extra=4
 ///   byzantine:node=2,at=0,for=1000,declare=0
 ///   random_crashes:p=0.001,down=20..50,mode=freeze
+///   edge_remove:edge=7,at=100
+///   edge_add:edge=7,at=250
+///   node_leave:node=3,at=100
+///   node_join:node=3,at=400
+///   nudge:node=2,at=50,din=1,dout=-1
 ///
-/// `for` defaults to -1 (until the end of the run).  Throws
-/// ContractViolation with a one-line description on any malformed clause.
+/// `for` defaults to -1 (until the end of the run) and is rejected on the
+/// instantaneous churn clauses.  Throws ContractViolation with a one-line
+/// description on any malformed clause.
 FaultSchedule parse_fault_spec(const std::string& spec);
 
 /// Round-trips a schedule back to the spec grammar (crash dumps, logs).
@@ -139,6 +194,25 @@ class FaultInjector {
   StepEffects begin_step(TimeStep t, const SdNetwork& net,
                          const std::function<void(NodeId)>& wipe);
 
+  /// Fires the churn events scheduled at step t, mutating `net`'s specs
+  /// (node_leave/node_join/nudge) and the injector's edge/departure
+  /// overlays, and appends every mutation to `delta` (which the caller
+  /// clears).  `wipe` destroys a departing node's queue, accounted exactly
+  /// like a wipe-mode crash.  Call before begin_step(t, ...) so the step's
+  /// windowed effects see the post-churn roles.  Returns true if anything
+  /// changed.  Draws from no RNG.
+  bool apply_churn(TimeStep t, SdNetwork& net, TopologyDelta& delta,
+                   const std::function<void(NodeId)>& wipe);
+
+  /// True while any churn overlay is in force (removed edges or departed
+  /// nodes) — the simulator must then route against the overlaid mask even
+  /// when no node is down.
+  [[nodiscard]] bool churn_overlay_active() const {
+    return removed_edge_count_ > 0 || departed_count_ > 0;
+  }
+  [[nodiscard]] bool edge_removed(EdgeId e) const;
+  [[nodiscard]] bool node_departed(NodeId v) const;
+
   // Queries about the step most recently passed to begin_step.
   [[nodiscard]] bool node_down(NodeId v) const;
   [[nodiscard]] bool sink_out(NodeId v) const;
@@ -157,7 +231,8 @@ class FaultInjector {
     return byz_active_;
   }
 
-  /// Deactivates every edge incident to a down node.
+  /// Deactivates every edge incident to a down or departed node, plus every
+  /// edge currently removed by churn.
   void apply_to_mask(const SdNetwork& net, graph::EdgeMask& mask) const;
 
   [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
@@ -168,12 +243,14 @@ class FaultInjector {
   void save_state(std::ostream& os) const;
   void load_state(std::istream& is);
 
-  /// Registers faults.crashes / faults.recoveries counters, bumped on each
-  /// down-state transition.
+  /// Registers faults.crashes / faults.recoveries counters (bumped on each
+  /// down-state transition) and faults.churn (bumped once per applied churn
+  /// mutation).
   void register_metrics(obs::MetricRegistry& registry);
 
  private:
   void ensure_sized(NodeId n);
+  void ensure_edges(EdgeId n);
 
   FaultSchedule schedule_;
   Rng rng_;
@@ -182,6 +259,15 @@ class FaultInjector {
   // (exclusive); kForever for open-ended crashes.
   std::vector<TimeStep> down_until_;
   std::vector<char> down_now_;
+
+  // Churn overlays (cross-step, checkpointed): edges currently removed,
+  // nodes currently departed, and the spec each departed node re-enters
+  // with on node_join.
+  std::vector<char> edge_removed_;
+  std::vector<char> departed_;
+  std::vector<NodeSpec> parked_specs_;
+  std::size_t removed_edge_count_ = 0;
+  std::size_t departed_count_ = 0;
 
   // Per-step recomputed state (begin_step).
   std::vector<PacketCount> surge_;             // dense, reset via surge_nodes_
@@ -194,6 +280,7 @@ class FaultInjector {
 
   obs::Counter* crashes_counter_ = nullptr;
   obs::Counter* recoveries_counter_ = nullptr;
+  obs::Counter* churn_counter_ = nullptr;
 };
 
 }  // namespace lgg::core

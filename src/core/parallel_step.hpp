@@ -67,6 +67,15 @@ class ParallelStepEngine {
   /// built for).  Called by Simulator::step while sharding is enabled.
   StepStats step(Simulator& sim);
 
+  /// Re-derives the per-shard role lists after churn mutated node specs
+  /// (node_leave/join, nudges through zero).  Ownership and node lists are
+  /// untouched — churn never changes the node set — so the repaired plan
+  /// visits exactly the nodes the serial engine does and sharded runs stay
+  /// bitwise identical across every mutation.
+  void refresh_roles(const SdNetwork& net) {
+    repair_shard_plan_roles(plan_, net);
+  }
+
  private:
   /// Per-shard working state; reset each step.  Accumulators are exact
   /// (wraparound-safe) mirrors of Simulator::apply_queue_delta's, folded

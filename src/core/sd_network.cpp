@@ -58,6 +58,14 @@ void SdNetwork::clear_role(NodeId v) {
   update_role_index(v);
 }
 
+void SdNetwork::set_spec(NodeId v, NodeSpec spec) {
+  LGG_REQUIRE(graph_.valid_node(v), "set_spec: bad node");
+  LGG_REQUIRE(spec.in >= 0 && spec.out >= 0 && spec.retention >= 0,
+              "set_spec: rates and retention must be non-negative");
+  specs_[static_cast<std::size_t>(v)] = spec;
+  update_role_index(v);
+}
+
 std::vector<NodeId> SdNetwork::special_nodes() const {
   std::vector<NodeId> out;
   for (NodeId v = 0; v < node_count(); ++v) {

@@ -45,6 +45,10 @@ class SdNetwork {
   void set_generalized(NodeId v, Cap in_rate, Cap out_rate, Cap retention);
   /// Clears a node back to a plain relay.
   void clear_role(NodeId v);
+  /// Replaces a node's spec wholesale (live churn: capacity nudges,
+  /// node_leave parking a spec, node_join restoring it).  All-zero specs
+  /// are allowed and equivalent to clear_role.
+  void set_spec(NodeId v, NodeSpec spec);
 
   [[nodiscard]] const graph::Multigraph& topology() const { return graph_; }
   [[nodiscard]] NodeId node_count() const { return graph_.node_count(); }
@@ -56,10 +60,14 @@ class SdNetwork {
   }
 
   // The role indices below are maintained eagerly on every role mutation
-  // (set_source/set_sink/set_generalized/clear_role), so the simulator's
-  // per-step injection and extraction loops touch only the relevant nodes
-  // instead of scanning all n.  Topology dynamics (edge-mask churn) never
-  // change roles, so a running simulation can cache the references.
+  // (set_source/set_sink/set_generalized/clear_role/set_spec), so the
+  // simulator's per-step injection and extraction loops touch only the
+  // relevant nodes instead of scanning all n.  Edge-mask dynamics never
+  // change roles, but scheduled churn (core/faults.hpp node_join/
+  // node_leave/nudge) mutates specs mid-run through set_spec — callers
+  // holding references to these lists must re-read them after any step
+  // whose TopologyDelta is non-empty (the shard engine does exactly that
+  // via ParallelStepEngine::refresh_roles).
 
   /// Nodes with in > 0 (injection side of S ∪ D), ascending.
   [[nodiscard]] const std::vector<NodeId>& sources() const {

@@ -44,4 +44,11 @@ struct ShardPlan {
 /// exceeds the node count.
 ShardPlan build_shard_plan(const SdNetwork& net, std::uint32_t shard_count);
 
+/// Rebuilds the per-shard role lists (sources/sinks) from the network's
+/// current role indices, keeping ownership and node lists untouched.  Churn
+/// mutates specs — never the node set — so after any churn step this is all
+/// the plan needs to stay exact; ownership derives from the base graph
+/// alone.  O(sources + sinks).
+void repair_shard_plan_roles(ShardPlan& plan, const SdNetwork& net);
+
 }  // namespace lgg::core

@@ -71,6 +71,7 @@ void Simulator::set_faults(std::unique_ptr<FaultInjector> faults) {
 void Simulator::set_telemetry(obs::Telemetry* telemetry) {
   telemetry_ = telemetry;
   drift_ = nullptr;  // re-evaluated at the top of every step
+  topology_gauge_ = nullptr;
   if (telemetry_ == nullptr) return;
   telemetry_->bind(net_.node_count());
   register_component_metrics();
@@ -85,6 +86,7 @@ void Simulator::set_admission(AdmissionController* admission) {
 
 void Simulator::register_component_metrics() {
   obs::MetricRegistry& registry = telemetry_->registry();
+  topology_gauge_ = &registry.gauge("sim.topology_version");
   protocol_->register_metrics(registry);
   scheduler_->register_metrics(registry);
   if (faults_ != nullptr) faults_->register_metrics(registry);
@@ -195,17 +197,34 @@ const graph::EdgeMask* Simulator::phase_dynamics(StepStats& stats,
     }
   }
   const graph::EdgeMask* active_mask = &mask_;
+  churn_delta_.clear();
   if (faults_ != nullptr) {
     wiped_scratch_.clear();
+    const auto wipe = [&](NodeId v) {
+      const PacketCount q = queue_[static_cast<std::size_t>(v)];
+      if (q > 0) {
+        // Departing/crashing queues leave the network as crash_wiped so
+        // the conservation audit balances.
+        apply_queue_delta(v, -q, obs::DriftCause::kCrashWiped);
+        stats.crash_wiped += q;
+        if (tel != nullptr) wiped_scratch_.emplace_back(v, q);
+      }
+    };
+    // Scheduled churn fires before the windowed fault transitions so the
+    // rest of the step (and the injector's own surge/outage windows) sees
+    // the post-churn roles.
+    const bool churned = faults_->apply_churn(t_, net_, churn_delta_, wipe);
+    if (churned) {
+      ++topology_version_;
+      stats.topology_changed = true;
+      // Role lists may have changed (node_leave/join, nudges through
+      // zero); the shard engine re-derives its per-shard role lists so
+      // sharded runs keep visiting exactly the serial engine's nodes.
+      if (engine_ != nullptr) engine_->refresh_roles(net_);
+      if (tel != nullptr) record_churn_flight_events(tel);
+    }
     const FaultInjector::StepEffects effects = faults_->begin_step(
-        t_, net_, [&](NodeId v) {
-          const PacketCount q = queue_[static_cast<std::size_t>(v)];
-          if (q > 0) {
-            apply_queue_delta(v, -q, obs::DriftCause::kCrashWiped);
-            stats.crash_wiped += q;
-            if (tel != nullptr) wiped_scratch_.emplace_back(v, q);
-          }
-        });
+        t_, net_, wipe);
     if (tel != nullptr) {
       for (const NodeId v : faults_->went_down()) {
         PacketCount wiped = 0;
@@ -225,7 +244,7 @@ const graph::EdgeMask* Simulator::phase_dynamics(StepStats& stats,
       ++topology_version_;
       stats.topology_changed = true;
     }
-    if (effects.any_down) {
+    if (effects.any_down || faults_->churn_overlay_active()) {
       effective_mask_ = mask_;
       faults_->apply_to_mask(net_, effective_mask_);
       active_mask = &effective_mask_;
@@ -247,7 +266,8 @@ void Simulator::phase_injection_serial(StepStats& stats, obs::Telemetry* tel,
   if (admission_ != nullptr) {
     admission_mode_before = admission_->mode();
     admission_->begin_step({t_, network_state(), topology_version_, &net_,
-                            active_mask});
+                            active_mask,
+                            churn_delta_.empty() ? nullptr : &churn_delta_});
   }
   for (const NodeId v : net_.sources()) {
     const NodeSpec& spec = net_.spec(v);
@@ -332,6 +352,39 @@ std::span<const PacketCount> Simulator::phase_declarations(
   return declared_view;
 }
 
+void Simulator::record_churn_flight_events(obs::Telemetry* tel) {
+  // Called before begin_step's crash wipes, so wiped_scratch_ holds only
+  // the departing-node wipes when the node_leave counts are looked up.
+  for (const auto& ec : churn_delta_.edges) {
+    const auto [u, v] = net_.topology().endpoints(ec.edge);
+    tel->record_event({t_,
+                       ec.active ? obs::EventKind::kEdgeUp
+                                 : obs::EventKind::kEdgeDown,
+                       u, v, static_cast<std::int64_t>(ec.edge)});
+  }
+  for (const NodeId v : churn_delta_.left) {
+    PacketCount wiped = 0;
+    for (const auto& [w, q] : wiped_scratch_) {
+      if (w == v) wiped = q;
+    }
+    tel->record_event({t_, obs::EventKind::kNodeLeave, v, kInvalidNode,
+                       wiped});
+  }
+  for (const NodeId v : churn_delta_.joined) {
+    tel->record_event({t_, obs::EventKind::kNodeJoin, v, kInvalidNode, 0});
+  }
+  for (const auto& rc : churn_delta_.rates) {
+    // Joins/leaves already carry their own events; kRateChange covers the
+    // nudges (and the rate legs of join/leave for telemetry consumers that
+    // only track specs).
+    const std::int64_t packed =
+        (static_cast<std::int64_t>(rc.after.in) << 32) |
+        (static_cast<std::int64_t>(rc.after.out) & 0xffffffff);
+    tel->record_event(
+        {t_, obs::EventKind::kRateChange, rc.node, kInvalidNode, packed});
+  }
+}
+
 void Simulator::record_tx_flight_events(obs::Telemetry* tel) {
   if (tel == nullptr || tel->flight() == nullptr) return;
   for (std::size_t i = 0; i < txs_.size(); ++i) {
@@ -350,6 +403,9 @@ void Simulator::step_epilogue(StepStats& stats, obs::Telemetry* tel,
 #ifndef NDEBUG
   audit_counters();
 #endif
+  if (topology_gauge_ != nullptr) {
+    topology_gauge_->set(static_cast<double>(topology_version_));
+  }
   if (tel != nullptr) {
     obs::StepSample sample;
     sample.t = t_;

@@ -157,10 +157,21 @@ class Simulator {
   void set_dynamics(std::unique_ptr<TopologyDynamics> dynamics);
 
   /// Installs a fault injector (node crashes, sink outages, source surges,
-  /// Byzantine declarations — core/faults.hpp).  The schedule is validated
-  /// against the network; pass nullptr to remove.
+  /// Byzantine declarations, topology churn — core/faults.hpp).  The
+  /// schedule is validated against the network; pass nullptr to remove.
   void set_faults(std::unique_ptr<FaultInjector> faults);
   [[nodiscard]] const FaultInjector* faults() const { return faults_.get(); }
+
+  /// What the most recent step's scheduled churn mutated (empty on steps
+  /// without churn).  Valid until the next step starts.
+  [[nodiscard]] const TopologyDelta& last_churn() const {
+    return churn_delta_;
+  }
+  /// Bumped on every effective topology change (dynamics, fault
+  /// transitions, churn); keys protocol caches and certificate staleness.
+  [[nodiscard]] std::uint64_t topology_version() const {
+    return topology_version_;
+  }
 
   /// Installs an instrumentation hook called at the end of every step.
   /// Not owned; pass nullptr to detach.  Enables extra per-step queue
@@ -288,6 +299,8 @@ class Simulator {
   /// Phase 3: declarations; returns the view (may alias queue_) and adds
   /// the per-node evaluations performed to `work`.
   std::span<const PacketCount> phase_declarations(std::uint64_t& work);
+  /// Phase 1 tail: flight-recorder events for this step's churn mutations.
+  void record_churn_flight_events(obs::Telemetry* tel);
   /// Phase 7 tail: per-transmission flight-recorder events.
   void record_tx_flight_events(obs::Telemetry* tel);
   /// Common step tail: cumulative stats, counter audit, telemetry sample,
@@ -320,6 +333,7 @@ class Simulator {
   StepProfiler* profiler_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
   obs::DriftAttributor* drift_ = nullptr;  // non-null only while armed
+  obs::Gauge* topology_gauge_ = nullptr;   // "sim.topology_version"
   AdmissionController* admission_ = nullptr;
 
   std::vector<PacketCount> queue_;
@@ -332,6 +346,9 @@ class Simulator {
   LinkConflictScratch conflict_scratch_;
   // Per-step (node, wiped packets) pairs for flight-recorder crash events.
   std::vector<std::pair<NodeId, PacketCount>> wiped_scratch_;
+  // What this step's scheduled churn mutated; cleared at phase 1, consumed
+  // by admission control (certificate patching) and telemetry.
+  TopologyDelta churn_delta_;
 
   TimeStep t_ = 0;
   std::uint64_t topology_version_ = 0;

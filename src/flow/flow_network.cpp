@@ -26,6 +26,17 @@ void FlowNetwork::set_capacity(ArcId a, Cap cap) {
   res_cap_[static_cast<std::size_t>(a ^ 1)] = 0;
 }
 
+void FlowNetwork::set_capacity_keep_flow(ArcId a, Cap cap) {
+  LGG_REQUIRE(valid_arc(a), "set_capacity_keep_flow: bad arc");
+  LGG_REQUIRE((a & 1) == 0,
+              "set_capacity_keep_flow: must address the forward arc");
+  const Cap f = flow(a);
+  LGG_REQUIRE(cap >= f && cap >= 0,
+              "set_capacity_keep_flow: capacity below current flow");
+  orig_cap_[static_cast<std::size_t>(a)] = cap;
+  res_cap_[static_cast<std::size_t>(a)] = cap - f;
+}
+
 Cap FlowNetwork::excess_at(NodeId v) const {
   LGG_REQUIRE(valid_node(v), "excess_at: bad node");
   Cap in = 0, out = 0;

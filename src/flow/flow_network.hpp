@@ -95,6 +95,12 @@ class FlowNetwork {
   /// Replaces the capacity of an existing arc; resets that arc pair's flow.
   void set_capacity(ArcId a, Cap cap);
 
+  /// Replaces the capacity of an existing arc while preserving the flow
+  /// currently routed on the pair.  Requires cap >= flow(a), so the stored
+  /// flow stays capacity-respecting; warm-started solvers use this to keep
+  /// their state across capacity nudges.
+  void set_capacity_keep_flow(ArcId a, Cap cap);
+
   /// Sum of flow out of `v` minus flow into `v` over forward arcs; zero for
   /// all nodes except source/sink of a valid flow.  O(arcs).
   [[nodiscard]] Cap excess_at(NodeId v) const;

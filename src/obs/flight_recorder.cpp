@@ -17,6 +17,11 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kCheckpoint: return "checkpoint";
     case EventKind::kSnapshot: return "snapshot";
     case EventKind::kGovernorMode: return "governor_mode";
+    case EventKind::kEdgeDown: return "edge_down";
+    case EventKind::kEdgeUp: return "edge_up";
+    case EventKind::kNodeLeave: return "node_leave";
+    case EventKind::kNodeJoin: return "node_join";
+    case EventKind::kRateChange: return "rate_change";
   }
   return "?";
 }

@@ -36,9 +36,16 @@ enum class EventKind : std::uint8_t {
   kSnapshot,     ///< telemetry snapshot emitted: value=sequence number
   kGovernorMode, ///< admission governor mode transition: value=new mode
                  ///< (control::SaturationMode as an integer)
+  // Topology churn (core/faults.hpp churn events):
+  kEdgeDown,     ///< churn removed an edge: a=u, b=v, value=edge id
+  kEdgeUp,       ///< churn restored an edge: a=u, b=v, value=edge id
+  kNodeLeave,    ///< node departed: a=node, value=wiped packet count
+  kNodeJoin,     ///< node re-entered: a=node
+  kRateChange,   ///< spec changed: a=node, value=(in << 32) | (out & 0xffffffff)
+                 ///< (rates are < 2^31 in every supported instance)
 };
 
-inline constexpr std::size_t kEventKindCount = 8;
+inline constexpr std::size_t kEventKindCount = 13;
 
 [[nodiscard]] std::string_view to_string(EventKind kind);
 

@@ -60,6 +60,48 @@ TEST(ScenarioIo, WriteReadIsIdentity) {
   EXPECT_TRUE(back.expect_stable);
 }
 
+TEST(ScenarioIo, ChurnEventsStanzaRoundTripsExactly) {
+  ScenarioConfig c;
+  c.label = "churn-round-trip";
+  c.network = core::scenarios::grid_single(3, 4);
+  c.churn_events.add(
+      {.kind = core::FaultKind::kEdgeRemove, .at = 20, .edge = 1});
+  c.churn_events.add(
+      {.kind = core::FaultKind::kEdgeAdd, .at = 35, .edge = 1});
+  c.churn_events.add(
+      {.kind = core::FaultKind::kNodeLeave, .node = 5, .at = 50});
+  c.churn_events.add(
+      {.kind = core::FaultKind::kNodeJoin, .node = 5, .at = 80});
+  c.churn_events.add({.kind = core::FaultKind::kCapacityNudge,
+                      .node = 0,
+                      .at = 60,
+                      .din = 1,
+                      .dout = -1});
+  // A windowed fault rides along in its own stanza.
+  c.faults.add({core::FaultKind::kCrash, 2, 10, 5});
+
+  const std::string text = to_string(c);
+  EXPECT_NE(text.find("churn_events "), std::string::npos);
+  const ScenarioConfig back = scenario_from_string(text);
+  EXPECT_EQ(to_string(back), text);
+  ASSERT_EQ(back.churn_events.events().size(), 5u);
+  EXPECT_EQ(back.churn_events.events()[0].kind,
+            core::FaultKind::kEdgeRemove);
+  EXPECT_EQ(back.churn_events.events()[4].din, 1);
+  EXPECT_EQ(back.churn_events.events()[4].dout, -1);
+  EXPECT_EQ(back.faults.events().size(), 1u);
+}
+
+TEST(ScenarioIo, ChurnEventsStanzaRejectsNonChurnClauses) {
+  ScenarioConfig c;
+  c.network = core::scenarios::single_path(3, 1, 2);
+  std::string text = to_string(c);
+  const auto pos = text.find("network\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "churn_events crash:node=1,at=10,for=5,mode=wipe\n");
+  EXPECT_THROW((void)scenario_from_string(text), ContractViolation);
+}
+
 TEST(ScenarioIo, SkipsLeadingCommentsAndRejectsBadMagic) {
   ScenarioConfig c;
   c.network = core::scenarios::single_path(3, 1, 2);
@@ -97,6 +139,7 @@ TEST(Generator, ScenariosRoundTripAndArmOraclesSoundly) {
     // positive factory.
     if ((c.oracles & (kOracleGrowth | kOracleState)) != 0) {
       EXPECT_TRUE(c.faults.empty()) << c.label;
+      EXPECT_TRUE(c.churn_events.empty()) << c.label;
       EXPECT_EQ(c.protocol, "lgg") << c.label;
       EXPECT_EQ(c.declaration, core::DeclarationPolicy::kTruthful)
           << c.label;
@@ -110,6 +153,12 @@ TEST(Generator, ScenariosRoundTripAndArmOraclesSoundly) {
     EXPECT_FALSE(c.strict_declarations) << c.label;
     EXPECT_EQ(c.hang_ms, 0) << c.label;
     EXPECT_NO_THROW(c.faults.validate(c.network)) << c.label;
+    EXPECT_NO_THROW(c.churn_events.validate(c.network)) << c.label;
+    // The scripted-churn family only emits topology-churn clauses, and
+    // every cut it opens is paired with a later restore.
+    for (const core::FaultEvent& e : c.churn_events.events()) {
+      EXPECT_TRUE(core::is_churn(e.kind)) << c.label;
+    }
   }
 }
 

@@ -1,0 +1,255 @@
+// Differential test for the warm-started incremental max-flow engine: over
+// scripted mutation sequences (edge toggles, rate nudges) the incremental
+// value and feasibility verdict must exactly equal an independently built
+// from-scratch solve after every single mutation.
+#include "flow/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "flow/max_flow.hpp"
+
+namespace lgg::flow {
+namespace {
+
+struct Fixture {
+  graph::Multigraph g;
+  std::vector<Cap> source_rate;  // per node, 0 = unrated
+  std::vector<Cap> sink_rate;
+};
+
+Fixture random_fixture(std::uint64_t seed, NodeId n, int extra_edges) {
+  Rng rng(seed);
+  Fixture fx;
+  fx.g = graph::Multigraph(n);
+  for (NodeId v = 1; v < n; ++v) {
+    fx.g.add_edge(v, static_cast<NodeId>(rng.uniform_int(0, v - 1)));
+  }
+  for (int i = 0; i < extra_edges; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    const auto v = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    if (u != v) fx.g.add_edge(u, v);
+  }
+  fx.source_rate.assign(static_cast<std::size_t>(n), 0);
+  fx.sink_rate.assign(static_cast<std::size_t>(n), 0);
+  const NodeId s_count = static_cast<NodeId>(rng.uniform_int(1, n / 3 + 1));
+  const NodeId d_count = static_cast<NodeId>(rng.uniform_int(1, n / 3 + 1));
+  for (NodeId i = 0; i < s_count; ++i) {
+    fx.source_rate[static_cast<std::size_t>(rng.uniform_int(0, n - 1))] =
+        rng.uniform_int(1, 3);
+  }
+  for (NodeId i = 0; i < d_count; ++i) {
+    fx.sink_rate[static_cast<std::size_t>(rng.uniform_int(0, n - 1))] =
+        rng.uniform_int(1, 3);
+  }
+  // Guarantee at least one of each role.
+  if (fx.source_rate == std::vector<Cap>(static_cast<std::size_t>(n), 0)) {
+    fx.source_rate[0] = 1;
+  }
+  bool any_sink = false;
+  for (const Cap r : fx.sink_rate) any_sink |= r > 0;
+  if (!any_sink) fx.sink_rate[static_cast<std::size_t>(n) - 1] = 1;
+  return fx;
+}
+
+// Sources -> relay mesh -> sinks; the shape where certificate patches pay.
+Fixture relay_fixture(NodeId sources, NodeId relays, NodeId sinks) {
+  Fixture fx;
+  const NodeId n = sources + relays + sinks;
+  fx.g = graph::Multigraph(n);
+  fx.source_rate.assign(static_cast<std::size_t>(n), 0);
+  fx.sink_rate.assign(static_cast<std::size_t>(n), 0);
+  for (NodeId s = 0; s < sources; ++s) {
+    fx.source_rate[static_cast<std::size_t>(s)] = 1;
+    for (NodeId r = 0; r < relays; r += 2) {
+      fx.g.add_edge(s, sources + ((s + r) % relays));
+    }
+  }
+  for (NodeId r = 0; r + 1 < relays; ++r) {
+    fx.g.add_edge(sources + r, sources + r + 1);
+  }
+  for (NodeId d = 0; d < sinks; ++d) {
+    fx.sink_rate[static_cast<std::size_t>(sources + relays + d)] = 1;
+    for (NodeId r = 0; r < relays; r += 2) {
+      fx.g.add_edge(sources + relays + d, sources + ((d + r) % relays));
+    }
+  }
+  return fx;
+}
+
+std::vector<RatedNode> rated(const std::vector<Cap>& rates) {
+  std::vector<RatedNode> out;
+  for (NodeId v = 0; v < static_cast<NodeId>(rates.size()); ++v) {
+    if (rates[static_cast<std::size_t>(v)] > 0) {
+      out.push_back({v, rates[static_cast<std::size_t>(v)]});
+    }
+  }
+  return out;
+}
+
+// Independent from-scratch oracle: fresh network, different arc layout
+// (skips inactive edges entirely), different solver (Dinic vs the
+// engine's BFS augmentation).
+Cap scratch_max_flow(const Fixture& fx, const std::vector<char>& active,
+                     bool unbounded_sources) {
+  FlowNetwork net(fx.g.node_count());
+  const NodeId s_star = net.add_node();
+  const NodeId d_star = net.add_node();
+  Cap big = 1 + 2 * static_cast<Cap>(fx.g.edge_count());
+  for (const Cap r : fx.sink_rate) big += r;
+  for (NodeId v = 0; v < fx.g.node_count(); ++v) {
+    const Cap sr = fx.source_rate[static_cast<std::size_t>(v)];
+    if (sr > 0) net.add_arc(s_star, v, unbounded_sources ? big : sr);
+    const Cap dr = fx.sink_rate[static_cast<std::size_t>(v)];
+    if (dr > 0) net.add_arc(v, d_star, dr);
+  }
+  for (EdgeId e = 0; e < fx.g.edge_count(); ++e) {
+    if (!active[static_cast<std::size_t>(e)]) continue;
+    const graph::Endpoints ep = fx.g.endpoints(e);
+    net.add_arc(ep.u, ep.v, 1);
+    net.add_arc(ep.v, ep.u, 1);
+  }
+  return solve_max_flow(net, s_star, d_star, FlowAlgorithm::kDinic);
+}
+
+Cap total(const std::vector<Cap>& rates) {
+  Cap t = 0;
+  for (const Cap r : rates) t += r;
+  return t;
+}
+
+// Drives `mutations` random mutations through two engines (exact rates and
+// unbounded f*) and cross-checks both against the oracle after every one.
+void run_differential(Fixture fx, std::uint64_t seed, int mutations) {
+  std::vector<char> active(static_cast<std::size_t>(fx.g.edge_count()), 1);
+  ExtendedGraphOptions exact_opt;
+  ExtendedGraphOptions fstar_opt;
+  fstar_opt.unbounded_sources = true;
+  IncrementalMaxFlow exact(fx.g, rated(fx.source_rate), rated(fx.sink_rate),
+                           exact_opt);
+  IncrementalMaxFlow fstar(fx.g, rated(fx.source_rate), rated(fx.sink_rate),
+                           fstar_opt);
+  exact.set_cross_check(true);
+  fstar.set_cross_check(true);
+
+  Rng rng(seed);
+  for (int i = 0; i < mutations; ++i) {
+    const auto kind = rng.uniform_int(0, 3);
+    if (kind <= 1) {  // edge toggle, weighted: churn is mostly edges
+      const auto e =
+          static_cast<EdgeId>(rng.uniform_int(0, fx.g.edge_count() - 1));
+      const bool on = !active[static_cast<std::size_t>(e)];
+      active[static_cast<std::size_t>(e)] = on ? 1 : 0;
+      exact.set_edge_active(e, on);
+      fstar.set_edge_active(e, on);
+    } else if (kind == 2) {  // source rate nudge (any node may become rated)
+      const auto v =
+          static_cast<NodeId>(rng.uniform_int(0, fx.g.node_count() - 1));
+      const Cap r = rng.uniform_int(0, 3);
+      fx.source_rate[static_cast<std::size_t>(v)] = r;
+      exact.set_source_rate(v, r);
+      fstar.set_source_rate(v, r);
+    } else {  // sink rate nudge
+      const auto v =
+          static_cast<NodeId>(rng.uniform_int(0, fx.g.node_count() - 1));
+      const Cap r = rng.uniform_int(0, 3);
+      fx.sink_rate[static_cast<std::size_t>(v)] = r;
+      exact.set_sink_rate(v, r);
+      fstar.set_sink_rate(v, r);
+    }
+    const Cap want_exact = scratch_max_flow(fx, active, false);
+    const Cap want_fstar = scratch_max_flow(fx, active, true);
+    ASSERT_EQ(exact.value(), want_exact) << "mutation " << i;
+    ASSERT_EQ(fstar.value(), want_fstar) << "mutation " << i;
+    ASSERT_EQ(exact.arrival_rate(), total(fx.source_rate));
+    ASSERT_EQ(exact.saturates_sources(),
+              want_exact == total(fx.source_rate))
+        << "mutation " << i;
+  }
+  EXPECT_GE(exact.stats().patches, 1u);
+}
+
+TEST(IncrementalMaxFlow, MatchesScratchOnRandomFixtures) {
+  int mutations = 0;
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    run_differential(random_fixture(seed, 8, 6), seed * 101, 60);
+    run_differential(random_fixture(seed + 7, 14, 12), seed * 103, 60);
+    mutations += 120;
+  }
+  EXPECT_GE(mutations, 480);
+}
+
+TEST(IncrementalMaxFlow, MatchesScratchOnRelayHeavyFixture) {
+  for (const std::uint64_t seed : {5u, 6u, 7u, 8u, 9u}) {
+    run_differential(relay_fixture(4, 8, 4), seed, 120);
+  }
+}
+
+TEST(IncrementalMaxFlow, EdgeToggleRoundTripRestoresValue) {
+  Fixture fx = relay_fixture(3, 6, 3);
+  IncrementalMaxFlow inc(fx.g, rated(fx.source_rate), rated(fx.sink_rate));
+  inc.set_cross_check(true);
+  const Cap before = inc.value();
+  for (EdgeId e = 0; e < fx.g.edge_count(); ++e) {
+    inc.set_edge_active(e, false);
+    inc.set_edge_active(e, true);
+    ASSERT_EQ(inc.value(), before) << "edge " << e;
+  }
+}
+
+TEST(IncrementalMaxFlow, DetachingEverySourceDrainsToZero) {
+  Fixture fx = random_fixture(99, 10, 8);
+  IncrementalMaxFlow inc(fx.g, rated(fx.source_rate), rated(fx.sink_rate));
+  inc.set_cross_check(true);
+  for (NodeId v = 0; v < fx.g.node_count(); ++v) inc.set_source_rate(v, 0);
+  EXPECT_EQ(inc.value(), 0);
+  EXPECT_EQ(inc.arrival_rate(), 0);
+  EXPECT_TRUE(inc.saturates_sources());  // vacuously: zero demand
+}
+
+TEST(IncrementalMaxFlow, LazyRatedRelayGetsArcOnDemand) {
+  Fixture fx = relay_fixture(2, 4, 2);
+  IncrementalMaxFlow inc(fx.g, rated(fx.source_rate), rated(fx.sink_rate));
+  inc.set_cross_check(true);
+  const NodeId relay = 2;  // first relay: unrated at construction
+  ASSERT_EQ(inc.source_rate(relay), 0);
+  inc.set_source_rate(relay, 2);
+  EXPECT_EQ(inc.source_rate(relay), 2);
+  std::vector<char> active(static_cast<std::size_t>(fx.g.edge_count()), 1);
+  fx.source_rate[static_cast<std::size_t>(relay)] = 2;
+  EXPECT_EQ(inc.value(), scratch_max_flow(fx, active, false));
+}
+
+TEST(IncrementalMaxFlow, InitialMaskDeactivatesEdges) {
+  Fixture fx = relay_fixture(2, 4, 2);
+  graph::EdgeMask mask(fx.g.edge_count());
+  mask.set_active(0, false);
+  mask.set_active(1, false);
+  IncrementalMaxFlow inc(fx.g, rated(fx.source_rate), rated(fx.sink_rate),
+                         {}, &mask);
+  inc.set_cross_check(true);
+  std::vector<char> active(static_cast<std::size_t>(fx.g.edge_count()), 1);
+  active[0] = active[1] = 0;
+  EXPECT_FALSE(inc.edge_active(0));
+  EXPECT_EQ(inc.value(), scratch_max_flow(fx, active, false));
+  inc.set_edge_active(0, true);
+  active[0] = 1;
+  EXPECT_EQ(inc.value(), scratch_max_flow(fx, active, false));
+}
+
+TEST(FlowNetworkKeepFlow, PreservesRoutedFlowAcrossCapacityRaise) {
+  FlowNetwork net(2);
+  const ArcId a = net.add_arc(0, 1, 4);
+  net.push(a, 3);
+  net.set_capacity_keep_flow(a, 10);
+  EXPECT_EQ(net.capacity(a), 10);
+  EXPECT_EQ(net.flow(a), 3);
+  net.set_capacity_keep_flow(a, 3);  // cut exactly to the flow: allowed
+  EXPECT_EQ(net.flow(a), 3);
+  EXPECT_EQ(net.residual(a), 0);
+}
+
+}  // namespace
+}  // namespace lgg::flow

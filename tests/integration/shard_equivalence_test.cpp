@@ -66,6 +66,43 @@ void configure_stateful_arrival(core::Simulator& sim) {
   sim.set_loss(std::make_unique<core::PeriodicLoss>(7));
 }
 
+/// Scheduled topology churn: every mutation kind fires inside kHorizon, so
+/// the engine's incremental ShardPlan role repair, the churn flight events,
+/// and the v5 spec section all land in the bitwise comparison.  Random
+/// crashes ride along to exercise the overlay + down-window interplay.
+core::FaultSchedule churn_schedule(const core::SdNetwork& net) {
+  const NodeId source = net.sources().front();
+  const NodeId sink = net.sinks().back();
+  core::FaultSchedule schedule;
+  schedule.add({.kind = core::FaultKind::kEdgeRemove, .at = 15, .edge = 1});
+  schedule.add({.kind = core::FaultKind::kNodeLeave, .node = sink, .at = 25});
+  schedule.add({.kind = core::FaultKind::kCapacityNudge, .node = source,
+                .at = 35, .din = 1});
+  schedule.add({.kind = core::FaultKind::kNodeJoin, .node = sink, .at = 60});
+  schedule.add({.kind = core::FaultKind::kEdgeAdd, .at = 70, .edge = 1});
+  schedule.add({.kind = core::FaultKind::kCapacityNudge, .node = source,
+                .at = 90, .din = -1});
+  return schedule;
+}
+
+void configure_scheduled_churn(core::Simulator& sim) {
+  sim.set_arrival(std::make_unique<core::BernoulliArrival>(0.8));
+  core::FaultSchedule schedule = churn_schedule(sim.network());
+  schedule.set_random_crashes({0.02, 1, 5, core::CrashMode::kWipe});
+  schedule.validate_strict(sim.network());
+  sim.set_faults(std::make_unique<core::FaultInjector>(schedule, 0xC7));
+}
+
+void configure_governed_churn(core::Simulator& sim) {
+  // Governed + churn: the incremental certificate patches on every
+  // topology version bump; its gauges land in the telemetry byte stream,
+  // so any serial/sharded divergence in patch accounting fails here too.
+  sim.set_arrival(std::make_unique<core::UniformArrival>(1.5));
+  core::FaultSchedule schedule = churn_schedule(sim.network());
+  schedule.validate_strict(sim.network());
+  sim.set_faults(std::make_unique<core::FaultInjector>(schedule, 0xC8));
+}
+
 const std::vector<Fixture>& fixtures() {
   static const std::vector<Fixture> kFixtures = {
       {"plain-lgg", plain_net, configure_plain, false},
@@ -74,6 +111,8 @@ const std::vector<Fixture>& fixtures() {
       {"governed", stochastic_net, configure_governed, true},
       {"stateful-arrival", stochastic_net, configure_stateful_arrival,
        false},
+      {"scheduled-churn", stochastic_net, configure_scheduled_churn, false},
+      {"governed-churn", stochastic_net, configure_governed_churn, true},
   };
   return kFixtures;
 }
@@ -258,6 +297,49 @@ TEST(ShardEquivalence, CheckpointResumeAcrossEngines) {
       resumed->run(kHorizon - kBreak);
       const std::vector<PacketCount> got(resumed->queues().begin(),
                                                resumed->queues().end());
+      EXPECT_EQ(got, want);
+      EXPECT_TRUE(resumed->conserves_packets());
+    }
+  }
+}
+
+TEST(ShardEquivalence, MidChurnResumeAcrossEnginesMatchesSerial) {
+  // Break at t=40: edge 1 is removed, the sink has departed, and a nudge
+  // has shifted a source's rate — all of it must ride the v5 spec section
+  // and the injector blob so any engine can resume the trajectory exactly.
+  constexpr TimeStep kBreak = 40;
+  const auto build = [] {
+    core::SimulatorOptions options;
+    options.seed = 0xC0DE;
+    auto sim = std::make_unique<core::Simulator>(stochastic_net(), options);
+    configure_scheduled_churn(*sim);
+    return sim;
+  };
+
+  auto reference = build();
+  reference->run(kHorizon);
+  const std::vector<PacketCount> want(reference->queues().begin(),
+                                      reference->queues().end());
+
+  for (const std::uint32_t save_shards : {1u, 8u}) {
+    for (const std::uint32_t resume_shards : {1u, 8u}) {
+      SCOPED_TRACE("save K=" + std::to_string(save_shards) + " resume K=" +
+                   std::to_string(resume_shards));
+      auto first = build();
+      if (save_shards > 1) first->enable_sharding(save_shards, 4);
+      first->run(kBreak);
+      ASSERT_TRUE(first->faults()->churn_overlay_active());
+      std::stringstream blob(std::ios::in | std::ios::out |
+                             std::ios::binary);
+      first->save_checkpoint(blob);
+
+      auto resumed = build();
+      if (resume_shards > 1) resumed->enable_sharding(resume_shards, 4);
+      resumed->restore_checkpoint(blob);
+      ASSERT_EQ(resumed->now(), kBreak);
+      resumed->run(kHorizon - kBreak);
+      const std::vector<PacketCount> got(resumed->queues().begin(),
+                                         resumed->queues().end());
       EXPECT_EQ(got, want);
       EXPECT_TRUE(resumed->conserves_packets());
     }

@@ -46,7 +46,7 @@ namespace {
       stderr,
       "usage: %s soak [--scenarios N] [--seed S] [--from FILE]... "
       "[--out DIR] [--deadline-ms N] [--max-attempts N] [--backoff-ms N] "
-      "[--time-budget-ms N] [--shrink] [--shards K]\n"
+      "[--time-budget-ms N] [--shrink] [--shards K] [--churn-bias]\n"
       "       %s shrink FILE [--out DIR] [--probe-deadline-ms N]\n"
       "       %s replay FILE [--expect OUTCOME_FILE]\n",
       argv0, argv0, argv0);
@@ -91,6 +91,7 @@ int cmd_soak(int argc, char** argv) {
   std::vector<std::string> from;
   long long time_budget_ms = 0;
   long long shards = 0;
+  bool churn_bias = false;
   chaos::ExecutorOptions options;
 
   for (int i = 0; i < argc; ++i) {
@@ -132,6 +133,10 @@ int cmd_soak(int argc, char** argv) {
         std::fprintf(stderr, "error: --shards wants a positive count\n");
         std::exit(kExitUsage);
       }
+    } else if (arg == "--churn-bias") {
+      // Generate every scenario with a scripted topology-churn schedule
+      // (the mutate-and-heal family) — the nightly churn soak leg.
+      churn_bias = true;
     } else {
       std::fprintf(stderr, "unknown soak option %s\n", arg.c_str());
       std::exit(kExitUsage);
@@ -157,7 +162,9 @@ int cmd_soak(int argc, char** argv) {
                   std::string(to_string(result)).c_str());
     }
   } else {
-    chaos::ScenarioGenerator generator(seed);
+    chaos::GeneratorOptions gen_options;
+    if (churn_bias) gen_options.p_scheduled_churn = 1.0;
+    chaos::ScenarioGenerator generator(seed, gen_options);
     for (long long i = 0; i < scenarios; ++i) {
       if (chaos::Executor::stop_requested() || !budget_left()) break;
       chaos::ScenarioConfig config = generator.next();

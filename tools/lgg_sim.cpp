@@ -17,6 +17,14 @@
 //     --churn P_OFF P_ON   random edge churn
 //     --faults SPEC        fault schedule (core/faults.hpp grammar), e.g.
 //                          'crash:node=2,at=100,for=50;random_crashes:p=1e-3'
+//                          Scheduled topology churn uses the same grammar:
+//                          'edge_remove:edge=3,at=100;edge_add:edge=3,at=200;
+//                           node_leave:node=5,at=50;node_join:node=5,at=90;
+//                           nudge:node=2,at=10,din=1,dout=-1'
+//                          Schedules are strictly validated (duplicate
+//                          events, add-before-remove, join-before-leave,
+//                          nudges on departed nodes, and overlapping crash
+//                          windows are usage errors, exit 2).
 //     --checkpoint FILE    checkpoint file path
 //     --checkpoint-every N write FILE atomically every N steps
 //     --resume FILE        restore state from FILE before running
@@ -312,11 +320,14 @@ int main(int argc, char** argv) {
       return core::read_network(file);
     }();
 
-    // Parse (and thus validate) the fault spec before running anything.
+    // Parse and strictly validate the fault schedule before running
+    // anything: a structurally buggy schedule (duplicate churn events,
+    // edge_add before edge_remove, overlapping crash windows, ...) is a
+    // usage error, not something to discover 10^6 steps in.
     core::FaultSchedule fault_schedule;
     if (!faults_spec.empty()) {
       fault_schedule = core::parse_fault_spec(faults_spec);
-      fault_schedule.validate(net);
+      fault_schedule.validate_strict(net);
     }
 
     const auto report = core::analyze(net);
@@ -475,6 +486,18 @@ int main(int argc, char** argv) {
                       .c_str(),
                   admission->multiplier(),
                   static_cast<long long>(admission->total_shed()));
+    }
+    if (fault_schedule.has_churn_events() || sim.topology_version() > 0) {
+      std::printf("churn: topology_version=%llu",
+                  static_cast<unsigned long long>(sim.topology_version()));
+      if (admission != nullptr) {
+        std::printf(" cert_patches=%llu cert_recomputes=%llu",
+                    static_cast<unsigned long long>(
+                        admission->sentinel().certificate_patches()),
+                    static_cast<unsigned long long>(
+                        admission->sentinel().certificate_recomputes()));
+      }
+      std::printf("\n");
     }
 
     if (telemetry != nullptr && sink != nullptr) {

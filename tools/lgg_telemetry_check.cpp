@@ -13,6 +13,12 @@
 //   * "event" lines carry t and kind, with seq values non-decreasing;
 //     "governor_mode" events additionally have strictly increasing t
 //     (the governor emits at most one mode transition per step);
+//   * churn events follow the topology-mutation schema: "edge_down" and
+//     "edge_up" carry both endpoints a and b; "node_leave", "node_join"
+//     and "rate_change" carry the node in a; a "node_leave" value (the
+//     wiped queue) is non-negative;
+//   * the sim.topology_version gauge, when present, is a non-negative
+//     monotone non-decreasing counter across snapshots;
 //   * snapshots carrying any "governor.*" gauge carry the full governor
 //     gauge set (multiplier in [0, 1], drift_estimate, mode in {0, 1, 2},
 //     time_in_mode >= 0);
@@ -245,8 +251,11 @@ struct Checker {
   double last_event_seq = 0.0;
   bool have_governor_mode_t = false;
   double last_governor_mode_t = 0.0;
+  bool have_topology_version = false;
+  double last_topology_version = 0.0;
   std::size_t snapshots = 0;
   std::size_t events = 0;
+  std::size_t churn_events = 0;
   std::size_t summaries = 0;
 
   [[nodiscard]] const Value* require(const Value& obj, const char* key,
@@ -401,6 +410,20 @@ struct Checker {
       }
     }
 
+    // Topology churn: the version gauge is a counter bumped once per
+    // mutated step; it can only move forward.
+    const Value* topo = gauges->find("sim.topology_version");
+    if (topo != nullptr) {
+      if (topo->kind != Value::Kind::kNumber || topo->number < 0.0) {
+        throw std::runtime_error("sim.topology_version is not a counter");
+      }
+      if (have_topology_version && topo->number < last_topology_version) {
+        throw std::runtime_error("sim.topology_version decreased");
+      }
+      last_topology_version = topo->number;
+      have_topology_version = true;
+    }
+
     if (strict_bounds) {
       for (const char* gauge :
            {"sim.bound_slack_growth", "sim.bound_slack_state"}) {
@@ -435,6 +458,23 @@ struct Checker {
       }
       last_governor_mode_t = t;
       have_governor_mode_t = true;
+    } else if (kind->string == "edge_down" || kind->string == "edge_up") {
+      // Edge churn carries the endpoints of the flipped edge.
+      require(obj, "a", Value::Kind::kNumber, kind->string.c_str());
+      require(obj, "b", Value::Kind::kNumber, kind->string.c_str());
+      ++churn_events;
+    } else if (kind->string == "node_leave") {
+      require(obj, "a", Value::Kind::kNumber, "node_leave");
+      const Value* value = obj.find("value");
+      if (value != nullptr &&
+          (value->kind != Value::Kind::kNumber || value->number < 0.0)) {
+        throw std::runtime_error("node_leave wiped-queue value is negative");
+      }
+      ++churn_events;
+    } else if (kind->string == "node_join" ||
+               kind->string == "rate_change") {
+      require(obj, "a", Value::Kind::kNumber, kind->string.c_str());
+      ++churn_events;
     }
     ++events;
   }
@@ -514,8 +554,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: empty stream\n");
     return 1;
   }
-  std::printf("valid: %zu lines (%zu snapshots, %zu events, %zu summaries)\n",
-              complete_lines, checker.snapshots, checker.events,
-              checker.summaries);
+  std::printf(
+      "valid: %zu lines (%zu snapshots, %zu events [%zu churn], "
+      "%zu summaries)\n",
+      complete_lines, checker.snapshots, checker.events,
+      checker.churn_events, checker.summaries);
   return 0;
 }
