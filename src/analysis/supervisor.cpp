@@ -18,6 +18,7 @@
 #include "core/checkpoint.hpp"
 #include "core/faults.hpp"
 #include "core/simulator.hpp"
+#include "obs/expose.hpp"
 
 namespace lgg::analysis {
 
@@ -40,26 +41,34 @@ RunSupervisor::RunSupervisor(SupervisorOptions options)
 namespace {
 
 volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_statusz_requested = 0;
 
 extern "C" void supervisor_stop_handler(int) { g_stop_requested = 1; }
+extern "C" void supervisor_statusz_handler(int) { g_statusz_requested = 1; }
 
-/// RAII SIGINT/SIGTERM trap: handlers set only the sig_atomic_t flag
-/// (async-signal safe); the run loop polls it at chunk boundaries.  The
+/// RAII SIGINT/SIGTERM/SIGUSR1 trap: handlers set only sig_atomic_t flags
+/// (async-signal safe); the run loop polls them at chunk boundaries.  The
 /// previous dispositions are restored on destruction, so supervised runs
 /// compose with whatever the embedding tool installed.
 class ScopedSignalTrap {
  public:
   ScopedSignalTrap() {
     g_stop_requested = 0;
+    g_statusz_requested = 0;
     struct sigaction action {};
     action.sa_handler = supervisor_stop_handler;
     sigemptyset(&action.sa_mask);
     sigaction(SIGINT, &action, &old_int_);
     sigaction(SIGTERM, &action, &old_term_);
+    struct sigaction statusz {};
+    statusz.sa_handler = supervisor_statusz_handler;
+    sigemptyset(&statusz.sa_mask);
+    sigaction(SIGUSR1, &statusz, &old_usr1_);
   }
   ~ScopedSignalTrap() {
     sigaction(SIGINT, &old_int_, nullptr);
     sigaction(SIGTERM, &old_term_, nullptr);
+    sigaction(SIGUSR1, &old_usr1_, nullptr);
   }
   ScopedSignalTrap(const ScopedSignalTrap&) = delete;
   ScopedSignalTrap& operator=(const ScopedSignalTrap&) = delete;
@@ -67,10 +76,17 @@ class ScopedSignalTrap {
   [[nodiscard]] static bool stop_requested() {
     return g_stop_requested != 0;
   }
+  /// True once per SIGUSR1: reading consumes the request.
+  [[nodiscard]] static bool take_statusz_request() {
+    if (g_statusz_requested == 0) return false;
+    g_statusz_requested = 0;
+    return true;
+  }
 
  private:
   struct sigaction old_int_ {};
   struct sigaction old_term_ {};
+  struct sigaction old_usr1_ {};
 };
 
 }  // namespace
@@ -144,6 +160,29 @@ SupervisedResult RunSupervisor::run(core::Simulator& sim, TimeStep steps,
   TimeStep next_checkpoint =
       options_.checkpoint_every > 0 ? sim.now() + options_.checkpoint_every
                                     : std::numeric_limits<TimeStep>::max();
+  // Live exposition: periodic and SIGUSR1-triggered statusz snapshots.
+  // Writes are atomic (temp + rename) and read only completed-step state,
+  // so a watcher never perturbs — or tears — the run.
+  std::uint64_t statusz_writes = 0;
+  const auto write_statusz = [&]() {
+    obs::StatuszInfo info;
+    info.label = options_.label;
+    info.step = sim.now();
+    info.potential = sim.network_state();
+    info.total_packets = sim.total_packets();
+    obs::Telemetry* const tel = sim.telemetry();
+    info.snapshots = tel != nullptr ? tel->sequence() : 0;
+    info.flight_recorded = tel != nullptr && tel->flight() != nullptr
+                               ? tel->flight()->recorded()
+                               : 0;
+    info.writes = ++statusz_writes;
+    obs::write_statusz_file(options_.statusz_path, info,
+                            tel != nullptr ? &tel->registry() : nullptr);
+  };
+  TimeStep next_statusz =
+      !options_.statusz_path.empty() && options_.statusz_every > 0
+          ? sim.now() + options_.statusz_every
+          : std::numeric_limits<TimeStep>::max();
   try {
     TimeStep remaining = steps;
     while (remaining > 0) {
@@ -159,16 +198,37 @@ SupervisedResult RunSupervisor::run(core::Simulator& sim, TimeStep steps,
         result.error = "stopped by signal at step " +
                        std::to_string(static_cast<long long>(sim.now()));
         result.crash_dump_path = write_crash_dump(sim, result.error);
+        if (!options_.statusz_path.empty()) write_statusz();
         return result;
+      }
+      if (trap && !options_.statusz_path.empty() &&
+          ScopedSignalTrap::take_statusz_request()) {
+        // SIGUSR1: statusz plus a flight-recorder dump, then keep going —
+        // the flight ring is read-only here, so the trajectory is
+        // untouched.
+        write_statusz();
+        if (sim.telemetry() != nullptr &&
+            sim.telemetry()->flight() != nullptr) {
+          std::ostringstream events;
+          sim.telemetry()->dump_flight(events);
+          obs::write_file_atomic(options_.statusz_path + ".events.jsonl",
+                                 events.str());
+        }
       }
       // Shrink the chunk so checkpoints land exactly on multiples of
       // checkpoint_every — a resumed run then restarts at a predictable
       // step instead of whatever health-check boundary came next.
-      const TimeStep chunk = std::min(
-          {remaining, options_.check_every, next_checkpoint - sim.now()});
+      const TimeStep chunk =
+          std::min({remaining, options_.check_every,
+                    next_checkpoint - sim.now(), next_statusz - sim.now()});
       sim.run(chunk, recorder);
       remaining -= chunk;
       result.steps_done += chunk;
+
+      if (sim.now() >= next_statusz) {
+        write_statusz();
+        next_statusz = sim.now() + options_.statusz_every;
+      }
 
       if (sentinel.has_value()) {
         const double potential = sim.network_state();
@@ -210,6 +270,8 @@ SupervisedResult RunSupervisor::run(core::Simulator& sim, TimeStep steps,
     result.error = e.what();
     result.crash_dump_path = write_crash_dump(sim, result.error);
   }
+  // Final exposition so watchers see the terminal state (ok or failed).
+  if (!options_.statusz_path.empty()) write_statusz();
   return result;
 }
 

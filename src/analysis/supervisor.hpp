@@ -89,8 +89,18 @@ struct SupervisorOptions {
   /// graceful stop at the next chunk boundary, after which a final atomic
   /// checkpoint (when checkpoint_path is set) and a flight-recorder dump
   /// (when crash_dump_dir is set and telemetry is attached) are written.
-  /// The previous handlers are restored when run() returns.
+  /// The previous handlers are restored when run() returns.  SIGUSR1 is
+  /// trapped alongside: it requests a statusz + flight-recorder snapshot
+  /// at the next chunk boundary (statusz_path must be set) and the run
+  /// continues undisturbed.
   bool handle_signals = false;
+  /// Live exposition: when non-empty, a Prometheus-text statusz snapshot
+  /// (obs/expose.hpp) is written atomically to this path — periodically,
+  /// on SIGUSR1, and once more when run() returns.  A SIGUSR1-triggered
+  /// write also dumps the flight ring to `statusz_path + ".events.jsonl"`.
+  std::string statusz_path;
+  /// Steps between periodic statusz writes; 0 = only on SIGUSR1/run end.
+  TimeStep statusz_every = 0;
 };
 
 struct SupervisedResult {

@@ -18,6 +18,7 @@
 
 #include "chaos/shrink.hpp"
 #include "common/exit_codes.hpp"
+#include "obs/expose.hpp"
 
 namespace lgg::chaos {
 
@@ -315,6 +316,29 @@ void Executor::write_summary() const {
   for (const std::string& line : events_) os << line << '\n';
   atomic_write_text(fs::path(options_.out_dir) / "soak-summary.txt",
                     os.str());
+
+  // Prometheus twin: the same totals as lgg_soak_* counters, one scrape-
+  // able file per soak directory.  Rides the same after-every-scenario
+  // hook, so a watcher's view is at most one scenario stale.
+  std::string prom;
+  const auto counter = [&prom](std::string_view name, std::size_t value) {
+    prom += "# TYPE ";
+    prom.append(name.begin(), name.end());
+    prom += " counter\n";
+    prom.append(name.begin(), name.end());
+    prom.push_back(' ');
+    prom += std::to_string(value);
+    prom.push_back('\n');
+  };
+  counter("lgg_soak_scenarios", totals_.scenarios);
+  counter("lgg_soak_ok", totals_.ok);
+  counter("lgg_soak_findings", totals_.findings);
+  counter("lgg_soak_diverged", totals_.diverged);
+  counter("lgg_soak_timeouts", totals_.timeouts);
+  counter("lgg_soak_quarantined", totals_.quarantined);
+  counter("lgg_soak_retries", totals_.retries);
+  obs::write_file_atomic(
+      (fs::path(options_.out_dir) / "soak-status.prom").string(), prom);
 }
 
 }  // namespace lgg::chaos

@@ -76,7 +76,10 @@ class Executor {
   [[nodiscard]] const SoakTotals& totals() const { return totals_; }
   /// "soak: scenarios=... ok=... violations=..." — the line tests grep.
   [[nodiscard]] std::string summary_line() const;
-  /// Atomic (temp + rename) rewrite of out_dir/soak-summary.txt.
+  /// Atomic (temp + rename) rewrite of out_dir/soak-summary.txt, plus a
+  /// Prometheus-text twin at out_dir/soak-status.prom (obs/expose.hpp) so
+  /// a long soak is scrapeable with the same textfile-collector plumbing
+  /// as a supervised run's statusz.
   void write_summary() const;
 
   /// Installs SIGINT/SIGTERM handlers that set the stop flag (async-signal

@@ -66,7 +66,10 @@ inline constexpr char kCheckpointMagic[8] = {'L', 'G', 'G', 'C',
 /// specs, which also rebuilds the role indices (and, when sharding is
 /// enabled, the per-shard role lists), so a mid-churn resume is bitwise
 /// identical to the uninterrupted run.
-inline constexpr std::uint32_t kCheckpointVersion = 5;
+/// v6: the telemetry section gains a hotspot-tracker subsection (strict
+/// presence byte + both Space-Saving sketches) after the flight ring, so
+/// a resumed run with --hotspots emits byte-identical "hotspots" lines.
+inline constexpr std::uint32_t kCheckpointVersion = 6;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).  `seed` chains
 /// incremental computations; pass the previous return value.

@@ -124,12 +124,26 @@ StepStats ParallelStepEngine::step(Simulator& sim) {
   }
 
   StepProfiler* const prof = sim.profiler_;
+  obs::SpanTracer* const trc = sim.tracer_;
+  // Lane 0 belongs to the main thread, lane s+1 to shard s; grown here,
+  // outside the parallel region, so workers only ever index existing lanes.
+  if (trc != nullptr) trc->ensure_lanes(shards_.size() + 1);
+  const auto record_main_span = [&](StepPhase phase,
+                                    StepProfiler::Clock::time_point from,
+                                    StepProfiler::Clock::time_point to) {
+    trc->lane(0).record({static_cast<std::uint64_t>(sim.t_),
+                         trc->since_epoch(from), nanos_between(from, to),
+                         obs::current_thread_index(),
+                         static_cast<std::uint16_t>(phase),
+                         obs::kSerialShard});
+  };
   StepProfiler::Clock::time_point mark{};
-  if (prof != nullptr) mark = StepProfiler::Clock::now();
+  if (prof != nullptr || trc != nullptr) mark = StepProfiler::Clock::now();
   const auto lap = [&](StepPhase phase, std::uint64_t items) {
-    if (prof == nullptr) return;
+    if (prof == nullptr && trc == nullptr) return;
     const auto now = StepProfiler::Clock::now();
-    prof->record(phase, nanos_between(mark, now), items);
+    if (prof != nullptr) prof->record(phase, nanos_between(mark, now), items);
+    if (trc != nullptr) record_main_span(phase, mark, now);
     mark = now;
   };
   // Sharded-phase lap: wall time is the main thread's fan-out-to-join span
@@ -137,27 +151,37 @@ StepStats ParallelStepEngine::step(Simulator& sim) {
   // sum to the step wall time), CPU time is the sum of per-shard busy
   // spans measured inside the workers.
   const auto lap_parallel = [&](StepPhase phase, std::uint64_t items) {
-    if (prof == nullptr) return;
+    if (prof == nullptr && trc == nullptr) return;
     const auto now = StepProfiler::Clock::now();
-    std::uint64_t cpu = 0;
-    for (const ShardScratch& sh : shards_) cpu += sh.busy_nanos;
-    prof->record_parallel(phase, nanos_between(mark, now), cpu, items);
+    if (prof != nullptr) {
+      std::uint64_t cpu = 0;
+      for (const ShardScratch& sh : shards_) cpu += sh.busy_nanos;
+      prof->record_parallel(phase, nanos_between(mark, now), cpu, items);
+    }
+    if (trc != nullptr) record_main_span(phase, mark, now);
     mark = now;
   };
   // Fans `body(shard, scratch)` out over the pool; exceptions from any
   // shard (e.g. LGG_REQUIRE failures) rethrow here, exactly like the
-  // serial engine's in-line checks.
-  const auto run_shards = [&](const auto& body) {
+  // serial engine's in-line checks.  `phase` labels the per-shard spans.
+  const auto run_shards = [&](StepPhase phase, const auto& body) {
     analysis::parallel_for(
         pool_, shards_.size(), [&](std::size_t s) {
-          if (prof == nullptr) {
+          if (prof == nullptr && trc == nullptr) {
             body(s, shards_[s]);
             return;
           }
           const auto start = StepProfiler::Clock::now();
           body(s, shards_[s]);
-          shards_[s].busy_nanos =
-              nanos_between(start, StepProfiler::Clock::now());
+          const auto end = StepProfiler::Clock::now();
+          shards_[s].busy_nanos = nanos_between(start, end);
+          if (trc != nullptr) {
+            trc->lane(s + 1).record(
+                {static_cast<std::uint64_t>(sim.t_), trc->since_epoch(start),
+                 nanos_between(start, end), obs::current_thread_index(),
+                 static_cast<std::uint16_t>(phase),
+                 static_cast<std::uint16_t>(s)});
+          }
         });
   };
 
@@ -177,7 +201,7 @@ StepStats ParallelStepEngine::step(Simulator& sim) {
     sim.phase_injection_serial(stats, tel, active_mask);
     lap(StepPhase::kInjection, static_cast<std::uint64_t>(stats.injected));
   } else {
-    run_shards([&](std::size_t s, ShardScratch& sh) {
+    run_shards(StepPhase::kInjection, [&](std::size_t s, ShardScratch& sh) {
       for (const NodeId v : plan_.shards[s].sources) {
         const NodeSpec& spec = sim.net_.spec(v);
         Rng rng = sim.phase_rng(StepPhase::kInjection,
@@ -216,7 +240,7 @@ StepStats ParallelStepEngine::step(Simulator& sim) {
   // stream and keep the serial path.
   sim.txs_.clear();
   if (sim.protocol_->local_selection()) {
-    run_shards([&](std::size_t s, ShardScratch& sh) {
+    run_shards(StepPhase::kSelection, [&](std::size_t s, ShardScratch& sh) {
       sh.txs.clear();
       sh.active_nodes = sim.protocol_->select_for_nodes(
           view, plan_.shards[s].nodes, sh.txs);
@@ -279,7 +303,7 @@ StepStats ParallelStepEngine::step(Simulator& sim) {
     Rng rng = sim.phase_rng(StepPhase::kLossApply);
     sim.loss_->mark_losses(view, sim.txs_, rng, sim.lost_);
   }
-  run_shards([&](std::size_t s, ShardScratch& sh) {
+  run_shards(StepPhase::kLossApply, [&](std::size_t s, ShardScratch& sh) {
     const std::uint32_t shard = static_cast<std::uint32_t>(s);
     for (std::size_t i = 0; i < sim.txs_.size(); ++i) {
       if (!sim.keep_[i]) continue;
@@ -314,7 +338,7 @@ StepStats ParallelStepEngine::step(Simulator& sim) {
 
   // 8. Extraction — sharded over each shard's sinks; every sink's draw is
   // addressed and every mutation is owner-exclusive.
-  run_shards([&](std::size_t s, ShardScratch& sh) {
+  run_shards(StepPhase::kExtraction, [&](std::size_t s, ShardScratch& sh) {
     for (const NodeId v : plan_.shards[s].sinks) {
       if (sim.faults_ != nullptr &&
           (sim.faults_->node_down(v) || sim.faults_->sink_out(v))) {

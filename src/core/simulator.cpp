@@ -77,6 +77,13 @@ void Simulator::set_telemetry(obs::Telemetry* telemetry) {
   register_component_metrics();
 }
 
+void Simulator::set_tracer(obs::SpanTracer* tracer) {
+  tracer_ = tracer;
+  // Lane 0 is the main thread's; the shard engine grows the set to one
+  // lane per shard at the top of its step.
+  if (tracer_ != nullptr) tracer_->ensure_lanes(1);
+}
+
 void Simulator::set_admission(AdmissionController* admission) {
   admission_ = admission;
   if (telemetry_ != nullptr && admission_ != nullptr) {
@@ -423,6 +430,7 @@ void Simulator::step_epilogue(StepStats& stats, obs::Telemetry* tel,
     sample.extracted = stats.extracted;
     sample.crash_wiped = stats.crash_wiped;
     sample.shed = stats.shed;
+    sample.queues = queue_;
     tel->end_step(sample);
   }
   if (observer_ != nullptr) {
@@ -457,20 +465,26 @@ StepStats Simulator::step_serial() {
   StepStats stats;
   obs::Telemetry* const tel = arm_telemetry();
 
-  // Phase timing: two clock reads per phase when a profiler is attached,
-  // nothing otherwise.
+  // Phase timing: two clock reads per phase when a profiler or tracer is
+  // attached, nothing otherwise.
   StepProfiler* const prof = profiler_;
+  obs::SpanTracer* const trc = tracer_;
   StepProfiler::Clock::time_point mark{};
-  if (prof != nullptr) mark = StepProfiler::Clock::now();
+  if (prof != nullptr || trc != nullptr) mark = StepProfiler::Clock::now();
   const auto lap = [&](StepPhase phase, std::uint64_t items) {
-    if (prof == nullptr) return;
+    if (prof == nullptr && trc == nullptr) return;
     const auto now = StepProfiler::Clock::now();
-    prof->record(phase,
-                 static_cast<std::uint64_t>(
-                     std::chrono::duration_cast<std::chrono::nanoseconds>(
-                         now - mark)
-                         .count()),
-                 items);
+    const auto nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - mark)
+            .count());
+    if (prof != nullptr) prof->record(phase, nanos, items);
+    if (trc != nullptr) {
+      trc->lane(0).record({static_cast<std::uint64_t>(t_),
+                           trc->since_epoch(mark), nanos,
+                           obs::current_thread_index(),
+                           static_cast<std::uint16_t>(phase),
+                           obs::kSerialShard});
+    }
     mark = now;
   };
 

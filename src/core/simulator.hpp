@@ -34,6 +34,7 @@
 #include "core/metrics.hpp"
 #include "core/profiler.hpp"
 #include "core/protocol.hpp"
+#include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 
 namespace lgg::core {
@@ -183,6 +184,14 @@ class Simulator {
   /// reads per phase while attached, nothing when detached.
   void set_profiler(StepProfiler* profiler) { profiler_ = profiler; }
 
+  /// Attaches a span tracer (obs/span.hpp): every phase — per shard when
+  /// the shard engine runs — records a (step, phase, shard, thread,
+  /// t_start, dur) span into a preallocated ring, exportable as a Chrome
+  /// trace.  Not owned; pass nullptr to detach.  Spans read clocks only —
+  /// no RNG, no queue access, no telemetry writes — so attaching a tracer
+  /// never perturbs the trajectory or the telemetry bytes.
+  void set_tracer(obs::SpanTracer* tracer);
+
   /// Attaches a telemetry session (obs/telemetry.hpp): metric registry,
   /// per-node drift attribution, flight recorder, JSONL snapshots.  Not
   /// owned; pass nullptr to detach.  Binds the session to this network
@@ -331,6 +340,7 @@ class Simulator {
 
   StepObserver* observer_ = nullptr;
   StepProfiler* profiler_ = nullptr;
+  obs::SpanTracer* tracer_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
   obs::DriftAttributor* drift_ = nullptr;  // non-null only while armed
   obs::Gauge* topology_gauge_ = nullptr;   // "sim.topology_version"

@@ -1,0 +1,153 @@
+#include "obs/expose.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace lgg::obs {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "lgg_";
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') {
+    out.push_back('_');
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+void append_value(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += "NaN";
+  } else if (std::isinf(value)) {
+    out += value > 0 ? "+Inf" : "-Inf";
+  } else {
+    append_json_double(out, value);
+  }
+}
+
+void append_sample(std::string& out, const std::string& name, double value) {
+  out += name;
+  out.push_back(' ');
+  append_value(out, value);
+  out.push_back('\n');
+}
+
+void append_type(std::string& out, const std::string& name,
+                 std::string_view type) {
+  out += "# TYPE ";
+  out += name;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string render_statusz(const StatuszInfo& info,
+                           const MetricRegistry* registry) {
+  std::string out;
+  out.reserve(4096);
+  out += "# lgg statusz snapshot (label=";
+  out.append(info.label.begin(), info.label.end());
+  out += ")\n";
+
+  append_type(out, "lgg_statusz_step", "gauge");
+  append_sample(out, "lgg_statusz_step", static_cast<double>(info.step));
+  append_type(out, "lgg_statusz_potential", "gauge");
+  append_sample(out, "lgg_statusz_potential", info.potential);
+  append_type(out, "lgg_statusz_total_packets", "gauge");
+  append_sample(out, "lgg_statusz_total_packets",
+                static_cast<double>(info.total_packets));
+  append_type(out, "lgg_statusz_snapshots", "counter");
+  append_sample(out, "lgg_statusz_snapshots",
+                static_cast<double>(info.snapshots));
+  append_type(out, "lgg_statusz_flight_recorded", "counter");
+  append_sample(out, "lgg_statusz_flight_recorded",
+                static_cast<double>(info.flight_recorded));
+  append_type(out, "lgg_statusz_writes", "counter");
+  append_sample(out, "lgg_statusz_writes", static_cast<double>(info.writes));
+
+  if (registry == nullptr) return out;
+  registry->for_each([&out](std::string_view name, MetricKind kind,
+                            const Counter* counter, const Gauge* gauge,
+                            const Histogram* histogram) {
+    const std::string prom = prometheus_name(name);
+    switch (kind) {
+      case MetricKind::kCounter:
+        append_type(out, prom, "counter");
+        append_sample(out, prom, static_cast<double>(counter->value()));
+        break;
+      case MetricKind::kGauge:
+        append_type(out, prom, "gauge");
+        append_sample(out, prom, gauge->value());
+        break;
+      case MetricKind::kHistogram: {
+        append_type(out, prom, "histogram");
+        // Cumulative le-buckets over the registry's log2 bucketing:
+        // bucket i counts samples <= 2^(i-1) (i == 0: <= 0); emit only up
+        // to the last occupied bucket, then the mandatory +Inf.
+        std::size_t last = 0;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          if (histogram->bucket(i) != 0) last = i;
+        }
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= last && i + 1 < Histogram::kBuckets;
+             ++i) {
+          cumulative += histogram->bucket(i);
+          out += prom;
+          out += "_bucket{le=\"";
+          append_value(out,
+                       i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1));
+          out += "\"} ";
+          append_value(out, static_cast<double>(cumulative));
+          out.push_back('\n');
+        }
+        out += prom;
+        out += "_bucket{le=\"+Inf\"} ";
+        append_value(out, static_cast<double>(histogram->count()));
+        out.push_back('\n');
+        append_sample(out, prom + "_sum", histogram->sum());
+        append_sample(out, prom + "_count",
+                      static_cast<double>(histogram->count()));
+        break;
+      }
+    }
+  });
+  return out;
+}
+
+bool write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc | std::ios::binary);
+    if (!os.is_open()) return false;
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool write_statusz_file(const std::string& path, const StatuszInfo& info,
+                        const MetricRegistry* registry) {
+  return write_file_atomic(path, render_statusz(info, registry));
+}
+
+}  // namespace lgg::obs

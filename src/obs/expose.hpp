@@ -1,0 +1,59 @@
+// Live exposition: Prometheus-text statusz snapshots for running sims.
+//
+// A multi-hour supervised run or chaos soak should be observable without
+// pausing it.  The mechanism is deliberately primitive and crash-proof:
+// the supervisor renders the attached metric registry (plus a small
+// always-present info block) into the Prometheus text exposition format
+// and writes it to a well-known path via temp-file + atomic rename, so
+// any scrape — `cat`, node_exporter's textfile collector, a watch(1)
+// loop — always sees a complete, consistent snapshot and never a torn
+// write.  Snapshots are written every statusz_every steps and on
+// SIGUSR1 (analysis/supervisor.hpp), which additionally dumps the
+// flight-recorder ring next to the statusz file.
+//
+// Metric names are sanitized to the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) with an "lgg_" prefix: "sim.P" becomes
+// "lgg_sim_P".  Histograms render as cumulative le-buckets mirroring the
+// registry's log2 bucketing, plus _sum and _count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lgg::obs {
+
+class MetricRegistry;
+
+/// "sim.P" -> "lgg_sim_P": every byte outside [a-zA-Z0-9_:] becomes '_',
+/// and a leading digit gains a '_' guard after the prefix.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// The always-present info block of a statusz snapshot — available even
+/// when no telemetry session (and hence no registry) is attached.
+struct StatuszInfo {
+  std::string_view label = "run";
+  std::int64_t step = 0;
+  double potential = 0.0;
+  std::int64_t total_packets = 0;
+  std::uint64_t snapshots = 0;       ///< telemetry snapshots emitted
+  std::uint64_t flight_recorded = 0; ///< flight events ever recorded
+  std::uint64_t writes = 0;          ///< statusz snapshots written so far
+};
+
+/// Renders the info block plus (when `registry` is non-null) every
+/// registered metric in Prometheus text exposition format.
+[[nodiscard]] std::string render_statusz(const StatuszInfo& info,
+                                         const MetricRegistry* registry);
+
+/// Writes `content` to `path` via temp file + rename so readers never
+/// see a torn snapshot.  Returns false (leaving no temp file behind) on
+/// any I/O failure — exposition must never take down the run it
+/// observes.
+bool write_file_atomic(const std::string& path, std::string_view content);
+
+/// render_statusz + write_file_atomic in one call.
+bool write_statusz_file(const std::string& path, const StatuszInfo& info,
+                        const MetricRegistry* registry);
+
+}  // namespace lgg::obs

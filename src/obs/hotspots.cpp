@@ -1,0 +1,179 @@
+#include "obs/hotspots.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/binio.hpp"
+#include "common/require.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace lgg::obs {
+
+SpaceSaving::SpaceSaving(std::size_t k) : k_(k) {
+  LGG_REQUIRE(k >= 1, "SpaceSaving: k >= 1");
+  entries_.reserve(k);
+  index_.reserve(k * 2);
+}
+
+void SpaceSaving::update(std::uint64_t key, std::uint64_t weight) {
+  total_ += weight;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    entries_[it->second].weight += weight;
+    return;
+  }
+  if (entries_.size() < k_) {
+    index_.emplace(key, entries_.size());
+    entries_.push_back({key, weight, 0});
+    return;
+  }
+  // Evict the minimum-(weight, key) entry: the classic Space-Saving
+  // replacement, with the key tie-break pinning determinism when several
+  // monitored entries share the minimum weight.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const Entry& best = entries_[victim];
+    if (e.weight < best.weight ||
+        (e.weight == best.weight && e.key < best.key)) {
+      victim = i;
+    }
+  }
+  Entry& slot = entries_[victim];
+  index_.erase(slot.key);
+  index_.emplace(key, victim);
+  slot.error = slot.weight;
+  slot.weight += weight;
+  slot.key = key;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top() const {
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+void SpaceSaving::clear() {
+  total_ = 0;
+  entries_.clear();
+  index_.clear();
+}
+
+void SpaceSaving::save_state(std::ostream& os) const {
+  binio::write_u64(os, static_cast<std::uint64_t>(k_));
+  binio::write_u64(os, total_);
+  binio::write_u64(os, static_cast<std::uint64_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    binio::write_u64(os, e.key);
+    binio::write_u64(os, e.weight);
+    binio::write_u64(os, e.error);
+  }
+}
+
+void SpaceSaving::load_state(std::istream& is) {
+  const std::uint64_t k = binio::read_u64(is);
+  if (k != k_) {
+    throw std::runtime_error(
+        "SpaceSaving: checkpoint k does not match this sketch");
+  }
+  total_ = binio::read_u64(is);
+  const std::uint64_t size = binio::read_u64(is);
+  if (size > k_) {
+    throw std::runtime_error("SpaceSaving: corrupt checkpoint entry count");
+  }
+  entries_.clear();
+  index_.clear();
+  for (std::uint64_t i = 0; i < size; ++i) {
+    Entry e;
+    e.key = binio::read_u64(is);
+    e.weight = binio::read_u64(is);
+    e.error = binio::read_u64(is);
+    index_.emplace(e.key, entries_.size());
+    entries_.push_back(e);
+  }
+}
+
+HotspotTracker::HotspotTracker(std::size_t k, MetricRegistry& registry)
+    : drift_(k),
+      queue_(k),
+      occupancy_(&registry.histogram("sim.queue_occupancy")) {}
+
+void HotspotTracker::observe_occupancy(PacketCount queue) {
+  occupancy_->observe(static_cast<double>(queue));
+}
+
+namespace {
+
+void write_entries(JsonWriter& json, std::string_view key,
+                   const std::vector<SpaceSaving::Entry>& entries) {
+  json.begin_array(key);
+  for (const SpaceSaving::Entry& e : entries) {
+    json.begin_object();
+    json.field("v", static_cast<std::int64_t>(e.key));
+    json.field("w", e.weight);
+    json.field("err", e.error);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+}  // namespace
+
+void HotspotTracker::write_snapshot(JsonWriter& json, std::uint64_t seq,
+                                    TimeStep t) const {
+  json.begin_object();
+  json.field("type", "hotspots");
+  json.field("seq", seq);
+  json.field("t", static_cast<std::int64_t>(t));
+  json.field("k", static_cast<std::uint64_t>(drift_.k()));
+  json.field("drift_total", drift_.total_weight());
+  json.field("queue_total", queue_.total_weight());
+  write_entries(json, "drift", drift_.top());
+  write_entries(json, "queue", queue_.top());
+  json.end_object();
+}
+
+std::string HotspotTracker::summary_table() const {
+  std::ostringstream os;
+  const auto table = [&os](std::string_view title,
+                           const std::vector<SpaceSaving::Entry>& entries,
+                           std::uint64_t total) {
+    os << title << " (total weight " << total << "):\n";
+    if (entries.empty()) {
+      os << "  (no contributions recorded)\n";
+      return;
+    }
+    os << "  node          weight           err\n";
+    for (const SpaceSaving::Entry& e : entries) {
+      char line[96];
+      std::snprintf(line, sizeof(line), "  %-8llu %12llu  %12llu\n",
+                    static_cast<unsigned long long>(e.key),
+                    static_cast<unsigned long long>(e.weight),
+                    static_cast<unsigned long long>(e.error));
+      os << line;
+    }
+  };
+  table("hotspots: top-K positive drift dP+", drift_.top(),
+        drift_.total_weight());
+  table("hotspots: top-K queue occupancy", queue_.top(),
+        queue_.total_weight());
+  return os.str();
+}
+
+void HotspotTracker::save_state(std::ostream& os) const {
+  drift_.save_state(os);
+  queue_.save_state(os);
+}
+
+void HotspotTracker::load_state(std::istream& is) {
+  drift_.load_state(is);
+  queue_.load_state(is);
+}
+
+}  // namespace lgg::obs

@@ -1,0 +1,129 @@
+// Hotspot analytics: which nodes are dragging P_t = Σq² upward.
+//
+// The paper's stability argument is entirely about drift concentration
+// (Property 1 / Lemma 1), and the Dieker–Shin quadratic-Lyapunov framing
+// makes the per-node drift share the decisive diagnostic: a few nodes
+// accumulating positive δ(2q+δ) contributions predict instability long
+// before a global threshold fires.  At production scale an O(n) scan per
+// step is off the table, so this module keeps two Space-Saving top-K
+// sketches (Metwally et al., "Efficient computation of frequent and
+// top-k elements in data streams"):
+//
+//   * drift  — weighted by each touched node's positive per-step ΔP
+//              contribution (the exact value the DriftAttributor already
+//              computed at the queue-mutation funnel);
+//   * queue  — weighted by each touched node's post-step queue length
+//              (time-integrated occupancy over its active steps);
+//
+// plus a log2 queue-occupancy histogram registered as
+// "sim.queue_occupancy".  Updates are O(1) amortized per *touched* node
+// (O(K) worst case on an eviction, with K a small constant) — never a
+// scan over n.  Feeding happens in ascending node order over the exact
+// touched set, which the shard engine reproduces bit-for-bit, so sketch
+// state — and therefore every emitted "hotspots" JSONL line — is
+// deterministic across shard and thread counts.
+//
+// Space-Saving guarantee (tests/obs/hotspots_test.cpp): for every
+// reported entry, true_weight <= weight and weight - error <=
+// true_weight; any key whose true weight exceeds total_weight / K is
+// present in the sketch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lgg::obs {
+
+class JsonWriter;
+class Histogram;
+class MetricRegistry;
+
+/// Deterministic weighted Space-Saving sketch over uint64 keys.
+class SpaceSaving {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t weight = 0;  ///< over-estimate of the key's true weight
+    std::uint64_t error = 0;   ///< weight - error <= true weight
+  };
+
+  /// `k` is the number of monitored counters (>= 1).
+  explicit SpaceSaving(std::size_t k);
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] std::uint64_t total_weight() const { return total_; }
+
+  /// O(1) amortized: hash lookup on hits, O(K) min scan on an eviction.
+  void update(std::uint64_t key, std::uint64_t weight);
+
+  /// Monitored entries sorted by weight descending, key ascending on
+  /// ties — the monotonic order the telemetry checker validates.
+  [[nodiscard]] std::vector<Entry> top() const;
+
+  void clear();
+
+  /// Checkpoint support: entries in slot order plus the total.
+  /// load_state throws std::runtime_error when the saved k differs.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
+ private:
+  std::size_t k_;
+  std::uint64_t total_ = 0;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+/// The per-run hotspot state a Telemetry session owns when hotspot_k is
+/// configured.  Fed once per step from the drift attributor's touched
+/// set; emitted as a {"type":"hotspots"} JSONL line per snapshot and as
+/// a run-end summary table.
+class HotspotTracker {
+ public:
+  /// Registers the "sim.queue_occupancy" histogram into `registry`.
+  HotspotTracker(std::size_t k, MetricRegistry& registry);
+
+  [[nodiscard]] std::size_t k() const { return drift_.k(); }
+  [[nodiscard]] const SpaceSaving& drift_sketch() const { return drift_; }
+  [[nodiscard]] const SpaceSaving& queue_sketch() const { return queue_; }
+
+  /// One touched node's end-of-step observation: `drift` is the node's
+  /// signed ΔP contribution this step, `queue` its post-step length.
+  void observe(NodeId v, std::int64_t drift, PacketCount queue) {
+    if (drift > 0) {
+      drift_.update(static_cast<std::uint64_t>(v),
+                    static_cast<std::uint64_t>(drift));
+    }
+    if (queue > 0) {
+      queue_.update(static_cast<std::uint64_t>(v),
+                    static_cast<std::uint64_t>(queue));
+    }
+    observe_occupancy(queue);
+  }
+
+  /// Emits {"type":"hotspots","seq":...,"t":...,"k":...,"drift":[...],
+  /// "queue":[...]} into `json` (a fresh top-level document).
+  void write_snapshot(JsonWriter& json, std::uint64_t seq, TimeStep t) const;
+
+  /// Human-readable run-end table of both top-K lists.
+  [[nodiscard]] std::string summary_table() const;
+
+  /// Checkpoint support for the sketch state (the histogram is a
+  /// registry metric and rides the registry's own state).
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
+ private:
+  void observe_occupancy(PacketCount queue);
+
+  SpaceSaving drift_;
+  SpaceSaving queue_;
+  Histogram* occupancy_;  // owned by the registry
+};
+
+}  // namespace lgg::obs

@@ -2,32 +2,89 @@
 
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 #include "common/require.hpp"
 
 namespace lgg::obs {
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at text[i], or 0 when the
+/// bytes there are not well-formed UTF-8 (truncated sequence, stray
+/// continuation byte, overlong encoding, surrogate, or > U+10FFFF).
+[[nodiscard]] std::size_t utf8_sequence_length(std::string_view text,
+                                               std::size_t i) {
+  const auto byte = [&](std::size_t j) {
+    return static_cast<unsigned char>(text[j]);
+  };
+  const unsigned char b0 = byte(i);
+  std::size_t len = 0;
+  std::uint32_t code = 0;
+  std::uint32_t min_code = 0;
+  if ((b0 & 0xe0) == 0xc0) {
+    len = 2;
+    code = b0 & 0x1f;
+    min_code = 0x80;
+  } else if ((b0 & 0xf0) == 0xe0) {
+    len = 3;
+    code = b0 & 0x0f;
+    min_code = 0x800;
+  } else if ((b0 & 0xf8) == 0xf0) {
+    len = 4;
+    code = b0 & 0x07;
+    min_code = 0x10000;
+  } else {
+    return 0;  // ASCII is handled by the caller; anything else is invalid
+  }
+  if (i + len > text.size()) return 0;
+  for (std::size_t j = 1; j < len; ++j) {
+    const unsigned char b = byte(i + j);
+    if ((b & 0xc0) != 0x80) return 0;
+    code = (code << 6) | (b & 0x3f);
+  }
+  if (code < min_code) return 0;                  // overlong encoding
+  if (code >= 0xd800 && code <= 0xdfff) return 0; // UTF-16 surrogate
+  if (code > 0x10ffff) return 0;                  // beyond Unicode
+  return len;
+}
+
+}  // namespace
+
 void append_json_string(std::string& out, std::string_view text) {
   out.push_back('"');
-  for (const char c : text) {
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+      case '"': out += "\\\""; continue;
+      case '\\': out += "\\\\"; continue;
+      case '\b': out += "\\b"; continue;
+      case '\f': out += "\\f"; continue;
+      case '\n': out += "\\n"; continue;
+      case '\r': out += "\\r"; continue;
+      case '\t': out += "\\t"; continue;
+      default: break;
+    }
+    const auto b = static_cast<unsigned char>(c);
+    if (b < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(b));
+      out += buf;
+    } else if (b < 0x80) {
+      out.push_back(c);
+    } else {
+      // Non-ASCII: pass well-formed UTF-8 sequences through verbatim;
+      // replace each invalid byte with U+FFFD so the emitted document is
+      // always valid JSON in valid UTF-8, whatever bytes a label (fault
+      // spec, file path, scenario name) smuggled in.
+      const std::size_t len = utf8_sequence_length(text, i);
+      if (len == 0) {
+        out += "\\ufffd";
+      } else {
+        out.append(text.data() + i, len);
+        i += len - 1;
+      }
     }
   }
   out.push_back('"');

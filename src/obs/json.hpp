@@ -6,6 +6,10 @@
 // number formatting, and nesting rules are identical everywhere:
 //
 //   * strings are escaped per RFC 8259 (control characters as \u00XX);
+//     well-formed UTF-8 passes through verbatim, and every invalid
+//     non-ASCII byte (truncated/overlong sequence, stray continuation,
+//     surrogate) is replaced with U+FFFD — so the output is always valid
+//     JSON in valid UTF-8 even for hostile labels;
 //   * doubles are printed via std::to_chars — the shortest
 //     round-trippable form, byte-stable across runs (a prerequisite for
 //     the checkpoint/resume byte-identical-telemetry guarantee);

@@ -137,6 +137,13 @@ void MetricRegistry::write_snapshot(JsonWriter& json) const {
   json.end_object();
 }
 
+void MetricRegistry::for_each(const MetricVisitor& visit) const {
+  for (const Entry& e : entries_) {
+    visit(e.name, e.kind, e.counter.get(), e.gauge.get(),
+          e.histogram.get());
+  }
+}
+
 void MetricRegistry::save_state(std::ostream& os) const {
   binio::write_u32(os, static_cast<std::uint32_t>(entries_.size()));
   for (const Entry& e : entries_) {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -103,6 +104,16 @@ class MetricRegistry {
   /// Histograms render as {count,sum,min,max,buckets:[{le,n},...]} with
   /// zero buckets omitted.
   void write_snapshot(JsonWriter& json) const;
+
+  /// Visits every metric in registration order (exactly one of the three
+  /// handle pointers is non-null per call).  Exists for renderers that
+  /// need a different output shape than write_snapshot — the Prometheus
+  /// statusz exposition (obs/expose.hpp) is the canonical consumer.
+  using MetricVisitor =
+      std::function<void(std::string_view name, MetricKind kind,
+                         const Counter* counter, const Gauge* gauge,
+                         const Histogram* histogram)>;
+  void for_each(const MetricVisitor& visit) const;
 
   /// Checkpoint support: values only, in registration order.  load_state
   /// requires the same metrics registered in the same order (names and

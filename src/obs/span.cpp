@@ -1,0 +1,119 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace lgg::obs {
+
+std::uint32_t current_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+std::vector<SpanRecord> SpanLane::spans() const {
+  std::vector<SpanRecord> out;
+  out.reserve(size_);
+  if (size_ < ring_.size()) {
+    out.assign(ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(size_));
+  } else {
+    // Full ring: next_ is the oldest slot.
+    out.insert(out.end(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+SpanTracer::SpanTracer(SpanTracerOptions options)
+    : options_(options), epoch_(Clock::now()) {
+  if (options_.lane_capacity == 0) options_.lane_capacity = 1;
+}
+
+void SpanTracer::ensure_lanes(std::size_t lanes) {
+  while (lanes_.size() < lanes) {
+    lanes_.emplace_back(options_.lane_capacity);
+  }
+}
+
+std::size_t SpanTracer::total_spans() const {
+  std::size_t total = 0;
+  for (const SpanLane& lane : lanes_) total += lane.size();
+  return total;
+}
+
+std::uint64_t SpanTracer::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const SpanLane& lane : lanes_) total += lane.dropped();
+  return total;
+}
+
+std::size_t SpanTracer::write_chrome_trace(
+    std::ostream& os, std::span<const std::string_view> phase_names) const {
+  std::vector<SpanRecord> all;
+  all.reserve(total_spans());
+  for (const SpanLane& lane : lanes_) {
+    const std::vector<SpanRecord> spans = lane.spans();
+    all.insert(all.end(), spans.begin(), spans.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.t_start_nanos != b.t_start_nanos) {
+                return a.t_start_nanos < b.t_start_nanos;
+              }
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.step != b.step) return a.step < b.step;
+              return a.phase < b.phase;
+            });
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.begin_object("otherData");
+  json.field("tool", "lgg");
+  json.field("spans", static_cast<std::uint64_t>(all.size()));
+  json.field("dropped", total_dropped());
+  json.end_object();
+  json.begin_array("traceEvents");
+  char phase_fallback[16];
+  for (const SpanRecord& span : all) {
+    json.begin_object();
+    if (span.phase < phase_names.size()) {
+      json.field("name", phase_names[span.phase]);
+    } else {
+      const int n = std::snprintf(phase_fallback, sizeof(phase_fallback),
+                                  "phase%u", static_cast<unsigned>(span.phase));
+      json.field("name", std::string_view(phase_fallback,
+                                          static_cast<std::size_t>(n)));
+    }
+    json.field("cat", "step");
+    json.field("ph", "X");
+    json.field("ts", static_cast<double>(span.t_start_nanos) / 1000.0);
+    json.field("dur", static_cast<double>(span.dur_nanos) / 1000.0);
+    json.field("pid", std::int64_t{1});
+    json.field("tid", static_cast<std::int64_t>(span.tid));
+    json.begin_object("args");
+    json.field("step", span.step);
+    if (span.shard != kSerialShard) {
+      json.field("shard", static_cast<std::int64_t>(span.shard));
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  const std::string& text = json.str();
+  os.write(text.data(), static_cast<std::streamsize>(text.size()));
+  os.put('\n');
+  return all.size();
+}
+
+}  // namespace lgg::obs

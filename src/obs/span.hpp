@@ -1,0 +1,146 @@
+// Per-shard, per-phase span tracing for the step pipeline.
+//
+// A SpanTracer attached to a Simulator (set_tracer) records one span per
+// (step, phase) on the main thread and one span per (step, phase, shard)
+// inside the shard workers, so the fan-out→join critical path of a
+// sharded step is visible per thread.  The cost discipline matches the
+// profiler: nothing when detached, two clock reads plus one ring-slot
+// write per span when attached.  Spans carry *timing only* — no RNG, no
+// queue access, no telemetry writes — so trajectories, telemetry bytes,
+// and checkpoints are bitwise identical with tracing on or off (the
+// ShardEquivalence suite pins this).
+//
+// Storage is one fixed-size ring per lane (lane 0: the main thread;
+// lane s+1: shard s), preallocated at ensure_lanes time, so the hot path
+// never allocates and concurrent shard workers never share a ring.  A
+// full ring overwrites its oldest span (flight-recorder semantics: the
+// trace shows the most recent window; dropped counts are reported).
+//
+// write_chrome_trace emits the Chrome trace-event JSON format
+// (Perfetto-loadable): one complete "X" event per span with ts/dur in
+// microseconds, tid = a dense process-wide thread index, and
+// args.step/args.shard for filtering.  tools/lgg_trace validates and
+// summarizes these files.
+//
+// Layering: lgg_obs sits below the simulator, so phase identities are
+// plain integers here; the embedding core layer supplies display names
+// at export time.
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <iosfwd>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace lgg::obs {
+
+/// Shard field of spans recorded outside any shard worker (serial phases
+/// and the main thread's fan-out→join laps).
+inline constexpr std::uint16_t kSerialShard = 0xffff;
+
+/// Dense process-wide index of the calling thread (assigned on first
+/// use, stable for the thread's lifetime).  Used as the Chrome-trace tid
+/// so per-thread rows stay small and readable.
+[[nodiscard]] std::uint32_t current_thread_index();
+
+struct SpanRecord {
+  std::uint64_t step = 0;
+  std::uint64_t t_start_nanos = 0;  ///< since the tracer's epoch
+  std::uint64_t dur_nanos = 0;
+  std::uint32_t tid = 0;     ///< current_thread_index() of the recorder
+  std::uint16_t phase = 0;   ///< core::StepPhase as an integer
+  std::uint16_t shard = kSerialShard;
+
+  friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
+};
+
+/// One preallocated span ring.  Single-writer: a lane belongs to the
+/// main thread (lane 0) or to exactly one shard (shard workers never
+/// share a shard within a phase), so record() needs no synchronization.
+class SpanLane {
+ public:
+  explicit SpanLane(std::size_t capacity)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
+  void record(const SpanRecord& span) {
+    ring_[next_] = span;
+    next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+    if (size_ < ring_.size()) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Spans overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Oldest-to-newest copy of the ring.
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+
+  void clear() {
+    size_ = 0;
+    next_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::vector<SpanRecord> ring_;
+  std::size_t size_ = 0;
+  std::size_t next_ = 0;  // overwrite cursor (== oldest once full)
+  std::uint64_t dropped_ = 0;
+};
+
+struct SpanTracerOptions {
+  /// Spans retained per lane; the ring overwrites its oldest beyond this.
+  std::size_t lane_capacity = std::size_t{1} << 14;
+};
+
+class SpanTracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit SpanTracer(SpanTracerOptions options = {});
+
+  /// Grows the lane set to at least `lanes` rings (never shrinks).  The
+  /// embedding engine calls this outside the parallel region — lane
+  /// references must not be cached across an ensure_lanes call.
+  void ensure_lanes(std::size_t lanes);
+
+  [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
+  [[nodiscard]] SpanLane& lane(std::size_t i) { return lanes_[i]; }
+  [[nodiscard]] const SpanLane& lane(std::size_t i) const {
+    return lanes_[i];
+  }
+
+  /// Nanoseconds from the tracer's construction to `tp` (span t_start
+  /// values are expressed on this axis).
+  [[nodiscard]] std::uint64_t since_epoch(Clock::time_point tp) const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_)
+            .count());
+  }
+
+  /// Spans currently retained across all lanes.
+  [[nodiscard]] std::size_t total_spans() const;
+  /// Spans overwritten across all lanes.
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+  /// Writes the retained spans as Chrome trace-event JSON ("X" complete
+  /// events, ts/dur in microseconds), sorted by start time.
+  /// `phase_names[p]` labels spans with phase == p; out-of-range phases
+  /// fall back to "phase<p>".  Returns the number of events written.
+  std::size_t write_chrome_trace(
+      std::ostream& os, std::span<const std::string_view> phase_names) const;
+
+ private:
+  SpanTracerOptions options_;
+  Clock::time_point epoch_;
+  std::vector<SpanLane> lanes_;
+};
+
+}  // namespace lgg::obs

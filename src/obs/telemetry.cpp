@@ -1,5 +1,6 @@
 #include "obs/telemetry.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -41,6 +42,11 @@ Telemetry::Telemetry(TelemetryOptions options) : options_(options) {
   slack_growth_ = &registry_.gauge("sim.bound_slack_growth");
   slack_state_ = &registry_.gauge("sim.bound_slack_state");
   step_dp_ = &registry_.histogram("sim.step_dP");
+  // Registered after the standard metrics so the "sim.queue_occupancy"
+  // histogram appends to — never reorders — the snapshot schema.
+  if (options_.hotspot_k > 0) {
+    hotspots_ = std::make_unique<HotspotTracker>(options_.hotspot_k, registry_);
+  }
 }
 
 void Telemetry::set_lemma1_bounds(double growth, double state) {
@@ -76,6 +82,21 @@ void Telemetry::end_step(const StepSample& sample) {
     slack_growth_->set(bounds_->growth - static_cast<double>(dp));
     slack_state_->set(bounds_->state - sample.potential);
   }
+  if (hotspots_ != nullptr) {
+    // Feed the exact touched set in ascending node order.  The serial
+    // engine discovers nodes in phase order and the shard engine in
+    // shard-fold order; sorting erases that difference, so the sketch
+    // state — and every "hotspots" line — is identical across shard and
+    // thread counts.
+    touched_scratch_.assign(drift_.touched().begin(), drift_.touched().end());
+    std::sort(touched_scratch_.begin(), touched_scratch_.end());
+    for (const NodeId v : touched_scratch_) {
+      const auto i = static_cast<std::size_t>(v);
+      const PacketCount queue =
+          i < sample.queues.size() ? sample.queues[i] : 0;
+      hotspots_->observe(v, drift_.node_drift(v), queue);
+    }
+  }
   if (snapshot_due(sample.t)) emit_snapshot(sample);
 }
 
@@ -94,6 +115,9 @@ void Telemetry::emit_snapshot(const StepSample& sample) {
                static_cast<std::int64_t>(options_.snapshot_every));
     json.field("flight_capacity",
                static_cast<std::uint64_t>(options_.flight_capacity));
+    if (options_.hotspot_k > 0) {
+      json.field("hotspot_k", static_cast<std::uint64_t>(options_.hotspot_k));
+    }
     if (bounds_.has_value()) {
       json.field("bound_growth", bounds_->growth);
       json.field("bound_state", bounds_->state);
@@ -112,6 +136,11 @@ void Telemetry::emit_snapshot(const StepSample& sample) {
   drift_.write_snapshot(json);
   json.end_object();
   sink_->write_line(json.str());
+  if (hotspots_ != nullptr) {
+    json.clear();
+    hotspots_->write_snapshot(json, sequence_, sample.t);
+    sink_->write_line(json.str());
+  }
   record_event({sample.t, EventKind::kSnapshot, kInvalidNode, kInvalidNode,
                 static_cast<std::int64_t>(sequence_)});
   ++sequence_;
@@ -133,6 +162,8 @@ void Telemetry::save_state(std::ostream& os) const {
   drift_.save_state(os);
   binio::write_u8(os, flight_ != nullptr ? 1 : 0);
   if (flight_ != nullptr) flight_->save_state(os);
+  binio::write_u8(os, hotspots_ != nullptr ? 1 : 0);
+  if (hotspots_ != nullptr) hotspots_->save_state(os);
 }
 
 void Telemetry::load_state(std::istream& is) {
@@ -146,6 +177,13 @@ void Telemetry::load_state(std::istream& is) {
         "this session's configuration");
   }
   if (flight_ != nullptr) flight_->load_state(is);
+  const std::uint8_t has_hotspots = binio::read_u8(is);
+  if ((has_hotspots != 0) != (hotspots_ != nullptr)) {
+    throw std::runtime_error(
+        "Telemetry: checkpoint hotspot-tracker presence does not match "
+        "this session's configuration");
+  }
+  if (hotspots_ != nullptr) hotspots_->load_state(is);
 }
 
 }  // namespace lgg::obs

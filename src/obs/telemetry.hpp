@@ -33,11 +33,15 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 #include "obs/drift.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/hotspots.hpp"
 #include "obs/registry.hpp"
 
 namespace lgg::obs {
@@ -70,6 +74,12 @@ struct TelemetryOptions {
   TimeStep snapshot_every = 100;
   /// Flight-recorder ring capacity; 0 disables the recorder.
   std::size_t flight_capacity = 0;
+  /// Top-K size of the hotspot sketches (obs/hotspots.hpp); 0 disables
+  /// hotspot analytics.  When enabled, every snapshot is followed by a
+  /// {"type":"hotspots"} line and the "sim.queue_occupancy" histogram is
+  /// registered — enabling it therefore changes the stream's bytes, but
+  /// the bytes stay identical across shard/thread counts and resumes.
+  std::size_t hotspot_k = 0;
 };
 
 /// Everything the simulator reports at the end of one step.  max_queue
@@ -90,6 +100,9 @@ struct StepSample {
   std::int64_t extracted = 0;
   std::int64_t crash_wiped = 0;
   std::int64_t shed = 0;  ///< offered but refused by admission control
+  /// Post-step queue view (set by the simulator every step; read only
+  /// when hotspot analytics are enabled).  Valid during end_step only.
+  std::span<const PacketCount> queues;
 };
 
 class Telemetry {
@@ -103,13 +116,18 @@ class Telemetry {
   /// nullptr when flight_capacity is 0.
   [[nodiscard]] FlightRecorder* flight() { return flight_.get(); }
   [[nodiscard]] const FlightRecorder* flight() const { return flight_.get(); }
+  /// nullptr when hotspot_k is 0.
+  [[nodiscard]] HotspotTracker* hotspots() { return hotspots_.get(); }
+  [[nodiscard]] const HotspotTracker* hotspots() const {
+    return hotspots_.get();
+  }
 
   /// Attaches/detaches the snapshot sink (not owned).
   void set_sink(TelemetrySink* sink) { sink_ = sink; }
   [[nodiscard]] bool has_sink() const { return sink_ != nullptr; }
   /// True when the simulator should feed this session at all.
   [[nodiscard]] bool armed() const {
-    return sink_ != nullptr || flight_ != nullptr;
+    return sink_ != nullptr || flight_ != nullptr || hotspots_ != nullptr;
   }
 
   /// Installs the Lemma 1 constants (core::unsaturated_bounds): `growth`
@@ -157,6 +175,8 @@ class Telemetry {
   MetricRegistry registry_;
   DriftAttributor drift_;
   std::unique_ptr<FlightRecorder> flight_;
+  std::unique_ptr<HotspotTracker> hotspots_;
+  std::vector<NodeId> touched_scratch_;  // sorted copy, reused per step
   TelemetrySink* sink_ = nullptr;
   NodeId node_count_ = 0;
   std::uint64_t sequence_ = 0;

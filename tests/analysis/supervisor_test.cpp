@@ -7,17 +7,21 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "common/require.hpp"
+#include "core/arrival.hpp"
 #include "core/checkpoint.hpp"
 #include "core/scenarios.hpp"
 #include "core/simulator.hpp"
+#include "obs/telemetry.hpp"
 
 namespace lgg::analysis {
 namespace {
@@ -191,6 +195,85 @@ TEST(RunSupervisor, SigtermRequestsGracefulStopWithFinalCheckpoint) {
   auto resumed = make_sim();
   core::restore_checkpoint_file(resumed, ckpt);
   EXPECT_GT(resumed.now(), 0);
+}
+
+namespace {
+
+/// Deterministic arrival that raises SIGUSR1 exactly once, at step 100 —
+/// the in-process way to land a statusz request at a known point of a
+/// supervised run.  The reference run uses the same process with the
+/// raise disabled, so both trajectories inject identically.
+class SignalingArrival final : public core::ArrivalProcess {
+ public:
+  explicit SignalingArrival(bool raise_usr1) : raise_(raise_usr1) {}
+  [[nodiscard]] std::string_view name() const override {
+    return "signaling";
+  }
+  PacketCount packets(NodeId, Cap in_rate, TimeStep t, Rng&) override {
+    if (raise_ && t == 100 && !raised_) {
+      raised_ = true;
+      ::raise(SIGUSR1);
+    }
+    return static_cast<PacketCount>(in_rate);
+  }
+
+ private:
+  bool raise_;
+  bool raised_ = false;
+};
+
+}  // namespace
+
+TEST(RunSupervisor, Sigusr1EmitsStatuszAndFlightDumpWithoutPerturbing) {
+  const std::string dir = ::testing::TempDir() + "/sigusr1";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string statusz = dir + "/statusz.prom";
+  constexpr TimeStep kSteps = 400;
+
+  const auto run = [&](bool supervised_with_signal) {
+    auto sim = make_sim(7);
+    sim.set_arrival(
+        std::make_unique<SignalingArrival>(supervised_with_signal));
+    obs::TelemetryOptions topts;
+    topts.flight_capacity = 32;
+    obs::Telemetry telemetry(topts);
+    sim.set_telemetry(&telemetry);
+    if (supervised_with_signal) {
+      SupervisorOptions options;
+      options.handle_signals = true;  // installs the SIGUSR1 trap
+      options.check_every = 16;
+      options.statusz_path = statusz;
+      options.statusz_every = 0;  // only the signal and the final write
+      const RunSupervisor supervisor(options);
+      const SupervisedResult result = supervisor.run(sim, kSteps);
+      EXPECT_TRUE(result.ok) << result.error;
+      EXPECT_EQ(result.steps_done, kSteps);
+    } else {
+      sim.run(kSteps);
+    }
+    return std::vector<PacketCount>(sim.queues().begin(),
+                                    sim.queues().end());
+  };
+
+  const auto supervised = run(true);
+
+  // The signal write plus the final write both landed (atomically).
+  std::ifstream prom(statusz);
+  ASSERT_TRUE(prom.good()) << "statusz snapshot missing";
+  std::stringstream content;
+  content << prom.rdbuf();
+  EXPECT_NE(content.str().find("lgg_statusz_writes 2"), std::string::npos)
+      << content.str();
+  EXPECT_NE(content.str().find("lgg_statusz_step 400"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(statusz + ".tmp"));
+  // SIGUSR1 also dumps the flight-recorder ring next to the statusz file.
+  EXPECT_TRUE(std::filesystem::exists(statusz + ".events.jsonl"));
+
+  // The run continued to an unchanged final state: the unsupervised,
+  // unsignalled twin reaches the same queues.
+  EXPECT_EQ(supervised, run(false));
+  std::filesystem::remove_all(dir);
 }
 
 TEST(RunSupervisor, RejectsBadOptions) {

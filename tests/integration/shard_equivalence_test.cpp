@@ -143,13 +143,21 @@ RunResult run_fixture(const Fixture& fx, std::uint32_t shards,
   obs::TelemetryOptions topts;
   topts.snapshot_every = 10;
   topts.flight_capacity = 64;
+  topts.hotspot_k = 3;  // top-K lines ride the byte stream being compared
   obs::Telemetry telemetry(topts);
   std::ostringstream stream;
   obs::OstreamJsonlSink sink(stream);
   telemetry.set_sink(&sink);
   sim.set_telemetry(&telemetry);
 
-  if (shards > 1 || threads > 1) sim.enable_sharding(shards, threads);
+  // Span tracing attaches to the sharded runs only: spans are timing-only,
+  // so a traced sharded run must still be byte-identical to the untraced
+  // serial reference — tracing can never perturb the trajectory.
+  obs::SpanTracer tracer;
+  if (shards > 1 || threads > 1) {
+    sim.enable_sharding(shards, threads);
+    sim.set_tracer(&tracer);
+  }
   EXPECT_EQ(sim.shard_count(), shards > 1 || threads > 1 ? shards : 1u);
 
   RunResult result;

@@ -1,0 +1,122 @@
+// Prometheus exposition contracts: name sanitization to the metric-name
+// grammar, the statusz info block, cumulative le-bucket rendering of the
+// registry's log2 histograms, and the atomic (temp + rename, never-throw)
+// file writer the live paths depend on.
+#include "obs/expose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace lgg {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(PrometheusName, SanitizesToTheMetricGrammar) {
+  EXPECT_EQ(obs::prometheus_name("sim.P"), "lgg_sim_P");
+  EXPECT_EQ(obs::prometheus_name("sim.queue_occupancy"),
+            "lgg_sim_queue_occupancy");
+  EXPECT_EQ(obs::prometheus_name("governor.time-in mode"),
+            "lgg_governor_time_in_mode");
+  EXPECT_EQ(obs::prometheus_name("ns:metric"), "lgg_ns:metric");
+  // A leading digit would be legal after "lgg_", but gains the guard
+  // underscore anyway so the rule has no position-dependent cases.
+  EXPECT_EQ(obs::prometheus_name("9lives"), "lgg__9lives");
+  EXPECT_EQ(obs::prometheus_name(""), "lgg_");
+}
+
+TEST(RenderStatusz, InfoBlockAloneWhenNoRegistryAttached) {
+  obs::StatuszInfo info;
+  info.label = "soak-7";
+  info.step = 1234;
+  info.potential = 56.25;
+  info.total_packets = 78;
+  info.snapshots = 4;
+  info.flight_recorded = 9;
+  info.writes = 2;
+  const std::string out = obs::render_statusz(info, nullptr);
+  EXPECT_NE(out.find("label=soak-7"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE lgg_statusz_step gauge\nlgg_statusz_step 1234\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("lgg_statusz_potential 56.25\n"), std::string::npos);
+  EXPECT_NE(out.find("lgg_statusz_total_packets 78\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE lgg_statusz_snapshots counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("lgg_statusz_flight_recorded 9\n"), std::string::npos);
+  EXPECT_NE(out.find("lgg_statusz_writes 2\n"), std::string::npos);
+}
+
+TEST(RenderStatusz, CountersAndGaugesRenderWithTypeLines) {
+  obs::MetricRegistry registry;
+  registry.counter("sim.sent").add(42);
+  registry.gauge("sim.P").set(9.5);
+  const std::string out = obs::render_statusz({}, &registry);
+  EXPECT_NE(out.find("# TYPE lgg_sim_sent counter\nlgg_sim_sent 42\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE lgg_sim_P gauge\nlgg_sim_P 9.5\n"),
+            std::string::npos);
+}
+
+TEST(RenderStatusz, HistogramBucketsAreCumulativeWithInf) {
+  obs::MetricRegistry registry;
+  obs::Histogram& h = registry.histogram("sim.queue_occupancy");
+  h.observe(0.0);  // bucket 0: <= 0
+  h.observe(1.0);  // bucket 1: <= 1
+  h.observe(1.0);
+  h.observe(3.0);  // <= 4
+  const std::string out = obs::render_statusz({}, &registry);
+  EXPECT_NE(out.find("# TYPE lgg_sim_queue_occupancy histogram"),
+            std::string::npos);
+  // Cumulative: 1 sample <= 0, 3 samples <= 1, then +Inf carries all 4.
+  EXPECT_NE(out.find("lgg_sim_queue_occupancy_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("lgg_sim_queue_occupancy_bucket{le=\"1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("lgg_sim_queue_occupancy_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("lgg_sim_queue_occupancy_sum 5\n"), std::string::npos);
+  EXPECT_NE(out.find("lgg_sim_queue_occupancy_count 4\n"),
+            std::string::npos);
+}
+
+TEST(WriteFileAtomic, WritesContentAndLeavesNoTempFile) {
+  const std::string path = ::testing::TempDir() + "/expose_atomic.prom";
+  std::remove(path.c_str());
+  ASSERT_TRUE(obs::write_file_atomic(path, "lgg_x 1\n"));
+  EXPECT_EQ(read_file(path), "lgg_x 1\n");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // Overwrite is atomic too: the new content fully replaces the old.
+  ASSERT_TRUE(obs::write_file_atomic(path, "lgg_x 2\n"));
+  EXPECT_EQ(read_file(path), "lgg_x 2\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, FailureReturnsFalseInsteadOfThrowing) {
+  EXPECT_FALSE(obs::write_file_atomic(
+      ::testing::TempDir() + "/no-such-dir-xyz/statusz.prom", "x"));
+}
+
+TEST(WriteStatuszFile, ComposesRenderAndAtomicWrite) {
+  const std::string path = ::testing::TempDir() + "/expose_statusz.prom";
+  std::remove(path.c_str());
+  obs::StatuszInfo info;
+  info.step = 7;
+  ASSERT_TRUE(obs::write_statusz_file(path, info, nullptr));
+  EXPECT_NE(read_file(path).find("lgg_statusz_step 7\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lgg

@@ -1,0 +1,219 @@
+// String-escaping hardening for obs::JsonWriter / append_json_string:
+// every control character escapes, well-formed UTF-8 passes through
+// verbatim, and every malformed byte sequence (truncations, stray
+// continuations, overlongs, surrogates, out-of-range code points) is
+// replaced with U+FFFD — so the emitted document is always valid JSON in
+// valid UTF-8, whatever bytes a label smuggled in.  A deterministic fuzz
+// loop round-trips random byte strings through an in-test unescaper to pin
+// the property, not just the examples.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace lgg {
+namespace {
+
+std::string escaped(const std::string& raw) {
+  std::string out;
+  obs::append_json_string(out, raw);
+  return out;
+}
+
+/// Minimal JSON string unescaper for the round-trip check: decodes the
+/// escapes append_json_string emits (\" \\ \b \f \n \r \t \uXXXX, with
+/// \uXXXX only for ASCII controls and U+FFFD).  Fails the test on any
+/// byte sequence a JSON parser would reject.
+std::string unescape(const std::string& quoted) {
+  EXPECT_GE(quoted.size(), 2u);
+  EXPECT_EQ(quoted.front(), '"');
+  EXPECT_EQ(quoted.back(), '"');
+  std::string out;
+  for (std::size_t i = 1; i + 1 < quoted.size(); ++i) {
+    const char c = quoted[i];
+    EXPECT_NE(c, '"') << "unescaped quote inside the string";
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control byte inside the string";
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 1 >= quoted.size() - 1) {
+      ADD_FAILURE() << "dangling backslash";
+      return out;
+    }
+    const char esc = quoted[++i];
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (i + 4 > quoted.size() - 2) {
+          ADD_FAILURE() << "truncated \\u escape";
+          return out;
+        }
+        const std::string hex = quoted.substr(i + 1, 4);
+        i += 4;
+        const long code = std::stol(hex, nullptr, 16);
+        if (code == 0xfffd) {
+          out += "\xef\xbf\xbd";  // U+FFFD in UTF-8
+        } else {
+          EXPECT_LT(code, 0x20) << "\\u used for a non-control: " << hex;
+          out.push_back(static_cast<char>(code));
+        }
+        break;
+      }
+      default: ADD_FAILURE() << "unexpected escape \\" << esc;
+    }
+  }
+  return out;
+}
+
+/// True when `text` is well-formed UTF-8 — the invariant the writer must
+/// establish for its output regardless of input.
+bool valid_utf8(const std::string& text) {
+  for (std::size_t i = 0; i < text.size();) {
+    const auto b0 = static_cast<unsigned char>(text[i]);
+    std::size_t len = 0;
+    std::uint32_t code = 0;
+    std::uint32_t min_code = 0;
+    if (b0 < 0x80) {
+      ++i;
+      continue;
+    } else if ((b0 & 0xe0) == 0xc0) {
+      len = 2;
+      code = b0 & 0x1f;
+      min_code = 0x80;
+    } else if ((b0 & 0xf0) == 0xe0) {
+      len = 3;
+      code = b0 & 0x0f;
+      min_code = 0x800;
+    } else if ((b0 & 0xf8) == 0xf0) {
+      len = 4;
+      code = b0 & 0x07;
+      min_code = 0x10000;
+    } else {
+      return false;
+    }
+    if (i + len > text.size()) return false;
+    for (std::size_t j = 1; j < len; ++j) {
+      const auto b = static_cast<unsigned char>(text[i + j]);
+      if ((b & 0xc0) != 0x80) return false;
+      code = (code << 6) | (b & 0x3f);
+    }
+    if (code < min_code || (code >= 0xd800 && code <= 0xdfff) ||
+        code > 0x10ffff) {
+      return false;
+    }
+    i += len;
+  }
+  return true;
+}
+
+TEST(JsonEscape, ControlCharactersAllEscape) {
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string out = escaped(std::string(1, static_cast<char>(c)));
+    EXPECT_EQ(out.front(), '"');
+    EXPECT_EQ(out[1], '\\') << "control 0x" << std::hex << c;
+  }
+  EXPECT_EQ(escaped(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(escaped(std::string(1, '\x1f')), "\"\\u001f\"");
+  EXPECT_EQ(escaped("\n"), "\"\\n\"");
+}
+
+TEST(JsonEscape, WellFormedUtf8PassesThroughVerbatim) {
+  const std::string two_byte = "caf\xc3\xa9";            // café
+  const std::string three_byte = "\xe6\xbc\xa2";          // 漢
+  const std::string four_byte = "\xf0\x9f\x90\x9d";      // 🐝
+  EXPECT_EQ(escaped(two_byte), "\"" + two_byte + "\"");
+  EXPECT_EQ(escaped(three_byte), "\"" + three_byte + "\"");
+  EXPECT_EQ(escaped(four_byte), "\"" + four_byte + "\"");
+}
+
+TEST(JsonEscape, MalformedBytesBecomeReplacementCharacters) {
+  // Stray continuation byte, truncated lead, overlong slash, UTF-16
+  // surrogate, and a code point beyond U+10FFFF.
+  EXPECT_EQ(escaped("\x80"), "\"\\ufffd\"");
+  EXPECT_EQ(escaped("\xc3"), "\"\\ufffd\"");
+  EXPECT_EQ(escaped("\xc0\xaf"), "\"\\ufffd\\ufffd\"");
+  EXPECT_EQ(escaped("\xed\xa0\x80"), "\"\\ufffd\\ufffd\\ufffd\"");
+  EXPECT_EQ(escaped("\xf5\x80\x80\x80"),
+            "\"\\ufffd\\ufffd\\ufffd\\ufffd\"");
+  // A valid tail after the damage still passes through.
+  EXPECT_EQ(escaped("a\xc3z"), "\"a\\ufffdz\"");
+}
+
+TEST(JsonEscape, FuzzedByteStringsAlwaysYieldValidUtf8Json) {
+  std::mt19937 rng(0x5EED);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> length(0, 64);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string raw;
+    const std::size_t n = length(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      raw.push_back(static_cast<char>(byte(rng)));
+    }
+    const std::string out = escaped(raw);
+    ASSERT_TRUE(valid_utf8(out)) << "iteration " << iter;
+    // Round-trip: decoding the escapes yields the input with each invalid
+    // byte replaced by U+FFFD — never dropped, reordered, or passed raw.
+    const std::string decoded = unescape(out);
+    std::string expected;
+    for (std::size_t i = 0; i < raw.size();) {
+      const auto b = static_cast<unsigned char>(raw[i]);
+      if (b < 0x80) {
+        expected.push_back(raw[i]);
+        ++i;
+        continue;
+      }
+      // Mirror of the writer's scan: length of the valid sequence at i.
+      std::string window = raw.substr(i);
+      std::size_t len = 0;
+      for (std::size_t try_len = 2; try_len <= 4; ++try_len) {
+        if (window.size() >= try_len &&
+            valid_utf8(window.substr(0, try_len))) {
+          len = try_len;
+          break;
+        }
+      }
+      if (len == 0) {
+        expected += "\xef\xbf\xbd";
+        ++i;
+      } else {
+        expected += raw.substr(i, len);
+        i += len;
+      }
+    }
+    ASSERT_EQ(decoded, expected) << "iteration " << iter;
+  }
+}
+
+TEST(JsonEscape, ValidUtf8RoundTripsUnchangedUnderFuzz) {
+  // Strings assembled from valid code points must pass through verbatim
+  // (minus the control-character escapes the decoder reverses exactly).
+  std::mt19937 rng(0xBEEF);
+  std::uniform_int_distribution<std::uint32_t> pick(0, 3);
+  std::uniform_int_distribution<std::uint32_t> ascii(0x20, 0x7e);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string raw;
+    for (int i = 0; i < 16; ++i) {
+      switch (pick(rng)) {
+        case 0: raw.push_back(static_cast<char>(ascii(rng))); break;
+        case 1: raw += "\xc3\xa9"; break;
+        case 2: raw += "\xe6\xbc\xa2"; break;
+        default: raw += "\xf0\x9f\x90\x9d"; break;
+      }
+    }
+    ASSERT_EQ(unescape(escaped(raw)), raw) << "iteration " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace lgg

@@ -164,6 +164,35 @@ TEST(FlightRecorder, RingKeepsNewestAndOrdersOldestFirst) {
   EXPECT_EQ(os.str().find("\"seq\":0"), std::string::npos);
 }
 
+TEST(FlightRecorder, TinyCapacitiesWrapExactly) {
+  // --flight-recorder-capacity accepts any positive size; the degenerate
+  // rings (1..3 slots) must keep exactly the newest window and number the
+  // survivors on the global sequence axis.
+  for (const std::size_t capacity : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{3}}) {
+    SCOPED_TRACE("capacity=" + std::to_string(capacity));
+    obs::FlightRecorder ring(capacity);
+    constexpr TimeStep kEvents = 9;
+    for (TimeStep t = 0; t < kEvents; ++t) ring.record(send_at(t));
+    EXPECT_EQ(ring.size(), capacity);
+    EXPECT_EQ(ring.recorded(), static_cast<std::uint64_t>(kEvents));
+    const auto events = ring.events();
+    ASSERT_EQ(events.size(), capacity);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      EXPECT_EQ(events[i].t,
+                static_cast<TimeStep>(kEvents - capacity + i));
+    }
+    std::ostringstream os;
+    EXPECT_EQ(ring.dump(os), capacity);
+    // The oldest surviving event's global seq is recorded - size.
+    EXPECT_NE(os.str().find("\"seq\":" + std::to_string(kEvents - capacity)),
+              std::string::npos);
+    EXPECT_EQ(os.str().find("\"seq\":" +
+                            std::to_string(kEvents - capacity - 1)),
+              std::string::npos);
+  }
+}
+
 TEST(FlightRecorder, ZeroCapacityDropsEverything) {
   obs::FlightRecorder ring(0);
   ring.record(send_at(1));

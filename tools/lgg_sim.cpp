@@ -34,6 +34,23 @@
 //     --flight-recorder N  keep the last N step events; dumped into the
 //                          telemetry stream (and into crash dumps).
 //                          Default 256 with --telemetry, else off
+//     --flight-recorder-capacity N  alias of --flight-recorder
+//     --hotspots K         top-K hotspot analytics (obs/hotspots.hpp):
+//                          Space-Saving sketches over per-node drift and
+//                          queue mass, a {"type":"hotspots"} line per
+//                          telemetry snapshot, and a run-end summary table
+//     --trace-out FILE     record per-phase (and per-shard) spans and
+//                          write them as Chrome trace-event JSON
+//                          (chrome://tracing, Perfetto; tools/lgg_trace)
+//     --trace-capacity N   spans retained per lane (default 16384); the
+//                          ring keeps the most recent window
+//     --statusz FILE       write a Prometheus-text statusz snapshot to
+//                          FILE (atomic temp+rename) every --statusz-every
+//                          steps, on SIGUSR1 (plus a flight-recorder dump
+//                          to FILE.events.jsonl), and at run end; forces
+//                          the supervised path
+//     --statusz-every N    steps between statusz writes (default 1000;
+//                          0 = only on SIGUSR1 and at run end)
 //     --deadline-ms N      wall-clock budget; run supervised and exit 4
 //                          when it expires
 //     --governor           attach the adaptive admission governor
@@ -63,6 +80,7 @@
 //   edge 0 1
 //   role 0 1 0 0
 //   role 1 0 2 0' | lgg_sim --steps 5000
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -98,7 +116,9 @@ namespace {
                "[--churn P_OFF P_ON] [--faults SPEC] [--checkpoint FILE] "
                "[--checkpoint-every N] [--resume FILE] [--csv FILE] "
                "[--telemetry FILE] [--telemetry-every K] "
-               "[--flight-recorder N] [--deadline-ms N] "
+               "[--flight-recorder N] [--flight-recorder-capacity N] "
+               "[--hotspots K] [--trace-out FILE] [--trace-capacity N] "
+               "[--statusz FILE] [--statusz-every N] [--deadline-ms N] "
                "[--governor] [--governor-target-eps F] [--brownout] "
                "[--shards K] [--threads T] "
                "[--profile] [--analyze-only] [network.sdnet]\n",
@@ -173,6 +193,11 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   TimeStep telemetry_every = 100;
   long long flight_capacity = -1;  // -1 = default (256 with --telemetry)
+  long long hotspot_k = 0;
+  std::string trace_path;
+  long long trace_capacity = 1 << 14;
+  std::string statusz_path;
+  TimeStep statusz_every = 1000;
   long long deadline_ms = 0;
   std::string input_path;
   bool analyze_only = false;
@@ -241,12 +266,36 @@ int main(int argc, char** argv) {
                      "error: --telemetry-every wants a positive interval\n");
         return lgg::kExitUsage;
       }
-    } else if (arg == "--flight-recorder") {
-      flight_capacity =
-          parse_int("--flight-recorder", next("--flight-recorder"));
+    } else if (arg == "--flight-recorder" ||
+               arg == "--flight-recorder-capacity") {
+      flight_capacity = parse_int(arg.c_str(), next(arg.c_str()));
       if (flight_capacity < 0) {
+        std::fprintf(stderr, "error: %s wants a capacity >= 0\n",
+                     arg.c_str());
+        return lgg::kExitUsage;
+      }
+    } else if (arg == "--hotspots") {
+      hotspot_k = parse_int("--hotspots", next("--hotspots"));
+      if (hotspot_k <= 0) {
+        std::fprintf(stderr, "error: --hotspots wants a positive K\n");
+        return lgg::kExitUsage;
+      }
+    } else if (arg == "--trace-out") {
+      trace_path = next("--trace-out");
+    } else if (arg == "--trace-capacity") {
+      trace_capacity = parse_int("--trace-capacity", next("--trace-capacity"));
+      if (trace_capacity <= 0) {
         std::fprintf(stderr,
-                     "error: --flight-recorder wants a capacity >= 0\n");
+                     "error: --trace-capacity wants a positive count\n");
+        return lgg::kExitUsage;
+      }
+    } else if (arg == "--statusz") {
+      statusz_path = next("--statusz");
+    } else if (arg == "--statusz-every") {
+      statusz_every = parse_int("--statusz-every", next("--statusz-every"));
+      if (statusz_every < 0) {
+        std::fprintf(stderr,
+                     "error: --statusz-every wants an interval >= 0\n");
         return lgg::kExitUsage;
       }
     } else if (arg == "--deadline-ms") {
@@ -371,13 +420,14 @@ int main(int argc, char** argv) {
     std::ofstream telemetry_file;
     std::unique_ptr<obs::OstreamJsonlSink> sink;
     std::unique_ptr<obs::Telemetry> telemetry;
-    if (!telemetry_path.empty() || flight_capacity > 0) {
+    if (!telemetry_path.empty() || flight_capacity > 0 || hotspot_k > 0) {
       obs::TelemetryOptions topts;
       topts.snapshot_every = telemetry_every;
       topts.flight_capacity =
           flight_capacity >= 0
               ? static_cast<std::size_t>(flight_capacity)
               : (!telemetry_path.empty() ? std::size_t{256} : std::size_t{0});
+      topts.hotspot_k = static_cast<std::size_t>(hotspot_k);
       telemetry = std::make_unique<obs::Telemetry>(topts);
       if (lemma1.has_value()) {
         // Live bound-slack gauges: Property 1 growth (5nΔ²) and the
@@ -421,9 +471,19 @@ int main(int argc, char** argv) {
     }
     core::StepProfiler profiler;
     if (profile) sim.set_profiler(&profiler);
+    // Span tracing attaches last: it reads only clocks, so its position in
+    // the wiring order is cosmetic — but the trace should cover the whole
+    // run, including a resumed one.
+    std::unique_ptr<obs::SpanTracer> tracer;
+    if (!trace_path.empty()) {
+      obs::SpanTracerOptions tropts;
+      tropts.lane_capacity = static_cast<std::size_t>(trace_capacity);
+      tracer = std::make_unique<obs::SpanTracer>(tropts);
+      sim.set_tracer(tracer.get());
+    }
     core::MetricsRecorder recorder;
 
-    if (checkpoint_every > 0 || deadline_ms > 0) {
+    if (checkpoint_every > 0 || deadline_ms > 0 || !statusz_path.empty()) {
       analysis::SupervisorOptions sopts;
       sopts.checkpoint_every = checkpoint_every;
       sopts.checkpoint_path = checkpoint_path;
@@ -432,6 +492,8 @@ int main(int argc, char** argv) {
       sopts.seed = seed;
       sopts.label = "lgg_sim";
       sopts.repro_config = faults_spec;
+      sopts.statusz_path = statusz_path;
+      sopts.statusz_every = statusz_every;
       const analysis::RunSupervisor supervisor(sopts);
       const analysis::SupervisedResult result =
           supervisor.run(sim, steps, &recorder);
@@ -518,6 +580,22 @@ int main(int argc, char** argv) {
                   telemetry_path.c_str(),
                   static_cast<unsigned long long>(telemetry->sequence()),
                   static_cast<unsigned long long>(events));
+    }
+    if (telemetry != nullptr && telemetry->hotspots() != nullptr) {
+      std::printf("\n%s\n", telemetry->hotspots()->summary_table().c_str());
+    }
+    if (tracer != nullptr) {
+      std::ofstream trace(trace_path, std::ios::trunc);
+      if (!trace) throw std::runtime_error("cannot write " + trace_path);
+      std::array<std::string_view, core::kStepPhaseCount> phase_names;
+      for (std::size_t p = 0; p < core::kStepPhaseCount; ++p) {
+        phase_names[p] = core::to_string(static_cast<core::StepPhase>(p));
+      }
+      const std::size_t spans = tracer->write_chrome_trace(trace, phase_names);
+      std::printf("trace written to %s (%llu spans, %llu dropped)\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(spans),
+                  static_cast<unsigned long long>(tracer->total_dropped()));
     }
 
     if (!csv_path.empty()) {

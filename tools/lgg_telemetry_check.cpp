@@ -13,6 +13,12 @@
 //   * "event" lines carry t and kind, with seq values non-decreasing;
 //     "governor_mode" events additionally have strictly increasing t
 //     (the governor emits at most one mode transition per step);
+//   * "hotspots" lines (emitted when hotspot analytics are enabled)
+//     immediately follow their snapshot with the same seq and t, carry
+//     k >= 1 and non-negative drift_total/queue_total, and their "drift"
+//     and "queue" top-K arrays have at most k entries with v >= 0,
+//     0 <= err <= w, and weights in non-increasing order (ties broken by
+//     ascending v) — the Space-Saving report order;
 //   * churn events follow the topology-mutation schema: "edge_down" and
 //     "edge_up" carry both endpoints a and b; "node_leave", "node_join"
 //     and "rate_change" carry the node in a; a "node_leave" value (the
@@ -30,215 +36,23 @@
 //
 // Exit codes: 0 = valid, 1 = validation failure, 2 = usage or I/O error.
 //
-// The JSON parser below is deliberately minimal (objects, arrays,
-// strings, numbers, booleans, null; numbers as double).  Integer fields
-// up to 2^53 round-trip exactly through double, far beyond any bounded
-// run's counters.
-#include <cctype>
+// The JSON parser (tools/mini_json.hpp) is deliberately minimal (objects,
+// arrays, strings, numbers, booleans, null; numbers as double).  Integer
+// fields up to 2^53 round-trip exactly through double, far beyond any
+// bounded run's counters.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "mini_json.hpp"
+
 namespace {
 
-struct Value;
-using ValuePtr = std::shared_ptr<Value>;
-
-struct Value {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<ValuePtr> array;
-  std::vector<std::pair<std::string, ValuePtr>> object;
-
-  [[nodiscard]] const Value* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return v.get();
-    }
-    return nullptr;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  ValuePtr parse() {
-    ValuePtr v = value();
-    skip_ws();
-    if (pos_ != text_.size()) throw std::runtime_error("trailing garbage");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      throw std::runtime_error(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-  }
-
-  ValuePtr value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string_value();
-    if (c == 't' || c == 'f') return boolean();
-    if (c == 'n') return null();
-    return number();
-  }
-
-  ValuePtr object() {
-    auto v = std::make_shared<Value>();
-    v->kind = Value::Kind::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      ValuePtr key = string_value();
-      skip_ws();
-      expect(':');
-      v->object.emplace_back(key->string, value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  ValuePtr array() {
-    auto v = std::make_shared<Value>();
-    v->kind = Value::Kind::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v->array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  ValuePtr string_value() {
-    auto v = std::make_shared<Value>();
-    v->kind = Value::Kind::kString;
-    expect('"');
-    while (true) {
-      const char c = peek();
-      ++pos_;
-      if (c == '"') return v;
-      if (c == '\\') {
-        const char esc = peek();
-        ++pos_;
-        switch (esc) {
-          case '"': v->string.push_back('"'); break;
-          case '\\': v->string.push_back('\\'); break;
-          case '/': v->string.push_back('/'); break;
-          case 'b': v->string.push_back('\b'); break;
-          case 'f': v->string.push_back('\f'); break;
-          case 'n': v->string.push_back('\n'); break;
-          case 'r': v->string.push_back('\r'); break;
-          case 't': v->string.push_back('\t'); break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              throw std::runtime_error("truncated \\u escape");
-            }
-            const std::string hex = text_.substr(pos_, 4);
-            pos_ += 4;
-            const long code = std::strtol(hex.c_str(), nullptr, 16);
-            // Validator only needs the byte content for comparisons, and
-            // the writer emits \u only for ASCII control characters.
-            v->string.push_back(static_cast<char>(code & 0x7F));
-            break;
-          }
-          default: throw std::runtime_error("bad escape");
-        }
-        continue;
-      }
-      v->string.push_back(c);
-    }
-  }
-
-  ValuePtr boolean() {
-    auto v = std::make_shared<Value>();
-    v->kind = Value::Kind::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v->boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      v->boolean = false;
-      pos_ += 5;
-    } else {
-      throw std::runtime_error("bad literal");
-    }
-    return v;
-  }
-
-  ValuePtr null() {
-    if (text_.compare(pos_, 4, "null") != 0) {
-      throw std::runtime_error("bad literal");
-    }
-    pos_ += 4;
-    return std::make_shared<Value>();
-  }
-
-  ValuePtr number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::strchr("+-0123456789.eE", text_[pos_]) != nullptr)) {
-      ++pos_;
-    }
-    if (pos_ == start) throw std::runtime_error("expected a value");
-    auto v = std::make_shared<Value>();
-    v->kind = Value::Kind::kNumber;
-    char* end = nullptr;
-    const std::string token = text_.substr(start, pos_ - start);
-    v->number = std::strtod(token.c_str(), &end);
-    if (end == token.c_str() || *end != '\0') {
-      throw std::runtime_error("bad number '" + token + "'");
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+using minijson::Parser;
+using minijson::Value;
+using minijson::ValuePtr;
 
 struct Checker {
   bool strict_bounds = false;
@@ -253,9 +67,11 @@ struct Checker {
   double last_governor_mode_t = 0.0;
   bool have_topology_version = false;
   double last_topology_version = 0.0;
+  bool last_was_snapshot = false;
   std::size_t snapshots = 0;
   std::size_t events = 0;
   std::size_t churn_events = 0;
+  std::size_t hotspot_lines = 0;
   std::size_t summaries = 0;
 
   [[nodiscard]] const Value* require(const Value& obj, const char* key,
@@ -275,6 +91,11 @@ struct Checker {
     if (type == nullptr || type->kind != Value::Kind::kString) {
       throw std::runtime_error("missing string \"type\"");
     }
+    // The hotspots line is pinned to the snapshot it annotates: it must be
+    // the very next line.  Track adjacency here so the dispatch below can
+    // enforce it without each branch knowing about the others.
+    const bool followed_snapshot = last_was_snapshot;
+    last_was_snapshot = false;
     if (type->string == "header") {
       if (line_no != 1) throw std::runtime_error("header is not line 1");
       if (seen_header) throw std::runtime_error("duplicate header");
@@ -286,8 +107,11 @@ struct Checker {
       seen_header = true;
     } else if (type->string == "snapshot") {
       check_snapshot(obj);
+      last_was_snapshot = true;
     } else if (type->string == "event") {
       check_event(obj);
+    } else if (type->string == "hotspots") {
+      check_hotspots(obj, followed_snapshot);
     } else if (type->string == "summary") {
       require(obj, "t", Value::Kind::kNumber, "summary");
       require(obj, "P", Value::Kind::kNumber, "summary");
@@ -478,6 +302,79 @@ struct Checker {
     }
     ++events;
   }
+
+  void check_hotspots(const Value& obj, bool followed_snapshot) {
+    if (!followed_snapshot) {
+      throw std::runtime_error(
+          "hotspots line does not immediately follow a snapshot");
+    }
+    const double seq =
+        require(obj, "seq", Value::Kind::kNumber, "hotspots")->number;
+    if (seq != last_snapshot_seq) {
+      throw std::runtime_error("hotspots seq != its snapshot seq");
+    }
+    const double t =
+        require(obj, "t", Value::Kind::kNumber, "hotspots")->number;
+    if (t != last_snapshot_t) {
+      throw std::runtime_error("hotspots t != its snapshot t");
+    }
+    const double k =
+        require(obj, "k", Value::Kind::kNumber, "hotspots")->number;
+    if (k < 1.0) throw std::runtime_error("hotspots k < 1");
+    for (const char* total : {"drift_total", "queue_total"}) {
+      if (require(obj, total, Value::Kind::kNumber, "hotspots")->number <
+          0.0) {
+        throw std::runtime_error(std::string("hotspots ") + total +
+                                 " is negative");
+      }
+    }
+    for (const char* list : {"drift", "queue"}) {
+      check_topk(*require(obj, list, Value::Kind::kArray, "hotspots"), list,
+                 k);
+    }
+    ++hotspot_lines;
+  }
+
+  /// One Space-Saving top-K report: at most k entries, each with a node id,
+  /// a weight, and an overestimation bound err <= w (so the true weight
+  /// w - err is non-negative), sorted by weight descending with ties broken
+  /// by ascending node id.
+  void check_topk(const Value& entries, const char* list, double k) {
+    if (static_cast<double>(entries.array.size()) > k) {
+      throw std::runtime_error(std::string("hotspots ") + list +
+                               " has more than k entries");
+    }
+    double last_w = -1.0;
+    double last_v = -1.0;
+    bool first = true;
+    for (const ValuePtr& entry : entries.array) {
+      if (entry->kind != Value::Kind::kObject) {
+        throw std::runtime_error(std::string("hotspots ") + list +
+                                 " entry is not an object");
+      }
+      const double v =
+          require(*entry, "v", Value::Kind::kNumber, list)->number;
+      const double w =
+          require(*entry, "w", Value::Kind::kNumber, list)->number;
+      const double err =
+          require(*entry, "err", Value::Kind::kNumber, list)->number;
+      if (v < 0.0) {
+        throw std::runtime_error(std::string("hotspots ") + list +
+                                 " node id is negative");
+      }
+      if (w < 0.0 || err < 0.0 || err > w) {
+        throw std::runtime_error(std::string("hotspots ") + list +
+                                 " entry violates 0 <= err <= w");
+      }
+      if (!first && (w > last_w || (w == last_w && v <= last_v))) {
+        throw std::runtime_error(std::string("hotspots ") + list +
+                                 " not in report order");
+      }
+      first = false;
+      last_w = w;
+      last_v = v;
+    }
+  }
 };
 
 }  // namespace
@@ -556,8 +453,8 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "valid: %zu lines (%zu snapshots, %zu events [%zu churn], "
-      "%zu summaries)\n",
+      "%zu hotspots, %zu summaries)\n",
       complete_lines, checker.snapshots, checker.events,
-      checker.churn_events, checker.summaries);
+      checker.churn_events, checker.hotspot_lines, checker.summaries);
   return 0;
 }
