@@ -15,6 +15,7 @@
 #include "core/interference.hpp"
 #include "core/loss.hpp"
 #include "core/simulator.hpp"
+#include "traffic/spec.hpp"
 
 namespace lgg::chaos {
 
@@ -77,6 +78,10 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config,
     if (config.arrival_scale >= 0.0) {
       sim->set_arrival(
           std::make_unique<core::ScaledArrival>(config.arrival_scale));
+    }
+    if (!config.arrival_spec.empty()) {
+      // Mutual exclusion with arrival_scale is enforced at parse time.
+      sim->set_arrival(traffic::make_arrival(config.arrival_spec));
     }
     if (config.loss > 0.0) {
       sim->set_loss(std::make_unique<core::BernoulliLoss>(config.loss));

@@ -131,6 +131,7 @@ void write_scenario(std::ostream& os, const ScenarioConfig& c) {
   if (c.arrival_scale >= 0.0) {
     os << "arrival_scale " << fmt_double(c.arrival_scale) << '\n';
   }
+  if (!c.arrival_spec.empty()) os << "arrival " << c.arrival_spec << '\n';
   if (c.churn_off >= 0.0) {
     os << "churn " << fmt_double(c.churn_off) << ' ' << fmt_double(c.churn_on)
        << '\n';
@@ -207,6 +208,9 @@ ScenarioConfig read_scenario(std::istream& is) {
                   "scenario: loss must be in [0, 1]");
     } else if (key == "arrival_scale") {
       c.arrival_scale = parse_double_field(key, value);
+    } else if (key == "arrival") {
+      LGG_REQUIRE(!value.empty(), "scenario: arrival wants a spec");
+      c.arrival_spec = value;
     } else if (key == "churn") {
       const auto mid = value.find(' ');
       LGG_REQUIRE(mid != std::string::npos,
@@ -264,6 +268,8 @@ ScenarioConfig read_scenario(std::istream& is) {
     }
   }
   LGG_REQUIRE(saw_network, "scenario: missing 'network' section");
+  LGG_REQUIRE(c.arrival_spec.empty() || c.arrival_scale < 0.0,
+              "scenario: arrival and arrival_scale are mutually exclusive");
   c.network = core::read_network(is);
   c.faults.validate(c.network);
   c.churn_events.validate(c.network);
@@ -363,8 +369,24 @@ ScenarioConfig ScenarioGenerator::next() {
     c.protocol = kBaselines[rng_.uniform_int(0, 3)];
   }
 
-  // Arrival: biased toward the near-saturated hostile region.
-  if (rng_.bernoulli(o.p_near_saturated)) {
+  // Arrival: biased toward the near-saturated hostile region.  The
+  // adversarial family straddles the frontier (rho around 1) instead; the
+  // p_adversarial > 0 guard keeps the default generator stream — and with
+  // it every pinned-seed soak sequence — unchanged.
+  if (o.p_adversarial > 0.0 && rng_.bernoulli(o.p_adversarial)) {
+    constexpr const char* kStrategies[] = {"hoard", "sweep", "queue_aware"};
+    const double rho = 0.85 + 0.20 * rng_.uniform01();
+    const auto sigma = rng_.uniform_int(4, 64);
+    const auto period = rng_.uniform_int(4, 32);
+    const auto fanout = rng_.uniform_int(
+        1, std::max<std::int64_t>(
+               1, static_cast<std::int64_t>(c.network.sources().size())));
+    std::ostringstream spec;
+    spec << "adversary:strategy=" << kStrategies[rng_.uniform_int(0, 2)]
+         << ",rho=" << fmt_double(rho) << ",sigma=" << sigma
+         << ",period=" << period << ",fanout=" << fanout;
+    c.arrival_spec = spec.str();
+  } else if (rng_.bernoulli(o.p_near_saturated)) {
     c.arrival_scale = 0.85 + 0.15 * rng_.uniform01();
   } else if (rng_.bernoulli(0.5)) {
     c.arrival_scale = 0.3 + 0.55 * rng_.uniform01();
@@ -485,7 +507,7 @@ ScenarioConfig ScenarioGenerator::next() {
   // armed-compatible.
   c.oracles = kOracleAlwaysSound;
   const bool clean = c.faults.empty() && c.churn_events.empty() &&
-                     c.churn_off < 0.0 &&
+                     c.churn_off < 0.0 && c.arrival_spec.empty() &&
                      c.protocol == "lgg" && !c.matching &&
                      c.declaration == core::DeclarationPolicy::kTruthful &&
                      c.arrival_scale <= 1.0;

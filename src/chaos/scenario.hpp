@@ -69,6 +69,11 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   double loss = 0.0;                ///< Bernoulli loss probability
   double arrival_scale = -1.0;      ///< < 0: exact arrivals
+  /// Arrival-process spec in the src/traffic/spec.hpp grammar (e.g.
+  /// "adversary:strategy=sweep,rho=0.97,sigma=64").  Empty: exact arrivals
+  /// or arrival_scale.  Mutually exclusive with arrival_scale — a scenario
+  /// carrying both is rejected at parse time.
+  std::string arrival_spec;
   double churn_off = -1.0;          ///< < 0: static topology
   double churn_on = -1.0;
   /// Scheduled topology churn (edge_remove/edge_add/node_leave/node_join/
@@ -136,6 +141,11 @@ struct GeneratorOptions {
   double p_generalized = 0.2;  ///< convert roles to R-generalized nodes
   double p_churn = 0.2;
   double p_scheduled_churn = 0.25;  ///< scripted topology-churn family
+  /// (ρ,σ)-bounded adversarial-arrival family, rho drawn near the
+  /// stability frontier ([0.85, 1.05]).  Default 0 keeps pinned-seed soak
+  /// sequences unchanged (the family consumes generator draws only when
+  /// enabled); `lgg_chaos soak --adversary-bias` sets it to 1.
+  double p_adversarial = 0.0;
   double max_loss = 0.3;
 };
 

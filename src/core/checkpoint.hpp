@@ -69,7 +69,14 @@ inline constexpr char kCheckpointMagic[8] = {'L', 'G', 'G', 'C',
 /// v6: the telemetry section gains a hotspot-tracker subsection (strict
 /// presence byte + both Space-Saving sketches) after the flight ring, so
 /// a resumed run with --hotspots emits byte-identical "hotspots" lines.
-inline constexpr std::uint32_t kCheckpointVersion = 6;
+/// v7: arrival-component blobs move to the flat sparse layout (size,
+/// entry count, strictly-ascending index/value pairs) shared by the
+/// stateful processes — TokenBucketArrival's token balances, the
+/// LeakyBucketArrival fixed-point buckets, and the adversarial traffic
+/// plane's window/token state (src/traffic/adversary.hpp: per-source
+/// buckets + catch-up timestamps + sweep cursor), so a mid-hoard resume
+/// is bitwise identical to the uninterrupted run.
+inline constexpr std::uint32_t kCheckpointVersion = 7;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).  `seed` chains
 /// incremental computations; pass the previous return value.

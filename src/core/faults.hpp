@@ -217,6 +217,13 @@ class FaultInjector {
   [[nodiscard]] bool node_down(NodeId v) const;
   [[nodiscard]] bool sink_out(NodeId v) const;
   [[nodiscard]] PacketCount surge_extra(NodeId v) const;
+  /// Sources with an active surge window this step (schedule order,
+  /// duplicate-free).  The sparse injection path unions these with the
+  /// arrival process's active-source set so a surge is never missed when
+  /// the arrival process itself skips the node.
+  [[nodiscard]] const std::vector<NodeId>& surging_sources() const {
+    return surge_nodes_;
+  }
   /// Nodes whose down-state flipped at the most recent begin_step, in
   /// node-id order (telemetry: flight-recorder fault-transition events).
   [[nodiscard]] const std::vector<NodeId>& went_down() const {

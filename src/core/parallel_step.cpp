@@ -192,11 +192,17 @@ StepStats ParallelStepEngine::step(Simulator& sim) {
 
   // 2. Injection — sharded over each shard's sources when order cannot be
   // observed: no admission controller (its shed decisions depend on call
-  // order) and a stateless arrival process.  Each source draws its own
-  // addressed stream either way, so both paths inject identical counts.
+  // order) and a parallel-safe, dense arrival process.  A sparse process
+  // (active_sources() non-null) keeps the serial path, which is already
+  // O(active sources) — fanning its short list over shards would cost
+  // more than it saves.  Each source draws its own addressed stream
+  // either way, so both paths inject identical counts.  The begin_step
+  // hook runs serially exactly once, mirroring the serial engine.
   if (sim.observer_ != nullptr) sim.pre_injection_ = sim.queue_;
-  const bool parallel_inject =
-      sim.admission_ == nullptr && sim.arrival_->parallel_safe();
+  sim.arrival_begin_step();
+  const bool parallel_inject = sim.admission_ == nullptr &&
+                               sim.arrival_->parallel_safe() &&
+                               sim.arrival_->active_sources() == nullptr;
   if (!parallel_inject) {
     sim.phase_injection_serial(stats, tel, active_mask);
     lap(StepPhase::kInjection, static_cast<std::uint64_t>(stats.injected));
@@ -216,6 +222,7 @@ StepStats ParallelStepEngine::step(Simulator& sim) {
         sh.stats.injected += a + extra;
       }
     });
+    sim.last_injection_visits_ = sim.net_.sources().size();
     std::uint64_t injected = 0;
     for (const ShardScratch& sh : shards_) {
       injected += static_cast<std::uint64_t>(sh.stats.injected);

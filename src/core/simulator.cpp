@@ -40,6 +40,9 @@ std::uint32_t Simulator::shard_count() const {
 void Simulator::set_arrival(std::unique_ptr<ArrivalProcess> arrival) {
   LGG_REQUIRE(arrival != nullptr, "set_arrival: null");
   arrival_ = std::move(arrival);
+  if (telemetry_ != nullptr) {
+    arrival_->register_metrics(telemetry_->registry());
+  }
 }
 
 void Simulator::set_loss(std::unique_ptr<LossModel> loss) {
@@ -95,6 +98,7 @@ void Simulator::register_component_metrics() {
   obs::MetricRegistry& registry = telemetry_->registry();
   topology_gauge_ = &registry.gauge("sim.topology_version");
   protocol_->register_metrics(registry);
+  arrival_->register_metrics(registry);
   scheduler_->register_metrics(registry);
   if (faults_ != nullptr) faults_->register_metrics(registry);
   if (admission_ != nullptr) admission_->register_metrics(registry);
@@ -260,6 +264,21 @@ const graph::EdgeMask* Simulator::phase_dynamics(StepStats& stats,
   return active_mask;
 }
 
+void Simulator::arrival_begin_step() {
+  // The phase-global injection stream is reserved for the arrival process:
+  // per-source draws are addressed per node, so a begin_step draw can
+  // never shift any source's own stream (and skipping it is equally
+  // stream-neutral for processes that ignore the hook).
+  Rng rng = phase_rng(StepPhase::kInjection);
+  ArrivalContext ctx;
+  ctx.t = t_;
+  ctx.net = &net_;
+  ctx.sources = net_.sources();
+  ctx.queues = queue_;
+  ctx.rng = &rng;
+  arrival_->begin_step(ctx);
+}
+
 void Simulator::phase_injection_serial(StepStats& stats, obs::Telemetry* tel,
                                        const graph::EdgeMask* active_mask) {
   // Injection — only source nodes (in > 0) can inject; down sources
@@ -276,12 +295,21 @@ void Simulator::phase_injection_serial(StepStats& stats, obs::Telemetry* tel,
                             active_mask,
                             churn_delta_.empty() ? nullptr : &churn_delta_});
   }
-  for (const NodeId v : net_.sources()) {
+  std::uint64_t visits = 0;
+  // `draw` distinguishes real arrival-process visits from surge-only
+  // visits on the sparse path, where the process guarantees a zero count
+  // for unlisted sources and its packets() must not be consulted.
+  const auto inject_one = [&](NodeId v, bool draw) {
+    ++visits;
     const NodeSpec& spec = net_.spec(v);
-    Rng rng = phase_rng(StepPhase::kInjection, static_cast<std::uint64_t>(v));
-    const PacketCount a = arrival_->packets(v, spec.in, t_, rng);
-    LGG_REQUIRE(a >= 0, "arrival process returned a negative count");
-    if (faults_ != nullptr && faults_->node_down(v)) continue;
+    PacketCount a = 0;
+    if (draw) {
+      Rng rng =
+          phase_rng(StepPhase::kInjection, static_cast<std::uint64_t>(v));
+      a = arrival_->packets(v, spec.in, t_, rng);
+      LGG_REQUIRE(a >= 0, "arrival process returned a negative count");
+    }
+    if (faults_ != nullptr && faults_->node_down(v)) return;
     const PacketCount extra =
         faults_ != nullptr ? faults_->surge_extra(v) : 0;
     PacketCount offered = a + extra;
@@ -294,7 +322,30 @@ void Simulator::phase_injection_serial(StepStats& stats, obs::Telemetry* tel,
     }
     apply_queue_delta(v, offered, obs::DriftCause::kInjection);
     stats.injected += offered;
+  };
+  const std::vector<NodeId>* active = arrival_->active_sources();
+  if (active == nullptr) {
+    for (const NodeId v : net_.sources()) inject_one(v, /*draw=*/true);
+  } else {
+    // Sparse path: the process precomputed (in begin_step) the only
+    // sources that can inject this step.  Every skipped source would have
+    // contributed a zero offer, and a zero offer is a strict no-op for
+    // queueing, stats, and admission accounting (the governor's credit
+    // and fairness state are untouched by admit(v, in, 0)), so the
+    // trajectory is bitwise identical to the dense loop.
+    for (const NodeId v : *active) inject_one(v, /*draw=*/true);
+    if (faults_ != nullptr) {
+      for (const NodeId v : faults_->surging_sources()) {
+        // Surges ride on top of the arrival process even when it skips
+        // the node.  Only current sources count (a churn nudge may have
+        // zeroed in(v), which removes v from the dense loop too).
+        if (net_.spec(v).in <= 0) continue;
+        if (std::binary_search(active->begin(), active->end(), v)) continue;
+        inject_one(v, /*draw=*/false);
+      }
+    }
   }
+  last_injection_visits_ = visits;
   if (admission_ != nullptr && tel != nullptr &&
       admission_->mode() != admission_mode_before) {
     tel->record_event({t_, obs::EventKind::kGovernorMode, kInvalidNode,
@@ -494,6 +545,7 @@ StepStats Simulator::step_serial() {
 
   // 2. Injection.
   if (observer_ != nullptr) pre_injection_ = queue_;
+  arrival_begin_step();
   phase_injection_serial(stats, tel, active_mask);
   lap(StepPhase::kInjection, static_cast<std::uint64_t>(stats.injected));
 

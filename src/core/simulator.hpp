@@ -235,6 +235,15 @@ class Simulator {
   }
   [[nodiscard]] PacketCount max_queue() const;
 
+  /// Sources visited by the most recent injection phase.  Dense arrival
+  /// processes visit every source; a process publishing active_sources()
+  /// is visited sparsely, so this stays O(active sources + surging
+  /// sources) per step on million-source topologies.  Diagnostic only —
+  /// not part of the checkpoint.
+  [[nodiscard]] std::uint64_t last_injection_visits() const {
+    return last_injection_visits_;
+  }
+
   [[nodiscard]] const CumulativeStats& cumulative() const { return totals_; }
 
   /// Conservation audit: initial + injected − extracted − lost == stored.
@@ -301,8 +310,15 @@ class Simulator {
   /// rest of the step routes against.
   const graph::EdgeMask* phase_dynamics(StepStats& stats,
                                         obs::Telemetry* tel);
+  /// Phase 2 prologue: the arrival process's once-per-step serial hook
+  /// (core/arrival.hpp ArrivalContext).  Both engines call it exactly once
+  /// before any packets() call, so stateful/adversarial processes stay
+  /// bitwise engine-independent.
+  void arrival_begin_step();
   /// Phase 2, serial form (also used by the shard engine when admission
-  /// control or a stateful arrival process forces ordered calls).
+  /// control or a stateful arrival process forces ordered calls).  Visits
+  /// every source, or — when the arrival process publishes a sparse
+  /// active-source set — only the active and surging sources.
   void phase_injection_serial(StepStats& stats, obs::Telemetry* tel,
                               const graph::EdgeMask* active_mask);
   /// Phase 3: declarations; returns the view (may alias queue_) and adds
@@ -362,6 +378,7 @@ class Simulator {
 
   TimeStep t_ = 0;
   std::uint64_t topology_version_ = 0;
+  std::uint64_t last_injection_visits_ = 0;
   PacketCount initial_total_ = 0;
   PacketCount sum_q_ = 0;             // running Σ_v q(v)
   detail::QuadAccum sum_sq_ = 0;      // running Σ_v q(v)²

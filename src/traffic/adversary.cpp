@@ -1,0 +1,221 @@
+#include "traffic/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/binio.hpp"
+#include "common/require.hpp"
+#include "core/sd_network.hpp"
+#include "obs/registry.hpp"
+
+namespace lgg::traffic {
+
+namespace {
+
+/// A bucket that was never targeted: conceptually full (the σ allowance is
+/// available from t = 0; starting full is admissible — the telescoped
+/// window bound only needs b ≤ cap at all times).
+inline constexpr std::int64_t kFresh = -1;
+
+inline constexpr std::uint32_t kMaxStateNodes = 1u << 26;
+
+[[noreturn]] void bad_state(const char* what) {
+  throw std::runtime_error(std::string("adversary state: ") + what);
+}
+
+}  // namespace
+
+std::string_view to_string(AdversaryStrategy strategy) {
+  switch (strategy) {
+    case AdversaryStrategy::kHoardDump: return "hoard";
+    case AdversaryStrategy::kRotatingSweep: return "sweep";
+    case AdversaryStrategy::kQueueAware: return "queue_aware";
+  }
+  return "?";
+}
+
+AdversarialArrival::AdversarialArrival(AdversaryOptions options)
+    : opt_(options) {
+  LGG_REQUIRE(std::isfinite(opt_.rho) && opt_.rho >= 0.0,
+              "AdversarialArrival: rho finite and >= 0");
+  LGG_REQUIRE(std::isfinite(opt_.sigma) && opt_.sigma >= 0.0,
+              "AdversarialArrival: sigma finite and >= 0");
+  LGG_REQUIRE(opt_.period >= 1, "AdversarialArrival: period >= 1");
+  LGG_REQUIRE(opt_.fanout >= 1, "AdversarialArrival: fanout >= 1");
+}
+
+void AdversarialArrival::ensure_sized(std::size_t n) {
+  if (bucket_.size() < n) {
+    bucket_.resize(n, kFresh);
+    last_.resize(n, 0);
+  }
+}
+
+void AdversarialArrival::dump_target(NodeId v, Cap in_rate, TimeStep t) {
+  if (in_rate <= 0) return;
+  const std::int64_t cap = core::envelope::to_units(opt_.sigma);
+  const std::int64_t rate =
+      core::envelope::to_units(opt_.rho * static_cast<double>(in_rate));
+  auto& b = bucket_[static_cast<std::size_t>(v)];
+  auto& last = last_[static_cast<std::size_t>(v)];
+  if (b == kFresh) {
+    b = cap;
+  } else if (t > last) {
+    // Lazy catch-up: min(cap, b + rate·elapsed) equals iterating the
+    // per-step refill (min is monotone), computed overflow-safely.
+    const std::int64_t elapsed = t - last;
+    if (rate > 0 && elapsed > (cap - b) / rate) {
+      b = cap;
+    } else {
+      b += rate * elapsed;
+    }
+  }
+  last = t;
+  const std::int64_t dump = b / core::envelope::kTokenScale;
+  b -= dump * core::envelope::kTokenScale;
+  headroom_units_ += b;
+  active_.push_back(v);
+  planned_.emplace_back(v, static_cast<PacketCount>(dump));
+}
+
+void AdversarialArrival::begin_step(const core::ArrivalContext& ctx) {
+  active_.clear();
+  planned_.clear();
+  headroom_units_ = 0;
+  if (ctx.net != nullptr) {
+    ensure_sized(static_cast<std::size_t>(ctx.net->node_count()));
+  }
+  const std::size_t nsrc = ctx.sources.size();
+  if (ctx.net != nullptr && nsrc > 0) {
+    const auto in_of = [&](NodeId v) { return ctx.net->spec(v).in; };
+    const std::size_t take =
+        std::min<std::size_t>(opt_.fanout, nsrc);
+    switch (opt_.strategy) {
+      case AdversaryStrategy::kHoardDump: {
+        // Silent while hoarding; on dump steps the blast position comes
+        // off the phase-global addressed stream, so the seed moves it but
+        // engines and restores reproduce it exactly.
+        if ((ctx.t + 1) % opt_.period != 0) break;
+        std::size_t start = 0;
+        if (ctx.rng != nullptr) {
+          start = static_cast<std::size_t>(ctx.rng->uniform_int(
+              0, static_cast<std::int64_t>(nsrc) - 1));
+        }
+        for (std::size_t i = 0; i < take; ++i) {
+          const NodeId v = ctx.sources[(start + i) % nsrc];
+          dump_target(v, in_of(v), ctx.t);
+        }
+        break;
+      }
+      case AdversaryStrategy::kRotatingSweep: {
+        for (std::size_t i = 0; i < take; ++i) {
+          const NodeId v = ctx.sources[(cursor_ + i) % nsrc];
+          dump_target(v, in_of(v), ctx.t);
+        }
+        cursor_ = (cursor_ + take) % nsrc;
+        break;
+      }
+      case AdversaryStrategy::kQueueAware: {
+        // Aim the allowance at the sources already holding the longest
+        // queues (ties: lower id) — the hottest region the live snapshot
+        // exposes.  O(sources) scan + O(sources·log fanout) selection.
+        scratch_.clear();
+        for (const NodeId v : ctx.sources) {
+          const auto idx = static_cast<std::size_t>(v);
+          const PacketCount q =
+              idx < ctx.queues.size() ? ctx.queues[idx] : 0;
+          scratch_.emplace_back(q, v);
+        }
+        const auto hotter = [](const std::pair<PacketCount, NodeId>& a,
+                               const std::pair<PacketCount, NodeId>& b) {
+          if (a.first != b.first) return a.first > b.first;
+          return a.second < b.second;
+        };
+        std::partial_sort(scratch_.begin(),
+                          scratch_.begin() + static_cast<std::ptrdiff_t>(take),
+                          scratch_.end(), hotter);
+        for (std::size_t i = 0; i < take; ++i) {
+          const NodeId v = scratch_[i].second;
+          dump_target(v, in_of(v), ctx.t);
+        }
+        break;
+      }
+    }
+  }
+  // The injection phase binary-searches both tables by node id.
+  std::sort(active_.begin(), active_.end());
+  std::sort(planned_.begin(), planned_.end());
+  if (active_gauge_ != nullptr) {
+    active_gauge_->set(static_cast<double>(active_.size()));
+  }
+  if (headroom_gauge_ != nullptr) {
+    headroom_gauge_->set(static_cast<double>(headroom_units_) /
+                         static_cast<double>(core::envelope::kTokenScale));
+  }
+}
+
+PacketCount AdversarialArrival::packets(NodeId v, Cap, TimeStep, Rng&) {
+  const auto it = std::lower_bound(
+      planned_.begin(), planned_.end(), v,
+      [](const std::pair<NodeId, PacketCount>& entry, NodeId node) {
+        return entry.first < node;
+      });
+  if (it == planned_.end() || it->first != v) return 0;
+  return it->second;
+}
+
+void AdversarialArrival::register_metrics(obs::MetricRegistry& registry) {
+  active_gauge_ = &registry.gauge("adversary.active_sources");
+  headroom_gauge_ = &registry.gauge("adversary.envelope_headroom");
+}
+
+void AdversarialArrival::save_state(std::ostream& os) const {
+  std::uint32_t entries = 0;
+  for (const std::int64_t b : bucket_) {
+    if (b != kFresh) ++entries;
+  }
+  binio::write_u32(os, static_cast<std::uint32_t>(bucket_.size()));
+  binio::write_u64(os, cursor_);
+  binio::write_u32(os, entries);
+  for (std::size_t i = 0; i < bucket_.size(); ++i) {
+    if (bucket_[i] == kFresh) continue;
+    binio::write_u32(os, static_cast<std::uint32_t>(i));
+    binio::write_i64(os, bucket_[i]);
+    binio::write_i64(os, last_[i]);
+  }
+}
+
+void AdversarialArrival::load_state(std::istream& is) {
+  const std::uint32_t size = binio::read_u32(is);
+  if (size > kMaxStateNodes) bad_state("implausible node count");
+  const std::uint64_t cursor = binio::read_u64(is);
+  const std::uint32_t entries = binio::read_u32(is);
+  if (entries > size) bad_state("more entries than nodes");
+  bucket_.assign(size, kFresh);
+  last_.assign(size, 0);
+  cursor_ = cursor;
+  const std::int64_t cap = core::envelope::to_units(opt_.sigma);
+  std::int64_t prev = -1;
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    const std::uint32_t idx = binio::read_u32(is);
+    if (idx >= size) bad_state("entry index out of range");
+    if (static_cast<std::int64_t>(idx) <= prev) {
+      bad_state("entry indices not strictly ascending");
+    }
+    const std::int64_t units = binio::read_i64(is);
+    if (units < 0 || units > cap) {
+      bad_state("token balance outside [0, sigma]");
+    }
+    const std::int64_t last = binio::read_i64(is);
+    if (last < 0) bad_state("negative refill timestamp");
+    bucket_[idx] = units;
+    last_[idx] = last;
+    prev = idx;
+  }
+  active_.clear();
+  planned_.clear();
+}
+
+}  // namespace lgg::traffic

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
+#include <sstream>
 
+#include "common/binio.hpp"
 #include "common/require.hpp"
 
 namespace lgg::core {
@@ -177,6 +182,219 @@ TEST(TokenBucket, BadParametersRejected) {
   EXPECT_THROW(TokenBucketArrival(-0.1, 1.0, 1), ContractViolation);
   EXPECT_THROW(TokenBucketArrival(0.5, -1.0, 1), ContractViolation);
   EXPECT_THROW(TokenBucketArrival(0.5, 1.0, 0), ContractViolation);
+}
+
+/// Worst window excess over ALL windows (s, t]: with the deviation
+/// D(t) = Σ a − ρ·in·t, max_t (D(t) − min_{s<=t} D(s)) must stay ≤ σ.
+void expect_rho_sigma_admissible(const std::vector<PacketCount>& series,
+                                 double rho, Cap in_rate, double sigma) {
+  double cum = 0.0, min_prefix = 0.0, worst = 0.0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    cum += static_cast<double>(series[t]);
+    const double d =
+        cum - rho * static_cast<double>(in_rate) * static_cast<double>(t + 1);
+    worst = std::max(worst, d - min_prefix);
+    min_prefix = std::min(min_prefix, d);
+  }
+  EXPECT_LE(worst, sigma + 1e-9);
+}
+
+TEST(LeakyBucket, SigmaBurstUpFrontThenSmoothRate) {
+  // rho·in = 1 exactly (rate = one packet of token units per step): the
+  // full bucket fires first, then the flow settles to one packet a step.
+  LeakyBucketArrival arrival(0.5, 3.2);
+  Rng rng(1);
+  std::vector<PacketCount> seq;
+  for (TimeStep t = 0; t < 6; ++t) seq.push_back(arrival.packets(0, 2, t, rng));
+  EXPECT_EQ(seq, (std::vector<PacketCount>{3, 1, 1, 1, 1, 1}));
+}
+
+TEST(LeakyBucket, AdmissibleOverEveryWindow) {
+  LeakyBucketArrival arrival(0.7, 2.3);
+  Rng rng(1);
+  std::vector<PacketCount> series;
+  for (TimeStep t = 0; t < 300; ++t) {
+    series.push_back(arrival.packets(0, 3, t, rng));
+  }
+  expect_rho_sigma_admissible(series, 0.7, 3, 2.3);
+}
+
+TEST(LeakyBucket, LongRunRateApproachesRhoIn) {
+  // sigma comfortably above the per-step refill 2.1, so the cap never clips
+  // the fractional carry and the long-run rate converges to rho·in.
+  LeakyBucketArrival arrival(0.7, 8.0);
+  Rng rng(1);
+  std::vector<PacketCount> series;
+  for (TimeStep t = 0; t < 300; ++t) {
+    series.push_back(arrival.packets(0, 3, t, rng));
+  }
+  expect_rho_sigma_admissible(series, 0.7, 3, 8.0);
+  const double total = static_cast<double>(
+      std::accumulate(series.begin(), series.end(), PacketCount{0}));
+  EXPECT_GE(total, 0.7 * 3 * 300 - 2.0);
+}
+
+TEST(LeakyBucket, BadParametersRejected) {
+  EXPECT_THROW(LeakyBucketArrival(-0.1, 1.0), ContractViolation);
+  EXPECT_THROW(LeakyBucketArrival(0.5, -1.0), ContractViolation);
+  EXPECT_THROW(LeakyBucketArrival(std::nan(""), 1.0), ContractViolation);
+  EXPECT_THROW(
+      LeakyBucketArrival(0.5, std::numeric_limits<double>::infinity()),
+      ContractViolation);
+}
+
+TEST(LeakyBucket, LoadStateRejectsCorruptBlobs) {
+  const auto load = [](auto&& write_body) {
+    std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+    write_body(blob);
+    LeakyBucketArrival arrival(0.5, 4.0);
+    arrival.load_state(blob);
+  };
+  // Truncated header.
+  EXPECT_THROW(load([](std::ostream&) {}), std::runtime_error);
+  // More entries than nodes.
+  EXPECT_THROW(load([](std::ostream& os) {
+                 binio::write_u32(os, 2);
+                 binio::write_u32(os, 3);
+               }),
+               std::runtime_error);
+  // Indices not strictly ascending.
+  EXPECT_THROW(load([](std::ostream& os) {
+                 binio::write_u32(os, 4);
+                 binio::write_u32(os, 2);
+                 binio::write_u32(os, 1);
+                 binio::write_i64(os, 0);
+                 binio::write_u32(os, 1);
+                 binio::write_i64(os, 0);
+               }),
+               std::runtime_error);
+  // Balance above the sigma cap.
+  EXPECT_THROW(load([](std::ostream& os) {
+                 binio::write_u32(os, 4);
+                 binio::write_u32(os, 1);
+                 binio::write_u32(os, 0);
+                 binio::write_i64(os, std::int64_t{1} << 40);
+               }),
+               std::runtime_error);
+}
+
+TEST(ParetoArrival, HeavyTailWithCompliantMean) {
+  Rng rng(3);
+  ParetoArrival arrival(2.5, 1.0);
+  double total = 0.0;
+  PacketCount biggest = 0;
+  constexpr int kDraws = 20000;
+  for (TimeStep t = 0; t < kDraws; ++t) {
+    const PacketCount a = arrival.packets(0, 3, t, rng);
+    ASSERT_GE(a, 0);
+    total += static_cast<double>(a);
+    biggest = std::max(biggest, a);
+  }
+  // E[floor(X)] sits within one packet below the Lomax mean 3.
+  EXPECT_GT(total / kDraws, 2.0);
+  EXPECT_LT(total / kDraws, 3.2);
+  // The tail actually spikes — far beyond anything uniform would produce.
+  EXPECT_GT(biggest, 20);
+}
+
+TEST(ParetoArrival, ZeroMeanInjectsNothing) {
+  Rng rng(3);
+  ParetoArrival arrival(2.5, 0.0);
+  for (TimeStep t = 0; t < 50; ++t) {
+    EXPECT_EQ(arrival.packets(0, 4, t, rng), 0);
+  }
+}
+
+TEST(ParetoArrival, BadParametersRejected) {
+  EXPECT_THROW(ParetoArrival(1.0, 1.0), ContractViolation);  // infinite mean
+  EXPECT_THROW(ParetoArrival(0.5, 1.0), ContractViolation);
+  EXPECT_THROW(ParetoArrival(std::nan(""), 1.0), ContractViolation);
+  EXPECT_THROW(ParetoArrival(2.5, -1.0), ContractViolation);
+}
+
+TEST(DiurnalArrival, ExactOverWholePeriods) {
+  // The closed-form cumulative telescopes: over k full periods the cosine
+  // term cancels and the total is mean·in·k·period, exactly.
+  DiurnalArrival arrival(1.5, 0.8, 50);
+  Rng rng(1);
+  PacketCount total = 0;
+  for (TimeStep t = 0; t < 200; ++t) {
+    const PacketCount a = arrival.packets(0, 2, t, rng);
+    ASSERT_GE(a, 0);  // amp <= 1 keeps the instantaneous rate non-negative
+    total += a;
+  }
+  EXPECT_NEAR(static_cast<double>(total), 1.5 * 2 * 200, 1.0);
+}
+
+TEST(DiurnalArrival, ModulatesAcrossThePeriod) {
+  // amp = 1: the first half-period runs above the mean, the second half
+  // nearly silent.
+  DiurnalArrival arrival(1.0, 1.0, 40);
+  Rng rng(1);
+  PacketCount first_half = 0, second_half = 0;
+  for (TimeStep t = 0; t < 20; ++t) first_half += arrival.packets(0, 4, t, rng);
+  for (TimeStep t = 20; t < 40; ++t) {
+    second_half += arrival.packets(0, 4, t, rng);
+  }
+  EXPECT_GT(first_half, second_half);
+}
+
+TEST(DiurnalArrival, BadParametersRejected) {
+  EXPECT_THROW(DiurnalArrival(-1.0, 0.5, 10), ContractViolation);
+  EXPECT_THROW(DiurnalArrival(1.0, -0.1, 10), ContractViolation);
+  EXPECT_THROW(DiurnalArrival(1.0, 1.1, 10), ContractViolation);
+  EXPECT_THROW(DiurnalArrival(1.0, 0.5, 0), ContractViolation);
+  EXPECT_THROW(DiurnalArrival(std::nan(""), 0.5, 10), ContractViolation);
+}
+
+TEST(TokenBucket, LoadStateRejectsCorruptBlobs) {
+  const auto load = [](auto&& write_body) {
+    std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+    write_body(blob);
+    TokenBucketArrival arrival(0.5, 8.0, 4);
+    arrival.load_state(blob);
+  };
+  // Truncated header.
+  EXPECT_THROW(load([](std::ostream&) {}), std::runtime_error);
+  // Implausible node count.
+  EXPECT_THROW(load([](std::ostream& os) { binio::write_u32(os, 1u << 27); }),
+               std::runtime_error);
+  // More entries than nodes.
+  EXPECT_THROW(load([](std::ostream& os) {
+                 binio::write_u32(os, 2);
+                 binio::write_u32(os, 3);
+               }),
+               std::runtime_error);
+  // Non-finite balance.
+  EXPECT_THROW(load([](std::ostream& os) {
+                 binio::write_u32(os, 4);
+                 binio::write_u32(os, 1);
+                 binio::write_u32(os, 0);
+                 binio::write_f64(os, std::nan(""));
+               }),
+               std::runtime_error);
+  // Negative balance.
+  EXPECT_THROW(load([](std::ostream& os) {
+                 binio::write_u32(os, 4);
+                 binio::write_u32(os, 1);
+                 binio::write_u32(os, 0);
+                 binio::write_f64(os, -1.0);
+               }),
+               std::runtime_error);
+}
+
+TEST(TokenBucket, StateRoundTripContinuesTheSequence) {
+  TokenBucketArrival a(1.0, 10.0, 4);
+  Rng rng(1);
+  for (TimeStep t = 0; t < 6; ++t) a.packets(0, 2, t, rng);
+
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  a.save_state(blob);
+  TokenBucketArrival b(1.0, 10.0, 4);
+  b.load_state(blob);
+  for (TimeStep t = 6; t < 14; ++t) {
+    EXPECT_EQ(a.packets(0, 2, t, rng), b.packets(0, 2, t, rng)) << t;
+  }
 }
 
 TEST(TraceArrival, ReplaysExactlyThenZero) {

@@ -16,6 +16,7 @@
 
 #include "control/governor.hpp"
 #include "lgg.hpp"
+#include "traffic/adversary.hpp"
 
 namespace lgg {
 namespace {
@@ -60,10 +61,38 @@ void configure_governed(core::Simulator& sim) {
 }
 
 void configure_stateful_arrival(core::Simulator& sim) {
-  // TokenBucketArrival is order-sensitive: the engine must detect
-  // !parallel_safe() and keep the serial injection path.
+  // TokenBucketArrival keeps balances in flat per-node slots presized by
+  // begin_step, so it is parallel_safe: the sharded injection phase may run
+  // it concurrently and must still match the serial trajectory bitwise.
   sim.set_arrival(std::make_unique<core::TokenBucketArrival>(0.7, 8.0, 3));
   sim.set_loss(std::make_unique<core::PeriodicLoss>(7));
+}
+
+void configure_leaky(core::Simulator& sim) {
+  sim.set_arrival(std::make_unique<core::LeakyBucketArrival>(0.9, 12.0));
+  sim.set_loss(std::make_unique<core::BernoulliLoss>(0.05));
+}
+
+void configure_pareto(core::Simulator& sim) {
+  sim.set_arrival(std::make_unique<core::ParetoArrival>(2.5, 1.0));
+}
+
+void configure_diurnal(core::Simulator& sim) {
+  sim.set_arrival(std::make_unique<core::DiurnalArrival>(1.2, 0.6, 40));
+}
+
+void configure_adversary(core::Simulator& sim) {
+  // Sparse active-source sets force the engines onto the serial injection
+  // path; queue-aware targeting reads the live queue snapshot, so any
+  // engine skew in that snapshot diverges the byte streams here.
+  traffic::AdversaryOptions opt;
+  opt.strategy = traffic::AdversaryStrategy::kQueueAware;
+  opt.rho = 1.2;
+  opt.sigma = 24.0;
+  opt.period = 8;
+  opt.fanout = 3;
+  sim.set_arrival(std::make_unique<traffic::AdversarialArrival>(opt));
+  sim.set_loss(std::make_unique<core::BernoulliLoss>(0.05));
 }
 
 /// Scheduled topology churn: every mutation kind fires inside kHorizon, so
@@ -111,6 +140,10 @@ const std::vector<Fixture>& fixtures() {
       {"governed", stochastic_net, configure_governed, true},
       {"stateful-arrival", stochastic_net, configure_stateful_arrival,
        false},
+      {"leaky-arrival", stochastic_net, configure_leaky, false},
+      {"pareto-arrival", stochastic_net, configure_pareto, false},
+      {"diurnal-arrival", stochastic_net, configure_diurnal, false},
+      {"adversary-queue-aware", stochastic_net, configure_adversary, false},
       {"scheduled-churn", stochastic_net, configure_scheduled_churn, false},
       {"governed-churn", stochastic_net, configure_governed_churn, true},
   };

@@ -1,0 +1,407 @@
+// The adversarial arrival plane's core guarantee: every strategy, at every
+// seed, stays inside the (ρ,σ) envelope over EVERY window — checked by a
+// sliding-window oracle, not spot samples.  Plus the operational contracts:
+// sparse active-source sets (O(active) injection up to 10⁶ sources),
+// mid-hoard checkpoint byte-identity, and hardened state deserialization.
+#include "traffic/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/binio.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "core/arrival.hpp"
+#include "core/scenarios.hpp"
+#include "core/sd_network.hpp"
+#include "core/simulator.hpp"
+#include "graph/multigraph.hpp"
+
+namespace lgg::traffic {
+namespace {
+
+constexpr AdversaryStrategy kAllStrategies[] = {
+    AdversaryStrategy::kHoardDump,
+    AdversaryStrategy::kRotatingSweep,
+    AdversaryStrategy::kQueueAware,
+};
+
+/// Six sources with heterogeneous in-rates feeding a relay into one sink —
+/// heterogeneity matters because the envelope is per-source ρ·in(v)·w + σ.
+core::SdNetwork mixed_net() {
+  graph::Multigraph g(8);
+  for (NodeId v = 0; v < 6; ++v) {
+    g.add_edge(v, 6);
+    g.add_edge(v, 6);
+    g.add_edge(v, 6);
+  }
+  for (int i = 0; i < 12; ++i) g.add_edge(6, 7);
+  core::SdNetwork net(std::move(g));
+  for (NodeId v = 0; v < 6; ++v) net.set_source(v, 1 + v % 3);
+  net.set_sink(7, 12);
+  return net;
+}
+
+/// Star: n sources -> hub -> sink, every source with in = 1.  The shape of
+/// the million-source fixture.
+core::SdNetwork star_net(NodeId n_sources) {
+  graph::Multigraph g(n_sources + 2);
+  const NodeId hub = n_sources;
+  const NodeId sink = n_sources + 1;
+  for (NodeId v = 0; v < n_sources; ++v) g.add_edge(v, hub);
+  for (int i = 0; i < 64; ++i) g.add_edge(hub, sink);
+  core::SdNetwork net(std::move(g));
+  for (NodeId v = 0; v < n_sources; ++v) net.set_source(v, 1);
+  net.set_sink(sink, 64);
+  return net;
+}
+
+/// Drives the process directly (no simulator): one begin_step per step with
+/// a live context, then packets() for every source.  Returns the per-source
+/// injection series and checks the sparse-set contract along the way.
+std::vector<std::vector<PacketCount>> drive(AdversarialArrival& adv,
+                                            const core::SdNetwork& net,
+                                            TimeStep steps,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<NodeId>& sources = net.sources();
+  std::vector<PacketCount> queues(static_cast<std::size_t>(net.node_count()));
+  std::vector<std::vector<PacketCount>> series(sources.size());
+  for (TimeStep t = 0; t < steps; ++t) {
+    // Synthetic churning queue snapshot so kQueueAware has gradients to aim
+    // at (and re-aims every step).
+    for (NodeId v = 0; v < net.node_count(); ++v) {
+      queues[static_cast<std::size_t>(v)] =
+          (static_cast<PacketCount>(v) * 7 + t * 3) % 11;
+    }
+    core::ArrivalContext ctx;
+    ctx.t = t;
+    ctx.net = &net;
+    ctx.sources = sources;
+    ctx.queues = queues;
+    ctx.rng = &rng;
+    adv.begin_step(ctx);
+
+    const std::vector<NodeId>* active = adv.active_sources();
+    EXPECT_NE(active, nullptr);
+    EXPECT_LE(active->size(), static_cast<std::size_t>(adv.options().fanout));
+    EXPECT_TRUE(std::is_sorted(active->begin(), active->end()));
+    for (const NodeId v : *active) {
+      EXPECT_TRUE(std::binary_search(sources.begin(), sources.end(), v));
+    }
+
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const NodeId v = sources[i];
+      const PacketCount a = adv.packets(v, net.spec(v).in, t, rng);
+      EXPECT_GE(a, 0);
+      if (!std::binary_search(active->begin(), active->end(), v)) {
+        EXPECT_EQ(a, 0) << "untargeted source injected at step " << t;
+      }
+      series[i].push_back(a);
+    }
+  }
+  return series;
+}
+
+/// Sliding-window admissibility over ALL windows (s, t] in one pass:
+/// with D(t) = Σ_{u<=t} a(u) − ρ·in·t, the worst window excess is
+/// max_t (D(t) − min_{s<=t} D(s)), which must stay ≤ σ.
+void expect_admissible(const std::vector<PacketCount>& series, double rho,
+                       Cap in_rate, double sigma) {
+  double cum = 0.0;
+  double min_prefix = 0.0;  // D(0) = 0: the empty prefix
+  double worst = 0.0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    cum += static_cast<double>(series[t]);
+    const double d =
+        cum - rho * static_cast<double>(in_rate) * static_cast<double>(t + 1);
+    worst = std::max(worst, d - min_prefix);
+    min_prefix = std::min(min_prefix, d);
+  }
+  EXPECT_LE(worst, sigma + 1e-9);
+}
+
+TEST(AdversaryAdmissibility, EveryStrategyEverySeedEveryWindow) {
+  const core::SdNetwork net = mixed_net();
+  for (const AdversaryStrategy strategy : kAllStrategies) {
+    for (const std::uint64_t seed : {1u, 7u, 42u}) {
+      SCOPED_TRACE(std::string(to_string(strategy)) + " seed " +
+                   std::to_string(seed));
+      AdversaryOptions opt;
+      opt.strategy = strategy;
+      opt.rho = 1.3;  // deliberately beyond the feasible region
+      opt.sigma = 5.5;
+      opt.period = 8;
+      opt.fanout = 3;
+      AdversarialArrival adv(opt);
+      const auto series = drive(adv, net, 400, seed);
+      for (std::size_t i = 0; i < net.sources().size(); ++i) {
+        SCOPED_TRACE("source " + std::to_string(net.sources()[i]));
+        expect_admissible(series[i], opt.rho, net.spec(net.sources()[i]).in,
+                          opt.sigma);
+      }
+    }
+  }
+}
+
+TEST(AdversaryAdmissibility, SweepActuallySpendsItsEnvelope) {
+  // An admissible process that injects nothing would pass the oracle; the
+  // sweep with fanout >= |sources| must also be TIGHT — long-run throughput
+  // within rounding of ρ·in per source.
+  const core::SdNetwork net = mixed_net();
+  AdversaryOptions opt;
+  opt.strategy = AdversaryStrategy::kRotatingSweep;
+  opt.rho = 0.5;
+  opt.sigma = 4.0;
+  opt.fanout = 64;  // covers all six sources every step
+  AdversarialArrival adv(opt);
+  constexpr TimeStep kSteps = 400;
+  const auto series = drive(adv, net, kSteps, 3);
+  for (std::size_t i = 0; i < net.sources().size(); ++i) {
+    const double rate =
+        opt.rho * static_cast<double>(net.spec(net.sources()[i]).in);
+    double total = 0;
+    for (const PacketCount a : series[i]) total += static_cast<double>(a);
+    EXPECT_GE(total, rate * kSteps - 2.0)
+        << "source " << net.sources()[i] << " left envelope unspent";
+  }
+}
+
+TEST(AdversaryAdmissibility, HoardLongRunRateIsCappedBySigmaOverPeriod) {
+  // Between dumps the bucket saturates at σ, so hoard's long-run rate is
+  // min(ρ·in, σ/period) — the semantics behind the atlas's hoard column.
+  const core::SdNetwork net = mixed_net();
+  AdversaryOptions opt;
+  opt.rho = 10.0;  // envelope rate far above the cap
+  opt.sigma = 8.0;
+  opt.period = 16;
+  opt.fanout = 64;
+  AdversarialArrival adv(opt);
+  constexpr TimeStep kSteps = 480;
+  const auto series = drive(adv, net, kSteps, 11);
+  double total = 0;
+  for (const auto& s : series) {
+    for (const PacketCount a : s) total += static_cast<double>(a);
+  }
+  const double cap_rate =
+      opt.sigma / static_cast<double>(opt.period);  // per source per step
+  EXPECT_LE(total, (cap_rate * kSteps + opt.sigma) *
+                       static_cast<double>(net.sources().size()));
+}
+
+TEST(AdversaryOptions, BadParametersRejected) {
+  const auto with = [](auto&& mutate) {
+    AdversaryOptions opt;
+    mutate(opt);
+    return opt;
+  };
+  EXPECT_THROW(AdversarialArrival(with([](auto& o) { o.rho = -0.1; })),
+               ContractViolation);
+  EXPECT_THROW(
+      AdversarialArrival(with([](auto& o) { o.rho = std::nan(""); })),
+      ContractViolation);
+  EXPECT_THROW(AdversarialArrival(with([](auto& o) { o.sigma = -1.0; })),
+               ContractViolation);
+  EXPECT_THROW(
+      AdversarialArrival(
+          with([](auto& o) { o.sigma = std::numeric_limits<double>::infinity(); })),
+      ContractViolation);
+  EXPECT_THROW(AdversarialArrival(with([](auto& o) { o.period = 0; })),
+               ContractViolation);
+  EXPECT_THROW(AdversarialArrival(with([](auto& o) { o.fanout = 0; })),
+               ContractViolation);
+}
+
+std::unique_ptr<AdversarialArrival> hoard_adversary() {
+  AdversaryOptions opt;
+  opt.strategy = AdversaryStrategy::kHoardDump;
+  opt.rho = 1.2;
+  opt.sigma = 24.0;
+  opt.period = 16;
+  opt.fanout = 4;
+  return std::make_unique<AdversarialArrival>(opt);
+}
+
+TEST(AdversaryCheckpoint, MidHoardResumeIsBitwiseIdentical) {
+  // Break at t = 9: buckets are mid-hoard (next dump at t = 15), so the
+  // resumed run only matches if the bucket balances, catch-up timestamps,
+  // and sweep cursor all rode the v7 blob exactly.
+  constexpr TimeStep kHorizon = 64;
+  constexpr TimeStep kBreak = 9;
+  const auto build = [] {
+    core::SimulatorOptions options;
+    options.seed = 0xAD5E;
+    auto sim = std::make_unique<core::Simulator>(
+        core::scenarios::grid_single(4, 5), options);
+    sim->set_arrival(hoard_adversary());
+    return sim;
+  };
+
+  auto reference = build();
+  reference->run(kHorizon);
+  std::ostringstream ref_blob(std::ios::binary);
+  reference->save_checkpoint(ref_blob);
+
+  for (const bool sharded : {false, true}) {
+    SCOPED_TRACE(sharded ? "sharded resume" : "serial resume");
+    auto first = build();
+    first->run(kBreak);
+    std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+    first->save_checkpoint(blob);
+
+    auto resumed = build();
+    if (sharded) resumed->enable_sharding(4, 2);
+    resumed->restore_checkpoint(blob);
+    ASSERT_EQ(resumed->now(), kBreak);
+    resumed->run(kHorizon - kBreak);
+    EXPECT_TRUE(std::equal(reference->queues().begin(),
+                           reference->queues().end(),
+                           resumed->queues().begin()));
+    std::ostringstream resumed_blob(std::ios::binary);
+    resumed->save_checkpoint(resumed_blob);
+    EXPECT_EQ(ref_blob.str(), resumed_blob.str())
+        << "checkpoint bytes differ after mid-hoard resume";
+    EXPECT_TRUE(resumed->conserves_packets());
+  }
+}
+
+TEST(AdversarySparse, InjectionVisitsOnlyTargets) {
+  core::SimulatorOptions options;
+  options.seed = 5;
+  core::Simulator sim(star_net(512), options);
+  AdversaryOptions opt;
+  opt.strategy = AdversaryStrategy::kRotatingSweep;
+  opt.rho = 1.0;
+  opt.sigma = 8.0;
+  opt.fanout = 8;
+  sim.set_arrival(std::make_unique<AdversarialArrival>(opt));
+  sim.run(5);
+  EXPECT_EQ(sim.last_injection_visits(), 8u);
+
+  // The dense reference on the same topology walks every source.
+  core::Simulator dense(star_net(512), options);
+  dense.set_arrival(std::make_unique<core::LeakyBucketArrival>(1.0, 8.0));
+  dense.run(5);
+  EXPECT_EQ(dense.last_injection_visits(), 512u);
+}
+
+TEST(AdversarySparse, MillionSourceStepIsOActive) {
+  // The acceptance fixture: 10^6 sources, injection touches only the
+  // adversary's fanout per step — not the source list.
+  core::SimulatorOptions options;
+  options.seed = 1;
+  core::Simulator sim(star_net(1'000'000), options);
+  AdversaryOptions opt;
+  opt.strategy = AdversaryStrategy::kRotatingSweep;
+  opt.rho = 0.9;
+  opt.sigma = 32.0;
+  opt.fanout = 64;
+  sim.set_arrival(std::make_unique<AdversarialArrival>(opt));
+  sim.run(3);
+  EXPECT_EQ(sim.last_injection_visits(), 64u);
+  EXPECT_TRUE(sim.conserves_packets());
+}
+
+TEST(AdversaryState, RoundTripPreservesBucketsAndCursor) {
+  const core::SdNetwork net = mixed_net();
+  AdversaryOptions opt;
+  opt.strategy = AdversaryStrategy::kRotatingSweep;
+  opt.rho = 0.7;
+  opt.sigma = 6.0;
+  opt.fanout = 2;
+  AdversarialArrival a(opt);
+  drive(a, net, 37, 9);
+
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  a.save_state(blob);
+  AdversarialArrival b(opt);
+  b.load_state(blob);
+
+  // Both continuations must emit identical injections.
+  const auto sa = drive(a, net, 50, 77);
+  const auto sb = drive(b, net, 50, 77);
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(AdversaryState, LoadRejectsCorruptBlobs) {
+  const auto load = [](auto&& write_body) {
+    std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+    write_body(blob);
+    AdversaryOptions opt;
+    opt.sigma = 6.0;
+    AdversarialArrival adv(opt);
+    adv.load_state(blob);
+  };
+  namespace binio = lgg::binio;
+  // Truncated header.
+  EXPECT_THROW(load([](std::ostream&) {}), std::runtime_error);
+  // Implausible node count.
+  EXPECT_THROW(load([](std::ostream& os) { binio::write_u32(os, 1u << 27); }),
+               std::runtime_error);
+  // More entries than nodes.
+  EXPECT_THROW(load([](std::ostream& os) {
+                 binio::write_u32(os, 4);
+                 binio::write_u64(os, 0);
+                 binio::write_u32(os, 5);
+               }),
+               std::runtime_error);
+  // Entry index out of range.
+  EXPECT_THROW(load([](std::ostream& os) {
+                 binio::write_u32(os, 4);
+                 binio::write_u64(os, 0);
+                 binio::write_u32(os, 1);
+                 binio::write_u32(os, 9);
+                 binio::write_i64(os, 0);
+                 binio::write_i64(os, 0);
+               }),
+               std::runtime_error);
+  // Indices not strictly ascending.
+  EXPECT_THROW(load([](std::ostream& os) {
+                 binio::write_u32(os, 4);
+                 binio::write_u64(os, 0);
+                 binio::write_u32(os, 2);
+                 binio::write_u32(os, 2);
+                 binio::write_i64(os, 0);
+                 binio::write_i64(os, 0);
+                 binio::write_u32(os, 2);
+                 binio::write_i64(os, 0);
+                 binio::write_i64(os, 0);
+               }),
+               std::runtime_error);
+  // Token balance above the sigma cap.
+  EXPECT_THROW(load([](std::ostream& os) {
+                 binio::write_u32(os, 4);
+                 binio::write_u64(os, 0);
+                 binio::write_u32(os, 1);
+                 binio::write_u32(os, 0);
+                 binio::write_i64(os, std::int64_t{1} << 40);
+                 binio::write_i64(os, 0);
+               }),
+               std::runtime_error);
+  // Negative refill timestamp.
+  EXPECT_THROW(load([](std::ostream& os) {
+                 binio::write_u32(os, 4);
+                 binio::write_u64(os, 0);
+                 binio::write_u32(os, 1);
+                 binio::write_u32(os, 0);
+                 binio::write_i64(os, 0);
+                 binio::write_i64(os, -1);
+               }),
+               std::runtime_error);
+}
+
+TEST(AdversaryStrategyNames, RoundTrip) {
+  EXPECT_EQ(to_string(AdversaryStrategy::kHoardDump), "hoard");
+  EXPECT_EQ(to_string(AdversaryStrategy::kRotatingSweep), "sweep");
+  EXPECT_EQ(to_string(AdversaryStrategy::kQueueAware), "queue_aware");
+}
+
+}  // namespace
+}  // namespace lgg::traffic

@@ -46,7 +46,8 @@ namespace {
       stderr,
       "usage: %s soak [--scenarios N] [--seed S] [--from FILE]... "
       "[--out DIR] [--deadline-ms N] [--max-attempts N] [--backoff-ms N] "
-      "[--time-budget-ms N] [--shrink] [--shards K] [--churn-bias]\n"
+      "[--time-budget-ms N] [--shrink] [--shards K] [--churn-bias] "
+      "[--adversary-bias]\n"
       "       %s shrink FILE [--out DIR] [--probe-deadline-ms N]\n"
       "       %s replay FILE [--expect OUTCOME_FILE]\n",
       argv0, argv0, argv0);
@@ -92,6 +93,7 @@ int cmd_soak(int argc, char** argv) {
   long long time_budget_ms = 0;
   long long shards = 0;
   bool churn_bias = false;
+  bool adversary_bias = false;
   chaos::ExecutorOptions options;
 
   for (int i = 0; i < argc; ++i) {
@@ -137,6 +139,11 @@ int cmd_soak(int argc, char** argv) {
       // Generate every scenario with a scripted topology-churn schedule
       // (the mutate-and-heal family) — the nightly churn soak leg.
       churn_bias = true;
+    } else if (arg == "--adversary-bias") {
+      // Generate every scenario with a (ρ,σ)-bounded adversarial arrival,
+      // rho drawn near the stability frontier — the nightly adversarial
+      // soak leg.
+      adversary_bias = true;
     } else {
       std::fprintf(stderr, "unknown soak option %s\n", arg.c_str());
       std::exit(kExitUsage);
@@ -164,6 +171,7 @@ int cmd_soak(int argc, char** argv) {
   } else {
     chaos::GeneratorOptions gen_options;
     if (churn_bias) gen_options.p_scheduled_churn = 1.0;
+    if (adversary_bias) gen_options.p_adversarial = 1.0;
     chaos::ScenarioGenerator generator(seed, gen_options);
     for (long long i = 0; i < scenarios; ++i) {
       if (chaos::Executor::stop_requested() || !budget_left()) break;

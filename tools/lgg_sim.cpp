@@ -13,6 +13,18 @@
 //                          backpressure | hot_potato | random_walk
 //     --loss P             Bernoulli loss probability   (default 0)
 //     --arrival-scale F    ScaledArrival factor         (default: exact)
+//     --arrival SPEC       arrival process (src/traffic/spec.hpp grammar):
+//                          exact | scaled:factor= | bernoulli:p= |
+//                          uniform:mean= | poisson:mean= | geometric:mean= |
+//                          burst:high=,low=,len=,period= |
+//                          diurnal:mean=,amp=,period= | pareto:alpha=,mean= |
+//                          leaky:rho=,sigma= | token_bucket:r=,b=,period= |
+//                          adversary[:strategy=hoard|sweep|queue_aware,
+//                                     rho=,sigma=,period=,fanout=]
+//                          Strictly validated (unknown name/key, duplicate
+//                          or missing keys, malformed numbers, and invalid
+//                          parameters are usage errors, exit 2).  Mutually
+//                          exclusive with --arrival-scale.
 //     --matching           node-exclusive greedy matching scheduler
 //     --churn P_OFF P_ON   random edge churn
 //     --faults SPEC        fault schedule (core/faults.hpp grammar), e.g.
@@ -106,13 +118,14 @@
 #include "core/trace_io.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
+#include "traffic/spec.hpp"
 
 namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--steps N] [--seed S] [--protocol NAME] "
-               "[--loss P] [--arrival-scale F] [--matching] "
+               "[--loss P] [--arrival-scale F] [--arrival SPEC] [--matching] "
                "[--churn P_OFF P_ON] [--faults SPEC] [--checkpoint FILE] "
                "[--checkpoint-every N] [--resume FILE] [--csv FILE] "
                "[--telemetry FILE] [--telemetry-every K] "
@@ -183,6 +196,7 @@ int main(int argc, char** argv) {
   std::string protocol = "lgg";
   double loss = 0.0;
   double arrival_scale = -1.0;
+  std::string arrival_spec;
   bool matching = false;
   double churn_off = -1.0, churn_on = -1.0;
   std::string faults_spec;
@@ -233,6 +247,12 @@ int main(int argc, char** argv) {
       arrival_scale = parse_double("--arrival-scale", next("--arrival-scale"));
       if (arrival_scale < 0.0) {
         std::fprintf(stderr, "error: --arrival-scale wants a factor >= 0\n");
+        return lgg::kExitUsage;
+      }
+    } else if (arg == "--arrival") {
+      arrival_spec = next("--arrival");
+      if (arrival_spec.empty()) {
+        std::fprintf(stderr, "error: --arrival wants a spec\n");
         return lgg::kExitUsage;
       }
     } else if (arg == "--matching") {
@@ -354,6 +374,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --threads needs --shards\n");
     return lgg::kExitUsage;
   }
+  if (!arrival_spec.empty() && arrival_scale >= 0.0) {
+    std::fprintf(stderr,
+                 "error: --arrival and --arrival-scale are mutually "
+                 "exclusive\n");
+    return lgg::kExitUsage;
+  }
 
   try {
     core::SdNetwork net = [&] {
@@ -401,6 +427,11 @@ int main(int argc, char** argv) {
     if (loss > 0) sim.set_loss(std::make_unique<core::BernoulliLoss>(loss));
     if (arrival_scale >= 0) {
       sim.set_arrival(std::make_unique<core::ScaledArrival>(arrival_scale));
+    }
+    if (!arrival_spec.empty()) {
+      // Syntax and parameter errors throw ContractViolation, which the
+      // enclosing catch maps to the usage exit code.
+      sim.set_arrival(traffic::make_arrival(arrival_spec));
     }
     if (matching) {
       sim.set_scheduler(std::make_unique<core::GreedyMatchingScheduler>());
