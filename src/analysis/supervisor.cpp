@@ -9,6 +9,7 @@
 #include <mutex>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include <signal.h>
 
@@ -16,9 +17,12 @@
 #include "common/rng.hpp"
 #include "control/sentinel.hpp"
 #include "core/checkpoint.hpp"
+#include "core/ckpt_chain.hpp"
 #include "core/faults.hpp"
 #include "core/simulator.hpp"
 #include "obs/expose.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 
 namespace lgg::analysis {
 
@@ -36,6 +40,11 @@ RunSupervisor::RunSupervisor(SupervisorOptions options)
   LGG_REQUIRE(options_.checkpoint_every == 0 ||
                   !options_.checkpoint_path.empty(),
               "RunSupervisor: periodic checkpoints need a checkpoint_path");
+  LGG_REQUIRE(options_.generations >= 1, "RunSupervisor: generations >= 1");
+  LGG_REQUIRE(options_.max_recoveries >= 0,
+              "RunSupervisor: max_recoveries >= 0");
+  LGG_REQUIRE(options_.max_recoveries == 0 || options_.generations >= 2,
+              "RunSupervisor: self-healing needs generations >= 2");
 }
 
 namespace {
@@ -88,6 +97,45 @@ class ScopedSignalTrap {
   struct sigaction old_term_ {};
   struct sigaction old_usr1_ {};
 };
+
+/// One self-heal: pre-restore flight event, rollback via the chain, then a
+/// durable side-journal line.  The flight event goes in *before* the
+/// restore so the restored ring wipes it — the event stream stays
+/// byte-identical to an uninterrupted run's — leaving it visible only in
+/// crash dumps written between the failure and the rollback.  The journal
+/// (`<base>.recovery.jsonl`, append-only) is the durable out-of-band record
+/// of every heal, for the same reason the counters live in statusz rather
+/// than the metric registry.
+std::optional<core::CheckpointChain::Recovery> self_heal(
+    const SupervisorOptions& options, core::Simulator& sim,
+    core::CheckpointChain& chain, const std::string& error, int attempt) {
+  if (sim.telemetry() != nullptr && sim.telemetry()->flight() != nullptr) {
+    sim.telemetry()->record_event(
+        {sim.now(), obs::EventKind::kRecovery, kInvalidNode, kInvalidNode,
+         static_cast<std::int64_t>(chain.latest())});
+  }
+  const TimeStep failed_at = sim.now();
+  auto recovered = chain.recover(sim, options.telemetry_rewind);
+  if (!recovered.has_value()) return recovered;
+
+  std::ofstream journal(chain.base_path() + ".recovery.jsonl",
+                        std::ios::app);
+  if (journal.is_open()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("type", "recovery");
+    w.field("attempt", static_cast<std::int64_t>(attempt));
+    w.field("failed_at", static_cast<std::int64_t>(failed_at));
+    w.field("restored_step", static_cast<std::int64_t>(recovered->step));
+    w.field("generation", recovered->generation);
+    w.field("rollback_depth",
+            static_cast<std::int64_t>(recovered->rollback_depth));
+    w.field("error", error);
+    w.end_object();
+    journal << w.str() << '\n';
+  }
+  return recovered;
+}
 
 }  // namespace
 
@@ -146,23 +194,44 @@ SupervisedResult RunSupervisor::run(core::Simulator& sim, TimeStep steps,
   const Deadline deadline(options_.deadline);
   std::optional<ScopedSignalTrap> trap;
   if (options_.handle_signals) trap.emplace();
-  // Divergence watching is unified behind the saturation sentinel: the
-  // configured raw bound stays as the compatibility backstop, and on top of
-  // it the sentinel's statistical verdict (Page–Hinkley past threshold with
-  // P_t beyond an absolute floor) catches runaway growth the fixed
-  // threshold would only meet much later.  When an admission controller is
-  // attached, statistical overload is its job to govern — the supervisor
-  // then aborts only on the raw backstop, i.e. govern-and-continue.
-  std::optional<control::SaturationSentinel> sentinel;
-  if (options_.divergence_bound > 0.0) {
-    sentinel.emplace(sim.network());
+
+  // Self-healing works against a *target* step, not a remaining count: a
+  // rollback moves sim.now() backwards and the healed attempt must re-run
+  // the lost ground, so every loop recomputes remaining = target - now().
+  const TimeStep start_step = sim.now();
+  const TimeStep target_step = start_step + steps;
+
+  // Generation-chain mode (generations >= 2): periodic checkpoints become
+  // ring generations with a CRC'd manifest, the substrate self-healing
+  // rolls back onto.  generations == 1 keeps the classic single-file path
+  // bit for bit.
+  std::optional<core::CheckpointChain> chain;
+  if (options_.generations >= 2 && !options_.checkpoint_path.empty()) {
+    chain.emplace(options_.checkpoint_path, options_.generations);
   }
-  TimeStep next_checkpoint =
-      options_.checkpoint_every > 0 ? sim.now() + options_.checkpoint_every
-                                    : std::numeric_limits<TimeStep>::max();
+  const auto write_checkpoint = [&]() {
+    if (options_.checkpoint_path.empty()) return;
+    // Record the event *before* writing: the saved telemetry state then
+    // includes it, so a resumed stream matches the uninterrupted one byte
+    // for byte.
+    if (sim.telemetry() != nullptr && sim.telemetry()->armed()) {
+      sim.telemetry()->record_checkpoint(sim.now());
+    }
+    if (chain.has_value()) {
+      chain->append(sim, options_.telemetry_offset != nullptr
+                             ? options_.telemetry_offset()
+                             : 0);
+    } else {
+      core::write_checkpoint_file_atomic(sim, options_.checkpoint_path);
+    }
+  };
+
   // Live exposition: periodic and SIGUSR1-triggered statusz snapshots.
   // Writes are atomic (temp + rename) and read only completed-step state,
-  // so a watcher never perturbs — or tears — the run.
+  // so a watcher never perturbs — or tears — the run.  Recovery counters
+  // ride along here (and in the side journal) rather than in the metric
+  // registry: registry contents land in telemetry snapshot lines, and the
+  // healed stream must stay byte-identical to an uninterrupted run's.
   std::uint64_t statusz_writes = 0;
   const auto write_statusz = [&]() {
     obs::StatuszInfo info;
@@ -176,100 +245,146 @@ SupervisedResult RunSupervisor::run(core::Simulator& sim, TimeStep steps,
                                ? tel->flight()->recorded()
                                : 0;
     info.writes = ++statusz_writes;
+    info.recoveries = static_cast<std::uint64_t>(result.recoveries);
+    info.rollback_depth = static_cast<std::uint64_t>(result.rollback_depth);
     obs::write_statusz_file(options_.statusz_path, info,
                             tel != nullptr ? &tel->registry() : nullptr);
   };
-  TimeStep next_statusz =
-      !options_.statusz_path.empty() && options_.statusz_every > 0
-          ? sim.now() + options_.statusz_every
-          : std::numeric_limits<TimeStep>::max();
-  try {
-    TimeStep remaining = steps;
-    while (remaining > 0) {
-      if (trap && ScopedSignalTrap::stop_requested()) {
-        // Graceful stop: leave resumable state behind before returning.
-        if (!options_.checkpoint_path.empty()) {
-          if (sim.telemetry() != nullptr && sim.telemetry()->armed()) {
-            sim.telemetry()->record_checkpoint(sim.now());
+
+  // Divergence watching is unified behind the saturation sentinel: the
+  // configured raw bound stays as the compatibility backstop, and on top of
+  // it the sentinel's statistical verdict (Page–Hinkley past threshold with
+  // P_t beyond an absolute floor) catches runaway growth the fixed
+  // threshold would only meet much later.  When an admission controller is
+  // attached, statistical overload is its job to govern — the supervisor
+  // then aborts only on the raw backstop, i.e. govern-and-continue.
+  std::optional<control::SaturationSentinel> sentinel;
+  std::int64_t backoff_ms = options_.recovery_backoff_ms;
+  for (;;) {
+    // (Re)armed fresh on every attempt: after a rollback the sentinel
+    // would otherwise see time run backwards.
+    if (options_.divergence_bound > 0.0) sentinel.emplace(sim.network());
+    TimeStep next_checkpoint =
+        options_.checkpoint_every > 0 ? sim.now() + options_.checkpoint_every
+                                      : std::numeric_limits<TimeStep>::max();
+    TimeStep next_statusz =
+        !options_.statusz_path.empty() && options_.statusz_every > 0
+            ? sim.now() + options_.statusz_every
+            : std::numeric_limits<TimeStep>::max();
+    try {
+      while (sim.now() < target_step) {
+        if (trap && ScopedSignalTrap::stop_requested()) {
+          // Graceful stop: leave resumable state behind before returning.
+          write_checkpoint();
+          result.kind = SupervisedResult::FailureKind::kStopped;
+          result.error = "stopped by signal at step " +
+                         std::to_string(static_cast<long long>(sim.now()));
+          result.crash_dump_path = write_crash_dump(sim, result.error);
+          result.steps_done = sim.now() - start_step;
+          if (!options_.statusz_path.empty()) write_statusz();
+          return result;
+        }
+        if (trap && !options_.statusz_path.empty() &&
+            ScopedSignalTrap::take_statusz_request()) {
+          // SIGUSR1: statusz plus a flight-recorder dump, then keep going —
+          // the flight ring is read-only here, so the trajectory is
+          // untouched.
+          write_statusz();
+          if (sim.telemetry() != nullptr &&
+              sim.telemetry()->flight() != nullptr) {
+            std::ostringstream events;
+            sim.telemetry()->dump_flight(events);
+            obs::write_file_atomic(options_.statusz_path + ".events.jsonl",
+                                   events.str());
           }
-          core::write_checkpoint_file_atomic(sim, options_.checkpoint_path);
         }
-        result.kind = SupervisedResult::FailureKind::kStopped;
-        result.error = "stopped by signal at step " +
-                       std::to_string(static_cast<long long>(sim.now()));
+        // Shrink the chunk so checkpoints land exactly on multiples of
+        // checkpoint_every — a resumed run then restarts at a predictable
+        // step instead of whatever health-check boundary came next.
+        const TimeStep chunk =
+            std::min({target_step - sim.now(), options_.check_every,
+                      next_checkpoint - sim.now(), next_statusz - sim.now()});
+        sim.run(chunk, recorder);
+
+        if (sim.now() >= next_statusz) {
+          write_statusz();
+          next_statusz = sim.now() + options_.statusz_every;
+        }
+
+        if (sentinel.has_value()) {
+          const double potential = sim.network_state();
+          sentinel->observe(sim.now(), potential);
+          const bool raw = potential > options_.divergence_bound;
+          if (raw || (sim.admission() == nullptr &&
+                      sentinel->diverged(0.0, potential))) {
+            std::ostringstream msg;
+            msg << sentinel->describe_divergence(
+                       raw ? options_.divergence_bound : 0.0, potential)
+                << " at step " << sim.now();
+            throw DivergenceDetected(msg.str());
+          }
+        }
+        deadline.check(options_.label);
+
+        if (sim.now() >= next_checkpoint) {
+          write_checkpoint();
+          next_checkpoint = sim.now() + options_.checkpoint_every;
+        }
+      }
+      result.ok = true;
+      break;
+    } catch (const DivergenceDetected& e) {
+      // Not healed: the trajectory is deterministic, so a rollback would
+      // replay the identical divergence.  Same for deadlines — the budget
+      // is already spent.
+      result.kind = SupervisedResult::FailureKind::kDivergence;
+      result.error = e.what();
+      result.crash_dump_path = write_crash_dump(sim, result.error);
+      break;
+    } catch (const DeadlineExceeded& e) {
+      result.kind = SupervisedResult::FailureKind::kDeadline;
+      result.error = e.what();
+      result.crash_dump_path = write_crash_dump(sim, result.error);
+      break;
+    } catch (const std::exception& e) {
+      const bool healing =
+          chain.has_value() && options_.max_recoveries > 0;
+      if (!healing) {
+        result.kind = SupervisedResult::FailureKind::kError;
+        result.error = e.what();
         result.crash_dump_path = write_crash_dump(sim, result.error);
-        if (!options_.statusz_path.empty()) write_statusz();
-        return result;
+        break;
       }
-      if (trap && !options_.statusz_path.empty() &&
-          ScopedSignalTrap::take_statusz_request()) {
-        // SIGUSR1: statusz plus a flight-recorder dump, then keep going —
-        // the flight ring is read-only here, so the trajectory is
-        // untouched.
-        write_statusz();
-        if (sim.telemetry() != nullptr &&
-            sim.telemetry()->flight() != nullptr) {
-          std::ostringstream events;
-          sim.telemetry()->dump_flight(events);
-          obs::write_file_atomic(options_.statusz_path + ".events.jsonl",
-                                 events.str());
-        }
+      if (result.recoveries >= options_.max_recoveries) {
+        result.kind = SupervisedResult::FailureKind::kRecoveryExhausted;
+        result.error = "recovery budget (" +
+                       std::to_string(options_.max_recoveries) +
+                       ") exhausted; last error: " + e.what();
+        result.crash_dump_path = write_crash_dump(sim, result.error);
+        break;
       }
-      // Shrink the chunk so checkpoints land exactly on multiples of
-      // checkpoint_every — a resumed run then restarts at a predictable
-      // step instead of whatever health-check boundary came next.
-      const TimeStep chunk =
-          std::min({remaining, options_.check_every,
-                    next_checkpoint - sim.now(), next_statusz - sim.now()});
-      sim.run(chunk, recorder);
-      remaining -= chunk;
-      result.steps_done += chunk;
-
-      if (sim.now() >= next_statusz) {
-        write_statusz();
-        next_statusz = sim.now() + options_.statusz_every;
+      const std::optional<core::CheckpointChain::Recovery> recovered =
+          self_heal(options_, sim, *chain, e.what(), result.recoveries + 1);
+      if (!recovered.has_value()) {
+        result.kind = SupervisedResult::FailureKind::kRecoveryExhausted;
+        result.error = "no valid checkpoint generation to roll back to; "
+                       "last error: " +
+                       std::string(e.what());
+        result.crash_dump_path = write_crash_dump(sim, result.error);
+        break;
       }
-
-      if (sentinel.has_value()) {
-        const double potential = sim.network_state();
-        sentinel->observe(sim.now(), potential);
-        const bool raw = potential > options_.divergence_bound;
-        if (raw || (sim.admission() == nullptr &&
-                    sentinel->diverged(0.0, potential))) {
-          std::ostringstream msg;
-          msg << sentinel->describe_divergence(
-                     raw ? options_.divergence_bound : 0.0, potential)
-              << " at step " << sim.now();
-          throw DivergenceDetected(msg.str());
-        }
+      ++result.recoveries;
+      result.rollback_depth =
+          std::max(result.rollback_depth, recovered->rollback_depth);
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
       }
-      deadline.check(options_.label);
-
-      if (sim.now() >= next_checkpoint) {
-        // Record the event *before* writing: the saved telemetry state
-        // then includes it, so a resumed stream matches the uninterrupted
-        // one byte for byte.
-        if (sim.telemetry() != nullptr && sim.telemetry()->armed()) {
-          sim.telemetry()->record_checkpoint(sim.now());
-        }
-        core::write_checkpoint_file_atomic(sim, options_.checkpoint_path);
-        next_checkpoint = sim.now() + options_.checkpoint_every;
-      }
+      backoff_ms = std::min(backoff_ms > 0 ? backoff_ms * 2 : 0,
+                            options_.recovery_backoff_max_ms);
+      continue;
     }
-    result.ok = true;
-  } catch (const DivergenceDetected& e) {
-    result.kind = SupervisedResult::FailureKind::kDivergence;
-    result.error = e.what();
-    result.crash_dump_path = write_crash_dump(sim, result.error);
-  } catch (const DeadlineExceeded& e) {
-    result.kind = SupervisedResult::FailureKind::kDeadline;
-    result.error = e.what();
-    result.crash_dump_path = write_crash_dump(sim, result.error);
-  } catch (const std::exception& e) {
-    result.kind = SupervisedResult::FailureKind::kError;
-    result.error = e.what();
-    result.crash_dump_path = write_crash_dump(sim, result.error);
   }
+  result.steps_done = sim.now() - start_step;
   // Final exposition so watchers see the terminal state (ok or failed).
   if (!options_.statusz_path.empty()) write_statusz();
   return result;

@@ -101,6 +101,32 @@ struct SupervisorOptions {
   std::string statusz_path;
   /// Steps between periodic statusz writes; 0 = only on SIGUSR1/run end.
   TimeStep statusz_every = 0;
+  /// Checkpoint generations retained as a ring (core/ckpt_chain.hpp).
+  /// 1 keeps the classic single-file behavior; >= 2 switches periodic
+  /// checkpoints to generation-chain mode: each snapshot becomes
+  /// `checkpoint_path`.genNNNNNN and a CRC'd manifest
+  /// (`checkpoint_path`.manifest) is updated last, so a newest *valid*
+  /// generation exists no matter where the process dies.
+  int generations = 1;
+  /// Self-healing budget: on an I/O or simulator error (not divergence —
+  /// a deterministic trajectory re-diverges identically, so rollback
+  /// cannot help it), roll back to the newest valid generation and retry,
+  /// at most this many times.  0 disables self-healing (errors fail the
+  /// run as before).  Requires generations >= 2.
+  int max_recoveries = 0;
+  /// Capped exponential backoff between recovery attempts; the delay
+  /// doubles per recovery up to the cap.  0 retries immediately (tests).
+  std::int64_t recovery_backoff_ms = 50;
+  std::int64_t recovery_backoff_max_ms = 2000;
+  /// Chain mode: called (when set) just before each generation append to
+  /// capture the telemetry stream's current byte offset — flush the JSONL
+  /// stream and return tellp().  The offset is recorded in the manifest.
+  std::function<std::uint64_t()> telemetry_offset;
+  /// Chain mode: called after a successful rollback with the restored
+  /// generation's telemetry offset — truncate the JSONL stream file to
+  /// that many bytes (discarding any buffered tail) so the recovered
+  /// stream stays byte-identical to an uninterrupted run's.
+  std::function<void(std::uint64_t)> telemetry_rewind;
 };
 
 struct SupervisedResult {
@@ -110,13 +136,17 @@ struct SupervisedResult {
     kDivergence,  ///< P_t exceeded divergence_bound
     kDeadline,    ///< wall-clock budget exhausted
     kStopped,     ///< SIGINT/SIGTERM graceful stop (handle_signals)
+    kRecoveryExhausted,  ///< self-healing budget spent (or no valid
+                         ///< generation left to roll back to)
   };
 
   bool ok = false;
   FailureKind kind = FailureKind::kNone;
-  TimeStep steps_done = 0;      ///< steps executed by this call
+  TimeStep steps_done = 0;      ///< net steps this call advanced sim.now()
   std::string error;            ///< what() of the failure, empty when ok
   std::string crash_dump_path;  ///< dump text file, empty if none written
+  int recoveries = 0;           ///< successful self-heals during this run
+  int rollback_depth = 0;       ///< deepest generation rollback performed
 };
 
 class RunSupervisor {

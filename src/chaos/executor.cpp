@@ -18,6 +18,7 @@
 
 #include "chaos/shrink.hpp"
 #include "common/exit_codes.hpp"
+#include "common/rng.hpp"
 #include "obs/expose.hpp"
 
 namespace lgg::chaos {
@@ -172,10 +173,23 @@ RunClass Executor::run_one(const ScenarioConfig& config) {
 
   RunClass result = RunClass::kQuarantined;
   std::string note;
+  std::int64_t run_recoveries = 0;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
       ++totals_.retries;
-      sleep_ms(backoff);
+      // ±25% deterministic jitter decorrelates retry storms across a soak
+      // fleet without touching the wall clock or any global RNG — the same
+      // (seed, attempt) always sleeps the same span, so replays stay exact.
+      const std::int64_t quarter = backoff / 4;
+      std::int64_t jittered = backoff;
+      if (quarter > 0) {
+        const std::uint64_t mixed =
+            derive_seed(config.seed, 0xB0FFu + static_cast<unsigned>(attempt));
+        jittered += static_cast<std::int64_t>(
+                        mixed % static_cast<std::uint64_t>(2 * quarter + 1)) -
+                    quarter;
+      }
+      sleep_ms(jittered);
       backoff = std::min(backoff * 2, options_.backoff_max_ms);
       if (stop_requested()) {
         result = RunClass::kStopped;
@@ -212,6 +226,9 @@ RunClass Executor::run_one(const ScenarioConfig& config) {
         std::ifstream is(outcome_tmp);
         if (is) outcome = read_outcome(is);
       }
+      run_recoveries = outcome.recoveries;
+      totals_.recoveries += static_cast<std::size_t>(
+          std::max<std::int64_t>(0, outcome.recoveries));
       if (child.code == kExitOk) {
         result = RunClass::kOk;
       } else if (child.code == kExitDiverged && !config.expect_stable) {
@@ -293,6 +310,7 @@ RunClass Executor::run_one(const ScenarioConfig& config) {
   if (result != RunClass::kStopped) {
     std::ostringstream line;
     line << stem << " class=" << to_string(result);
+    if (run_recoveries > 0) line << " recoveries=" << run_recoveries;
     if (!note.empty()) line << " (" << note << ')';
     events_.push_back(line.str());
     write_summary();
@@ -306,7 +324,8 @@ std::string Executor::summary_line() const {
      << " violations=" << totals_.findings
      << " diverged=" << totals_.diverged << " timeouts=" << totals_.timeouts
      << " quarantined=" << totals_.quarantined
-     << " retries=" << totals_.retries;
+     << " retries=" << totals_.retries
+     << " recoveries=" << totals_.recoveries;
   return os.str();
 }
 
@@ -337,6 +356,7 @@ void Executor::write_summary() const {
   counter("lgg_soak_timeouts", totals_.timeouts);
   counter("lgg_soak_quarantined", totals_.quarantined);
   counter("lgg_soak_retries", totals_.retries);
+  counter("lgg_soak_recoveries", totals_.recoveries);
   obs::write_file_atomic(
       (fs::path(options_.out_dir) / "soak-status.prom").string(), prom);
 }

@@ -62,6 +62,8 @@ struct SoakTotals {
   std::size_t timeouts = 0;
   std::size_t quarantined = 0;
   std::size_t retries = 0;  ///< extra attempts across all scenarios
+  std::size_t recoveries = 0;  ///< checkpoint-chain recoveries across all
+                               ///< scenarios (crash_recovery drills)
 };
 
 class Executor {

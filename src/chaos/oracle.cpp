@@ -1,6 +1,15 @@
 #include "chaos/oracle.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include "common/failpoint.hpp"
+#include "core/checkpoint.hpp"
+#include "core/ckpt_chain.hpp"
 
 namespace lgg::chaos {
 
@@ -204,6 +213,88 @@ void OracleSuite::finish() {
           << " vs " << second.str().size() << " bytes)";
       report(kOracleCheckpoint, -1, err.str());
     }
+  }
+  if (violation_) return;
+  if ((armed_ & kOracleCrashRecovery) != 0) check_crash_recovery();
+}
+
+void OracleSuite::check_crash_recovery() {
+  // The run is over; scenario failpoints must not leak into the drill's
+  // own injected schedule.
+  common::FailpointRegistry::instance().clear();
+  // Scratch directory for the drill's chain; no scratch space is a skip,
+  // not a finding.
+  char dir[] = "/tmp/lgg_crash_oracle_XXXXXX";
+  if (::mkdtemp(dir) == nullptr) return;
+  const std::string base = std::string(dir) + "/drill.ckpt";
+  std::ostringstream ref;
+  sim_->save_checkpoint(ref);
+  std::string err;
+  try {
+    core::CheckpointChain chain(base, 2);
+    chain.append(*sim_, 0);
+    {
+      // 1) An injected generation-write failure surfaces as an error and
+      //    leaves the published newest generation intact.
+      const common::ScopedFailpoints fp("ckpt.write:at=1,action=error");
+      bool threw = false;
+      try {
+        chain.append(*sim_, 0);
+      } catch (const core::CheckpointError&) {
+        threw = true;
+      }
+      if (!threw) {
+        err = "injected generation write failure did not surface";
+      } else if (chain.latest() != 1) {
+        err = "failed append lost the newest published generation";
+      }
+    }
+    if (err.empty()) {
+      chain.append(*sim_, 0);
+      // 2) Corrupting the newest generation rolls recovery back exactly
+      //    one generation.
+      {
+        std::fstream spoil(chain.generation_path(2),
+                           std::ios::in | std::ios::out | std::ios::binary);
+        spoil.seekp(64);
+        const char bad = '\xA5';
+        spoil.write(&bad, 1);
+      }
+      const auto recovered = chain.recover(*sim_);
+      if (!recovered.has_value()) {
+        err = "no valid generation left after a single corruption";
+      } else if (recovered->generation != 1 ||
+                 recovered->rollback_depth != 1) {
+        std::ostringstream detail;
+        detail << "rolled back to generation " << recovered->generation
+               << " (depth " << recovered->rollback_depth
+               << "), expected generation 1 at depth 1";
+        err = detail.str();
+      } else {
+        ++recoveries_;
+        // 3) The recovered state is bitwise identical.
+        std::ostringstream after;
+        sim_->save_checkpoint(after);
+        if (after.str() != ref.str()) {
+          err = "recovered state not bitwise identical to the saved state";
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    err = std::string("unexpected exception: ") + e.what();
+  }
+  const auto gen_path = [&base](unsigned long long g) {
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), ".gen%06llu", g);
+    return base + suffix;
+  };
+  for (const std::string& leftover :
+       {gen_path(1), gen_path(2), base + ".manifest"}) {
+    std::remove(leftover.c_str());
+  }
+  ::rmdir(dir);
+  if (!err.empty()) {
+    report(kOracleCrashRecovery, -1, "crash_recovery drill: " + err);
   }
 }
 

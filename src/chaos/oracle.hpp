@@ -28,6 +28,16 @@
 //                  governor sheds zero packets (per step and cumulatively);
 //                  otherwise, once engaged, P_t stays under the governor's
 //                  engage-anchored overload bound.
+//   crash_recovery — end-of-run crash-recovery drill against the final
+//                  simulator state: a scratch generation chain
+//                  (core/ckpt_chain.hpp) is exercised under injected
+//                  failpoints.  A failed append must leave the newest
+//                  published generation valid, a corrupted newest
+//                  generation must roll back to the older one, and the
+//                  recovered state must be bitwise identical to the
+//                  pre-drill state.  Restoring into the live simulator is
+//                  safe: every generation in the drill holds the current
+//                  state, so a successful recovery is a no-op on it.
 //
 // The suite records the FIRST violation and goes quiet — the shrinker's
 // fixed point is "the same oracle still fires", so one deterministic
@@ -69,6 +79,10 @@ class OracleSuite final : public core::StepObserver {
   }
   /// Oracles actually armed after soundness disarming.
   [[nodiscard]] std::uint32_t armed() const { return armed_; }
+  /// Checkpoint-chain recoveries performed (the crash_recovery drill's
+  /// successful rollback counts one).  Surfaced per scenario in the soak
+  /// summary.
+  [[nodiscard]] std::int64_t recoveries() const { return recoveries_; }
 
  private:
   void check_contract(const core::StepRecord& r);
@@ -76,6 +90,7 @@ class OracleSuite final : public core::StepObserver {
   void check_growth_and_state(const core::StepRecord& r);
   void check_rbound(const core::StepRecord& r);
   void check_governed(const core::StepRecord& r);
+  void check_crash_recovery();
   void report(std::uint32_t oracle, TimeStep step, std::string message);
 
   const ScenarioConfig* config_;
@@ -83,6 +98,7 @@ class OracleSuite final : public core::StepObserver {
   std::uint32_t armed_;
   std::optional<core::UnsaturatedBounds> bounds_;
   std::optional<Violation> violation_;
+  std::int64_t recoveries_ = 0;
 };
 
 }  // namespace lgg::chaos

@@ -7,6 +7,7 @@
 
 #include "baselines/protocol_registry.hpp"
 #include "common/exit_codes.hpp"
+#include "common/failpoint.hpp"
 #include "common/require.hpp"
 #include "control/governor.hpp"
 #include "control/sentinel.hpp"
@@ -64,7 +65,11 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config,
   // folds ContractViolation into the contract oracle.
   std::unique_ptr<core::Simulator> sim;
   std::unique_ptr<control::AdmissionGovernor> governor;
+  // Scenario failpoints stay armed for the whole run (the RAII guard clears
+  // the registry on every exit path); a malformed spec is a usage error.
+  std::optional<common::ScopedFailpoints> failpoints;
   try {
+    failpoints.emplace(config.failpoints);
     config.network.validate();
     config.faults.validate(config.network);
     config.churn_events.validate(config.network);
@@ -167,6 +172,7 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config,
     }
     outcome.final_packets = sim->total_packets();
     outcome.final_state = sim->network_state();
+    outcome.recoveries = oracle.recoveries();
     if (oracle.violated()) {
       outcome.verdict = Verdict::kViolation;
       outcome.violation = oracle.violation();
@@ -191,6 +197,7 @@ void write_outcome(std::ostream& os, const ScenarioOutcome& outcome) {
   os << "steps " << outcome.steps_done << '\n';
   os << "packets " << outcome.final_packets << '\n';
   os << "state " << outcome.final_state << '\n';
+  if (outcome.recoveries > 0) os << "recoveries " << outcome.recoveries << '\n';
   if (outcome.violation) {
     os << "oracle " << oracles_to_string(outcome.violation->oracle) << '\n';
     os << "violation_step " << outcome.violation->step << '\n';
@@ -221,6 +228,8 @@ ScenarioOutcome read_outcome(std::istream& is) {
       outcome.final_packets = std::stoll(value);
     } else if (key == "state") {
       outcome.final_state = std::stod(value);
+    } else if (key == "recoveries") {
+      outcome.recoveries = std::stoll(value);
     } else if (key == "oracle") {
       violation.oracle = oracles_from_string(value);
       has_violation = true;

@@ -34,6 +34,9 @@ struct ScenarioOutcome {
   TimeStep steps_done = 0;
   PacketCount final_packets = 0;
   double final_state = 0.0;  ///< P_t at the end
+  /// Checkpoint-chain recoveries the run performed (the crash_recovery
+  /// oracle's successful rollback drill counts one).
+  std::int64_t recoveries = 0;
   std::string error;         ///< set iff verdict == kError
 };
 

@@ -24,7 +24,8 @@ constexpr OracleName kOracleNames[] = {
     {kOracleConservation, "conservation"}, {kOracleGrowth, "growth"},
     {kOracleState, "state"},               {kOracleRBound, "rbound"},
     {kOracleCheckpoint, "checkpoint"},     {kOracleContract, "contract"},
-    {kOracleGoverned, "governed"},
+    {kOracleGoverned, "governed"},         {kOracleCrashRecovery,
+                                            "crash_recovery"},
 };
 
 /// Shortest round-trippable decimal form — scenario files must replay the
@@ -157,6 +158,7 @@ void write_scenario(std::ostream& os, const ScenarioConfig& c) {
   if (c.expect_stable) os << "expect_stable 1\n";
   os << "oracles " << oracles_to_string(c.oracles) << '\n';
   if (c.strict_declarations) os << "strict_declarations 1\n";
+  if (!c.failpoints.empty()) os << "failpoints " << c.failpoints << '\n';
   if (c.hang_ms > 0) os << "hang_ms " << c.hang_ms << '\n';
   if (c.check_every != 64) os << "check_every " << c.check_every << '\n';
   if (c.shards != 0) os << "shards " << c.shards << '\n';
@@ -254,6 +256,9 @@ ScenarioConfig read_scenario(std::istream& is) {
       c.oracles = oracles_from_string(value);
     } else if (key == "strict_declarations") {
       c.strict_declarations = parse_int_field(key, value) != 0;
+    } else if (key == "failpoints") {
+      LGG_REQUIRE(!value.empty(), "scenario: failpoints wants a spec");
+      c.failpoints = value;
     } else if (key == "hang_ms") {
       c.hang_ms = parse_int_field(key, value);
     } else if (key == "check_every") {
@@ -533,6 +538,14 @@ ScenarioConfig ScenarioGenerator::next() {
   }
   (void)any_byzantine;  // scripted lies are excluded by the non-strict
                         // R-bound oracle; nothing to arm differently.
+
+  // Crash-recovery drill: arm the end-of-run failpoint-injected chain
+  // exercise on a slice of scenarios.  The p_crash_recovery > 0 guard
+  // keeps the default generator stream — and every pinned-seed soak
+  // sequence — unchanged, exactly like p_adversarial above.
+  if (o.p_crash_recovery > 0.0 && rng_.bernoulli(o.p_crash_recovery)) {
+    c.oracles |= kOracleCrashRecovery;
+  }
 
   // Cap runaway divergence so an infeasible draw ends in bounded time.
   c.divergence_bound = 1e14;

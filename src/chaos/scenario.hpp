@@ -51,6 +51,12 @@ enum OracleFlag : std::uint32_t {
   kOracleGoverned = 1u << 6,      ///< admission governor guarantees: zero
                                   ///< shed on expect_stable instances, P_t
                                   ///< bounded after engagement otherwise
+  kOracleCrashRecovery = 1u << 7, ///< end-of-run crash-recovery drill: a
+                                  ///< failpoint-injected generation-chain
+                                  ///< exercise (failed append keeps the
+                                  ///< newest valid generation; corruption
+                                  ///< rolls back; recovered state bitwise
+                                  ///< identical)
 };
 
 /// Oracles that are sound on every instance, faulted or not.
@@ -102,6 +108,12 @@ struct ScenarioConfig {
   /// injected, not bugs); on in planted-bug fixtures, where a Byzantine
   /// schedule becomes a guaranteed-detectable violation.
   bool strict_declarations = false;
+  /// Failpoint schedule (common/failpoint.hpp grammar) armed for the
+  /// duration of the run — deterministic I/O faults on checkpoint,
+  /// telemetry, and statusz paths.  Never given an `abort` action by the
+  /// generator (that would SIGKILL the soak child); abort schedules are
+  /// for the kill-loop harness and hand-written fixtures.
+  std::string failpoints;
   /// Test hook: sleep this long before running, so the executor's watchdog
   /// has a deliberately hung scenario to reap.  Never set by the generator.
   std::int64_t hang_ms = 0;
@@ -146,6 +158,11 @@ struct GeneratorOptions {
   /// sequences unchanged (the family consumes generator draws only when
   /// enabled); `lgg_chaos soak --adversary-bias` sets it to 1.
   double p_adversarial = 0.0;
+  /// Crash-recovery drill family: arms the crash_recovery oracle (an
+  /// end-of-run failpoint-injected generation-chain exercise).  Default 0
+  /// keeps pinned-seed soak sequences unchanged (same guard discipline as
+  /// p_adversarial); `lgg_chaos soak --crash-bias` sets it to 1.
+  double p_crash_recovery = 0.0;
   double max_loss = 0.3;
 };
 

@@ -12,6 +12,9 @@
 //                      Lemma-1 bounds, checkpoint round-trip, contract)
 //   4  timeout       — wall-clock deadline exceeded, killed by the
 //                      watchdog, or interrupted by SIGINT/SIGTERM
+//   5  recovery      — the self-healing supervisor exhausted its recovery
+//      exhausted       budget (or found no valid checkpoint generation to
+//                      roll back to); the run is not resumable as-is
 //
 // 2 deliberately matches the historical "usage" exit code so existing
 // wrappers keep working; 1 keeps lgg_sim's historical "diverging" code.
@@ -24,5 +27,6 @@ inline constexpr int kExitDiverged = 1;
 inline constexpr int kExitUsage = 2;
 inline constexpr int kExitViolation = 3;
 inline constexpr int kExitTimeout = 4;
+inline constexpr int kExitRecoveryExhausted = 5;
 
 }  // namespace lgg

@@ -1,0 +1,246 @@
+#include "common/failpoint.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace lgg::common {
+
+namespace {
+
+struct Trigger {
+  std::uint64_t at = 1;  ///< 1-based hit index this trigger fires on
+  FailpointAction action = FailpointAction::kError;
+  std::size_t keep = static_cast<std::size_t>(-1);
+  bool fired = false;
+};
+
+struct SiteState {
+  std::uint64_t hits = 0;
+  std::vector<Trigger> triggers;
+};
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::runtime_error("failpoints: " + what);
+}
+
+std::uint64_t parse_count(const std::string& what, const std::string& text) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    bad_spec(what + " wants a non-negative integer, got '" + text + "'");
+  }
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    bad_spec(what + " out of range: '" + text + "'");
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(FailpointAction action) {
+  switch (action) {
+    case FailpointAction::kError: return "error";
+    case FailpointAction::kTorn: return "torn";
+    case FailpointAction::kAbort: return "abort";
+  }
+  return "?";
+}
+
+struct FailpointRegistry::Impl {
+  std::mutex mutex;
+  std::unordered_map<std::string, SiteState> sites;
+};
+
+FailpointRegistry& FailpointRegistry::instance() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+FailpointRegistry::Impl& FailpointRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void FailpointRegistry::arm(const std::string& spec) {
+  // Parse the whole spec into a staging list first so a malformed clause
+  // arms nothing.
+  std::vector<std::pair<std::string, Trigger>> staged;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', begin), spec.size());
+    const std::string clause = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      bad_spec("expected 'site:at=N[,...]', got '" + clause + "'");
+    }
+    const std::string site = clause.substr(0, colon);
+    Trigger trigger;
+    bool saw_at = false;
+    std::size_t pos = colon + 1;
+    while (pos <= clause.size()) {
+      const std::size_t comma = std::min(clause.find(',', pos), clause.size());
+      const std::string field = clause.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (field.empty()) bad_spec("empty field in '" + clause + "'");
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        bad_spec("expected key=value, got '" + field + "'");
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "at") {
+        trigger.at = parse_count("at", value);
+        if (trigger.at == 0) bad_spec("at wants a 1-based hit index");
+        saw_at = true;
+      } else if (key == "action") {
+        if (value == "error") {
+          trigger.action = FailpointAction::kError;
+        } else if (value == "torn") {
+          trigger.action = FailpointAction::kTorn;
+        } else if (value == "abort") {
+          trigger.action = FailpointAction::kAbort;
+        } else {
+          bad_spec("unknown action '" + value + "'");
+        }
+      } else if (key == "keep") {
+        trigger.keep = static_cast<std::size_t>(parse_count("keep", value));
+      } else {
+        bad_spec("unknown key '" + key + "'");
+      }
+    }
+    if (!saw_at) bad_spec("clause '" + clause + "' is missing at=N");
+    staged.emplace_back(site, trigger);
+  }
+
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& [site, trigger] : staged) {
+    state.sites[site].triggers.push_back(trigger);
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::clear() {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.sites.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+std::optional<FailpointFire> FailpointRegistry::hit(std::string_view site) {
+  Impl& state = impl();
+  std::optional<FailpointFire> fire;
+  {
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    const auto it = state.sites.find(std::string(site));
+    if (it == state.sites.end()) return std::nullopt;
+    SiteState& s = it->second;
+    ++s.hits;
+    for (Trigger& trigger : s.triggers) {
+      if (!trigger.fired && trigger.at == s.hits) {
+        trigger.fired = true;
+        armed_count_.fetch_sub(1, std::memory_order_relaxed);
+        fire = FailpointFire{trigger.action, trigger.keep};
+        break;
+      }
+    }
+  }
+  if (fire && fire->action == FailpointAction::kAbort) {
+    // The kill-at-random-instant contract: die here, now, with no unwind,
+    // no flushing, no atexit — exactly like a power cut at this syscall.
+    std::raise(SIGKILL);
+    _exit(137);  // unreachable; belt and braces if SIGKILL is blocked
+  }
+  return fire;
+}
+
+std::uint64_t FailpointRegistry::hits(std::string_view site) const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const auto it = state.sites.find(std::string(site));
+  return it == state.sites.end() ? 0 : it->second.hits;
+}
+
+namespace {
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void fsync_parent_dir(const std::string& path) {
+  // Best effort: the rename is only durable once the directory entry is,
+  // but a filesystem that refuses O_DIRECTORY fsync must not fail the
+  // write that already succeeded.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+bool write_file_durable(const std::string& path, std::string_view content,
+                        const std::string& site_prefix) {
+  const std::string tmp = path + ".tmp";
+  std::size_t keep = content.size();
+  bool torn = false;
+  if (const auto f = failpoint(site_prefix + ".write")) {
+    if (f->action == FailpointAction::kTorn) {
+      torn = true;
+      keep = std::min(f->keep == static_cast<std::size_t>(-1)
+                          ? content.size() / 2
+                          : f->keep,
+                      content.size());
+    } else {
+      return false;  // injected EIO before anything reached the disk
+    }
+  }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  if (!write_all(fd, content.data(), keep) || torn) {
+    // Short write (real or injected): nothing durable was promised yet,
+    // so remove the partial temp and report failure.
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (failpoint(site_prefix + ".fsync").has_value() || ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (failpoint(site_prefix + ".rename").has_value() ||
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+}  // namespace lgg::common

@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "common/binio.hpp"
+#include "common/failpoint.hpp"
 #include "core/parallel_step.hpp"
 #include "core/simulator.hpp"
 
@@ -164,14 +165,39 @@ void Simulator::restore_checkpoint(std::istream& is) {
       !std::equal(std::begin(magic), std::end(magic), kCheckpointMagic)) {
     fail("bad magic (not a checkpoint file?)");
   }
-  const std::uint32_t version = binio::read_u32(is);
+  std::uint32_t version = 0;
+  std::uint64_t size = 0;
+  std::uint32_t want_crc = 0;
+  try {
+    version = binio::read_u32(is);
+    size = binio::read_u64(is);
+    want_crc = binio::read_u32(is);
+  } catch (const std::exception&) {
+    // binio's truncated-stream error must surface as a CheckpointError
+    // like every other rejection — the fuzz suite holds us to that.
+    fail("truncated header");
+  }
   if (version != kCheckpointVersion) {
     fail("unsupported version " + std::to_string(version) + " (expected " +
          std::to_string(kCheckpointVersion) + ")");
   }
-  const std::uint64_t size = binio::read_u64(is);
   if (size > kMaxPayload) fail("implausible payload size");
-  const std::uint32_t want_crc = binio::read_u32(is);
+  // A bit-flipped size field would otherwise drive a multi-GiB allocation
+  // below before the truncation check can fire.  When the stream is
+  // seekable, bound `size` by the bytes actually present first.
+  const std::istream::pos_type here = is.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(here);
+    if (end != std::istream::pos_type(-1) &&
+        static_cast<std::uint64_t>(end - here) < size) {
+      fail("truncated payload (" + std::to_string(end - here) + " of " +
+           std::to_string(size) + " bytes)");
+    }
+  } else {
+    is.clear();
+  }
   std::string payload(static_cast<std::size_t>(size), '\0');
   is.read(payload.data(), static_cast<std::streamsize>(size));
   if (static_cast<std::uint64_t>(is.gcount()) != size) {
@@ -356,11 +382,10 @@ void write_checkpoint_file(const Simulator& sim, const std::string& path) {
 
 void write_checkpoint_file_atomic(const Simulator& sim,
                                   const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  write_checkpoint_file(sim, tmp);
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    fail("rename to '" + path + "' failed");
+  std::ostringstream os(std::ios::binary);
+  sim.save_checkpoint(os);
+  if (!common::write_file_durable(path, os.str(), "ckpt")) {
+    fail("durable write to '" + path + "' failed");
   }
 }
 

@@ -76,7 +76,12 @@ inline constexpr char kCheckpointMagic[8] = {'L', 'G', 'G', 'C',
 /// plane's window/token state (src/traffic/adversary.hpp: per-source
 /// buckets + catch-up timestamps + sweep cursor), so a mid-hoard resume
 /// is bitwise identical to the uninterrupted run.
-inline constexpr std::uint32_t kCheckpointVersion = 7;
+/// v8: the per-snapshot payload layout is identical to v7; the version
+/// marks the generation-chain era — snapshots are now fsync'd before the
+/// rename and retained in a ring described by a CRC'd manifest
+/// (core/ckpt_chain.hpp), so "v8" on disk promises the stronger
+/// durability contract.
+inline constexpr std::uint32_t kCheckpointVersion = 8;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).  `seed` chains
 /// incremental computations; pass the previous return value.
@@ -88,10 +93,13 @@ inline constexpr std::uint32_t kCheckpointVersion = 7;
 /// write_checkpoint_file_atomic instead.
 void write_checkpoint_file(const Simulator& sim, const std::string& path);
 
-/// Crash-atomic variant: writes to `path`.tmp and renames, so a reader at
-/// `path` sees either the complete old checkpoint or the complete new one,
-/// never a torn write.  Throws CheckpointError when the write or the rename
-/// fails (the temp file is removed on a failed rename).
+/// Crash-atomic, durable variant: writes to `path`.tmp, fsyncs the temp
+/// file, renames, and fsyncs the directory (best effort), so a reader at
+/// `path` sees either the complete old checkpoint or the complete new one
+/// — and the new one survives a power cut once the call returns.  Throws
+/// CheckpointError on any failure (the temp file is removed).  Failpoint
+/// sites ckpt.{write,fsync,rename} (common/failpoint.hpp) are compiled
+/// into the stages.
 void write_checkpoint_file_atomic(const Simulator& sim,
                                   const std::string& path);
 

@@ -1,0 +1,257 @@
+#include "core/ckpt_chain.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.hpp"
+#include "common/require.hpp"
+#include "core/checkpoint.hpp"
+#include "core/simulator.hpp"
+
+namespace lgg::core {
+
+namespace {
+
+constexpr char kManifestMagic[] = "lgg-ckpt-manifest v1";
+
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+std::string base_name(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw CheckpointError("checkpoint chain: " + what);
+}
+
+std::string render_manifest(const ChainManifest& manifest) {
+  std::ostringstream os;
+  os << kManifestMagic << '\n';
+  os << "retain " << manifest.retain << '\n';
+  for (const GenerationEntry& e : manifest.entries) {
+    os << "generation " << e.generation << ' ' << e.file << ' ' << e.step
+       << ' ' << e.crc << ' ' << e.size << ' ' << e.telemetry_offset << '\n';
+  }
+  const std::string body = os.str();
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc %08X\n",
+                crc32(body.data(), body.size()));
+  return body + crc_line;
+}
+
+}  // namespace
+
+CheckpointChain::CheckpointChain(std::string base_path, int retain)
+    : base_(std::move(base_path)), retain_(retain) {
+  LGG_REQUIRE(retain_ >= 1, "CheckpointChain: retain >= 1");
+  LGG_REQUIRE(!base_.empty(), "CheckpointChain: empty base path");
+  if (auto existing = read_manifest(manifest_path())) {
+    manifest_ = std::move(*existing);
+  }
+  manifest_.retain = retain_;
+}
+
+std::string CheckpointChain::generation_path(std::uint64_t generation) const {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".gen%06llu",
+                static_cast<unsigned long long>(generation));
+  return base_ + suffix;
+}
+
+std::uint64_t CheckpointChain::latest() const {
+  return manifest_.entries.empty() ? 0 : manifest_.entries.front().generation;
+}
+
+void CheckpointChain::write_manifest() {
+  if (!common::write_file_durable(manifest_path(), render_manifest(manifest_),
+                                  "manifest")) {
+    fail("manifest write to '" + manifest_path() + "' failed");
+  }
+}
+
+void CheckpointChain::append(const Simulator& sim,
+                             std::uint64_t telemetry_offset) {
+  std::ostringstream os(std::ios::binary);
+  sim.save_checkpoint(os);
+  const std::string bytes = os.str();
+
+  GenerationEntry entry;
+  entry.generation = latest() + 1;
+  entry.step = sim.now();
+  entry.crc = crc32(bytes.data(), bytes.size());
+  entry.size = bytes.size();
+  entry.telemetry_offset = telemetry_offset;
+  const std::string path = generation_path(entry.generation);
+  entry.file = base_name(path);
+
+  // Stage 1: the generation file, durably.  The manifest still names the
+  // previous newest, so a death here loses nothing.
+  if (!common::write_file_durable(path, bytes, "ckpt")) {
+    fail("generation write to '" + path + "' failed");
+  }
+
+  // Stage 2: the manifest, durably, naming the new generation — with the
+  // ring already trimmed, but the trimmed files still on disk.
+  std::vector<GenerationEntry> pruned;
+  manifest_.entries.insert(manifest_.entries.begin(), entry);
+  while (static_cast<int>(manifest_.entries.size()) > retain_) {
+    pruned.push_back(manifest_.entries.back());
+    manifest_.entries.pop_back();
+  }
+  try {
+    write_manifest();
+  } catch (...) {
+    // Roll the in-memory view back to match the on-disk manifest.
+    manifest_.entries.erase(manifest_.entries.begin());
+    for (auto it = pruned.rbegin(); it != pruned.rend(); ++it) {
+      manifest_.entries.push_back(*it);
+    }
+    throw;
+  }
+
+  // Stage 3: only after the manifest no longer names them may the pruned
+  // generations be unlinked.
+  const std::string dir = dir_of(base_);
+  for (const GenerationEntry& old : pruned) {
+    std::remove((dir + old.file).c_str());
+  }
+}
+
+std::optional<CheckpointChain::Recovery> CheckpointChain::recover(
+    Simulator& sim,
+    const std::function<void(std::uint64_t)>& telemetry_rewind) {
+  // The on-disk manifest is authoritative: this process (or its
+  // predecessor) may have died with the in-memory view ahead of it.
+  auto on_disk = read_manifest(manifest_path());
+  if (!on_disk.has_value()) return std::nullopt;
+  manifest_.entries = std::move(on_disk->entries);
+  manifest_.retain = retain_;
+
+  const std::string dir = dir_of(base_);
+  int depth = 0;
+  while (!manifest_.entries.empty()) {
+    const GenerationEntry entry = manifest_.entries.front();
+    const std::string path = dir + entry.file;
+    try {
+      // Cheap outer integrity gate first: the manifest's whole-file CRC
+      // and size catch any corruption — including bytes the checkpoint
+      // parser's own payload CRC doesn't cover — before deserialization
+      // is even attempted.
+      {
+        std::ifstream is(path, std::ios::binary);
+        if (!is.is_open()) fail("generation file '" + path + "' missing");
+        std::ostringstream buffer;
+        buffer << is.rdbuf();
+        const std::string bytes = buffer.str();
+        if (bytes.size() != entry.size ||
+            crc32(bytes.data(), bytes.size()) != entry.crc) {
+          fail("generation file '" + path + "' fails its manifest CRC");
+        }
+      }
+      restore_checkpoint_file(sim, path);
+      if (depth > 0) {
+        // Publish the pruned view so a later process (a fresh chain
+        // adopting this manifest) re-issues the same generation numbers
+        // an uninterrupted run would — the file ring stays bitwise
+        // reproducible across rollbacks.  Best effort: a failure here
+        // only means the dead entries get re-dropped next recovery.
+        try {
+          write_manifest();
+        } catch (const std::exception&) {
+        }
+      }
+      if (telemetry_rewind) telemetry_rewind(entry.telemetry_offset);
+      Recovery recovery;
+      recovery.generation = entry.generation;
+      recovery.step = sim.now();
+      recovery.telemetry_offset = entry.telemetry_offset;
+      recovery.rollback_depth = depth;
+      return recovery;
+    } catch (const std::exception&) {
+      // CRC failure, truncation, or a deserialize mismatch: this
+      // generation is dead.  Drop it — entry, then file — and try the
+      // next-older one.
+      manifest_.entries.erase(manifest_.entries.begin());
+      std::remove(path.c_str());
+      ++depth;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ChainManifest> CheckpointChain::read_manifest(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+
+  // Split off and verify the trailing crc line before believing a byte.
+  const std::size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    return std::nullopt;
+  }
+  const std::string body = text.substr(0, crc_pos);
+  // The crc line is rendered as exactly "crc %08X\n" and must end the
+  // file: the CRC cannot cover bytes after itself, so any trailing slack
+  // (a torn rewrite, appended junk) is treated as corruption.
+  const std::string crc_line = text.substr(crc_pos);
+  if (crc_line.size() != 13 || crc_line.back() != '\n' ||
+      crc_line.find_first_not_of("0123456789ABCDEF", 4) != 12) {
+    return std::nullopt;
+  }
+  unsigned long want = 0;
+  if (std::sscanf(crc_line.c_str(), "crc %8lX", &want) != 1) {
+    return std::nullopt;
+  }
+  if (crc32(body.data(), body.size()) != static_cast<std::uint32_t>(want)) {
+    return std::nullopt;
+  }
+
+  std::istringstream lines(body);
+  std::string line;
+  if (!std::getline(lines, line) || line != kManifestMagic) {
+    return std::nullopt;
+  }
+  ChainManifest manifest;
+  bool saw_retain = false;
+  std::uint64_t prev_generation = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "retain") {
+      if (!(fields >> manifest.retain) || manifest.retain < 1) {
+        return std::nullopt;
+      }
+      saw_retain = true;
+    } else if (key == "generation") {
+      GenerationEntry entry;
+      if (!(fields >> entry.generation >> entry.file >> entry.step >>
+            entry.crc >> entry.size >> entry.telemetry_offset)) {
+        return std::nullopt;
+      }
+      // Entries are newest first with strictly decreasing numbers; a
+      // violation means the manifest was hand-mangled.
+      if (!manifest.entries.empty() && entry.generation >= prev_generation) {
+        return std::nullopt;
+      }
+      prev_generation = entry.generation;
+      manifest.entries.push_back(std::move(entry));
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_retain) return std::nullopt;
+  return manifest;
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,130 @@
+// Checkpoint generation chains: a ring of N retained snapshot generations
+// plus a tiny CRC'd manifest, maintained so that *at every instant* there
+// is a newest valid generation on disk — regardless of where the process
+// dies.
+//
+// Layout, for a base path `run.ckpt`:
+//
+//   run.ckpt.gen000041        one v8 checkpoint per retained generation
+//   run.ckpt.gen000042        (core/checkpoint.hpp wire format, unchanged)
+//   run.ckpt.manifest         which generations exist, newest first
+//
+// Manifest text format (docs/formats.md):
+//
+//   lgg-ckpt-manifest v1
+//   retain 3
+//   generation 42 run.ckpt.gen000042 8400 3735928559 5124 20480
+//   generation 41 run.ckpt.gen000041 8200 3134987712 5124 19968
+//   crc 1A2B3C4D
+//
+// One `generation` line per retained generation, newest first, with the
+// generation number, file name (relative to the manifest's directory),
+// step index, CRC-32 of the whole generation file, file size in bytes,
+// and the telemetry byte offset captured when the snapshot was taken (0
+// when no telemetry stream is attached).  The final `crc` line is the
+// hex CRC-32 of every preceding byte, so a torn manifest is detected as
+// reliably as a torn snapshot.
+//
+// Append protocol (the crash-safety argument):
+//   1. the new generation file is written durably (temp + fsync +
+//      rename + dir fsync) — the manifest still names the old newest;
+//   2. the manifest is rewritten durably, now naming the new generation;
+//   3. only then are generations beyond the retain ring unlinked.
+// A death between any two stages leaves either the old manifest naming
+// an intact old generation, or the new manifest naming an intact new
+// one.  Orphaned generation files (written but never manifested) are
+// overwritten by the identical bytes when the recovered run re-reaches
+// the same step — determinism keeps even the file ring bitwise
+// reproducible across crashes.
+//
+// Recovery walks the manifest newest→oldest, discarding generations that
+// fail CRC or deserialize checks (their files and entries are dropped),
+// and restores the first valid one.  The generation counter rewinds with
+// it, so the healed run re-issues the same generation numbers an
+// uninterrupted run would have.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lgg::core {
+
+class Simulator;
+
+struct GenerationEntry {
+  std::uint64_t generation = 0;
+  std::string file;  ///< relative to the manifest's directory
+  TimeStep step = 0;
+  std::uint32_t crc = 0;       ///< CRC-32 of the whole generation file
+  std::uint64_t size = 0;      ///< generation file size in bytes
+  std::uint64_t telemetry_offset = 0;
+};
+
+struct ChainManifest {
+  int retain = 0;
+  std::vector<GenerationEntry> entries;  ///< newest first
+};
+
+class CheckpointChain {
+ public:
+  /// Binds to `base_path` with a ring of `retain` generations (>= 1).  An
+  /// existing valid manifest is adopted (generation numbering continues);
+  /// a missing or corrupt one starts the chain empty.
+  CheckpointChain(std::string base_path, int retain);
+
+  /// Appends the simulator's state as the next generation and publishes
+  /// it in the manifest (manifest last — see the append protocol above),
+  /// then prunes generations beyond the ring.  Throws CheckpointError
+  /// when the generation or manifest write fails; the manifest then still
+  /// names the previous valid newest generation.
+  void append(const Simulator& sim, std::uint64_t telemetry_offset);
+
+  struct Recovery {
+    std::uint64_t generation = 0;
+    TimeStep step = 0;
+    std::uint64_t telemetry_offset = 0;
+    int rollback_depth = 0;  ///< generations discarded before this one
+  };
+
+  /// Re-reads the manifest from disk and walks it newest→oldest,
+  /// restoring `sim` from the first generation that passes CRC and
+  /// deserialize checks.  Discarded generations are dropped from the
+  /// chain (entries and files).  After a successful restore,
+  /// `telemetry_rewind` (when set) is called with the restored
+  /// generation's telemetry byte offset so the caller can truncate its
+  /// JSONL stream to match.  Returns nullopt when no manifest exists or
+  /// no generation is valid; the simulator is only mutated on success
+  /// (up to a component-level load failure, which the next-older attempt
+  /// re-applies over).
+  std::optional<Recovery> recover(
+      Simulator& sim,
+      const std::function<void(std::uint64_t)>& telemetry_rewind = {});
+
+  [[nodiscard]] const std::string& base_path() const { return base_; }
+  [[nodiscard]] std::string manifest_path() const {
+    return base_ + ".manifest";
+  }
+  /// Path of a generation file for this chain's base.
+  [[nodiscard]] std::string generation_path(std::uint64_t generation) const;
+  /// Newest manifested generation number; 0 when the chain is empty.
+  [[nodiscard]] std::uint64_t latest() const;
+  [[nodiscard]] const ChainManifest& manifest() const { return manifest_; }
+
+  /// Parses a manifest file, validating magic and trailing CRC.  Returns
+  /// nullopt when the file is missing, torn, or malformed.
+  static std::optional<ChainManifest> read_manifest(const std::string& path);
+
+ private:
+  void write_manifest();
+
+  std::string base_;
+  int retain_;
+  ChainManifest manifest_;
+};
+
+}  // namespace lgg::core

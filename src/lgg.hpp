@@ -8,6 +8,7 @@
 // preferred include for compile-time-conscious users.
 #pragma once
 
+#include "common/failpoint.hpp"  // IWYU pragma: export
 #include "common/require.hpp"   // IWYU pragma: export
 #include "common/rng.hpp"       // IWYU pragma: export
 #include "common/types.hpp"     // IWYU pragma: export
@@ -37,6 +38,7 @@
 #include "core/bounds.hpp"           // IWYU pragma: export
 #include "core/burst_condition.hpp"  // IWYU pragma: export
 #include "core/checkpoint.hpp"       // IWYU pragma: export
+#include "core/ckpt_chain.hpp"       // IWYU pragma: export
 #include "core/convergence.hpp"      // IWYU pragma: export
 #include "core/dynamics.hpp"         // IWYU pragma: export
 #include "core/faults.hpp"           // IWYU pragma: export

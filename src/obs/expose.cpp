@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/failpoint.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
 
@@ -75,6 +76,12 @@ std::string render_statusz(const StatuszInfo& info,
                 static_cast<double>(info.flight_recorded));
   append_type(out, "lgg_statusz_writes", "counter");
   append_sample(out, "lgg_statusz_writes", static_cast<double>(info.writes));
+  append_type(out, "lgg_supervisor_recoveries", "counter");
+  append_sample(out, "lgg_supervisor_recoveries",
+                static_cast<double>(info.recoveries));
+  append_type(out, "lgg_supervisor_rollback_depth", "gauge");
+  append_sample(out, "lgg_supervisor_rollback_depth",
+                static_cast<double>(info.rollback_depth));
 
   if (registry == nullptr) return out;
   registry->for_each([&out](std::string_view name, MetricKind kind,
@@ -126,23 +133,11 @@ std::string render_statusz(const StatuszInfo& info,
 }
 
 bool write_file_atomic(const std::string& path, std::string_view content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::trunc | std::ios::binary);
-    if (!os.is_open()) return false;
-    os.write(content.data(), static_cast<std::streamsize>(content.size()));
-    os.flush();
-    if (!os.good()) {
-      os.close();
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  // Durable, not merely atomic: the temp file is fsync'd before the
+  // rename (and the directory after, best effort), so a snapshot that
+  // reported success survives a power cut.  Failpoint sites
+  // statusz.{write,fsync,rename} are compiled into the stages.
+  return common::write_file_durable(path, content, "statusz");
 }
 
 bool write_statusz_file(const std::string& path, const StatuszInfo& info,

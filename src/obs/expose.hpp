@@ -39,6 +39,8 @@ struct StatuszInfo {
   std::uint64_t snapshots = 0;       ///< telemetry snapshots emitted
   std::uint64_t flight_recorded = 0; ///< flight events ever recorded
   std::uint64_t writes = 0;          ///< statusz snapshots written so far
+  std::uint64_t recoveries = 0;      ///< supervisor self-heals so far
+  std::uint64_t rollback_depth = 0;  ///< deepest generation rollback seen
 };
 
 /// Renders the info block plus (when `registry` is non-null) every

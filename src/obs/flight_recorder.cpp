@@ -22,6 +22,7 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kNodeLeave: return "node_leave";
     case EventKind::kNodeJoin: return "node_join";
     case EventKind::kRateChange: return "rate_change";
+    case EventKind::kRecovery: return "recovery";
   }
   return "?";
 }

@@ -43,9 +43,14 @@ enum class EventKind : std::uint8_t {
   kNodeJoin,     ///< node re-entered: a=node
   kRateChange,   ///< spec changed: a=node, value=(in << 32) | (out & 0xffffffff)
                  ///< (rates are < 2^31 in every supported instance)
+  kRecovery,     ///< supervisor rolled back to a checkpoint generation:
+                 ///< value=generation restored.  Recorded *before* the
+                 ///< restore, so the restored ring wipes it and the durable
+                 ///< event stream stays identical to an uninterrupted run;
+                 ///< it surfaces only in crash dumps of the failed attempt.
 };
 
-inline constexpr std::size_t kEventKindCount = 13;
+inline constexpr std::size_t kEventKindCount = 14;
 
 [[nodiscard]] std::string_view to_string(EventKind kind);
 

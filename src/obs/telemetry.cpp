@@ -6,12 +6,28 @@
 #include <string>
 
 #include "common/binio.hpp"
+#include "common/failpoint.hpp"
 #include "common/require.hpp"
 #include "obs/json.hpp"
 
 namespace lgg::obs {
 
 void OstreamJsonlSink::write_line(std::string_view line) {
+  // Failpoint site for the crash-tolerance harness: an injected append
+  // fault surfaces as a throw (the supervisor's recovery path) — or, for
+  // torn, leaves a partial line behind first, exactly what a process
+  // killed mid-write leaves in a JSONL file.
+  if (const auto f = common::failpoint("telemetry.append")) {
+    if (f->action == common::FailpointAction::kTorn) {
+      const std::size_t keep =
+          std::min(f->keep == static_cast<std::size_t>(-1) ? line.size() / 2
+                                                           : f->keep,
+                   line.size());
+      os_->write(line.data(), static_cast<std::streamsize>(keep));
+      os_->flush();
+    }
+    throw std::runtime_error("telemetry: injected append failure");
+  }
   os_->write(line.data(), static_cast<std::streamsize>(line.size()));
   os_->put('\n');
 }

@@ -1,0 +1,317 @@
+// Kill-at-random-instant: a supervised chain-checkpointed run SIGKILLed at
+// a seeded failpoint instant — mid generation write, mid manifest update,
+// mid telemetry append — and then recovered must produce a telemetry
+// stream, a final state, and a generation manifest bitwise identical to a
+// run that was never interrupted.  Serial and sharded (--shards 4), plus
+// the corrupted-newest-generation rollback path.
+//
+// The child that dies runs in a fork: the abort action raises SIGKILL
+// in-process (no unwind, no flushing — a power cut at that syscall), so
+// the parent reaps exit-by-signal and performs the recovery itself, the
+// way a restarted `lgg_sim --recover` would.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "lgg.hpp"
+
+namespace lgg {
+namespace {
+
+constexpr TimeStep kHorizon = 400;
+constexpr TimeStep kCheckpointEvery = 50;
+constexpr int kGenerations = 3;
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+std::unique_ptr<core::Simulator> build(std::uint32_t shards) {
+  core::SimulatorOptions options;
+  options.seed = 0xBEEF;
+  auto sim = std::make_unique<core::Simulator>(
+      core::scenarios::barbell_bottleneck(3, 1, 2), options,
+      baselines::make_protocol("lgg"));
+  sim->set_arrival(std::make_unique<core::BernoulliArrival>(0.8));
+  sim->set_loss(std::make_unique<core::BernoulliLoss>(0.05));
+  if (shards >= 1) sim->enable_sharding(shards);
+  return sim;
+}
+
+/// One supervised leg in `dir`: fresh when `recover` is false, otherwise
+/// the restarted process's recovery path (roll back to the newest valid
+/// generation, truncate the telemetry stream to its recorded offset, run
+/// the remaining horizon).  Mirrors lgg_sim's wiring exactly.
+analysis::SupervisedResult run_once(const std::string& dir,
+                                    std::uint32_t shards, bool recover,
+                                    TimeStep horizon) {
+  const std::string ckpt_path = dir + "/run.ckpt";
+  const std::string tel_path = dir + "/telemetry.jsonl";
+
+  auto sim = build(shards);
+  obs::TelemetryOptions topts;
+  topts.snapshot_every = 10;
+  topts.flight_capacity = 32;
+  obs::Telemetry telemetry(topts);
+  sim->set_telemetry(&telemetry);
+
+  std::optional<core::CheckpointChain::Recovery> recovered;
+  if (recover) {
+    core::CheckpointChain chain(ckpt_path, kGenerations);
+    if (core::CheckpointChain::read_manifest(chain.manifest_path())
+            .has_value()) {
+      recovered = chain.recover(*sim, [&](std::uint64_t offset) {
+        (void)::truncate(tel_path.c_str(), static_cast<off_t>(offset));
+      });
+    }
+  }
+
+  std::fstream stream;
+  if (recovered.has_value()) {
+    stream.open(tel_path, std::ios::in | std::ios::out | std::ios::binary);
+    stream.seekp(0, std::ios::end);
+  } else {
+    stream.open(tel_path, std::ios::out | std::ios::trunc | std::ios::binary);
+  }
+  obs::OstreamJsonlSink sink(stream);
+  telemetry.set_sink(&sink);
+
+  analysis::SupervisorOptions sopts;
+  sopts.checkpoint_every = kCheckpointEvery;
+  sopts.checkpoint_path = ckpt_path;
+  sopts.generations = kGenerations;
+  sopts.check_every = 16;
+  sopts.recovery_backoff_ms = 0;
+  sopts.telemetry_offset = [&]() {
+    sink.flush();
+    return static_cast<std::uint64_t>(
+        static_cast<std::streamoff>(stream.tellp()));
+  };
+  sopts.telemetry_rewind = [&](std::uint64_t offset) {
+    sink.flush();
+    (void)::truncate(tel_path.c_str(), static_cast<off_t>(offset));
+    stream.clear();
+    stream.seekp(static_cast<std::streamoff>(offset));
+  };
+  const analysis::RunSupervisor supervisor(sopts);
+  const TimeStep remaining = std::max<TimeStep>(0, horizon - sim->now());
+  const analysis::SupervisedResult result = supervisor.run(*sim, remaining);
+  sink.flush();
+
+  std::ofstream final_state(dir + "/final.bin",
+                            std::ios::binary | std::ios::trunc);
+  sim->save_checkpoint(final_state);
+  return result;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Forks a child that arms `abort_spec` and runs the fresh leg; returns
+/// the signal that killed it (0 when it exited normally — i.e. the
+/// scheduled instant was never reached).
+int run_until_killed(const std::string& dir, std::uint32_t shards,
+                     const std::string& abort_spec) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    common::FailpointRegistry::instance().arm(abort_spec);
+    run_once(dir, shards, /*recover=*/false, kHorizon);
+    _exit(0);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (WIFSIGNALED(status)) return WTERMSIG(status);
+  return 0;
+}
+
+void expect_identical_artifacts(const std::string& ref_dir,
+                                const std::string& dir) {
+  EXPECT_EQ(slurp(dir + "/telemetry.jsonl"),
+            slurp(ref_dir + "/telemetry.jsonl"));
+  EXPECT_EQ(slurp(dir + "/final.bin"), slurp(ref_dir + "/final.bin"));
+  // Both legs use the same base name, so even the manifests — generation
+  // numbers, steps, CRCs, telemetry offsets — must be byte-identical:
+  // the recovered chain re-issues exactly the generations an
+  // uninterrupted run would have.
+  EXPECT_EQ(slurp(dir + "/run.ckpt.manifest"),
+            slurp(ref_dir + "/run.ckpt.manifest"));
+}
+
+void kill_suite(std::uint32_t shards, const std::string& tag) {
+  const std::string ref_dir = fresh_dir("crash_ref_" + tag);
+  const analysis::SupervisedResult ref =
+      run_once(ref_dir, shards, /*recover=*/false, kHorizon);
+  ASSERT_TRUE(ref.ok) << ref.error;
+
+  // Every durability stage of the chain, plus a mid-stream telemetry
+  // append: each one a different instant for the power cut.
+  const std::string kill_specs[] = {
+      "ckpt.write:at=1,action=abort",
+      "ckpt.write:at=5,action=abort",
+      "ckpt.fsync:at=3,action=abort",
+      "ckpt.rename:at=2,action=abort",
+      "manifest.write:at=4,action=abort",
+      "manifest.fsync:at=2,action=abort",
+      "manifest.rename:at=6,action=abort",
+      "telemetry.append:at=17,action=abort",
+      "telemetry.append:at=33,action=abort",
+  };
+  for (const std::string& spec : kill_specs) {
+    SCOPED_TRACE(tag + " " + spec);
+    const std::string dir = fresh_dir("crash_kill_" + tag);
+    ASSERT_EQ(run_until_killed(dir, shards, spec), SIGKILL);
+    const analysis::SupervisedResult result =
+        run_once(dir, shards, /*recover=*/true, kHorizon);
+    ASSERT_TRUE(result.ok) << result.error;
+    expect_identical_artifacts(ref_dir, dir);
+  }
+}
+
+TEST(CrashRecovery, KilledAtEveryInstantRecoversBitwiseIdenticalSerial) {
+  kill_suite(/*shards=*/0, "serial");
+}
+
+TEST(CrashRecovery, KilledAtEveryInstantRecoversBitwiseIdenticalSharded) {
+  kill_suite(/*shards=*/4, "sharded");
+}
+
+TEST(CrashRecovery, CorruptedNewestGenerationRollsBackOneAndConverges) {
+  // Reference: one uninterrupted run over the longer horizon.
+  const TimeStep extended = kHorizon + 200;
+  const std::string ref_dir = fresh_dir("crash_corrupt_ref");
+  ASSERT_TRUE(run_once(ref_dir, 0, false, extended).ok);
+
+  // Victim: complete the short horizon cleanly, then flip one byte in the
+  // newest generation — the recovery must discard it, restore the
+  // next-older generation, and converge to the same extended horizon.
+  const std::string dir = fresh_dir("crash_corrupt");
+  ASSERT_TRUE(run_once(dir, 0, false, kHorizon).ok);
+  const auto manifest = core::CheckpointChain::read_manifest(
+      dir + "/run.ckpt.manifest");
+  ASSERT_TRUE(manifest.has_value());
+  ASSERT_GE(manifest->entries.size(), 2u);
+  const std::string newest = dir + "/" + manifest->entries.front().file;
+  {
+    std::fstream spoil(newest, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(spoil.is_open());
+    spoil.seekp(100);
+    const char bad = '\xFF';
+    spoil.write(&bad, 1);
+  }
+
+  auto sim = build(0);
+  obs::TelemetryOptions topts;
+  topts.snapshot_every = 10;
+  topts.flight_capacity = 32;
+  obs::Telemetry telemetry(topts);
+  sim->set_telemetry(&telemetry);
+  core::CheckpointChain chain(dir + "/run.ckpt", kGenerations);
+  const auto recovered = chain.recover(*sim, [&](std::uint64_t offset) {
+    (void)::truncate((dir + "/telemetry.jsonl").c_str(),
+                     static_cast<off_t>(offset));
+  });
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->rollback_depth, 1);
+  EXPECT_EQ(recovered->generation, manifest->entries[1].generation);
+
+  // The convergence leg reuses the normal recovery wiring end to end.
+  ASSERT_TRUE(run_once(dir, 0, /*recover=*/true, extended).ok);
+  expect_identical_artifacts(ref_dir, dir);
+}
+
+TEST(CrashRecovery, SelfHealingSupervisorRecoversInProcess) {
+  // An injected I/O error mid-run (not a kill): the supervisor itself must
+  // roll back and finish, with the same bytes as an uninterrupted run.
+  const std::string ref_dir = fresh_dir("crash_heal_ref");
+  ASSERT_TRUE(run_once(ref_dir, 0, false, kHorizon).ok);
+
+  const std::string dir = fresh_dir("crash_heal");
+  const std::string ckpt_path = dir + "/run.ckpt";
+  const std::string tel_path = dir + "/telemetry.jsonl";
+  auto sim = build(0);
+  obs::TelemetryOptions topts;
+  topts.snapshot_every = 10;
+  topts.flight_capacity = 32;
+  obs::Telemetry telemetry(topts);
+  sim->set_telemetry(&telemetry);
+  std::fstream stream(tel_path,
+                      std::ios::out | std::ios::trunc | std::ios::binary);
+  obs::OstreamJsonlSink sink(stream);
+  telemetry.set_sink(&sink);
+
+  analysis::SupervisorOptions sopts;
+  sopts.checkpoint_every = kCheckpointEvery;
+  sopts.checkpoint_path = ckpt_path;
+  sopts.generations = kGenerations;
+  sopts.max_recoveries = 3;
+  sopts.recovery_backoff_ms = 0;
+  sopts.check_every = 16;
+  sopts.telemetry_offset = [&]() {
+    sink.flush();
+    return static_cast<std::uint64_t>(
+        static_cast<std::streamoff>(stream.tellp()));
+  };
+  sopts.telemetry_rewind = [&](std::uint64_t offset) {
+    sink.flush();
+    (void)::truncate(tel_path.c_str(), static_cast<off_t>(offset));
+    stream.clear();
+    stream.seekp(static_cast<std::streamoff>(offset));
+  };
+  const analysis::RunSupervisor supervisor(sopts);
+  const common::ScopedFailpoints fp("telemetry.append:at=23,action=error");
+  const analysis::SupervisedResult result = supervisor.run(*sim, kHorizon);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.recoveries, 1);
+  sink.flush();
+  std::ofstream final_state(dir + "/final.bin",
+                            std::ios::binary | std::ios::trunc);
+  sim->save_checkpoint(final_state);
+  final_state.close();
+  expect_identical_artifacts(ref_dir, dir);
+
+  // The out-of-band journal carries the recovery audit trail.
+  const std::string journal = slurp(ckpt_path + ".recovery.jsonl");
+  EXPECT_NE(journal.find("\"type\":\"recovery\""), std::string::npos);
+  EXPECT_NE(journal.find("\"attempt\":1"), std::string::npos);
+}
+
+TEST(CrashRecovery, ExhaustedBudgetReportsRecoveryExhausted) {
+  const std::string dir = fresh_dir("crash_budget");
+  auto sim = build(0);
+  analysis::SupervisorOptions sopts;
+  sopts.checkpoint_every = kCheckpointEvery;
+  sopts.checkpoint_path = dir + "/run.ckpt";
+  sopts.generations = kGenerations;
+  sopts.max_recoveries = 2;
+  sopts.recovery_backoff_ms = 0;
+  sopts.check_every = 16;
+  const analysis::RunSupervisor supervisor(sopts);
+  // Every generation write fails forever: each heal rolls back and then
+  // immediately re-fails, burning the budget.
+  const common::ScopedFailpoints fp(
+      "ckpt.write:at=1,action=error;ckpt.write:at=2,action=error;"
+      "ckpt.write:at=3,action=error;ckpt.write:at=4,action=error");
+  const analysis::SupervisedResult result = supervisor.run(*sim, kHorizon);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.kind,
+            analysis::SupervisedResult::FailureKind::kRecoveryExhausted);
+}
+
+}  // namespace
+}  // namespace lgg

@@ -47,7 +47,7 @@ namespace {
       "usage: %s soak [--scenarios N] [--seed S] [--from FILE]... "
       "[--out DIR] [--deadline-ms N] [--max-attempts N] [--backoff-ms N] "
       "[--time-budget-ms N] [--shrink] [--shards K] [--churn-bias] "
-      "[--adversary-bias]\n"
+      "[--adversary-bias] [--crash-bias]\n"
       "       %s shrink FILE [--out DIR] [--probe-deadline-ms N]\n"
       "       %s replay FILE [--expect OUTCOME_FILE]\n",
       argv0, argv0, argv0);
@@ -73,6 +73,10 @@ void print_outcome(const lgg::chaos::ScenarioOutcome& outcome) {
               static_cast<long long>(outcome.steps_done),
               outcome.final_state,
               static_cast<long long>(outcome.final_packets));
+  if (outcome.recoveries > 0) {
+    std::printf("recoveries: %lld\n",
+                static_cast<long long>(outcome.recoveries));
+  }
   if (outcome.violation) {
     std::printf("oracle=%s step=%lld: %s\n",
                 lgg::chaos::oracles_to_string(outcome.violation->oracle)
@@ -94,6 +98,7 @@ int cmd_soak(int argc, char** argv) {
   long long shards = 0;
   bool churn_bias = false;
   bool adversary_bias = false;
+  bool crash_bias = false;
   chaos::ExecutorOptions options;
 
   for (int i = 0; i < argc; ++i) {
@@ -144,6 +149,11 @@ int cmd_soak(int argc, char** argv) {
       // rho drawn near the stability frontier — the nightly adversarial
       // soak leg.
       adversary_bias = true;
+    } else if (arg == "--crash-bias") {
+      // Arm the crash_recovery oracle on every generated scenario — the
+      // end-of-run failpoint-injected generation-chain drill — for the
+      // nightly crash-recovery soak leg.
+      crash_bias = true;
     } else {
       std::fprintf(stderr, "unknown soak option %s\n", arg.c_str());
       std::exit(kExitUsage);
@@ -172,6 +182,7 @@ int cmd_soak(int argc, char** argv) {
     chaos::GeneratorOptions gen_options;
     if (churn_bias) gen_options.p_scheduled_churn = 1.0;
     if (adversary_bias) gen_options.p_adversarial = 1.0;
+    if (crash_bias) gen_options.p_crash_recovery = 1.0;
     chaos::ScenarioGenerator generator(seed, gen_options);
     for (long long i = 0; i < scenarios; ++i) {
       if (chaos::Executor::stop_requested() || !budget_left()) break;

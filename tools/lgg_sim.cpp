@@ -40,6 +40,33 @@
 //     --checkpoint FILE    checkpoint file path
 //     --checkpoint-every N write FILE atomically every N steps
 //     --resume FILE        restore state from FILE before running
+//     --generations N      retain N checkpoint generations as a ring with
+//                          a CRC'd manifest (core/ckpt_chain.hpp): each
+//                          periodic checkpoint becomes FILE.genNNNNNN and
+//                          FILE.manifest is updated last, so a newest
+//                          valid generation survives any crash instant.
+//                          Default 1 = classic single-file checkpoints
+//     --max-recoveries N   self-heal in-process I/O or simulator errors by
+//                          rolling back to the newest valid generation, at
+//                          most N times (capped exponential backoff); the
+//                          budget spent exhausts to exit code 5.  Needs
+//                          --generations >= 2.  Default 0 = off
+//     --recover            on startup, restore from the newest valid
+//                          generation named by FILE.manifest (walking
+//                          older generations past corrupt ones), truncate
+//                          the --telemetry stream to the recorded byte
+//                          offset, and continue appending to it.  --steps
+//                          is then the TOTAL horizon: the run finishes at
+//                          the same step an uninterrupted run would.  A
+//                          missing manifest starts fresh; a manifest with
+//                          no valid generation exits 5
+//     --failpoints SPEC    arm deterministic I/O fault injection
+//                          (common/failpoint.hpp grammar), e.g.
+//                          'ckpt.fsync:at=2,action=error;
+//                           telemetry.append:at=5,action=torn,keep=7;
+//                           manifest.rename:at=1,action=abort'
+//                          action=abort raises SIGKILL at the Nth hit —
+//                          the crash-recovery harness's kill switch
 //     --csv FILE           write the trajectory as CSV
 //     --telemetry FILE     write JSONL telemetry snapshots (docs/formats.md)
 //     --telemetry-every K  steps between snapshots       (default 100)
@@ -82,9 +109,11 @@
 //
 // Exit codes (common/exit_codes.hpp): 0 stable/ok, 1 diverging verdict,
 // 2 usage error or exception, 3 packet-conservation violation, 4 deadline
-// expired or stopped by SIGINT/SIGTERM.  Supervised runs (--deadline-ms or
-// --checkpoint-every) trap SIGINT/SIGTERM and leave a final atomic
-// checkpoint behind before exiting.
+// expired or stopped by SIGINT/SIGTERM, 5 recovery exhausted (the
+// self-healing budget was spent, or --recover found a manifest with no
+// valid generation).  Supervised runs (--deadline-ms or --checkpoint-every)
+// trap SIGINT/SIGTERM and leave a final atomic checkpoint behind before
+// exiting.
 //
 // Example:
 //   echo 'nodes 2
@@ -104,13 +133,17 @@
 #include <optional>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "analysis/supervisor.hpp"
 #include "baselines/protocol_registry.hpp"
 #include "common/exit_codes.hpp"
+#include "common/failpoint.hpp"
 #include "control/governor.hpp"
 #include "control/sentinel.hpp"
 #include "core/bounds.hpp"
 #include "core/checkpoint.hpp"
+#include "core/ckpt_chain.hpp"
 #include "core/faults.hpp"
 #include "core/scenarios.hpp"
 #include "core/simulator.hpp"
@@ -127,7 +160,9 @@ namespace {
                "usage: %s [--steps N] [--seed S] [--protocol NAME] "
                "[--loss P] [--arrival-scale F] [--arrival SPEC] [--matching] "
                "[--churn P_OFF P_ON] [--faults SPEC] [--checkpoint FILE] "
-               "[--checkpoint-every N] [--resume FILE] [--csv FILE] "
+               "[--checkpoint-every N] [--resume FILE] [--generations N] "
+               "[--max-recoveries N] [--recover] [--failpoints SPEC] "
+               "[--csv FILE] "
                "[--telemetry FILE] [--telemetry-every K] "
                "[--flight-recorder N] [--flight-recorder-capacity N] "
                "[--hotspots K] [--trace-out FILE] [--trace-capacity N] "
@@ -203,6 +238,10 @@ int main(int argc, char** argv) {
   std::string checkpoint_path;
   TimeStep checkpoint_every = 0;
   std::string resume_path;
+  long long generations = 1;
+  long long max_recoveries = 0;
+  bool recover_mode = false;
+  std::string failpoints_spec;
   std::string csv_path;
   std::string telemetry_path;
   TimeStep telemetry_every = 100;
@@ -274,6 +313,27 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--resume") {
       resume_path = next("--resume");
+    } else if (arg == "--generations") {
+      generations = parse_int("--generations", next("--generations"));
+      if (generations < 1) {
+        std::fprintf(stderr, "error: --generations wants a count >= 1\n");
+        return lgg::kExitUsage;
+      }
+    } else if (arg == "--max-recoveries") {
+      max_recoveries =
+          parse_int("--max-recoveries", next("--max-recoveries"));
+      if (max_recoveries < 0) {
+        std::fprintf(stderr, "error: --max-recoveries wants a count >= 0\n");
+        return lgg::kExitUsage;
+      }
+    } else if (arg == "--recover") {
+      recover_mode = true;
+    } else if (arg == "--failpoints") {
+      failpoints_spec = next("--failpoints");
+      if (failpoints_spec.empty()) {
+        std::fprintf(stderr, "error: --failpoints wants a spec\n");
+        return lgg::kExitUsage;
+      }
     } else if (arg == "--csv") {
       csv_path = next("--csv");
     } else if (arg == "--telemetry") {
@@ -366,6 +426,24 @@ int main(int argc, char** argv) {
                  "error: --checkpoint-every needs --checkpoint FILE\n");
     return lgg::kExitUsage;
   }
+  if (generations >= 2 && checkpoint_path.empty()) {
+    std::fprintf(stderr, "error: --generations needs --checkpoint FILE\n");
+    return lgg::kExitUsage;
+  }
+  if (max_recoveries > 0 && generations < 2) {
+    std::fprintf(stderr,
+                 "error: --max-recoveries needs --generations >= 2\n");
+    return lgg::kExitUsage;
+  }
+  if (recover_mode && generations < 2) {
+    std::fprintf(stderr, "error: --recover needs --generations >= 2\n");
+    return lgg::kExitUsage;
+  }
+  if (recover_mode && !resume_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --recover and --resume are mutually exclusive\n");
+    return lgg::kExitUsage;
+  }
   if (brownout && !governor) {
     std::fprintf(stderr, "error: --brownout needs --governor\n");
     return lgg::kExitUsage;
@@ -382,6 +460,11 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Arm fault injection first so even network loading I/O is under test
+    // control.  A malformed spec throws and maps to the usage exit below.
+    if (!failpoints_spec.empty()) {
+      common::FailpointRegistry::instance().arm(failpoints_spec);
+    }
     core::SdNetwork net = [&] {
       if (input_path.empty()) {
         std::ostringstream buffer;
@@ -465,14 +548,8 @@ int main(int argc, char** argv) {
         // Lemma 1 state bound (nY² + 5nΔ²).
         telemetry->set_lemma1_bounds(lemma1->growth, lemma1->state);
       }
-      if (!telemetry_path.empty()) {
-        telemetry_file.open(telemetry_path, std::ios::trunc);
-        if (!telemetry_file) {
-          throw std::runtime_error("cannot write " + telemetry_path);
-        }
-        sink = std::make_unique<obs::OstreamJsonlSink>(telemetry_file);
-        telemetry->set_sink(sink.get());
-      }
+      // The file sink is opened below, after --recover has had a chance
+      // to truncate the stream to the recovered byte offset.
       sim.set_telemetry(telemetry.get());
     }
     // The governor attaches before --resume: a v3 checkpoint written by a
@@ -500,6 +577,60 @@ int main(int argc, char** argv) {
       std::printf("resumed from %s at step %lld\n", resume_path.c_str(),
                   static_cast<long long>(sim.now()));
     }
+    // Crash recovery: restore from the newest valid checkpoint generation
+    // and truncate the telemetry stream to the byte offset recorded with
+    // it, so the healed run appends exactly the bytes an uninterrupted run
+    // would have written next.
+    std::optional<core::CheckpointChain::Recovery> recovered;
+    if (recover_mode) {
+      core::CheckpointChain chain(checkpoint_path,
+                                  static_cast<int>(generations));
+      if (core::CheckpointChain::read_manifest(chain.manifest_path())
+              .has_value()) {
+        recovered = chain.recover(sim, [&](std::uint64_t offset) {
+          if (!telemetry_path.empty()) {
+            // Missing file (ENOENT) is ignorable: nothing to rewind.
+            (void)::truncate(telemetry_path.c_str(),
+                             static_cast<off_t>(offset));
+          }
+        });
+        if (!recovered.has_value()) {
+          std::fprintf(stderr,
+                       "error: %s names no valid checkpoint generation\n",
+                       chain.manifest_path().c_str());
+          return lgg::kExitRecoveryExhausted;
+        }
+        std::printf(
+            "recovered generation %llu at step %lld (rollback depth %d)\n",
+            static_cast<unsigned long long>(recovered->generation),
+            static_cast<long long>(recovered->step),
+            recovered->rollback_depth);
+      } else {
+        std::printf("recover: no manifest at %s, starting fresh\n",
+                    chain.manifest_path().c_str());
+      }
+    }
+    // Open the telemetry sink: append past the recovered offset when a
+    // generation was restored, truncate-and-start otherwise.
+    if (telemetry != nullptr && !telemetry_path.empty()) {
+      if (recovered.has_value()) {
+        telemetry_file.open(telemetry_path, std::ios::in | std::ios::out |
+                                                std::ios::binary);
+        if (telemetry_file.is_open()) {
+          telemetry_file.seekp(0, std::ios::end);
+        } else {
+          telemetry_file.clear();
+        }
+      }
+      if (!telemetry_file.is_open()) {
+        telemetry_file.open(telemetry_path, std::ios::trunc);
+      }
+      if (!telemetry_file) {
+        throw std::runtime_error("cannot write " + telemetry_path);
+      }
+      sink = std::make_unique<obs::OstreamJsonlSink>(telemetry_file);
+      telemetry->set_sink(sink.get());
+    }
     core::StepProfiler profiler;
     if (profile) sim.set_profiler(&profiler);
     // Span tracing attaches last: it reads only clocks, so its position in
@@ -514,6 +645,11 @@ int main(int argc, char** argv) {
     }
     core::MetricsRecorder recorder;
 
+    // --recover treats --steps as the total horizon: the healed run stops
+    // at the very step the uninterrupted run would have.
+    const TimeStep run_steps =
+        recover_mode ? std::max<TimeStep>(0, steps - sim.now()) : steps;
+
     if (checkpoint_every > 0 || deadline_ms > 0 || !statusz_path.empty()) {
       analysis::SupervisorOptions sopts;
       sopts.checkpoint_every = checkpoint_every;
@@ -525,9 +661,29 @@ int main(int argc, char** argv) {
       sopts.repro_config = faults_spec;
       sopts.statusz_path = statusz_path;
       sopts.statusz_every = statusz_every;
+      sopts.generations = static_cast<int>(generations);
+      sopts.max_recoveries = static_cast<int>(max_recoveries);
+      if (sink != nullptr) {
+        sopts.telemetry_offset = [&]() {
+          sink->flush();
+          return static_cast<std::uint64_t>(
+              static_cast<std::streamoff>(telemetry_file.tellp()));
+        };
+        sopts.telemetry_rewind = [&](std::uint64_t offset) {
+          sink->flush();
+          (void)::truncate(telemetry_path.c_str(),
+                           static_cast<off_t>(offset));
+          telemetry_file.clear();
+          telemetry_file.seekp(static_cast<std::streamoff>(offset));
+        };
+      }
       const analysis::RunSupervisor supervisor(sopts);
       const analysis::SupervisedResult result =
-          supervisor.run(sim, steps, &recorder);
+          supervisor.run(sim, run_steps, &recorder);
+      if (result.recoveries > 0) {
+        std::printf("supervisor: %d recoveries (max rollback depth %d)\n",
+                    result.recoveries, result.rollback_depth);
+      }
       if (!result.ok) {
         std::fprintf(stderr, "error: supervised run failed after %lld steps: %s\n",
                      static_cast<long long>(result.steps_done),
@@ -539,12 +695,14 @@ int main(int argc, char** argv) {
             return lgg::kExitTimeout;
           case Kind::kDivergence:
             return lgg::kExitDiverged;
+          case Kind::kRecoveryExhausted:
+            return lgg::kExitRecoveryExhausted;
           default:
             return lgg::kExitUsage;
         }
       }
     } else {
-      sim.run(steps, &recorder);
+      sim.run(run_steps, &recorder);
     }
     if (profile) {
       std::printf("\nper-phase step profile:\n%s\n",

@@ -34,6 +34,17 @@
 // sim.bound_slack_state gauges must also be non-negative — the live form
 // of the Lemma 1 acceptance check for unsaturated runs.
 //
+// With --resumed, the stream may be the concatenation of segments from a
+// crashed-and-resumed run (docs/reproducing.md "Surviving a crash"):
+//
+//   * one truncated (killed mid-write) line is tolerated at each segment
+//     boundary, provided the very next line is a header;
+//   * header lines may recur past line 1, but every later header must
+//     carry the same schema and n as the first;
+//   * all cross-line invariants still hold *globally*: snapshot seq stays
+//     consecutive and t strictly increasing across the boundary — a resume
+//     that duplicated or skipped work fails the check.
+//
 // Exit codes: 0 = valid, 1 = validation failure, 2 = usage or I/O error.
 //
 // The JSON parser (tools/mini_json.hpp) is deliberately minimal (objects,
@@ -56,6 +67,12 @@ using minijson::ValuePtr;
 
 struct Checker {
   bool strict_bounds = false;
+  bool resumed = false;
+  /// Set by the driver after a tolerated truncated line: the next complete
+  /// line must be a (matching) header or the stream is rejected.
+  bool expect_header = false;
+  double header_schema = 0.0;
+  double header_n = 0.0;
   bool seen_header = false;
   bool have_snapshot_seq = false;
   double last_snapshot_seq = 0.0;
@@ -96,15 +113,30 @@ struct Checker {
     // enforce it without each branch knowing about the others.
     const bool followed_snapshot = last_was_snapshot;
     last_was_snapshot = false;
+    if (expect_header && type->string != "header") {
+      throw std::runtime_error(
+          "truncated line not followed by a resume header");
+    }
     if (type->string == "header") {
-      if (line_no != 1) throw std::runtime_error("header is not line 1");
-      if (seen_header) throw std::runtime_error("duplicate header");
-      if (require(obj, "schema", Value::Kind::kNumber, "header")->number <
-          1.0) {
-        throw std::runtime_error("header schema < 1");
+      const double schema =
+          require(obj, "schema", Value::Kind::kNumber, "header")->number;
+      if (schema < 1.0) throw std::runtime_error("header schema < 1");
+      const double n =
+          require(obj, "n", Value::Kind::kNumber, "header")->number;
+      if (!seen_header) {
+        if (line_no != 1) throw std::runtime_error("header is not line 1");
+        header_schema = schema;
+        header_n = n;
+        seen_header = true;
+      } else {
+        // A later header opens a resumed segment: legal only under
+        // --resumed, and it must describe the same run.
+        if (!resumed) throw std::runtime_error("duplicate header");
+        if (schema != header_schema || n != header_n) {
+          throw std::runtime_error("resume header schema/n mismatch");
+        }
       }
-      require(obj, "n", Value::Kind::kNumber, "header");
-      seen_header = true;
+      expect_header = false;
     } else if (type->string == "snapshot") {
       check_snapshot(obj);
       last_was_snapshot = true;
@@ -381,14 +413,18 @@ struct Checker {
 
 int main(int argc, char** argv) {
   bool strict_bounds = false;
+  bool resumed = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--strict-bounds") {
       strict_bounds = true;
+    } else if (arg == "--resumed") {
+      resumed = true;
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
-                   "usage: %s [--strict-bounds] [telemetry.jsonl]\n",
+                   "usage: %s [--strict-bounds] [--resumed] "
+                   "[telemetry.jsonl]\n",
                    argv[0]);
       return 2;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -411,6 +447,7 @@ int main(int argc, char** argv) {
 
   Checker checker;
   checker.strict_bounds = strict_bounds;
+  checker.resumed = resumed;
   std::string line;
   std::size_t line_no = 0;
   std::size_t complete_lines = 0;
@@ -435,6 +472,18 @@ int main(int argc, char** argv) {
                      "warning: truncated trailing line %zu ignored (%s)\n",
                      line_no, e.what());
         break;
+      }
+      if (resumed && complete_lines > 0) {
+        // Segment boundary of a crashed-and-resumed stream: the killed
+        // writer's partial line.  The next line must be a matching header
+        // (enforced by the checker) or the stream still fails.
+        std::fprintf(
+            stderr,
+            "warning: truncated line %zu at resume boundary ignored (%s)\n",
+            line_no, e.what());
+        checker.expect_header = true;
+        checker.last_was_snapshot = false;
+        continue;
       }
       std::fprintf(stderr, "line %zu: INVALID: %s\n", line_no, e.what());
       return 1;
